@@ -1,0 +1,50 @@
+/// \file bench_common.h
+/// \brief Shared helpers for the experiment harness binaries.
+///
+/// Each bench_eN binary regenerates one table/figure of the
+/// reconstructed evaluation (see DESIGN.md). All reported numbers come
+/// from the deterministic simulation (bytes on the wire, RPC counts,
+/// simulated milliseconds), so every run reproduces exactly.
+
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "core/global_system.h"
+
+namespace gisql {
+namespace bench {
+
+/// \brief Runs a query and returns its metrics; aborts on error so a
+/// broken experiment fails loudly.
+inline QueryMetrics Run(GlobalSystem& gis, const std::string& sql) {
+  auto result = gis.Query(sql);
+  if (!result.ok()) {
+    std::fprintf(stderr, "query failed: %s\n  %s\n",
+                 result.status().ToString().c_str(), sql.c_str());
+    std::abort();
+  }
+  return result->metrics;
+}
+
+/// \brief Runs a query and returns row count + metrics.
+inline std::pair<size_t, QueryMetrics> RunCounted(GlobalSystem& gis,
+                                                  const std::string& sql) {
+  auto result = gis.Query(sql);
+  if (!result.ok()) {
+    std::fprintf(stderr, "query failed: %s\n  %s\n",
+                 result.status().ToString().c_str(), sql.c_str());
+    std::abort();
+  }
+  return {result->batch.num_rows(), result->metrics};
+}
+
+inline void Header(const char* experiment, const char* standin,
+                   const char* expectation) {
+  std::printf("# %s\n#   stands in for: %s\n#   expected shape: %s\n\n",
+              experiment, standin, expectation);
+}
+
+}  // namespace bench
+}  // namespace gisql

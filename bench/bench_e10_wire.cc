@@ -1,0 +1,114 @@
+/// \file bench_e10_wire.cc
+/// \brief E10 (Table 5): wire protocol microbenchmarks — serialization
+/// and deserialization throughput for values, batches, and expressions.
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "expr/binder.h"
+#include "sql/parser.h"
+#include "wire/serde.h"
+
+namespace gisql {
+namespace {
+
+RowBatch MakeBatch(int64_t rows) {
+  auto schema = std::make_shared<Schema>(std::vector<Field>{
+      {"id", TypeId::kInt64},
+      {"v", TypeId::kDouble},
+      {"tag", TypeId::kString},
+      {"flag", TypeId::kBool}});
+  RowBatch batch(schema);
+  Rng rng(3);
+  for (int64_t i = 0; i < rows; ++i) {
+    batch.Append({Value::Int(i), Value::Double(rng.NextDouble()),
+                  Value::String(rng.NextString(12)),
+                  Value::Bool(rng.Bernoulli(0.5))});
+  }
+  return batch;
+}
+
+void BM_SerializeBatch(benchmark::State& state) {
+  RowBatch batch = MakeBatch(state.range(0));
+  int64_t bytes = 0;
+  for (auto _ : state) {
+    auto buf = wire::SerializeBatch(batch);
+    bytes = static_cast<int64_t>(buf.size());
+    benchmark::DoNotOptimize(buf.data());
+  }
+  state.SetBytesProcessed(state.iterations() * bytes);
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SerializeBatch)->Arg(64)->Arg(1024)->Arg(16384);
+
+void BM_DeserializeBatch(benchmark::State& state) {
+  RowBatch batch = MakeBatch(state.range(0));
+  auto buf = wire::SerializeBatch(batch);
+  for (auto _ : state) {
+    ByteReader reader(buf);
+    auto back = wire::ReadBatch(&reader);
+    benchmark::DoNotOptimize(back->num_rows());
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<int64_t>(buf.size()));
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_DeserializeBatch)->Arg(64)->Arg(1024)->Arg(16384);
+
+void BM_ValueRoundTrip(benchmark::State& state) {
+  const Value values[] = {Value::Int(123456789), Value::Double(3.14),
+                          Value::String("hello wire"), Value::Bool(true),
+                          Value::Null(TypeId::kInt64)};
+  for (auto _ : state) {
+    ByteWriter writer;
+    for (const auto& v : values) wire::WriteValue(&writer, v);
+    ByteReader reader(writer.data());
+    for (size_t i = 0; i < std::size(values); ++i) {
+      auto v = wire::ReadValue(&reader);
+      benchmark::DoNotOptimize(v.ok());
+    }
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(std::size(values)));
+}
+BENCHMARK(BM_ValueRoundTrip);
+
+void BM_ExprRoundTrip(benchmark::State& state) {
+  Schema schema({{"a", TypeId::kInt64}, {"b", TypeId::kDouble},
+                 {"c", TypeId::kString}});
+  Binder binder(schema);
+  auto ast = sql::ParseScalarExpr(
+      "a > 5 AND b * 2.0 < 100 AND c LIKE 'x%' AND a IN (1, 2, 3, 4)");
+  ExprPtr expr = *binder.BindScalar(**ast);
+  for (auto _ : state) {
+    ByteWriter writer;
+    wire::WriteExpr(&writer, *expr);
+    ByteReader reader(writer.data());
+    auto back = wire::ReadExpr(&reader);
+    benchmark::DoNotOptimize(back.ok());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ExprRoundTrip);
+
+void BM_VarintCodec(benchmark::State& state) {
+  Rng rng(5);
+  std::vector<uint64_t> values(1000);
+  for (auto& v : values) v = rng.Next() >> (rng.Next() % 56);
+  for (auto _ : state) {
+    ByteWriter writer;
+    for (uint64_t v : values) writer.PutVarint(v);
+    ByteReader reader(writer.data());
+    uint64_t sum = 0;
+    for (size_t i = 0; i < values.size(); ++i) sum += *reader.GetVarint();
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(values.size()));
+}
+BENCHMARK(BM_VarintCodec);
+
+}  // namespace
+}  // namespace gisql
+
+BENCHMARK_MAIN();

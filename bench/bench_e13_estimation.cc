@@ -1,0 +1,95 @@
+/// \file bench_e13_estimation.cc
+/// \brief E13 (extension ablation): cardinality estimation quality —
+/// equi-depth histograms vs min/max interpolation on skewed data.
+///
+/// One source holds 100k rows whose values are heavily skewed (90% in
+/// [0,100), tail to 10k). For a sweep of range predicates we report the
+/// estimated rows with histograms, the estimate after stripping the
+/// histograms from the catalog (falling back to min/max interpolation),
+/// the true count, and the q-error of each estimator.
+
+#include <algorithm>
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "common/rng.h"
+#include "planner/cost_model.h"
+#include "planner/logical_planner.h"
+#include "sql/parser.h"
+
+using namespace gisql;
+using namespace gisql::bench;
+
+namespace {
+
+double EstimateFilterRows(GlobalSystem& gis, const std::string& q) {
+  CostParams params;
+  CostModel cost(gis.catalog(), params);
+  LogicalPlanner planner(gis.catalog());
+  auto stmt = sql::ParseSelect(q);
+  auto plan = planner.Plan(**stmt);
+  if (!plan.ok()) return -1;
+  cost.Annotate(*plan);
+  double est = -1;
+  VisitPlan(*plan, [&](const PlanNodePtr& node) {
+    if (node->kind == PlanKind::kFilter) est = node->est_rows;
+  });
+  return est;
+}
+
+double QError(double est, double actual) {
+  est = std::max(est, 1.0);
+  actual = std::max(actual, 1.0);
+  return std::max(est / actual, actual / est);
+}
+
+}  // namespace
+
+int main() {
+  Header("E13: cardinality estimation with/without histograms (skewed "
+         "100k-row column)",
+         "statistics-driven global query optimization",
+         "histogram q-error stays near 1 across the sweep; min/max "
+         "interpolation misestimates the skewed head by orders of "
+         "magnitude");
+
+  GlobalSystem gis;
+  auto src = *gis.CreateSource("s1", SourceDialect::kRelational);
+  (void)src->ExecuteLocalSql("CREATE TABLE t (v bigint)");
+  Rng rng(99);
+  std::vector<Row> rows;
+  for (int i = 0; i < 100000; ++i) {
+    rows.push_back({Value::Int(rng.Bernoulli(0.9)
+                                   ? rng.Uniform(0, 99)
+                                   : rng.Uniform(100, 10000))});
+  }
+  {
+    auto table = *src->engine().GetTable("t");
+    table->InsertUnchecked(std::move(rows));
+  }
+  (void)gis.ImportSource("s1");
+
+  // A stats copy without histograms = the pre-histogram estimator.
+  TableStats stripped = (*gis.catalog().GetTable("t"))->stats;
+  TableStats with_hist = stripped;
+  for (auto& c : stripped.columns) c.histogram_bounds.clear();
+
+  std::printf("%10s | %10s | %12s %8s | %12s %8s\n", "pred v<", "actual",
+              "hist_est", "q_err", "minmax_est", "q_err");
+  for (int64_t b : {5, 20, 50, 100, 500, 2000, 8000}) {
+    const std::string q = "SELECT v FROM t WHERE v < " + std::to_string(b);
+    auto [actual, m] = RunCounted(gis, q);
+    (void)m;
+
+    const double est_hist = EstimateFilterRows(gis, q);
+    (void)gis.catalog().UpdateStats("t", stripped);
+    const double est_minmax = EstimateFilterRows(gis, q);
+    (void)gis.catalog().UpdateStats("t", with_hist);
+
+    std::printf("%10lld | %10zu | %12.0f %8.2f | %12.0f %8.2f\n",
+                static_cast<long long>(b), actual, est_hist,
+                QError(est_hist, static_cast<double>(actual)), est_minmax,
+                QError(est_minmax, static_cast<double>(actual)));
+  }
+  return 0;
+}

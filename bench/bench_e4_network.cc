@@ -1,0 +1,75 @@
+/// \file bench_e4_network.cc
+/// \brief E4 (Figure 3): WAN sensitivity — the same query under swept
+/// link latency and bandwidth.
+///
+/// Fixed query: 1%-selective filter + aggregation over one 100k-row
+/// source. Ship-everything pays the full table transfer, so it should
+/// degrade with bandwidth and be insensitive to latency beyond the
+/// handful of round trips; the pushdown plan ships a few KiB and should
+/// track latency only.
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "workload/generator.h"
+
+using namespace gisql;
+using namespace gisql::bench;
+
+namespace {
+
+GlobalSystem* BuildWorld() {
+  auto* gis = new GlobalSystem();
+  WorkloadSpec spec;
+  spec.num_sites = 1;
+  spec.num_customers = 100;
+  spec.num_products = 100;
+  spec.orders_per_site = 100000;
+  Status st = BuildRetailFederation(gis, spec);
+  if (!st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    std::abort();
+  }
+  return gis;
+}
+
+}  // namespace
+
+int main() {
+  GlobalSystem* gis = BuildWorld();
+  const std::string q =
+      "SELECT pid, SUM(amount) FROM sales WHERE sid < 1000 GROUP BY pid";
+
+  Header("E4: link sensitivity (fixed query: 1% filter + aggregate)",
+         "operating over slow, expensive inter-organization links",
+         "ship-everything degrades ~1/bandwidth; pushdown is flat in "
+         "bandwidth and linear only in latency");
+
+  std::printf("-- latency sweep @ 100 Mbps\n");
+  std::printf("%12s | %12s %12s | %8s\n", "latency_ms", "push_ms",
+              "ship_ms", "ratio");
+  for (double lat : {1.0, 5.0, 20.0, 50.0, 100.0, 200.0}) {
+    gis->network().set_default_link({lat, 100.0});
+    gis->set_options(PlannerOptions::Full());
+    auto push = Run(*gis, q);
+    gis->set_options(PlannerOptions::ShipEverything());
+    auto ship = Run(*gis, q);
+    std::printf("%12.0f | %12.2f %12.2f | %7.2fx\n", lat, push.elapsed_ms,
+                ship.elapsed_ms, ship.elapsed_ms / push.elapsed_ms);
+  }
+
+  std::printf("\n-- bandwidth sweep @ 20 ms\n");
+  std::printf("%14s | %12s %12s | %8s\n", "bandwidth_mbps", "push_ms",
+              "ship_ms", "ratio");
+  for (double bw : {1.0, 10.0, 100.0, 1000.0}) {
+    gis->network().set_default_link({20.0, bw});
+    gis->set_options(PlannerOptions::Full());
+    auto push = Run(*gis, q);
+    gis->set_options(PlannerOptions::ShipEverything());
+    auto ship = Run(*gis, q);
+    std::printf("%14.0f | %12.2f %12.2f | %7.2fx\n", bw, push.elapsed_ms,
+                ship.elapsed_ms, ship.elapsed_ms / push.elapsed_ms);
+  }
+  delete gis;
+  return 0;
+}

@@ -1,0 +1,90 @@
+/// \file bank_import.cpp
+/// \brief Operational tooling demo: bulk-load CSV files into an
+/// autonomous bank source, query the federation, snapshot the source to
+/// disk, and restore it into a fresh system.
+///
+/// Run from the repository root (the CSV paths are relative):
+///   ./build/examples/bank_import
+
+#include <cstdio>
+#include <iostream>
+
+#include "core/global_system.h"
+#include "workload/csv.h"
+
+using namespace gisql;
+
+namespace {
+
+Status RunDemo(const std::string& data_dir) {
+  GlobalSystem gis;
+  GISQL_ASSIGN_OR_RETURN(
+      ComponentSource * bank,
+      gis.CreateSource("bank", SourceDialect::kRelational));
+
+  // 1. DDL + CSV bulk load (dates and quoted cells included).
+  GISQL_RETURN_NOT_OK(bank->ExecuteLocalSql(
+      "CREATE TABLE branches (branch_id bigint, city varchar, "
+      "opened date, manager varchar)"));
+  GISQL_RETURN_NOT_OK(bank->ExecuteLocalSql(
+      "CREATE TABLE accounts (acct_id bigint, branch_id bigint, "
+      "owner varchar, balance double, frozen boolean)"));
+  GISQL_ASSIGN_OR_RETURN(
+      int64_t nb, LoadCsvFile(bank, "branches", data_dir + "/branches.csv"));
+  GISQL_ASSIGN_OR_RETURN(
+      int64_t na, LoadCsvFile(bank, "accounts", data_dir + "/accounts.csv"));
+  std::cout << "loaded " << nb << " branches, " << na << " accounts\n\n";
+
+  GISQL_RETURN_NOT_OK(gis.ImportSource("bank"));
+
+  // 2. Federated analytics over the loaded data.
+  GISQL_ASSIGN_OR_RETURN(
+      QueryResult by_city,
+      gis.Query("SELECT b.city, COUNT(*) AS accounts, "
+                "SUM(a.balance) AS total "
+                "FROM accounts a JOIN branches b "
+                "ON a.branch_id = b.branch_id "
+                "WHERE NOT a.frozen "
+                "GROUP BY b.city ORDER BY total DESC"));
+  std::cout << "Unfrozen balances by city:\n"
+            << by_city.batch.ToString() << "\n";
+
+  GISQL_ASSIGN_OR_RETURN(
+      QueryResult vintage,
+      gis.Query("SELECT city, YEAR(opened) AS since FROM branches "
+                "WHERE opened < DATE '1988-01-01' ORDER BY opened"));
+  std::cout << "Branches opened before 1988:\n"
+            << vintage.batch.ToString() << "\n";
+
+  // 3. Snapshot the autonomous source and restore it elsewhere.
+  const std::string snapshot = data_dir + "/bank.snapshot";
+  GISQL_RETURN_NOT_OK(bank->SaveSnapshot(snapshot));
+  std::cout << "snapshot written to " << snapshot << "\n";
+
+  GlobalSystem restored_gis;
+  GISQL_ASSIGN_OR_RETURN(
+      ComponentSource * restored,
+      restored_gis.CreateSource("bank_dr", SourceDialect::kRelational));
+  GISQL_RETURN_NOT_OK(restored->LoadSnapshot(snapshot));
+  GISQL_RETURN_NOT_OK(restored_gis.ImportSource("bank_dr"));
+  GISQL_ASSIGN_OR_RETURN(
+      QueryResult check,
+      restored_gis.Query("SELECT COUNT(*) FROM accounts"));
+  std::cout << "restored system sees "
+            << check.batch.rows()[0][0].ToString() << " accounts\n";
+  std::remove(snapshot.c_str());
+  return Status::OK();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string data_dir = argc > 1 ? argv[1] : "examples/data";
+  if (Status st = RunDemo(data_dir); !st.ok()) {
+    std::cerr << st.ToString() << "\n";
+    std::cerr << "hint: run from the repository root, or pass the data "
+                 "directory as the first argument\n";
+    return 1;
+  }
+  return 0;
+}

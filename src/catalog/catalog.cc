@@ -1,0 +1,172 @@
+#include "catalog/catalog.h"
+
+#include <sstream>
+
+#include "common/string_util.h"
+
+namespace gisql {
+
+Status Catalog::RegisterSource(SourceInfo info) {
+  const std::string key = ToLower(info.name);
+  if (sources_.count(key)) {
+    return Status::AlreadyExists("source '", info.name,
+                                 "' already registered");
+  }
+  sources_.emplace(key, std::move(info));
+  return Status::OK();
+}
+
+Result<const SourceInfo*> Catalog::GetSource(const std::string& name) const {
+  auto it = sources_.find(ToLower(name));
+  if (it == sources_.end()) {
+    return Status::NotFound("source '", name, "' is not registered");
+  }
+  return &it->second;
+}
+
+Status Catalog::SetLatencyHint(const std::string& name,
+                               double latency_ms) {
+  auto it = sources_.find(ToLower(name));
+  if (it == sources_.end()) {
+    return Status::NotFound("source '", name, "' is not registered");
+  }
+  it->second.latency_hint_ms = latency_ms;
+  return Status::OK();
+}
+
+std::vector<std::string> Catalog::SourceNames() const {
+  std::vector<std::string> names;
+  for (const auto& [key, info] : sources_) names.push_back(info.name);
+  return names;
+}
+
+Status Catalog::RegisterTable(TableMapping mapping) {
+  const std::string key = ToLower(mapping.global_name);
+  if (tables_.count(key) || views_.count(key)) {
+    return Status::AlreadyExists("global name '", mapping.global_name,
+                                 "' is already in use");
+  }
+  if (!sources_.count(ToLower(mapping.source_name))) {
+    return Status::NotFound("source '", mapping.source_name,
+                            "' is not registered");
+  }
+  if (mapping.schema == nullptr) {
+    return Status::InvalidArgument("table mapping requires a schema");
+  }
+  tables_.emplace(key, std::move(mapping));
+  return Status::OK();
+}
+
+Result<const TableMapping*> Catalog::GetTable(
+    const std::string& global_name) const {
+  auto it = tables_.find(ToLower(global_name));
+  if (it == tables_.end()) {
+    return Status::NotFound("global table '", global_name,
+                            "' is not in the catalog");
+  }
+  return &it->second;
+}
+
+bool Catalog::HasTable(const std::string& global_name) const {
+  return tables_.count(ToLower(global_name)) > 0;
+}
+
+Status Catalog::UpdateStats(const std::string& global_name,
+                            TableStats stats) {
+  auto it = tables_.find(ToLower(global_name));
+  if (it == tables_.end()) {
+    return Status::NotFound("global table '", global_name,
+                            "' is not in the catalog");
+  }
+  it->second.stats = std::move(stats);
+  return Status::OK();
+}
+
+std::vector<std::string> Catalog::TableNames() const {
+  std::vector<std::string> names;
+  for (const auto& [key, t] : tables_) names.push_back(t.global_name);
+  return names;
+}
+
+Status Catalog::CreateUnionView(const std::string& name,
+                                const std::vector<std::string>& members) {
+  return CreateViewInternal(name, members, /*replicated=*/false);
+}
+
+Status Catalog::CreateReplicatedView(const std::string& name,
+                                     const std::vector<std::string>& members) {
+  return CreateViewInternal(name, members, /*replicated=*/true);
+}
+
+Status Catalog::CreateViewInternal(const std::string& name,
+                                   const std::vector<std::string>& members,
+                                   bool replicated) {
+  const std::string key = ToLower(name);
+  if (tables_.count(key) || views_.count(key)) {
+    return Status::AlreadyExists("global name '", name,
+                                 "' is already in use");
+  }
+  if (members.empty()) {
+    return Status::InvalidArgument("union view requires at least one member");
+  }
+  const TableMapping* first = nullptr;
+  for (const auto& member : members) {
+    GISQL_ASSIGN_OR_RETURN(const TableMapping* t, GetTable(member));
+    if (first == nullptr) {
+      first = t;
+    } else if (!first->schema->UnionCompatible(*t->schema)) {
+      return Status::InvalidArgument(
+          "member '", member, "' ", t->schema->ToString(),
+          " is not union-compatible with '", members[0], "' ",
+          first->schema->ToString());
+    }
+  }
+  GlobalView view;
+  view.name = name;
+  view.members = members;
+  view.replicated = replicated;
+  view.schema =
+      std::make_shared<Schema>(first->schema->WithQualifier(name));
+  views_.emplace(key, std::move(view));
+  return Status::OK();
+}
+
+Result<const GlobalView*> Catalog::GetView(const std::string& name) const {
+  auto it = views_.find(ToLower(name));
+  if (it == views_.end()) {
+    return Status::NotFound("global view '", name, "' is not in the catalog");
+  }
+  return &it->second;
+}
+
+bool Catalog::HasView(const std::string& name) const {
+  return views_.count(ToLower(name)) > 0;
+}
+
+std::vector<std::string> Catalog::ViewNames() const {
+  std::vector<std::string> names;
+  for (const auto& [key, v] : views_) names.push_back(v.name);
+  return names;
+}
+
+std::string Catalog::ToString() const {
+  std::ostringstream oss;
+  oss << "Catalog:\n";
+  for (const auto& [key, s] : sources_) {
+    oss << "  source " << s.name << " [" << SourceDialectName(s.dialect)
+        << " " << s.capabilities.ToString() << "]\n";
+  }
+  for (const auto& [key, t] : tables_) {
+    oss << "  table " << t.global_name << " -> " << t.source_name << "."
+        << t.exported_name << " " << t.schema->ToString() << " rows="
+        << t.stats.row_count << "\n";
+  }
+  for (const auto& [key, v] : views_) {
+    oss << "  view " << v.name << " = " << (v.replicated ? "REPLICA" : "UNION")
+        << "(" << Join(v.members, ", ")
+        << ")\n";
+  }
+  return oss.str();
+}
+
+}  // namespace gisql

@@ -1,0 +1,115 @@
+/// \file catalog.h
+/// \brief The mediator's global catalog: registered component sources,
+/// imported export schemas, statistics, and integrated global views.
+///
+/// Schema integration in gisql takes two forms:
+///  1. *Import mapping* — each exported table of a component source gets
+///     a unique global name ("src1.orders" or a chosen alias) and its
+///     schema/statistics are cached here.
+///  2. *Union views* — a union-compatible global view presents one
+///     logical entity partitioned (or replicated) across sources as a
+///     single table, the heart of the global-schema idea.
+
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "source/capabilities.h"
+#include "storage/statistics.h"
+#include "types/schema.h"
+
+namespace gisql {
+
+/// \brief One registered component information system.
+struct SourceInfo {
+  std::string name;  ///< network host name
+  SourceDialect dialect = SourceDialect::kRelational;
+  SourceCapabilities capabilities;
+  double latency_hint_ms = 0.0;  ///< optional planner hint
+};
+
+/// \brief Mapping of a global table name onto a source's exported table.
+struct TableMapping {
+  std::string global_name;    ///< unique name in the global schema
+  std::string source_name;    ///< owning source (network host)
+  std::string exported_name;  ///< table name at the source
+  SchemaPtr schema;           ///< source schema, re-qualified globally
+  TableStats stats;           ///< last imported statistics
+};
+
+/// \brief A union-compatible global view over member tables.
+///
+/// Two flavours:
+///  - partitioned (`replicated == false`): the view's rows are the
+///    concatenation of all members (horizontal sharding);
+///  - replicated (`replicated == true`): every member holds a full copy
+///    and the planner reads exactly one, preferring the cheapest and
+///    failing over to the others when a source is unreachable.
+struct GlobalView {
+  std::string name;
+  std::vector<std::string> members;  ///< global table names
+  SchemaPtr schema;                  ///< the first member's shape, renamed
+  bool replicated = false;
+};
+
+/// \brief The global catalog held by the mediator.
+class Catalog {
+ public:
+  /// \name Sources
+  /// @{
+  Status RegisterSource(SourceInfo info);
+  Result<const SourceInfo*> GetSource(const std::string& name) const;
+
+  /// \brief Updates a source's planner latency hint (used to pick
+  /// replicas of replicated views).
+  Status SetLatencyHint(const std::string& name, double latency_ms);
+  std::vector<std::string> SourceNames() const;
+  /// @}
+
+  /// \name Tables
+  /// @{
+  Status RegisterTable(TableMapping mapping);
+  Result<const TableMapping*> GetTable(const std::string& global_name) const;
+  bool HasTable(const std::string& global_name) const;
+  Status UpdateStats(const std::string& global_name, TableStats stats);
+  std::vector<std::string> TableNames() const;
+  /// @}
+
+  /// \name Union views
+  /// @{
+
+  /// \brief Creates a global view over `members` (each a registered
+  /// global table). All members must be union-compatible with the
+  /// first; the view schema takes the first member's column names and
+  /// types, qualified by the view name.
+  Status CreateUnionView(const std::string& name,
+                         const std::vector<std::string>& members);
+
+  /// \brief Creates a replicated view: each member is a full copy of
+  /// the same logical table on a different source. Same compatibility
+  /// rules as union views.
+  Status CreateReplicatedView(const std::string& name,
+                              const std::vector<std::string>& members);
+  Result<const GlobalView*> GetView(const std::string& name) const;
+  bool HasView(const std::string& name) const;
+  std::vector<std::string> ViewNames() const;
+  /// @}
+
+  /// \brief Renders the whole global schema (EXPLAIN CATALOG style).
+  std::string ToString() const;
+
+ private:
+  Status CreateViewInternal(const std::string& name,
+                            const std::vector<std::string>& members,
+                            bool replicated);
+
+  std::map<std::string, SourceInfo> sources_;
+  std::map<std::string, TableMapping> tables_;
+  std::map<std::string, GlobalView> views_;
+};
+
+}  // namespace gisql

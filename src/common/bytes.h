@@ -1,0 +1,161 @@
+/// \file bytes.h
+/// \brief Portable little-endian byte encoding: fixed-width integers,
+/// LEB128 varints, zig-zag signed varints, floats, and length-prefixed
+/// strings. This is the codec underlying the wire protocol.
+
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace gisql {
+
+/// \brief Appends encoded primitives to a growable byte vector.
+class ByteWriter {
+ public:
+  ByteWriter() = default;
+
+  void PutU8(uint8_t v) { buf_.push_back(v); }
+
+  void PutU32(uint32_t v) {
+    for (int i = 0; i < 4; ++i) buf_.push_back(static_cast<uint8_t>(v >> (8 * i)));
+  }
+
+  void PutU64(uint64_t v) {
+    for (int i = 0; i < 8; ++i) buf_.push_back(static_cast<uint8_t>(v >> (8 * i)));
+  }
+
+  /// \brief Unsigned LEB128 varint.
+  void PutVarint(uint64_t v) {
+    while (v >= 0x80) {
+      buf_.push_back(static_cast<uint8_t>(v) | 0x80);
+      v >>= 7;
+    }
+    buf_.push_back(static_cast<uint8_t>(v));
+  }
+
+  /// \brief Zig-zag signed varint.
+  void PutSignedVarint(int64_t v) {
+    PutVarint((static_cast<uint64_t>(v) << 1) ^ static_cast<uint64_t>(v >> 63));
+  }
+
+  void PutDouble(double v) {
+    uint64_t bits;
+    std::memcpy(&bits, &v, sizeof(bits));
+    PutU64(bits);
+  }
+
+  /// \brief Varint length prefix followed by raw bytes.
+  void PutString(std::string_view s) {
+    PutVarint(s.size());
+    buf_.insert(buf_.end(), s.begin(), s.end());
+  }
+
+  void PutBool(bool v) { PutU8(v ? 1 : 0); }
+
+  void PutRaw(const void* data, size_t n) {
+    const auto* p = static_cast<const uint8_t*>(data);
+    buf_.insert(buf_.end(), p, p + n);
+  }
+
+  const std::vector<uint8_t>& data() const { return buf_; }
+  std::vector<uint8_t> Release() { return std::move(buf_); }
+  size_t size() const { return buf_.size(); }
+
+ private:
+  std::vector<uint8_t> buf_;
+};
+
+/// \brief Sequentially decodes primitives from a byte span with bounds
+/// checking; every getter reports truncation as SerializationError.
+class ByteReader {
+ public:
+  ByteReader(const uint8_t* data, size_t size) : data_(data), size_(size) {}
+  explicit ByteReader(const std::vector<uint8_t>& buf)
+      : ByteReader(buf.data(), buf.size()) {}
+
+  Result<uint8_t> GetU8() {
+    if (pos_ + 1 > size_) return Truncated("u8");
+    return data_[pos_++];
+  }
+
+  Result<uint32_t> GetU32() {
+    if (pos_ + 4 > size_) return Truncated("u32");
+    uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) v |= static_cast<uint32_t>(data_[pos_ + i]) << (8 * i);
+    pos_ += 4;
+    return v;
+  }
+
+  Result<uint64_t> GetU64() {
+    if (pos_ + 8 > size_) return Truncated("u64");
+    uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) v |= static_cast<uint64_t>(data_[pos_ + i]) << (8 * i);
+    pos_ += 8;
+    return v;
+  }
+
+  Result<uint64_t> GetVarint() {
+    uint64_t v = 0;
+    int shift = 0;
+    while (true) {
+      if (pos_ >= size_) return Truncated("varint");
+      if (shift >= 64) {
+        return Status::SerializationError("varint too long");
+      }
+      uint8_t b = data_[pos_++];
+      v |= static_cast<uint64_t>(b & 0x7f) << shift;
+      if (!(b & 0x80)) break;
+      shift += 7;
+    }
+    return v;
+  }
+
+  Result<int64_t> GetSignedVarint() {
+    GISQL_ASSIGN_OR_RETURN(uint64_t u, GetVarint());
+    return static_cast<int64_t>((u >> 1) ^ (~(u & 1) + 1));
+  }
+
+  Result<double> GetDouble() {
+    GISQL_ASSIGN_OR_RETURN(uint64_t bits, GetU64());
+    double v;
+    std::memcpy(&v, &bits, sizeof(v));
+    return v;
+  }
+
+  Result<std::string> GetString() {
+    GISQL_ASSIGN_OR_RETURN(uint64_t n, GetVarint());
+    if (pos_ + n > size_) return Truncated("string body");
+    std::string s(reinterpret_cast<const char*>(data_ + pos_), n);
+    pos_ += n;
+    return s;
+  }
+
+  Result<bool> GetBool() {
+    GISQL_ASSIGN_OR_RETURN(uint8_t v, GetU8());
+    return v != 0;
+  }
+
+  size_t remaining() const { return size_ - pos_; }
+  size_t position() const { return pos_; }
+  bool AtEnd() const { return pos_ == size_; }
+
+ private:
+  template <typename T = uint8_t>
+  Status Truncated(const char* what) const {
+    return Status::SerializationError("buffer truncated while reading ", what,
+                                      " at offset ", pos_, " of ", size_);
+  }
+
+  const uint8_t* data_;
+  size_t size_;
+  size_t pos_ = 0;
+};
+
+}  // namespace gisql

@@ -1,0 +1,47 @@
+/// \file hash.h
+/// \brief Hashing utilities: 64-bit FNV-1a, integer finalizers, and
+/// hash combining for composite keys.
+
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <string_view>
+
+namespace gisql {
+
+constexpr uint64_t kFnvOffset = 0xcbf29ce484222325ULL;
+constexpr uint64_t kFnvPrime = 0x100000001b3ULL;
+
+/// \brief 64-bit FNV-1a over an arbitrary byte span.
+inline uint64_t HashBytes(const void* data, size_t n,
+                          uint64_t seed = kFnvOffset) {
+  const auto* p = static_cast<const uint8_t*>(data);
+  uint64_t h = seed;
+  for (size_t i = 0; i < n; ++i) {
+    h ^= p[i];
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+inline uint64_t HashString(std::string_view s, uint64_t seed = kFnvOffset) {
+  return HashBytes(s.data(), s.size(), seed);
+}
+
+/// \brief Murmur3-style 64-bit integer finalizer (good avalanche).
+inline uint64_t HashInt(uint64_t x) {
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdULL;
+  x ^= x >> 33;
+  x *= 0xc4ceb9fe1a85ec53ULL;
+  x ^= x >> 33;
+  return x;
+}
+
+/// \brief Combines two hashes (boost::hash_combine recipe, 64-bit).
+inline uint64_t HashCombine(uint64_t a, uint64_t b) {
+  return a ^ (b + 0x9e3779b97f4a7c15ULL + (a << 12) + (a >> 4));
+}
+
+}  // namespace gisql

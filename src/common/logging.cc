@@ -1,0 +1,28 @@
+#include "common/logging.h"
+
+namespace gisql {
+
+Logger& Logger::Instance() {
+  static Logger logger;
+  return logger;
+}
+
+const char* LogLevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kTrace: return "TRACE";
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF";
+  }
+  return "?";
+}
+
+void Logger::Log(LogLevel level, const std::string& msg) {
+  if (static_cast<int>(level) < static_cast<int>(level_)) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  std::cerr << LogLevelName(level) << " " << msg << "\n";
+}
+
+}  // namespace gisql

@@ -1,0 +1,60 @@
+/// \file metrics.h
+/// \brief Lightweight named counters/gauges used for experiment accounting
+/// (bytes shipped, messages, rows produced, simulated time, ...).
+
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+
+namespace gisql {
+
+/// \brief A registry of named monotonic counters and last-value gauges.
+///
+/// Thread-safe. Each GlobalSystem / SimNetwork owns its own registry so
+/// experiments can be accounted independently.
+class MetricsRegistry {
+ public:
+  void Add(const std::string& name, int64_t delta) {
+    std::lock_guard<std::mutex> lock(mu_);
+    counters_[name] += delta;
+  }
+
+  void Set(const std::string& name, double value) {
+    std::lock_guard<std::mutex> lock(mu_);
+    gauges_[name] = value;
+  }
+
+  int64_t Get(const std::string& name) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = counters_.find(name);
+    return it == counters_.end() ? 0 : it->second;
+  }
+
+  double GetGauge(const std::string& name) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = gauges_.find(name);
+    return it == gauges_.end() ? 0.0 : it->second;
+  }
+
+  void Reset() {
+    std::lock_guard<std::mutex> lock(mu_);
+    counters_.clear();
+    gauges_.clear();
+  }
+
+  /// \brief Snapshot of all counters (for reporting).
+  std::map<std::string, int64_t> Counters() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return counters_;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, int64_t> counters_;
+  std::map<std::string, double> gauges_;
+};
+
+}  // namespace gisql

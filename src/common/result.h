@@ -1,0 +1,72 @@
+/// \file result.h
+/// \brief Result<T>: a value-or-Status container (cf. arrow::Result).
+
+#pragma once
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace gisql {
+
+/// \brief Holds either a successfully produced T or an error Status.
+///
+/// A Result constructed from an OK status is a programming error; it is
+/// converted into an Internal error to keep the invariant "has value XOR
+/// has error" intact.
+template <typename T>
+class Result {
+ public:
+  /// Constructs an errored result.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT implicit
+    if (status_.ok()) {
+      status_ = Status::Internal("Result constructed with OK status");
+    }
+  }
+
+  /// Constructs a successful result.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT implicit
+
+  Result(const Result&) = default;
+  Result(Result&&) noexcept = default;
+  Result& operator=(const Result&) = default;
+  Result& operator=(Result&&) noexcept = default;
+
+  bool ok() const { return value_.has_value(); }
+
+  /// \brief The error status, or OK when a value is held.
+  const Status& status() const& { return status_; }
+
+  /// \brief Access the value; requires ok().
+  const T& ValueUnsafe() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& ValueUnsafe() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& ValueUnsafe() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return ValueUnsafe(); }
+  T& operator*() & { return ValueUnsafe(); }
+  T&& operator*() && { return std::move(*this).ValueUnsafe(); }
+  const T* operator->() const { return &ValueUnsafe(); }
+  T* operator->() { return &ValueUnsafe(); }
+
+  /// \brief Moves the value out, or returns `alternative` on error.
+  T ValueOr(T alternative) && {
+    return ok() ? std::move(*value_) : std::move(alternative);
+  }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace gisql

@@ -1,0 +1,36 @@
+#include "common/rng.h"
+
+#include <cmath>
+
+namespace gisql {
+
+namespace {
+double Zeta(int64_t n, double theta) {
+  double sum = 0.0;
+  for (int64_t i = 1; i <= n; ++i) sum += 1.0 / std::pow(static_cast<double>(i), theta);
+  return sum;
+}
+}  // namespace
+
+int64_t Rng::Zipf(int64_t n, double theta) {
+  if (n <= 1) return 1;
+  if (theta <= 0.0) return Uniform(1, n);
+  if (n != zipf_n_ || theta != zipf_theta_) {
+    zipf_n_ = n;
+    zipf_theta_ = theta;
+    zipf_zetan_ = Zeta(n, theta);
+    zipf_alpha_ = 1.0 / (1.0 - theta);
+    const double zeta2 = Zeta(2, theta);
+    zipf_eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n), 1.0 - theta)) /
+                (1.0 - zeta2 / zipf_zetan_);
+  }
+  const double u = NextDouble();
+  const double uz = u * zipf_zetan_;
+  if (uz < 1.0) return 1;
+  if (uz < 1.0 + std::pow(0.5, theta)) return 2;
+  return 1 + static_cast<int64_t>(static_cast<double>(n) *
+                                  std::pow(zipf_eta_ * u - zipf_eta_ + 1.0,
+                                           zipf_alpha_));
+}
+
+}  // namespace gisql

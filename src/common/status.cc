@@ -1,0 +1,33 @@
+#include "common/status.h"
+
+namespace gisql {
+
+const char* StatusCodeToString(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk: return "OK";
+    case StatusCode::kInvalidArgument: return "InvalidArgument";
+    case StatusCode::kNotFound: return "NotFound";
+    case StatusCode::kAlreadyExists: return "AlreadyExists";
+    case StatusCode::kNotImplemented: return "NotImplemented";
+    case StatusCode::kIOError: return "IOError";
+    case StatusCode::kParseError: return "ParseError";
+    case StatusCode::kBindError: return "BindError";
+    case StatusCode::kPlanError: return "PlanError";
+    case StatusCode::kExecutionError: return "ExecutionError";
+    case StatusCode::kCapabilityError: return "CapabilityError";
+    case StatusCode::kNetworkError: return "NetworkError";
+    case StatusCode::kSerializationError: return "SerializationError";
+    case StatusCode::kInternal: return "Internal";
+  }
+  return "Unknown";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out = StatusCodeToString(code());
+  out += ": ";
+  out += message();
+  return out;
+}
+
+}  // namespace gisql

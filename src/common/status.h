@@ -1,0 +1,172 @@
+/// \file status.h
+/// \brief Arrow/RocksDB-style Status error model used throughout gisql.
+///
+/// Core code paths do not throw exceptions; fallible functions return
+/// Status (or Result<T>, see result.h) and callers propagate with the
+/// GISQL_RETURN_NOT_OK / GISQL_ASSIGN_OR_RETURN macros.
+
+#pragma once
+
+#include <memory>
+#include <sstream>
+#include <string>
+#include <utility>
+
+namespace gisql {
+
+/// \brief Machine-readable classification of an error.
+enum class StatusCode : char {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kAlreadyExists = 3,
+  kNotImplemented = 4,
+  kIOError = 5,
+  kParseError = 6,
+  kBindError = 7,
+  kPlanError = 8,
+  kExecutionError = 9,
+  kCapabilityError = 10,
+  kNetworkError = 11,
+  kSerializationError = 12,
+  kInternal = 13,
+};
+
+/// \brief Returns a human-readable name for a status code.
+const char* StatusCodeToString(StatusCode code);
+
+/// \brief A success-or-error outcome carrying a code and message.
+///
+/// An OK status stores no heap state; error states allocate a small
+/// payload. Copyable and cheap to move.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() noexcept = default;
+
+  Status(StatusCode code, std::string msg) {
+    if (code != StatusCode::kOk) {
+      state_ = std::make_shared<State>(State{code, std::move(msg)});
+    }
+  }
+
+  /// \brief True iff this status represents success.
+  bool ok() const noexcept { return state_ == nullptr; }
+
+  StatusCode code() const noexcept {
+    return state_ ? state_->code : StatusCode::kOk;
+  }
+
+  const std::string& message() const {
+    static const std::string kEmpty;
+    return state_ ? state_->msg : kEmpty;
+  }
+
+  /// \brief Renders "<CodeName>: <message>" (or "OK").
+  std::string ToString() const;
+
+  bool IsInvalidArgument() const { return code() == StatusCode::kInvalidArgument; }
+  bool IsNotFound() const { return code() == StatusCode::kNotFound; }
+  bool IsAlreadyExists() const { return code() == StatusCode::kAlreadyExists; }
+  bool IsNotImplemented() const { return code() == StatusCode::kNotImplemented; }
+  bool IsIOError() const { return code() == StatusCode::kIOError; }
+  bool IsParseError() const { return code() == StatusCode::kParseError; }
+  bool IsBindError() const { return code() == StatusCode::kBindError; }
+  bool IsPlanError() const { return code() == StatusCode::kPlanError; }
+  bool IsExecutionError() const { return code() == StatusCode::kExecutionError; }
+  bool IsCapabilityError() const { return code() == StatusCode::kCapabilityError; }
+  bool IsNetworkError() const { return code() == StatusCode::kNetworkError; }
+  bool IsSerializationError() const { return code() == StatusCode::kSerializationError; }
+  bool IsInternal() const { return code() == StatusCode::kInternal; }
+
+  static Status OK() { return Status(); }
+
+  /// \brief Factory helpers; each accepts a stream of message parts.
+  template <typename... Args>
+  static Status InvalidArgument(Args&&... args) {
+    return Make(StatusCode::kInvalidArgument, std::forward<Args>(args)...);
+  }
+  template <typename... Args>
+  static Status NotFound(Args&&... args) {
+    return Make(StatusCode::kNotFound, std::forward<Args>(args)...);
+  }
+  template <typename... Args>
+  static Status AlreadyExists(Args&&... args) {
+    return Make(StatusCode::kAlreadyExists, std::forward<Args>(args)...);
+  }
+  template <typename... Args>
+  static Status NotImplemented(Args&&... args) {
+    return Make(StatusCode::kNotImplemented, std::forward<Args>(args)...);
+  }
+  template <typename... Args>
+  static Status IOError(Args&&... args) {
+    return Make(StatusCode::kIOError, std::forward<Args>(args)...);
+  }
+  template <typename... Args>
+  static Status ParseError(Args&&... args) {
+    return Make(StatusCode::kParseError, std::forward<Args>(args)...);
+  }
+  template <typename... Args>
+  static Status BindError(Args&&... args) {
+    return Make(StatusCode::kBindError, std::forward<Args>(args)...);
+  }
+  template <typename... Args>
+  static Status PlanError(Args&&... args) {
+    return Make(StatusCode::kPlanError, std::forward<Args>(args)...);
+  }
+  template <typename... Args>
+  static Status ExecutionError(Args&&... args) {
+    return Make(StatusCode::kExecutionError, std::forward<Args>(args)...);
+  }
+  template <typename... Args>
+  static Status CapabilityError(Args&&... args) {
+    return Make(StatusCode::kCapabilityError, std::forward<Args>(args)...);
+  }
+  template <typename... Args>
+  static Status NetworkError(Args&&... args) {
+    return Make(StatusCode::kNetworkError, std::forward<Args>(args)...);
+  }
+  template <typename... Args>
+  static Status SerializationError(Args&&... args) {
+    return Make(StatusCode::kSerializationError, std::forward<Args>(args)...);
+  }
+  template <typename... Args>
+  static Status Internal(Args&&... args) {
+    return Make(StatusCode::kInternal, std::forward<Args>(args)...);
+  }
+
+ private:
+  struct State {
+    StatusCode code;
+    std::string msg;
+  };
+
+  template <typename... Args>
+  static Status Make(StatusCode code, Args&&... args) {
+    std::ostringstream oss;
+    (oss << ... << std::forward<Args>(args));
+    return Status(code, oss.str());
+  }
+
+  std::shared_ptr<State> state_;
+};
+
+}  // namespace gisql
+
+/// Propagates a non-OK Status to the caller.
+#define GISQL_RETURN_NOT_OK(expr)                \
+  do {                                           \
+    ::gisql::Status _st = (expr);                \
+    if (!_st.ok()) return _st;                   \
+  } while (false)
+
+#define GISQL_CONCAT_IMPL(a, b) a##b
+#define GISQL_CONCAT(a, b) GISQL_CONCAT_IMPL(a, b)
+
+/// Evaluates a Result<T> expression; on error returns the Status,
+/// otherwise binds the value to `lhs`.
+#define GISQL_ASSIGN_OR_RETURN(lhs, rexpr)                        \
+  auto GISQL_CONCAT(_res_, __LINE__) = (rexpr);                   \
+  if (!GISQL_CONCAT(_res_, __LINE__).ok())                        \
+    return GISQL_CONCAT(_res_, __LINE__).status();                \
+  lhs = std::move(GISQL_CONCAT(_res_, __LINE__)).ValueUnsafe()

@@ -1,0 +1,39 @@
+/// \file string_util.h
+/// \brief Small string helpers used by the SQL front end and printers.
+
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace gisql {
+
+/// \brief ASCII-lowercases a copy of `s`.
+std::string ToLower(std::string_view s);
+
+/// \brief ASCII-uppercases a copy of `s`.
+std::string ToUpper(std::string_view s);
+
+/// \brief Case-insensitive ASCII equality.
+bool EqualsIgnoreCase(std::string_view a, std::string_view b);
+
+/// \brief Joins `parts` with `sep`.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// \brief Splits on a single-character delimiter; keeps empty fields.
+std::vector<std::string> Split(std::string_view s, char delim);
+
+/// \brief Trims ASCII whitespace from both ends.
+std::string_view Trim(std::string_view s);
+
+/// \brief True if `s` starts with `prefix`.
+bool StartsWith(std::string_view s, std::string_view prefix);
+
+/// \brief SQL LIKE pattern match ('%' = any run, '_' = any one char).
+bool LikeMatch(std::string_view value, std::string_view pattern);
+
+/// \brief Renders a byte count as e.g. "1.21 MiB".
+std::string HumanBytes(uint64_t bytes);
+
+}  // namespace gisql

@@ -1,0 +1,323 @@
+#include "core/global_system.h"
+
+#include <set>
+
+#include "common/bytes.h"
+#include "planner/cost_model.h"
+#include "planner/decomposer.h"
+#include "planner/logical_planner.h"
+#include "planner/optimizer.h"
+#include "sql/parser.h"
+#include "wire/protocol.h"
+#include "wire/serde.h"
+
+namespace gisql {
+
+GlobalSystem::GlobalSystem(PlannerOptions options)
+    : options_(options) {}
+
+Result<ComponentSource*> GlobalSystem::CreateSource(const std::string& name,
+                                                    SourceDialect dialect) {
+  auto source = std::make_shared<ComponentSource>(name, dialect);
+  GISQL_RETURN_NOT_OK(network_.RegisterHost(name, source.get()));
+  SourceInfo info;
+  info.name = name;
+  info.dialect = dialect;
+  info.capabilities = source->capabilities();
+  Status st = catalog_.RegisterSource(std::move(info));
+  if (!st.ok()) {
+    (void)network_.UnregisterHost(name);
+    return st;
+  }
+  sources_.push_back(source);
+  return source.get();
+}
+
+Result<ComponentSource*> GlobalSystem::GetSource(
+    const std::string& name) const {
+  for (const auto& s : sources_) {
+    if (s->name() == name) return s.get();
+  }
+  return Status::NotFound("source '", name, "' does not exist");
+}
+
+Status GlobalSystem::ImportTable(const std::string& source_name,
+                                 const std::string& exported_name,
+                                 const std::string& global_name) {
+  // Schema over the wire.
+  ByteWriter req;
+  req.PutString(exported_name);
+  GISQL_ASSIGN_OR_RETURN(
+      RpcResult schema_rpc,
+      network_.Call(kMediatorHost, source_name,
+                    static_cast<uint8_t>(wire::Opcode::kGetSchema),
+                    req.data()));
+  ByteReader schema_reader(schema_rpc.payload);
+  GISQL_ASSIGN_OR_RETURN(Schema schema, wire::ReadSchema(&schema_reader));
+
+  // Statistics over the wire.
+  GISQL_ASSIGN_OR_RETURN(
+      RpcResult stats_rpc,
+      network_.Call(kMediatorHost, source_name,
+                    static_cast<uint8_t>(wire::Opcode::kGetStats),
+                    req.data()));
+  ByteReader stats_reader(stats_rpc.payload);
+  GISQL_ASSIGN_OR_RETURN(TableStats stats,
+                         wire::ReadTableStats(&stats_reader));
+
+  TableMapping mapping;
+  mapping.global_name = global_name;
+  mapping.source_name = source_name;
+  mapping.exported_name = exported_name;
+  mapping.schema =
+      std::make_shared<Schema>(schema.WithQualifier(global_name));
+  mapping.stats = std::move(stats);
+  return catalog_.RegisterTable(std::move(mapping));
+}
+
+Status GlobalSystem::ImportSource(const std::string& source_name) {
+  GISQL_ASSIGN_OR_RETURN(
+      RpcResult rpc,
+      network_.Call(kMediatorHost, source_name,
+                    static_cast<uint8_t>(wire::Opcode::kListTables), {}));
+  ByteReader reader(rpc.payload);
+  GISQL_ASSIGN_OR_RETURN(uint64_t n, reader.GetVarint());
+  for (uint64_t i = 0; i < n; ++i) {
+    GISQL_ASSIGN_OR_RETURN(std::string table, reader.GetString());
+    std::string global_name = table;
+    if (catalog_.HasTable(global_name) || catalog_.HasView(global_name)) {
+      global_name = source_name + "_" + table;
+    }
+    GISQL_RETURN_NOT_OK(ImportTable(source_name, table, global_name));
+  }
+  return Status::OK();
+}
+
+Status GlobalSystem::RefreshStats(const std::string& global_name) {
+  GISQL_ASSIGN_OR_RETURN(const TableMapping* mapping,
+                         catalog_.GetTable(global_name));
+  ByteWriter req;
+  req.PutString(mapping->exported_name);
+  GISQL_ASSIGN_OR_RETURN(
+      RpcResult rpc,
+      network_.Call(kMediatorHost, mapping->source_name,
+                    static_cast<uint8_t>(wire::Opcode::kGetStats),
+                    req.data()));
+  ByteReader reader(rpc.payload);
+  GISQL_ASSIGN_OR_RETURN(TableStats stats, wire::ReadTableStats(&reader));
+  // Fresh statistics signal the source's data may have changed.
+  if (cache_) cache_->InvalidateSource(mapping->source_name);
+  return catalog_.UpdateStats(global_name, std::move(stats));
+}
+
+Status GlobalSystem::CreateUnionView(const std::string& name,
+                                     const std::vector<std::string>& members) {
+  return catalog_.CreateUnionView(name, members);
+}
+
+Status GlobalSystem::CreateReplicatedView(
+    const std::string& name, const std::vector<std::string>& members) {
+  return catalog_.CreateReplicatedView(name, members);
+}
+
+Status GlobalSystem::ExecuteAt(const std::string& source_name,
+                               const std::string& sql) {
+  ByteWriter req;
+  req.PutString(sql);
+  GISQL_ASSIGN_OR_RETURN(
+      RpcResult rpc,
+      network_.Call(kMediatorHost, source_name,
+                    static_cast<uint8_t>(wire::Opcode::kAdminSql),
+                    req.data()));
+  (void)rpc;
+  // The mediator just changed this source: drop dependent cache entries.
+  if (cache_) cache_->InvalidateSource(source_name);
+  return Status::OK();
+}
+
+Status GlobalSystem::ExecuteAtomically(
+    const std::vector<GlobalWrite>& writes) {
+  if (writes.empty()) return Status::OK();
+  static int64_t txn_counter = 0;
+  const std::string txn_id = "gtxn-" + std::to_string(++txn_counter);
+
+  auto call = [&](const std::string& source, wire::Opcode op,
+                  const std::string& sql) -> Status {
+    ByteWriter req;
+    req.PutString(txn_id);
+    if (op == wire::Opcode::kTxnPrepare) req.PutString(sql);
+    Result<RpcResult> rpc = network_.Call(
+        kMediatorHost, source, static_cast<uint8_t>(op), req.data());
+    return rpc.status();
+  };
+
+  // Phase 1: prepare everywhere; on any failure, abort everyone we
+  // reached (abort is idempotent, so aborting non-prepared hosts is
+  // harmless).
+  std::set<std::string> participants;
+  for (const auto& w : writes) participants.insert(w.source);
+  for (const auto& w : writes) {
+    Status st = call(w.source, wire::Opcode::kTxnPrepare, w.sql);
+    if (!st.ok()) {
+      for (const auto& p : participants) {
+        (void)call(p, wire::Opcode::kTxnAbort, "");
+      }
+      return Status(st.code(),
+                    "global transaction aborted: prepare failed at '" +
+                        w.source + "': " + st.message());
+    }
+  }
+
+  // Phase 2: commit. Failures here leave the classic in-doubt state.
+  std::string in_doubt;
+  for (const auto& p : participants) {
+    Status st = call(p, wire::Opcode::kTxnCommit, "");
+    if (!st.ok()) {
+      if (!in_doubt.empty()) in_doubt += ", ";
+      in_doubt += "'" + p + "' (" + st.message() + ")";
+    }
+    if (cache_) cache_->InvalidateSource(p);
+  }
+  if (!in_doubt.empty()) {
+    return Status::Internal(
+        "global transaction ", txn_id,
+        " is in doubt: commit could not be delivered to ", in_doubt,
+        "; staged rows remain there until the source is reachable and "
+        "the commit is re-sent or aborted");
+  }
+  return Status::OK();
+}
+
+void GlobalSystem::EnableResultCache(size_t max_entries) {
+  cache_ = std::make_unique<QueryCache>(max_entries);
+}
+
+void GlobalSystem::DisableResultCache() { cache_.reset(); }
+
+Result<PlanNodePtr> GlobalSystem::PlanQuery(
+    const sql::SelectStmt& stmt) const {
+  LogicalPlanner planner(catalog_);
+  GISQL_ASSIGN_OR_RETURN(PlanNodePtr plan, planner.Plan(stmt));
+
+  CostParams params;
+  params.link = network_.default_link();
+  params.mediator_cpu_us_per_row = options_.mediator_cpu_us_per_row;
+  CostModel cost(catalog_, params);
+
+  Optimizer optimizer(catalog_, options_, &cost);
+  GISQL_ASSIGN_OR_RETURN(plan, optimizer.Optimize(std::move(plan)));
+
+  Decomposer decomposer(catalog_, options_, &cost);
+  return decomposer.Decompose(std::move(plan));
+}
+
+Result<std::string> GlobalSystem::Explain(const std::string& sql) {
+  GISQL_ASSIGN_OR_RETURN(sql::Statement stmt, sql::ParseStatement(sql));
+  if (stmt.select == nullptr) {
+    return Status::InvalidArgument("EXPLAIN requires a SELECT statement");
+  }
+  GISQL_ASSIGN_OR_RETURN(PlanNodePtr plan, PlanQuery(*stmt.select));
+  return plan->Explain();
+}
+
+Result<QueryResult> GlobalSystem::Query(const std::string& sql) {
+  GISQL_ASSIGN_OR_RETURN(sql::Statement stmt, sql::ParseStatement(sql));
+  switch (stmt.kind) {
+    case sql::Statement::Kind::kExplain: {
+      GISQL_ASSIGN_OR_RETURN(PlanNodePtr plan, PlanQuery(*stmt.select));
+      auto schema = std::make_shared<Schema>(
+          std::vector<Field>{{"plan", TypeId::kString}});
+      QueryResult result;
+      result.batch = RowBatch(schema);
+      result.batch.Append({Value::String(plan->Explain())});
+      result.metrics.plan_text = plan->Explain();
+      return result;
+    }
+    case sql::Statement::Kind::kExplainAnalyze: {
+      GISQL_ASSIGN_OR_RETURN(PlanNodePtr plan, PlanQuery(*stmt.select));
+      ExecContext ctx;
+      ctx.net = &network_;
+      ctx.mediator_host = kMediatorHost;
+      ctx.mediator_cpu_us_per_row = options_.mediator_cpu_us_per_row;
+      ctx.semijoin_max_keys = options_.semijoin_max_keys;
+      ctx.parallel_execution = options_.parallel_execution;
+      ctx.record_actuals = true;
+      Executor executor(ctx);
+      GISQL_ASSIGN_OR_RETURN(ExecOutput out, executor.Execute(plan));
+      auto schema = std::make_shared<Schema>(
+          std::vector<Field>{{"plan", TypeId::kString}});
+      QueryResult result;
+      result.batch = RowBatch(schema);
+      std::string text = plan->Explain();
+      text += "Total: " + std::to_string(out.batch.num_rows()) +
+              " row(s) in " + std::to_string(out.elapsed_ms) +
+              " simulated ms\n";
+      result.batch.Append({Value::String(text)});
+      result.metrics.plan_text = text;
+      result.metrics.elapsed_ms = out.elapsed_ms;
+      return result;
+    }
+    case sql::Statement::Kind::kSelect:
+      break;
+    default:
+      return Status::InvalidArgument(
+          "the mediator accepts SELECT/EXPLAIN; DDL and DML run at the "
+          "component sources");
+  }
+
+  GISQL_ASSIGN_OR_RETURN(PlanNodePtr plan, PlanQuery(*stmt.select));
+
+  // Result cache: the decomposed plan's canonical text identifies the
+  // computation (fragments, strategies, planner options all shape it).
+  const std::string cache_key = cache_ ? plan->Explain() : std::string();
+  if (cache_) {
+    if (auto cached = cache_->Lookup(cache_key)) {
+      QueryResult result;
+      result.batch = std::move(cached->batch);
+      result.metrics.elapsed_ms = 0.0;  // served locally
+      result.metrics.plan_text = cache_key + "(cache hit)\n";
+      return result;
+    }
+  }
+
+  const int64_t sent_before = network_.metrics().Get("net.bytes_sent");
+  const int64_t recv_before = network_.metrics().Get("net.bytes_received");
+  const int64_t msgs_before = network_.metrics().Get("net.messages");
+
+  ExecContext ctx;
+  ctx.net = &network_;
+  ctx.mediator_host = kMediatorHost;
+  ctx.mediator_cpu_us_per_row = options_.mediator_cpu_us_per_row;
+  ctx.semijoin_max_keys = options_.semijoin_max_keys;
+  ctx.parallel_execution = options_.parallel_execution;
+  Executor executor(ctx);
+  GISQL_ASSIGN_OR_RETURN(ExecOutput out, executor.Execute(plan));
+
+  QueryResult result;
+  result.batch = std::move(out.batch);
+  result.metrics.elapsed_ms = out.elapsed_ms;
+  result.metrics.bytes_sent =
+      network_.metrics().Get("net.bytes_sent") - sent_before;
+  result.metrics.bytes_received =
+      network_.metrics().Get("net.bytes_received") - recv_before;
+  result.metrics.messages =
+      network_.metrics().Get("net.messages") - msgs_before;
+  result.metrics.plan_text = plan->Explain();
+
+  if (cache_) {
+    std::set<std::string> sources;
+    VisitPlan(plan, [&](const PlanNodePtr& node) {
+      if (node->kind == PlanKind::kRemoteFragment) {
+        sources.insert(node->fragment_source);
+        for (const auto& alt : node->scan_alternates) {
+          sources.insert(alt.source);
+        }
+      }
+    });
+    cache_->Insert(cache_key, result.batch, result.metrics.elapsed_ms,
+                   std::move(sources));
+  }
+  return result;
+}
+
+}  // namespace gisql

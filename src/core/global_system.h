@@ -1,0 +1,161 @@
+/// \file global_system.h
+/// \brief The public API of gisql: a Global Information System mediator.
+///
+/// A GlobalSystem hosts a simulated network, a set of autonomous
+/// component information systems, and the mediator stack (catalog,
+/// planner, optimizer, decomposer, executor). Typical use:
+///
+/// \code
+///   GlobalSystem gis;
+///   auto* hq = *gis.CreateSource("hq", SourceDialect::kRelational);
+///   hq->ExecuteLocalSql("CREATE TABLE orders (id bigint, total double)");
+///   hq->ExecuteLocalSql("INSERT INTO orders VALUES (1, 9.5)");
+///   gis.ImportSource("hq");
+///   auto result = gis.Query("SELECT total FROM orders WHERE id = 1");
+///   std::cout << result->batch.ToString();
+/// \endcode
+
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "core/query_cache.h"
+#include "exec/executor.h"
+#include "net/sim_network.h"
+#include "planner/options.h"
+#include "planner/plan.h"
+#include "source/component_source.h"
+#include "sql/ast.h"
+
+namespace gisql {
+
+/// \brief Per-query accounting (all values from the simulation, fully
+/// deterministic).
+struct QueryMetrics {
+  double elapsed_ms = 0.0;      ///< simulated end-to-end latency
+  int64_t bytes_sent = 0;       ///< mediator → sources
+  int64_t bytes_received = 0;   ///< sources → mediator
+  int64_t messages = 0;         ///< RPCs issued
+  std::string plan_text;        ///< EXPLAIN of the executed plan
+};
+
+/// \brief A query's rows plus its accounting.
+struct QueryResult {
+  RowBatch batch;
+  QueryMetrics metrics;
+};
+
+/// \brief The mediator and its world.
+class GlobalSystem {
+ public:
+  explicit GlobalSystem(PlannerOptions options = PlannerOptions());
+
+  /// \name Topology
+  /// @{
+
+  /// \brief Creates a component source, registers it on the network,
+  /// and records it in the catalog. The GlobalSystem owns the source;
+  /// the returned pointer stays valid for the system's lifetime.
+  Result<ComponentSource*> CreateSource(const std::string& name,
+                                        SourceDialect dialect);
+
+  /// \brief The source previously created under `name`.
+  Result<ComponentSource*> GetSource(const std::string& name) const;
+
+  SimNetwork& network() { return network_; }
+  Catalog& catalog() { return catalog_; }
+  /// @}
+
+  /// \name Schema integration
+  /// @{
+
+  /// \brief Imports every exported table of `source_name` over the
+  /// protocol (schema + statistics). Global names default to the
+  /// exported names; on conflict, "<source>_<table>".
+  Status ImportSource(const std::string& source_name);
+
+  /// \brief Imports one table under an explicit global name.
+  Status ImportTable(const std::string& source_name,
+                     const std::string& exported_name,
+                     const std::string& global_name);
+
+  /// \brief Re-fetches statistics for a registered global table.
+  Status RefreshStats(const std::string& global_name);
+
+  /// \brief Defines a union-compatible global view (partitioned entity
+  /// across sources; queries read every member).
+  Status CreateUnionView(const std::string& name,
+                         const std::vector<std::string>& members);
+
+  /// \brief Defines a replicated view: each member holds a full copy.
+  /// Queries read the cheapest replica and fail over to the others when
+  /// its source is unreachable.
+  Status CreateReplicatedView(const std::string& name,
+                              const std::vector<std::string>& members);
+
+  /// \brief Ships DDL/DML to a source over the admin channel of the
+  /// wire protocol (the network-visible alternative to calling
+  /// ComponentSource::ExecuteLocalSql in-process).
+  Status ExecuteAt(const std::string& source_name, const std::string& sql);
+
+  /// \brief One statement of a global transaction.
+  struct GlobalWrite {
+    std::string source;  ///< destination host
+    std::string sql;     ///< INSERT statement
+  };
+
+  /// \brief Atomically applies INSERTs across multiple autonomous
+  /// sources via two-phase commit over the wire protocol.
+  ///
+  /// Phase 1 PREPAREs (parse + full validation + staging) every
+  /// statement; any failure aborts all participants and nothing is
+  /// applied. Phase 2 COMMITs. If a participant becomes unreachable
+  /// *between* the phases the transaction is left in the classic 2PC
+  /// in-doubt state: committed participants keep their rows, the
+  /// unreachable one still holds its staged rows, and the returned
+  /// Internal error names it so the operator can resolve (re-send
+  /// COMMIT via the wire, or abort at the source).
+  Status ExecuteAtomically(const std::vector<GlobalWrite>& writes);
+  /// @}
+
+  /// \name Querying
+  /// @{
+
+  /// \brief Parses, plans, optimizes, decomposes, and executes a SELECT
+  /// (or EXPLAIN SELECT) against the global schema.
+  Result<QueryResult> Query(const std::string& sql);
+
+  /// \brief The decomposed plan's EXPLAIN text, without executing.
+  Result<std::string> Explain(const std::string& sql);
+
+  /// \brief Full planning pipeline; exposed for tests and tooling.
+  Result<PlanNodePtr> PlanQuery(const sql::SelectStmt& stmt) const;
+  /// @}
+
+  void set_options(const PlannerOptions& options) { options_ = options; }
+  const PlannerOptions& options() const { return options_; }
+
+  /// \name Result caching (off by default — see core/query_cache.h for
+  /// the autonomy staleness caveat)
+  /// @{
+  void EnableResultCache(size_t max_entries = 128);
+  void DisableResultCache();
+  /// \brief The cache, or nullptr when disabled (for stats/invalidation).
+  QueryCache* result_cache() { return cache_.get(); }
+  /// @}
+
+  /// \brief Mediator host name on the simulated network.
+  static constexpr const char* kMediatorHost = "mediator";
+
+ private:
+  PlannerOptions options_;
+  SimNetwork network_;
+  Catalog catalog_;
+  std::vector<ComponentSourcePtr> sources_;
+  std::unique_ptr<QueryCache> cache_;
+};
+
+}  // namespace gisql

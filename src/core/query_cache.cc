@@ -1,0 +1,55 @@
+#include "core/query_cache.h"
+
+namespace gisql {
+
+std::optional<QueryCache::CachedResult> QueryCache::Lookup(
+    const std::string& key) {
+  auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    ++misses_;
+    return std::nullopt;
+  }
+  ++hits_;
+  lru_.erase(it->second.lru_pos);
+  lru_.push_front(key);
+  it->second.lru_pos = lru_.begin();
+  return it->second.result;
+}
+
+void QueryCache::Insert(const std::string& key, RowBatch batch,
+                        double elapsed_ms, std::set<std::string> sources) {
+  auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    lru_.erase(it->second.lru_pos);
+    entries_.erase(it);
+  }
+  while (entries_.size() >= max_entries_) {
+    entries_.erase(lru_.back());
+    lru_.pop_back();
+  }
+  lru_.push_front(key);
+  Entry entry;
+  entry.result.batch = std::move(batch);
+  entry.result.original_elapsed_ms = elapsed_ms;
+  entry.sources = std::move(sources);
+  entry.lru_pos = lru_.begin();
+  entries_.emplace(key, std::move(entry));
+}
+
+void QueryCache::InvalidateSource(const std::string& source) {
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    if (it->second.sources.count(source)) {
+      lru_.erase(it->second.lru_pos);
+      it = entries_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void QueryCache::Clear() {
+  entries_.clear();
+  lru_.clear();
+}
+
+}  // namespace gisql

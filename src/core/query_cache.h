@@ -1,0 +1,69 @@
+/// \file query_cache.h
+/// \brief LRU result cache at the mediator, keyed by the decomposed
+/// plan's canonical text.
+///
+/// Autonomy caveat (inherent to the 1989 architecture): component
+/// systems may change their data without telling the mediator, so a
+/// result cache can serve stale rows. The cache is therefore *off by
+/// default*; when enabled, entries are invalidated whenever the
+/// mediator itself touches a source (admin channel, statistics
+/// refresh), and the owner may call Clear()/InvalidateSource() on
+/// external signals.
+
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <optional>
+#include <set>
+#include <string>
+#include <unordered_map>
+
+#include "types/row.h"
+
+namespace gisql {
+
+class QueryCache {
+ public:
+  explicit QueryCache(size_t max_entries = 128)
+      : max_entries_(max_entries == 0 ? 1 : max_entries) {}
+
+  struct CachedResult {
+    RowBatch batch;
+    double original_elapsed_ms = 0.0;
+  };
+
+  /// \brief Returns the cached result for `key` and refreshes its LRU
+  /// position, or nullopt.
+  std::optional<CachedResult> Lookup(const std::string& key);
+
+  /// \brief Stores a result under `key`, recording the set of sources
+  /// it was computed from (for invalidation). Evicts the least
+  /// recently used entry beyond capacity.
+  void Insert(const std::string& key, RowBatch batch, double elapsed_ms,
+              std::set<std::string> sources);
+
+  /// \brief Drops every entry computed from `source`.
+  void InvalidateSource(const std::string& source);
+
+  void Clear();
+
+  size_t size() const { return entries_.size(); }
+  int64_t hits() const { return hits_; }
+  int64_t misses() const { return misses_; }
+
+ private:
+  struct Entry {
+    CachedResult result;
+    std::set<std::string> sources;
+    std::list<std::string>::iterator lru_pos;
+  };
+
+  size_t max_entries_;
+  std::unordered_map<std::string, Entry> entries_;
+  std::list<std::string> lru_;  ///< front = most recent
+  int64_t hits_ = 0;
+  int64_t misses_ = 0;
+};
+
+}  // namespace gisql

@@ -1,0 +1,71 @@
+#include "exec/aggregate.h"
+
+namespace gisql {
+
+AggregateAccumulator::AggregateAccumulator(const BoundAggregate& spec)
+    : kind_(spec.kind),
+      distinct_(spec.distinct),
+      result_type_(spec.result_type) {
+  sum_is_double_ = spec.result_type == TypeId::kDouble ||
+                   (spec.arg && spec.arg->type == TypeId::kDouble);
+}
+
+void AggregateAccumulator::Update(const Value& v) {
+  if (kind_ == AggKind::kCountStar) {
+    ++count_;
+    return;
+  }
+  if (v.is_null()) return;  // aggregates ignore NULL inputs
+  if (distinct_) {
+    if (!seen_.insert(v).second) return;  // duplicate under DISTINCT
+  }
+  switch (kind_) {
+    case AggKind::kCountStar:
+      break;  // handled above
+    case AggKind::kCount:
+      ++count_;
+      break;
+    case AggKind::kSum:
+    case AggKind::kAvg:
+      ++count_;
+      if (sum_is_double_ || v.type() == TypeId::kDouble) {
+        sum_is_double_ = true;
+        sum_d_ += v.NumericValue();
+      } else {
+        sum_i_ += v.AsInt();
+      }
+      break;
+    case AggKind::kMin:
+      if (min_.is_null() || v.Compare(min_) < 0) min_ = v;
+      break;
+    case AggKind::kMax:
+      if (max_.is_null() || v.Compare(max_) > 0) max_ = v;
+      break;
+  }
+}
+
+Value AggregateAccumulator::Finalize() const {
+  switch (kind_) {
+    case AggKind::kCountStar:
+    case AggKind::kCount:
+      return Value::Int(count_);
+    case AggKind::kSum:
+      if (count_ == 0) return Value::Null(result_type_);
+      if (sum_is_double_) {
+        return Value::Double(sum_d_ + static_cast<double>(sum_i_));
+      }
+      return Value::Int(sum_i_);
+    case AggKind::kAvg: {
+      if (count_ == 0) return Value::Null(TypeId::kDouble);
+      const double total = sum_d_ + static_cast<double>(sum_i_);
+      return Value::Double(total / static_cast<double>(count_));
+    }
+    case AggKind::kMin:
+      return min_.is_null() ? Value::Null(result_type_) : min_;
+    case AggKind::kMax:
+      return max_.is_null() ? Value::Null(result_type_) : max_;
+  }
+  return Value::Null();
+}
+
+}  // namespace gisql

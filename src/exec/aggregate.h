@@ -1,0 +1,49 @@
+/// \file aggregate.h
+/// \brief Aggregate accumulators shared by the mediator's hash-aggregate
+/// operator and the component sources' partial aggregation.
+
+#pragma once
+
+#include <unordered_set>
+
+#include "expr/binder.h"
+#include "types/value.h"
+
+namespace gisql {
+
+/// \brief Running state of one aggregate over one group.
+class AggregateAccumulator {
+ public:
+  explicit AggregateAccumulator(const BoundAggregate& spec);
+
+  /// \brief Folds one input value in. For COUNT(*) pass any value (it is
+  /// ignored); for other aggregates NULLs are skipped per SQL.
+  void Update(const Value& v);
+
+  /// \brief Final value of the aggregate (SQL semantics: COUNT of empty
+  /// = 0, SUM/MIN/MAX/AVG of empty = NULL).
+  Value Finalize() const;
+
+ private:
+  struct ValueHash {
+    size_t operator()(const Value& v) const { return v.Hash(); }
+  };
+  struct ValueEq {
+    bool operator()(const Value& a, const Value& b) const {
+      return a.Compare(b) == 0;
+    }
+  };
+
+  AggKind kind_;
+  bool distinct_;
+  TypeId result_type_;
+  int64_t count_ = 0;
+  int64_t sum_i_ = 0;
+  double sum_d_ = 0.0;
+  bool sum_is_double_ = false;
+  Value min_;
+  Value max_;
+  std::unordered_set<Value, ValueHash, ValueEq> seen_;  ///< DISTINCT only
+};
+
+}  // namespace gisql

@@ -1,0 +1,477 @@
+#include "exec/executor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <future>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/hash.h"
+#include "common/logging.h"
+#include "exec/hash_aggregate.h"
+#include "expr/eval.h"
+#include "wire/protocol.h"
+#include "wire/serde.h"
+
+namespace gisql {
+
+Result<ExecOutput> Executor::Execute(const PlanNodePtr& plan) {
+  if (ctx_.net == nullptr) {
+    return Status::InvalidArgument("executor requires a network");
+  }
+  return Exec(*plan);
+}
+
+Result<ExecOutput> Executor::ExecFragment(const PlanNode& node,
+                                          const FragmentPlan& frag) {
+  if (frag.semijoin_column >= 0 && frag.semijoin_values.empty()) {
+    // A decomposer marker without injected keys (e.g. the plain path of
+    // a join that fell back to shipping): execute as a plain fragment.
+    FragmentPlan plain = frag;
+    plain.semijoin_column = -1;
+    return ExecFragment(node, plain);
+  }
+  Result<RpcResult> call =
+      ctx_.net->Call(ctx_.mediator_host, node.fragment_source,
+                     static_cast<uint8_t>(wire::Opcode::kExecuteFragment),
+                     wire::SerializeFragment(frag));
+  // Replica failover: on an unreachable source, retry the alternates of
+  // a replicated view in order, paying a detection timeout per dead
+  // host.
+  double failover_penalty_ms = 0.0;
+  std::string attempted = node.fragment_source;
+  for (size_t alt = 0;
+       !call.ok() && call.status().IsNetworkError() &&
+       alt < node.scan_alternates.size();
+       ++alt) {
+    failover_penalty_ms += ctx_.net->TimeoutMs(ctx_.mediator_host,
+                                               attempted);
+    GISQL_LOG(kWarn) << "source '" << attempted
+                     << "' unreachable; failing over to replica '"
+                     << node.scan_alternates[alt].source << "'";
+    FragmentPlan retry = frag;
+    retry.table = node.scan_alternates[alt].exported_name;
+    attempted = node.scan_alternates[alt].source;
+    call = ctx_.net->Call(
+        ctx_.mediator_host, attempted,
+        static_cast<uint8_t>(wire::Opcode::kExecuteFragment),
+        wire::SerializeFragment(retry));
+  }
+  GISQL_RETURN_NOT_OK(call.status());
+  RpcResult rpc = std::move(*call);
+  rpc.elapsed_ms += failover_penalty_ms;
+  ByteReader reader(rpc.payload);
+  GISQL_ASSIGN_OR_RETURN(RowBatch batch, wire::ReadBatch(&reader));
+  if (batch.schema()->num_fields() != node.output_schema->num_fields()) {
+    return Status::ExecutionError(
+        "fragment result arity ", batch.schema()->num_fields(),
+        " does not match plan arity ", node.output_schema->num_fields(),
+        " from source '", node.fragment_source, "'");
+  }
+  // Adopt the plan's (qualified) schema for downstream name resolution.
+  ExecOutput out;
+  out.batch = RowBatch(node.output_schema, std::move(batch.rows()));
+  out.elapsed_ms = rpc.elapsed_ms;
+  return out;
+}
+
+Result<ExecOutput> Executor::ExecUnionAll(const PlanNode& node) {
+  ExecOutput out;
+  out.batch = RowBatch(node.output_schema);
+  double slowest = 0.0;
+
+  // Fetch members concurrently (their simulated costs already combine
+  // as a max; the threads only buy wall-clock overlap). Results are
+  // appended in member order, so output is deterministic.
+  std::vector<Result<ExecOutput>> parts;
+  if (ctx_.parallel_execution && node.children.size() > 1) {
+    std::vector<std::future<Result<ExecOutput>>> futures;
+    futures.reserve(node.children.size());
+    for (const auto& child : node.children) {
+      futures.push_back(std::async(std::launch::async, [this, &child] {
+        return Exec(*child);
+      }));
+    }
+    for (auto& f : futures) parts.push_back(f.get());
+  } else {
+    for (const auto& child : node.children) parts.push_back(Exec(*child));
+  }
+
+  for (auto& part_result : parts) {
+    GISQL_RETURN_NOT_OK(part_result.status());
+    ExecOutput part = std::move(*part_result);
+    slowest = std::max(slowest, part.elapsed_ms);
+    const size_t width = node.output_schema->num_fields();
+    for (auto& row : part.batch.rows()) {
+      // Coerce member values to the view's column types.
+      for (size_t c = 0; c < width && c < row.size(); ++c) {
+        const TypeId want = node.output_schema->field(c).type;
+        if (!row[c].is_null() && row[c].type() != want) {
+          GISQL_ASSIGN_OR_RETURN(row[c], row[c].CastTo(want));
+        }
+      }
+      out.batch.Append(std::move(row));
+    }
+  }
+  out.elapsed_ms = slowest + CpuMs(out.batch.num_rows());
+  return out;
+}
+
+Result<ExecOutput> Executor::ExecJoin(const PlanNode& node) {
+  const PlanNode& left_node = *node.children[0];
+  const PlanNode& right_node = *node.children[1];
+  // Ship-strategy joins fetch both sides independently: overlap them on
+  // threads. Semijoin needs the left result first, so it stays serial.
+  ExecOutput left;
+  ExecOutput right;
+  bool right_done = false;
+  if (ctx_.parallel_execution &&
+      node.join_strategy == JoinStrategy::kShip) {
+    auto right_future = std::async(std::launch::async, [this, &right_node] {
+      return Exec(right_node);
+    });
+    Result<ExecOutput> left_result = Exec(left_node);
+    Result<ExecOutput> right_result = right_future.get();
+    GISQL_RETURN_NOT_OK(left_result.status());
+    GISQL_RETURN_NOT_OK(right_result.status());
+    left = std::move(*left_result);
+    right = std::move(*right_result);
+    right_done = true;
+  } else {
+    GISQL_ASSIGN_OR_RETURN(left, Exec(left_node));
+  }
+
+  bool sequential = false;
+  if (right_done) {
+    // both sides already fetched above
+  } else if (node.join_strategy == JoinStrategy::kSemijoin &&
+             !node.left_keys.empty()) {
+    // Collect distinct build-side key values.
+    struct ValueHash {
+      size_t operator()(const Value& v) const { return v.Hash(); }
+    };
+    struct ValueEq {
+      bool operator()(const Value& a, const Value& b) const {
+        return a.Compare(b) == 0;
+      }
+    };
+    std::unordered_set<Value, ValueHash, ValueEq> key_set;
+    const size_t key_col = node.left_keys[0];
+    for (const auto& row : left.batch.rows()) {
+      if (!row[key_col].is_null()) key_set.insert(row[key_col]);
+    }
+    std::vector<Value> keys(key_set.begin(), key_set.end());
+    // Deterministic key order for reproducible byte counts.
+    std::sort(keys.begin(), keys.end(),
+              [](const Value& a, const Value& b) {
+                return a.Compare(b) < 0;
+              });
+    sequential = true;  // the reduction depends on the left result
+    GISQL_ASSIGN_OR_RETURN(right, ExecSemijoinProbe(right_node, keys));
+  } else {
+    GISQL_ASSIGN_OR_RETURN(right, Exec(right_node));
+  }
+
+  // Build a hash table over the right side.
+  std::unordered_map<uint64_t, std::vector<const Row*>> table;
+  table.reserve(right.batch.num_rows());
+  auto keys_nonnull = [](const Row& row, const std::vector<size_t>& keys) {
+    for (size_t k : keys) {
+      if (row[k].is_null()) return false;
+    }
+    return true;
+  };
+  bool right_has_null_key = false;
+  for (const auto& row : right.batch.rows()) {
+    if (!keys_nonnull(row, node.right_keys)) {
+      right_has_null_key = true;
+      continue;
+    }
+    table[HashRowKeys(row, node.right_keys)].push_back(&row);
+  }
+
+  if (node.join_type == JoinType::kAnti) {
+    // Null-aware anti-join (NOT IN semantics): a NULL anywhere on the
+    // right makes every membership test UNKNOWN → nothing qualifies;
+    // NULL probes are UNKNOWN too and drop.
+    ExecOutput out;
+    out.batch = RowBatch(node.output_schema);
+    if (!right_has_null_key) {
+      for (const auto& lrow : left.batch.rows()) {
+        if (!keys_nonnull(lrow, node.left_keys)) continue;
+        auto it = table.find(HashRowKeys(lrow, node.left_keys));
+        bool matched = false;
+        if (it != table.end()) {
+          for (const Row* rrow : it->second) {
+            bool equal = true;
+            for (size_t i = 0; i < node.left_keys.size(); ++i) {
+              if (lrow[node.left_keys[i]].Compare(
+                      (*rrow)[node.right_keys[i]]) != 0) {
+                equal = false;
+                break;
+              }
+            }
+            if (equal) {
+              matched = true;
+              break;
+            }
+          }
+        }
+        if (!matched) out.batch.Append(lrow);
+      }
+    }
+    const double fetch = sequential
+                             ? left.elapsed_ms + right.elapsed_ms
+                             : std::max(left.elapsed_ms, right.elapsed_ms);
+    out.elapsed_ms = fetch + CpuMs(left.batch.num_rows() +
+                                   right.batch.num_rows());
+    return out;
+  }
+
+  ExecOutput out;
+  out.batch = RowBatch(node.output_schema);
+  const size_t right_width = right_node.output_schema->num_fields();
+  const bool cross = node.left_keys.empty();
+
+  for (const auto& lrow : left.batch.rows()) {
+    bool matched = false;
+    auto try_match = [&](const Row& rrow) -> Status {
+      Row combined = lrow;
+      combined.insert(combined.end(), rrow.begin(), rrow.end());
+      if (node.join_residual) {
+        GISQL_ASSIGN_OR_RETURN(bool keep,
+                               EvalPredicate(*node.join_residual, combined));
+        if (!keep) return Status::OK();
+      }
+      matched = true;
+      out.batch.Append(std::move(combined));
+      return Status::OK();
+    };
+    if (cross) {
+      for (const auto& rrow : right.batch.rows()) {
+        GISQL_RETURN_NOT_OK(try_match(rrow));
+      }
+    } else if (keys_nonnull(lrow, node.left_keys)) {
+      auto it = table.find(HashRowKeys(lrow, node.left_keys));
+      if (it != table.end()) {
+        for (const Row* rrow : it->second) {
+          // Verify by value (hash collisions, cross-type equality).
+          bool equal = true;
+          for (size_t i = 0; i < node.left_keys.size(); ++i) {
+            if (lrow[node.left_keys[i]].Compare(
+                    (*rrow)[node.right_keys[i]]) != 0) {
+              equal = false;
+              break;
+            }
+          }
+          if (equal) GISQL_RETURN_NOT_OK(try_match(*rrow));
+        }
+      }
+    }
+    if (!matched && node.join_type == JoinType::kLeft) {
+      Row combined = lrow;
+      for (size_t i = 0; i < right_width; ++i) {
+        combined.push_back(
+            Value::Null(right_node.output_schema->field(i).type));
+      }
+      out.batch.Append(std::move(combined));
+    }
+  }
+
+  const double fetch_ms = sequential
+                              ? left.elapsed_ms + right.elapsed_ms
+                              : std::max(left.elapsed_ms, right.elapsed_ms);
+  out.elapsed_ms = fetch_ms + CpuMs(left.batch.num_rows() +
+                                    right.batch.num_rows() +
+                                    out.batch.num_rows());
+  return out;
+}
+
+Result<ExecOutput> Executor::ApplyFilter(const PlanNode& node,
+                                         ExecOutput child) {
+  ExecOutput out;
+  out.batch = RowBatch(node.output_schema);
+  for (auto& row : child.batch.rows()) {
+    GISQL_ASSIGN_OR_RETURN(bool keep, EvalPredicate(*node.filter, row));
+    if (keep) out.batch.Append(std::move(row));
+  }
+  out.elapsed_ms = child.elapsed_ms + CpuMs(child.batch.num_rows());
+  return out;
+}
+
+Result<ExecOutput> Executor::ApplyProject(const PlanNode& node,
+                                          ExecOutput child) {
+  ExecOutput out;
+  out.batch = RowBatch(node.output_schema);
+  out.batch.Reserve(child.batch.num_rows());
+  for (const auto& row : child.batch.rows()) {
+    Row projected;
+    projected.reserve(node.projections.size());
+    for (const auto& p : node.projections) {
+      GISQL_ASSIGN_OR_RETURN(Value v, EvalExpr(*p, row));
+      projected.push_back(std::move(v));
+    }
+    out.batch.Append(std::move(projected));
+  }
+  out.elapsed_ms = child.elapsed_ms + CpuMs(child.batch.num_rows());
+  return out;
+}
+
+Result<ExecOutput> Executor::ExecSemijoinProbe(
+    const PlanNode& node, const std::vector<Value>& keys) {
+  switch (node.kind) {
+    case PlanKind::kRemoteFragment: {
+      if (node.fragment.semijoin_column < 0 ||
+          static_cast<int64_t>(keys.size()) > ctx_.semijoin_max_keys) {
+        // Unmarked fragment or too many keys: ship it whole.
+        FragmentPlan plain = node.fragment;
+        plain.semijoin_column = -1;
+        return ExecFragment(node, plain);
+      }
+      FragmentPlan reduced = node.fragment;
+      reduced.semijoin_values = keys;
+      return ExecFragment(node, reduced);
+    }
+    case PlanKind::kFilter: {
+      GISQL_ASSIGN_OR_RETURN(ExecOutput child,
+                             ExecSemijoinProbe(*node.children[0], keys));
+      return ApplyFilter(node, std::move(child));
+    }
+    case PlanKind::kProject: {
+      GISQL_ASSIGN_OR_RETURN(ExecOutput child,
+                             ExecSemijoinProbe(*node.children[0], keys));
+      return ApplyProject(node, std::move(child));
+    }
+    default:
+      // No fragment to reduce below this shape; execute normally.
+      return Exec(node);
+  }
+}
+
+Result<ExecOutput> Executor::ExecAggregate(const PlanNode& node) {
+  GISQL_ASSIGN_OR_RETURN(ExecOutput child, Exec(*node.children[0]));
+  std::vector<const Row*> rows;
+  rows.reserve(child.batch.num_rows());
+  for (const auto& row : child.batch.rows()) rows.push_back(&row);
+  GISQL_ASSIGN_OR_RETURN(
+      RowBatch out,
+      HashAggregate(rows, node.group_by, node.aggregates,
+                    node.output_schema));
+  ExecOutput result;
+  result.elapsed_ms = child.elapsed_ms + CpuMs(rows.size());
+  result.batch = std::move(out);
+  return result;
+}
+
+Result<ExecOutput> Executor::Exec(const PlanNode& node) {
+  if (!ctx_.record_actuals) return ExecImpl(node);
+  Result<ExecOutput> out = ExecImpl(node);
+  if (out.ok()) {
+    node.actual_rows = static_cast<double>(out->batch.num_rows());
+    node.actual_ms = out->elapsed_ms;
+  }
+  return out;
+}
+
+Result<ExecOutput> Executor::ExecImpl(const PlanNode& node) {
+  switch (node.kind) {
+    case PlanKind::kValues: {
+      ExecOutput out;
+      out.batch = RowBatch(node.output_schema, node.values_rows);
+      return out;
+    }
+
+    case PlanKind::kSourceScan:
+      return Status::Internal(
+          "SourceScan reached the executor; run the decomposer first");
+
+    case PlanKind::kRemoteFragment:
+      return ExecFragment(node, node.fragment);
+
+    case PlanKind::kUnionAll:
+      return ExecUnionAll(node);
+
+    case PlanKind::kFilter: {
+      GISQL_ASSIGN_OR_RETURN(ExecOutput child, Exec(*node.children[0]));
+      return ApplyFilter(node, std::move(child));
+    }
+
+    case PlanKind::kProject: {
+      GISQL_ASSIGN_OR_RETURN(ExecOutput child, Exec(*node.children[0]));
+      return ApplyProject(node, std::move(child));
+    }
+
+    case PlanKind::kJoin:
+      return ExecJoin(node);
+
+    case PlanKind::kAggregate:
+      return ExecAggregate(node);
+
+    case PlanKind::kSort: {
+      GISQL_ASSIGN_OR_RETURN(ExecOutput child, Exec(*node.children[0]));
+      auto& rows = child.batch.rows();
+      std::stable_sort(rows.begin(), rows.end(),
+                       [&](const Row& a, const Row& b) {
+                         for (size_t i = 0; i < node.sort_columns.size();
+                              ++i) {
+                           const size_t c = node.sort_columns[i];
+                           const int cmp = a[c].Compare(b[c]);
+                           if (cmp != 0) {
+                             return node.sort_ascending[i] ? cmp < 0
+                                                           : cmp > 0;
+                           }
+                         }
+                         return false;
+                       });
+      // Sorting costs ~n log n row touches.
+      const double n = static_cast<double>(rows.size());
+      child.elapsed_ms +=
+          CpuMs(static_cast<size_t>(n * std::max(1.0, std::log2(n + 1))));
+      child.batch = RowBatch(node.output_schema, std::move(rows));
+      return child;
+    }
+
+    case PlanKind::kLimit: {
+      GISQL_ASSIGN_OR_RETURN(ExecOutput child, Exec(*node.children[0]));
+      auto& rows = child.batch.rows();
+      const int64_t begin =
+          std::min<int64_t>(node.offset, static_cast<int64_t>(rows.size()));
+      int64_t end = static_cast<int64_t>(rows.size());
+      if (node.limit >= 0) {
+        end = std::min<int64_t>(end, begin + node.limit);
+      }
+      std::vector<Row> sliced(rows.begin() + begin, rows.begin() + end);
+      child.batch = RowBatch(node.output_schema, std::move(sliced));
+      return child;
+    }
+
+    case PlanKind::kDistinct: {
+      GISQL_ASSIGN_OR_RETURN(ExecOutput child, Exec(*node.children[0]));
+      // Buckets hold indexes into the output batch (stable under growth).
+      std::unordered_map<uint64_t, std::vector<size_t>> seen;
+      ExecOutput out;
+      out.batch = RowBatch(node.output_schema);
+      std::vector<size_t> all_cols(node.output_schema->num_fields());
+      for (size_t i = 0; i < all_cols.size(); ++i) all_cols[i] = i;
+      for (auto& row : child.batch.rows()) {
+        const uint64_t h = HashRowKeys(row, all_cols);
+        auto& bucket = seen[h];
+        bool duplicate = false;
+        for (size_t prev : bucket) {
+          if (CompareRowKeys(row, out.batch.rows()[prev], all_cols) == 0) {
+            duplicate = true;
+            break;
+          }
+        }
+        if (duplicate) continue;
+        bucket.push_back(out.batch.num_rows());
+        out.batch.Append(std::move(row));
+      }
+      out.elapsed_ms = child.elapsed_ms + CpuMs(child.batch.num_rows());
+      return out;
+    }
+  }
+  return Status::Internal("unreachable plan kind in executor");
+}
+
+}  // namespace gisql

@@ -1,0 +1,88 @@
+#include "exec/hash_aggregate.h"
+
+#include <unordered_map>
+
+#include "common/hash.h"
+#include "expr/eval.h"
+
+namespace gisql {
+
+Result<RowBatch> HashAggregate(const std::vector<const Row*>& rows,
+                               const std::vector<ExprPtr>& group_by,
+                               const std::vector<BoundAggregate>& aggs,
+                               SchemaPtr out_schema, int64_t limit) {
+  struct Group {
+    Row keys;
+    std::vector<AggregateAccumulator> accs;
+  };
+  // Bucketed by key hash; groups inside a bucket are verified by value
+  // so hash collisions stay correct. Insertion order is preserved for
+  // deterministic output.
+  std::unordered_map<uint64_t, std::vector<size_t>> buckets;
+  std::vector<Group> groups;
+
+  for (const Row* row : rows) {
+    Row keys;
+    keys.reserve(group_by.size());
+    for (const auto& g : group_by) {
+      GISQL_ASSIGN_OR_RETURN(Value k, EvalExpr(*g, *row));
+      keys.push_back(std::move(k));
+    }
+    uint64_t h = 0x9e3779b9;
+    for (const auto& k : keys) h = HashCombine(h, k.Hash());
+    Group* group = nullptr;
+    auto& bucket = buckets[h];
+    for (size_t gi : bucket) {
+      bool same = true;
+      for (size_t i = 0; i < keys.size(); ++i) {
+        if (keys[i].Compare(groups[gi].keys[i]) != 0) {
+          same = false;
+          break;
+        }
+      }
+      if (same) {
+        group = &groups[gi];
+        break;
+      }
+    }
+    if (group == nullptr) {
+      bucket.push_back(groups.size());
+      Group g;
+      g.keys = std::move(keys);
+      g.accs.reserve(aggs.size());
+      for (const auto& a : aggs) g.accs.emplace_back(a);
+      groups.push_back(std::move(g));
+      group = &groups.back();
+    }
+    for (size_t i = 0; i < aggs.size(); ++i) {
+      const auto& a = aggs[i];
+      if (a.kind == AggKind::kCountStar) {
+        group->accs[i].Update(Value::Int(1));
+      } else {
+        GISQL_ASSIGN_OR_RETURN(Value v, EvalExpr(*a.arg, *row));
+        group->accs[i].Update(v);
+      }
+    }
+  }
+
+  RowBatch out(std::move(out_schema));
+  out.Reserve(groups.size());
+  for (auto& g : groups) {
+    if (limit >= 0 && static_cast<int64_t>(out.num_rows()) >= limit) break;
+    Row row = std::move(g.keys);
+    for (const auto& acc : g.accs) row.push_back(acc.Finalize());
+    out.Append(std::move(row));
+  }
+  // SQL: a global aggregate over no rows still produces one row.
+  if (group_by.empty() && out.num_rows() == 0 && (limit < 0 || limit > 0)) {
+    Row row;
+    for (const auto& a : aggs) {
+      AggregateAccumulator acc(a);
+      row.push_back(acc.Finalize());
+    }
+    out.Append(std::move(row));
+  }
+  return out;
+}
+
+}  // namespace gisql

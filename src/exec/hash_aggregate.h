@@ -1,0 +1,25 @@
+/// \file hash_aggregate.h
+/// \brief Grouped aggregation shared by the mediator executor and the
+/// component sources' partial aggregation.
+
+#pragma once
+
+#include "exec/aggregate.h"
+#include "expr/expr.h"
+#include "types/row.h"
+
+namespace gisql {
+
+/// \brief Hash-aggregates `rows`: groups by `group_by` expressions and
+/// computes `aggs`, producing rows shaped [groups..., aggregates...]
+/// with schema `out_schema`.
+///
+/// A global aggregation (empty `group_by`) over zero input rows yields
+/// one row of empty-input aggregate values (COUNT=0, SUM=NULL, ...).
+/// `limit` (-1 = none) caps the number of emitted groups.
+Result<RowBatch> HashAggregate(const std::vector<const Row*>& rows,
+                               const std::vector<ExprPtr>& group_by,
+                               const std::vector<BoundAggregate>& aggs,
+                               SchemaPtr out_schema, int64_t limit = -1);
+
+}  // namespace gisql

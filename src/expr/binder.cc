@@ -1,0 +1,439 @@
+#include "expr/binder.h"
+
+#include "common/string_util.h"
+#include "expr/eval.h"
+
+namespace gisql {
+
+const char* AggKindName(AggKind k) {
+  switch (k) {
+    case AggKind::kCountStar: return "COUNT(*)";
+    case AggKind::kCount: return "COUNT";
+    case AggKind::kSum: return "SUM";
+    case AggKind::kMin: return "MIN";
+    case AggKind::kMax: return "MAX";
+    case AggKind::kAvg: return "AVG";
+  }
+  return "?";
+}
+
+bool Binder::IsAggregateFunc(const std::string& upper_name) {
+  return upper_name == "COUNT" || upper_name == "SUM" ||
+         upper_name == "AVG" || upper_name == "MIN" || upper_name == "MAX";
+}
+
+bool Binder::ContainsAggregate(const sql::ParseExpr& ast) {
+  if (ast.kind == sql::ParseExprKind::kFuncCall &&
+      IsAggregateFunc(ast.name)) {
+    return true;
+  }
+  for (const auto& c : ast.children) {
+    if (ContainsAggregate(*c)) return true;
+  }
+  return false;
+}
+
+Result<ExprPtr> Binder::BindScalar(const sql::ParseExpr& ast) {
+  static const std::vector<ExprPtr> kNoGroups;
+  return BindInternal(ast, /*in_projection=*/false, kNoGroups, nullptr);
+}
+
+Result<ExprPtr> Binder::BindProjection(
+    const sql::ParseExpr& ast, const std::vector<ExprPtr>& group_exprs,
+    std::vector<BoundAggregate>* aggs) {
+  return BindInternal(ast, /*in_projection=*/true, group_exprs, aggs);
+}
+
+Status Binder::UnifyComparison(ExprPtr* l, ExprPtr* r) {
+  const TypeId lt = (*l)->type;
+  const TypeId rt = (*r)->type;
+  GISQL_ASSIGN_OR_RETURN(TypeId common, CommonType(lt, rt));
+  if (lt != common && lt != TypeId::kNull) *l = MakeCast(std::move(*l), common);
+  if (rt != common && rt != TypeId::kNull) *r = MakeCast(std::move(*r), common);
+  return Status::OK();
+}
+
+Result<ExprPtr> Binder::BindAggregateCall(
+    const sql::ParseExpr& ast, const std::vector<ExprPtr>& group_exprs,
+    std::vector<BoundAggregate>* aggs) {
+  if (aggs == nullptr) {
+    return Status::BindError("aggregate function ", ast.name,
+                             " is not allowed in this context");
+  }
+  BoundAggregate agg;
+  agg.distinct = ast.distinct;
+  const bool star = ast.children.size() == 1 &&
+                    ast.children[0]->kind == sql::ParseExprKind::kStar;
+  if (ast.name == "COUNT" && star) {
+    agg.kind = AggKind::kCountStar;
+    agg.result_type = TypeId::kInt64;
+    agg.display = "COUNT(*)";
+  } else {
+    if (ast.children.size() != 1) {
+      return Status::BindError(ast.name, " takes exactly one argument");
+    }
+    // Aggregate arguments bind against the aggregation *input* schema —
+    // no aggregates allowed inside, no group-expr substitution.
+    GISQL_ASSIGN_OR_RETURN(
+        agg.arg, BindInternal(*ast.children[0], false, {}, nullptr));
+    if (ast.name == "COUNT") {
+      agg.kind = AggKind::kCount;
+      agg.result_type = TypeId::kInt64;
+    } else if (ast.name == "SUM") {
+      agg.kind = AggKind::kSum;
+      if (!IsNumeric(agg.arg->type) && agg.arg->type != TypeId::kNull) {
+        return Status::BindError("SUM requires a numeric argument, got ",
+                                 TypeName(agg.arg->type));
+      }
+      agg.result_type = agg.arg->type == TypeId::kDouble ? TypeId::kDouble
+                                                         : TypeId::kInt64;
+    } else if (ast.name == "AVG") {
+      agg.kind = AggKind::kAvg;
+      if (!IsNumeric(agg.arg->type) && agg.arg->type != TypeId::kNull) {
+        return Status::BindError("AVG requires a numeric argument, got ",
+                                 TypeName(agg.arg->type));
+      }
+      agg.result_type = TypeId::kDouble;
+    } else if (ast.name == "MIN") {
+      agg.kind = AggKind::kMin;
+      agg.result_type = agg.arg->type;
+    } else if (ast.name == "MAX") {
+      agg.kind = AggKind::kMax;
+      agg.result_type = agg.arg->type;
+    } else {
+      return Status::BindError("unknown aggregate ", ast.name);
+    }
+    agg.display = std::string(ast.name) + "(" +
+                  (ast.distinct ? "DISTINCT " : "") + agg.arg->ToString() +
+                  ")";
+  }
+  // Deduplicate identical aggregate calls.
+  size_t index = aggs->size();
+  for (size_t i = 0; i < aggs->size(); ++i) {
+    if ((*aggs)[i].Equals(agg)) {
+      index = i;
+      break;
+    }
+  }
+  if (index == aggs->size()) aggs->push_back(agg);
+  return MakeColumn(group_exprs.size() + index, agg.result_type, agg.display);
+}
+
+Result<ExprPtr> Binder::BindInternal(const sql::ParseExpr& ast,
+                                     bool in_projection,
+                                     const std::vector<ExprPtr>& group_exprs,
+                                     std::vector<BoundAggregate>* aggs) {
+  // In projection mode, a subtree structurally equal to a GROUP BY
+  // expression becomes a reference to that group column.
+  if (in_projection && !group_exprs.empty()) {
+    // Bind the subtree speculatively against the input schema to compare.
+    static const std::vector<ExprPtr> kNoGroups;
+    if (!ContainsAggregate(ast)) {
+      Result<ExprPtr> speculative =
+          BindInternal(ast, false, kNoGroups, nullptr);
+      if (speculative.ok()) {
+        for (size_t i = 0; i < group_exprs.size(); ++i) {
+          if (group_exprs[i]->Equals(**speculative)) {
+            return MakeColumn(i, group_exprs[i]->type,
+                              group_exprs[i]->ToString());
+          }
+        }
+      }
+    }
+  }
+
+  switch (ast.kind) {
+    case sql::ParseExprKind::kLiteral:
+      return MakeLiteral(ast.literal);
+
+    case sql::ParseExprKind::kColumnRef: {
+      if (in_projection && aggs != nullptr) {
+        // Reaching a bare column in projection mode means it neither
+        // matched a group expression nor sits under an aggregate.
+        return Status::BindError(
+            "column '",
+            ast.qualifier.empty() ? ast.name : ast.qualifier + "." + ast.name,
+            "' must appear in GROUP BY or inside an aggregate");
+      }
+      GISQL_ASSIGN_OR_RETURN(size_t idx,
+                             input_.ResolveColumn(ast.qualifier, ast.name));
+      const Field& f = input_.field(idx);
+      return MakeColumn(idx, f.type, f.QualifiedName());
+    }
+
+    case sql::ParseExprKind::kStar:
+      return Status::BindError("'*' is not valid in this context");
+
+    case sql::ParseExprKind::kUnaryMinus: {
+      GISQL_ASSIGN_OR_RETURN(
+          ExprPtr c, BindInternal(*ast.children[0], in_projection,
+                                  group_exprs, aggs));
+      if (!IsNumeric(c->type) && c->type != TypeId::kNull) {
+        return Status::BindError("unary minus requires numeric, got ",
+                                 TypeName(c->type));
+      }
+      // Desugar to 0 - x.
+      ExprPtr zero = c->type == TypeId::kDouble
+                         ? MakeLiteral(Value::Double(0.0))
+                         : MakeLiteral(Value::Int(0));
+      return MakeArith(ArithOp::kSub, std::move(zero), std::move(c));
+    }
+
+    case sql::ParseExprKind::kNot: {
+      GISQL_ASSIGN_OR_RETURN(
+          ExprPtr c, BindInternal(*ast.children[0], in_projection,
+                                  group_exprs, aggs));
+      if (c->type != TypeId::kBool && c->type != TypeId::kNull) {
+        return Status::BindError("NOT requires a boolean, got ",
+                                 TypeName(c->type));
+      }
+      return MakeNot(std::move(c));
+    }
+
+    case sql::ParseExprKind::kBinary: {
+      GISQL_ASSIGN_OR_RETURN(
+          ExprPtr l, BindInternal(*ast.children[0], in_projection,
+                                  group_exprs, aggs));
+      GISQL_ASSIGN_OR_RETURN(
+          ExprPtr r, BindInternal(*ast.children[1], in_projection,
+                                  group_exprs, aggs));
+      using PB = sql::ParseBinaryOp;
+      switch (ast.op) {
+        case PB::kEq: case PB::kNe: case PB::kLt:
+        case PB::kLe: case PB::kGt: case PB::kGe: {
+          GISQL_RETURN_NOT_OK(UnifyComparison(&l, &r));
+          CompareOp op = CompareOp::kEq;
+          switch (ast.op) {
+            case PB::kEq: op = CompareOp::kEq; break;
+            case PB::kNe: op = CompareOp::kNe; break;
+            case PB::kLt: op = CompareOp::kLt; break;
+            case PB::kLe: op = CompareOp::kLe; break;
+            case PB::kGt: op = CompareOp::kGt; break;
+            case PB::kGe: op = CompareOp::kGe; break;
+            default: break;
+          }
+          return MakeCompare(op, std::move(l), std::move(r));
+        }
+        case PB::kAdd: case PB::kSub: case PB::kMul:
+        case PB::kDiv: case PB::kMod: {
+          // String + string is CONCAT for convenience.
+          if (ast.op == PB::kAdd && l->type == TypeId::kString &&
+              r->type == TypeId::kString) {
+            auto f = std::make_shared<Expr>(ExprKind::kFunc);
+            f->func_name = "CONCAT";
+            f->type = TypeId::kString;
+            f->children = {std::move(l), std::move(r)};
+            return f;
+          }
+          auto numeric_ok = [](const ExprPtr& e) {
+            return IsNumeric(e->type) || e->type == TypeId::kNull ||
+                   e->type == TypeId::kBool;
+          };
+          if (!numeric_ok(l) || !numeric_ok(r)) {
+            return Status::BindError("arithmetic requires numeric operands: ",
+                                     TypeName(l->type), " ",
+                                     sql::ParseBinaryOpName(ast.op), " ",
+                                     TypeName(r->type));
+          }
+          ArithOp op = ArithOp::kAdd;
+          switch (ast.op) {
+            case PB::kAdd: op = ArithOp::kAdd; break;
+            case PB::kSub: op = ArithOp::kSub; break;
+            case PB::kMul: op = ArithOp::kMul; break;
+            case PB::kDiv: op = ArithOp::kDiv; break;
+            case PB::kMod: op = ArithOp::kMod; break;
+            default: break;
+          }
+          return MakeArith(op, std::move(l), std::move(r));
+        }
+        case PB::kAnd: case PB::kOr: {
+          auto bool_ok = [](const ExprPtr& e) {
+            return e->type == TypeId::kBool || e->type == TypeId::kNull;
+          };
+          if (!bool_ok(l) || !bool_ok(r)) {
+            return Status::BindError("AND/OR require boolean operands");
+          }
+          return MakeLogic(
+              ast.op == PB::kAnd ? LogicOp::kAnd : LogicOp::kOr,
+              std::move(l), std::move(r));
+        }
+      }
+      return Status::Internal("unhandled binary op");
+    }
+
+    case sql::ParseExprKind::kIsNull: {
+      GISQL_ASSIGN_OR_RETURN(
+          ExprPtr c, BindInternal(*ast.children[0], in_projection,
+                                  group_exprs, aggs));
+      return MakeIsNull(std::move(c), ast.negated);
+    }
+
+    case sql::ParseExprKind::kLike: {
+      GISQL_ASSIGN_OR_RETURN(
+          ExprPtr v, BindInternal(*ast.children[0], in_projection,
+                                  group_exprs, aggs));
+      GISQL_ASSIGN_OR_RETURN(
+          ExprPtr p, BindInternal(*ast.children[1], in_projection,
+                                  group_exprs, aggs));
+      if ((v->type != TypeId::kString && v->type != TypeId::kNull) ||
+          (p->type != TypeId::kString && p->type != TypeId::kNull)) {
+        return Status::BindError("LIKE requires string operands");
+      }
+      auto e = std::make_shared<Expr>(ExprKind::kLike);
+      e->type = TypeId::kBool;
+      e->negated = ast.negated;
+      e->children = {std::move(v), std::move(p)};
+      return e;
+    }
+
+    case sql::ParseExprKind::kIn: {
+      auto e = std::make_shared<Expr>(ExprKind::kIn);
+      e->type = TypeId::kBool;
+      e->negated = ast.negated;
+      GISQL_ASSIGN_OR_RETURN(
+          ExprPtr v, BindInternal(*ast.children[0], in_projection,
+                                  group_exprs, aggs));
+      e->children.push_back(std::move(v));
+      for (size_t i = 1; i < ast.children.size(); ++i) {
+        GISQL_ASSIGN_OR_RETURN(
+            ExprPtr item, BindInternal(*ast.children[i], in_projection,
+                                       group_exprs, aggs));
+        GISQL_RETURN_NOT_OK(UnifyComparison(&e->children[0], &item));
+        e->children.push_back(std::move(item));
+      }
+      return e;
+    }
+
+    case sql::ParseExprKind::kBetween: {
+      // Desugar: v BETWEEN lo AND hi  →  v >= lo AND v <= hi
+      GISQL_ASSIGN_OR_RETURN(
+          ExprPtr v, BindInternal(*ast.children[0], in_projection,
+                                  group_exprs, aggs));
+      GISQL_ASSIGN_OR_RETURN(
+          ExprPtr lo, BindInternal(*ast.children[1], in_projection,
+                                   group_exprs, aggs));
+      GISQL_ASSIGN_OR_RETURN(
+          ExprPtr hi, BindInternal(*ast.children[2], in_projection,
+                                   group_exprs, aggs));
+      ExprPtr v2 = v->Clone();
+      GISQL_RETURN_NOT_OK(UnifyComparison(&v, &lo));
+      GISQL_RETURN_NOT_OK(UnifyComparison(&v2, &hi));
+      ExprPtr range = MakeLogic(
+          LogicOp::kAnd,
+          MakeCompare(CompareOp::kGe, std::move(v), std::move(lo)),
+          MakeCompare(CompareOp::kLe, std::move(v2), std::move(hi)));
+      if (ast.negated) return MakeNot(std::move(range));
+      return range;
+    }
+
+    case sql::ParseExprKind::kFuncCall: {
+      if (IsAggregateFunc(ast.name)) {
+        if (!in_projection) {
+          return Status::BindError("aggregate ", ast.name,
+                                   " not allowed here");
+        }
+        return BindAggregateCall(ast, group_exprs, aggs);
+      }
+      auto e = std::make_shared<Expr>(ExprKind::kFunc);
+      e->func_name = ToUpper(ast.name);
+      for (const auto& c : ast.children) {
+        GISQL_ASSIGN_OR_RETURN(
+            ExprPtr bc, BindInternal(*c, in_projection, group_exprs, aggs));
+        e->children.push_back(std::move(bc));
+      }
+      // Typing per function.
+      const std::string& f = e->func_name;
+      auto arity = [&](size_t lo, size_t hi) -> Status {
+        if (e->children.size() < lo || e->children.size() > hi) {
+          return Status::BindError(f, ": wrong number of arguments");
+        }
+        return Status::OK();
+      };
+      if (f == "ABS") {
+        GISQL_RETURN_NOT_OK(arity(1, 1));
+        e->type = e->children[0]->type == TypeId::kDouble ? TypeId::kDouble
+                                                          : TypeId::kInt64;
+      } else if (f == "LOWER" || f == "UPPER") {
+        GISQL_RETURN_NOT_OK(arity(1, 1));
+        e->type = TypeId::kString;
+      } else if (f == "LENGTH") {
+        GISQL_RETURN_NOT_OK(arity(1, 1));
+        e->type = TypeId::kInt64;
+      } else if (f == "SUBSTR" || f == "SUBSTRING") {
+        GISQL_RETURN_NOT_OK(arity(2, 3));
+        e->type = TypeId::kString;
+      } else if (f == "ROUND") {
+        GISQL_RETURN_NOT_OK(arity(1, 2));
+        e->type = TypeId::kDouble;
+      } else if (f == "CONCAT") {
+        GISQL_RETURN_NOT_OK(arity(1, 64));
+        e->type = TypeId::kString;
+      } else if (f == "YEAR" || f == "MONTH" || f == "DAY") {
+        GISQL_RETURN_NOT_OK(arity(1, 1));
+        if (e->children[0]->type != TypeId::kDate &&
+            e->children[0]->type != TypeId::kInt64 &&
+            e->children[0]->type != TypeId::kNull) {
+          return Status::BindError(f, " requires a DATE argument, got ",
+                                   TypeName(e->children[0]->type));
+        }
+        e->type = TypeId::kInt64;
+      } else if (f == "COALESCE") {
+        GISQL_RETURN_NOT_OK(arity(1, 64));
+        TypeId t = TypeId::kNull;
+        for (const auto& c : e->children) {
+          GISQL_ASSIGN_OR_RETURN(t, CommonType(t, c->type));
+        }
+        e->type = t;
+      } else {
+        return Status::BindError("unknown function ", f);
+      }
+      return e;
+    }
+
+    case sql::ParseExprKind::kCase: {
+      auto e = std::make_shared<Expr>(ExprKind::kCase);
+      e->has_else = ast.has_else;
+      TypeId out_type = TypeId::kNull;
+      const size_t pairs = (ast.children.size() - (ast.has_else ? 1 : 0)) / 2;
+      for (size_t i = 0; i < pairs; ++i) {
+        GISQL_ASSIGN_OR_RETURN(
+            ExprPtr cond, BindInternal(*ast.children[2 * i], in_projection,
+                                       group_exprs, aggs));
+        if (cond->type != TypeId::kBool && cond->type != TypeId::kNull) {
+          return Status::BindError("CASE WHEN requires boolean condition");
+        }
+        GISQL_ASSIGN_OR_RETURN(
+            ExprPtr then, BindInternal(*ast.children[2 * i + 1],
+                                       in_projection, group_exprs, aggs));
+        GISQL_ASSIGN_OR_RETURN(out_type, CommonType(out_type, then->type));
+        e->children.push_back(std::move(cond));
+        e->children.push_back(std::move(then));
+      }
+      if (ast.has_else) {
+        GISQL_ASSIGN_OR_RETURN(
+            ExprPtr els, BindInternal(*ast.children.back(), in_projection,
+                                      group_exprs, aggs));
+        GISQL_ASSIGN_OR_RETURN(out_type, CommonType(out_type, els->type));
+        e->children.push_back(std::move(els));
+      }
+      e->type = out_type;
+      return e;
+    }
+
+    case sql::ParseExprKind::kInSubquery:
+      return Status::BindError(
+          "IN (SELECT ...) is only supported as a top-level WHERE "
+          "conjunct");
+
+    case sql::ParseExprKind::kCast: {
+      GISQL_ASSIGN_OR_RETURN(
+          ExprPtr c, BindInternal(*ast.children[0], in_projection,
+                                  group_exprs, aggs));
+      GISQL_ASSIGN_OR_RETURN(TypeId to, ParseTypeName(ast.name));
+      return MakeCast(std::move(c), to);
+    }
+  }
+  return Status::Internal("unreachable parse-expr kind");
+}
+
+}  // namespace gisql

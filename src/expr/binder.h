@@ -1,0 +1,83 @@
+/// \file binder.h
+/// \brief Resolves parser ASTs into typed, bound expressions against an
+/// input schema; extracts aggregate calls for GROUP BY planning.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "expr/expr.h"
+#include "sql/ast.h"
+#include "types/schema.h"
+
+namespace gisql {
+
+/// \brief Supported aggregate functions.
+enum class AggKind : uint8_t {
+  kCountStar,
+  kCount,
+  kSum,
+  kMin,
+  kMax,
+  kAvg,
+};
+
+const char* AggKindName(AggKind k);
+
+/// \brief One bound aggregate call: kind, bound argument (over the
+/// aggregation input schema; null for COUNT(*)), DISTINCT flag, and the
+/// result type.
+struct BoundAggregate {
+  AggKind kind = AggKind::kCountStar;
+  ExprPtr arg;  ///< null for COUNT(*)
+  bool distinct = false;
+  TypeId result_type = TypeId::kInt64;
+  std::string display;  ///< e.g. "SUM(price)" — used for output naming
+
+  bool Equals(const BoundAggregate& o) const {
+    if (kind != o.kind || distinct != o.distinct) return false;
+    if ((arg == nullptr) != (o.arg == nullptr)) return false;
+    return arg == nullptr || arg->Equals(*o.arg);
+  }
+};
+
+/// \brief Name-resolution + typing pass from sql::ParseExpr to Expr.
+class Binder {
+ public:
+  explicit Binder(const Schema& input) : input_(input) {}
+
+  /// \brief Binds a scalar expression; any aggregate call is a BindError.
+  Result<ExprPtr> BindScalar(const sql::ParseExpr& ast);
+
+  /// \brief Binds a post-aggregation expression (select item / HAVING).
+  ///
+  /// The produced expression is evaluated against rows of the shape
+  /// [group_exprs..., aggregates...]. Subtrees structurally equal to a
+  /// group expression become column refs 0..k-1; aggregate calls are
+  /// appended (deduplicated) to `aggs` and become column refs k+i.
+  /// Any other bare column reference is a BindError ("not in GROUP BY").
+  Result<ExprPtr> BindProjection(const sql::ParseExpr& ast,
+                                 const std::vector<ExprPtr>& group_exprs,
+                                 std::vector<BoundAggregate>* aggs);
+
+  /// \brief True if `upper_name` is one of COUNT/SUM/AVG/MIN/MAX.
+  static bool IsAggregateFunc(const std::string& upper_name);
+
+  /// \brief True if the AST contains any aggregate call.
+  static bool ContainsAggregate(const sql::ParseExpr& ast);
+
+ private:
+  Result<ExprPtr> BindInternal(const sql::ParseExpr& ast, bool in_projection,
+                               const std::vector<ExprPtr>& group_exprs,
+                               std::vector<BoundAggregate>* aggs);
+  Result<ExprPtr> BindAggregateCall(const sql::ParseExpr& ast,
+                                    const std::vector<ExprPtr>& group_exprs,
+                                    std::vector<BoundAggregate>* aggs);
+  /// Inserts implicit casts so both sides share a comparable type.
+  Status UnifyComparison(ExprPtr* l, ExprPtr* r);
+
+  const Schema& input_;
+};
+
+}  // namespace gisql

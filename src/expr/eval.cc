@@ -1,0 +1,278 @@
+#include "expr/eval.h"
+
+#include <cmath>
+
+#include "common/string_util.h"
+#include "types/datetime.h"
+
+namespace gisql {
+
+namespace {
+
+/// Kleene truth value: 0=false, 1=true, 2=unknown.
+int Truth(const Value& v) {
+  if (v.is_null()) return 2;
+  return v.AsBool() ? 1 : 0;
+}
+
+Result<Value> EvalCompare(const Expr& e, const Row& row) {
+  GISQL_ASSIGN_OR_RETURN(Value l, EvalExpr(*e.children[0], row));
+  GISQL_ASSIGN_OR_RETURN(Value r, EvalExpr(*e.children[1], row));
+  if (l.is_null() || r.is_null()) return Value::Null(TypeId::kBool);
+  const int c = l.Compare(r);
+  bool out = false;
+  switch (e.compare_op) {
+    case CompareOp::kEq: out = c == 0; break;
+    case CompareOp::kNe: out = c != 0; break;
+    case CompareOp::kLt: out = c < 0; break;
+    case CompareOp::kLe: out = c <= 0; break;
+    case CompareOp::kGt: out = c > 0; break;
+    case CompareOp::kGe: out = c >= 0; break;
+  }
+  return Value::Bool(out);
+}
+
+Result<Value> EvalArith(const Expr& e, const Row& row) {
+  GISQL_ASSIGN_OR_RETURN(Value l, EvalExpr(*e.children[0], row));
+  GISQL_ASSIGN_OR_RETURN(Value r, EvalExpr(*e.children[1], row));
+  if (l.is_null() || r.is_null()) return Value::Null(e.type);
+  const bool use_double =
+      l.type() == TypeId::kDouble || r.type() == TypeId::kDouble ||
+      e.type == TypeId::kDouble;
+  if (use_double) {
+    const double a = l.NumericValue();
+    const double b = r.NumericValue();
+    switch (e.arith_op) {
+      case ArithOp::kAdd: return Value::Double(a + b);
+      case ArithOp::kSub: return Value::Double(a - b);
+      case ArithOp::kMul: return Value::Double(a * b);
+      case ArithOp::kDiv:
+        if (b == 0.0) {
+          return Status::ExecutionError("division by zero");
+        }
+        return Value::Double(a / b);
+      case ArithOp::kMod:
+        if (b == 0.0) {
+          return Status::ExecutionError("modulo by zero");
+        }
+        return Value::Double(std::fmod(a, b));
+    }
+  }
+  const int64_t a = l.type() == TypeId::kBool ? (l.AsBool() ? 1 : 0) : l.AsInt();
+  const int64_t b = r.type() == TypeId::kBool ? (r.AsBool() ? 1 : 0) : r.AsInt();
+  switch (e.arith_op) {
+    case ArithOp::kAdd: return Value::Int(a + b);
+    case ArithOp::kSub: return Value::Int(a - b);
+    case ArithOp::kMul: return Value::Int(a * b);
+    case ArithOp::kDiv:
+      if (b == 0) return Status::ExecutionError("division by zero");
+      return Value::Int(a / b);
+    case ArithOp::kMod:
+      if (b == 0) return Status::ExecutionError("modulo by zero");
+      return Value::Int(a % b);
+  }
+  return Status::Internal("unreachable arithmetic op");
+}
+
+Result<Value> EvalFunc(const Expr& e, const Row& row) {
+  std::vector<Value> args;
+  args.reserve(e.children.size());
+  for (const auto& c : e.children) {
+    GISQL_ASSIGN_OR_RETURN(Value v, EvalExpr(*c, row));
+    args.push_back(std::move(v));
+  }
+  const std::string& f = e.func_name;
+  if (f == "COALESCE") {
+    for (const auto& a : args) {
+      if (!a.is_null()) return a;
+    }
+    return Value::Null(e.type);
+  }
+  // Remaining functions are strict: NULL in → NULL out.
+  for (const auto& a : args) {
+    if (a.is_null()) return Value::Null(e.type);
+  }
+  if (f == "ABS") {
+    if (args[0].type() == TypeId::kDouble) {
+      return Value::Double(std::abs(args[0].AsDouble()));
+    }
+    return Value::Int(std::abs(args[0].AsInt()));
+  }
+  if (f == "LOWER") return Value::String(ToLower(args[0].AsString()));
+  if (f == "UPPER") return Value::String(ToUpper(args[0].AsString()));
+  if (f == "LENGTH") {
+    return Value::Int(static_cast<int64_t>(args[0].AsString().size()));
+  }
+  if (f == "SUBSTR" || f == "SUBSTRING") {
+    const std::string& s = args[0].AsString();
+    // SQL 1-based start.
+    int64_t start = args[1].AsInt() - 1;
+    if (start < 0) start = 0;
+    if (start >= static_cast<int64_t>(s.size())) return Value::String("");
+    int64_t len = args.size() > 2 ? args[2].AsInt()
+                                  : static_cast<int64_t>(s.size());
+    if (len < 0) len = 0;
+    return Value::String(s.substr(static_cast<size_t>(start),
+                                  static_cast<size_t>(len)));
+  }
+  if (f == "ROUND") {
+    const double x = args[0].NumericValue();
+    const int64_t digits = args.size() > 1 ? args[1].AsInt() : 0;
+    const double scale = std::pow(10.0, static_cast<double>(digits));
+    return Value::Double(std::round(x * scale) / scale);
+  }
+  if (f == "YEAR" || f == "MONTH" || f == "DAY") {
+    const Value& a = args[0];
+    if (a.type() != TypeId::kDate && a.type() != TypeId::kInt64) {
+      return Status::ExecutionError(f, " requires a DATE argument");
+    }
+    int year;
+    unsigned month, day;
+    CivilFromDays(a.AsInt(), &year, &month, &day);
+    if (f == "YEAR") return Value::Int(year);
+    if (f == "MONTH") return Value::Int(month);
+    return Value::Int(day);
+  }
+  if (f == "CONCAT") {
+    std::string out;
+    for (const auto& a : args) {
+      GISQL_ASSIGN_OR_RETURN(Value s, a.CastTo(TypeId::kString));
+      out += s.AsString();
+    }
+    return Value::String(std::move(out));
+  }
+  return Status::ExecutionError("unknown scalar function ", f);
+}
+
+}  // namespace
+
+Result<Value> EvalExpr(const Expr& e, const Row& row) {
+  switch (e.kind) {
+    case ExprKind::kColumn:
+      if (e.column_index >= row.size()) {
+        return Status::ExecutionError("column $", e.column_index,
+                                      " out of range for row of width ",
+                                      row.size());
+      }
+      return row[e.column_index];
+    case ExprKind::kLiteral:
+      return e.literal;
+    case ExprKind::kCompare:
+      return EvalCompare(e, row);
+    case ExprKind::kArith:
+      return EvalArith(e, row);
+    case ExprKind::kLogic: {
+      GISQL_ASSIGN_OR_RETURN(Value l, EvalExpr(*e.children[0], row));
+      const int lt = Truth(l);
+      if (e.logic_op == LogicOp::kAnd) {
+        if (lt == 0) return Value::Bool(false);
+        GISQL_ASSIGN_OR_RETURN(Value r, EvalExpr(*e.children[1], row));
+        const int rt = Truth(r);
+        if (rt == 0) return Value::Bool(false);
+        if (lt == 2 || rt == 2) return Value::Null(TypeId::kBool);
+        return Value::Bool(true);
+      }
+      if (lt == 1) return Value::Bool(true);
+      GISQL_ASSIGN_OR_RETURN(Value r, EvalExpr(*e.children[1], row));
+      const int rt = Truth(r);
+      if (rt == 1) return Value::Bool(true);
+      if (lt == 2 || rt == 2) return Value::Null(TypeId::kBool);
+      return Value::Bool(false);
+    }
+    case ExprKind::kNot: {
+      GISQL_ASSIGN_OR_RETURN(Value v, EvalExpr(*e.children[0], row));
+      if (v.is_null()) return Value::Null(TypeId::kBool);
+      return Value::Bool(!v.AsBool());
+    }
+    case ExprKind::kIsNull: {
+      GISQL_ASSIGN_OR_RETURN(Value v, EvalExpr(*e.children[0], row));
+      return Value::Bool(e.negated ? !v.is_null() : v.is_null());
+    }
+    case ExprKind::kLike: {
+      GISQL_ASSIGN_OR_RETURN(Value v, EvalExpr(*e.children[0], row));
+      GISQL_ASSIGN_OR_RETURN(Value p, EvalExpr(*e.children[1], row));
+      if (v.is_null() || p.is_null()) return Value::Null(TypeId::kBool);
+      if (v.type() != TypeId::kString || p.type() != TypeId::kString) {
+        return Status::ExecutionError("LIKE requires string operands");
+      }
+      const bool m = LikeMatch(v.AsString(), p.AsString());
+      return Value::Bool(e.negated ? !m : m);
+    }
+    case ExprKind::kIn: {
+      GISQL_ASSIGN_OR_RETURN(Value v, EvalExpr(*e.children[0], row));
+      if (v.is_null()) return Value::Null(TypeId::kBool);
+      bool any_null = false;
+      for (size_t i = 1; i < e.children.size(); ++i) {
+        GISQL_ASSIGN_OR_RETURN(Value item, EvalExpr(*e.children[i], row));
+        if (item.is_null()) {
+          any_null = true;
+          continue;
+        }
+        if (v.Compare(item) == 0) {
+          return Value::Bool(!e.negated);
+        }
+      }
+      if (any_null) return Value::Null(TypeId::kBool);
+      return Value::Bool(e.negated);
+    }
+    case ExprKind::kCast: {
+      GISQL_ASSIGN_OR_RETURN(Value v, EvalExpr(*e.children[0], row));
+      return v.CastTo(e.type);
+    }
+    case ExprKind::kFunc:
+      return EvalFunc(e, row);
+    case ExprKind::kCase: {
+      const size_t pairs = (e.children.size() - (e.has_else ? 1 : 0)) / 2;
+      for (size_t i = 0; i < pairs; ++i) {
+        GISQL_ASSIGN_OR_RETURN(Value cond, EvalExpr(*e.children[2 * i], row));
+        if (Truth(cond) == 1) return EvalExpr(*e.children[2 * i + 1], row);
+      }
+      if (e.has_else) return EvalExpr(*e.children.back(), row);
+      return Value::Null(e.type);
+    }
+  }
+  return Status::Internal("unreachable expression kind");
+}
+
+Result<bool> EvalPredicate(const Expr& e, const Row& row) {
+  GISQL_ASSIGN_OR_RETURN(Value v, EvalExpr(e, row));
+  if (v.is_null()) return false;
+  if (v.type() != TypeId::kBool) {
+    return Status::ExecutionError("predicate did not evaluate to BOOLEAN: ",
+                                  e.ToString());
+  }
+  return v.AsBool();
+}
+
+bool IsConstExpr(const Expr& e) {
+  if (e.kind == ExprKind::kColumn) return false;
+  for (const auto& c : e.children) {
+    if (!IsConstExpr(*c)) return false;
+  }
+  return true;
+}
+
+ExprPtr FoldConstants(const ExprPtr& e) {
+  if (e->kind == ExprKind::kLiteral) return e;
+  if (IsConstExpr(*e)) {
+    static const Row kEmptyRow;
+    Result<Value> folded = EvalExpr(*e, kEmptyRow);
+    if (folded.ok()) {
+      Value v = std::move(folded).ValueUnsafe();
+      // Preserve the static type of the expression for NULL results.
+      if (v.is_null()) v = Value::Null(e->type);
+      auto lit = MakeLiteral(std::move(v));
+      lit->type = e->type;
+      return lit;
+    }
+    return e;  // fold error: defer to runtime
+  }
+  auto out = std::make_shared<Expr>(*e);
+  out->children.clear();
+  for (const auto& c : e->children) {
+    out->children.push_back(FoldConstants(c));
+  }
+  return out;
+}
+
+}  // namespace gisql

@@ -1,0 +1,29 @@
+/// \file eval.h
+/// \brief Row-at-a-time expression interpreter with SQL three-valued
+/// logic for predicates.
+
+#pragma once
+
+#include "expr/expr.h"
+#include "types/row.h"
+
+namespace gisql {
+
+/// \brief Evaluates `e` against `row`. NULL propagates through scalar
+/// ops; AND/OR use Kleene logic; IS NULL is total.
+Result<Value> EvalExpr(const Expr& e, const Row& row);
+
+/// \brief Predicate evaluation: NULL results count as false (SQL WHERE
+/// semantics).
+Result<bool> EvalPredicate(const Expr& e, const Row& row);
+
+/// \brief True if `e` contains no column references (safe to fold).
+bool IsConstExpr(const Expr& e);
+
+/// \brief Constant-folds literal-only subtrees; returns a (possibly
+/// shared) rewritten tree. Fold errors (e.g. division by zero in a
+/// constant) leave the node unfolded so the error surfaces at runtime
+/// only if the row actually reaches it.
+ExprPtr FoldConstants(const ExprPtr& e);
+
+}  // namespace gisql

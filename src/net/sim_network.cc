@@ -1,0 +1,95 @@
+#include "net/sim_network.h"
+
+#include <algorithm>
+
+namespace gisql {
+
+void SimNetwork::SetLink(const std::string& a, const std::string& b,
+                         LinkSpec spec) {
+  links_[LinkKey(a, b)] = spec;
+}
+
+const LinkSpec& SimNetwork::GetLink(const std::string& a,
+                                    const std::string& b) const {
+  auto it = links_.find(LinkKey(a, b));
+  return it == links_.end() ? default_link_ : it->second;
+}
+
+Status SimNetwork::RegisterHost(const std::string& name,
+                                RpcHandler* handler) {
+  if (handler == nullptr) {
+    return Status::InvalidArgument("null handler for host '", name, "'");
+  }
+  auto [it, inserted] = hosts_.emplace(name, HostEntry{handler, false});
+  if (!inserted) {
+    return Status::AlreadyExists("host '", name, "' already registered");
+  }
+  return Status::OK();
+}
+
+Status SimNetwork::UnregisterHost(const std::string& name) {
+  if (hosts_.erase(name) == 0) {
+    return Status::NotFound("host '", name, "' not registered");
+  }
+  return Status::OK();
+}
+
+void SimNetwork::SetHostDown(const std::string& name, bool down) {
+  auto it = hosts_.find(name);
+  if (it != hosts_.end()) it->second.down = down;
+}
+
+Result<RpcResult> SimNetwork::Call(const std::string& from,
+                                   const std::string& to, uint8_t opcode,
+                                   const std::vector<uint8_t>& request) {
+  auto it = hosts_.find(to);
+  if (it == hosts_.end()) {
+    return Status::NetworkError("host '", to, "' is not registered");
+  }
+  if (it->second.down) {
+    return Status::NetworkError("host '", to, "' is unreachable");
+  }
+  const LinkSpec& link = GetLink(from, to);
+
+  RpcResult result;
+  result.bytes_sent = static_cast<int64_t>(request.size()) + 16;  // header
+  double elapsed = link.TransferTimeMs(result.bytes_sent);
+
+  double processing_ms = 0.0;
+  Result<std::vector<uint8_t>> response =
+      it->second.handler->Handle(opcode, request, &processing_ms);
+  elapsed += processing_ms;
+
+  metrics_.Add("net.messages", 1);
+  metrics_.Add("net.bytes_sent", result.bytes_sent);
+
+  if (!response.ok()) {
+    // Error frames still cross the wire.
+    const int64_t err_bytes =
+        static_cast<int64_t>(response.status().message().size()) + 24;
+    elapsed += link.TransferTimeMs(err_bytes);
+    metrics_.Add("net.bytes_received", err_bytes);
+    metrics_.Set("net.last_elapsed_ms", elapsed);
+    return response.status();
+  }
+
+  result.payload = std::move(*response);
+  result.bytes_received = static_cast<int64_t>(result.payload.size()) + 16;
+  elapsed += link.TransferTimeMs(result.bytes_received);
+  result.elapsed_ms = elapsed;
+
+  metrics_.Add("net.bytes_received", result.bytes_received);
+  metrics_.Add("net.bytes." + to, result.bytes_received);
+  metrics_.Set("net.last_elapsed_ms", elapsed);
+  return result;
+}
+
+std::vector<std::string> SimNetwork::HostNames() const {
+  std::vector<std::string> names;
+  names.reserve(hosts_.size());
+  for (const auto& [name, entry] : hosts_) names.push_back(name);
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+}  // namespace gisql

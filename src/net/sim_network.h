@@ -1,0 +1,131 @@
+/// \file sim_network.h
+/// \brief Deterministic simulated wide-area network between the mediator
+/// and the autonomous component information systems.
+///
+/// The 1989 global-information-system setting assumes component systems
+/// owned by different organizations, reachable over slow, expensive
+/// links. This module substitutes a deterministic simulation for that
+/// physical testbed: every RPC is executed synchronously in-process,
+/// while its *cost* — request/response transfer time from per-link
+/// latency and bandwidth, plus server processing time — is computed
+/// analytically and accounted in a metrics registry. Experiments read
+/// bytes, message counts, and simulated elapsed milliseconds from here;
+/// wall-clock time never enters the results, so every run is exactly
+/// reproducible.
+
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/metrics.h"
+#include "common/result.h"
+
+namespace gisql {
+
+/// \brief Characteristics of one (directionless) link.
+struct LinkSpec {
+  double latency_ms = 5.0;        ///< one-way propagation delay
+  double bandwidth_mbps = 100.0;  ///< megabits per second
+
+  /// \brief Time to move `bytes` across this link, one way.
+  double TransferTimeMs(int64_t bytes) const {
+    const double seconds =
+        static_cast<double>(bytes) * 8.0 / (bandwidth_mbps * 1e6);
+    return latency_ms + seconds * 1e3;
+  }
+};
+
+/// \brief Server-side handler a registered host implements.
+class RpcHandler {
+ public:
+  virtual ~RpcHandler() = default;
+
+  /// \brief Handles one request. `processing_ms` (out, optional write)
+  /// reports simulated server CPU time added to the call's latency.
+  virtual Result<std::vector<uint8_t>> Handle(
+      uint8_t opcode, const std::vector<uint8_t>& request,
+      double* processing_ms) = 0;
+};
+
+/// \brief Outcome of one simulated RPC.
+struct RpcResult {
+  std::vector<uint8_t> payload;
+  double elapsed_ms = 0.0;      ///< request + processing + response time
+  int64_t bytes_sent = 0;       ///< request size
+  int64_t bytes_received = 0;   ///< response size
+};
+
+/// \brief The simulated network fabric.
+///
+/// Hosts register under unique names. Calls between hosts traverse the
+/// configured link (or the default link). Counters accumulated in
+/// metrics(): `net.messages`, `net.bytes_sent`, `net.bytes_received`,
+/// `net.bytes.<host>` (bytes received from that host).
+class SimNetwork {
+ public:
+  void set_default_link(LinkSpec spec) { default_link_ = spec; }
+  const LinkSpec& default_link() const { return default_link_; }
+
+  /// \brief Configures the link between two hosts (symmetric).
+  void SetLink(const std::string& a, const std::string& b, LinkSpec spec);
+
+  /// \brief The link used between `a` and `b`.
+  const LinkSpec& GetLink(const std::string& a, const std::string& b) const;
+
+  /// \brief Registers a host; AlreadyExists if the name is taken.
+  Status RegisterHost(const std::string& name, RpcHandler* handler);
+
+  Status UnregisterHost(const std::string& name);
+
+  /// \brief Marks a host unreachable (failure injection); calls to it
+  /// return NetworkError.
+  void SetHostDown(const std::string& name, bool down);
+
+  /// \brief Simulated time a caller wastes discovering that `to` is
+  /// unreachable (connection timeout model: two propagation delays plus
+  /// a fixed detection window). Callers implementing failover charge
+  /// this per dead host they try.
+  double TimeoutMs(const std::string& from, const std::string& to) const {
+    return 2.0 * GetLink(from, to).latency_ms + 100.0;
+  }
+
+  /// \brief Synchronously performs one RPC from `from` to `to`.
+  ///
+  /// On success the result carries the response payload and the
+  /// simulated elapsed time; transfer sizes and message counts are
+  /// added to metrics(). Application-level errors returned by the
+  /// handler propagate as-is (the transfer of the error frame is still
+  /// accounted).
+  Result<RpcResult> Call(const std::string& from, const std::string& to,
+                         uint8_t opcode,
+                         const std::vector<uint8_t>& request);
+
+  MetricsRegistry& metrics() { return metrics_; }
+  const MetricsRegistry& metrics() const { return metrics_; }
+
+  /// \brief Names of all registered hosts (sorted).
+  std::vector<std::string> HostNames() const;
+
+ private:
+  static std::pair<std::string, std::string> LinkKey(const std::string& a,
+                                                     const std::string& b) {
+    return a < b ? std::make_pair(a, b) : std::make_pair(b, a);
+  }
+
+  struct HostEntry {
+    RpcHandler* handler = nullptr;
+    bool down = false;
+  };
+
+  LinkSpec default_link_;
+  std::map<std::pair<std::string, std::string>, LinkSpec> links_;
+  std::unordered_map<std::string, HostEntry> hosts_;
+  MetricsRegistry metrics_;
+};
+
+}  // namespace gisql

@@ -1,0 +1,372 @@
+#include "planner/cost_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace gisql {
+
+namespace {
+constexpr double kDefaultEqSelectivity = 0.05;
+constexpr double kDefaultRangeSelectivity = 1.0 / 3.0;
+constexpr double kDefaultLikeSelectivity = 0.25;
+}  // namespace
+
+const ColumnStats* CostModel::TraceColumnStats(const PlanNode& node,
+                                               size_t col) const {
+  switch (node.kind) {
+    case PlanKind::kSourceScan: {
+      auto t = catalog_.GetTable(node.scan_global_name);
+      if (!t.ok()) return nullptr;
+      const TableStats& stats = (*t)->stats;
+      return col < stats.columns.size() ? &stats.columns[col] : nullptr;
+    }
+    case PlanKind::kRemoteFragment: {
+      if (node.fragment.has_aggregate) return nullptr;
+      // Map an output column back to a base table column, through the
+      // fragment's projection list if present.
+      size_t table_col = col;
+      if (!node.fragment.projections.empty()) {
+        if (col >= node.fragment.projections.size()) return nullptr;
+        const Expr* e = node.fragment.projections[col].get();
+        while (e->kind == ExprKind::kCast) e = e->children[0].get();
+        if (e->kind != ExprKind::kColumn) return nullptr;
+        table_col = e->column_index;
+      }
+      auto t = catalog_.GetTable(node.scan_global_name.empty()
+                                     ? node.fragment.table
+                                     : node.scan_global_name);
+      if (!t.ok()) return nullptr;
+      const TableStats& stats = (*t)->stats;
+      return table_col < stats.columns.size() ? &stats.columns[table_col]
+                                              : nullptr;
+    }
+    case PlanKind::kFilter:
+    case PlanKind::kSort:
+    case PlanKind::kLimit:
+    case PlanKind::kDistinct:
+      return TraceColumnStats(*node.children[0], col);
+    case PlanKind::kProject: {
+      if (col >= node.projections.size()) return nullptr;
+      const Expr* e = node.projections[col].get();
+      while (e->kind == ExprKind::kCast) e = e->children[0].get();
+      if (e->kind != ExprKind::kColumn) return nullptr;
+      return TraceColumnStats(*node.children[0], e->column_index);
+    }
+    case PlanKind::kJoin: {
+      const size_t lw = node.children[0]->output_schema->num_fields();
+      if (col < lw) return TraceColumnStats(*node.children[0], col);
+      return TraceColumnStats(*node.children[1], col - lw);
+    }
+    case PlanKind::kUnionAll:
+      // Heterogeneous members; use the first as a representative.
+      return node.children.empty()
+                 ? nullptr
+                 : TraceColumnStats(*node.children[0], col);
+    case PlanKind::kValues:
+    case PlanKind::kAggregate:
+      return nullptr;
+  }
+  return nullptr;
+}
+
+int64_t CostModel::EstimateDistinct(const PlanNode& node, size_t col) const {
+  const ColumnStats* cs = TraceColumnStats(node, col);
+  return cs != nullptr ? cs->distinct_count : 0;
+}
+
+double CostModel::EstimateSelectivity(const Expr& pred,
+                                      const PlanNode& input) const {
+  switch (pred.kind) {
+    case ExprKind::kLiteral:
+      if (pred.literal.is_null()) return 0.0;
+      if (pred.type == TypeId::kBool) return pred.literal.AsBool() ? 1.0 : 0.0;
+      return 1.0;
+    case ExprKind::kLogic: {
+      const double l = EstimateSelectivity(*pred.children[0], input);
+      const double r = EstimateSelectivity(*pred.children[1], input);
+      if (pred.logic_op == LogicOp::kAnd) return l * r;
+      return std::min(1.0, l + r - l * r);
+    }
+    case ExprKind::kNot:
+      return 1.0 - EstimateSelectivity(*pred.children[0], input);
+    case ExprKind::kCompare: {
+      // col <op> literal (possibly through casts, either orientation).
+      auto unwrap = [](const Expr& e) -> const Expr* {
+        const Expr* p = &e;
+        while (p->kind == ExprKind::kCast) p = p->children[0].get();
+        return p;
+      };
+      const Expr* l = unwrap(*pred.children[0]);
+      const Expr* r = unwrap(*pred.children[1]);
+      const Expr* col = nullptr;
+      const Expr* lit = nullptr;
+      CompareOp op = pred.compare_op;
+      if (l->kind == ExprKind::kColumn && r->kind == ExprKind::kLiteral) {
+        col = l;
+        lit = r;
+      } else if (r->kind == ExprKind::kColumn &&
+                 l->kind == ExprKind::kLiteral) {
+        col = r;
+        lit = l;
+        op = ReverseCompareOp(op);
+      }
+      if (col == nullptr) {
+        return op == CompareOp::kEq ? kDefaultEqSelectivity
+                                    : kDefaultRangeSelectivity;
+      }
+      const ColumnStats* cs = TraceColumnStats(input, col->column_index);
+      switch (op) {
+        case CompareOp::kEq:
+          if (cs != nullptr && cs->distinct_count > 0) {
+            return 1.0 / static_cast<double>(cs->distinct_count);
+          }
+          return kDefaultEqSelectivity;
+        case CompareOp::kNe:
+          if (cs != nullptr && cs->distinct_count > 0) {
+            return 1.0 - 1.0 / static_cast<double>(cs->distinct_count);
+          }
+          return 1.0 - kDefaultEqSelectivity;
+        case CompareOp::kLt:
+        case CompareOp::kLe:
+        case CompareOp::kGt:
+        case CompareOp::kGe: {
+          if (cs == nullptr || lit->literal.is_null()) {
+            return kDefaultRangeSelectivity;
+          }
+          // Prefer the equi-depth histogram: it captures skew that
+          // min/max interpolation cannot.
+          const double below = cs->FractionBelow(lit->literal);
+          if (below >= 0.0) {
+            double frac = below;
+            if (op == CompareOp::kGt || op == CompareOp::kGe) {
+              frac = 1.0 - frac;
+            }
+            return std::clamp(frac, 0.0, 1.0);
+          }
+          if (cs->min.is_null() || cs->max.is_null() ||
+              !IsNumeric(lit->literal.type())) {
+            return kDefaultRangeSelectivity;
+          }
+          const double lo = cs->min.NumericValue();
+          const double hi = cs->max.NumericValue();
+          const double b = lit->literal.NumericValue();
+          if (hi <= lo) return kDefaultRangeSelectivity;
+          double frac = (b - lo) / (hi - lo);
+          if (op == CompareOp::kGt || op == CompareOp::kGe) {
+            frac = 1.0 - frac;
+          }
+          return std::clamp(frac, 0.0, 1.0);
+        }
+      }
+      return kDefaultRangeSelectivity;
+    }
+    case ExprKind::kLike:
+      return pred.negated ? 1.0 - kDefaultLikeSelectivity
+                          : kDefaultLikeSelectivity;
+    case ExprKind::kIn: {
+      const Expr* target = pred.children[0].get();
+      double eq = kDefaultEqSelectivity;
+      if (target->kind == ExprKind::kColumn) {
+        const ColumnStats* cs = TraceColumnStats(input, target->column_index);
+        if (cs != nullptr && cs->distinct_count > 0) {
+          eq = 1.0 / static_cast<double>(cs->distinct_count);
+        }
+      }
+      const double sel =
+          std::min(1.0, eq * static_cast<double>(pred.children.size() - 1));
+      return pred.negated ? 1.0 - sel : sel;
+    }
+    case ExprKind::kIsNull: {
+      const Expr* target = pred.children[0].get();
+      double frac = 0.05;
+      if (target->kind == ExprKind::kColumn) {
+        const ColumnStats* cs = TraceColumnStats(input, target->column_index);
+        const PlanNode* base = &input;
+        double rows = base->est_rows > 0 ? base->est_rows : 1.0;
+        if (cs != nullptr && rows > 0) {
+          frac = std::min(1.0, static_cast<double>(cs->null_count) / rows);
+        }
+      }
+      return pred.negated ? 1.0 - frac : frac;
+    }
+    default:
+      return 0.5;
+  }
+}
+
+double CostModel::EstimateRows(const PlanNode& node) const {
+  switch (node.kind) {
+    case PlanKind::kValues:
+      return static_cast<double>(node.values_rows.size());
+    case PlanKind::kSourceScan: {
+      auto t = catalog_.GetTable(node.scan_global_name);
+      return t.ok() ? static_cast<double>((*t)->stats.row_count) : 1000.0;
+    }
+    case PlanKind::kRemoteFragment: {
+      auto t = catalog_.GetTable(node.scan_global_name.empty()
+                                     ? node.fragment.table
+                                     : node.scan_global_name);
+      double rows = t.ok() ? static_cast<double>((*t)->stats.row_count)
+                           : 1000.0;
+      if (node.fragment.filter) {
+        // The fragment filter is expressed in table space; estimate it
+        // against a scan-shaped shim so column tracing lines up.
+        PlanNode shim(PlanKind::kSourceScan);
+        shim.scan_global_name = node.scan_global_name.empty()
+                                    ? node.fragment.table
+                                    : node.scan_global_name;
+        shim.est_rows = rows;
+        rows *= EstimateSelectivity(*node.fragment.filter, shim);
+      }
+      if (node.fragment.semijoin_column >= 0 &&
+          !node.fragment.semijoin_values.empty()) {
+        rows = std::min(
+            rows, static_cast<double>(node.fragment.semijoin_values.size()) *
+                      4.0);
+      }
+      if (node.fragment.has_aggregate) {
+        rows = node.fragment.group_by.empty()
+                   ? 1.0
+                   : std::min(rows, std::sqrt(rows) * 10.0);
+      }
+      if (node.fragment.limit >= 0) {
+        rows = std::min(rows, static_cast<double>(node.fragment.limit));
+      }
+      return std::max(rows, 0.0);
+    }
+    case PlanKind::kUnionAll: {
+      double total = 0;
+      for (const auto& c : node.children) total += c->est_rows;
+      return total;
+    }
+    case PlanKind::kFilter:
+      return node.children[0]->est_rows *
+             EstimateSelectivity(*node.filter, *node.children[0]);
+    case PlanKind::kProject:
+    case PlanKind::kSort:
+      return node.children[0]->est_rows;
+    case PlanKind::kLimit: {
+      const double child = node.children[0]->est_rows;
+      if (node.limit < 0) return std::max(0.0, child - node.offset);
+      return std::min(child, static_cast<double>(node.limit));
+    }
+    case PlanKind::kDistinct:
+      // Heuristic: duplicates shrink the set by half unless tiny.
+      return std::max(1.0, node.children[0]->est_rows * 0.5);
+    case PlanKind::kJoin: {
+      const PlanNode& left = *node.children[0];
+      const PlanNode& right = *node.children[1];
+      const double lr = std::max(left.est_rows, 1.0);
+      const double rr = std::max(right.est_rows, 1.0);
+      if (node.join_type == JoinType::kAnti) {
+        return lr * 0.5;  // half survive, absent better information
+      }
+      if (node.left_keys.empty()) {
+        return lr * rr;  // cross join
+      }
+      double denom = 1.0;
+      for (size_t i = 0; i < node.left_keys.size(); ++i) {
+        const int64_t ld = EstimateDistinct(left, node.left_keys[i]);
+        const int64_t rd = EstimateDistinct(right, node.right_keys[i]);
+        const double d = static_cast<double>(std::max(ld, rd));
+        denom *= std::max(d, 1.0);
+        if (ld == 0 && rd == 0) {
+          // No stats: assume FK join producing max(|L|, |R|).
+          denom = std::max(denom, std::min(lr, rr));
+        }
+      }
+      double rows = lr * rr / denom;
+      if (node.join_residual) {
+        rows *= EstimateSelectivity(*node.join_residual, node);
+      }
+      if (node.join_type == JoinType::kLeft) rows = std::max(rows, lr);
+      return std::max(rows, 0.0);
+    }
+    case PlanKind::kAggregate: {
+      const double child = node.children[0]->est_rows;
+      if (node.group_by.empty()) return 1.0;
+      double groups = 1.0;
+      bool any_stats = false;
+      for (const auto& g : node.group_by) {
+        const Expr* e = g.get();
+        while (e->kind == ExprKind::kCast) e = e->children[0].get();
+        if (e->kind == ExprKind::kColumn) {
+          const int64_t d =
+              EstimateDistinct(*node.children[0], e->column_index);
+          if (d > 0) {
+            groups *= static_cast<double>(d);
+            any_stats = true;
+            continue;
+          }
+        }
+        groups *= 10.0;
+      }
+      if (!any_stats) groups = std::min(groups, std::sqrt(child) * 10.0);
+      return std::min(child, std::max(groups, 1.0));
+    }
+  }
+  return 1.0;
+}
+
+void CostModel::Annotate(const PlanNodePtr& root) const {
+  for (const auto& c : root->children) Annotate(c);
+  root->est_rows = EstimateRows(*root);
+  const double row_width =
+      root->output_schema ? static_cast<double>(
+                                root->output_schema->EstimatedRowWidth())
+                          : 16.0;
+  root->est_bytes = root->est_rows * row_width;
+
+  double cost = 0;
+  switch (root->kind) {
+    case PlanKind::kSourceScan:
+    case PlanKind::kRemoteFragment: {
+      // Round trip: small request + result transfer + source scan CPU.
+      auto t = catalog_.GetTable(!root->scan_global_name.empty()
+                                     ? root->scan_global_name
+                                     : root->fragment.table);
+      const double base_rows =
+          t.ok() ? static_cast<double>((*t)->stats.row_count)
+                 : root->est_rows;
+      cost = params_.link.TransferTimeMs(256) +
+             params_.link.TransferTimeMs(
+                 static_cast<int64_t>(root->est_bytes)) +
+             base_rows * params_.source_cpu_us_per_row / 1e3;
+      break;
+    }
+    case PlanKind::kUnionAll: {
+      // Fragments run in parallel: pay the slowest child.
+      double max_child = 0;
+      for (const auto& c : root->children) {
+        max_child = std::max(max_child, c->est_cost_ms);
+      }
+      cost = max_child +
+             root->est_rows * params_.mediator_cpu_us_per_row / 1e3;
+      return void(root->est_cost_ms = cost);
+    }
+    default:
+      break;
+  }
+  // Generic: children costs combine by sum (sequential), except joins in
+  // ship mode overlap their fetches (max), and union (handled above).
+  double children_cost = 0;
+  if (root->kind == PlanKind::kJoin &&
+      root->join_strategy == JoinStrategy::kShip) {
+    children_cost = std::max(root->children[0]->est_cost_ms,
+                             root->children[1]->est_cost_ms);
+  } else {
+    for (const auto& c : root->children) children_cost += c->est_cost_ms;
+  }
+  double local_rows = root->est_rows;
+  if (root->kind == PlanKind::kJoin) {
+    local_rows = root->children[0]->est_rows + root->children[1]->est_rows +
+                 root->est_rows;
+  } else if (!root->children.empty()) {
+    local_rows = root->children[0]->est_rows;
+  }
+  root->est_cost_ms =
+      cost + children_cost +
+      local_rows * params_.mediator_cpu_us_per_row / 1e3;
+}
+
+}  // namespace gisql

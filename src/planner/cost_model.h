@@ -1,0 +1,58 @@
+/// \file cost_model.h
+/// \brief Cardinality and cost estimation for the distributed planner.
+///
+/// Estimates flow from the catalog's imported table statistics. Costs
+/// are expressed in simulated milliseconds, combining network transfer
+/// (latency + bytes/bandwidth, per the configured default link) with
+/// source and mediator CPU. Join ordering uses the classic C_out metric
+/// (sum of intermediate cardinalities) derived from the same estimates.
+
+#pragma once
+
+#include "catalog/catalog.h"
+#include "net/sim_network.h"
+#include "planner/options.h"
+#include "planner/plan.h"
+
+namespace gisql {
+
+/// \brief Tuning constants + link assumption for estimation.
+struct CostParams {
+  LinkSpec link;                      ///< assumed mediator↔source link
+  double source_cpu_us_per_row = 0.05;
+  double mediator_cpu_us_per_row = 0.05;
+};
+
+class CostModel {
+ public:
+  CostModel(const Catalog& catalog, CostParams params)
+      : catalog_(catalog), params_(params) {}
+
+  /// \brief Fills est_rows / est_bytes / est_cost_ms on every node
+  /// (bottom-up). Safe to call on both logical and decomposed plans.
+  void Annotate(const PlanNodePtr& root) const;
+
+  /// \brief Estimated selectivity (0..1] of a predicate over `input`'s
+  /// output rows, using column statistics when they can be traced to a
+  /// base table.
+  double EstimateSelectivity(const Expr& pred, const PlanNode& input) const;
+
+  /// \brief Estimated distinct count of column `col` of `node`'s output,
+  /// or 0 when unknown.
+  int64_t EstimateDistinct(const PlanNode& node, size_t col) const;
+
+  /// \brief Per-column statistics if the column traces to a base table
+  /// column through filters/projections/joins; nullptr otherwise.
+  const ColumnStats* TraceColumnStats(const PlanNode& node,
+                                      size_t col) const;
+
+  const CostParams& params() const { return params_; }
+
+ private:
+  double EstimateRows(const PlanNode& node) const;
+
+  const Catalog& catalog_;
+  CostParams params_;
+};
+
+}  // namespace gisql

@@ -1,0 +1,50 @@
+/// \file decomposer.h
+/// \brief Query decomposition: folds source-local work of the optimized
+/// logical plan into per-source FragmentPlans, bounded by each source's
+/// advertised capabilities, and picks distributed join strategies.
+///
+/// Rules (bottom-up):
+///  - every SourceScan becomes a RemoteFragment;
+///  - Filter / Project / Limit above a fragment are absorbed when the
+///    owning source's dialect supports them (else they stay at the
+///    mediator — "compensation");
+///  - Aggregate above a fragment (or a union of fragments) becomes a
+///    partial aggregation at the source(s) plus a merging aggregation
+///    at the mediator; AVG decomposes into SUM+COUNT partials;
+///  - equi-joins whose probe side is a fragment may be annotated with
+///    the semijoin strategy when the cost model predicts a win.
+
+#pragma once
+
+#include "catalog/catalog.h"
+#include "planner/cost_model.h"
+#include "planner/options.h"
+#include "planner/plan.h"
+
+namespace gisql {
+
+class Decomposer {
+ public:
+  Decomposer(const Catalog& catalog, const PlannerOptions& options,
+             const CostModel* cost_model)
+      : catalog_(catalog), options_(options), cost_(cost_model) {}
+
+  Result<PlanNodePtr> Decompose(PlanNodePtr plan);
+
+ private:
+  Result<PlanNodePtr> Rewrite(PlanNodePtr node);
+
+  const SourceCapabilities* CapsOf(const std::string& source) const;
+
+  Result<PlanNodePtr> TryAbsorbFilter(PlanNodePtr filter_node);
+  Result<PlanNodePtr> TryAbsorbProject(PlanNodePtr project_node);
+  Result<PlanNodePtr> TryAbsorbLimit(PlanNodePtr limit_node);
+  Result<PlanNodePtr> TryPushAggregate(PlanNodePtr agg_node);
+  Status ChooseJoinStrategy(const PlanNodePtr& join_node);
+
+  const Catalog& catalog_;
+  PlannerOptions options_;
+  const CostModel* cost_;
+};
+
+}  // namespace gisql

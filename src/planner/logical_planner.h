@@ -1,0 +1,46 @@
+/// \file logical_planner.h
+/// \brief Binds a parsed SELECT against the global catalog and produces
+/// the initial (unoptimized) logical plan.
+
+#pragma once
+
+#include "catalog/catalog.h"
+#include "common/result.h"
+#include "planner/plan.h"
+#include "sql/ast.h"
+
+namespace gisql {
+
+/// \brief AST → logical plan translator.
+///
+/// Handles: named global tables and union views, derived tables,
+/// inner/left/cross joins with bound ON conditions, WHERE, GROUP BY /
+/// aggregates / HAVING, select-list projection with aliases, DISTINCT,
+/// ORDER BY (over select outputs, or pre-projection expressions via
+/// hidden sort columns), LIMIT/OFFSET, and FROM-less constant selects.
+class LogicalPlanner {
+ public:
+  explicit LogicalPlanner(const Catalog& catalog) : catalog_(catalog) {}
+
+  Result<PlanNodePtr> Plan(const sql::SelectStmt& stmt);
+
+ private:
+  /// Plans one SELECT core; `with_order_limit` false suppresses the
+  /// statement's ORDER BY/LIMIT (they belong to an enclosing UNION ALL).
+  Result<PlanNodePtr> PlanCore(const sql::SelectStmt& stmt,
+                               bool with_order_limit);
+  /// Plans a UNION ALL chain with trailing ORDER BY/LIMIT.
+  Result<PlanNodePtr> PlanUnion(const sql::SelectStmt& stmt);
+  Result<PlanNodePtr> PlanTableRef(const sql::TableRef& ref);
+  Result<PlanNodePtr> PlanNamedTable(const std::string& name,
+                                     const std::string& alias);
+  Result<PlanNodePtr> PlanJoin(const sql::TableRef& ref);
+
+  /// Expands `*` / `alias.*` select items into per-column items.
+  Result<std::vector<sql::SelectItem>> ExpandStars(
+      const sql::SelectStmt& stmt, const Schema& input) const;
+
+  const Catalog& catalog_;
+};
+
+}  // namespace gisql

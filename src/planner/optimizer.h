@@ -1,0 +1,67 @@
+/// \file optimizer.h
+/// \brief Rule-based + cost-based rewrites over the logical plan.
+///
+/// Passes, in order:
+///  1. constant folding over every expression;
+///  2. filter pushdown — conjuncts migrate through projects, below
+///     sorts/distinct, into both join inputs (inner; left-side only for
+///     LEFT JOIN), through union-all into each member, merging into
+///     existing filters, and cross-join equi-conjuncts are promoted to
+///     join keys;
+///  3. join reordering — maximal inner-join clusters are re-enumerated
+///     by the configured algorithm (DP / greedy / as-written / worst)
+///     using the cost model's cardinality estimates;
+///  4. projection pruning — unused columns are dropped as close to the
+///     scans as possible so the decomposer can push narrow projections
+///     into the sources;
+///  5. project fusion — adjacent Project nodes (left behind by join
+///     reordering and pruning) compose into one.
+
+#pragma once
+
+#include "catalog/catalog.h"
+#include "planner/cost_model.h"
+#include "planner/options.h"
+#include "planner/plan.h"
+
+namespace gisql {
+
+class Optimizer {
+ public:
+  Optimizer(const Catalog& catalog, const PlannerOptions& options,
+            const CostModel* cost_model)
+      : catalog_(catalog), options_(options), cost_(cost_model) {}
+
+  Result<PlanNodePtr> Optimize(PlanNodePtr plan);
+
+ private:
+  // Pass 1.
+  PlanNodePtr FoldAllConstants(PlanNodePtr node);
+
+  // Pass 2.
+  Result<PlanNodePtr> PushFilters(PlanNodePtr node,
+                                  std::vector<ExprPtr> pending);
+
+  // Pass 3.
+  Result<PlanNodePtr> ReorderJoins(PlanNodePtr node);
+  Result<PlanNodePtr> ReorderJoinCluster(PlanNodePtr join_root);
+
+  // Pass 5: fuses Project(Project(x)) chains by substitution.
+  Result<PlanNodePtr> FuseProjects(PlanNodePtr node);
+
+  // Pass 4.
+  struct Pruned {
+    PlanNodePtr node;
+    /// old output column index → new index (SIZE_MAX when dropped).
+    std::vector<size_t> mapping;
+  };
+  Result<Pruned> PruneColumns(PlanNodePtr node,
+                              const std::vector<bool>& used);
+  Result<PlanNodePtr> PruneAll(PlanNodePtr root);
+
+  const Catalog& catalog_;
+  PlannerOptions options_;
+  const CostModel* cost_;
+};
+
+}  // namespace gisql

@@ -1,0 +1,67 @@
+/// \file options.h
+/// \brief Planner/optimizer switches. The benches use these to realize
+/// the paper's baselines (ship-everything vs. pushdown vs. full).
+
+#pragma once
+
+#include <cstdint>
+
+namespace gisql {
+
+/// \brief Join enumeration algorithms (experiment E5).
+enum class JoinOrdering : uint8_t {
+  kAsWritten,  ///< keep the FROM-clause order (left-deep)
+  kGreedy,     ///< smallest-intermediate-first heuristic
+  kDp,         ///< dynamic programming over connected subsets (≤ 10 rels)
+  kWorst,      ///< adversarial: largest-intermediate-first (baseline)
+};
+
+/// \brief All planner knobs with production defaults.
+struct PlannerOptions {
+  bool enable_filter_pushdown = true;      ///< push filters into fragments
+  bool enable_projection_pushdown = true;  ///< prune columns at sources
+  bool enable_aggregate_pushdown = true;   ///< partial aggregation at sources
+  bool enable_limit_pushdown = true;
+  bool enable_semijoin = true;             ///< semijoin-reduced joins
+  /// Skip the cost-based choice and semijoin-reduce every eligible join
+  /// (used by the ablation benches to measure both sides of the
+  /// crossover).
+  bool force_semijoin = false;
+  bool enable_constant_folding = true;
+  JoinOrdering join_ordering = JoinOrdering::kDp;
+
+  /// Semijoin reduction ships at most this many distinct keys.
+  int64_t semijoin_max_keys = 100000;
+
+  /// Mediator CPU cost per row for local operators (simulated µs).
+  double mediator_cpu_us_per_row = 0.05;
+
+  /// Dispatch independent remote fetches on worker threads (wall-clock
+  /// only; simulated time and results are identical either way).
+  bool parallel_execution = true;
+
+  /// \brief The pre-mediator baseline: fetch whole tables, do all work
+  /// centrally.
+  static PlannerOptions ShipEverything() {
+    PlannerOptions o;
+    o.enable_filter_pushdown = false;
+    o.enable_projection_pushdown = false;
+    o.enable_aggregate_pushdown = false;
+    o.enable_limit_pushdown = false;
+    o.enable_semijoin = false;
+    o.join_ordering = JoinOrdering::kAsWritten;
+    return o;
+  }
+
+  /// \brief Filter pushdown only (the minimal mediator).
+  static PlannerOptions FilterPushdownOnly() {
+    PlannerOptions o = ShipEverything();
+    o.enable_filter_pushdown = true;
+    return o;
+  }
+
+  /// \brief Everything on (the paper's full proposal).
+  static PlannerOptions Full() { return PlannerOptions{}; }
+};
+
+}  // namespace gisql

@@ -1,0 +1,172 @@
+#include "planner/plan.h"
+
+#include <functional>
+#include <sstream>
+
+namespace gisql {
+
+const char* PlanKindName(PlanKind k) {
+  switch (k) {
+    case PlanKind::kValues: return "Values";
+    case PlanKind::kSourceScan: return "SourceScan";
+    case PlanKind::kRemoteFragment: return "RemoteFragment";
+    case PlanKind::kUnionAll: return "UnionAll";
+    case PlanKind::kFilter: return "Filter";
+    case PlanKind::kProject: return "Project";
+    case PlanKind::kJoin: return "Join";
+    case PlanKind::kAggregate: return "Aggregate";
+    case PlanKind::kSort: return "Sort";
+    case PlanKind::kLimit: return "Limit";
+    case PlanKind::kDistinct: return "Distinct";
+  }
+  return "?";
+}
+
+std::string PlanNode::Explain(int indent) const {
+  std::ostringstream oss;
+  oss << std::string(indent * 2, ' ') << PlanKindName(kind);
+  switch (kind) {
+    case PlanKind::kValues:
+      oss << " (" << values_rows.size() << " rows)";
+      break;
+    case PlanKind::kSourceScan:
+      oss << " " << scan_global_name << " @" << scan_source;
+      break;
+    case PlanKind::kRemoteFragment:
+      oss << " @" << fragment_source << " " << fragment.ToString();
+      break;
+    case PlanKind::kFilter:
+      oss << " " << filter->ToString();
+      break;
+    case PlanKind::kProject: {
+      oss << " [";
+      for (size_t i = 0; i < projections.size(); ++i) {
+        if (i) oss << ", ";
+        oss << projections[i]->ToString();
+        if (i < projection_names.size() && !projection_names[i].empty() &&
+            projection_names[i] != projections[i]->ToString()) {
+          oss << " AS " << projection_names[i];
+        }
+      }
+      oss << "]";
+      break;
+    }
+    case PlanKind::kJoin: {
+      oss << (join_type == JoinType::kLeft
+                  ? " LEFT"
+                  : (join_type == JoinType::kAnti ? " ANTI(null-aware)"
+                                                  : " INNER"));
+      oss << (join_strategy == JoinStrategy::kSemijoin ? " (semijoin-reduced)"
+                                                       : " (ship)");
+      oss << " keys=[";
+      for (size_t i = 0; i < left_keys.size(); ++i) {
+        if (i) oss << ", ";
+        oss << "$" << left_keys[i] << "=$" << right_keys[i] << "R";
+      }
+      oss << "]";
+      if (join_residual) oss << " residual=" << join_residual->ToString();
+      break;
+    }
+    case PlanKind::kAggregate: {
+      oss << " groups=[";
+      for (size_t i = 0; i < group_by.size(); ++i) {
+        if (i) oss << ", ";
+        oss << group_by[i]->ToString();
+      }
+      oss << "] aggs=[";
+      for (size_t i = 0; i < aggregates.size(); ++i) {
+        if (i) oss << ", ";
+        oss << aggregates[i].display;
+      }
+      oss << "]";
+      break;
+    }
+    case PlanKind::kSort: {
+      oss << " by [";
+      for (size_t i = 0; i < sort_columns.size(); ++i) {
+        if (i) oss << ", ";
+        oss << "$" << sort_columns[i] << (sort_ascending[i] ? "" : " DESC");
+      }
+      oss << "]";
+      break;
+    }
+    case PlanKind::kLimit:
+      oss << " " << limit;
+      if (offset > 0) oss << " OFFSET " << offset;
+      break;
+    default:
+      break;
+  }
+  if (est_rows > 0) {
+    oss << "  {est_rows=" << static_cast<int64_t>(est_rows)
+        << ", est_cost=" << est_cost_ms << "ms}";
+  }
+  if (actual_rows >= 0) {
+    oss << "  {actual_rows=" << static_cast<int64_t>(actual_rows)
+        << ", actual_ms=" << actual_ms << "}";
+  }
+  oss << "\n";
+  for (const auto& c : children) oss << c->Explain(indent + 1);
+  return oss.str();
+}
+
+PlanNodePtr MakeScanNode(std::string global_name, std::string source,
+                         std::string exported_name, SchemaPtr schema) {
+  auto node = std::make_shared<PlanNode>(PlanKind::kSourceScan);
+  node->scan_global_name = std::move(global_name);
+  node->scan_source = std::move(source);
+  node->scan_exported_name = std::move(exported_name);
+  node->output_schema = std::move(schema);
+  return node;
+}
+
+PlanNodePtr MakeFilterNode(PlanNodePtr child, ExprPtr predicate) {
+  auto node = std::make_shared<PlanNode>(PlanKind::kFilter);
+  node->output_schema = child->output_schema;
+  node->filter = std::move(predicate);
+  node->children.push_back(std::move(child));
+  return node;
+}
+
+PlanNodePtr MakeProjectNode(PlanNodePtr child, std::vector<ExprPtr> exprs,
+                            std::vector<std::string> names) {
+  auto node = std::make_shared<PlanNode>(PlanKind::kProject);
+  std::vector<Field> fields;
+  fields.reserve(exprs.size());
+  for (size_t i = 0; i < exprs.size(); ++i) {
+    const std::string name =
+        i < names.size() && !names[i].empty() ? names[i]
+                                              : exprs[i]->ToString();
+    fields.emplace_back(name, exprs[i]->type);
+  }
+  node->output_schema = std::make_shared<Schema>(std::move(fields));
+  node->projections = std::move(exprs);
+  node->projection_names = std::move(names);
+  node->children.push_back(std::move(child));
+  return node;
+}
+
+PlanNodePtr MakeUnionAllNode(std::vector<PlanNodePtr> children,
+                             SchemaPtr schema) {
+  auto node = std::make_shared<PlanNode>(PlanKind::kUnionAll);
+  node->output_schema = std::move(schema);
+  node->children = std::move(children);
+  return node;
+}
+
+PlanNodePtr MakeLimitNode(PlanNodePtr child, int64_t limit, int64_t offset) {
+  auto node = std::make_shared<PlanNode>(PlanKind::kLimit);
+  node->output_schema = child->output_schema;
+  node->limit = limit;
+  node->offset = offset;
+  node->children.push_back(std::move(child));
+  return node;
+}
+
+void VisitPlan(const PlanNodePtr& root,
+               const std::function<void(const PlanNodePtr&)>& fn) {
+  fn(root);
+  for (const auto& c : root->children) VisitPlan(c, fn);
+}
+
+}  // namespace gisql

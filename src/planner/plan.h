@@ -1,0 +1,142 @@
+/// \file plan.h
+/// \brief The mediator's query plan representation.
+///
+/// One node type serves as both logical and executable plan: the
+/// planner builds it from the AST, the optimizer rewrites it, the
+/// decomposer folds source-local work into kRemoteFragment leaves, and
+/// the executor (exec/executor.h) interprets the result.
+
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "expr/binder.h"
+#include "types/row.h"
+#include "expr/expr.h"
+#include "source/fragment.h"
+#include "types/schema.h"
+
+namespace gisql {
+
+enum class PlanKind : uint8_t {
+  kValues,          ///< inline constant rows (SELECT without FROM)
+  kSourceScan,      ///< logical scan of one global table (pre-decompose)
+  kRemoteFragment,  ///< executable: ship FragmentPlan to a source
+  kUnionAll,        ///< concatenation of union-compatible children
+  kFilter,          ///< predicate over child rows
+  kProject,         ///< computed columns over child rows
+  kJoin,            ///< binary join
+  kAggregate,       ///< hash aggregation
+  kSort,            ///< total order by key columns
+  kLimit,           ///< limit/offset
+  kDistinct,        ///< duplicate elimination over all columns
+};
+
+const char* PlanKindName(PlanKind k);
+
+/// kAnti is the null-aware anti-join backing NOT IN (SELECT ...): it
+/// outputs *left columns only* for rows with no right match, yields
+/// nothing when the right side contains a NULL key, and drops NULL
+/// probes — exactly SQL's NOT IN three-valued semantics.
+enum class JoinType : uint8_t { kInner, kLeft, kAnti };
+
+/// \brief Distributed join strategies (DESIGN.md E2/E8).
+enum class JoinStrategy : uint8_t {
+  kShip,      ///< fetch both sides, hash join at the mediator
+  kSemijoin,  ///< fetch build side, reduce probe fragment by its keys,
+              ///< then join at the mediator
+};
+
+struct PlanNode;
+using PlanNodePtr = std::shared_ptr<PlanNode>;
+
+/// \brief One plan operator. Field groups are used per `kind`.
+struct PlanNode {
+  PlanKind kind;
+  SchemaPtr output_schema;
+  std::vector<PlanNodePtr> children;
+
+  // kValues
+  std::vector<Row> values_rows;
+
+  // kSourceScan — identity of the scanned global table
+  std::string scan_global_name;
+  std::string scan_source;         ///< owning source host
+  std::string scan_exported_name;  ///< table name at the source
+
+  /// Replica alternates (replicated views): (source, exported, global)
+  /// triples the executor may fail over to when the primary source is
+  /// unreachable. Carried onto the RemoteFragment by the decomposer.
+  struct ReplicaAlternate {
+    std::string source;
+    std::string exported_name;
+    std::string global_name;
+  };
+  std::vector<ReplicaAlternate> scan_alternates;
+
+  // kRemoteFragment
+  std::string fragment_source;  ///< destination host
+  FragmentPlan fragment;
+
+  // kFilter (also residual join predicate below)
+  ExprPtr filter;
+
+  // kProject
+  std::vector<ExprPtr> projections;
+  std::vector<std::string> projection_names;
+
+  // kJoin
+  JoinType join_type = JoinType::kInner;
+  JoinStrategy join_strategy = JoinStrategy::kShip;
+  std::vector<size_t> left_keys;   ///< equi-join key columns (left child)
+  std::vector<size_t> right_keys;  ///< equi-join key columns (right child)
+  ExprPtr join_residual;           ///< non-equi condition over concat row
+
+  // kAggregate
+  std::vector<ExprPtr> group_by;            ///< over child schema
+  std::vector<BoundAggregate> aggregates;   ///< over child schema
+
+  // kSort
+  std::vector<size_t> sort_columns;  ///< output-column indexes
+  std::vector<bool> sort_ascending;
+
+  // kLimit
+  int64_t limit = -1;
+  int64_t offset = 0;
+
+  // Cost annotations (filled by the cost model).
+  double est_rows = 0.0;
+  double est_bytes = 0.0;
+  double est_cost_ms = 0.0;
+
+  // Execution actuals (filled by the executor under EXPLAIN ANALYZE;
+  // mutable because execution observes an otherwise-const plan).
+  mutable double actual_rows = -1.0;
+  mutable double actual_ms = -1.0;
+
+  explicit PlanNode(PlanKind k) : kind(k) {}
+
+  /// \brief Multi-line EXPLAIN rendering with indentation.
+  std::string Explain(int indent = 0) const;
+};
+
+/// \name Node factories
+/// @{
+PlanNodePtr MakeScanNode(std::string global_name, std::string source,
+                         std::string exported_name, SchemaPtr schema);
+PlanNodePtr MakeFilterNode(PlanNodePtr child, ExprPtr predicate);
+PlanNodePtr MakeProjectNode(PlanNodePtr child, std::vector<ExprPtr> exprs,
+                            std::vector<std::string> names);
+PlanNodePtr MakeUnionAllNode(std::vector<PlanNodePtr> children,
+                             SchemaPtr schema);
+PlanNodePtr MakeLimitNode(PlanNodePtr child, int64_t limit, int64_t offset);
+/// @}
+
+/// \brief Visits every node (pre-order) in the plan tree.
+void VisitPlan(const PlanNodePtr& root,
+               const std::function<void(const PlanNodePtr&)>& fn);
+
+}  // namespace gisql

@@ -1,0 +1,61 @@
+#include "source/capabilities.h"
+
+namespace gisql {
+
+const char* SourceDialectName(SourceDialect d) {
+  switch (d) {
+    case SourceDialect::kRelational: return "RELATIONAL";
+    case SourceDialect::kDocument: return "DOCUMENT";
+    case SourceDialect::kKeyValue: return "KEYVALUE";
+    case SourceDialect::kLegacy: return "LEGACY";
+  }
+  return "?";
+}
+
+SourceCapabilities SourceCapabilities::For(SourceDialect dialect) {
+  SourceCapabilities caps;
+  switch (dialect) {
+    case SourceDialect::kRelational:
+      caps.filter_pushdown = true;
+      caps.projection_pushdown = true;
+      caps.aggregate_pushdown = true;
+      caps.limit_pushdown = true;
+      caps.sort_pushdown = true;
+      caps.semijoin_pushdown = true;
+      break;
+    case SourceDialect::kDocument:
+      caps.filter_pushdown = true;
+      caps.projection_pushdown = true;
+      caps.limit_pushdown = true;
+      caps.sort_pushdown = true;
+      break;
+    case SourceDialect::kKeyValue:
+      caps.semijoin_pushdown = true;
+      caps.semijoin_key_only = true;
+      caps.limit_pushdown = true;
+      break;
+    case SourceDialect::kLegacy:
+      break;
+  }
+  return caps;
+}
+
+std::string SourceCapabilities::ToString() const {
+  std::string out = "{";
+  auto add = [&](const char* name, bool on) {
+    if (on) {
+      if (out.size() > 1) out += ",";
+      out += name;
+    }
+  };
+  add("filter", filter_pushdown);
+  add("project", projection_pushdown);
+  add("aggregate", aggregate_pushdown);
+  add("limit", limit_pushdown);
+  add("sort", sort_pushdown);
+  add(semijoin_key_only ? "semijoin(key)" : "semijoin", semijoin_pushdown);
+  out += "}";
+  return out.empty() ? "{}" : out;
+}
+
+}  // namespace gisql

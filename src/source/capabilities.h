@@ -1,0 +1,46 @@
+/// \file capabilities.h
+/// \brief Heterogeneity model: what each component-source dialect can
+/// execute locally.
+///
+/// The 1989 vision integrates *autonomous, heterogeneous* systems: a
+/// full relational DBMS, a key-value store, a document/file system, a
+/// legacy application with a thin extract interface. What differs across
+/// them — for the mediator's planner — is which parts of a sub-query
+/// they can evaluate themselves. The mediator pushes down exactly what a
+/// source advertises and compensates for the rest.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace gisql {
+
+/// \brief The four heterogeneous source dialects gisql models.
+enum class SourceDialect : uint8_t {
+  kRelational = 0,  ///< full DBMS: filter/project/aggregate/limit/semijoin
+  kDocument = 1,    ///< document store: filter + projection + limit
+  kKeyValue = 2,    ///< KV store: key-column semijoin lookup + limit
+  kLegacy = 3,      ///< legacy extract interface: full scans only
+};
+
+const char* SourceDialectName(SourceDialect d);
+
+/// \brief Pushdown capabilities a source advertises to the catalog.
+struct SourceCapabilities {
+  bool filter_pushdown = false;
+  bool projection_pushdown = false;
+  bool aggregate_pushdown = false;
+  bool limit_pushdown = false;
+  bool sort_pushdown = false;  ///< ORDER BY (and thus top-k) at the source
+  bool semijoin_pushdown = false;
+  /// When true, semijoin reduction may target only column 0 (the key).
+  bool semijoin_key_only = false;
+
+  /// \brief Capability preset for a dialect.
+  static SourceCapabilities For(SourceDialect dialect);
+
+  std::string ToString() const;
+};
+
+}  // namespace gisql

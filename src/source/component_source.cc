@@ -1,0 +1,486 @@
+#include "source/component_source.h"
+
+#include <algorithm>
+#include <fstream>
+#include <unordered_set>
+
+#include "common/hash.h"
+#include "exec/hash_aggregate.h"
+#include "expr/binder.h"
+#include "expr/eval.h"
+#include "sql/parser.h"
+#include "wire/protocol.h"
+#include "wire/serde.h"
+
+namespace gisql {
+
+ComponentSource::ComponentSource(std::string name, SourceDialect dialect,
+                                 double cpu_us_per_row)
+    : name_(std::move(name)),
+      dialect_(dialect),
+      caps_(SourceCapabilities::For(dialect)),
+      cpu_us_per_row_(cpu_us_per_row) {}
+
+Status ComponentSource::ExecuteLocalSql(const std::string& sql) {
+  GISQL_ASSIGN_OR_RETURN(sql::Statement stmt, sql::ParseStatement(sql));
+  switch (stmt.kind) {
+    case sql::Statement::Kind::kCreateTable: {
+      std::vector<Field> fields;
+      for (const auto& [col, type_name] : stmt.create_table->columns) {
+        GISQL_ASSIGN_OR_RETURN(TypeId type, ParseTypeName(type_name));
+        fields.emplace_back(col, type, /*nullable=*/true,
+                            stmt.create_table->table_name);
+      }
+      // First column is conventionally the key: non-nullable.
+      if (!fields.empty()) fields[0].nullable = false;
+      GISQL_ASSIGN_OR_RETURN(
+          TablePtr table,
+          engine_.CreateTable(stmt.create_table->table_name,
+                              std::make_shared<Schema>(std::move(fields))));
+      // Key column gets a hash index so KV-style lookups are realistic.
+      GISQL_RETURN_NOT_OK(table->CreateHashIndex(0));
+      return Status::OK();
+    }
+    case sql::Statement::Kind::kInsert: {
+      GISQL_ASSIGN_OR_RETURN(TablePtr table,
+                             engine_.GetTable(stmt.insert->table_name));
+      static const Schema kEmptySchema;
+      Binder binder(kEmptySchema);
+      static const Row kEmptyRow;
+      for (const auto& ast_row : stmt.insert->rows) {
+        Row row;
+        row.reserve(ast_row.size());
+        for (const auto& ast_val : ast_row) {
+          GISQL_ASSIGN_OR_RETURN(ExprPtr e, binder.BindScalar(*ast_val));
+          GISQL_ASSIGN_OR_RETURN(Value v, EvalExpr(*e, kEmptyRow));
+          row.push_back(std::move(v));
+        }
+        GISQL_RETURN_NOT_OK(table->Insert(std::move(row)));
+      }
+      return Status::OK();
+    }
+    default:
+      return Status::InvalidArgument(
+          "component sources accept only CREATE TABLE / INSERT locally; "
+          "route queries through the mediator");
+  }
+}
+
+Status ComponentSource::CheckCapabilities(const FragmentPlan& frag) const {
+  if (frag.filter && !caps_.filter_pushdown) {
+    return Status::CapabilityError(SourceDialectName(dialect_), " source '",
+                                   name_, "' cannot evaluate filters");
+  }
+  if (!frag.projections.empty() && !caps_.projection_pushdown) {
+    return Status::CapabilityError(SourceDialectName(dialect_), " source '",
+                                   name_, "' cannot project");
+  }
+  if (frag.has_aggregate && !caps_.aggregate_pushdown) {
+    return Status::CapabilityError(SourceDialectName(dialect_), " source '",
+                                   name_, "' cannot aggregate");
+  }
+  if (frag.limit >= 0 && !caps_.limit_pushdown) {
+    return Status::CapabilityError(SourceDialectName(dialect_), " source '",
+                                   name_, "' cannot apply LIMIT");
+  }
+  if (!frag.order_by.empty() && !caps_.sort_pushdown) {
+    return Status::CapabilityError(SourceDialectName(dialect_), " source '",
+                                   name_, "' cannot apply ORDER BY");
+  }
+  if (frag.semijoin_column >= 0) {
+    if (!caps_.semijoin_pushdown) {
+      return Status::CapabilityError(SourceDialectName(dialect_),
+                                     " source '", name_,
+                                     "' cannot apply semijoin reduction");
+    }
+    if (caps_.semijoin_key_only && frag.semijoin_column != 0) {
+      return Status::CapabilityError(
+          SourceDialectName(dialect_), " source '", name_,
+          "' supports semijoin lookup only on the key column");
+    }
+  }
+  if (frag.has_aggregate && !frag.projections.empty()) {
+    return Status::InvalidArgument(
+        "fragment cannot carry both projections and aggregation");
+  }
+  for (const auto& agg : frag.aggregates) {
+    if (agg.distinct && agg.kind != AggKind::kMin &&
+        agg.kind != AggKind::kMax) {
+      return Status::InvalidArgument(
+          "DISTINCT aggregates are not decomposable; the mediator must "
+          "evaluate them centrally");
+    }
+  }
+  return Status::OK();
+}
+
+namespace {
+
+/// Sorts a batch by the fragment's order-by expressions (evaluated over
+/// the batch's own rows) and applies `limit`.
+Status SortAndLimit(RowBatch* batch, const std::vector<ExprPtr>& order_by,
+                    const std::vector<bool>& ascending, int64_t limit) {
+  if (!order_by.empty()) {
+    // Precompute sort keys so evaluation errors surface before sorting.
+    std::vector<std::pair<Row, size_t>> keyed;
+    keyed.reserve(batch->num_rows());
+    for (size_t i = 0; i < batch->num_rows(); ++i) {
+      Row keys;
+      keys.reserve(order_by.size());
+      for (const auto& e : order_by) {
+        GISQL_ASSIGN_OR_RETURN(Value k, EvalExpr(*e, batch->rows()[i]));
+        keys.push_back(std::move(k));
+      }
+      keyed.emplace_back(std::move(keys), i);
+    }
+    std::stable_sort(keyed.begin(), keyed.end(),
+                     [&](const auto& a, const auto& b) {
+                       for (size_t k = 0; k < order_by.size(); ++k) {
+                         const int c = a.first[k].Compare(b.first[k]);
+                         if (c != 0) {
+                           const bool asc =
+                               k < ascending.size() ? ascending[k] : true;
+                           return asc ? c < 0 : c > 0;
+                         }
+                       }
+                       return a.second < b.second;
+                     });
+    std::vector<Row> sorted;
+    sorted.reserve(keyed.size());
+    for (const auto& [keys, idx] : keyed) {
+      sorted.push_back(std::move(batch->rows()[idx]));
+    }
+    *batch = RowBatch(batch->schema(), std::move(sorted));
+  }
+  if (limit >= 0 && static_cast<int64_t>(batch->num_rows()) > limit) {
+    batch->rows().resize(static_cast<size_t>(limit));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<RowBatch> ComponentSource::ExecuteFragment(const FragmentPlan& frag,
+                                                  int64_t* rows_scanned) {
+  GISQL_RETURN_NOT_OK(CheckCapabilities(frag));
+  GISQL_ASSIGN_OR_RETURN(TablePtr table, engine_.GetTable(frag.table));
+  const std::vector<Row>& rows = table->rows();
+
+  int64_t scanned = 0;
+  std::vector<const Row*> candidates;
+
+  if (frag.semijoin_column >= 0) {
+    const size_t col = static_cast<size_t>(frag.semijoin_column);
+    if (col >= table->schema()->num_fields()) {
+      return Status::InvalidArgument("semijoin column ", col,
+                                     " out of range for table '",
+                                     frag.table, "'");
+    }
+    HashIndex* index = table->GetHashIndex(col);
+    if (index != nullptr) {
+      // Index lookups: touch only matching rows.
+      for (const auto& key : frag.semijoin_values) {
+        for (size_t rid : index->Lookup(key)) {
+          candidates.push_back(&rows[rid]);
+          ++scanned;
+        }
+      }
+    } else {
+      std::unordered_set<uint64_t> keys;
+      keys.reserve(frag.semijoin_values.size());
+      for (const auto& v : frag.semijoin_values) keys.insert(v.Hash());
+      for (const auto& row : rows) {
+        ++scanned;
+        const Value& v = row[col];
+        if (v.is_null() || !keys.count(v.Hash())) continue;
+        // Hash hit: confirm by value to rule out collisions.
+        bool match = false;
+        for (const auto& key : frag.semijoin_values) {
+          if (v.Compare(key) == 0) {
+            match = true;
+            break;
+          }
+        }
+        if (match) candidates.push_back(&row);
+      }
+    }
+  } else {
+    candidates.reserve(rows.size());
+    for (const auto& row : rows) {
+      ++scanned;
+      candidates.push_back(&row);
+    }
+  }
+  if (rows_scanned != nullptr) *rows_scanned = scanned;
+
+  // Filter.
+  std::vector<const Row*> filtered;
+  if (frag.filter) {
+    filtered.reserve(candidates.size());
+    for (const Row* row : candidates) {
+      GISQL_ASSIGN_OR_RETURN(bool keep, EvalPredicate(*frag.filter, *row));
+      if (keep) filtered.push_back(row);
+    }
+  } else {
+    filtered = std::move(candidates);
+  }
+
+  // Aggregation path.
+  if (frag.has_aggregate) {
+    std::vector<Field> out_fields;
+    for (const auto& g : frag.group_by) {
+      out_fields.emplace_back(g->ToString(), g->type);
+    }
+    for (const auto& a : frag.aggregates) {
+      out_fields.emplace_back(a.display, a.result_type);
+    }
+    auto out_schema = std::make_shared<Schema>(std::move(out_fields));
+    GISQL_ASSIGN_OR_RETURN(
+        RowBatch out,
+        HashAggregate(filtered, frag.group_by, frag.aggregates,
+                      std::move(out_schema),
+                      frag.order_by.empty() ? frag.limit : -1));
+    GISQL_RETURN_NOT_OK(SortAndLimit(&out, frag.order_by,
+                                     frag.order_ascending, frag.limit));
+    return out;
+  }
+
+  // Projection / pass-through path.
+  SchemaPtr out_schema;
+  if (!frag.projections.empty()) {
+    std::vector<Field> out_fields;
+    for (size_t i = 0; i < frag.projections.size(); ++i) {
+      const std::string name = i < frag.projection_names.size() &&
+                                       !frag.projection_names[i].empty()
+                                   ? frag.projection_names[i]
+                                   : frag.projections[i]->ToString();
+      out_fields.emplace_back(name, frag.projections[i]->type);
+    }
+    out_schema = std::make_shared<Schema>(std::move(out_fields));
+  } else {
+    out_schema = table->schema();
+  }
+
+  RowBatch out(out_schema);
+  for (const Row* row : filtered) {
+    if (frag.order_by.empty() && frag.limit >= 0 &&
+        static_cast<int64_t>(out.num_rows()) >= frag.limit) {
+      break;
+    }
+    if (frag.projections.empty()) {
+      out.Append(*row);
+    } else {
+      Row projected;
+      projected.reserve(frag.projections.size());
+      for (const auto& p : frag.projections) {
+        GISQL_ASSIGN_OR_RETURN(Value v, EvalExpr(*p, *row));
+        projected.push_back(std::move(v));
+      }
+      out.Append(std::move(projected));
+    }
+  }
+  GISQL_RETURN_NOT_OK(SortAndLimit(&out, frag.order_by,
+                                   frag.order_ascending, frag.limit));
+  return out;
+}
+
+Status ComponentSource::PrepareTxn(const std::string& txn_id,
+                                   const std::string& sql) {
+  GISQL_ASSIGN_OR_RETURN(sql::Statement stmt, sql::ParseStatement(sql));
+  if (stmt.kind != sql::Statement::Kind::kInsert) {
+    return Status::InvalidArgument(
+        "global transactions support INSERT statements only");
+  }
+  GISQL_ASSIGN_OR_RETURN(TablePtr table,
+                         engine_.GetTable(stmt.insert->table_name));
+  static const Schema kEmptySchema;
+  Binder binder(kEmptySchema);
+  static const Row kEmptyRow;
+  StagedWrite staged;
+  staged.table = table;
+  for (const auto& ast_row : stmt.insert->rows) {
+    Row row;
+    row.reserve(ast_row.size());
+    for (const auto& ast_val : ast_row) {
+      GISQL_ASSIGN_OR_RETURN(ExprPtr e, binder.BindScalar(*ast_val));
+      GISQL_ASSIGN_OR_RETURN(Value v, EvalExpr(*e, kEmptyRow));
+      row.push_back(std::move(v));
+    }
+    // Full validation now so COMMIT cannot fail on data errors.
+    GISQL_ASSIGN_OR_RETURN(Row validated,
+                           table->ValidateRow(std::move(row)));
+    staged.rows.push_back(std::move(validated));
+  }
+  staged_[txn_id].push_back(std::move(staged));
+  return Status::OK();
+}
+
+Status ComponentSource::CommitTxn(const std::string& txn_id) {
+  auto it = staged_.find(txn_id);
+  if (it == staged_.end()) {
+    return Status::NotFound("transaction '", txn_id, "' is not prepared at '",
+                            name_, "'");
+  }
+  for (auto& write : it->second) {
+    write.table->InsertUnchecked(std::move(write.rows));
+  }
+  staged_.erase(it);
+  return Status::OK();
+}
+
+Status ComponentSource::AbortTxn(const std::string& txn_id) {
+  // Aborting an unknown transaction is a no-op (idempotent rollback).
+  staged_.erase(txn_id);
+  return Status::OK();
+}
+
+namespace {
+constexpr uint32_t kSnapshotMagic = 0x47495351;  // "GISQ"
+constexpr uint8_t kSnapshotVersion = 1;
+}  // namespace
+
+Status ComponentSource::SaveSnapshot(const std::string& path) const {
+  ByteWriter writer;
+  writer.PutU32(kSnapshotMagic);
+  writer.PutU8(kSnapshotVersion);
+  // Engine access is const-friendly here: TableNames/GetTable only read.
+  auto& engine = const_cast<ComponentSource*>(this)->engine_;
+  const auto names = engine.TableNames();
+  writer.PutVarint(names.size());
+  for (const auto& name : names) {
+    GISQL_ASSIGN_OR_RETURN(TablePtr table, engine.GetTable(name));
+    writer.PutString(table->name());
+    RowBatch batch(table->schema(), table->rows());
+    wire::WriteBatch(&writer, batch);
+  }
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    return Status::IOError("cannot open '", path, "' for writing");
+  }
+  out.write(reinterpret_cast<const char*>(writer.data().data()),
+            static_cast<std::streamsize>(writer.size()));
+  if (!out) {
+    return Status::IOError("short write to '", path, "'");
+  }
+  return Status::OK();
+}
+
+Status ComponentSource::LoadSnapshot(const std::string& path) {
+  if (!engine_.TableNames().empty()) {
+    return Status::InvalidArgument(
+        "LoadSnapshot requires an empty source; '", name_,
+        "' already has tables");
+  }
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return Status::IOError("cannot open snapshot '", path, "'");
+  }
+  std::vector<uint8_t> bytes((std::istreambuf_iterator<char>(in)),
+                             std::istreambuf_iterator<char>());
+  ByteReader reader(bytes);
+  GISQL_ASSIGN_OR_RETURN(uint32_t magic, reader.GetU32());
+  if (magic != kSnapshotMagic) {
+    return Status::SerializationError("'", path,
+                                      "' is not a gisql snapshot");
+  }
+  GISQL_ASSIGN_OR_RETURN(uint8_t version, reader.GetU8());
+  if (version != kSnapshotVersion) {
+    return Status::SerializationError("unsupported snapshot version ",
+                                      int(version));
+  }
+  GISQL_ASSIGN_OR_RETURN(uint64_t ntables, reader.GetVarint());
+  for (uint64_t i = 0; i < ntables; ++i) {
+    GISQL_ASSIGN_OR_RETURN(std::string table_name, reader.GetString());
+    GISQL_ASSIGN_OR_RETURN(RowBatch batch, wire::ReadBatch(&reader));
+    GISQL_ASSIGN_OR_RETURN(
+        TablePtr table, engine_.CreateTable(table_name, batch.schema()));
+    GISQL_RETURN_NOT_OK(table->CreateHashIndex(0));
+    table->InsertUnchecked(std::move(batch.rows()));
+  }
+  if (!reader.AtEnd()) {
+    return Status::SerializationError("trailing bytes in snapshot '", path,
+                                      "'");
+  }
+  return Status::OK();
+}
+
+Result<std::vector<uint8_t>> ComponentSource::Handle(
+    uint8_t opcode, const std::vector<uint8_t>& request,
+    double* processing_ms) {
+  std::lock_guard<std::mutex> lock(request_mu_);
+  if (processing_ms != nullptr) *processing_ms = 0.0;
+  ByteReader reader(request);
+  ByteWriter writer;
+  switch (static_cast<wire::Opcode>(opcode)) {
+    case wire::Opcode::kPing:
+      writer.PutString(name_);
+      return writer.Release();
+
+    case wire::Opcode::kListTables: {
+      auto names = engine_.TableNames();
+      writer.PutVarint(names.size());
+      for (const auto& n : names) writer.PutString(n);
+      return writer.Release();
+    }
+
+    case wire::Opcode::kGetSchema: {
+      GISQL_ASSIGN_OR_RETURN(std::string table_name, reader.GetString());
+      GISQL_ASSIGN_OR_RETURN(TablePtr table, engine_.GetTable(table_name));
+      wire::WriteSchema(&writer, *table->schema());
+      return writer.Release();
+    }
+
+    case wire::Opcode::kGetStats: {
+      GISQL_ASSIGN_OR_RETURN(std::string table_name, reader.GetString());
+      GISQL_ASSIGN_OR_RETURN(TablePtr table, engine_.GetTable(table_name));
+      wire::WriteTableStats(&writer, table->Stats());
+      if (processing_ms != nullptr) {
+        *processing_ms =
+            static_cast<double>(table->num_rows()) * cpu_us_per_row_ / 1e3;
+      }
+      return writer.Release();
+    }
+
+    case wire::Opcode::kAdminSql: {
+      GISQL_ASSIGN_OR_RETURN(std::string sql, reader.GetString());
+      GISQL_RETURN_NOT_OK(ExecuteLocalSql(sql));
+      return writer.Release();
+    }
+
+    case wire::Opcode::kTxnPrepare: {
+      GISQL_ASSIGN_OR_RETURN(std::string txn_id, reader.GetString());
+      GISQL_ASSIGN_OR_RETURN(std::string sql, reader.GetString());
+      GISQL_RETURN_NOT_OK(PrepareTxn(txn_id, sql));
+      return writer.Release();
+    }
+
+    case wire::Opcode::kTxnCommit: {
+      GISQL_ASSIGN_OR_RETURN(std::string txn_id, reader.GetString());
+      GISQL_RETURN_NOT_OK(CommitTxn(txn_id));
+      return writer.Release();
+    }
+
+    case wire::Opcode::kTxnAbort: {
+      GISQL_ASSIGN_OR_RETURN(std::string txn_id, reader.GetString());
+      GISQL_RETURN_NOT_OK(AbortTxn(txn_id));
+      return writer.Release();
+    }
+
+    case wire::Opcode::kExecuteFragment: {
+      GISQL_ASSIGN_OR_RETURN(FragmentPlan frag, wire::ReadFragment(&reader));
+      int64_t rows_scanned = 0;
+      GISQL_ASSIGN_OR_RETURN(RowBatch batch,
+                             ExecuteFragment(frag, &rows_scanned));
+      if (processing_ms != nullptr) {
+        *processing_ms =
+            static_cast<double>(rows_scanned) * cpu_us_per_row_ / 1e3;
+      }
+      wire::WriteBatch(&writer, batch);
+      return writer.Release();
+    }
+  }
+  return Status::InvalidArgument("unknown opcode ", int(opcode),
+                                 " at source '", name_, "'");
+}
+
+}  // namespace gisql

@@ -1,0 +1,111 @@
+/// \file component_source.h
+/// \brief An autonomous component information system (wrapper + engine).
+///
+/// Each ComponentSource owns a private StorageEngine, advertises a
+/// dialect-derived capability set, and serves the mediator↔wrapper
+/// protocol over the simulated network: schema/statistics export and
+/// fragment execution. It is deliberately *autonomous*: the mediator
+/// never touches its storage directly, only the protocol.
+
+#pragma once
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "net/sim_network.h"
+#include "source/capabilities.h"
+#include "source/fragment.h"
+#include "storage/table.h"
+#include "types/row.h"
+
+namespace gisql {
+
+/// \brief A component information system participating in the GIS.
+class ComponentSource : public RpcHandler {
+ public:
+  /// \param name network host name (unique within a SimNetwork)
+  /// \param dialect heterogeneity class; fixes the capability set
+  /// \param cpu_us_per_row simulated per-row processing cost reported as
+  ///        server time on fragment execution
+  ComponentSource(std::string name, SourceDialect dialect,
+                  double cpu_us_per_row = 0.05);
+
+  const std::string& name() const { return name_; }
+  SourceDialect dialect() const { return dialect_; }
+  const SourceCapabilities& capabilities() const { return caps_; }
+  StorageEngine& engine() { return engine_; }
+
+  /// \brief Executes source-local DDL/DML SQL (CREATE TABLE / INSERT).
+  /// This is how an administrator populates an autonomous source; SELECT
+  /// goes through the mediator.
+  Status ExecuteLocalSql(const std::string& sql);
+
+  /// \brief Executes a fragment locally, enforcing capabilities.
+  ///
+  /// Anything the fragment requests beyond this source's capability set
+  /// is a CapabilityError — the planner must not have shipped it.
+  /// `rows_scanned` (optional out) reports base rows touched, used for
+  /// the simulated processing-time model.
+  Result<RowBatch> ExecuteFragment(const FragmentPlan& frag,
+                                   int64_t* rows_scanned = nullptr);
+
+  /// \brief RpcHandler entry point: decodes protocol requests, executes,
+  /// and encodes responses. `processing_ms` reflects rows touched.
+  Result<std::vector<uint8_t>> Handle(uint8_t opcode,
+                                      const std::vector<uint8_t>& request,
+                                      double* processing_ms) override;
+
+  /// \name Global-transaction participant (2PC)
+  ///
+  /// The mediator coordinates atomic multi-source updates: PREPARE
+  /// parses and fully validates an INSERT, staging its rows in memory;
+  /// COMMIT applies every staged row of the transaction; ABORT drops
+  /// them. A prepared transaction holds no locks (sources stay
+  /// autonomous), so prepare-validated rows can still conflict with
+  /// concurrent local writes — the staging guarantees atomicity of the
+  /// *global* statement set, not serializability.
+  /// @{
+  Status PrepareTxn(const std::string& txn_id, const std::string& sql);
+  Status CommitTxn(const std::string& txn_id);
+  Status AbortTxn(const std::string& txn_id);
+  /// \brief Number of transactions currently staged (tests/monitoring).
+  size_t pending_txns() const { return staged_.size(); }
+  /// @}
+
+  /// \name Snapshot persistence
+  ///
+  /// A component system's tables serialize to a single file in the wire
+  /// format (schemas + batches). Load requires an empty engine so a
+  /// snapshot never silently merges into existing state.
+  /// @{
+  Status SaveSnapshot(const std::string& path) const;
+  Status LoadSnapshot(const std::string& path);
+  /// @}
+
+ private:
+  Status CheckCapabilities(const FragmentPlan& frag) const;
+
+  std::string name_;
+  SourceDialect dialect_;
+  SourceCapabilities caps_;
+  double cpu_us_per_row_;
+  StorageEngine engine_;
+
+  struct StagedWrite {
+    TablePtr table;
+    std::vector<Row> rows;
+  };
+  std::map<std::string, std::vector<StagedWrite>> staged_;
+
+  /// One request at a time per source: the mediator may dispatch
+  /// fragments to different sources from worker threads, and a source's
+  /// engine (lazy index builds, stats caches) is single-threaded state.
+  std::mutex request_mu_;
+};
+
+using ComponentSourcePtr = std::shared_ptr<ComponentSource>;
+
+}  // namespace gisql

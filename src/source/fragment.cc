@@ -1,0 +1,50 @@
+#include "source/fragment.h"
+
+#include <sstream>
+
+namespace gisql {
+
+std::string FragmentPlan::ToString() const {
+  std::ostringstream oss;
+  oss << "Fragment[" << table;
+  if (semijoin_column >= 0) {
+    oss << " SEMIJOIN($" << semijoin_column << " IN "
+        << semijoin_values.size() << " keys)";
+  }
+  if (filter) oss << " WHERE " << filter->ToString();
+  if (!projections.empty()) {
+    oss << " PROJECT(";
+    for (size_t i = 0; i < projections.size(); ++i) {
+      if (i) oss << ", ";
+      oss << projections[i]->ToString();
+    }
+    oss << ")";
+  }
+  if (has_aggregate) {
+    oss << " AGG(";
+    for (size_t i = 0; i < group_by.size(); ++i) {
+      if (i) oss << ", ";
+      oss << group_by[i]->ToString();
+    }
+    if (!group_by.empty() && !aggregates.empty()) oss << "; ";
+    for (size_t i = 0; i < aggregates.size(); ++i) {
+      if (i) oss << ", ";
+      oss << aggregates[i].display;
+    }
+    oss << ")";
+  }
+  if (!order_by.empty()) {
+    oss << " ORDER(";
+    for (size_t i = 0; i < order_by.size(); ++i) {
+      if (i) oss << ", ";
+      oss << order_by[i]->ToString();
+      if (i < order_ascending.size() && !order_ascending[i]) oss << " DESC";
+    }
+    oss << ")";
+  }
+  if (limit >= 0) oss << " LIMIT " << limit;
+  oss << "]";
+  return oss.str();
+}
+
+}  // namespace gisql

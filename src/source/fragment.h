@@ -1,0 +1,63 @@
+/// \file fragment.h
+/// \brief The sub-query language of the mediator↔wrapper protocol.
+///
+/// A FragmentPlan is the unit of work the mediator ships to a component
+/// information system: scan one exported table, then (capability
+/// permitting) apply a filter, a semijoin reduction, projections, a
+/// partial aggregation, and a limit — all local to the source. The
+/// source executes whatever prefix of that pipeline its dialect
+/// supports and the mediator compensates for the rest.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "expr/binder.h"
+#include "expr/expr.h"
+#include "types/value.h"
+
+namespace gisql {
+
+/// \brief One shippable sub-query against a single exported table.
+struct FragmentPlan {
+  /// Exported table name at the source (source-local name).
+  std::string table;
+
+  /// Optional filter over the table's full schema (null = none).
+  ExprPtr filter;
+
+  /// Optional projection list over the table's full schema; empty means
+  /// "all columns as-is". Output column `i` is `projections[i]` named
+  /// `projection_names[i]`.
+  std::vector<ExprPtr> projections;
+  std::vector<std::string> projection_names;
+
+  /// Optional semijoin reduction: keep only rows whose `semijoin_column`
+  /// (index into the table schema) value appears in `semijoin_values`.
+  /// Applied before projection/aggregation. -1 = none.
+  int64_t semijoin_column = -1;
+  std::vector<Value> semijoin_values;
+
+  /// Optional partial aggregation, applied after filter/projection:
+  /// group by `group_by` (over the projected row if projections present,
+  /// else the table row) computing `aggregates`.
+  bool has_aggregate = false;
+  std::vector<ExprPtr> group_by;
+  std::vector<BoundAggregate> aggregates;
+
+  /// Optional source-side ordering over the fragment's *output* rows
+  /// (post projection/aggregation), enabling top-k shipping together
+  /// with `limit`. Parallel arrays: expression + ascending flag.
+  std::vector<ExprPtr> order_by;
+  std::vector<bool> order_ascending;
+
+  /// Optional row limit (applied last, after ordering). -1 = none.
+  int64_t limit = -1;
+
+  /// \brief Human-readable one-line description (EXPLAIN output).
+  std::string ToString() const;
+};
+
+}  // namespace gisql

@@ -1,0 +1,175 @@
+#include "sql/ast.h"
+
+#include <sstream>
+
+namespace gisql {
+namespace sql {
+
+const char* ParseBinaryOpName(ParseBinaryOp op) {
+  switch (op) {
+    case ParseBinaryOp::kEq: return "=";
+    case ParseBinaryOp::kNe: return "<>";
+    case ParseBinaryOp::kLt: return "<";
+    case ParseBinaryOp::kLe: return "<=";
+    case ParseBinaryOp::kGt: return ">";
+    case ParseBinaryOp::kGe: return ">=";
+    case ParseBinaryOp::kAdd: return "+";
+    case ParseBinaryOp::kSub: return "-";
+    case ParseBinaryOp::kMul: return "*";
+    case ParseBinaryOp::kDiv: return "/";
+    case ParseBinaryOp::kMod: return "%";
+    case ParseBinaryOp::kAnd: return "AND";
+    case ParseBinaryOp::kOr: return "OR";
+  }
+  return "?";
+}
+
+ParseExprPtr ParseExpr::Clone() const {
+  auto out = std::make_unique<ParseExpr>(kind);
+  out->literal = literal;
+  out->qualifier = qualifier;
+  out->name = name;
+  out->op = op;
+  out->negated = negated;
+  out->distinct = distinct;
+  out->has_else = has_else;
+  out->children.reserve(children.size());
+  for (const auto& c : children) out->children.push_back(c->Clone());
+  out->subquery = subquery;  // immutable after parse; aliasing is safe
+  return out;
+}
+
+std::string ParseExpr::ToString() const {
+  std::ostringstream oss;
+  switch (kind) {
+    case ParseExprKind::kLiteral:
+      oss << literal.ToString();
+      break;
+    case ParseExprKind::kColumnRef:
+      if (!qualifier.empty()) oss << qualifier << ".";
+      oss << name;
+      break;
+    case ParseExprKind::kStar:
+      if (!qualifier.empty()) oss << qualifier << ".";
+      oss << "*";
+      break;
+    case ParseExprKind::kUnaryMinus:
+      oss << "(-" << children[0]->ToString() << ")";
+      break;
+    case ParseExprKind::kNot:
+      oss << "(NOT " << children[0]->ToString() << ")";
+      break;
+    case ParseExprKind::kBinary:
+      oss << "(" << children[0]->ToString() << " " << ParseBinaryOpName(op)
+          << " " << children[1]->ToString() << ")";
+      break;
+    case ParseExprKind::kIsNull:
+      oss << "(" << children[0]->ToString() << " IS"
+          << (negated ? " NOT" : "") << " NULL)";
+      break;
+    case ParseExprKind::kLike:
+      oss << "(" << children[0]->ToString() << (negated ? " NOT" : "")
+          << " LIKE " << children[1]->ToString() << ")";
+      break;
+    case ParseExprKind::kIn: {
+      oss << "(" << children[0]->ToString() << (negated ? " NOT" : "")
+          << " IN (";
+      for (size_t i = 1; i < children.size(); ++i) {
+        if (i > 1) oss << ", ";
+        oss << children[i]->ToString();
+      }
+      oss << "))";
+      break;
+    }
+    case ParseExprKind::kBetween:
+      oss << "(" << children[0]->ToString() << " BETWEEN "
+          << children[1]->ToString() << " AND " << children[2]->ToString()
+          << ")";
+      break;
+    case ParseExprKind::kFuncCall: {
+      oss << name << "(";
+      if (distinct) oss << "DISTINCT ";
+      for (size_t i = 0; i < children.size(); ++i) {
+        if (i) oss << ", ";
+        oss << children[i]->ToString();
+      }
+      oss << ")";
+      break;
+    }
+    case ParseExprKind::kCase: {
+      oss << "CASE";
+      const size_t pairs = (children.size() - (has_else ? 1 : 0)) / 2;
+      for (size_t i = 0; i < pairs; ++i) {
+        oss << " WHEN " << children[2 * i]->ToString() << " THEN "
+            << children[2 * i + 1]->ToString();
+      }
+      if (has_else) oss << " ELSE " << children.back()->ToString();
+      oss << " END";
+      break;
+    }
+    case ParseExprKind::kCast:
+      oss << "CAST(" << children[0]->ToString() << " AS " << name << ")";
+      break;
+    case ParseExprKind::kInSubquery:
+      oss << "(" << children[0]->ToString() << (negated ? " NOT" : "")
+          << " IN (" << subquery->ToString() << "))";
+      break;
+  }
+  return oss.str();
+}
+
+std::string TableRef::ToString() const {
+  switch (kind) {
+    case Kind::kNamed:
+      return alias.empty() ? table_name : table_name + " AS " + alias;
+    case Kind::kDerived:
+      return "(" + derived->ToString() + ") AS " + alias;
+    case Kind::kJoin: {
+      std::string jt = join_type == JoinType::kLeft
+                           ? " LEFT JOIN "
+                           : (join_type == JoinType::kCross ? " CROSS JOIN "
+                                                            : " JOIN ");
+      std::string out = left->ToString() + jt + right->ToString();
+      if (on_condition) out += " ON " + on_condition->ToString();
+      return out;
+    }
+  }
+  return "?";
+}
+
+std::string SelectStmt::ToString() const {
+  std::ostringstream oss;
+  oss << "SELECT ";
+  if (distinct) oss << "DISTINCT ";
+  for (size_t i = 0; i < items.size(); ++i) {
+    if (i) oss << ", ";
+    oss << items[i].expr->ToString();
+    if (!items[i].alias.empty()) oss << " AS " << items[i].alias;
+  }
+  if (from) oss << " FROM " << from->ToString();
+  if (where) oss << " WHERE " << where->ToString();
+  if (!group_by.empty()) {
+    oss << " GROUP BY ";
+    for (size_t i = 0; i < group_by.size(); ++i) {
+      if (i) oss << ", ";
+      oss << group_by[i]->ToString();
+    }
+  }
+  if (having) oss << " HAVING " << having->ToString();
+  for (const auto& term : union_all_terms) {
+    oss << " UNION ALL " << term->ToString();
+  }
+  if (!order_by.empty()) {
+    oss << " ORDER BY ";
+    for (size_t i = 0; i < order_by.size(); ++i) {
+      if (i) oss << ", ";
+      oss << order_by[i].expr->ToString() << (order_by[i].ascending ? "" : " DESC");
+    }
+  }
+  if (limit >= 0) oss << " LIMIT " << limit;
+  if (offset > 0) oss << " OFFSET " << offset;
+  return oss.str();
+}
+
+}  // namespace sql
+}  // namespace gisql

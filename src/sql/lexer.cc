@@ -1,0 +1,253 @@
+#include "sql/lexer.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <unordered_set>
+
+#include "common/string_util.h"
+
+namespace gisql {
+namespace sql {
+
+namespace {
+const std::unordered_set<std::string>& KeywordSet() {
+  static const std::unordered_set<std::string> kKeywords = {
+      "SELECT", "FROM", "WHERE", "GROUP", "BY", "HAVING", "ORDER",
+      "LIMIT", "OFFSET", "AS", "AND", "OR", "NOT", "IN", "BETWEEN",
+      "LIKE", "IS", "NULL", "TRUE", "FALSE", "JOIN", "INNER", "LEFT",
+      "RIGHT", "OUTER", "CROSS", "ON", "ASC", "DESC", "DISTINCT",
+      "COUNT", "SUM", "AVG", "MIN", "MAX", "CASE", "WHEN", "THEN",
+      "ELSE", "END", "CREATE", "TABLE", "INSERT", "INTO", "VALUES",
+      "EXPLAIN", "ANALYZE", "UNION", "ALL", "CAST", "DATE",
+  };
+  return kKeywords;
+}
+}  // namespace
+
+bool IsSqlKeyword(const std::string& upper_word) {
+  return KeywordSet().count(upper_word) > 0;
+}
+
+bool Token::IsKeyword(const char* kw) const {
+  return type == TokenType::kKeyword && text == kw;
+}
+
+const char* TokenTypeName(TokenType t) {
+  switch (t) {
+    case TokenType::kEnd: return "end of input";
+    case TokenType::kIdentifier: return "identifier";
+    case TokenType::kKeyword: return "keyword";
+    case TokenType::kIntLiteral: return "integer literal";
+    case TokenType::kDoubleLiteral: return "double literal";
+    case TokenType::kStringLiteral: return "string literal";
+    case TokenType::kComma: return "','";
+    case TokenType::kDot: return "'.'";
+    case TokenType::kStar: return "'*'";
+    case TokenType::kLParen: return "'('";
+    case TokenType::kRParen: return "')'";
+    case TokenType::kPlus: return "'+'";
+    case TokenType::kMinus: return "'-'";
+    case TokenType::kSlash: return "'/'";
+    case TokenType::kPercent: return "'%'";
+    case TokenType::kEq: return "'='";
+    case TokenType::kNe: return "'<>'";
+    case TokenType::kLt: return "'<'";
+    case TokenType::kLe: return "'<='";
+    case TokenType::kGt: return "'>'";
+    case TokenType::kGe: return "'>='";
+    case TokenType::kSemicolon: return "';'";
+  }
+  return "?";
+}
+
+void Lexer::SkipWhitespaceAndComments() {
+  while (pos_ < input_.size()) {
+    const char c = input_[pos_];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++pos_;
+    } else if (c == '-' && Peek(1) == '-') {
+      while (pos_ < input_.size() && input_[pos_] != '\n') ++pos_;
+    } else {
+      break;
+    }
+  }
+}
+
+Result<Token> Lexer::Next() {
+  SkipWhitespaceAndComments();
+  Token tok;
+  tok.offset = pos_;
+  if (pos_ >= input_.size()) {
+    tok.type = TokenType::kEnd;
+    return tok;
+  }
+  const char c = input_[pos_];
+
+  // Identifiers / keywords.
+  if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+    size_t start = pos_;
+    while (pos_ < input_.size() &&
+           (std::isalnum(static_cast<unsigned char>(input_[pos_])) ||
+            input_[pos_] == '_')) {
+      ++pos_;
+    }
+    std::string word = input_.substr(start, pos_ - start);
+    const std::string upper = ToUpper(word);
+    if (IsSqlKeyword(upper)) {
+      tok.type = TokenType::kKeyword;
+      tok.text = upper;
+    } else {
+      tok.type = TokenType::kIdentifier;
+      tok.text = std::move(word);
+    }
+    return tok;
+  }
+
+  // Quoted identifier.
+  if (c == '"') {
+    ++pos_;
+    size_t start = pos_;
+    while (pos_ < input_.size() && input_[pos_] != '"') ++pos_;
+    if (pos_ >= input_.size()) {
+      return Status::ParseError("unterminated quoted identifier at offset ",
+                                tok.offset);
+    }
+    tok.type = TokenType::kIdentifier;
+    tok.text = input_.substr(start, pos_ - start);
+    ++pos_;
+    return tok;
+  }
+
+  // Numeric literals.
+  if (std::isdigit(static_cast<unsigned char>(c))) {
+    size_t start = pos_;
+    bool is_double = false;
+    while (pos_ < input_.size() &&
+           std::isdigit(static_cast<unsigned char>(input_[pos_]))) {
+      ++pos_;
+    }
+    if (Peek() == '.' && std::isdigit(static_cast<unsigned char>(Peek(1)))) {
+      is_double = true;
+      ++pos_;
+      while (pos_ < input_.size() &&
+             std::isdigit(static_cast<unsigned char>(input_[pos_]))) {
+        ++pos_;
+      }
+    }
+    if (Peek() == 'e' || Peek() == 'E') {
+      size_t save = pos_;
+      ++pos_;
+      if (Peek() == '+' || Peek() == '-') ++pos_;
+      if (std::isdigit(static_cast<unsigned char>(Peek()))) {
+        is_double = true;
+        while (pos_ < input_.size() &&
+               std::isdigit(static_cast<unsigned char>(input_[pos_]))) {
+          ++pos_;
+        }
+      } else {
+        pos_ = save;
+      }
+    }
+    const std::string text = input_.substr(start, pos_ - start);
+    if (is_double) {
+      tok.type = TokenType::kDoubleLiteral;
+      tok.double_value = std::strtod(text.c_str(), nullptr);
+    } else {
+      tok.type = TokenType::kIntLiteral;
+      errno = 0;
+      tok.int_value = std::strtoll(text.c_str(), nullptr, 10);
+      if (errno == ERANGE) {
+        return Status::ParseError("integer literal out of range: ", text);
+      }
+    }
+    tok.text = text;
+    return tok;
+  }
+
+  // String literals with '' escaping.
+  if (c == '\'') {
+    ++pos_;
+    std::string out;
+    while (pos_ < input_.size()) {
+      if (input_[pos_] == '\'') {
+        if (Peek(1) == '\'') {
+          out += '\'';
+          pos_ += 2;
+          continue;
+        }
+        ++pos_;
+        tok.type = TokenType::kStringLiteral;
+        tok.text = std::move(out);
+        return tok;
+      }
+      out += input_[pos_++];
+    }
+    return Status::ParseError("unterminated string literal at offset ",
+                              tok.offset);
+  }
+
+  // Operators and punctuation.
+  auto single = [&](TokenType t) {
+    tok.type = t;
+    ++pos_;
+    return tok;
+  };
+  switch (c) {
+    case ',': return single(TokenType::kComma);
+    case '.': return single(TokenType::kDot);
+    case '*': return single(TokenType::kStar);
+    case '(': return single(TokenType::kLParen);
+    case ')': return single(TokenType::kRParen);
+    case '+': return single(TokenType::kPlus);
+    case '-': return single(TokenType::kMinus);
+    case '/': return single(TokenType::kSlash);
+    case '%': return single(TokenType::kPercent);
+    case ';': return single(TokenType::kSemicolon);
+    case '=': return single(TokenType::kEq);
+    case '<':
+      ++pos_;
+      if (Peek() == '=') {
+        ++pos_;
+        tok.type = TokenType::kLe;
+      } else if (Peek() == '>') {
+        ++pos_;
+        tok.type = TokenType::kNe;
+      } else {
+        tok.type = TokenType::kLt;
+      }
+      return tok;
+    case '>':
+      ++pos_;
+      if (Peek() == '=') {
+        ++pos_;
+        tok.type = TokenType::kGe;
+      } else {
+        tok.type = TokenType::kGt;
+      }
+      return tok;
+    case '!':
+      if (Peek(1) == '=') {
+        pos_ += 2;
+        tok.type = TokenType::kNe;
+        return tok;
+      }
+      break;
+    default: break;
+  }
+  return Status::ParseError("unexpected character '", std::string(1, c),
+                            "' at offset ", pos_);
+}
+
+Result<std::vector<Token>> Lexer::Tokenize() {
+  std::vector<Token> out;
+  while (true) {
+    GISQL_ASSIGN_OR_RETURN(Token tok, Next());
+    const bool end = tok.type == TokenType::kEnd;
+    out.push_back(std::move(tok));
+    if (end) break;
+  }
+  return out;
+}
+
+}  // namespace sql
+}  // namespace gisql

@@ -1,0 +1,40 @@
+/// \file lexer.h
+/// \brief Hand-written SQL lexer.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "sql/token.h"
+
+namespace gisql {
+namespace sql {
+
+/// \brief Tokenizes a SQL string. Keywords are case-insensitive and
+/// normalized to upper case; identifiers preserve case. `--` line
+/// comments are skipped.
+class Lexer {
+ public:
+  explicit Lexer(std::string input) : input_(std::move(input)) {}
+
+  /// \brief Lexes the whole input; the final token is kEnd.
+  Result<std::vector<Token>> Tokenize();
+
+ private:
+  Result<Token> Next();
+  char Peek(size_t ahead = 0) const {
+    return pos_ + ahead < input_.size() ? input_[pos_ + ahead] : '\0';
+  }
+  void SkipWhitespaceAndComments();
+
+  std::string input_;
+  size_t pos_ = 0;
+};
+
+/// \brief True if `word` (any case) is a reserved SQL keyword.
+bool IsSqlKeyword(const std::string& upper_word);
+
+}  // namespace sql
+}  // namespace gisql

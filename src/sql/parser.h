@@ -1,0 +1,91 @@
+/// \file parser.h
+/// \brief Recursive-descent parser for the gisql SQL subset.
+///
+/// Supported grammar (keywords case-insensitive):
+///
+///   statement   := EXPLAIN? select | create_table | insert
+///   select      := select_core (UNION ALL select_core)*
+///                  [ORDER BY order_list] [LIMIT int [OFFSET int]]
+///   select_core := SELECT [DISTINCT] select_list
+///                  [FROM table_ref (join_clause)*]
+///                  [WHERE expr] [GROUP BY expr_list] [HAVING expr]
+///   table_ref   := ident [AS? ident] | '(' select ')' AS? ident
+///   join_clause := [INNER|LEFT [OUTER]|CROSS] JOIN table_ref [ON expr]
+///                | ',' table_ref                       (cross product)
+///   expr        := OR-precedence expression with AND, NOT, comparisons,
+///                  LIKE / IN / BETWEEN / IS NULL, + - * / %, unary -,
+///                  CASE WHEN, CAST(e AS type), function calls,
+///                  aggregates COUNT/SUM/AVG/MIN/MAX (with DISTINCT).
+
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "sql/ast.h"
+#include "sql/token.h"
+
+namespace gisql {
+namespace sql {
+
+/// \brief Parses one SQL statement.
+Result<Statement> ParseStatement(const std::string& input);
+
+/// \brief Convenience: parses a statement that must be a SELECT.
+Result<SelectStmtPtr> ParseSelect(const std::string& input);
+
+/// \brief Parses a standalone scalar expression (used in tests and by
+/// source-side filter specifications).
+Result<ParseExprPtr> ParseScalarExpr(const std::string& input);
+
+namespace internal {
+
+/// \brief Token-stream parser; exposed for white-box tests.
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<Statement> ParseStatement();
+  Result<SelectStmtPtr> ParseSelectStmt();
+  /// One UNION ALL term: SELECT core without ORDER BY/LIMIT/UNION.
+  Result<SelectStmtPtr> ParseSelectCore();
+  Result<ParseExprPtr> ParseExpr();
+
+  /// \brief Fails unless all input was consumed.
+  Status ExpectEnd();
+
+ private:
+  const Token& Peek(size_t ahead = 0) const {
+    const size_t i = pos_ + ahead;
+    return i < tokens_.size() ? tokens_[i] : tokens_.back();
+  }
+  const Token& Advance() { return tokens_[pos_ < tokens_.size() - 1 ? pos_++ : pos_]; }
+  bool Match(TokenType t);
+  bool MatchKeyword(const char* kw);
+  Status Expect(TokenType t, const char* context);
+  Status ExpectKeyword(const char* kw, const char* context);
+  Status ErrorHere(const std::string& msg) const;
+
+  Result<TableRefPtr> ParseFromClause();
+  Result<TableRefPtr> ParseTableRef();
+  Result<ParseExprPtr> ParseOr();
+  Result<ParseExprPtr> ParseAnd();
+  Result<ParseExprPtr> ParseNot();
+  Result<ParseExprPtr> ParseComparison();
+  Result<ParseExprPtr> ParseAdditive();
+  Result<ParseExprPtr> ParseMultiplicative();
+  Result<ParseExprPtr> ParseUnary();
+  Result<ParseExprPtr> ParsePrimary();
+  Result<ParseExprPtr> ParseFuncCallOrColumn();
+  Result<Statement> ParseCreateTable();
+  Result<Statement> ParseInsert();
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace internal
+}  // namespace sql
+}  // namespace gisql

@@ -1,0 +1,40 @@
+/// \file token.h
+/// \brief Token model for the SQL lexer.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace gisql {
+namespace sql {
+
+enum class TokenType : uint8_t {
+  kEnd,
+  kIdentifier,   ///< bare or "quoted" identifier
+  kKeyword,      ///< recognized SQL keyword (text kept upper-cased)
+  kIntLiteral,
+  kDoubleLiteral,
+  kStringLiteral,
+  // operators / punctuation
+  kComma, kDot, kStar, kLParen, kRParen,
+  kPlus, kMinus, kSlash, kPercent,
+  kEq, kNe, kLt, kLe, kGt, kGe,
+  kSemicolon,
+};
+
+/// \brief One lexed token with its source offset (for diagnostics).
+struct Token {
+  TokenType type = TokenType::kEnd;
+  std::string text;       ///< identifier/keyword/literal text
+  int64_t int_value = 0;
+  double double_value = 0.0;
+  size_t offset = 0;
+
+  bool IsKeyword(const char* kw) const;
+};
+
+const char* TokenTypeName(TokenType t);
+
+}  // namespace sql
+}  // namespace gisql

@@ -1,0 +1,61 @@
+/// \file statistics.h
+/// \brief Table/column statistics collected by component sources and
+/// exported to the mediator's catalog for cost-based planning.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "types/row.h"
+#include "types/schema.h"
+#include "types/value.h"
+
+namespace gisql {
+
+/// \brief Statistics for one column.
+struct ColumnStats {
+  Value min;            ///< NULL when the column is all-NULL or empty
+  Value max;
+  int64_t null_count = 0;
+  int64_t distinct_count = 0;  ///< exact for these table sizes
+  double avg_width = 8.0;      ///< average wire width in bytes
+
+  /// Equi-depth histogram bucket edges (ascending, k buckets → k+1
+  /// edges, first = min, last = max). Empty when the column has too few
+  /// values or is non-orderable.
+  std::vector<Value> histogram_bounds;
+
+  /// \brief Estimated fraction of non-null values strictly below `v`,
+  /// from the histogram with linear interpolation inside the bucket.
+  /// Returns -1 when no histogram is available.
+  double FractionBelow(const Value& v) const;
+
+  std::string ToString() const;
+};
+
+/// \brief Statistics for one table.
+struct TableStats {
+  int64_t row_count = 0;
+  std::vector<ColumnStats> columns;
+
+  /// \brief Estimated selectivity of `col = literal` from distinct count.
+  double EqSelectivity(size_t col) const;
+
+  /// \brief Estimated selectivity of `col < literal` (or >) by linear
+  /// interpolation over [min, max] for numeric columns; 1/3 otherwise.
+  double RangeSelectivity(size_t col, const Value& bound, bool less_than,
+                          bool inclusive) const;
+
+  std::string ToString() const;
+};
+
+/// Number of equi-depth histogram buckets collected per column.
+inline constexpr int kHistogramBuckets = 32;
+
+/// \brief Exact single-pass statistics collection over a row set
+/// (plus a sort per column for the equi-depth histograms).
+TableStats CollectStats(const Schema& schema, const std::vector<Row>& rows);
+
+}  // namespace gisql

@@ -1,0 +1,198 @@
+#include "storage/table.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+#include "expr/eval.h"
+
+namespace gisql {
+
+void HashIndex::Build(const std::vector<Row>& rows) {
+  map_.clear();
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const Value& v = rows[i][column_];
+    if (v.is_null()) continue;
+    map_[v].push_back(i);
+  }
+  built_row_count_ = rows.size();
+}
+
+const std::vector<size_t>& HashIndex::Lookup(const Value& key) const {
+  static const std::vector<size_t> kEmpty;
+  if (key.is_null()) return kEmpty;
+  auto it = map_.find(key);
+  return it == map_.end() ? kEmpty : it->second;
+}
+
+void OrderedIndex::Build(const std::vector<Row>& rows) {
+  tree_.Clear();
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const Value& v = rows[i][column_];
+    if (v.is_null()) continue;
+    // Insert cannot fail for non-NULL keys.
+    (void)tree_.Insert(v, i);
+  }
+  built_row_count_ = rows.size();
+}
+
+std::vector<size_t> OrderedIndex::Range(const Value& lo, bool lo_inclusive,
+                                        const Value& hi,
+                                        bool hi_inclusive) const {
+  return tree_.Range(lo, lo_inclusive, hi, hi_inclusive);
+}
+
+Result<Row> Table::ValidateRow(Row row) const {
+  if (row.size() != schema_->num_fields()) {
+    return Status::InvalidArgument("row arity ", row.size(),
+                                   " does not match table '", name_,
+                                   "' schema arity ", schema_->num_fields());
+  }
+  for (size_t c = 0; c < row.size(); ++c) {
+    const Field& f = schema_->field(c);
+    if (row[c].is_null()) {
+      if (!f.nullable) {
+        return Status::InvalidArgument("NULL in non-nullable column '",
+                                       f.name, "' of table '", name_, "'");
+      }
+      row[c] = Value::Null(f.type);
+      continue;
+    }
+    if (row[c].type() != f.type) {
+      if (!IsImplicitlyCastable(row[c].type(), f.type)) {
+        return Status::InvalidArgument(
+            "type mismatch in column '", f.name, "': expected ",
+            TypeName(f.type), ", got ", TypeName(row[c].type()));
+      }
+      GISQL_ASSIGN_OR_RETURN(row[c], row[c].CastTo(f.type));
+    }
+  }
+  return row;
+}
+
+Status Table::Insert(Row row) {
+  GISQL_ASSIGN_OR_RETURN(Row validated, ValidateRow(std::move(row)));
+  rows_.push_back(std::move(validated));
+  stats_valid_ = false;
+  return Status::OK();
+}
+
+void Table::InsertUnchecked(std::vector<Row> rows) {
+  if (rows_.empty()) {
+    rows_ = std::move(rows);
+  } else {
+    rows_.reserve(rows_.size() + rows.size());
+    for (auto& r : rows) rows_.push_back(std::move(r));
+  }
+  stats_valid_ = false;
+}
+
+Result<int64_t> Table::Delete(const Expr& predicate) {
+  int64_t removed = 0;
+  std::vector<Row> kept;
+  kept.reserve(rows_.size());
+  for (auto& row : rows_) {
+    GISQL_ASSIGN_OR_RETURN(bool match, EvalPredicate(predicate, row));
+    if (match) {
+      ++removed;
+    } else {
+      kept.push_back(std::move(row));
+    }
+  }
+  rows_ = std::move(kept);
+  stats_valid_ = false;
+  return removed;
+}
+
+Status Table::CreateHashIndex(size_t column) {
+  if (column >= schema_->num_fields()) {
+    return Status::InvalidArgument("index column ", column,
+                                   " out of range for table '", name_, "'");
+  }
+  for (const auto& idx : hash_indexes_) {
+    if (idx->column() == column) {
+      return Status::AlreadyExists("hash index on column ", column,
+                                   " already exists");
+    }
+  }
+  hash_indexes_.push_back(std::make_unique<HashIndex>(column));
+  return Status::OK();
+}
+
+Status Table::CreateOrderedIndex(size_t column) {
+  if (column >= schema_->num_fields()) {
+    return Status::InvalidArgument("index column ", column,
+                                   " out of range for table '", name_, "'");
+  }
+  for (const auto& idx : ordered_indexes_) {
+    if (idx->column() == column) {
+      return Status::AlreadyExists("ordered index on column ", column,
+                                   " already exists");
+    }
+  }
+  ordered_indexes_.push_back(std::make_unique<OrderedIndex>(column));
+  return Status::OK();
+}
+
+HashIndex* Table::GetHashIndex(size_t column) {
+  for (auto& idx : hash_indexes_) {
+    if (idx->column() == column) {
+      if (idx->built_row_count() != rows_.size()) idx->Build(rows_);
+      return idx.get();
+    }
+  }
+  return nullptr;
+}
+
+OrderedIndex* Table::GetOrderedIndex(size_t column) {
+  for (auto& idx : ordered_indexes_) {
+    if (idx->column() == column) {
+      if (idx->built_row_count() != rows_.size()) idx->Build(rows_);
+      return idx.get();
+    }
+  }
+  return nullptr;
+}
+
+const TableStats& Table::Stats() {
+  if (!stats_valid_) {
+    stats_ = CollectStats(*schema_, rows_);
+    stats_valid_ = true;
+  }
+  return stats_;
+}
+
+Result<TablePtr> StorageEngine::CreateTable(const std::string& name,
+                                            SchemaPtr schema) {
+  const std::string key = ToLower(name);
+  if (tables_.count(key)) {
+    return Status::AlreadyExists("table '", name, "' already exists");
+  }
+  auto table = std::make_shared<Table>(name, std::move(schema));
+  tables_[key] = table;
+  return table;
+}
+
+Result<TablePtr> StorageEngine::GetTable(const std::string& name) const {
+  auto it = tables_.find(ToLower(name));
+  if (it == tables_.end()) {
+    return Status::NotFound("table '", name, "' does not exist");
+  }
+  return it->second;
+}
+
+Status StorageEngine::DropTable(const std::string& name) {
+  if (tables_.erase(ToLower(name)) == 0) {
+    return Status::NotFound("table '", name, "' does not exist");
+  }
+  return Status::OK();
+}
+
+std::vector<std::string> StorageEngine::TableNames() const {
+  std::vector<std::string> names;
+  names.reserve(tables_.size());
+  for (const auto& [key, table] : tables_) names.push_back(table->name());
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+}  // namespace gisql

@@ -1,0 +1,147 @@
+/// \file table.h
+/// \brief Heap table with optional hash / ordered secondary indexes —
+/// the storage layer each autonomous component system runs.
+
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "expr/expr.h"
+#include "storage/btree.h"
+#include "storage/statistics.h"
+#include "types/row.h"
+#include "types/schema.h"
+
+namespace gisql {
+
+/// Rows per scan batch.
+inline constexpr size_t kBatchSize = 1024;
+
+/// \brief Equality index: value → row ids. Rebuilt lazily after writes.
+class HashIndex {
+ public:
+  explicit HashIndex(size_t column) : column_(column) {}
+
+  size_t column() const { return column_; }
+
+  void Build(const std::vector<Row>& rows);
+
+  /// \brief Row ids whose indexed column equals `key` (never NULL rows).
+  const std::vector<size_t>& Lookup(const Value& key) const;
+
+  size_t built_row_count() const { return built_row_count_; }
+
+ private:
+  struct ValueHash {
+    size_t operator()(const Value& v) const { return v.Hash(); }
+  };
+  struct ValueEq {
+    bool operator()(const Value& a, const Value& b) const {
+      return a.Compare(b) == 0;
+    }
+  };
+  size_t column_;
+  size_t built_row_count_ = 0;
+  std::unordered_map<Value, std::vector<size_t>, ValueHash, ValueEq> map_;
+};
+
+/// \brief Range index: B+tree over column values → row ids.
+class OrderedIndex {
+ public:
+  explicit OrderedIndex(size_t column) : column_(column) {}
+
+  size_t column() const { return column_; }
+
+  void Build(const std::vector<Row>& rows);
+
+  /// \brief Row ids with lo <= col <= hi (either bound may be NULL =
+  /// unbounded); `lo_inclusive` / `hi_inclusive` control openness.
+  std::vector<size_t> Range(const Value& lo, bool lo_inclusive,
+                            const Value& hi, bool hi_inclusive) const;
+
+  size_t built_row_count() const { return built_row_count_; }
+
+  /// \brief The underlying tree (exposed for invariant checks in tests).
+  const BPlusTree& tree() const { return tree_; }
+
+ private:
+  size_t column_;
+  size_t built_row_count_ = 0;
+  BPlusTree tree_;
+};
+
+/// \brief An append-oriented heap table.
+class Table {
+ public:
+  Table(std::string name, SchemaPtr schema)
+      : name_(std::move(name)), schema_(std::move(schema)) {}
+
+  const std::string& name() const { return name_; }
+  const SchemaPtr& schema() const { return schema_; }
+  const std::vector<Row>& rows() const { return rows_; }
+  int64_t num_rows() const { return static_cast<int64_t>(rows_.size()); }
+
+  /// \brief Validates arity and types against the schema, applying
+  /// implicit casts; returns the coerced row without storing it.
+  Result<Row> ValidateRow(Row row) const;
+
+  /// \brief Validates arity and types (applying implicit casts), then
+  /// appends. Invalidates indexes and cached statistics.
+  Status Insert(Row row);
+
+  /// \brief Bulk append without per-row type validation (trusted loader
+  /// path used by the workload generator).
+  void InsertUnchecked(std::vector<Row> rows);
+
+  /// \brief Deletes rows matching `predicate`; returns count removed.
+  Result<int64_t> Delete(const Expr& predicate);
+
+  /// \brief Declares a hash index on `column` (built lazily).
+  Status CreateHashIndex(size_t column);
+
+  /// \brief Declares an ordered index on `column` (built lazily).
+  Status CreateOrderedIndex(size_t column);
+
+  /// \brief The hash index on `column`, freshly built, or nullptr.
+  HashIndex* GetHashIndex(size_t column);
+
+  /// \brief The ordered index on `column`, freshly built, or nullptr.
+  OrderedIndex* GetOrderedIndex(size_t column);
+
+  /// \brief Exact statistics; cached until the next write.
+  const TableStats& Stats();
+
+ private:
+  std::string name_;
+  SchemaPtr schema_;
+  std::vector<Row> rows_;
+  std::vector<std::unique_ptr<HashIndex>> hash_indexes_;
+  std::vector<std::unique_ptr<OrderedIndex>> ordered_indexes_;
+  TableStats stats_;
+  bool stats_valid_ = false;
+};
+
+using TablePtr = std::shared_ptr<Table>;
+
+/// \brief Named-table container — one per component information system.
+class StorageEngine {
+ public:
+  /// \brief Creates an empty table; AlreadyExists if the name is taken.
+  Result<TablePtr> CreateTable(const std::string& name, SchemaPtr schema);
+
+  Result<TablePtr> GetTable(const std::string& name) const;
+
+  Status DropTable(const std::string& name);
+
+  std::vector<std::string> TableNames() const;
+
+ private:
+  std::unordered_map<std::string, TablePtr> tables_;
+};
+
+}  // namespace gisql

@@ -1,0 +1,71 @@
+#include "types/data_type.h"
+
+#include "common/string_util.h"
+
+namespace gisql {
+
+const char* TypeName(TypeId t) {
+  switch (t) {
+    case TypeId::kNull: return "NULL";
+    case TypeId::kBool: return "BOOLEAN";
+    case TypeId::kInt64: return "BIGINT";
+    case TypeId::kDouble: return "DOUBLE";
+    case TypeId::kString: return "VARCHAR";
+    case TypeId::kDate: return "DATE";
+  }
+  return "?";
+}
+
+bool IsNumeric(TypeId t) {
+  return t == TypeId::kInt64 || t == TypeId::kDouble || t == TypeId::kDate;
+}
+
+bool IsImplicitlyCastable(TypeId from, TypeId to) {
+  if (from == to) return true;
+  if (from == TypeId::kNull) return true;
+  if (from == TypeId::kInt64 && to == TypeId::kDouble) return true;
+  if (from == TypeId::kInt64 && to == TypeId::kDate) return true;
+  if (from == TypeId::kDate && to == TypeId::kInt64) return true;
+  return false;
+}
+
+Result<TypeId> CommonType(TypeId a, TypeId b) {
+  if (a == b) return a;
+  if (a == TypeId::kNull) return b;
+  if (b == TypeId::kNull) return a;
+  auto pair_is = [&](TypeId x, TypeId y) {
+    return (a == x && b == y) || (a == y && b == x);
+  };
+  if (pair_is(TypeId::kInt64, TypeId::kDouble)) return TypeId::kDouble;
+  if (pair_is(TypeId::kInt64, TypeId::kDate)) return TypeId::kInt64;
+  return Status::InvalidArgument("no common type for ", TypeName(a), " and ",
+                                 TypeName(b));
+}
+
+Result<TypeId> ParseTypeName(const std::string& name) {
+  const std::string n = ToLower(name);
+  if (n == "int" || n == "bigint" || n == "integer" || n == "int64") {
+    return TypeId::kInt64;
+  }
+  if (n == "double" || n == "float" || n == "real") return TypeId::kDouble;
+  if (n == "varchar" || n == "string" || n == "text" || n == "char") {
+    return TypeId::kString;
+  }
+  if (n == "bool" || n == "boolean") return TypeId::kBool;
+  if (n == "date") return TypeId::kDate;
+  return Status::InvalidArgument("unknown type name '", name, "'");
+}
+
+int64_t EstimatedWireSize(TypeId t) {
+  switch (t) {
+    case TypeId::kNull: return 1;
+    case TypeId::kBool: return 2;
+    case TypeId::kInt64: return 6;
+    case TypeId::kDouble: return 9;
+    case TypeId::kString: return 18;  // tag + len + ~16 chars average
+    case TypeId::kDate: return 4;
+  }
+  return 8;
+}
+
+}  // namespace gisql

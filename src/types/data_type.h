@@ -1,0 +1,51 @@
+/// \file data_type.h
+/// \brief Scalar type identifiers and type-compatibility rules of the
+/// global data model.
+///
+/// The global information system defines one canonical data model; each
+/// heterogeneous component source maps its export schema into these types
+/// (legacy sources support only a subset, see source/capabilities.h).
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/result.h"
+
+namespace gisql {
+
+/// \brief Canonical scalar types of the global data model.
+enum class TypeId : uint8_t {
+  kNull = 0,    ///< the type of the NULL literal before coercion
+  kBool = 1,
+  kInt64 = 2,
+  kDouble = 3,
+  kString = 4,
+  kDate = 5,    ///< days since 1970-01-01, stored as int64
+};
+
+/// \brief Human-readable SQL-ish name ("BIGINT", "VARCHAR", ...).
+const char* TypeName(TypeId t);
+
+/// \brief True if a value of `from` may be implicitly coerced to `to`
+/// (NULL → anything, INT64 → DOUBLE, INT64 ↔ DATE).
+bool IsImplicitlyCastable(TypeId from, TypeId to);
+
+/// \brief True for INT64 / DOUBLE / DATE.
+bool IsNumeric(TypeId t);
+
+/// \brief The common supertype used for comparisons/arithmetic between
+/// the two types, or InvalidArgument when none exists.
+Result<TypeId> CommonType(TypeId a, TypeId b);
+
+/// \brief Parses a type name as accepted by CREATE TABLE
+/// (int/bigint/integer, double/float/real, varchar/string/text,
+/// bool/boolean, date). Case-insensitive.
+Result<TypeId> ParseTypeName(const std::string& name);
+
+/// \brief Bytes a value of this type occupies on the wire, used by the
+/// cost model (strings use an estimated average width).
+int64_t EstimatedWireSize(TypeId t);
+
+}  // namespace gisql

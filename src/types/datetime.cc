@@ -1,0 +1,69 @@
+#include "types/datetime.h"
+
+#include <cstdio>
+
+namespace gisql {
+
+int64_t DaysFromCivil(int y, unsigned m, unsigned d) {
+  y -= m <= 2;
+  const int64_t era = (y >= 0 ? y : y - 399) / 400;
+  const unsigned yoe = static_cast<unsigned>(y - era * 400);          // [0, 399]
+  const unsigned doy = (153 * (m + (m > 2 ? -3 : 9)) + 2) / 5 + d - 1;  // [0, 365]
+  const unsigned doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;         // [0, 146096]
+  return era * 146097 + static_cast<int64_t>(doe) - 719468;
+}
+
+void CivilFromDays(int64_t z, int* year, unsigned* month, unsigned* day) {
+  z += 719468;
+  const int64_t era = (z >= 0 ? z : z - 146096) / 146097;
+  const unsigned doe = static_cast<unsigned>(z - era * 146097);  // [0, 146096]
+  const unsigned yoe =
+      (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365;     // [0, 399]
+  const int y = static_cast<int>(yoe) + static_cast<int>(era) * 400;
+  const unsigned doy = doe - (365 * yoe + yoe / 4 - yoe / 100);  // [0, 365]
+  const unsigned mp = (5 * doy + 2) / 153;                       // [0, 11]
+  *day = doy - (153 * mp + 2) / 5 + 1;
+  *month = mp + (mp < 10 ? 3 : -9);
+  *year = y + (*month <= 2);
+}
+
+bool IsValidCivilDate(int year, unsigned month, unsigned day) {
+  if (month < 1 || month > 12 || day < 1) return false;
+  static const unsigned kDays[] = {31, 28, 31, 30, 31, 30,
+                                   31, 31, 30, 31, 30, 31};
+  unsigned max_day = kDays[month - 1];
+  const bool leap =
+      (year % 4 == 0 && year % 100 != 0) || year % 400 == 0;
+  if (month == 2 && leap) max_day = 29;
+  return day <= max_day;
+}
+
+Result<int64_t> ParseDateString(std::string_view text) {
+  int year = 0;
+  unsigned month = 0, day = 0;
+  // Strict "YYYY-MM-DD".
+  if (text.size() < 8 || text.size() > 10) {
+    return Status::InvalidArgument("invalid date literal '",
+                                   std::string(text),
+                                   "' (want YYYY-MM-DD)");
+  }
+  int fields = std::sscanf(std::string(text).c_str(), "%d-%u-%u", &year,
+                           &month, &day);
+  if (fields != 3 || !IsValidCivilDate(year, month, day)) {
+    return Status::InvalidArgument("invalid date literal '",
+                                   std::string(text),
+                                   "' (want YYYY-MM-DD)");
+  }
+  return DaysFromCivil(year, month, day);
+}
+
+std::string FormatDate(int64_t days) {
+  int year;
+  unsigned month, day;
+  CivilFromDays(days, &year, &month, &day);
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%04d-%02u-%02u", year, month, day);
+  return buf;
+}
+
+}  // namespace gisql

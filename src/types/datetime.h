@@ -1,0 +1,30 @@
+/// \file datetime.h
+/// \brief Civil-date arithmetic for the DATE type (days since
+/// 1970-01-01), using Howard Hinnant's proleptic-Gregorian algorithms.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+
+namespace gisql {
+
+/// \brief Days since the epoch for a civil date (proleptic Gregorian).
+int64_t DaysFromCivil(int year, unsigned month, unsigned day);
+
+/// \brief Inverse of DaysFromCivil.
+void CivilFromDays(int64_t days, int* year, unsigned* month, unsigned* day);
+
+/// \brief True for a valid Gregorian (year, month, day).
+bool IsValidCivilDate(int year, unsigned month, unsigned day);
+
+/// \brief Parses "YYYY-MM-DD" into days since the epoch.
+Result<int64_t> ParseDateString(std::string_view text);
+
+/// \brief Renders days since the epoch as "YYYY-MM-DD".
+std::string FormatDate(int64_t days);
+
+}  // namespace gisql

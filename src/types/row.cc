@@ -1,0 +1,80 @@
+#include "types/row.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/hash.h"
+
+namespace gisql {
+
+uint64_t HashRowKeys(const Row& row, const std::vector<size_t>& keys) {
+  uint64_t h = kFnvOffset;
+  for (size_t k : keys) h = HashCombine(h, row[k].Hash());
+  return h;
+}
+
+int CompareRowKeys(const Row& a, const Row& b,
+                   const std::vector<size_t>& keys) {
+  for (size_t k : keys) {
+    const int c = a[k].Compare(b[k]);
+    if (c != 0) return c;
+  }
+  return 0;
+}
+
+int64_t RowBatch::WireSize() const {
+  int64_t total = 0;
+  for (const auto& row : rows_) {
+    total += 2;  // row header
+    for (const auto& v : row) total += v.WireSize();
+  }
+  return total;
+}
+
+std::string RowBatch::ToString(size_t max_rows) const {
+  // Compute column widths over header + displayed rows.
+  const size_t ncols = schema_->num_fields();
+  std::vector<std::string> headers(ncols);
+  std::vector<size_t> widths(ncols);
+  for (size_t c = 0; c < ncols; ++c) {
+    headers[c] = schema_->field(c).QualifiedName();
+    widths[c] = headers[c].size();
+  }
+  const size_t shown = std::min(max_rows, rows_.size());
+  std::vector<std::vector<std::string>> cells(shown);
+  for (size_t r = 0; r < shown; ++r) {
+    cells[r].resize(ncols);
+    for (size_t c = 0; c < ncols; ++c) {
+      cells[r][c] = c < rows_[r].size() ? rows_[r][c].ToString() : "?";
+      widths[c] = std::max(widths[c], cells[r][c].size());
+    }
+  }
+  std::ostringstream oss;
+  auto rule = [&] {
+    oss << "+";
+    for (size_t c = 0; c < ncols; ++c) {
+      oss << std::string(widths[c] + 2, '-') << "+";
+    }
+    oss << "\n";
+  };
+  auto line = [&](const std::vector<std::string>& vals) {
+    oss << "|";
+    for (size_t c = 0; c < ncols; ++c) {
+      oss << " " << vals[c] << std::string(widths[c] - vals[c].size(), ' ')
+          << " |";
+    }
+    oss << "\n";
+  };
+  rule();
+  line(headers);
+  rule();
+  for (size_t r = 0; r < shown; ++r) line(cells[r]);
+  rule();
+  if (rows_.size() > shown) {
+    oss << "... " << (rows_.size() - shown) << " more rows\n";
+  }
+  oss << rows_.size() << " row(s)\n";
+  return oss.str();
+}
+
+}  // namespace gisql

@@ -1,0 +1,55 @@
+/// \file row.h
+/// \brief Rows and row batches — the unit of data flow between operators
+/// and across the wire.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "types/schema.h"
+#include "types/value.h"
+
+namespace gisql {
+
+/// \brief A tuple of scalar values positionally matching some Schema.
+using Row = std::vector<Value>;
+
+/// \brief Hash of a row restricted to the given key columns.
+uint64_t HashRowKeys(const Row& row, const std::vector<size_t>& keys);
+
+/// \brief Three-way lexicographic comparison on the given key columns.
+int CompareRowKeys(const Row& a, const Row& b, const std::vector<size_t>& keys);
+
+/// \brief A batch of rows sharing one schema. Operators produce and
+/// consume batches (Volcano-with-batches execution model).
+class RowBatch {
+ public:
+  RowBatch() : schema_(std::make_shared<Schema>()) {}
+  explicit RowBatch(SchemaPtr schema) : schema_(std::move(schema)) {}
+  RowBatch(SchemaPtr schema, std::vector<Row> rows)
+      : schema_(std::move(schema)), rows_(std::move(rows)) {}
+
+  const SchemaPtr& schema() const { return schema_; }
+  const std::vector<Row>& rows() const { return rows_; }
+  std::vector<Row>& rows() { return rows_; }
+  size_t num_rows() const { return rows_.size(); }
+  bool empty() const { return rows_.empty(); }
+
+  void Append(Row row) { rows_.push_back(std::move(row)); }
+  void Reserve(size_t n) { rows_.reserve(n); }
+  void Clear() { rows_.clear(); }
+
+  /// \brief Actual serialized payload size of all rows in bytes.
+  int64_t WireSize() const;
+
+  /// \brief ASCII table rendering (for examples and debugging).
+  std::string ToString(size_t max_rows = 20) const;
+
+ private:
+  SchemaPtr schema_;
+  std::vector<Row> rows_;
+};
+
+}  // namespace gisql

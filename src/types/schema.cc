@@ -1,0 +1,87 @@
+#include "types/schema.h"
+
+#include "common/string_util.h"
+
+namespace gisql {
+
+Result<size_t> Schema::ResolveColumn(const std::string& qualifier,
+                                     const std::string& name) const {
+  std::optional<size_t> found;
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    const Field& f = fields_[i];
+    if (!EqualsIgnoreCase(f.name, name)) continue;
+    if (!qualifier.empty() && !EqualsIgnoreCase(f.qualifier, qualifier)) {
+      continue;
+    }
+    if (found.has_value()) {
+      return Status::BindError("ambiguous column reference '",
+                               qualifier.empty() ? name
+                                                 : qualifier + "." + name,
+                               "'");
+    }
+    found = i;
+  }
+  if (!found.has_value()) {
+    return Status::BindError("column '",
+                             qualifier.empty() ? name : qualifier + "." + name,
+                             "' not found in schema ", ToString());
+  }
+  return *found;
+}
+
+std::optional<size_t> Schema::IndexOf(const std::string& name) const {
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    if (EqualsIgnoreCase(fields_[i].name, name)) return i;
+  }
+  return std::nullopt;
+}
+
+Schema Schema::Concat(const Schema& right) const {
+  std::vector<Field> all = fields_;
+  all.insert(all.end(), right.fields_.begin(), right.fields_.end());
+  return Schema(std::move(all));
+}
+
+Schema Schema::WithQualifier(const std::string& alias) const {
+  std::vector<Field> all = fields_;
+  for (auto& f : all) f.qualifier = alias;
+  return Schema(std::move(all));
+}
+
+Schema Schema::Select(const std::vector<size_t>& indexes) const {
+  std::vector<Field> out;
+  out.reserve(indexes.size());
+  for (size_t i : indexes) out.push_back(fields_[i]);
+  return Schema(std::move(out));
+}
+
+bool Schema::UnionCompatible(const Schema& other) const {
+  if (fields_.size() != other.fields_.size()) return false;
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    if (!IsImplicitlyCastable(other.fields_[i].type, fields_[i].type) &&
+        !IsImplicitlyCastable(fields_[i].type, other.fields_[i].type)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string Schema::ToString() const {
+  std::string out = "(";
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    if (i) out += ", ";
+    out += fields_[i].QualifiedName();
+    out += " ";
+    out += TypeName(fields_[i].type);
+  }
+  out += ")";
+  return out;
+}
+
+int64_t Schema::EstimatedRowWidth() const {
+  int64_t w = 2;  // row header
+  for (const auto& f : fields_) w += EstimatedWireSize(f.type);
+  return w;
+}
+
+}  // namespace gisql

@@ -1,0 +1,93 @@
+/// \file schema.h
+/// \brief Fields, schemas, and qualified-name resolution.
+
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "types/data_type.h"
+
+namespace gisql {
+
+/// \brief One column: a name, a type, nullability, and an optional
+/// qualifier (the table or alias the column came from).
+struct Field {
+  std::string name;
+  TypeId type = TypeId::kNull;
+  bool nullable = true;
+  std::string qualifier;  ///< table name or alias; empty for computed columns
+
+  Field() = default;
+  Field(std::string n, TypeId t, bool nul = true, std::string qual = "")
+      : name(std::move(n)),
+        type(t),
+        nullable(nul),
+        qualifier(std::move(qual)) {}
+
+  /// \brief "qualifier.name" or bare name.
+  std::string QualifiedName() const {
+    return qualifier.empty() ? name : qualifier + "." + name;
+  }
+
+  bool operator==(const Field& o) const {
+    return name == o.name && type == o.type && nullable == o.nullable;
+  }
+};
+
+/// \brief An ordered list of fields with name-based lookup.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<Field> fields) : fields_(std::move(fields)) {}
+
+  const std::vector<Field>& fields() const { return fields_; }
+  size_t num_fields() const { return fields_.size(); }
+  const Field& field(size_t i) const { return fields_[i]; }
+
+  /// \brief Resolves a possibly qualified column reference.
+  ///
+  /// Bare names must be unambiguous across qualifiers; qualified names
+  /// ("o.price") must match both parts. Ambiguity and absence are
+  /// reported as BindError.
+  Result<size_t> ResolveColumn(const std::string& qualifier,
+                               const std::string& name) const;
+
+  /// \brief Index of the first field with this exact (unqualified) name,
+  /// or nullopt.
+  std::optional<size_t> IndexOf(const std::string& name) const;
+
+  void AddField(Field f) { fields_.push_back(std::move(f)); }
+
+  /// \brief Schema of `this` followed by `right` (join output).
+  Schema Concat(const Schema& right) const;
+
+  /// \brief Re-qualifies every field with the given alias.
+  Schema WithQualifier(const std::string& alias) const;
+
+  /// \brief Projection keeping the given field indexes, in order.
+  Schema Select(const std::vector<size_t>& indexes) const;
+
+  /// \brief Structural equality on (name, type, nullable) tuples.
+  bool Equals(const Schema& other) const { return fields_ == other.fields_; }
+
+  /// \brief Same arity and pairwise implicitly-castable field types —
+  /// the precondition for UNION-compatible global views.
+  bool UnionCompatible(const Schema& other) const;
+
+  /// \brief "(a BIGINT, b VARCHAR)" style rendering.
+  std::string ToString() const;
+
+  /// \brief Estimated serialized row width in bytes (cost model input).
+  int64_t EstimatedRowWidth() const;
+
+ private:
+  std::vector<Field> fields_;
+};
+
+using SchemaPtr = std::shared_ptr<Schema>;
+
+}  // namespace gisql

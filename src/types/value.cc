@@ -1,0 +1,185 @@
+#include "types/value.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/hash.h"
+#include "types/datetime.h"
+
+namespace gisql {
+
+double Value::NumericValue() const {
+  switch (type_) {
+    case TypeId::kBool: return AsBool() ? 1.0 : 0.0;
+    case TypeId::kInt64:
+    case TypeId::kDate: return static_cast<double>(std::get<int64_t>(v_));
+    case TypeId::kDouble: return AsDouble();
+    default: return 0.0;
+  }
+}
+
+Result<Value> Value::CastTo(TypeId to) const {
+  if (is_null()) return Value::Null(to);
+  if (type_ == to) return *this;
+  switch (to) {
+    case TypeId::kInt64:
+      switch (type_) {
+        case TypeId::kDouble:
+          return Value::Int(static_cast<int64_t>(AsDouble()));
+        case TypeId::kDate: return Value::Int(std::get<int64_t>(v_));
+        case TypeId::kBool: return Value::Int(AsBool() ? 1 : 0);
+        case TypeId::kString: {
+          errno = 0;
+          char* end = nullptr;
+          const long long parsed = std::strtoll(AsString().c_str(), &end, 10);
+          if (end == AsString().c_str() || *end != '\0' || errno == ERANGE) {
+            return Status::InvalidArgument("cannot cast '", AsString(),
+                                           "' to BIGINT");
+          }
+          return Value::Int(parsed);
+        }
+        default: break;
+      }
+      break;
+    case TypeId::kDouble:
+      switch (type_) {
+        case TypeId::kInt64:
+        case TypeId::kDate:
+          return Value::Double(static_cast<double>(std::get<int64_t>(v_)));
+        case TypeId::kBool: return Value::Double(AsBool() ? 1.0 : 0.0);
+        case TypeId::kString: {
+          errno = 0;
+          char* end = nullptr;
+          const double parsed = std::strtod(AsString().c_str(), &end);
+          if (end == AsString().c_str() || *end != '\0' || errno == ERANGE) {
+            return Status::InvalidArgument("cannot cast '", AsString(),
+                                           "' to DOUBLE");
+          }
+          return Value::Double(parsed);
+        }
+        default: break;
+      }
+      break;
+    case TypeId::kString: {
+      if (type_ == TypeId::kString) return *this;
+      // Render numerics/bools without the quoting ToString() adds.
+      switch (type_) {
+        case TypeId::kBool: return Value::String(AsBool() ? "true" : "false");
+        case TypeId::kInt64:
+          return Value::String(std::to_string(std::get<int64_t>(v_)));
+        case TypeId::kDate:
+          return Value::String(FormatDate(std::get<int64_t>(v_)));
+        case TypeId::kDouble: {
+          char buf[32];
+          std::snprintf(buf, sizeof(buf), "%g", AsDouble());
+          return Value::String(buf);
+        }
+        default: break;
+      }
+      break;
+    }
+    case TypeId::kDate:
+      if (type_ == TypeId::kInt64) return Value::Date(AsInt());
+      if (type_ == TypeId::kString) {
+        GISQL_ASSIGN_OR_RETURN(int64_t days, ParseDateString(AsString()));
+        return Value::Date(days);
+      }
+      break;
+    case TypeId::kBool:
+      if (type_ == TypeId::kInt64) return Value::Bool(AsInt() != 0);
+      break;
+    case TypeId::kNull: break;
+  }
+  return Status::InvalidArgument("cannot cast ", TypeName(type_), " to ",
+                                 TypeName(to));
+}
+
+int Value::Compare(const Value& other) const {
+  if (is_null() && other.is_null()) return 0;
+  if (is_null()) return -1;
+  if (other.is_null()) return 1;
+  // Cross-type numeric comparison via double widening.
+  const bool numeric =
+      (IsNumeric(type_) || type_ == TypeId::kBool) &&
+      (IsNumeric(other.type_) || other.type_ == TypeId::kBool);
+  if (type_ != other.type_ && !numeric) {
+    // Incomparable heterogenous types: order by type id for stability.
+    return type_ < other.type_ ? -1 : 1;
+  }
+  if (type_ == TypeId::kString && other.type_ == TypeId::kString) {
+    const int c = AsString().compare(other.AsString());
+    return c < 0 ? -1 : (c > 0 ? 1 : 0);
+  }
+  if (type_ == TypeId::kBool && other.type_ == TypeId::kBool) {
+    return static_cast<int>(AsBool()) - static_cast<int>(other.AsBool());
+  }
+  if ((type_ == TypeId::kInt64 || type_ == TypeId::kDate) &&
+      (other.type_ == TypeId::kInt64 || other.type_ == TypeId::kDate)) {
+    const int64_t a = std::get<int64_t>(v_);
+    const int64_t b = std::get<int64_t>(other.v_);
+    return a < b ? -1 : (a > b ? 1 : 0);
+  }
+  const double a = NumericValue();
+  const double b = other.NumericValue();
+  return a < b ? -1 : (a > b ? 1 : 0);
+}
+
+uint64_t Value::Hash() const {
+  if (is_null()) return 0x9b14deadULL;
+  switch (type_) {
+    case TypeId::kBool: return HashInt(AsBool() ? 1 : 2);
+    case TypeId::kInt64:
+    case TypeId::kDate: {
+      const int64_t i = std::get<int64_t>(v_);
+      return HashInt(static_cast<uint64_t>(i));
+    }
+    case TypeId::kDouble: {
+      const double d = AsDouble();
+      // Hash integral doubles like the equal int64 so joins across
+      // INT64/DOUBLE keys hash consistently with Compare().
+      if (d == std::floor(d) && std::abs(d) < 9.2e18) {
+        return HashInt(static_cast<uint64_t>(static_cast<int64_t>(d)));
+      }
+      uint64_t bits;
+      std::memcpy(&bits, &d, sizeof(bits));
+      return HashInt(bits);
+    }
+    case TypeId::kString: return HashString(AsString());
+    case TypeId::kNull: break;
+  }
+  return 0;
+}
+
+std::string Value::ToString() const {
+  if (is_null()) return "NULL";
+  switch (type_) {
+    case TypeId::kBool: return AsBool() ? "true" : "false";
+    case TypeId::kInt64: return std::to_string(std::get<int64_t>(v_));
+    case TypeId::kDate:
+      return "DATE '" + FormatDate(std::get<int64_t>(v_)) + "'";
+    case TypeId::kDouble: {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%g", AsDouble());
+      return buf;
+    }
+    case TypeId::kString: return "'" + AsString() + "'";
+    case TypeId::kNull: break;
+  }
+  return "?";
+}
+
+int64_t Value::WireSize() const {
+  if (is_null()) return 2;
+  switch (type_) {
+    case TypeId::kBool: return 2;
+    case TypeId::kInt64:
+    case TypeId::kDate: return 6;
+    case TypeId::kDouble: return 9;
+    case TypeId::kString: return 2 + static_cast<int64_t>(AsString().size());
+    case TypeId::kNull: break;
+  }
+  return 2;
+}
+
+}  // namespace gisql

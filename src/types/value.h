@@ -1,0 +1,82 @@
+/// \file value.h
+/// \brief Dynamically typed scalar value of the global data model.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+#include "common/result.h"
+#include "types/data_type.h"
+
+namespace gisql {
+
+/// \brief A nullable scalar. NULL is represented by is_null() regardless
+/// of the declared type, mirroring SQL semantics.
+class Value {
+ public:
+  /// Constructs a NULL of type kNull.
+  Value() : type_(TypeId::kNull) {}
+
+  static Value Null(TypeId type = TypeId::kNull) {
+    Value v;
+    v.type_ = type;
+    return v;
+  }
+  static Value Bool(bool b) { return Value(TypeId::kBool, Payload(b)); }
+  static Value Int(int64_t i) { return Value(TypeId::kInt64, Payload(i)); }
+  static Value Double(double d) { return Value(TypeId::kDouble, Payload(d)); }
+  static Value String(std::string s) {
+    return Value(TypeId::kString, Payload(std::move(s)));
+  }
+  static Value Date(int64_t days) { return Value(TypeId::kDate, Payload(days)); }
+
+  TypeId type() const { return type_; }
+  bool is_null() const { return std::holds_alternative<std::monostate>(v_); }
+
+  /// \name Unchecked accessors (caller must know the type; NULL-checked
+  /// access goes through is_null()).
+  /// @{
+  bool AsBool() const { return std::get<bool>(v_); }
+  int64_t AsInt() const { return std::get<int64_t>(v_); }
+  double AsDouble() const { return std::get<double>(v_); }
+  const std::string& AsString() const { return std::get<std::string>(v_); }
+  /// @}
+
+  /// \brief Numeric view: INT64/DATE widened to double; BOOL as 0/1.
+  double NumericValue() const;
+
+  /// \brief Casts to `to`; implicit-castable conversions plus
+  /// string<->numeric explicit casts. NULL casts to NULL of the target.
+  Result<Value> CastTo(TypeId to) const;
+
+  /// \brief Three-way comparison. NULLs sort first and compare equal to
+  /// each other (this is the ORDER BY / join-key ordering, not SQL
+  /// ternary logic — predicate NULL semantics live in the evaluator).
+  int Compare(const Value& other) const;
+
+  bool operator==(const Value& other) const { return Compare(other) == 0; }
+  bool operator!=(const Value& other) const { return Compare(other) != 0; }
+  bool operator<(const Value& other) const { return Compare(other) < 0; }
+
+  /// \brief Stable hash consistent with Compare()==0 across numeric
+  /// representations of the same number.
+  uint64_t Hash() const;
+
+  /// \brief SQL-literal-ish rendering ("NULL", "'abc'", "42", "1.5").
+  std::string ToString() const;
+
+  /// \brief Bytes this value occupies on the wire (actual, not estimate).
+  int64_t WireSize() const;
+
+ private:
+  using Payload =
+      std::variant<std::monostate, bool, int64_t, double, std::string>;
+  Value(TypeId t, Payload p) : type_(t), v_(std::move(p)) {}
+
+  TypeId type_;
+  Payload v_;
+};
+
+}  // namespace gisql

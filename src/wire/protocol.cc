@@ -1,0 +1,88 @@
+#include "wire/protocol.h"
+
+#include "wire/serde.h"
+
+namespace gisql {
+namespace wire {
+
+std::vector<uint8_t> EncodeResponse(const Status& status,
+                                    const std::vector<uint8_t>& payload) {
+  ByteWriter w;
+  w.PutBool(status.ok());
+  if (!status.ok()) {
+    w.PutU8(static_cast<uint8_t>(status.code()));
+    w.PutString(status.message());
+  } else {
+    w.PutVarint(payload.size());
+    w.PutRaw(payload.data(), payload.size());
+  }
+  return w.Release();
+}
+
+Result<std::vector<uint8_t>> DecodeResponse(
+    const std::vector<uint8_t>& frame) {
+  ByteReader r(frame);
+  GISQL_ASSIGN_OR_RETURN(bool ok, r.GetBool());
+  if (!ok) {
+    GISQL_ASSIGN_OR_RETURN(uint8_t code, r.GetU8());
+    GISQL_ASSIGN_OR_RETURN(std::string msg, r.GetString());
+    if (code > static_cast<uint8_t>(StatusCode::kInternal) || code == 0) {
+      return Status::SerializationError("bad status code in response");
+    }
+    return Status(static_cast<StatusCode>(code), std::move(msg));
+  }
+  GISQL_ASSIGN_OR_RETURN(uint64_t n, r.GetVarint());
+  if (n != r.remaining()) {
+    return Status::SerializationError("response payload length mismatch: ",
+                                      n, " declared, ", r.remaining(),
+                                      " present");
+  }
+  std::vector<uint8_t> payload(frame.end() - n, frame.end());
+  return payload;
+}
+
+void WriteTableStats(ByteWriter* w, const TableStats& stats) {
+  w->PutSignedVarint(stats.row_count);
+  w->PutVarint(stats.columns.size());
+  for (const auto& c : stats.columns) {
+    WriteValue(w, c.min);
+    WriteValue(w, c.max);
+    w->PutSignedVarint(c.null_count);
+    w->PutSignedVarint(c.distinct_count);
+    w->PutDouble(c.avg_width);
+    w->PutVarint(c.histogram_bounds.size());
+    for (const auto& edge : c.histogram_bounds) WriteValue(w, edge);
+  }
+}
+
+Result<TableStats> ReadTableStats(ByteReader* r) {
+  TableStats stats;
+  GISQL_ASSIGN_OR_RETURN(stats.row_count, r->GetSignedVarint());
+  GISQL_ASSIGN_OR_RETURN(uint64_t n, r->GetVarint());
+  if (n > 1 << 16) {
+    return Status::SerializationError("too many column stats");
+  }
+  stats.columns.reserve(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    ColumnStats c;
+    GISQL_ASSIGN_OR_RETURN(c.min, ReadValue(r));
+    GISQL_ASSIGN_OR_RETURN(c.max, ReadValue(r));
+    GISQL_ASSIGN_OR_RETURN(c.null_count, r->GetSignedVarint());
+    GISQL_ASSIGN_OR_RETURN(c.distinct_count, r->GetSignedVarint());
+    GISQL_ASSIGN_OR_RETURN(c.avg_width, r->GetDouble());
+    GISQL_ASSIGN_OR_RETURN(uint64_t nbounds, r->GetVarint());
+    if (nbounds > 1 << 12) {
+      return Status::SerializationError("too many histogram bounds");
+    }
+    c.histogram_bounds.reserve(nbounds);
+    for (uint64_t b = 0; b < nbounds; ++b) {
+      GISQL_ASSIGN_OR_RETURN(Value edge, ReadValue(r));
+      c.histogram_bounds.push_back(std::move(edge));
+    }
+    stats.columns.push_back(std::move(c));
+  }
+  return stats;
+}
+
+}  // namespace wire
+}  // namespace gisql

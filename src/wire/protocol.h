@@ -1,0 +1,44 @@
+/// \file protocol.h
+/// \brief Request/response framing of the mediator↔wrapper protocol.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/result.h"
+#include "storage/statistics.h"
+
+namespace gisql {
+namespace wire {
+
+/// \brief Request opcodes a component source understands.
+enum class Opcode : uint8_t {
+  kPing = 1,             ///< liveness probe, empty payload
+  kListTables = 2,       ///< → string list
+  kGetSchema = 3,        ///< payload: table name → schema
+  kGetStats = 4,         ///< payload: table name → serialized stats
+  kExecuteFragment = 5,  ///< payload: FragmentPlan → row batch
+  kAdminSql = 6,         ///< payload: DDL/DML text → empty (admin channel)
+  kTxnPrepare = 7,       ///< payload: txn id + INSERT sql → empty (staged)
+  kTxnCommit = 8,        ///< payload: txn id → empty (apply staged rows)
+  kTxnAbort = 9,         ///< payload: txn id → empty (drop staged rows)
+};
+
+/// \brief Encodes a response frame: ok flag, then either an error
+/// (code + message) or the payload bytes.
+std::vector<uint8_t> EncodeResponse(const Status& status,
+                                    const std::vector<uint8_t>& payload);
+
+/// \brief Decodes a response frame back into Status-or-payload.
+Result<std::vector<uint8_t>> DecodeResponse(const std::vector<uint8_t>& frame);
+
+/// \name Table statistics serde (catalog refresh path)
+/// @{
+void WriteTableStats(ByteWriter* w, const TableStats& stats);
+Result<TableStats> ReadTableStats(ByteReader* r);
+/// @}
+
+}  // namespace wire
+}  // namespace gisql

@@ -1,0 +1,355 @@
+#include "wire/serde.h"
+
+namespace gisql {
+namespace wire {
+
+namespace {
+// Value tags: low 3 bits = TypeId, bit 3 = null flag.
+constexpr uint8_t kNullBit = 0x08;
+}  // namespace
+
+void WriteValue(ByteWriter* w, const Value& v) {
+  uint8_t tag = static_cast<uint8_t>(v.type());
+  if (v.is_null()) {
+    w->PutU8(tag | kNullBit);
+    return;
+  }
+  w->PutU8(tag);
+  switch (v.type()) {
+    case TypeId::kNull:
+      break;
+    case TypeId::kBool:
+      w->PutBool(v.AsBool());
+      break;
+    case TypeId::kInt64:
+      w->PutSignedVarint(v.AsInt());
+      break;
+    case TypeId::kDate:
+      w->PutSignedVarint(v.AsInt());
+      break;
+    case TypeId::kDouble:
+      w->PutDouble(v.AsDouble());
+      break;
+    case TypeId::kString:
+      w->PutString(v.AsString());
+      break;
+  }
+}
+
+Result<Value> ReadValue(ByteReader* r) {
+  GISQL_ASSIGN_OR_RETURN(uint8_t tag, r->GetU8());
+  const auto type = static_cast<TypeId>(tag & 0x07);
+  if (static_cast<uint8_t>(type) > static_cast<uint8_t>(TypeId::kDate)) {
+    return Status::SerializationError("bad value tag ", int(tag));
+  }
+  if (tag & kNullBit) return Value::Null(type);
+  switch (type) {
+    case TypeId::kNull:
+      return Value::Null();
+    case TypeId::kBool: {
+      GISQL_ASSIGN_OR_RETURN(bool b, r->GetBool());
+      return Value::Bool(b);
+    }
+    case TypeId::kInt64: {
+      GISQL_ASSIGN_OR_RETURN(int64_t i, r->GetSignedVarint());
+      return Value::Int(i);
+    }
+    case TypeId::kDate: {
+      GISQL_ASSIGN_OR_RETURN(int64_t i, r->GetSignedVarint());
+      return Value::Date(i);
+    }
+    case TypeId::kDouble: {
+      GISQL_ASSIGN_OR_RETURN(double d, r->GetDouble());
+      return Value::Double(d);
+    }
+    case TypeId::kString: {
+      GISQL_ASSIGN_OR_RETURN(std::string s, r->GetString());
+      return Value::String(std::move(s));
+    }
+  }
+  return Status::SerializationError("unreachable value tag");
+}
+
+void WriteSchema(ByteWriter* w, const Schema& schema) {
+  w->PutVarint(schema.num_fields());
+  for (const auto& f : schema.fields()) {
+    w->PutString(f.name);
+    w->PutString(f.qualifier);
+    w->PutU8(static_cast<uint8_t>(f.type));
+    w->PutBool(f.nullable);
+  }
+}
+
+Result<Schema> ReadSchema(ByteReader* r) {
+  GISQL_ASSIGN_OR_RETURN(uint64_t n, r->GetVarint());
+  if (n > 1 << 16) {
+    return Status::SerializationError("schema too wide: ", n);
+  }
+  std::vector<Field> fields;
+  fields.reserve(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    Field f;
+    GISQL_ASSIGN_OR_RETURN(f.name, r->GetString());
+    GISQL_ASSIGN_OR_RETURN(f.qualifier, r->GetString());
+    GISQL_ASSIGN_OR_RETURN(uint8_t t, r->GetU8());
+    if (t > static_cast<uint8_t>(TypeId::kDate)) {
+      return Status::SerializationError("bad field type ", int(t));
+    }
+    f.type = static_cast<TypeId>(t);
+    GISQL_ASSIGN_OR_RETURN(f.nullable, r->GetBool());
+    fields.push_back(std::move(f));
+  }
+  return Schema(std::move(fields));
+}
+
+void WriteBatch(ByteWriter* w, const RowBatch& batch) {
+  WriteSchema(w, *batch.schema());
+  w->PutVarint(batch.num_rows());
+  for (const auto& row : batch.rows()) {
+    for (const auto& v : row) WriteValue(w, v);
+  }
+}
+
+Result<RowBatch> ReadBatch(ByteReader* r) {
+  GISQL_ASSIGN_OR_RETURN(Schema schema, ReadSchema(r));
+  GISQL_ASSIGN_OR_RETURN(uint64_t nrows, r->GetVarint());
+  auto schema_ptr = std::make_shared<Schema>(std::move(schema));
+  const size_t width = schema_ptr->num_fields();
+  RowBatch batch(schema_ptr);
+  batch.Reserve(nrows);
+  for (uint64_t i = 0; i < nrows; ++i) {
+    Row row;
+    row.reserve(width);
+    for (size_t c = 0; c < width; ++c) {
+      GISQL_ASSIGN_OR_RETURN(Value v, ReadValue(r));
+      row.push_back(std::move(v));
+    }
+    batch.Append(std::move(row));
+  }
+  return batch;
+}
+
+void WriteExpr(ByteWriter* w, const Expr& e) {
+  w->PutU8(static_cast<uint8_t>(e.kind));
+  w->PutU8(static_cast<uint8_t>(e.type));
+  switch (e.kind) {
+    case ExprKind::kColumn:
+      w->PutVarint(e.column_index);
+      w->PutString(e.column_name);
+      break;
+    case ExprKind::kLiteral:
+      WriteValue(w, e.literal);
+      break;
+    case ExprKind::kCompare:
+      w->PutU8(static_cast<uint8_t>(e.compare_op));
+      break;
+    case ExprKind::kArith:
+      w->PutU8(static_cast<uint8_t>(e.arith_op));
+      break;
+    case ExprKind::kLogic:
+      w->PutU8(static_cast<uint8_t>(e.logic_op));
+      break;
+    case ExprKind::kFunc:
+      w->PutString(e.func_name);
+      break;
+    default:
+      break;
+  }
+  w->PutBool(e.negated);
+  w->PutBool(e.has_else);
+  w->PutVarint(e.children.size());
+  for (const auto& c : e.children) WriteExpr(w, *c);
+}
+
+Result<ExprPtr> ReadExpr(ByteReader* r) {
+  GISQL_ASSIGN_OR_RETURN(uint8_t kind_raw, r->GetU8());
+  if (kind_raw > static_cast<uint8_t>(ExprKind::kCase)) {
+    return Status::SerializationError("bad expr kind ", int(kind_raw));
+  }
+  auto e = std::make_shared<Expr>(static_cast<ExprKind>(kind_raw));
+  GISQL_ASSIGN_OR_RETURN(uint8_t type_raw, r->GetU8());
+  if (type_raw > static_cast<uint8_t>(TypeId::kDate)) {
+    return Status::SerializationError("bad expr type ", int(type_raw));
+  }
+  e->type = static_cast<TypeId>(type_raw);
+  switch (e->kind) {
+    case ExprKind::kColumn: {
+      GISQL_ASSIGN_OR_RETURN(uint64_t idx, r->GetVarint());
+      e->column_index = idx;
+      GISQL_ASSIGN_OR_RETURN(e->column_name, r->GetString());
+      break;
+    }
+    case ExprKind::kLiteral: {
+      GISQL_ASSIGN_OR_RETURN(e->literal, ReadValue(r));
+      break;
+    }
+    case ExprKind::kCompare: {
+      GISQL_ASSIGN_OR_RETURN(uint8_t op, r->GetU8());
+      if (op > static_cast<uint8_t>(CompareOp::kGe)) {
+        return Status::SerializationError("bad compare op");
+      }
+      e->compare_op = static_cast<CompareOp>(op);
+      break;
+    }
+    case ExprKind::kArith: {
+      GISQL_ASSIGN_OR_RETURN(uint8_t op, r->GetU8());
+      if (op > static_cast<uint8_t>(ArithOp::kMod)) {
+        return Status::SerializationError("bad arith op");
+      }
+      e->arith_op = static_cast<ArithOp>(op);
+      break;
+    }
+    case ExprKind::kLogic: {
+      GISQL_ASSIGN_OR_RETURN(uint8_t op, r->GetU8());
+      if (op > static_cast<uint8_t>(LogicOp::kOr)) {
+        return Status::SerializationError("bad logic op");
+      }
+      e->logic_op = static_cast<LogicOp>(op);
+      break;
+    }
+    case ExprKind::kFunc: {
+      GISQL_ASSIGN_OR_RETURN(e->func_name, r->GetString());
+      break;
+    }
+    default:
+      break;
+  }
+  GISQL_ASSIGN_OR_RETURN(e->negated, r->GetBool());
+  GISQL_ASSIGN_OR_RETURN(e->has_else, r->GetBool());
+  GISQL_ASSIGN_OR_RETURN(uint64_t nchildren, r->GetVarint());
+  if (nchildren > 1 << 16) {
+    return Status::SerializationError("expr too wide: ", nchildren,
+                                      " children");
+  }
+  e->children.reserve(nchildren);
+  for (uint64_t i = 0; i < nchildren; ++i) {
+    GISQL_ASSIGN_OR_RETURN(ExprPtr c, ReadExpr(r));
+    e->children.push_back(std::move(c));
+  }
+  return e;
+}
+
+void WriteAggregate(ByteWriter* w, const BoundAggregate& agg) {
+  w->PutU8(static_cast<uint8_t>(agg.kind));
+  w->PutBool(agg.distinct);
+  w->PutU8(static_cast<uint8_t>(agg.result_type));
+  w->PutString(agg.display);
+  w->PutBool(agg.arg != nullptr);
+  if (agg.arg) WriteExpr(w, *agg.arg);
+}
+
+Result<BoundAggregate> ReadAggregate(ByteReader* r) {
+  BoundAggregate agg;
+  GISQL_ASSIGN_OR_RETURN(uint8_t kind, r->GetU8());
+  if (kind > static_cast<uint8_t>(AggKind::kAvg)) {
+    return Status::SerializationError("bad aggregate kind");
+  }
+  agg.kind = static_cast<AggKind>(kind);
+  GISQL_ASSIGN_OR_RETURN(agg.distinct, r->GetBool());
+  GISQL_ASSIGN_OR_RETURN(uint8_t rt, r->GetU8());
+  if (rt > static_cast<uint8_t>(TypeId::kDate)) {
+    return Status::SerializationError("bad aggregate result type");
+  }
+  agg.result_type = static_cast<TypeId>(rt);
+  GISQL_ASSIGN_OR_RETURN(agg.display, r->GetString());
+  GISQL_ASSIGN_OR_RETURN(bool has_arg, r->GetBool());
+  if (has_arg) {
+    GISQL_ASSIGN_OR_RETURN(agg.arg, ReadExpr(r));
+  }
+  return agg;
+}
+
+void WriteFragment(ByteWriter* w, const FragmentPlan& frag) {
+  w->PutString(frag.table);
+  w->PutBool(frag.filter != nullptr);
+  if (frag.filter) WriteExpr(w, *frag.filter);
+  w->PutVarint(frag.projections.size());
+  for (size_t i = 0; i < frag.projections.size(); ++i) {
+    WriteExpr(w, *frag.projections[i]);
+    w->PutString(i < frag.projection_names.size() ? frag.projection_names[i]
+                                                  : "");
+  }
+  w->PutSignedVarint(frag.semijoin_column);
+  w->PutVarint(frag.semijoin_values.size());
+  for (const auto& v : frag.semijoin_values) WriteValue(w, v);
+  w->PutBool(frag.has_aggregate);
+  if (frag.has_aggregate) {
+    w->PutVarint(frag.group_by.size());
+    for (const auto& g : frag.group_by) WriteExpr(w, *g);
+    w->PutVarint(frag.aggregates.size());
+    for (const auto& a : frag.aggregates) WriteAggregate(w, a);
+  }
+  w->PutVarint(frag.order_by.size());
+  for (size_t i = 0; i < frag.order_by.size(); ++i) {
+    WriteExpr(w, *frag.order_by[i]);
+    w->PutBool(i < frag.order_ascending.size() ? frag.order_ascending[i]
+                                               : true);
+  }
+  w->PutSignedVarint(frag.limit);
+}
+
+Result<FragmentPlan> ReadFragment(ByteReader* r) {
+  FragmentPlan frag;
+  GISQL_ASSIGN_OR_RETURN(frag.table, r->GetString());
+  GISQL_ASSIGN_OR_RETURN(bool has_filter, r->GetBool());
+  if (has_filter) {
+    GISQL_ASSIGN_OR_RETURN(frag.filter, ReadExpr(r));
+  }
+  GISQL_ASSIGN_OR_RETURN(uint64_t nproj, r->GetVarint());
+  if (nproj > 1 << 16) {
+    return Status::SerializationError("too many projections");
+  }
+  for (uint64_t i = 0; i < nproj; ++i) {
+    GISQL_ASSIGN_OR_RETURN(ExprPtr p, ReadExpr(r));
+    frag.projections.push_back(std::move(p));
+    GISQL_ASSIGN_OR_RETURN(std::string name, r->GetString());
+    frag.projection_names.push_back(std::move(name));
+  }
+  GISQL_ASSIGN_OR_RETURN(frag.semijoin_column, r->GetSignedVarint());
+  GISQL_ASSIGN_OR_RETURN(uint64_t nsemi, r->GetVarint());
+  frag.semijoin_values.reserve(nsemi);
+  for (uint64_t i = 0; i < nsemi; ++i) {
+    GISQL_ASSIGN_OR_RETURN(Value v, ReadValue(r));
+    frag.semijoin_values.push_back(std::move(v));
+  }
+  GISQL_ASSIGN_OR_RETURN(frag.has_aggregate, r->GetBool());
+  if (frag.has_aggregate) {
+    GISQL_ASSIGN_OR_RETURN(uint64_t ng, r->GetVarint());
+    for (uint64_t i = 0; i < ng; ++i) {
+      GISQL_ASSIGN_OR_RETURN(ExprPtr g, ReadExpr(r));
+      frag.group_by.push_back(std::move(g));
+    }
+    GISQL_ASSIGN_OR_RETURN(uint64_t na, r->GetVarint());
+    for (uint64_t i = 0; i < na; ++i) {
+      GISQL_ASSIGN_OR_RETURN(BoundAggregate a, ReadAggregate(r));
+      frag.aggregates.push_back(std::move(a));
+    }
+  }
+  GISQL_ASSIGN_OR_RETURN(uint64_t nord, r->GetVarint());
+  if (nord > 1 << 12) {
+    return Status::SerializationError("too many order-by terms");
+  }
+  for (uint64_t i = 0; i < nord; ++i) {
+    GISQL_ASSIGN_OR_RETURN(ExprPtr e, ReadExpr(r));
+    frag.order_by.push_back(std::move(e));
+    GISQL_ASSIGN_OR_RETURN(bool asc, r->GetBool());
+    frag.order_ascending.push_back(asc);
+  }
+  GISQL_ASSIGN_OR_RETURN(frag.limit, r->GetSignedVarint());
+  return frag;
+}
+
+std::vector<uint8_t> SerializeFragment(const FragmentPlan& frag) {
+  ByteWriter w;
+  WriteFragment(&w, frag);
+  return w.Release();
+}
+
+std::vector<uint8_t> SerializeBatch(const RowBatch& batch) {
+  ByteWriter w;
+  WriteBatch(&w, batch);
+  return w.Release();
+}
+
+}  // namespace wire
+}  // namespace gisql

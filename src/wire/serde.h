@@ -1,0 +1,66 @@
+/// \file serde.h
+/// \brief Wire serialization of the mediator↔wrapper protocol payloads:
+/// values, schemas, row batches, bound expressions, aggregate specs, and
+/// fragment plans.
+///
+/// Everything is encoded little-endian with varint lengths (see
+/// common/bytes.h). Deserialization is fully bounds-checked; malformed
+/// input yields SerializationError, never UB.
+
+#pragma once
+
+#include "common/bytes.h"
+#include "expr/binder.h"
+#include "expr/expr.h"
+#include "source/fragment.h"
+#include "types/row.h"
+#include "types/schema.h"
+#include "types/value.h"
+
+namespace gisql {
+namespace wire {
+
+/// \name Scalar values
+/// @{
+void WriteValue(ByteWriter* w, const Value& v);
+Result<Value> ReadValue(ByteReader* r);
+/// @}
+
+/// \name Schemas
+/// @{
+void WriteSchema(ByteWriter* w, const Schema& schema);
+Result<Schema> ReadSchema(ByteReader* r);
+/// @}
+
+/// \name Row batches (schema + rows)
+/// @{
+void WriteBatch(ByteWriter* w, const RowBatch& batch);
+Result<RowBatch> ReadBatch(ByteReader* r);
+/// @}
+
+/// \name Bound expressions
+/// @{
+void WriteExpr(ByteWriter* w, const Expr& e);
+Result<ExprPtr> ReadExpr(ByteReader* r);
+/// @}
+
+/// \name Aggregate specs
+/// @{
+void WriteAggregate(ByteWriter* w, const BoundAggregate& agg);
+Result<BoundAggregate> ReadAggregate(ByteReader* r);
+/// @}
+
+/// \name Fragment plans
+/// @{
+void WriteFragment(ByteWriter* w, const FragmentPlan& frag);
+Result<FragmentPlan> ReadFragment(ByteReader* r);
+/// @}
+
+/// \brief Convenience: serializes a fragment to a fresh buffer.
+std::vector<uint8_t> SerializeFragment(const FragmentPlan& frag);
+
+/// \brief Convenience: serializes a batch to a fresh buffer.
+std::vector<uint8_t> SerializeBatch(const RowBatch& batch);
+
+}  // namespace wire
+}  // namespace gisql

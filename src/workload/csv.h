@@ -1,0 +1,42 @@
+/// \file csv.h
+/// \brief CSV bulk loading into component-source tables — the practical
+/// ingestion path for populating autonomous systems from flat files.
+
+#pragma once
+
+#include <istream>
+#include <string>
+
+#include "common/result.h"
+#include "source/component_source.h"
+
+namespace gisql {
+
+/// \brief CSV parsing options.
+struct CsvOptions {
+  char delimiter = ',';
+  bool has_header = true;      ///< skip the first line
+  std::string null_token = ""; ///< unquoted cell equal to this → NULL
+};
+
+/// \brief Splits one CSV record honouring double-quote quoting with ""
+/// escapes. Exposed for tests.
+Result<std::vector<std::string>> SplitCsvLine(const std::string& line,
+                                              char delimiter);
+
+/// \brief Loads CSV rows from `in` into `table_name` at `source`,
+/// coercing each cell to the column's declared type (empty/`null_token`
+/// cells become NULL). Returns the number of rows loaded.
+///
+/// Errors carry the 1-based line number of the offending record.
+Result<int64_t> LoadCsv(ComponentSource* source,
+                        const std::string& table_name, std::istream& in,
+                        const CsvOptions& options = CsvOptions());
+
+/// \brief Convenience: loads from a file path.
+Result<int64_t> LoadCsvFile(ComponentSource* source,
+                            const std::string& table_name,
+                            const std::string& path,
+                            const CsvOptions& options = CsvOptions());
+
+}  // namespace gisql

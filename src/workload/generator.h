@@ -1,0 +1,43 @@
+/// \file generator.h
+/// \brief Seeded synthetic workload: a retail federation of autonomous
+/// sources, used by the benches and examples.
+///
+/// Topology built inside a GlobalSystem:
+///   - source "hq"      (RELATIONAL): customers(cid, name, region, segment)
+///   - source "catalog" (RELATIONAL): products(pid, pname, price, category)
+///   - sources "site0".."siteN-1" (configurable dialects):
+///       sales(sid, cid, pid, qty, amount, day) — horizontally
+///       partitioned by site
+///   - union view "sales" over every site shard
+///
+/// All data derives from the spec's seed; identical specs build
+/// byte-identical worlds (the experiments depend on this).
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/global_system.h"
+
+namespace gisql {
+
+/// \brief Parameters of the synthetic retail federation.
+struct WorkloadSpec {
+  uint64_t seed = 42;
+  int num_sites = 4;
+  int num_customers = 1000;
+  int num_products = 200;
+  int orders_per_site = 5000;
+  int num_regions = 8;
+  double zipf_theta = 0.0;  ///< product-popularity skew (0 = uniform)
+  /// Dialect per site; cycled if shorter than num_sites. Empty =
+  /// all RELATIONAL.
+  std::vector<SourceDialect> site_dialects;
+};
+
+/// \brief Builds the federation into `gis` (sources, data, imports, and
+/// the "sales" union view).
+Status BuildRetailFederation(GlobalSystem* gis, const WorkloadSpec& spec);
+
+}  // namespace gisql

@@ -1,0 +1,202 @@
+/// Unit + property tests for the B+tree ordered-index substrate:
+/// structure invariants, duplicates, range semantics, and randomized
+/// equivalence against std::multimap.
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "common/rng.h"
+#include "storage/btree.h"
+
+namespace gisql {
+namespace {
+
+TEST(BPlusTreeTest, EmptyTree) {
+  BPlusTree tree;
+  EXPECT_EQ(tree.size(), 0u);
+  EXPECT_EQ(tree.height(), 0);
+  EXPECT_TRUE(tree.Lookup(Value::Int(1)).empty());
+  EXPECT_TRUE(tree.Range(Value::Null(), true, Value::Null(), true).empty());
+  EXPECT_TRUE(tree.Validate().ok());
+}
+
+TEST(BPlusTreeTest, NullKeyRejected) {
+  BPlusTree tree;
+  EXPECT_TRUE(tree.Insert(Value::Null(), 0).IsInvalidArgument());
+}
+
+TEST(BPlusTreeTest, SingleLeafBasics) {
+  BPlusTree tree;
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(tree.Insert(Value::Int(i * 10), i).ok());
+  }
+  EXPECT_EQ(tree.height(), 1);
+  EXPECT_EQ(tree.Lookup(Value::Int(10)), (std::vector<size_t>{1}));
+  EXPECT_TRUE(tree.Lookup(Value::Int(11)).empty());
+  EXPECT_TRUE(tree.Validate().ok());
+}
+
+TEST(BPlusTreeTest, SplitsGrowHeightLogarithmically) {
+  BPlusTree tree(8);
+  for (int i = 0; i < 10000; ++i) {
+    ASSERT_TRUE(tree.Insert(Value::Int(i), i).ok());
+  }
+  EXPECT_EQ(tree.size(), 10000u);
+  EXPECT_GT(tree.height(), 2);
+  // fanout 8 → height bounded by ~log_4(10000) + slack.
+  EXPECT_LE(tree.height(), 9);
+  ASSERT_TRUE(tree.Validate().ok()) << tree.Validate().ToString();
+}
+
+TEST(BPlusTreeTest, ReverseAndAlternatingInsertions) {
+  for (int pattern = 0; pattern < 2; ++pattern) {
+    BPlusTree tree(6);
+    for (int i = 0; i < 2000; ++i) {
+      const int64_t key = pattern == 0 ? 2000 - i : (i % 2 ? i : -i);
+      ASSERT_TRUE(tree.Insert(Value::Int(key), i).ok());
+    }
+    ASSERT_TRUE(tree.Validate().ok()) << tree.Validate().ToString();
+    auto all = tree.Range(Value::Null(), true, Value::Null(), true);
+    EXPECT_EQ(all.size(), 2000u);
+  }
+}
+
+TEST(BPlusTreeTest, DuplicateRunsLongerThanNode) {
+  BPlusTree tree(4);
+  // 100 duplicates of one key must split across many leaves and still
+  // be fully retrievable in insertion order.
+  for (size_t i = 0; i < 100; ++i) {
+    ASSERT_TRUE(tree.Insert(Value::Int(7), i).ok());
+  }
+  ASSERT_TRUE(tree.Insert(Value::Int(3), 500).ok());
+  ASSERT_TRUE(tree.Insert(Value::Int(9), 501).ok());
+  ASSERT_TRUE(tree.Validate().ok()) << tree.Validate().ToString();
+  auto hits = tree.Lookup(Value::Int(7));
+  ASSERT_EQ(hits.size(), 100u);
+  for (size_t i = 0; i < hits.size(); ++i) EXPECT_EQ(hits[i], i);
+}
+
+TEST(BPlusTreeTest, RangeBoundsSemantics) {
+  BPlusTree tree(4);
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(tree.Insert(Value::Int(i), i).ok());
+  }
+  EXPECT_EQ(tree.Range(Value::Int(10), true, Value::Int(20), true).size(),
+            11u);
+  EXPECT_EQ(tree.Range(Value::Int(10), false, Value::Int(20), false).size(),
+            9u);
+  EXPECT_EQ(tree.Range(Value::Null(), true, Value::Int(4), true).size(),
+            5u);
+  EXPECT_EQ(tree.Range(Value::Int(95), true, Value::Null(), true).size(),
+            5u);
+  EXPECT_TRUE(
+      tree.Range(Value::Int(200), true, Value::Int(300), true).empty());
+  EXPECT_TRUE(
+      tree.Range(Value::Int(20), true, Value::Int(10), true).empty());
+  // Results come back in key order.
+  auto range = tree.Range(Value::Int(30), true, Value::Int(35), true);
+  ASSERT_EQ(range.size(), 6u);
+  for (size_t i = 1; i < range.size(); ++i) {
+    EXPECT_LT(range[i - 1], range[i]);
+  }
+}
+
+TEST(BPlusTreeTest, StringAndDoubleKeys) {
+  BPlusTree tree(4);
+  const char* words[] = {"delta", "alpha", "echo", "bravo", "charlie"};
+  for (size_t i = 0; i < 5; ++i) {
+    ASSERT_TRUE(tree.Insert(Value::String(words[i]), i).ok());
+  }
+  auto r = tree.Range(Value::String("b"), true, Value::String("d"), false);
+  EXPECT_EQ(r.size(), 2u);  // bravo, charlie
+  ASSERT_TRUE(tree.Validate().ok());
+
+  BPlusTree dtree(4);
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE(dtree.Insert(Value::Double(i * 0.5), i).ok());
+  }
+  EXPECT_EQ(
+      dtree.Range(Value::Double(1.0), true, Value::Double(2.0), true).size(),
+      3u);
+}
+
+TEST(BPlusTreeTest, ClearResets) {
+  BPlusTree tree(4);
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(tree.Insert(Value::Int(i), i).ok());
+  }
+  tree.Clear();
+  EXPECT_EQ(tree.size(), 0u);
+  EXPECT_EQ(tree.height(), 0);
+  EXPECT_TRUE(tree.Validate().ok());
+  ASSERT_TRUE(tree.Insert(Value::Int(1), 1).ok());
+  EXPECT_EQ(tree.size(), 1u);
+}
+
+/// Property: tree Range/Lookup agree with std::multimap for random
+/// workloads across fanouts and key distributions.
+class BtreeProperty
+    : public ::testing::TestWithParam<std::tuple<int, uint64_t>> {};
+
+TEST_P(BtreeProperty, MatchesReferenceMultimap) {
+  const int fanout = std::get<0>(GetParam());
+  Rng rng(std::get<1>(GetParam()));
+  BPlusTree tree(fanout);
+  struct Less {
+    bool operator()(const Value& a, const Value& b) const {
+      return a.Compare(b) < 0;
+    }
+  };
+  std::multimap<Value, size_t, Less> reference;
+
+  const int n = 3000;
+  const int64_t domain = static_cast<int64_t>(rng.Uniform(10, 500));
+  for (int i = 0; i < n; ++i) {
+    Value key = Value::Int(rng.Uniform(0, domain));
+    ASSERT_TRUE(tree.Insert(key, i).ok());
+    reference.emplace(std::move(key), i);
+  }
+  ASSERT_EQ(tree.size(), reference.size());
+  ASSERT_TRUE(tree.Validate().ok()) << tree.Validate().ToString();
+
+  for (int trial = 0; trial < 100; ++trial) {
+    int64_t a = rng.Uniform(-5, domain + 5);
+    int64_t b = rng.Uniform(-5, domain + 5);
+    if (a > b) std::swap(a, b);
+    const bool lo_inc = rng.Bernoulli(0.5);
+    const bool hi_inc = rng.Bernoulli(0.5);
+    auto got = tree.Range(Value::Int(a), lo_inc, Value::Int(b), hi_inc);
+
+    std::vector<size_t> expected;
+    auto begin = lo_inc ? reference.lower_bound(Value::Int(a))
+                        : reference.upper_bound(Value::Int(a));
+    auto end = hi_inc ? reference.upper_bound(Value::Int(b))
+                      : reference.lower_bound(Value::Int(b));
+    for (auto it = begin; it != end; ++it) expected.push_back(it->second);
+
+    // Compare as multisets per key group: both structures return groups
+    // in key order; within a key the tree preserves insertion order
+    // while multimap preserves insertion order too (C++11 stability).
+    ASSERT_EQ(got.size(), expected.size())
+        << "[" << a << (lo_inc ? "[" : "(") << ", " << b
+        << (hi_inc ? "]" : ")");
+    std::sort(got.begin(), got.end());
+    std::sort(expected.begin(), expected.end());
+    ASSERT_EQ(got, expected);
+  }
+
+  // Point lookups across the whole domain.
+  for (int64_t k = -2; k <= domain + 2; ++k) {
+    EXPECT_EQ(tree.Lookup(Value::Int(k)).size(),
+              reference.count(Value::Int(k)));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    FanoutsAndSeeds, BtreeProperty,
+    ::testing::Combine(::testing::Values(4, 8, 64),
+                       ::testing::Values(1u, 2u, 3u)));
+
+}  // namespace
+}  // namespace gisql

@@ -1,0 +1,169 @@
+/// Tests for the mediator result cache: hits avoid network traffic,
+/// plan-shaped keys, LRU eviction, and invalidation on mediator-visible
+/// source changes.
+
+#include <gtest/gtest.h>
+
+#include "core/global_system.h"
+
+namespace gisql {
+namespace {
+
+class CacheTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(gis_.CreateSource("s1", SourceDialect::kRelational).ok());
+    ASSERT_TRUE(
+        gis_.ExecuteAt("s1", "CREATE TABLE t (id bigint, v double)").ok());
+    for (int i = 0; i < 50; ++i) {
+      ASSERT_TRUE(gis_.ExecuteAt("s1", "INSERT INTO t VALUES (" +
+                                           std::to_string(i) + ", " +
+                                           std::to_string(i * 0.5) + ")")
+                      .ok());
+    }
+    ASSERT_TRUE(gis_.ImportSource("s1").ok());
+  }
+  GlobalSystem gis_;
+};
+
+TEST_F(CacheTest, DisabledByDefault) {
+  EXPECT_EQ(gis_.result_cache(), nullptr);
+  auto r1 = gis_.Query("SELECT COUNT(*) FROM t");
+  auto r2 = gis_.Query("SELECT COUNT(*) FROM t");
+  ASSERT_TRUE(r1.ok());
+  ASSERT_TRUE(r2.ok());
+  EXPECT_GT(r2->metrics.messages, 0);  // every run hits the network
+}
+
+TEST_F(CacheTest, HitServesLocallyWithSameRows) {
+  gis_.EnableResultCache();
+  auto miss = gis_.Query("SELECT v FROM t WHERE id < 5 ORDER BY id");
+  ASSERT_TRUE(miss.ok());
+  EXPECT_GT(miss->metrics.messages, 0);
+
+  auto hit = gis_.Query("SELECT v FROM t WHERE id < 5 ORDER BY id");
+  ASSERT_TRUE(hit.ok());
+  EXPECT_EQ(hit->metrics.messages, 0);
+  EXPECT_EQ(hit->metrics.bytes_received, 0);
+  EXPECT_NE(hit->metrics.plan_text.find("cache hit"), std::string::npos);
+  ASSERT_EQ(hit->batch.num_rows(), miss->batch.num_rows());
+  for (size_t i = 0; i < miss->batch.num_rows(); ++i) {
+    EXPECT_EQ(hit->batch.rows()[i][0].Compare(miss->batch.rows()[i][0]), 0);
+  }
+  EXPECT_EQ(gis_.result_cache()->hits(), 1);
+  EXPECT_EQ(gis_.result_cache()->misses(), 1);
+}
+
+TEST_F(CacheTest, DifferentPlansDifferentEntries) {
+  gis_.EnableResultCache();
+  ASSERT_TRUE(gis_.Query("SELECT COUNT(*) FROM t").ok());
+  // Different predicate → different plan → miss.
+  ASSERT_TRUE(gis_.Query("SELECT COUNT(*) FROM t WHERE id < 10").ok());
+  EXPECT_EQ(gis_.result_cache()->misses(), 2);
+  EXPECT_EQ(gis_.result_cache()->size(), 2u);
+  // Same computation under different planner options re-plans: the
+  // ship-everything plan differs, so it is a distinct entry.
+  gis_.set_options(PlannerOptions::ShipEverything());
+  ASSERT_TRUE(gis_.Query("SELECT COUNT(*) FROM t WHERE id < 10").ok());
+  EXPECT_EQ(gis_.result_cache()->misses(), 3);
+  gis_.set_options(PlannerOptions::Full());
+}
+
+TEST_F(CacheTest, SemanticallyIdenticalTextsShareAnEntry) {
+  gis_.EnableResultCache();
+  ASSERT_TRUE(gis_.Query("SELECT COUNT(*) FROM t").ok());
+  // Same plan from differently spelled SQL → hit.
+  ASSERT_TRUE(gis_.Query("select count(*) from t").ok());
+  EXPECT_EQ(gis_.result_cache()->hits(), 1);
+}
+
+TEST_F(CacheTest, AdminChannelInvalidates) {
+  gis_.EnableResultCache();
+  auto before = gis_.Query("SELECT COUNT(*) FROM t");
+  ASSERT_TRUE(before.ok());
+  EXPECT_EQ(before->batch.rows()[0][0].AsInt(), 50);
+
+  ASSERT_TRUE(gis_.ExecuteAt("s1", "INSERT INTO t VALUES (99, 9.9)").ok());
+  auto after = gis_.Query("SELECT COUNT(*) FROM t");
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(after->batch.rows()[0][0].AsInt(), 51);  // not a stale hit
+  EXPECT_GT(after->metrics.messages, 0);
+}
+
+TEST_F(CacheTest, RefreshStatsInvalidates) {
+  gis_.EnableResultCache();
+  ASSERT_TRUE(gis_.Query("SELECT COUNT(*) FROM t").ok());
+  EXPECT_EQ(gis_.result_cache()->size(), 1u);
+  ASSERT_TRUE(gis_.RefreshStats("t").ok());
+  EXPECT_EQ(gis_.result_cache()->size(), 0u);
+}
+
+TEST_F(CacheTest, StalenessUnderAutonomy) {
+  // A source mutated *directly* (outside the mediator's sight) serves
+  // stale cached results — the documented autonomy caveat.
+  gis_.EnableResultCache();
+  auto before = gis_.Query("SELECT COUNT(*) FROM t");
+  ASSERT_TRUE(before.ok());
+  auto src = *gis_.GetSource("s1");
+  ASSERT_TRUE(src->ExecuteLocalSql("INSERT INTO t VALUES (777, 7.0)").ok());
+  auto stale = gis_.Query("SELECT COUNT(*) FROM t");
+  ASSERT_TRUE(stale.ok());
+  EXPECT_EQ(stale->batch.rows()[0][0].AsInt(), 50);  // stale!
+  // Explicit invalidation recovers.
+  gis_.result_cache()->Clear();
+  auto fresh = gis_.Query("SELECT COUNT(*) FROM t");
+  ASSERT_TRUE(fresh.ok());
+  EXPECT_EQ(fresh->batch.rows()[0][0].AsInt(), 51);
+}
+
+TEST(QueryCacheUnitTest, LruEviction) {
+  QueryCache cache(2);
+  auto schema = std::make_shared<Schema>(
+      std::vector<Field>{{"x", TypeId::kInt64}});
+  auto make_batch = [&](int v) {
+    RowBatch b(schema);
+    b.Append({Value::Int(v)});
+    return b;
+  };
+  cache.Insert("a", make_batch(1), 1.0, {"s1"});
+  cache.Insert("b", make_batch(2), 1.0, {"s1"});
+  ASSERT_TRUE(cache.Lookup("a").has_value());  // refresh a
+  cache.Insert("c", make_batch(3), 1.0, {"s2"});  // evicts b (LRU)
+  EXPECT_TRUE(cache.Lookup("a").has_value());
+  EXPECT_FALSE(cache.Lookup("b").has_value());
+  EXPECT_TRUE(cache.Lookup("c").has_value());
+  EXPECT_EQ(cache.size(), 2u);
+}
+
+TEST(QueryCacheUnitTest, SourceInvalidationIsSelective) {
+  QueryCache cache(10);
+  auto schema = std::make_shared<Schema>(
+      std::vector<Field>{{"x", TypeId::kInt64}});
+  RowBatch b(schema);
+  cache.Insert("multi", b, 1.0, {"s1", "s2"});
+  cache.Insert("only2", b, 1.0, {"s2"});
+  cache.Insert("only3", b, 1.0, {"s3"});
+  cache.InvalidateSource("s2");
+  EXPECT_FALSE(cache.Lookup("multi").has_value());
+  EXPECT_FALSE(cache.Lookup("only2").has_value());
+  EXPECT_TRUE(cache.Lookup("only3").has_value());
+}
+
+TEST(QueryCacheUnitTest, ReinsertReplaces) {
+  QueryCache cache(4);
+  auto schema = std::make_shared<Schema>(
+      std::vector<Field>{{"x", TypeId::kInt64}});
+  RowBatch b1(schema);
+  b1.Append({Value::Int(1)});
+  RowBatch b2(schema);
+  b2.Append({Value::Int(2)});
+  cache.Insert("k", b1, 1.0, {"s"});
+  cache.Insert("k", b2, 2.0, {"s"});
+  auto got = cache.Lookup("k");
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->batch.rows()[0][0].AsInt(), 2);
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+}  // namespace
+}  // namespace gisql

@@ -1,0 +1,137 @@
+/// Unit tests for the global catalog: source/table registration, name
+/// conflicts, statistics refresh, union views, rendering.
+
+#include <gtest/gtest.h>
+
+#include "catalog/catalog.h"
+
+namespace gisql {
+namespace {
+
+SourceInfo Src(const std::string& name,
+               SourceDialect d = SourceDialect::kRelational) {
+  SourceInfo info;
+  info.name = name;
+  info.dialect = d;
+  info.capabilities = SourceCapabilities::For(d);
+  return info;
+}
+
+TableMapping Map(const std::string& global, const std::string& source,
+                 const std::string& exported,
+                 std::vector<Field> fields = {{"id", TypeId::kInt64},
+                                              {"v", TypeId::kString}}) {
+  TableMapping m;
+  m.global_name = global;
+  m.source_name = source;
+  m.exported_name = exported;
+  m.schema = std::make_shared<Schema>(
+      Schema(std::move(fields)).WithQualifier(global));
+  m.stats.row_count = 10;
+  return m;
+}
+
+TEST(CatalogTest, SourceRegistration) {
+  Catalog catalog;
+  ASSERT_TRUE(catalog.RegisterSource(Src("s1")).ok());
+  EXPECT_TRUE(catalog.RegisterSource(Src("s1")).IsAlreadyExists());
+  EXPECT_TRUE(catalog.RegisterSource(Src("S1")).IsAlreadyExists());
+  ASSERT_TRUE(catalog.RegisterSource(Src("s2", SourceDialect::kLegacy)).ok());
+  auto info = catalog.GetSource("S2");
+  ASSERT_TRUE(info.ok());
+  EXPECT_EQ((*info)->dialect, SourceDialect::kLegacy);
+  EXPECT_FALSE((*info)->capabilities.filter_pushdown);
+  EXPECT_TRUE(catalog.GetSource("nope").status().IsNotFound());
+  EXPECT_EQ(catalog.SourceNames().size(), 2u);
+}
+
+TEST(CatalogTest, TableRegistration) {
+  Catalog catalog;
+  ASSERT_TRUE(catalog.RegisterSource(Src("s1")).ok());
+  ASSERT_TRUE(catalog.RegisterTable(Map("orders", "s1", "orders")).ok());
+  EXPECT_TRUE(
+      catalog.RegisterTable(Map("orders", "s1", "other")).IsAlreadyExists());
+  // Unknown owning source rejected.
+  EXPECT_TRUE(
+      catalog.RegisterTable(Map("t2", "ghost", "t2")).IsNotFound());
+  // Missing schema rejected.
+  TableMapping no_schema;
+  no_schema.global_name = "t3";
+  no_schema.source_name = "s1";
+  EXPECT_TRUE(catalog.RegisterTable(no_schema).IsInvalidArgument());
+
+  EXPECT_TRUE(catalog.HasTable("ORDERS"));
+  auto t = catalog.GetTable("orders");
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ((*t)->exported_name, "orders");
+  EXPECT_EQ((*t)->stats.row_count, 10);
+}
+
+TEST(CatalogTest, StatsUpdate) {
+  Catalog catalog;
+  ASSERT_TRUE(catalog.RegisterSource(Src("s1")).ok());
+  ASSERT_TRUE(catalog.RegisterTable(Map("t", "s1", "t")).ok());
+  TableStats fresh;
+  fresh.row_count = 777;
+  ASSERT_TRUE(catalog.UpdateStats("t", fresh).ok());
+  EXPECT_EQ((*catalog.GetTable("t"))->stats.row_count, 777);
+  EXPECT_TRUE(catalog.UpdateStats("ghost", fresh).IsNotFound());
+}
+
+TEST(CatalogTest, UnionViews) {
+  Catalog catalog;
+  ASSERT_TRUE(catalog.RegisterSource(Src("s1")).ok());
+  ASSERT_TRUE(catalog.RegisterTable(Map("shard0", "s1", "t0")).ok());
+  ASSERT_TRUE(catalog.RegisterTable(Map("shard1", "s1", "t1")).ok());
+  ASSERT_TRUE(catalog.CreateUnionView("all", {"shard0", "shard1"}).ok());
+  EXPECT_TRUE(catalog.HasView("ALL"));
+  auto view = catalog.GetView("all");
+  ASSERT_TRUE(view.ok());
+  EXPECT_EQ((*view)->members.size(), 2u);
+  EXPECT_EQ((*view)->schema->field(0).qualifier, "all");
+
+  // Name conflicts with tables and views.
+  EXPECT_TRUE(
+      catalog.CreateUnionView("shard0", {"shard1"}).IsAlreadyExists());
+  EXPECT_TRUE(catalog.CreateUnionView("all", {"shard0"}).IsAlreadyExists());
+  EXPECT_TRUE(
+      catalog.RegisterTable(Map("all", "s1", "x")).IsAlreadyExists());
+  // Empty and missing members.
+  EXPECT_TRUE(catalog.CreateUnionView("e", {}).IsInvalidArgument());
+  EXPECT_TRUE(catalog.CreateUnionView("m", {"ghost"}).IsNotFound());
+}
+
+TEST(CatalogTest, UnionViewCompatibilityChecked) {
+  Catalog catalog;
+  ASSERT_TRUE(catalog.RegisterSource(Src("s1")).ok());
+  ASSERT_TRUE(catalog.RegisterTable(Map("a", "s1", "a")).ok());
+  ASSERT_TRUE(catalog
+                  .RegisterTable(Map("b", "s1", "b",
+                                     {{"x", TypeId::kString},
+                                      {"y", TypeId::kString}}))
+                  .ok());
+  EXPECT_TRUE(catalog.CreateUnionView("bad", {"a", "b"}).IsInvalidArgument());
+  // Implicitly castable member types are accepted (int64 → double).
+  ASSERT_TRUE(catalog
+                  .RegisterTable(Map("c", "s1", "c",
+                                     {{"id", TypeId::kDouble},
+                                      {"v", TypeId::kString}}))
+                  .ok());
+  EXPECT_TRUE(catalog.CreateUnionView("ok", {"a", "c"}).ok());
+}
+
+TEST(CatalogTest, RenderingListsEverything) {
+  Catalog catalog;
+  ASSERT_TRUE(catalog.RegisterSource(Src("s1")).ok());
+  ASSERT_TRUE(catalog.RegisterTable(Map("orders", "s1", "orders")).ok());
+  ASSERT_TRUE(catalog.CreateUnionView("v", {"orders"}).ok());
+  const std::string text = catalog.ToString();
+  EXPECT_NE(text.find("source s1"), std::string::npos);
+  EXPECT_NE(text.find("table orders"), std::string::npos);
+  EXPECT_NE(text.find("view v"), std::string::npos);
+  EXPECT_EQ(catalog.TableNames().size(), 1u);
+  EXPECT_EQ(catalog.ViewNames().size(), 1u);
+}
+
+}  // namespace
+}  // namespace gisql

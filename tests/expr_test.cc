@@ -1,0 +1,331 @@
+/// Unit tests for the typed expression engine: binding, evaluation with
+/// SQL three-valued logic, constant folding, rewriting utilities.
+
+#include <gtest/gtest.h>
+
+#include "expr/binder.h"
+#include "expr/eval.h"
+#include "expr/expr.h"
+#include "sql/parser.h"
+
+namespace gisql {
+namespace {
+
+Schema TestSchema() {
+  return Schema({{"id", TypeId::kInt64, false, "t"},
+                 {"price", TypeId::kDouble, true, "t"},
+                 {"name", TypeId::kString, true, "t"},
+                 {"active", TypeId::kBool, true, "t"},
+                 {"day", TypeId::kDate, true, "t"}});
+}
+
+Row TestRow() {
+  return {Value::Int(7), Value::Double(2.5), Value::String("widget"),
+          Value::Bool(true), Value::Date(19000)};
+}
+
+/// Binds a SQL expression string against the test schema.
+ExprPtr Bind(const std::string& sql_text) {
+  auto ast = sql::ParseScalarExpr(sql_text);
+  EXPECT_TRUE(ast.ok()) << ast.status().ToString();
+  Schema schema = TestSchema();
+  Binder binder(schema);
+  auto bound = binder.BindScalar(**ast);
+  EXPECT_TRUE(bound.ok()) << bound.status().ToString();
+  return *bound;
+}
+
+Value Eval(const std::string& sql_text) {
+  ExprPtr e = Bind(sql_text);
+  auto v = EvalExpr(*e, TestRow());
+  EXPECT_TRUE(v.ok()) << v.status().ToString();
+  return *v;
+}
+
+TEST(BinderTest, ColumnResolutionAndTyping) {
+  ExprPtr e = Bind("id");
+  EXPECT_EQ(e->kind, ExprKind::kColumn);
+  EXPECT_EQ(e->column_index, 0u);
+  EXPECT_EQ(e->type, TypeId::kInt64);
+  e = Bind("t.price");
+  EXPECT_EQ(e->column_index, 1u);
+  EXPECT_EQ(e->type, TypeId::kDouble);
+}
+
+TEST(BinderTest, UnknownColumnIsBindError) {
+  auto ast = sql::ParseScalarExpr("nosuch");
+  Schema schema = TestSchema();
+  Binder binder(schema);
+  EXPECT_TRUE(binder.BindScalar(**ast).status().IsBindError());
+}
+
+TEST(BinderTest, ComparisonInsertsCasts) {
+  // id (int) compared to price (double): int side gets a cast.
+  ExprPtr e = Bind("id > price");
+  EXPECT_EQ(e->kind, ExprKind::kCompare);
+  EXPECT_EQ(e->children[0]->kind, ExprKind::kCast);
+  EXPECT_EQ(e->children[0]->type, TypeId::kDouble);
+}
+
+TEST(BinderTest, TypeErrorsRejected) {
+  Schema schema = TestSchema();
+  Binder binder(schema);
+  auto bad = [&](const char* text) {
+    auto ast = sql::ParseScalarExpr(text);
+    return binder.BindScalar(**ast).status();
+  };
+  EXPECT_TRUE(bad("name > id").IsInvalidArgument() ||
+              bad("name > id").IsBindError());
+  EXPECT_TRUE(bad("name + id").IsBindError());
+  EXPECT_TRUE(bad("NOT id").IsBindError());
+  EXPECT_TRUE(bad("id AND active").IsBindError());
+  EXPECT_TRUE(bad("id LIKE 'x'").IsBindError());
+  EXPECT_TRUE(bad("nosuchfunc(id)").IsBindError());
+}
+
+TEST(BinderTest, AggregateRejectedInScalarContext) {
+  Schema schema = TestSchema();
+  Binder binder(schema);
+  auto ast = sql::ParseScalarExpr("SUM(id)");
+  EXPECT_TRUE(binder.BindScalar(**ast).status().IsBindError());
+}
+
+TEST(BinderTest, StringConcatViaPlus) {
+  ExprPtr e = Bind("name + '!'");
+  EXPECT_EQ(e->kind, ExprKind::kFunc);
+  EXPECT_EQ(e->func_name, "CONCAT");
+}
+
+TEST(EvalTest, ArithmeticBasics) {
+  EXPECT_EQ(Eval("1 + 2 * 3").AsInt(), 7);
+  EXPECT_DOUBLE_EQ(Eval("price * 2").AsDouble(), 5.0);
+  EXPECT_EQ(Eval("id % 4").AsInt(), 3);
+  EXPECT_EQ(Eval("7 / 2").AsInt(), 3);           // integer division
+  EXPECT_DOUBLE_EQ(Eval("7 / 2.0").AsDouble(), 3.5);
+  EXPECT_EQ(Eval("-id").AsInt(), -7);
+}
+
+TEST(EvalTest, DivisionByZeroIsExecutionError) {
+  ExprPtr e = Bind("id / 0");
+  EXPECT_TRUE(EvalExpr(*e, TestRow()).status().IsExecutionError());
+  e = Bind("id % 0");
+  EXPECT_TRUE(EvalExpr(*e, TestRow()).status().IsExecutionError());
+}
+
+TEST(EvalTest, Comparisons) {
+  EXPECT_TRUE(Eval("id = 7").AsBool());
+  EXPECT_TRUE(Eval("id <> 8").AsBool());
+  EXPECT_TRUE(Eval("price <= 2.5").AsBool());
+  EXPECT_TRUE(Eval("name = 'widget'").AsBool());
+  EXPECT_FALSE(Eval("name < 'abc'").AsBool());
+  EXPECT_TRUE(Eval("id > price").AsBool());  // cross-type numeric
+}
+
+TEST(EvalTest, NullPropagationInScalarOps) {
+  EXPECT_TRUE(Eval("NULL + 1").is_null());
+  EXPECT_TRUE(Eval("id = NULL").is_null());
+  EXPECT_TRUE(Eval("NOT (id = NULL)").is_null());
+}
+
+TEST(EvalTest, KleeneLogic) {
+  // TRUE OR NULL = TRUE; FALSE OR NULL = NULL.
+  EXPECT_TRUE(Eval("id = 7 OR id = NULL").AsBool());
+  EXPECT_TRUE(Eval("id = 8 OR id = NULL").is_null());
+  // FALSE AND NULL = FALSE; TRUE AND NULL = NULL.
+  EXPECT_FALSE(Eval("id = 8 AND id = NULL").AsBool());
+  EXPECT_TRUE(Eval("id = 7 AND id = NULL").is_null());
+}
+
+TEST(EvalTest, IsNullIsTotal) {
+  EXPECT_FALSE(Eval("id IS NULL").AsBool());
+  EXPECT_TRUE(Eval("id IS NOT NULL").AsBool());
+  EXPECT_TRUE(Eval("NULL IS NULL").AsBool());
+}
+
+TEST(EvalTest, LikeSemantics) {
+  EXPECT_TRUE(Eval("name LIKE 'wid%'").AsBool());
+  EXPECT_TRUE(Eval("name LIKE '%get'").AsBool());
+  EXPECT_TRUE(Eval("name NOT LIKE 'x%'").AsBool());
+  EXPECT_TRUE(Eval("name LIKE NULL").is_null());
+}
+
+TEST(EvalTest, InSemantics) {
+  EXPECT_TRUE(Eval("id IN (1, 7, 9)").AsBool());
+  EXPECT_FALSE(Eval("id IN (1, 2)").AsBool());
+  EXPECT_TRUE(Eval("id NOT IN (1, 2)").AsBool());
+  // Value absent but NULL present → NULL (SQL semantics).
+  EXPECT_TRUE(Eval("id IN (1, NULL)").is_null());
+  // Value present: TRUE regardless of NULLs.
+  EXPECT_TRUE(Eval("id IN (7, NULL)").AsBool());
+}
+
+TEST(EvalTest, BetweenDesugar) {
+  EXPECT_TRUE(Eval("id BETWEEN 5 AND 10").AsBool());
+  EXPECT_FALSE(Eval("id BETWEEN 8 AND 10").AsBool());
+  EXPECT_TRUE(Eval("id NOT BETWEEN 8 AND 10").AsBool());
+}
+
+TEST(EvalTest, CaseExpression) {
+  EXPECT_EQ(Eval("CASE WHEN id > 5 THEN 'big' ELSE 'small' END").AsString(),
+            "big");
+  EXPECT_EQ(Eval("CASE WHEN id > 50 THEN 'big' ELSE 'small' END").AsString(),
+            "small");
+  EXPECT_TRUE(Eval("CASE WHEN id > 50 THEN 'big' END").is_null());
+}
+
+TEST(EvalTest, ScalarFunctions) {
+  EXPECT_EQ(Eval("UPPER(name)").AsString(), "WIDGET");
+  EXPECT_EQ(Eval("LOWER('ABC')").AsString(), "abc");
+  EXPECT_EQ(Eval("LENGTH(name)").AsInt(), 6);
+  EXPECT_EQ(Eval("SUBSTR(name, 1, 3)").AsString(), "wid");
+  EXPECT_EQ(Eval("SUBSTR(name, 4)").AsString(), "get");
+  EXPECT_EQ(Eval("ABS(0 - 4)").AsInt(), 4);
+  EXPECT_DOUBLE_EQ(Eval("ROUND(2.567, 1)").AsDouble(), 2.6);
+  EXPECT_EQ(Eval("COALESCE(NULL, 5)").AsInt(), 5);
+  EXPECT_EQ(Eval("CONCAT(name, '-x')").AsString(), "widget-x");
+}
+
+TEST(EvalTest, CastExpression) {
+  EXPECT_EQ(Eval("CAST(price AS bigint)").AsInt(), 2);
+  EXPECT_EQ(Eval("CAST(id AS varchar)").AsString(), "7");
+  EXPECT_DOUBLE_EQ(Eval("CAST('3.5' AS double)").AsDouble(), 3.5);
+}
+
+TEST(EvalTest, PredicateTreatsNullAsFalse) {
+  ExprPtr e = Bind("id = NULL");
+  EXPECT_FALSE(*EvalPredicate(*e, TestRow()));
+  e = Bind("id = 7");
+  EXPECT_TRUE(*EvalPredicate(*e, TestRow()));
+}
+
+TEST(FoldTest, ConstantsFold) {
+  ExprPtr e = Bind("1 + 2 * 3");
+  ExprPtr folded = FoldConstants(e);
+  ASSERT_EQ(folded->kind, ExprKind::kLiteral);
+  EXPECT_EQ(folded->literal.AsInt(), 7);
+}
+
+TEST(FoldTest, MixedTreesFoldPartially) {
+  ExprPtr e = Bind("id + (2 + 3)");
+  ExprPtr folded = FoldConstants(e);
+  ASSERT_EQ(folded->kind, ExprKind::kArith);
+  EXPECT_EQ(folded->children[1]->kind, ExprKind::kLiteral);
+  EXPECT_EQ(folded->children[1]->literal.AsInt(), 5);
+  EXPECT_EQ(folded->children[0]->kind, ExprKind::kColumn);
+}
+
+TEST(FoldTest, ErroringConstantsLeftForRuntime) {
+  ExprPtr e = Bind("1 / 0");
+  ExprPtr folded = FoldConstants(e);
+  EXPECT_EQ(folded->kind, ExprKind::kArith);  // unfolded
+}
+
+TEST(ExprUtilTest, SplitAndConjoin) {
+  ExprPtr e = Bind("id > 1 AND price < 5 AND active");
+  std::vector<ExprPtr> conjuncts;
+  SplitConjuncts(e, &conjuncts);
+  ASSERT_EQ(conjuncts.size(), 3u);
+  ExprPtr back = ConjoinAll(conjuncts);
+  EXPECT_TRUE(back->Equals(*e));
+  EXPECT_EQ(ConjoinAll({})->literal.AsBool(), true);
+}
+
+TEST(ExprUtilTest, CollectColumns) {
+  ExprPtr e = Bind("id > 1 AND price < 5 AND id < 10");
+  std::vector<size_t> cols;
+  e->CollectColumns(&cols);
+  ASSERT_EQ(cols.size(), 2u);  // deduplicated
+}
+
+TEST(ExprUtilTest, ColumnsWithin) {
+  ExprPtr e = Bind("id > 1 AND price < 5");
+  EXPECT_TRUE(e->ColumnsWithin(0, 2));
+  EXPECT_FALSE(e->ColumnsWithin(1, 2));
+}
+
+TEST(ExprUtilTest, RemapAndShift) {
+  ExprPtr e = Bind("id + CAST(price AS bigint)");
+  std::vector<size_t> mapping = {3, 5, static_cast<size_t>(-1),
+                                 static_cast<size_t>(-1),
+                                 static_cast<size_t>(-1)};
+  ExprPtr remapped = *RemapColumns(*e, mapping);
+  std::vector<size_t> cols;
+  remapped->CollectColumns(&cols);
+  EXPECT_EQ(cols[0], 3u);
+  EXPECT_EQ(cols[1], 5u);
+
+  ExprPtr shifted = ShiftColumns(*e, 10);
+  cols.clear();
+  shifted->CollectColumns(&cols);
+  EXPECT_EQ(cols[0], 10u);
+  EXPECT_EQ(cols[1], 11u);
+
+  // Remap with a missing mapping is an Internal error.
+  std::vector<size_t> bad = {static_cast<size_t>(-1)};
+  EXPECT_FALSE(RemapColumns(*Bind("id"), bad).ok());
+}
+
+TEST(ExprUtilTest, CloneAndEquals) {
+  ExprPtr e = Bind("id > 1 AND name LIKE 'w%'");
+  ExprPtr c = e->Clone();
+  EXPECT_TRUE(e->Equals(*c));
+  c->children[0]->compare_op = CompareOp::kLt;
+  EXPECT_FALSE(e->Equals(*c));
+}
+
+TEST(BinderProjectionTest, GroupExprSubstitution) {
+  Schema schema = TestSchema();
+  Binder binder(schema);
+  // GROUP BY name; SELECT name, COUNT(*), SUM(price)
+  auto g_ast = sql::ParseScalarExpr("name");
+  ExprPtr g = *binder.BindScalar(**g_ast);
+  std::vector<ExprPtr> groups = {g};
+  std::vector<BoundAggregate> aggs;
+
+  auto item1 = sql::ParseScalarExpr("name");
+  ExprPtr b1 = *binder.BindProjection(**item1, groups, &aggs);
+  EXPECT_EQ(b1->kind, ExprKind::kColumn);
+  EXPECT_EQ(b1->column_index, 0u);  // group slot 0
+
+  auto item2 = sql::ParseScalarExpr("COUNT(*)");
+  ExprPtr b2 = *binder.BindProjection(**item2, groups, &aggs);
+  ASSERT_EQ(aggs.size(), 1u);
+  EXPECT_EQ(aggs[0].kind, AggKind::kCountStar);
+  EXPECT_EQ(b2->column_index, 1u);  // groups(1) + agg#0
+
+  auto item3 = sql::ParseScalarExpr("SUM(price) / COUNT(*)");
+  ExprPtr b3 = *binder.BindProjection(**item3, groups, &aggs);
+  ASSERT_EQ(aggs.size(), 2u);  // COUNT(*) deduplicated
+  EXPECT_EQ(aggs[1].kind, AggKind::kSum);
+  EXPECT_EQ(b3->kind, ExprKind::kArith);
+
+  // Column not in GROUP BY and not aggregated → BindError.
+  auto bad = sql::ParseScalarExpr("price");
+  EXPECT_TRUE(
+      binder.BindProjection(**bad, groups, &aggs).status().IsBindError());
+}
+
+TEST(BinderProjectionTest, AggregateTyping) {
+  Schema schema = TestSchema();
+  Binder binder(schema);
+  std::vector<ExprPtr> groups;
+  std::vector<BoundAggregate> aggs;
+  auto bindAgg = [&](const char* text) {
+    auto ast = sql::ParseScalarExpr(text);
+    auto r = binder.BindProjection(**ast, groups, &aggs);
+    EXPECT_TRUE(r.ok()) << r.status().ToString();
+    return aggs.back();
+  };
+  EXPECT_EQ(bindAgg("SUM(id)").result_type, TypeId::kInt64);
+  EXPECT_EQ(bindAgg("SUM(price)").result_type, TypeId::kDouble);
+  EXPECT_EQ(bindAgg("AVG(id)").result_type, TypeId::kDouble);
+  EXPECT_EQ(bindAgg("MIN(name)").result_type, TypeId::kString);
+  EXPECT_EQ(bindAgg("COUNT(name)").result_type, TypeId::kInt64);
+
+  auto bad = sql::ParseScalarExpr("SUM(name)");
+  EXPECT_TRUE(
+      binder.BindProjection(**bad, groups, &aggs).status().IsBindError());
+}
+
+}  // namespace
+}  // namespace gisql

@@ -1,0 +1,109 @@
+/// Robustness fuzzing (seeded, deterministic): random byte strings and
+/// mutated-valid SQL through the parser, and random token recombination
+/// through the full mediator — nothing may crash; errors must be typed.
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/global_system.h"
+#include "sql/parser.h"
+
+namespace gisql {
+namespace {
+
+class ParserFuzz : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ParserFuzz, RandomBytesNeverCrash) {
+  Rng rng(GetParam());
+  const char charset[] =
+      " \t\nabcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ"
+      "0123456789.,*()'\"<>=!+-/%;_";
+  for (int trial = 0; trial < 300; ++trial) {
+    std::string input;
+    const int len = static_cast<int>(rng.Uniform(0, 120));
+    for (int i = 0; i < len; ++i) {
+      input += charset[rng.Uniform(0, sizeof(charset) - 2)];
+    }
+    auto result = sql::ParseStatement(input);
+    if (!result.ok()) {
+      EXPECT_TRUE(result.status().IsParseError() ||
+                  result.status().IsInvalidArgument())
+          << result.status().ToString() << " for: " << input;
+    }
+  }
+}
+
+TEST_P(ParserFuzz, MutatedValidSqlNeverCrashes) {
+  Rng rng(GetParam() + 1000);
+  const std::string base =
+      "SELECT a, SUM(b) FROM t JOIN u ON t.k = u.k WHERE c > 5 AND "
+      "d LIKE 'x%' GROUP BY a HAVING COUNT(*) > 1 ORDER BY a DESC "
+      "LIMIT 10 OFFSET 2";
+  for (int trial = 0; trial < 300; ++trial) {
+    std::string mutated = base;
+    const int edits = static_cast<int>(rng.Uniform(1, 6));
+    for (int e = 0; e < edits; ++e) {
+      const size_t pos =
+          static_cast<size_t>(rng.Uniform(0, static_cast<int64_t>(mutated.size()) - 1));
+      switch (rng.Uniform(0, 2)) {
+        case 0:
+          mutated.erase(pos, 1);
+          break;
+        case 1:
+          mutated.insert(pos, 1, static_cast<char>(rng.Uniform(32, 126)));
+          break;
+        default:
+          mutated[pos] = static_cast<char>(rng.Uniform(32, 126));
+          break;
+      }
+      if (mutated.empty()) mutated = "S";
+    }
+    (void)sql::ParseStatement(mutated);  // must not crash
+  }
+}
+
+class MediatorFuzz : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(MediatorFuzz, RandomTokenQueriesFailCleanly) {
+  GlobalSystem gis;
+  auto src = *gis.CreateSource("s1", SourceDialect::kRelational);
+  ASSERT_TRUE(src->ExecuteLocalSql(
+                    "CREATE TABLE t (a bigint, b double, c varchar)")
+                  .ok());
+  ASSERT_TRUE(
+      src->ExecuteLocalSql("INSERT INTO t VALUES (1, 2.0, 'x')").ok());
+  ASSERT_TRUE(gis.ImportSource("s1").ok());
+
+  Rng rng(GetParam());
+  const char* tokens[] = {
+      "SELECT", "FROM",  "WHERE", "GROUP",  "BY",    "ORDER", "LIMIT",
+      "t",      "a",     "b",     "c",      "nope",  "*",     ",",
+      "(",      ")",     "=",     ">",      "AND",   "OR",    "NOT",
+      "COUNT",  "SUM",   "1",     "2.5",    "'s'",   "NULL",  "JOIN",
+      "ON",     "AS",    "IN",    "LIKE",   "UNION", "ALL",   "DISTINCT",
+      "HAVING", "CASE",  "WHEN",  "THEN",   "END",   "CAST",  "DATE",
+  };
+  for (int trial = 0; trial < 300; ++trial) {
+    std::string q = "SELECT";
+    const int len = static_cast<int>(rng.Uniform(1, 18));
+    for (int i = 0; i < len; ++i) {
+      q += " ";
+      q += tokens[rng.Uniform(0, std::size(tokens) - 1)];
+    }
+    auto result = gis.Query(q);
+    if (!result.ok()) {
+      // Whatever happened, it must be a typed front-end/planner error,
+      // never Internal (and never a crash).
+      EXPECT_FALSE(result.status().IsInternal())
+          << result.status().ToString() << " for: " << q;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ParserFuzz,
+                         ::testing::Range<uint64_t>(500, 505));
+INSTANTIATE_TEST_SUITE_P(Seeds, MediatorFuzz,
+                         ::testing::Range<uint64_t>(600, 604));
+
+}  // namespace
+}  // namespace gisql

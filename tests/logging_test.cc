@@ -1,0 +1,51 @@
+/// Tests for the logging module: level filtering, formatting, and the
+/// GISQL_LOG macro's lazy evaluation.
+
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+
+namespace gisql {
+namespace {
+
+TEST(LoggingTest, LevelNames) {
+  EXPECT_STREQ(LogLevelName(LogLevel::kTrace), "TRACE");
+  EXPECT_STREQ(LogLevelName(LogLevel::kError), "ERROR");
+  EXPECT_STREQ(LogLevelName(LogLevel::kOff), "OFF");
+}
+
+TEST(LoggingTest, ThresholdFilters) {
+  Logger& logger = Logger::Instance();
+  const LogLevel saved = logger.level();
+  logger.set_level(LogLevel::kError);
+
+  // Capture stderr around an emission below and above the threshold.
+  testing::internal::CaptureStderr();
+  GISQL_LOG(kInfo) << "should be suppressed";
+  GISQL_LOG(kError) << "should appear";
+  const std::string out = testing::internal::GetCapturedStderr();
+  EXPECT_EQ(out.find("suppressed"), std::string::npos);
+  EXPECT_NE(out.find("should appear"), std::string::npos);
+  EXPECT_NE(out.find("ERROR"), std::string::npos);
+  // The site (file:line) is part of the message.
+  EXPECT_NE(out.find("logging_test.cc"), std::string::npos);
+
+  logger.set_level(saved);
+}
+
+TEST(LoggingTest, MacroDoesNotEvaluateSuppressedArguments) {
+  Logger& logger = Logger::Instance();
+  const LogLevel saved = logger.level();
+  logger.set_level(LogLevel::kOff);
+  int evaluations = 0;
+  auto expensive = [&] {
+    ++evaluations;
+    return "x";
+  };
+  GISQL_LOG(kDebug) << expensive();
+  EXPECT_EQ(evaluations, 0);
+  logger.set_level(saved);
+}
+
+}  // namespace
+}  // namespace gisql

@@ -1,0 +1,149 @@
+/// Unit tests for the simulated network: link timing model, RPC routing,
+/// accounting, failure injection.
+
+#include <gtest/gtest.h>
+
+#include "net/sim_network.h"
+
+namespace gisql {
+namespace {
+
+/// Echo handler that reports fixed processing time.
+class EchoHandler : public RpcHandler {
+ public:
+  explicit EchoHandler(double processing_ms = 0.0)
+      : processing_ms_(processing_ms) {}
+
+  Result<std::vector<uint8_t>> Handle(uint8_t opcode,
+                                      const std::vector<uint8_t>& request,
+                                      double* processing_ms) override {
+    if (processing_ms != nullptr) *processing_ms = processing_ms_;
+    if (opcode == 0xff) return Status::ExecutionError("boom");
+    std::vector<uint8_t> out = request;
+    out.push_back(opcode);
+    return out;
+  }
+
+ private:
+  double processing_ms_;
+};
+
+TEST(LinkSpecTest, TransferTimeModel) {
+  LinkSpec link{10.0, 100.0};  // 10ms latency, 100 Mbps
+  // Zero bytes: just latency.
+  EXPECT_DOUBLE_EQ(link.TransferTimeMs(0), 10.0);
+  // 12.5 MB at 100 Mbps = 1 second.
+  EXPECT_NEAR(link.TransferTimeMs(12'500'000), 10.0 + 1000.0, 1e-6);
+  // Doubling bandwidth halves the serialization term.
+  LinkSpec fast{10.0, 200.0};
+  EXPECT_NEAR(fast.TransferTimeMs(12'500'000), 10.0 + 500.0, 1e-6);
+}
+
+TEST(SimNetworkTest, RegisterAndCall) {
+  SimNetwork net;
+  EchoHandler handler;
+  ASSERT_TRUE(net.RegisterHost("s1", &handler).ok());
+  EXPECT_TRUE(net.RegisterHost("s1", &handler).IsAlreadyExists());
+  EXPECT_TRUE(net.RegisterHost("bad", nullptr).IsInvalidArgument());
+
+  auto result = net.Call("mediator", "s1", 7, {1, 2, 3});
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_EQ(result->payload.size(), 4u);
+  EXPECT_EQ(result->payload[3], 7);
+  EXPECT_GT(result->elapsed_ms, 0.0);
+  EXPECT_GT(result->bytes_sent, 3);
+  EXPECT_GT(result->bytes_received, 4);
+}
+
+TEST(SimNetworkTest, UnknownHostIsNetworkError) {
+  SimNetwork net;
+  EXPECT_TRUE(net.Call("m", "ghost", 1, {}).status().IsNetworkError());
+}
+
+TEST(SimNetworkTest, FailureInjection) {
+  SimNetwork net;
+  EchoHandler handler;
+  ASSERT_TRUE(net.RegisterHost("s1", &handler).ok());
+  net.SetHostDown("s1", true);
+  EXPECT_TRUE(net.Call("m", "s1", 1, {}).status().IsNetworkError());
+  net.SetHostDown("s1", false);
+  EXPECT_TRUE(net.Call("m", "s1", 1, {}).ok());
+}
+
+TEST(SimNetworkTest, HandlerErrorsPropagate) {
+  SimNetwork net;
+  EchoHandler handler;
+  ASSERT_TRUE(net.RegisterHost("s1", &handler).ok());
+  auto result = net.Call("m", "s1", 0xff, {});
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsExecutionError());
+  // The failed call still counted as a message.
+  EXPECT_EQ(net.metrics().Get("net.messages"), 1);
+}
+
+TEST(SimNetworkTest, MetricsAccumulate) {
+  SimNetwork net;
+  EchoHandler handler;
+  ASSERT_TRUE(net.RegisterHost("s1", &handler).ok());
+  ASSERT_TRUE(net.Call("m", "s1", 1, std::vector<uint8_t>(100)).ok());
+  ASSERT_TRUE(net.Call("m", "s1", 1, std::vector<uint8_t>(200)).ok());
+  EXPECT_EQ(net.metrics().Get("net.messages"), 2);
+  EXPECT_EQ(net.metrics().Get("net.bytes_sent"), 100 + 16 + 200 + 16);
+  EXPECT_GT(net.metrics().Get("net.bytes.s1"), 0);
+}
+
+TEST(SimNetworkTest, PerLinkConfiguration) {
+  SimNetwork net;
+  EchoHandler handler;
+  ASSERT_TRUE(net.RegisterHost("near", &handler).ok());
+  ASSERT_TRUE(net.RegisterHost("far", &handler).ok());
+  net.set_default_link({1.0, 1000.0});
+  net.SetLink("m", "far", {100.0, 10.0});
+
+  auto near_result = net.Call("m", "near", 1, std::vector<uint8_t>(1000));
+  auto far_result = net.Call("m", "far", 1, std::vector<uint8_t>(1000));
+  ASSERT_TRUE(near_result.ok());
+  ASSERT_TRUE(far_result.ok());
+  EXPECT_GT(far_result->elapsed_ms, near_result->elapsed_ms * 10);
+  // Link lookup is symmetric.
+  EXPECT_DOUBLE_EQ(net.GetLink("far", "m").latency_ms, 100.0);
+}
+
+TEST(SimNetworkTest, ProcessingTimeAddsToElapsed) {
+  SimNetwork net;
+  EchoHandler slow(500.0);
+  EchoHandler fast(0.0);
+  ASSERT_TRUE(net.RegisterHost("slow", &slow).ok());
+  ASSERT_TRUE(net.RegisterHost("fast", &fast).ok());
+  auto s = net.Call("m", "slow", 1, {});
+  auto f = net.Call("m", "fast", 1, {});
+  EXPECT_NEAR(s->elapsed_ms - f->elapsed_ms, 500.0, 1e-6);
+}
+
+TEST(SimNetworkTest, DeterministicTiming) {
+  auto run = [] {
+    SimNetwork net;
+    EchoHandler handler(1.0);
+    (void)net.RegisterHost("s1", &handler);
+    net.set_default_link({7.0, 50.0});
+    auto r = net.Call("m", "s1", 1, std::vector<uint8_t>(4096));
+    return r->elapsed_ms;
+  };
+  EXPECT_DOUBLE_EQ(run(), run());
+}
+
+TEST(SimNetworkTest, HostLifecycle) {
+  SimNetwork net;
+  EchoHandler handler;
+  ASSERT_TRUE(net.RegisterHost("a", &handler).ok());
+  ASSERT_TRUE(net.RegisterHost("b", &handler).ok());
+  auto names = net.HostNames();
+  ASSERT_EQ(names.size(), 2u);
+  EXPECT_EQ(names[0], "a");
+  ASSERT_TRUE(net.UnregisterHost("a").ok());
+  EXPECT_TRUE(net.UnregisterHost("a").IsNotFound());
+  EXPECT_TRUE(net.Call("m", "a", 1, {}).status().IsNetworkError());
+}
+
+}  // namespace
+}  // namespace gisql

@@ -1,0 +1,489 @@
+/// Unit tests for the planning stack: logical planning shapes, optimizer
+/// passes (pushdown, pruning, join ordering), cost model estimates, and
+/// decomposition rules.
+
+#include <gtest/gtest.h>
+
+#include "core/global_system.h"
+#include "planner/cost_model.h"
+#include "planner/decomposer.h"
+#include "planner/logical_planner.h"
+#include "planner/optimizer.h"
+#include "sql/parser.h"
+
+namespace gisql {
+namespace {
+
+/// World with three relational tables of controlled sizes plus one
+/// legacy source, for planner-shape assertions.
+class PlannerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto s1 = *gis_.CreateSource("s1", SourceDialect::kRelational);
+    auto s2 = *gis_.CreateSource("s2", SourceDialect::kRelational);
+    auto s3 = *gis_.CreateSource("legacy", SourceDialect::kLegacy);
+
+    ASSERT_TRUE(s1->ExecuteLocalSql(
+                      "CREATE TABLE small (k bigint, a varchar)")
+                    .ok());
+    ASSERT_TRUE(s1->ExecuteLocalSql(
+                      "CREATE TABLE medium (k bigint, m bigint, b varchar)")
+                    .ok());
+    ASSERT_TRUE(s2->ExecuteLocalSql(
+                      "CREATE TABLE large (m bigint, c double, d varchar)")
+                    .ok());
+    ASSERT_TRUE(s3->ExecuteLocalSql(
+                      "CREATE TABLE oldsys (k bigint, x double)")
+                    .ok());
+
+    Fill("s1", "small", 10);
+    Fill("s1", "medium", 200);
+    Fill("s2", "large", 5000);
+    Fill("legacy", "oldsys", 100);
+    ASSERT_TRUE(gis_.ImportSource("s1").ok());
+    ASSERT_TRUE(gis_.ImportSource("s2").ok());
+    ASSERT_TRUE(gis_.ImportSource("legacy").ok());
+  }
+
+  void Fill(const std::string& source, const std::string& table, int n) {
+    auto src = *gis_.GetSource(source);
+    auto t = *src->engine().GetTable(table);
+    const size_t ncols = t->schema()->num_fields();
+    std::vector<Row> rows;
+    for (int i = 0; i < n; ++i) {
+      Row row;
+      for (size_t c = 0; c < ncols; ++c) {
+        switch (t->schema()->field(c).type) {
+          case TypeId::kInt64:
+            row.push_back(Value::Int(c == 0 ? i : i % 50));
+            break;
+          case TypeId::kDouble:
+            row.push_back(Value::Double(i * 0.5));
+            break;
+          default:
+            row.push_back(Value::String("v" + std::to_string(i % 7)));
+            break;
+        }
+      }
+      rows.push_back(std::move(row));
+    }
+    t->InsertUnchecked(std::move(rows));
+  }
+
+  PlanNodePtr PlanOf(const std::string& sql) {
+    auto stmt = sql::ParseSelect(sql);
+    EXPECT_TRUE(stmt.ok()) << stmt.status().ToString();
+    auto plan = gis_.PlanQuery(**stmt);
+    EXPECT_TRUE(plan.ok()) << plan.status().ToString();
+    return *plan;
+  }
+
+  /// Counts nodes of a kind in the plan.
+  static int Count(const PlanNodePtr& plan, PlanKind kind) {
+    int n = 0;
+    VisitPlan(plan, [&](const PlanNodePtr& node) {
+      if (node->kind == kind) ++n;
+    });
+    return n;
+  }
+
+  GlobalSystem gis_;
+};
+
+TEST_F(PlannerTest, FilterAbsorbedIntoRelationalFragment) {
+  auto plan = PlanOf("SELECT a FROM small WHERE k > 5");
+  EXPECT_EQ(Count(plan, PlanKind::kFilter), 0);
+  EXPECT_EQ(Count(plan, PlanKind::kRemoteFragment), 1);
+  // Find the fragment; it must carry the filter and the projection.
+  bool found = false;
+  VisitPlan(plan, [&](const PlanNodePtr& node) {
+    if (node->kind == PlanKind::kRemoteFragment) {
+      found = true;
+      EXPECT_TRUE(node->fragment.filter != nullptr);
+      EXPECT_FALSE(node->fragment.projections.empty());
+    }
+  });
+  EXPECT_TRUE(found);
+}
+
+TEST_F(PlannerTest, FilterCompensatedForLegacySource) {
+  auto plan = PlanOf("SELECT x FROM oldsys WHERE k > 5");
+  // Legacy cannot filter or project: mediator keeps both.
+  EXPECT_GE(Count(plan, PlanKind::kFilter), 1);
+  VisitPlan(plan, [&](const PlanNodePtr& node) {
+    if (node->kind == PlanKind::kRemoteFragment) {
+      EXPECT_TRUE(node->fragment.filter == nullptr);
+      EXPECT_TRUE(node->fragment.projections.empty());
+    }
+  });
+}
+
+TEST_F(PlannerTest, ShipEverythingKeepsWorkAtMediator) {
+  gis_.set_options(PlannerOptions::ShipEverything());
+  auto plan = PlanOf("SELECT a FROM small WHERE k > 5");
+  gis_.set_options(PlannerOptions::Full());
+  EXPECT_GE(Count(plan, PlanKind::kFilter), 1);
+  VisitPlan(plan, [&](const PlanNodePtr& node) {
+    if (node->kind == PlanKind::kRemoteFragment) {
+      EXPECT_TRUE(node->fragment.filter == nullptr);
+      EXPECT_TRUE(node->fragment.projections.empty());
+    }
+  });
+}
+
+TEST_F(PlannerTest, WherePredicateBecomesJoinKey) {
+  // Comma join: the equi conjunct must be promoted to a hash-join key.
+  auto plan = PlanOf(
+      "SELECT small.a FROM small, medium WHERE small.k = medium.k");
+  bool join_found = false;
+  VisitPlan(plan, [&](const PlanNodePtr& node) {
+    if (node->kind == PlanKind::kJoin) {
+      join_found = true;
+      EXPECT_EQ(node->left_keys.size(), 1u);
+    }
+  });
+  EXPECT_TRUE(join_found);
+}
+
+TEST_F(PlannerTest, SingleSidePredicatesPushToTheirSide) {
+  auto plan = PlanOf(
+      "SELECT small.a FROM small JOIN medium ON small.k = medium.k "
+      "WHERE small.k > 3 AND medium.b = 'v1'");
+  // Both predicates pushed into their respective fragments.
+  int fragments_with_filters = 0;
+  VisitPlan(plan, [&](const PlanNodePtr& node) {
+    if (node->kind == PlanKind::kRemoteFragment &&
+        node->fragment.filter != nullptr) {
+      ++fragments_with_filters;
+    }
+  });
+  EXPECT_EQ(fragments_with_filters, 2);
+  EXPECT_EQ(Count(plan, PlanKind::kFilter), 0);
+}
+
+TEST_F(PlannerTest, LeftJoinRightFilterStaysAbove) {
+  auto plan = PlanOf(
+      "SELECT small.a FROM small LEFT JOIN medium ON small.k = medium.k "
+      "WHERE medium.b = 'v1'");
+  // The right-side predicate must not be pushed below the LEFT join.
+  EXPECT_GE(Count(plan, PlanKind::kFilter), 1);
+}
+
+TEST_F(PlannerTest, ProjectionPruningNarrowsFragments) {
+  auto plan = PlanOf("SELECT c FROM large");
+  VisitPlan(plan, [&](const PlanNodePtr& node) {
+    if (node->kind == PlanKind::kRemoteFragment) {
+      ASSERT_EQ(node->fragment.projections.size(), 1u);
+    }
+  });
+}
+
+TEST_F(PlannerTest, JoinOrderingPutsSmallTablesFirst) {
+  // small(10) ⋈ medium(200) ⋈ large(5000): DP should start the chain
+  // from the small end regardless of the written order.
+  auto plan = PlanOf(
+      "SELECT small.a FROM large "
+      "JOIN medium ON large.m = medium.m "
+      "JOIN small ON medium.k = small.k");
+  // Walk to the deepest join and check its inputs are the small tables.
+  const PlanNode* deepest = nullptr;
+  VisitPlan(plan, [&](const PlanNodePtr& node) {
+    if (node->kind == PlanKind::kJoin) deepest = node.get();
+  });
+  ASSERT_NE(deepest, nullptr);
+  double deepest_rows = 1e18;
+  for (const auto& c : deepest->children) {
+    deepest_rows = std::min(deepest_rows, c->est_rows);
+  }
+  EXPECT_LE(deepest_rows, 10.0);
+
+  // All three orderings give identical results.
+  const std::string q =
+      "SELECT COUNT(*) FROM large JOIN medium ON large.m = medium.m "
+      "JOIN small ON medium.k = small.k";
+  auto full = gis_.Query(q);
+  ASSERT_TRUE(full.ok()) << full.status().ToString();
+  for (JoinOrdering ord : {JoinOrdering::kAsWritten, JoinOrdering::kGreedy,
+                           JoinOrdering::kWorst}) {
+    PlannerOptions o;
+    o.join_ordering = ord;
+    gis_.set_options(o);
+    auto r = gis_.Query(q);
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    EXPECT_EQ(r->batch.rows()[0][0].AsInt(),
+              full->batch.rows()[0][0].AsInt());
+  }
+  gis_.set_options(PlannerOptions::Full());
+}
+
+TEST_F(PlannerTest, DpNoWorseThanGreedyAndWorst) {
+  const std::string q =
+      "SELECT small.a FROM large JOIN medium ON large.m = medium.m "
+      "JOIN small ON medium.k = small.k WHERE large.c < 100";
+  auto cost_of = [&](JoinOrdering ord) {
+    PlannerOptions o;
+    o.join_ordering = ord;
+    gis_.set_options(o);
+    auto plan = PlanOf(q);
+    double total = 0;
+    VisitPlan(plan, [&](const PlanNodePtr& node) {
+      if (node->kind == PlanKind::kJoin) total += node->est_rows;
+    });
+    return total;
+  };
+  const double dp = cost_of(JoinOrdering::kDp);
+  const double greedy = cost_of(JoinOrdering::kGreedy);
+  const double worst = cost_of(JoinOrdering::kWorst);
+  gis_.set_options(PlannerOptions::Full());
+  // DP enumerates every connected left-deep order, so it is optimal
+  // under the estimates; the heuristics may tie it (on a 3-relation
+  // chain "worst" has little room to be bad) but never beat it.
+  EXPECT_LE(dp, greedy + 1e-9);
+  EXPECT_LE(dp, worst + 1e-9);
+}
+
+TEST_F(PlannerTest, AggregatePushdownProducesPartials) {
+  auto plan = PlanOf("SELECT b, COUNT(*), AVG(m) FROM medium GROUP BY b");
+  // Fragment carries a partial aggregation with AVG decomposed.
+  bool frag_found = false;
+  VisitPlan(plan, [&](const PlanNodePtr& node) {
+    if (node->kind == PlanKind::kRemoteFragment) {
+      frag_found = true;
+      EXPECT_TRUE(node->fragment.has_aggregate);
+      // COUNT(*) + SUM(m) + COUNT(m) partials.
+      EXPECT_EQ(node->fragment.aggregates.size(), 3u);
+    }
+  });
+  EXPECT_TRUE(frag_found);
+  // Mediator merges and projects AVG = SUM/COUNT.
+  EXPECT_EQ(Count(plan, PlanKind::kAggregate), 1);
+  EXPECT_GE(Count(plan, PlanKind::kProject), 1);
+
+  // Verify execution correctness of the decomposed AVG.
+  auto r = gis_.Query(
+      "SELECT b, AVG(m) AS avg_m FROM medium GROUP BY b ORDER BY b");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  PlannerOptions no_push;
+  no_push.enable_aggregate_pushdown = false;
+  gis_.set_options(no_push);
+  auto central = gis_.Query(
+      "SELECT b, AVG(m) AS avg_m FROM medium GROUP BY b ORDER BY b");
+  gis_.set_options(PlannerOptions::Full());
+  ASSERT_TRUE(central.ok());
+  ASSERT_EQ(r->batch.num_rows(), central->batch.num_rows());
+  for (size_t i = 0; i < r->batch.num_rows(); ++i) {
+    EXPECT_DOUBLE_EQ(r->batch.rows()[i][1].AsDouble(),
+                     central->batch.rows()[i][1].AsDouble());
+  }
+}
+
+TEST_F(PlannerTest, MixedDialectViewGetsPerMemberPartials) {
+  // A union view over a capable and an incapable source: the capable
+  // member's fragment carries the partial aggregation, the incapable
+  // member gets a mediator-side partial, and the merge sees uniform
+  // partial rows.
+  ASSERT_TRUE(gis_.ImportTable("s1", "small", "small_copy").ok());
+  auto legacy = *gis_.GetSource("legacy");
+  ASSERT_TRUE(
+      legacy->ExecuteLocalSql("CREATE TABLE small (k bigint, a varchar)")
+          .ok());
+  Fill("legacy", "small", 10);
+  ASSERT_TRUE(gis_.ImportTable("legacy", "small", "small_legacy").ok());
+  ASSERT_TRUE(
+      gis_.CreateUnionView("small_all", {"small_copy", "small_legacy"}).ok());
+
+  auto plan = PlanOf("SELECT a, COUNT(*) FROM small_all GROUP BY a");
+  int source_partials = 0;
+  int mediator_aggs = 0;
+  VisitPlan(plan, [&](const PlanNodePtr& node) {
+    if (node->kind == PlanKind::kRemoteFragment &&
+        node->fragment.has_aggregate) {
+      ++source_partials;
+    }
+    if (node->kind == PlanKind::kAggregate) ++mediator_aggs;
+  });
+  EXPECT_EQ(source_partials, 1);  // the relational member
+  EXPECT_EQ(mediator_aggs, 2);    // legacy partial + final merge
+
+  auto r = gis_.Query(
+      "SELECT a, COUNT(*) AS n FROM small_all GROUP BY a ORDER BY a");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  int64_t total = 0;
+  for (const auto& row : r->batch.rows()) total += row[1].AsInt();
+  EXPECT_EQ(total, 20);  // 10 rows per member
+}
+
+TEST_F(PlannerTest, DistinctAggregateNotPushed) {
+  auto plan = PlanOf("SELECT COUNT(DISTINCT b) FROM medium");
+  VisitPlan(plan, [&](const PlanNodePtr& node) {
+    if (node->kind == PlanKind::kRemoteFragment) {
+      EXPECT_FALSE(node->fragment.has_aggregate);
+    }
+  });
+  auto r = gis_.Query("SELECT COUNT(DISTINCT b) FROM medium");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->batch.rows()[0][0].AsInt(), 7);
+}
+
+TEST_F(PlannerTest, AggregateNotPushedToLegacy) {
+  auto plan = PlanOf("SELECT COUNT(*) FROM oldsys");
+  VisitPlan(plan, [&](const PlanNodePtr& node) {
+    if (node->kind == PlanKind::kRemoteFragment) {
+      EXPECT_FALSE(node->fragment.has_aggregate);
+    }
+  });
+  auto r = gis_.Query("SELECT COUNT(*) FROM oldsys");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->batch.rows()[0][0].AsInt(), 100);
+}
+
+TEST_F(PlannerTest, LimitPushedIntoFragment) {
+  auto plan = PlanOf("SELECT a FROM small LIMIT 3");
+  bool limited = false;
+  VisitPlan(plan, [&](const PlanNodePtr& node) {
+    if (node->kind == PlanKind::kRemoteFragment &&
+        node->fragment.limit == 3) {
+      limited = true;
+    }
+  });
+  EXPECT_TRUE(limited);
+  // Mediator keeps a Limit node for exactness.
+  EXPECT_EQ(Count(plan, PlanKind::kLimit), 1);
+}
+
+TEST_F(PlannerTest, LimitWithOffsetShipsLimitPlusOffset) {
+  auto plan = PlanOf("SELECT a FROM small LIMIT 3 OFFSET 2");
+  VisitPlan(plan, [&](const PlanNodePtr& node) {
+    if (node->kind == PlanKind::kRemoteFragment) {
+      EXPECT_EQ(node->fragment.limit, 5);
+    }
+  });
+  auto r = gis_.Query("SELECT k FROM small ORDER BY k LIMIT 3 OFFSET 2");
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->batch.num_rows(), 3u);
+  EXPECT_EQ(r->batch.rows()[0][0].AsInt(), 2);
+}
+
+TEST_F(PlannerTest, TopNPushedToCapableSource) {
+  auto plan = PlanOf("SELECT c FROM large ORDER BY c DESC LIMIT 5");
+  bool topn = false;
+  VisitPlan(plan, [&](const PlanNodePtr& node) {
+    if (node->kind == PlanKind::kRemoteFragment &&
+        !node->fragment.order_by.empty()) {
+      topn = true;
+      EXPECT_EQ(node->fragment.limit, 5);
+      EXPECT_FALSE(node->fragment.order_ascending[0]);
+    }
+  });
+  EXPECT_TRUE(topn);
+  // The mediator retains Sort + Limit for the exact merge.
+  EXPECT_EQ(Count(plan, PlanKind::kSort), 1);
+  EXPECT_EQ(Count(plan, PlanKind::kLimit), 1);
+
+  auto r = gis_.Query("SELECT c FROM large ORDER BY c DESC LIMIT 5");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_EQ(r->batch.num_rows(), 5u);
+  EXPECT_DOUBLE_EQ(r->batch.rows()[0][0].AsDouble(), 4999 * 0.5);
+  EXPECT_DOUBLE_EQ(r->batch.rows()[4][0].AsDouble(), 4995 * 0.5);
+}
+
+TEST_F(PlannerTest, TopNNotPushedToLegacy) {
+  auto plan = PlanOf("SELECT x FROM oldsys ORDER BY x LIMIT 3");
+  VisitPlan(plan, [&](const PlanNodePtr& node) {
+    if (node->kind == PlanKind::kRemoteFragment) {
+      EXPECT_TRUE(node->fragment.order_by.empty());
+      EXPECT_EQ(node->fragment.limit, -1);
+    }
+  });
+  auto r = gis_.Query("SELECT x FROM oldsys ORDER BY x LIMIT 3");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->batch.num_rows(), 3u);
+}
+
+TEST_F(PlannerTest, TopNWithOffsetShipsLimitPlusOffset) {
+  auto plan = PlanOf("SELECT c FROM large ORDER BY c LIMIT 5 OFFSET 7");
+  VisitPlan(plan, [&](const PlanNodePtr& node) {
+    if (node->kind == PlanKind::kRemoteFragment) {
+      EXPECT_EQ(node->fragment.limit, 12);
+    }
+  });
+  auto r = gis_.Query("SELECT c FROM large ORDER BY c LIMIT 5 OFFSET 7");
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->batch.num_rows(), 5u);
+  EXPECT_DOUBLE_EQ(r->batch.rows()[0][0].AsDouble(), 7 * 0.5);
+}
+
+TEST_F(PlannerTest, ConstantFoldingSimplifiesFilters) {
+  auto plan = PlanOf("SELECT a FROM small WHERE k > 2 + 3");
+  VisitPlan(plan, [&](const PlanNodePtr& node) {
+    if (node->kind == PlanKind::kRemoteFragment && node->fragment.filter) {
+      // The folded literal 5 appears; no arithmetic nodes remain.
+      EXPECT_NE(node->fragment.filter->ToString().find("5"),
+                std::string::npos);
+      EXPECT_EQ(node->fragment.filter->ToString().find("+"),
+                std::string::npos);
+    }
+  });
+}
+
+TEST_F(PlannerTest, AdjacentProjectsFuse) {
+  // Join reordering + pruning used to leave Project(Project(x)) chains;
+  // the fusion pass must collapse them (answer unchanged).
+  const std::string q =
+      "SELECT small.a FROM large JOIN medium ON large.m = medium.m "
+      "JOIN small ON medium.k = small.k";
+  auto plan = PlanOf(q);
+  VisitPlan(plan, [&](const PlanNodePtr& node) {
+    if (node->kind == PlanKind::kProject) {
+      EXPECT_NE(node->children[0]->kind, PlanKind::kProject);
+    }
+  });
+  EXPECT_TRUE(gis_.Query(q).ok());
+}
+
+TEST_F(PlannerTest, CostEstimatesTrackSelectivity) {
+  CostParams params;
+  CostModel cost(gis_.catalog(), params);
+  LogicalPlanner planner(gis_.catalog());
+  auto stmt = sql::ParseSelect("SELECT c FROM large WHERE d = 'v1'");
+  auto plan = planner.Plan(**stmt);
+  ASSERT_TRUE(plan.ok());
+  cost.Annotate(*plan);
+  // d has 7 distinct values over 5000 rows → ~714 rows estimated.
+  double filtered = -1;
+  VisitPlan(*plan, [&](const PlanNodePtr& node) {
+    if (node->kind == PlanKind::kFilter) filtered = node->est_rows;
+  });
+  ASSERT_GT(filtered, 0);
+  EXPECT_NEAR(filtered, 714.0, 50.0);
+}
+
+TEST_F(PlannerTest, RangeSelectivityInterpolates) {
+  CostParams params;
+  CostModel cost(gis_.catalog(), params);
+  LogicalPlanner planner(gis_.catalog());
+  // c ranges over [0, 2499.5]; c < 250 ≈ 10%.
+  auto stmt = sql::ParseSelect("SELECT c FROM large WHERE c < 250.0");
+  auto plan = planner.Plan(**stmt);
+  ASSERT_TRUE(plan.ok());
+  cost.Annotate(*plan);
+  double filtered = -1;
+  VisitPlan(*plan, [&](const PlanNodePtr& node) {
+    if (node->kind == PlanKind::kFilter) filtered = node->est_rows;
+  });
+  EXPECT_NEAR(filtered, 500.0, 100.0);
+}
+
+TEST_F(PlannerTest, EstimatesSurviveDecomposition) {
+  auto plan = PlanOf("SELECT c FROM large WHERE m = 7");
+  VisitPlan(plan, [&](const PlanNodePtr& node) {
+    if (node->kind == PlanKind::kRemoteFragment) {
+      EXPECT_GT(node->est_rows, 0);
+      EXPECT_LT(node->est_rows, 500);  // far below the 5000 base rows
+      EXPECT_GT(node->est_cost_ms, 0);
+    }
+  });
+}
+
+}  // namespace
+}  // namespace gisql

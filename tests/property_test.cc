@@ -1,0 +1,353 @@
+/// Property-based test suites (parameterized over seeds): serde
+/// round-trips on randomized data, LIKE matching vs a reference
+/// implementation, constant-folding equivalence on random rows, and the
+/// central optimizer soundness property — every planner configuration
+/// returns the same answer as the unoptimized baseline on randomized
+/// worlds and queries.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/rng.h"
+#include "common/string_util.h"
+#include "core/global_system.h"
+#include "expr/binder.h"
+#include "expr/eval.h"
+#include "sql/parser.h"
+#include "wire/serde.h"
+
+namespace gisql {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Random data helpers
+// ---------------------------------------------------------------------------
+
+Value RandomValue(Rng& rng, TypeId type, double null_prob = 0.15) {
+  if (rng.Bernoulli(null_prob)) return Value::Null(type);
+  switch (type) {
+    case TypeId::kBool: return Value::Bool(rng.Bernoulli(0.5));
+    case TypeId::kInt64: return Value::Int(rng.Uniform(-1000, 1000));
+    case TypeId::kDouble:
+      return Value::Double((rng.NextDouble() - 0.5) * 2000.0);
+    case TypeId::kString: return Value::String(rng.NextString(rng.Uniform(0, 12)));
+    case TypeId::kDate: return Value::Date(rng.Uniform(0, 30000));
+    case TypeId::kNull: return Value::Null();
+  }
+  return Value::Null();
+}
+
+RowBatch RandomBatch(Rng& rng) {
+  const TypeId pool[] = {TypeId::kBool, TypeId::kInt64, TypeId::kDouble,
+                         TypeId::kString, TypeId::kDate};
+  const int ncols = static_cast<int>(rng.Uniform(1, 6));
+  std::vector<Field> fields;
+  for (int c = 0; c < ncols; ++c) {
+    fields.emplace_back("c" + std::to_string(c),
+                        pool[rng.Uniform(0, 4)], rng.Bernoulli(0.7));
+  }
+  auto schema = std::make_shared<Schema>(std::move(fields));
+  RowBatch batch(schema);
+  const int nrows = static_cast<int>(rng.Uniform(0, 50));
+  for (int r = 0; r < nrows; ++r) {
+    Row row;
+    for (int c = 0; c < ncols; ++c) {
+      row.push_back(RandomValue(rng, schema->field(c).type));
+    }
+    batch.Append(std::move(row));
+  }
+  return batch;
+}
+
+// ---------------------------------------------------------------------------
+// Batch serde round-trip property
+// ---------------------------------------------------------------------------
+
+class BatchSerdeProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(BatchSerdeProperty, RoundTripPreservesEverything) {
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 20; ++trial) {
+    RowBatch batch = RandomBatch(rng);
+    auto bytes = wire::SerializeBatch(batch);
+    ByteReader reader(bytes);
+    auto back = wire::ReadBatch(&reader);
+    ASSERT_TRUE(back.ok()) << back.status().ToString();
+    ASSERT_TRUE(reader.AtEnd());
+    ASSERT_EQ(back->num_rows(), batch.num_rows());
+    ASSERT_TRUE(back->schema()->Equals(*batch.schema()));
+    for (size_t r = 0; r < batch.num_rows(); ++r) {
+      for (size_t c = 0; c < batch.schema()->num_fields(); ++c) {
+        const Value& a = batch.rows()[r][c];
+        const Value& b = back->rows()[r][c];
+        ASSERT_EQ(a.is_null(), b.is_null());
+        if (!a.is_null()) ASSERT_EQ(a.Compare(b), 0);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BatchSerdeProperty,
+                         ::testing::Range<uint64_t>(1, 11));
+
+// ---------------------------------------------------------------------------
+// Serde never crashes on corrupted bytes (bounds-checking property)
+// ---------------------------------------------------------------------------
+
+class CorruptionProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(CorruptionProperty, TruncationAndBitFlipsNeverCrash) {
+  Rng rng(GetParam());
+  RowBatch batch = RandomBatch(rng);
+  auto bytes = wire::SerializeBatch(batch);
+  if (bytes.empty()) return;
+  // Truncations at every eighth offset.
+  for (size_t cut = 0; cut < bytes.size(); cut += 8) {
+    ByteReader reader(bytes.data(), cut);
+    auto result = wire::ReadBatch(&reader);
+    (void)result.ok();  // must not crash; error or success both fine
+  }
+  // Random bit flips.
+  for (int trial = 0; trial < 50; ++trial) {
+    auto corrupted = bytes;
+    const size_t pos =
+        static_cast<size_t>(rng.Uniform(0, static_cast<int64_t>(bytes.size()) - 1));
+    corrupted[pos] ^= static_cast<uint8_t>(1u << rng.Uniform(0, 7));
+    ByteReader reader(corrupted);
+    auto result = wire::ReadBatch(&reader);
+    (void)result.ok();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CorruptionProperty,
+                         ::testing::Range<uint64_t>(100, 108));
+
+// ---------------------------------------------------------------------------
+// LIKE matcher vs reference implementation
+// ---------------------------------------------------------------------------
+
+bool ReferenceLike(const std::string& v, const std::string& p, size_t vi = 0,
+                   size_t pi = 0) {
+  if (pi == p.size()) return vi == v.size();
+  if (p[pi] == '%') {
+    for (size_t skip = vi; skip <= v.size(); ++skip) {
+      if (ReferenceLike(v, p, skip, pi + 1)) return true;
+    }
+    return false;
+  }
+  if (vi == v.size()) return false;
+  if (p[pi] == '_' || p[pi] == v[vi]) {
+    return ReferenceLike(v, p, vi + 1, pi + 1);
+  }
+  return false;
+}
+
+class LikeProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(LikeProperty, MatchesReferenceSemantics) {
+  Rng rng(GetParam());
+  const char alphabet[] = {'a', 'b', '%', '_'};
+  for (int trial = 0; trial < 500; ++trial) {
+    std::string value(rng.Uniform(0, 8), 'a');
+    for (auto& c : value) c = static_cast<char>('a' + rng.Uniform(0, 1));
+    std::string pattern(rng.Uniform(0, 6), 'a');
+    for (auto& c : pattern) c = alphabet[rng.Uniform(0, 3)];
+    EXPECT_EQ(LikeMatch(value, pattern), ReferenceLike(value, pattern))
+        << "value='" << value << "' pattern='" << pattern << "'";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LikeProperty,
+                         ::testing::Range<uint64_t>(200, 206));
+
+// ---------------------------------------------------------------------------
+// Constant folding preserves semantics on random rows
+// ---------------------------------------------------------------------------
+
+class FoldProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(FoldProperty, FoldedTreeEvaluatesIdentically) {
+  Rng rng(GetParam());
+  Schema schema({{"a", TypeId::kInt64}, {"b", TypeId::kDouble},
+                 {"s", TypeId::kString}});
+  Binder binder(schema);
+  const char* templates[] = {
+      "a + 2 * 3 - 1",
+      "(a > 2 + 2) AND (b < 10.0 * 10.0)",
+      "CASE WHEN 1 = 1 THEN a ELSE a * 100 END",
+      "COALESCE(NULL, a + 0)",
+      "a IN (1 + 1, 4 / 2, 9)",
+      "s LIKE 'a%' OR 2 > 3",
+      "ABS(0 - 3) + a",
+      "CAST(2.9 AS bigint) + a",
+  };
+  for (const char* text : templates) {
+    auto ast = sql::ParseScalarExpr(text);
+    ASSERT_TRUE(ast.ok());
+    auto bound = binder.BindScalar(**ast);
+    ASSERT_TRUE(bound.ok()) << text;
+    ExprPtr folded = FoldConstants(*bound);
+    for (int trial = 0; trial < 50; ++trial) {
+      Row row = {RandomValue(rng, TypeId::kInt64),
+                 RandomValue(rng, TypeId::kDouble),
+                 RandomValue(rng, TypeId::kString)};
+      auto v1 = EvalExpr(**bound, row);
+      auto v2 = EvalExpr(*folded, row);
+      ASSERT_EQ(v1.ok(), v2.ok()) << text;
+      if (!v1.ok()) continue;
+      ASSERT_EQ(v1->is_null(), v2->is_null()) << text;
+      if (!v1->is_null()) {
+        ASSERT_EQ(v1->Compare(*v2), 0) << text;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FoldProperty,
+                         ::testing::Range<uint64_t>(300, 305));
+
+// ---------------------------------------------------------------------------
+// Optimizer soundness: every configuration gives the baseline's answer
+// ---------------------------------------------------------------------------
+
+struct OptimizerCase {
+  uint64_t seed;
+};
+
+class OptimizerSoundness : public ::testing::TestWithParam<uint64_t> {
+ protected:
+  /// Builds a small random two-source world with a union view.
+  void BuildWorld(GlobalSystem& gis, Rng& rng) {
+    const SourceDialect dialects[] = {
+        SourceDialect::kRelational, SourceDialect::kDocument,
+        SourceDialect::kKeyValue, SourceDialect::kLegacy};
+    auto dim_src = *gis.CreateSource("dimsrc", dialects[rng.Uniform(0, 3)]);
+    ASSERT_TRUE(dim_src
+                    ->ExecuteLocalSql(
+                        "CREATE TABLE dim (k bigint, tag varchar, "
+                        "w double)")
+                    .ok());
+    auto dim = *dim_src->engine().GetTable("dim");
+    const int dim_rows = static_cast<int>(rng.Uniform(5, 60));
+    std::vector<Row> rows;
+    for (int i = 0; i < dim_rows; ++i) {
+      rows.push_back({Value::Int(i),
+                      Value::String("t" + std::to_string(rng.Uniform(0, 6))),
+                      RandomValue(rng, TypeId::kDouble, 0.2)});
+    }
+    dim->InsertUnchecked(std::move(rows));
+    ASSERT_TRUE(gis.ImportSource("dimsrc").ok());
+
+    std::vector<std::string> members;
+    for (int s = 0; s < 2; ++s) {
+      const std::string name = "shard" + std::to_string(s);
+      auto src = *gis.CreateSource(name, dialects[rng.Uniform(0, 3)]);
+      ASSERT_TRUE(src->ExecuteLocalSql(
+                        "CREATE TABLE facts (id bigint, k bigint, "
+                        "v double, note varchar)")
+                      .ok());
+      auto t = *src->engine().GetTable("facts");
+      std::vector<Row> frows;
+      const int n = static_cast<int>(rng.Uniform(20, 200));
+      for (int i = 0; i < n; ++i) {
+        frows.push_back({Value::Int(s * 10000 + i),
+                         Value::Int(rng.Uniform(0, 80)),
+                         RandomValue(rng, TypeId::kDouble, 0.1),
+                         Value::String(rng.NextString(5))});
+      }
+      t->InsertUnchecked(std::move(frows));
+      ASSERT_TRUE(gis.ImportTable(name, "facts", "facts_" + name).ok());
+      members.push_back("facts_" + name);
+    }
+    ASSERT_TRUE(gis.CreateUnionView("facts", members).ok());
+  }
+};
+
+TEST_P(OptimizerSoundness, AllConfigurationsAgree) {
+  Rng rng(GetParam());
+  GlobalSystem gis;
+  BuildWorld(gis, rng);
+
+  const std::string queries[] = {
+      "SELECT COUNT(*), SUM(v), MIN(k), MAX(k) FROM facts WHERE k < 40",
+      "SELECT k, COUNT(*) AS n FROM facts GROUP BY k HAVING COUNT(*) > 1 "
+      "ORDER BY n DESC, k LIMIT 10",
+      "SELECT d.tag, COUNT(*), AVG(f.v) FROM facts f JOIN dim d "
+      "ON f.k = d.k GROUP BY d.tag ORDER BY d.tag",
+      "SELECT f.id FROM facts f JOIN dim d ON f.k = d.k "
+      "WHERE d.tag = 't1' AND f.v IS NOT NULL ORDER BY f.id LIMIT 20",
+      "SELECT DISTINCT tag FROM dim ORDER BY tag",
+      // Top-N pushdown path.
+      "SELECT id, v FROM facts ORDER BY v DESC, id LIMIT 7",
+      // UNION ALL across a table and the partitioned view.
+      "SELECT k FROM dim UNION ALL SELECT k FROM facts ORDER BY k "
+      "LIMIT 25",
+      // IN-subquery semijoin.
+      "SELECT COUNT(*) FROM facts WHERE k IN "
+      "(SELECT k FROM dim WHERE tag = 't2')",
+  };
+
+  std::vector<PlannerOptions> configs;
+  configs.push_back(PlannerOptions::ShipEverything());
+  configs.push_back(PlannerOptions::FilterPushdownOnly());
+  configs.push_back(PlannerOptions::Full());
+  {
+    PlannerOptions force_semi;
+    force_semi.force_semijoin = true;
+    configs.push_back(force_semi);
+  }
+  {
+    PlannerOptions worst;
+    worst.join_ordering = JoinOrdering::kWorst;
+    configs.push_back(worst);
+  }
+  {
+    PlannerOptions no_agg;
+    no_agg.enable_aggregate_pushdown = false;
+    no_agg.join_ordering = JoinOrdering::kGreedy;
+    configs.push_back(no_agg);
+  }
+
+  for (const auto& q : queries) {
+    gis.set_options(PlannerOptions::ShipEverything());
+    auto baseline = gis.Query(q);
+    ASSERT_TRUE(baseline.ok()) << q << ": " << baseline.status().ToString();
+    for (size_t ci = 1; ci < configs.size(); ++ci) {
+      gis.set_options(configs[ci]);
+      auto result = gis.Query(q);
+      ASSERT_TRUE(result.ok())
+          << "config " << ci << " on " << q << ": "
+          << result.status().ToString();
+      ASSERT_EQ(result->batch.num_rows(), baseline->batch.num_rows())
+          << "config " << ci << " on " << q;
+      // Row-set equality. Ordered queries compare positionally; the
+      // unordered aggregate in queries[0] has a single row anyway.
+      for (size_t r = 0; r < baseline->batch.num_rows(); ++r) {
+        for (size_t c = 0; c < baseline->batch.schema()->num_fields();
+             ++c) {
+          const Value& a = baseline->batch.rows()[r][c];
+          const Value& b = result->batch.rows()[r][c];
+          ASSERT_EQ(a.is_null(), b.is_null())
+              << "config " << ci << " on " << q << " row " << r;
+          if (a.is_null()) continue;
+          if (a.type() == TypeId::kDouble || b.type() == TypeId::kDouble) {
+            ASSERT_NEAR(a.NumericValue(), b.NumericValue(),
+                        1e-6 * (1.0 + std::abs(a.NumericValue())))
+                << "config " << ci << " on " << q << " row " << r;
+          } else {
+            ASSERT_EQ(a.Compare(b), 0)
+                << "config " << ci << " on " << q << " row " << r;
+          }
+        }
+      }
+    }
+  }
+  gis.set_options(PlannerOptions::Full());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, OptimizerSoundness,
+                         ::testing::Range<uint64_t>(400, 412));
+
+}  // namespace
+}  // namespace gisql

@@ -1,0 +1,300 @@
+/// Tests for the second wave of SQL features: UNION ALL between
+/// SELECTs, DATE literals, civil-date arithmetic, and the date
+/// extraction functions.
+
+#include <gtest/gtest.h>
+
+#include "core/global_system.h"
+#include "sql/parser.h"
+#include "types/datetime.h"
+
+namespace gisql {
+namespace {
+
+TEST(DatetimeTest, EpochAnchors) {
+  EXPECT_EQ(DaysFromCivil(1970, 1, 1), 0);
+  EXPECT_EQ(DaysFromCivil(1970, 1, 2), 1);
+  EXPECT_EQ(DaysFromCivil(1969, 12, 31), -1);
+  EXPECT_EQ(DaysFromCivil(2000, 3, 1), 11017);
+  EXPECT_EQ(DaysFromCivil(1989, 2, 6), 6976);  // ICDE 1989 week
+}
+
+TEST(DatetimeTest, RoundTripSweep) {
+  // Every day across several leap boundaries round-trips.
+  for (int64_t d = DaysFromCivil(1896, 1, 1); d <= DaysFromCivil(2104, 12, 31);
+       d += 13) {
+    int y;
+    unsigned m, dd;
+    CivilFromDays(d, &y, &m, &dd);
+    EXPECT_EQ(DaysFromCivil(y, m, dd), d);
+    EXPECT_TRUE(IsValidCivilDate(y, m, dd));
+  }
+}
+
+TEST(DatetimeTest, LeapYearRules) {
+  EXPECT_TRUE(IsValidCivilDate(2000, 2, 29));   // div 400
+  EXPECT_FALSE(IsValidCivilDate(1900, 2, 29));  // div 100, not 400
+  EXPECT_TRUE(IsValidCivilDate(2024, 2, 29));
+  EXPECT_FALSE(IsValidCivilDate(2023, 2, 29));
+  EXPECT_FALSE(IsValidCivilDate(2023, 4, 31));
+  EXPECT_FALSE(IsValidCivilDate(2023, 13, 1));
+  EXPECT_FALSE(IsValidCivilDate(2023, 0, 1));
+}
+
+TEST(DatetimeTest, ParseAndFormat) {
+  EXPECT_EQ(*ParseDateString("1989-02-06"), 6976);
+  EXPECT_EQ(FormatDate(6976), "1989-02-06");
+  EXPECT_EQ(FormatDate(0), "1970-01-01");
+  EXPECT_TRUE(ParseDateString("1989-13-01").status().IsInvalidArgument());
+  EXPECT_TRUE(ParseDateString("not-a-date").status().IsInvalidArgument());
+  EXPECT_TRUE(ParseDateString("1989").status().IsInvalidArgument());
+}
+
+TEST(DatetimeTest, ValueIntegration) {
+  Value d = Value::Date(6976);
+  EXPECT_EQ(d.ToString(), "DATE '1989-02-06'");
+  EXPECT_EQ(d.CastTo(TypeId::kString)->AsString(), "1989-02-06");
+  EXPECT_EQ(Value::String("1989-02-06").CastTo(TypeId::kDate)->AsInt(),
+            6976);
+  EXPECT_TRUE(
+      Value::String("junk").CastTo(TypeId::kDate).status().IsInvalidArgument());
+}
+
+class Sql2Test : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(gis_.CreateSource("s1", SourceDialect::kRelational).ok());
+    ASSERT_TRUE(gis_.ExecuteAt("s1",
+                               "CREATE TABLE events (id bigint, day date, "
+                               "kind varchar)")
+                    .ok());
+    ASSERT_TRUE(gis_.ExecuteAt(
+                        "s1",
+                        "INSERT INTO events VALUES "
+                        "(1, DATE '1989-02-06', 'conf'), "
+                        "(2, DATE '1989-07-14', 'meeting'), "
+                        "(3, DATE '1990-02-06', 'conf'), "
+                        "(4, DATE '1990-12-31', 'party')")
+                    .ok());
+    ASSERT_TRUE(gis_.CreateSource("s2", SourceDialect::kDocument).ok());
+    ASSERT_TRUE(gis_.ExecuteAt("s2",
+                               "CREATE TABLE archive (id bigint, day date, "
+                               "kind varchar)")
+                    .ok());
+    ASSERT_TRUE(gis_.ExecuteAt("s2",
+                               "INSERT INTO archive VALUES "
+                               "(100, DATE '1985-05-05', 'conf')")
+                    .ok());
+    ASSERT_TRUE(gis_.ImportSource("s1").ok());
+    ASSERT_TRUE(gis_.ImportSource("s2").ok());
+  }
+  GlobalSystem gis_;
+};
+
+TEST_F(Sql2Test, DateLiteralsInPredicates) {
+  auto r = gis_.Query(
+      "SELECT id FROM events WHERE day >= DATE '1989-01-01' AND "
+      "day < DATE '1990-01-01' ORDER BY id");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_EQ(r->batch.num_rows(), 2u);
+  EXPECT_EQ(r->batch.rows()[0][0].AsInt(), 1);
+}
+
+TEST_F(Sql2Test, DateExtractionFunctions) {
+  auto r = gis_.Query(
+      "SELECT YEAR(day), MONTH(day), DAY(day) FROM events WHERE id = 2");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->batch.rows()[0][0].AsInt(), 1989);
+  EXPECT_EQ(r->batch.rows()[0][1].AsInt(), 7);
+  EXPECT_EQ(r->batch.rows()[0][2].AsInt(), 14);
+}
+
+TEST_F(Sql2Test, GroupByYear) {
+  auto r = gis_.Query(
+      "SELECT YEAR(day) AS y, COUNT(*) AS n FROM events GROUP BY YEAR(day) "
+      "ORDER BY y");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_EQ(r->batch.num_rows(), 2u);
+  EXPECT_EQ(r->batch.rows()[0][0].AsInt(), 1989);
+  EXPECT_EQ(r->batch.rows()[0][1].AsInt(), 2);
+  EXPECT_EQ(r->batch.rows()[1][1].AsInt(), 2);
+}
+
+TEST_F(Sql2Test, DateRendersInResults) {
+  auto r = gis_.Query("SELECT day FROM events WHERE id = 1");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->batch.rows()[0][0].ToString(), "DATE '1989-02-06'");
+}
+
+TEST_F(Sql2Test, UnionAllAcrossSources) {
+  auto r = gis_.Query(
+      "SELECT id, kind FROM events WHERE kind = 'conf' "
+      "UNION ALL SELECT id, kind FROM archive ORDER BY id");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_EQ(r->batch.num_rows(), 3u);
+  EXPECT_EQ(r->batch.rows()[0][0].AsInt(), 1);
+  EXPECT_EQ(r->batch.rows()[2][0].AsInt(), 100);
+}
+
+TEST_F(Sql2Test, UnionAllWithAggregatedTerms) {
+  auto r = gis_.Query(
+      "SELECT COUNT(*) FROM events UNION ALL SELECT COUNT(*) FROM archive");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_EQ(r->batch.num_rows(), 2u);
+  int64_t total = r->batch.rows()[0][0].AsInt() +
+                  r->batch.rows()[1][0].AsInt();
+  EXPECT_EQ(total, 5);
+}
+
+TEST_F(Sql2Test, UnionAllLimitAppliesToWhole) {
+  auto r = gis_.Query(
+      "SELECT id FROM events UNION ALL SELECT id FROM archive "
+      "ORDER BY id DESC LIMIT 2");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_EQ(r->batch.num_rows(), 2u);
+  EXPECT_EQ(r->batch.rows()[0][0].AsInt(), 100);
+  EXPECT_EQ(r->batch.rows()[1][0].AsInt(), 4);
+}
+
+TEST_F(Sql2Test, UnionAllIncompatibleRejected) {
+  EXPECT_TRUE(gis_.Query("SELECT id FROM events UNION ALL "
+                         "SELECT kind FROM archive")
+                  .status()
+                  .IsBindError());
+  EXPECT_TRUE(gis_.Query("SELECT id, kind FROM events UNION ALL "
+                         "SELECT id FROM archive")
+                  .status()
+                  .IsBindError());
+}
+
+TEST_F(Sql2Test, PlainUnionUnsupported) {
+  // Only UNION ALL is implemented; bare UNION errors clearly.
+  EXPECT_TRUE(gis_.Query("SELECT id FROM events UNION "
+                         "SELECT id FROM archive")
+                  .status()
+                  .IsParseError());
+}
+
+TEST_F(Sql2Test, UnionAllInDerivedTable) {
+  auto r = gis_.Query(
+      "SELECT COUNT(*) FROM (SELECT id FROM events UNION ALL "
+      "SELECT id FROM archive) AS u");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->batch.rows()[0][0].AsInt(), 5);
+}
+
+TEST_F(Sql2Test, InSubqueryAsSemijoin) {
+  // Events whose kind also appears in the archive.
+  auto r = gis_.Query(
+      "SELECT id FROM events WHERE kind IN (SELECT kind FROM archive) "
+      "ORDER BY id");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_EQ(r->batch.num_rows(), 2u);  // the two 'conf' events
+  EXPECT_EQ(r->batch.rows()[0][0].AsInt(), 1);
+  EXPECT_EQ(r->batch.rows()[1][0].AsInt(), 3);
+}
+
+TEST_F(Sql2Test, InSubqueryDeduplicatesMatches) {
+  // Multiple matching rows in the subquery must not multiply output.
+  ASSERT_TRUE(gis_.ExecuteAt("s2",
+                             "INSERT INTO archive VALUES "
+                             "(101, DATE '1986-06-06', 'conf')")
+                  .ok());
+  auto r = gis_.Query(
+      "SELECT COUNT(*) FROM events WHERE kind IN "
+      "(SELECT kind FROM archive)");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->batch.rows()[0][0].AsInt(), 2);
+}
+
+TEST_F(Sql2Test, InSubqueryWithInnerPredicate) {
+  auto r = gis_.Query(
+      "SELECT id FROM events WHERE id IN "
+      "(SELECT id FROM events WHERE kind = 'conf') AND "
+      "YEAR(day) = 1989");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_EQ(r->batch.num_rows(), 1u);
+  EXPECT_EQ(r->batch.rows()[0][0].AsInt(), 1);
+}
+
+TEST_F(Sql2Test, NotInSubqueryAntiJoin) {
+  auto r = gis_.Query(
+      "SELECT id FROM events WHERE kind NOT IN "
+      "(SELECT kind FROM archive) ORDER BY id");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  // archive holds only 'conf': the meeting and the party survive.
+  ASSERT_EQ(r->batch.num_rows(), 2u);
+  EXPECT_EQ(r->batch.rows()[0][0].AsInt(), 2);
+  EXPECT_EQ(r->batch.rows()[1][0].AsInt(), 4);
+}
+
+TEST_F(Sql2Test, NotInSubqueryNullAwareness) {
+  // A NULL in the subquery result makes NOT IN never-true: SQL says the
+  // whole result is empty.
+  ASSERT_TRUE(gis_.ExecuteAt("s2",
+                             "INSERT INTO archive VALUES "
+                             "(999, DATE '1980-01-01', NULL)")
+                  .ok());
+  auto r = gis_.Query(
+      "SELECT id FROM events WHERE kind NOT IN (SELECT kind FROM archive)");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->batch.num_rows(), 0u);
+}
+
+TEST_F(Sql2Test, NotInSubqueryNullProbeDrops) {
+  ASSERT_TRUE(gis_.ExecuteAt("s1",
+                             "INSERT INTO events VALUES "
+                             "(6, DATE '1992-01-01', NULL)")
+                  .ok());
+  auto r = gis_.Query(
+      "SELECT COUNT(*) FROM events WHERE kind NOT IN "
+      "(SELECT kind FROM archive)");
+  ASSERT_TRUE(r.ok());
+  // Row 6's NULL kind is UNKNOWN, not a survivor.
+  EXPECT_EQ(r->batch.rows()[0][0].AsInt(), 2);
+}
+
+TEST_F(Sql2Test, InSubqueryRestrictions) {
+  // Multi-column subquery rejected.
+  EXPECT_TRUE(gis_.Query("SELECT id FROM events WHERE kind IN "
+                         "(SELECT kind, id FROM archive)")
+                  .status()
+                  .IsBindError());
+  // Type-incompatible probe rejected.
+  EXPECT_TRUE(gis_.Query("SELECT id FROM events WHERE id IN "
+                         "(SELECT kind FROM archive)")
+                  .status()
+                  .IsBindError());
+  // Outside a WHERE conjunct it is a clear bind error.
+  EXPECT_TRUE(gis_.Query("SELECT kind IN (SELECT kind FROM archive) "
+                         "FROM events")
+                  .status()
+                  .IsBindError());
+}
+
+TEST_F(Sql2Test, InSubqueryNullProbeDrops) {
+  ASSERT_TRUE(gis_.ExecuteAt("s1",
+                             "INSERT INTO events VALUES "
+                             "(5, DATE '1991-01-01', NULL)")
+                  .ok());
+  auto r = gis_.Query(
+      "SELECT COUNT(*) FROM events WHERE kind IN "
+      "(SELECT kind FROM archive)");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->batch.rows()[0][0].AsInt(), 2);  // NULL kind never matches
+}
+
+TEST(UnionAllParserTest, AstShape) {
+  auto stmt = *sql::ParseSelect(
+      "SELECT a FROM t UNION ALL SELECT b FROM u UNION ALL "
+      "SELECT c FROM v ORDER BY a LIMIT 3");
+  EXPECT_EQ(stmt->union_all_terms.size(), 2u);
+  EXPECT_EQ(stmt->order_by.size(), 1u);
+  EXPECT_EQ(stmt->limit, 3);
+  // Terms carry no order/limit of their own.
+  EXPECT_TRUE(stmt->union_all_terms[0]->order_by.empty());
+  EXPECT_EQ(stmt->union_all_terms[0]->limit, -1);
+}
+
+}  // namespace
+}  // namespace gisql

@@ -1,0 +1,254 @@
+/// Unit tests for the SQL lexer and parser.
+
+#include <gtest/gtest.h>
+
+#include "sql/lexer.h"
+#include "sql/parser.h"
+
+namespace gisql {
+namespace sql {
+namespace {
+
+TEST(LexerTest, KeywordsAndIdentifiers) {
+  Lexer lexer("SELECT foo FROM Bar");
+  auto tokens = *lexer.Tokenize();
+  ASSERT_EQ(tokens.size(), 5u);  // incl. kEnd
+  EXPECT_TRUE(tokens[0].IsKeyword("SELECT"));
+  EXPECT_EQ(tokens[1].type, TokenType::kIdentifier);
+  EXPECT_EQ(tokens[1].text, "foo");
+  EXPECT_TRUE(tokens[2].IsKeyword("FROM"));
+  EXPECT_EQ(tokens[3].text, "Bar");  // identifier case preserved
+}
+
+TEST(LexerTest, KeywordsCaseInsensitive) {
+  auto tokens = *Lexer("select Where aNd").Tokenize();
+  EXPECT_TRUE(tokens[0].IsKeyword("SELECT"));
+  EXPECT_TRUE(tokens[1].IsKeyword("WHERE"));
+  EXPECT_TRUE(tokens[2].IsKeyword("AND"));
+}
+
+TEST(LexerTest, NumericLiterals) {
+  auto tokens = *Lexer("42 3.14 1e3 7").Tokenize();
+  EXPECT_EQ(tokens[0].type, TokenType::kIntLiteral);
+  EXPECT_EQ(tokens[0].int_value, 42);
+  EXPECT_EQ(tokens[1].type, TokenType::kDoubleLiteral);
+  EXPECT_DOUBLE_EQ(tokens[1].double_value, 3.14);
+  EXPECT_EQ(tokens[2].type, TokenType::kDoubleLiteral);
+  EXPECT_DOUBLE_EQ(tokens[2].double_value, 1000.0);
+  EXPECT_EQ(tokens[3].int_value, 7);
+}
+
+TEST(LexerTest, StringLiteralsWithEscapes) {
+  auto tokens = *Lexer("'abc' 'it''s'").Tokenize();
+  EXPECT_EQ(tokens[0].type, TokenType::kStringLiteral);
+  EXPECT_EQ(tokens[0].text, "abc");
+  EXPECT_EQ(tokens[1].text, "it's");
+}
+
+TEST(LexerTest, UnterminatedStringIsError) {
+  EXPECT_TRUE(Lexer("'oops").Tokenize().status().IsParseError());
+}
+
+TEST(LexerTest, OperatorsIncludingTwoChar) {
+  auto tokens = *Lexer("< <= <> >= > != =").Tokenize();
+  EXPECT_EQ(tokens[0].type, TokenType::kLt);
+  EXPECT_EQ(tokens[1].type, TokenType::kLe);
+  EXPECT_EQ(tokens[2].type, TokenType::kNe);
+  EXPECT_EQ(tokens[3].type, TokenType::kGe);
+  EXPECT_EQ(tokens[4].type, TokenType::kGt);
+  EXPECT_EQ(tokens[5].type, TokenType::kNe);
+  EXPECT_EQ(tokens[6].type, TokenType::kEq);
+}
+
+TEST(LexerTest, LineCommentsSkipped) {
+  auto tokens = *Lexer("SELECT -- hidden\n1").Tokenize();
+  EXPECT_TRUE(tokens[0].IsKeyword("SELECT"));
+  EXPECT_EQ(tokens[1].type, TokenType::kIntLiteral);
+}
+
+TEST(LexerTest, QuotedIdentifier) {
+  auto tokens = *Lexer("\"Weird Name\"").Tokenize();
+  EXPECT_EQ(tokens[0].type, TokenType::kIdentifier);
+  EXPECT_EQ(tokens[0].text, "Weird Name");
+}
+
+TEST(LexerTest, UnexpectedCharacterIsError) {
+  EXPECT_TRUE(Lexer("SELECT @").Tokenize().status().IsParseError());
+}
+
+TEST(ParserTest, SimpleSelect) {
+  auto stmt = *ParseSelect("SELECT a, b FROM t WHERE a > 5");
+  EXPECT_EQ(stmt->items.size(), 2u);
+  ASSERT_TRUE(stmt->from != nullptr);
+  EXPECT_EQ(stmt->from->table_name, "t");
+  ASSERT_TRUE(stmt->where != nullptr);
+  EXPECT_EQ(stmt->where->ToString(), "(a > 5)");
+}
+
+TEST(ParserTest, SelectStarAndAliases) {
+  auto stmt = *ParseSelect("SELECT *, a AS x, b y FROM t");
+  EXPECT_EQ(stmt->items[0].expr->kind, ParseExprKind::kStar);
+  EXPECT_EQ(stmt->items[1].alias, "x");
+  EXPECT_EQ(stmt->items[2].alias, "y");
+}
+
+TEST(ParserTest, QualifiedColumnsAndQualifiedStar) {
+  auto stmt = *ParseSelect("SELECT t.a, t.* FROM t");
+  EXPECT_EQ(stmt->items[0].expr->qualifier, "t");
+  EXPECT_EQ(stmt->items[0].expr->name, "a");
+  EXPECT_EQ(stmt->items[1].expr->kind, ParseExprKind::kStar);
+  EXPECT_EQ(stmt->items[1].expr->qualifier, "t");
+}
+
+TEST(ParserTest, OperatorPrecedence) {
+  auto e = *ParseScalarExpr("1 + 2 * 3");
+  EXPECT_EQ(e->ToString(), "(1 + (2 * 3))");
+  e = *ParseScalarExpr("(1 + 2) * 3");
+  EXPECT_EQ(e->ToString(), "((1 + 2) * 3)");
+  e = *ParseScalarExpr("a = 1 OR b = 2 AND c = 3");
+  EXPECT_EQ(e->ToString(), "((a = 1) OR ((b = 2) AND (c = 3)))");
+  e = *ParseScalarExpr("NOT a = 1");
+  EXPECT_EQ(e->ToString(), "(NOT (a = 1))");
+}
+
+TEST(ParserTest, UnaryMinusAndModulo) {
+  auto e = *ParseScalarExpr("-a % 3");
+  EXPECT_EQ(e->ToString(), "((-a) % 3)");
+}
+
+TEST(ParserTest, BetweenInLikeIsNull) {
+  EXPECT_EQ((*ParseScalarExpr("x BETWEEN 1 AND 10"))->ToString(),
+            "(x BETWEEN 1 AND 10)");
+  EXPECT_EQ((*ParseScalarExpr("x NOT IN (1, 2)"))->ToString(),
+            "(x NOT IN (1, 2))");
+  EXPECT_EQ((*ParseScalarExpr("name LIKE 'a%'"))->ToString(),
+            "(name LIKE 'a%')");
+  EXPECT_EQ((*ParseScalarExpr("x IS NOT NULL"))->ToString(),
+            "(x IS NOT NULL)");
+}
+
+TEST(ParserTest, CaseExpression) {
+  auto e = *ParseScalarExpr(
+      "CASE WHEN a > 0 THEN 'pos' WHEN a < 0 THEN 'neg' ELSE 'zero' END");
+  EXPECT_EQ(e->kind, ParseExprKind::kCase);
+  EXPECT_TRUE(e->has_else);
+  EXPECT_EQ(e->children.size(), 5u);
+}
+
+TEST(ParserTest, CastExpression) {
+  auto e = *ParseScalarExpr("CAST(a AS double)");
+  EXPECT_EQ(e->kind, ParseExprKind::kCast);
+  EXPECT_EQ(e->name, "double");
+}
+
+TEST(ParserTest, AggregatesAndDistinct) {
+  auto stmt = *ParseSelect(
+      "SELECT COUNT(*), SUM(x), COUNT(DISTINCT y) FROM t GROUP BY z "
+      "HAVING COUNT(*) > 1");
+  EXPECT_EQ(stmt->items[0].expr->name, "COUNT");
+  EXPECT_EQ(stmt->items[0].expr->children[0]->kind, ParseExprKind::kStar);
+  EXPECT_TRUE(stmt->items[2].expr->distinct);
+  EXPECT_EQ(stmt->group_by.size(), 1u);
+  ASSERT_TRUE(stmt->having != nullptr);
+}
+
+TEST(ParserTest, Joins) {
+  auto stmt = *ParseSelect(
+      "SELECT * FROM a JOIN b ON a.id = b.id LEFT JOIN c ON b.id = c.id");
+  ASSERT_EQ(stmt->from->kind, TableRef::Kind::kJoin);
+  EXPECT_EQ(stmt->from->join_type, TableRef::JoinType::kLeft);
+  ASSERT_EQ(stmt->from->left->kind, TableRef::Kind::kJoin);
+  EXPECT_EQ(stmt->from->left->join_type, TableRef::JoinType::kInner);
+}
+
+TEST(ParserTest, CommaJoinIsCross) {
+  auto stmt = *ParseSelect("SELECT * FROM a, b WHERE a.id = b.id");
+  ASSERT_EQ(stmt->from->kind, TableRef::Kind::kJoin);
+  EXPECT_EQ(stmt->from->join_type, TableRef::JoinType::kCross);
+}
+
+TEST(ParserTest, DerivedTable) {
+  auto stmt = *ParseSelect(
+      "SELECT x FROM (SELECT a AS x FROM t WHERE a > 1) AS sub");
+  ASSERT_EQ(stmt->from->kind, TableRef::Kind::kDerived);
+  EXPECT_EQ(stmt->from->alias, "sub");
+  EXPECT_EQ(stmt->from->derived->items.size(), 1u);
+}
+
+TEST(ParserTest, OrderLimitOffset) {
+  auto stmt = *ParseSelect(
+      "SELECT a FROM t ORDER BY a DESC, b LIMIT 10 OFFSET 5");
+  ASSERT_EQ(stmt->order_by.size(), 2u);
+  EXPECT_FALSE(stmt->order_by[0].ascending);
+  EXPECT_TRUE(stmt->order_by[1].ascending);
+  EXPECT_EQ(stmt->limit, 10);
+  EXPECT_EQ(stmt->offset, 5);
+}
+
+TEST(ParserTest, DistinctSelect) {
+  EXPECT_TRUE((*ParseSelect("SELECT DISTINCT a FROM t"))->distinct);
+}
+
+TEST(ParserTest, CreateTable) {
+  auto stmt = *ParseStatement("CREATE TABLE t (id bigint, name varchar)");
+  ASSERT_EQ(stmt.kind, Statement::Kind::kCreateTable);
+  ASSERT_EQ(stmt.create_table->columns.size(), 2u);
+  EXPECT_EQ(stmt.create_table->columns[0].first, "id");
+  EXPECT_EQ(stmt.create_table->columns[1].second, "varchar");
+}
+
+TEST(ParserTest, InsertValues) {
+  auto stmt = *ParseStatement(
+      "INSERT INTO t VALUES (1, 'a'), (2, NULL)");
+  ASSERT_EQ(stmt.kind, Statement::Kind::kInsert);
+  ASSERT_EQ(stmt.insert->rows.size(), 2u);
+  EXPECT_EQ(stmt.insert->rows[0].size(), 2u);
+}
+
+TEST(ParserTest, Explain) {
+  auto stmt = *ParseStatement("EXPLAIN SELECT a FROM t");
+  EXPECT_EQ(stmt.kind, Statement::Kind::kExplain);
+  ASSERT_TRUE(stmt.select != nullptr);
+}
+
+TEST(ParserTest, TrailingSemicolonAccepted) {
+  EXPECT_TRUE(ParseStatement("SELECT 1;").ok());
+}
+
+TEST(ParserTest, ErrorsAreParseErrors) {
+  EXPECT_TRUE(ParseStatement("SELEC 1").status().IsParseError());
+  EXPECT_TRUE(ParseStatement("SELECT FROM t").status().IsParseError());
+  EXPECT_TRUE(ParseStatement("SELECT a FROM").status().IsParseError());
+  EXPECT_TRUE(ParseStatement("SELECT a FROM t WHERE").status().IsParseError());
+  EXPECT_TRUE(ParseStatement("SELECT a FROM t GROUP a").status().IsParseError());
+  EXPECT_TRUE(ParseStatement("SELECT a b c FROM t").status().IsParseError());
+  EXPECT_TRUE(ParseStatement("SELECT (1 FROM t").status().IsParseError());
+}
+
+TEST(ParserTest, JoinRequiresOn) {
+  EXPECT_TRUE(
+      ParseStatement("SELECT * FROM a JOIN b").status().IsParseError());
+}
+
+TEST(ParserTest, SelectWithoutFrom) {
+  auto stmt = *ParseSelect("SELECT 1 + 1 AS two");
+  EXPECT_TRUE(stmt->from == nullptr);
+  EXPECT_EQ(stmt->items[0].alias, "two");
+}
+
+TEST(ParserTest, RoundTripToString) {
+  const char* queries[] = {
+      "SELECT a FROM t WHERE (a > 5)",
+      "SELECT COUNT(*) FROM t GROUP BY region",
+  };
+  for (const char* q : queries) {
+    auto stmt = *ParseSelect(q);
+    // Re-parse the rendering; must succeed and render identically.
+    auto stmt2 = *ParseSelect(stmt->ToString());
+    EXPECT_EQ(stmt->ToString(), stmt2->ToString());
+  }
+}
+
+}  // namespace
+}  // namespace sql
+}  // namespace gisql

@@ -1,0 +1,188 @@
+/// Unit tests for the component-system storage engine: tables, indexes,
+/// statistics.
+
+#include <gtest/gtest.h>
+
+#include "expr/binder.h"
+#include "sql/parser.h"
+#include "storage/table.h"
+
+namespace gisql {
+namespace {
+
+SchemaPtr ItemsSchema() {
+  return std::make_shared<Schema>(
+      std::vector<Field>{{"id", TypeId::kInt64, false, "items"},
+                         {"price", TypeId::kDouble, true, "items"},
+                         {"name", TypeId::kString, true, "items"}});
+}
+
+TablePtr MakeItems(int n) {
+  auto table = std::make_shared<Table>("items", ItemsSchema());
+  for (int i = 0; i < n; ++i) {
+    Row row = {Value::Int(i), Value::Double(i * 1.5),
+               Value::String("item" + std::to_string(i % 10))};
+    EXPECT_TRUE(table->Insert(std::move(row)).ok());
+  }
+  return table;
+}
+
+TEST(TableTest, InsertValidatesArity) {
+  auto table = std::make_shared<Table>("t", ItemsSchema());
+  EXPECT_TRUE(table->Insert({Value::Int(1)}).IsInvalidArgument());
+}
+
+TEST(TableTest, InsertValidatesTypes) {
+  auto table = std::make_shared<Table>("t", ItemsSchema());
+  Status st = table->Insert(
+      {Value::String("no"), Value::Double(1), Value::String("x")});
+  EXPECT_TRUE(st.IsInvalidArgument());
+}
+
+TEST(TableTest, InsertAppliesImplicitCasts) {
+  auto table = std::make_shared<Table>("t", ItemsSchema());
+  // price column is DOUBLE; insert an INT64.
+  ASSERT_TRUE(
+      table->Insert({Value::Int(1), Value::Int(3), Value::String("x")}).ok());
+  EXPECT_EQ(table->rows()[0][1].type(), TypeId::kDouble);
+}
+
+TEST(TableTest, NonNullableEnforced) {
+  auto table = std::make_shared<Table>("t", ItemsSchema());
+  Status st =
+      table->Insert({Value::Null(), Value::Double(1), Value::String("x")});
+  EXPECT_TRUE(st.IsInvalidArgument());
+}
+
+TEST(TableTest, NullsTakeColumnType) {
+  auto table = std::make_shared<Table>("t", ItemsSchema());
+  ASSERT_TRUE(table->Insert({Value::Int(1), Value::Null(), Value::Null()}).ok());
+  EXPECT_EQ(table->rows()[0][1].type(), TypeId::kDouble);
+  EXPECT_TRUE(table->rows()[0][1].is_null());
+}
+
+TEST(TableTest, DeleteByPredicate) {
+  auto table = MakeItems(100);
+  Schema schema = *table->schema();
+  Binder binder(schema);
+  auto ast = sql::ParseScalarExpr("id < 40");
+  ExprPtr pred = *binder.BindScalar(**ast);
+  EXPECT_EQ(*table->Delete(*pred), 40);
+  EXPECT_EQ(table->num_rows(), 60);
+}
+
+TEST(HashIndexTest, LookupAfterBuild) {
+  auto table = MakeItems(100);
+  ASSERT_TRUE(table->CreateHashIndex(2).ok());  // name column, 10 distinct
+  HashIndex* idx = table->GetHashIndex(2);
+  ASSERT_NE(idx, nullptr);
+  const auto& hits = idx->Lookup(Value::String("item3"));
+  EXPECT_EQ(hits.size(), 10u);
+  for (size_t rid : hits) {
+    EXPECT_EQ(table->rows()[rid][2].AsString(), "item3");
+  }
+  EXPECT_TRUE(idx->Lookup(Value::String("nope")).empty());
+  EXPECT_TRUE(idx->Lookup(Value::Null()).empty());
+}
+
+TEST(HashIndexTest, RebuildsAfterWrite) {
+  auto table = MakeItems(10);
+  ASSERT_TRUE(table->CreateHashIndex(0).ok());
+  EXPECT_EQ(table->GetHashIndex(0)->Lookup(Value::Int(5)).size(), 1u);
+  ASSERT_TRUE(
+      table->Insert({Value::Int(5), Value::Double(0), Value::String("dup")})
+          .ok());
+  EXPECT_EQ(table->GetHashIndex(0)->Lookup(Value::Int(5)).size(), 2u);
+}
+
+TEST(HashIndexTest, DuplicateCreationRejected) {
+  auto table = MakeItems(1);
+  ASSERT_TRUE(table->CreateHashIndex(0).ok());
+  EXPECT_TRUE(table->CreateHashIndex(0).IsAlreadyExists());
+  EXPECT_TRUE(table->CreateHashIndex(99).IsInvalidArgument());
+  EXPECT_EQ(table->GetHashIndex(1), nullptr);
+}
+
+TEST(OrderedIndexTest, RangeLookups) {
+  auto table = MakeItems(100);
+  ASSERT_TRUE(table->CreateOrderedIndex(0).ok());
+  OrderedIndex* idx = table->GetOrderedIndex(0);
+  ASSERT_NE(idx, nullptr);
+  // 10 <= id <= 19
+  auto rids = idx->Range(Value::Int(10), true, Value::Int(19), true);
+  EXPECT_EQ(rids.size(), 10u);
+  // 10 < id < 19
+  rids = idx->Range(Value::Int(10), false, Value::Int(19), false);
+  EXPECT_EQ(rids.size(), 8u);
+  // unbounded low
+  rids = idx->Range(Value::Null(), true, Value::Int(4), true);
+  EXPECT_EQ(rids.size(), 5u);
+  // unbounded high
+  rids = idx->Range(Value::Int(95), true, Value::Null(), true);
+  EXPECT_EQ(rids.size(), 5u);
+}
+
+TEST(StatsTest, ExactStatistics) {
+  auto table = MakeItems(100);
+  const TableStats& stats = table->Stats();
+  EXPECT_EQ(stats.row_count, 100);
+  ASSERT_EQ(stats.columns.size(), 3u);
+  EXPECT_EQ(stats.columns[0].min.AsInt(), 0);
+  EXPECT_EQ(stats.columns[0].max.AsInt(), 99);
+  EXPECT_EQ(stats.columns[0].distinct_count, 100);
+  EXPECT_EQ(stats.columns[2].distinct_count, 10);
+  EXPECT_EQ(stats.columns[0].null_count, 0);
+}
+
+TEST(StatsTest, NullCounting) {
+  auto table = std::make_shared<Table>("t", ItemsSchema());
+  ASSERT_TRUE(table->Insert({Value::Int(1), Value::Null(), Value::Null()}).ok());
+  ASSERT_TRUE(
+      table->Insert({Value::Int(2), Value::Double(5), Value::Null()}).ok());
+  const TableStats& stats = table->Stats();
+  EXPECT_EQ(stats.columns[1].null_count, 1);
+  EXPECT_EQ(stats.columns[2].null_count, 2);
+  EXPECT_TRUE(stats.columns[2].min.is_null());
+}
+
+TEST(StatsTest, CachedUntilWrite) {
+  auto table = MakeItems(5);
+  EXPECT_EQ(table->Stats().row_count, 5);
+  ASSERT_TRUE(
+      table->Insert({Value::Int(6), Value::Double(0), Value::String("x")})
+          .ok());
+  EXPECT_EQ(table->Stats().row_count, 6);
+}
+
+TEST(StatsTest, SelectivityEstimates) {
+  auto table = MakeItems(100);
+  const TableStats& stats = table->Stats();
+  EXPECT_NEAR(stats.EqSelectivity(0), 0.01, 1e-9);
+  EXPECT_NEAR(stats.EqSelectivity(2), 0.1, 1e-9);
+  // id < 50 over [0,99] ≈ 0.505
+  double sel = stats.RangeSelectivity(0, Value::Int(50), true, false);
+  EXPECT_GT(sel, 0.4);
+  EXPECT_LT(sel, 0.6);
+  // id > 90 ≈ 0.09
+  sel = stats.RangeSelectivity(0, Value::Int(90), false, false);
+  EXPECT_LT(sel, 0.2);
+}
+
+TEST(StorageEngineTest, CreateGetDrop) {
+  StorageEngine engine;
+  ASSERT_TRUE(engine.CreateTable("orders", ItemsSchema()).ok());
+  EXPECT_TRUE(engine.CreateTable("orders", ItemsSchema())
+                  .status()
+                  .IsAlreadyExists());
+  EXPECT_TRUE(engine.GetTable("ORDERS").ok());  // case-insensitive
+  EXPECT_TRUE(engine.GetTable("nope").status().IsNotFound());
+  ASSERT_TRUE(engine.CreateTable("b", ItemsSchema()).ok());
+  auto names = engine.TableNames();
+  ASSERT_EQ(names.size(), 2u);
+  EXPECT_EQ(names[0], "b");
+  EXPECT_TRUE(engine.DropTable("orders").ok());
+  EXPECT_TRUE(engine.DropTable("orders").IsNotFound());
+}
+
+}  // namespace
+}  // namespace gisql

@@ -1,0 +1,206 @@
+/// Unit tests for src/types: DataType rules, Value semantics, Schema
+/// resolution, RowBatch utilities.
+
+#include <gtest/gtest.h>
+
+#include "types/data_type.h"
+#include "types/row.h"
+#include "types/schema.h"
+#include "types/value.h"
+
+namespace gisql {
+namespace {
+
+TEST(DataTypeTest, Names) {
+  EXPECT_STREQ(TypeName(TypeId::kInt64), "BIGINT");
+  EXPECT_STREQ(TypeName(TypeId::kString), "VARCHAR");
+}
+
+TEST(DataTypeTest, ImplicitCastRules) {
+  EXPECT_TRUE(IsImplicitlyCastable(TypeId::kInt64, TypeId::kDouble));
+  EXPECT_TRUE(IsImplicitlyCastable(TypeId::kNull, TypeId::kString));
+  EXPECT_FALSE(IsImplicitlyCastable(TypeId::kDouble, TypeId::kInt64));
+  EXPECT_FALSE(IsImplicitlyCastable(TypeId::kString, TypeId::kInt64));
+  EXPECT_TRUE(IsImplicitlyCastable(TypeId::kDate, TypeId::kInt64));
+}
+
+TEST(DataTypeTest, CommonTypePromotion) {
+  EXPECT_EQ(*CommonType(TypeId::kInt64, TypeId::kDouble), TypeId::kDouble);
+  EXPECT_EQ(*CommonType(TypeId::kNull, TypeId::kString), TypeId::kString);
+  EXPECT_EQ(*CommonType(TypeId::kBool, TypeId::kBool), TypeId::kBool);
+  EXPECT_FALSE(CommonType(TypeId::kString, TypeId::kInt64).ok());
+}
+
+TEST(DataTypeTest, ParseTypeNames) {
+  EXPECT_EQ(*ParseTypeName("BIGINT"), TypeId::kInt64);
+  EXPECT_EQ(*ParseTypeName("int"), TypeId::kInt64);
+  EXPECT_EQ(*ParseTypeName("Varchar"), TypeId::kString);
+  EXPECT_EQ(*ParseTypeName("double"), TypeId::kDouble);
+  EXPECT_EQ(*ParseTypeName("date"), TypeId::kDate);
+  EXPECT_EQ(*ParseTypeName("boolean"), TypeId::kBool);
+  EXPECT_FALSE(ParseTypeName("blob").ok());
+}
+
+TEST(ValueTest, NullBehavior) {
+  Value v;
+  EXPECT_TRUE(v.is_null());
+  Value typed_null = Value::Null(TypeId::kInt64);
+  EXPECT_TRUE(typed_null.is_null());
+  EXPECT_EQ(typed_null.type(), TypeId::kInt64);
+  EXPECT_EQ(typed_null.ToString(), "NULL");
+}
+
+TEST(ValueTest, FactoriesAndAccessors) {
+  EXPECT_EQ(Value::Int(42).AsInt(), 42);
+  EXPECT_DOUBLE_EQ(Value::Double(2.5).AsDouble(), 2.5);
+  EXPECT_EQ(Value::String("hi").AsString(), "hi");
+  EXPECT_TRUE(Value::Bool(true).AsBool());
+  EXPECT_EQ(Value::Date(19000).type(), TypeId::kDate);
+}
+
+TEST(ValueTest, CompareSameType) {
+  EXPECT_LT(Value::Int(1).Compare(Value::Int(2)), 0);
+  EXPECT_EQ(Value::Int(5).Compare(Value::Int(5)), 0);
+  EXPECT_GT(Value::String("b").Compare(Value::String("a")), 0);
+  EXPECT_LT(Value::Bool(false).Compare(Value::Bool(true)), 0);
+}
+
+TEST(ValueTest, CompareCrossNumeric) {
+  EXPECT_EQ(Value::Int(3).Compare(Value::Double(3.0)), 0);
+  EXPECT_LT(Value::Int(3).Compare(Value::Double(3.5)), 0);
+  EXPECT_EQ(Value::Date(100).Compare(Value::Int(100)), 0);
+}
+
+TEST(ValueTest, NullsSortFirst) {
+  EXPECT_LT(Value::Null().Compare(Value::Int(-999)), 0);
+  EXPECT_EQ(Value::Null().Compare(Value::Null(TypeId::kString)), 0);
+}
+
+TEST(ValueTest, HashConsistentWithEquality) {
+  EXPECT_EQ(Value::Int(7).Hash(), Value::Int(7).Hash());
+  // Cross-representation equality must hash identically.
+  EXPECT_EQ(Value::Int(7).Hash(), Value::Double(7.0).Hash());
+  EXPECT_EQ(Value::String("k").Hash(), Value::String("k").Hash());
+  EXPECT_NE(Value::Int(7).Hash(), Value::Int(8).Hash());
+}
+
+TEST(ValueTest, CastNumericConversions) {
+  EXPECT_EQ(Value::Double(3.9).CastTo(TypeId::kInt64)->AsInt(), 3);
+  EXPECT_DOUBLE_EQ(Value::Int(4).CastTo(TypeId::kDouble)->AsDouble(), 4.0);
+  EXPECT_EQ(Value::Int(1).CastTo(TypeId::kBool)->AsBool(), true);
+  EXPECT_EQ(Value::Int(19000).CastTo(TypeId::kDate)->type(), TypeId::kDate);
+}
+
+TEST(ValueTest, CastStringConversions) {
+  EXPECT_EQ(Value::String("123").CastTo(TypeId::kInt64)->AsInt(), 123);
+  EXPECT_DOUBLE_EQ(Value::String("1.5").CastTo(TypeId::kDouble)->AsDouble(),
+                   1.5);
+  EXPECT_EQ(Value::Int(9).CastTo(TypeId::kString)->AsString(), "9");
+  EXPECT_FALSE(Value::String("12x").CastTo(TypeId::kInt64).ok());
+  EXPECT_FALSE(Value::String("").CastTo(TypeId::kDouble).ok());
+}
+
+TEST(ValueTest, CastNullPreservesTargetType) {
+  auto v = Value::Null().CastTo(TypeId::kDouble);
+  ASSERT_TRUE(v.ok());
+  EXPECT_TRUE(v->is_null());
+  EXPECT_EQ(v->type(), TypeId::kDouble);
+}
+
+TEST(ValueTest, ToStringRendering) {
+  EXPECT_EQ(Value::Int(-3).ToString(), "-3");
+  EXPECT_EQ(Value::String("x").ToString(), "'x'");
+  EXPECT_EQ(Value::Bool(false).ToString(), "false");
+}
+
+TEST(ValueTest, WireSizeTracksContent) {
+  EXPECT_GT(Value::String("a long string here").WireSize(),
+            Value::String("a").WireSize());
+  EXPECT_EQ(Value::Null().WireSize(), 2);
+}
+
+TEST(SchemaTest, ResolveUnqualified) {
+  Schema s({{"id", TypeId::kInt64, false, "t"},
+            {"name", TypeId::kString, true, "t"}});
+  EXPECT_EQ(*s.ResolveColumn("", "name"), 1u);
+  EXPECT_EQ(*s.ResolveColumn("t", "id"), 0u);
+  EXPECT_TRUE(s.ResolveColumn("", "missing").status().IsBindError());
+  EXPECT_TRUE(s.ResolveColumn("u", "id").status().IsBindError());
+}
+
+TEST(SchemaTest, ResolveCaseInsensitive) {
+  Schema s({{"Id", TypeId::kInt64, false, "T"}});
+  EXPECT_EQ(*s.ResolveColumn("t", "ID"), 0u);
+}
+
+TEST(SchemaTest, AmbiguityDetected) {
+  Schema s({{"id", TypeId::kInt64, false, "a"},
+            {"id", TypeId::kInt64, false, "b"}});
+  EXPECT_TRUE(s.ResolveColumn("", "id").status().IsBindError());
+  EXPECT_EQ(*s.ResolveColumn("b", "id"), 1u);
+}
+
+TEST(SchemaTest, ConcatAndQualify) {
+  Schema a({{"x", TypeId::kInt64}});
+  Schema b({{"y", TypeId::kString}});
+  Schema ab = a.Concat(b);
+  EXPECT_EQ(ab.num_fields(), 2u);
+  Schema q = ab.WithQualifier("j");
+  EXPECT_EQ(q.field(0).qualifier, "j");
+  EXPECT_EQ(q.field(1).QualifiedName(), "j.y");
+}
+
+TEST(SchemaTest, SelectProjection) {
+  Schema s({{"a", TypeId::kInt64}, {"b", TypeId::kString},
+            {"c", TypeId::kDouble}});
+  Schema p = s.Select({2, 0});
+  ASSERT_EQ(p.num_fields(), 2u);
+  EXPECT_EQ(p.field(0).name, "c");
+  EXPECT_EQ(p.field(1).name, "a");
+}
+
+TEST(SchemaTest, UnionCompatibility) {
+  Schema a({{"x", TypeId::kInt64}, {"y", TypeId::kString}});
+  Schema b({{"p", TypeId::kInt64}, {"q", TypeId::kString}});
+  Schema c({{"p", TypeId::kString}, {"q", TypeId::kString}});
+  Schema d({{"x", TypeId::kInt64}});
+  EXPECT_TRUE(a.UnionCompatible(b));
+  EXPECT_FALSE(a.UnionCompatible(c));
+  EXPECT_FALSE(a.UnionCompatible(d));
+}
+
+TEST(RowTest, HashAndCompareKeys) {
+  Row r1 = {Value::Int(1), Value::String("a")};
+  Row r2 = {Value::Int(1), Value::String("b")};
+  std::vector<size_t> k0 = {0};
+  std::vector<size_t> k01 = {0, 1};
+  EXPECT_EQ(HashRowKeys(r1, k0), HashRowKeys(r2, k0));
+  EXPECT_NE(HashRowKeys(r1, k01), HashRowKeys(r2, k01));
+  EXPECT_EQ(CompareRowKeys(r1, r2, k0), 0);
+  EXPECT_LT(CompareRowKeys(r1, r2, k01), 0);
+}
+
+TEST(RowBatchTest, BasicOps) {
+  auto schema = std::make_shared<Schema>(
+      std::vector<Field>{{"id", TypeId::kInt64}, {"s", TypeId::kString}});
+  RowBatch batch(schema);
+  batch.Append({Value::Int(1), Value::String("one")});
+  batch.Append({Value::Int(2), Value::String("two")});
+  EXPECT_EQ(batch.num_rows(), 2u);
+  EXPECT_GT(batch.WireSize(), 0);
+  std::string rendered = batch.ToString();
+  EXPECT_NE(rendered.find("'one'"), std::string::npos);
+  EXPECT_NE(rendered.find("2 row(s)"), std::string::npos);
+}
+
+TEST(RowBatchTest, ToStringTruncates) {
+  auto schema = std::make_shared<Schema>(
+      std::vector<Field>{{"id", TypeId::kInt64}});
+  RowBatch batch(schema);
+  for (int i = 0; i < 30; ++i) batch.Append({Value::Int(i)});
+  std::string rendered = batch.ToString(5);
+  EXPECT_NE(rendered.find("... 25 more rows"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace gisql
