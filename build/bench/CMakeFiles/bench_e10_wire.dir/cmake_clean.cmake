@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e10_wire.dir/bench_e10_wire.cc.o"
+  "CMakeFiles/bench_e10_wire.dir/bench_e10_wire.cc.o.d"
+  "bench_e10_wire"
+  "bench_e10_wire.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e10_wire.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

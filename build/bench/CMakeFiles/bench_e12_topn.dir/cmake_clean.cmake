@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e12_topn.dir/bench_e12_topn.cc.o"
+  "CMakeFiles/bench_e12_topn.dir/bench_e12_topn.cc.o.d"
+  "bench_e12_topn"
+  "bench_e12_topn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e12_topn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e14_cache.dir/bench_e14_cache.cc.o"
+  "CMakeFiles/bench_e14_cache.dir/bench_e14_cache.cc.o.d"
+  "bench_e14_cache"
+  "bench_e14_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e14_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

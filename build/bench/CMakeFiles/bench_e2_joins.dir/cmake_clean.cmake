@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e2_joins.dir/bench_e2_joins.cc.o"
+  "CMakeFiles/bench_e2_joins.dir/bench_e2_joins.cc.o.d"
+  "bench_e2_joins"
+  "bench_e2_joins.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e2_joins.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e3_scaleout.dir/bench_e3_scaleout.cc.o"
+  "CMakeFiles/bench_e3_scaleout.dir/bench_e3_scaleout.cc.o.d"
+  "bench_e3_scaleout"
+  "bench_e3_scaleout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e3_scaleout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

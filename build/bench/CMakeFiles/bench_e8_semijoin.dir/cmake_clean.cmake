@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e8_semijoin.dir/bench_e8_semijoin.cc.o"
+  "CMakeFiles/bench_e8_semijoin.dir/bench_e8_semijoin.cc.o.d"
+  "bench_e8_semijoin"
+  "bench_e8_semijoin.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e8_semijoin.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e9_storage.dir/bench_e9_storage.cc.o"
+  "CMakeFiles/bench_e9_storage.dir/bench_e9_storage.cc.o.d"
+  "bench_e9_storage"
+  "bench_e9_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e9_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

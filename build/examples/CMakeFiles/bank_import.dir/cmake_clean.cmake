@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bank_import.dir/bank_import.cpp.o"
+  "CMakeFiles/bank_import.dir/bank_import.cpp.o.d"
+  "bank_import"
+  "bank_import.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bank_import.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/federation_shell.dir/federation_shell.cpp.o"
+  "CMakeFiles/federation_shell.dir/federation_shell.cpp.o.d"
+  "federation_shell"
+  "federation_shell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/federation_shell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/retail_federation.dir/retail_federation.cpp.o"
+  "CMakeFiles/retail_federation.dir/retail_federation.cpp.o.d"
+  "retail_federation"
+  "retail_federation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/retail_federation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,55 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/catalog/catalog.cc" "src/CMakeFiles/gisql.dir/catalog/catalog.cc.o" "gcc" "src/CMakeFiles/gisql.dir/catalog/catalog.cc.o.d"
+  "/root/repo/src/common/logging.cc" "src/CMakeFiles/gisql.dir/common/logging.cc.o" "gcc" "src/CMakeFiles/gisql.dir/common/logging.cc.o.d"
+  "/root/repo/src/common/rng.cc" "src/CMakeFiles/gisql.dir/common/rng.cc.o" "gcc" "src/CMakeFiles/gisql.dir/common/rng.cc.o.d"
+  "/root/repo/src/common/status.cc" "src/CMakeFiles/gisql.dir/common/status.cc.o" "gcc" "src/CMakeFiles/gisql.dir/common/status.cc.o.d"
+  "/root/repo/src/common/string_util.cc" "src/CMakeFiles/gisql.dir/common/string_util.cc.o" "gcc" "src/CMakeFiles/gisql.dir/common/string_util.cc.o.d"
+  "/root/repo/src/core/global_system.cc" "src/CMakeFiles/gisql.dir/core/global_system.cc.o" "gcc" "src/CMakeFiles/gisql.dir/core/global_system.cc.o.d"
+  "/root/repo/src/core/query_cache.cc" "src/CMakeFiles/gisql.dir/core/query_cache.cc.o" "gcc" "src/CMakeFiles/gisql.dir/core/query_cache.cc.o.d"
+  "/root/repo/src/exec/aggregate.cc" "src/CMakeFiles/gisql.dir/exec/aggregate.cc.o" "gcc" "src/CMakeFiles/gisql.dir/exec/aggregate.cc.o.d"
+  "/root/repo/src/exec/executor.cc" "src/CMakeFiles/gisql.dir/exec/executor.cc.o" "gcc" "src/CMakeFiles/gisql.dir/exec/executor.cc.o.d"
+  "/root/repo/src/exec/hash_aggregate.cc" "src/CMakeFiles/gisql.dir/exec/hash_aggregate.cc.o" "gcc" "src/CMakeFiles/gisql.dir/exec/hash_aggregate.cc.o.d"
+  "/root/repo/src/expr/binder.cc" "src/CMakeFiles/gisql.dir/expr/binder.cc.o" "gcc" "src/CMakeFiles/gisql.dir/expr/binder.cc.o.d"
+  "/root/repo/src/expr/eval.cc" "src/CMakeFiles/gisql.dir/expr/eval.cc.o" "gcc" "src/CMakeFiles/gisql.dir/expr/eval.cc.o.d"
+  "/root/repo/src/expr/expr.cc" "src/CMakeFiles/gisql.dir/expr/expr.cc.o" "gcc" "src/CMakeFiles/gisql.dir/expr/expr.cc.o.d"
+  "/root/repo/src/net/sim_network.cc" "src/CMakeFiles/gisql.dir/net/sim_network.cc.o" "gcc" "src/CMakeFiles/gisql.dir/net/sim_network.cc.o.d"
+  "/root/repo/src/planner/cost_model.cc" "src/CMakeFiles/gisql.dir/planner/cost_model.cc.o" "gcc" "src/CMakeFiles/gisql.dir/planner/cost_model.cc.o.d"
+  "/root/repo/src/planner/decomposer.cc" "src/CMakeFiles/gisql.dir/planner/decomposer.cc.o" "gcc" "src/CMakeFiles/gisql.dir/planner/decomposer.cc.o.d"
+  "/root/repo/src/planner/logical_planner.cc" "src/CMakeFiles/gisql.dir/planner/logical_planner.cc.o" "gcc" "src/CMakeFiles/gisql.dir/planner/logical_planner.cc.o.d"
+  "/root/repo/src/planner/optimizer.cc" "src/CMakeFiles/gisql.dir/planner/optimizer.cc.o" "gcc" "src/CMakeFiles/gisql.dir/planner/optimizer.cc.o.d"
+  "/root/repo/src/planner/plan.cc" "src/CMakeFiles/gisql.dir/planner/plan.cc.o" "gcc" "src/CMakeFiles/gisql.dir/planner/plan.cc.o.d"
+  "/root/repo/src/source/capabilities.cc" "src/CMakeFiles/gisql.dir/source/capabilities.cc.o" "gcc" "src/CMakeFiles/gisql.dir/source/capabilities.cc.o.d"
+  "/root/repo/src/source/component_source.cc" "src/CMakeFiles/gisql.dir/source/component_source.cc.o" "gcc" "src/CMakeFiles/gisql.dir/source/component_source.cc.o.d"
+  "/root/repo/src/source/fragment.cc" "src/CMakeFiles/gisql.dir/source/fragment.cc.o" "gcc" "src/CMakeFiles/gisql.dir/source/fragment.cc.o.d"
+  "/root/repo/src/sql/ast.cc" "src/CMakeFiles/gisql.dir/sql/ast.cc.o" "gcc" "src/CMakeFiles/gisql.dir/sql/ast.cc.o.d"
+  "/root/repo/src/sql/lexer.cc" "src/CMakeFiles/gisql.dir/sql/lexer.cc.o" "gcc" "src/CMakeFiles/gisql.dir/sql/lexer.cc.o.d"
+  "/root/repo/src/sql/parser.cc" "src/CMakeFiles/gisql.dir/sql/parser.cc.o" "gcc" "src/CMakeFiles/gisql.dir/sql/parser.cc.o.d"
+  "/root/repo/src/storage/btree.cc" "src/CMakeFiles/gisql.dir/storage/btree.cc.o" "gcc" "src/CMakeFiles/gisql.dir/storage/btree.cc.o.d"
+  "/root/repo/src/storage/statistics.cc" "src/CMakeFiles/gisql.dir/storage/statistics.cc.o" "gcc" "src/CMakeFiles/gisql.dir/storage/statistics.cc.o.d"
+  "/root/repo/src/storage/table.cc" "src/CMakeFiles/gisql.dir/storage/table.cc.o" "gcc" "src/CMakeFiles/gisql.dir/storage/table.cc.o.d"
+  "/root/repo/src/types/data_type.cc" "src/CMakeFiles/gisql.dir/types/data_type.cc.o" "gcc" "src/CMakeFiles/gisql.dir/types/data_type.cc.o.d"
+  "/root/repo/src/types/datetime.cc" "src/CMakeFiles/gisql.dir/types/datetime.cc.o" "gcc" "src/CMakeFiles/gisql.dir/types/datetime.cc.o.d"
+  "/root/repo/src/types/row.cc" "src/CMakeFiles/gisql.dir/types/row.cc.o" "gcc" "src/CMakeFiles/gisql.dir/types/row.cc.o.d"
+  "/root/repo/src/types/schema.cc" "src/CMakeFiles/gisql.dir/types/schema.cc.o" "gcc" "src/CMakeFiles/gisql.dir/types/schema.cc.o.d"
+  "/root/repo/src/types/value.cc" "src/CMakeFiles/gisql.dir/types/value.cc.o" "gcc" "src/CMakeFiles/gisql.dir/types/value.cc.o.d"
+  "/root/repo/src/wire/protocol.cc" "src/CMakeFiles/gisql.dir/wire/protocol.cc.o" "gcc" "src/CMakeFiles/gisql.dir/wire/protocol.cc.o.d"
+  "/root/repo/src/wire/serde.cc" "src/CMakeFiles/gisql.dir/wire/serde.cc.o" "gcc" "src/CMakeFiles/gisql.dir/wire/serde.cc.o.d"
+  "/root/repo/src/workload/csv.cc" "src/CMakeFiles/gisql.dir/workload/csv.cc.o" "gcc" "src/CMakeFiles/gisql.dir/workload/csv.cc.o.d"
+  "/root/repo/src/workload/generator.cc" "src/CMakeFiles/gisql.dir/workload/generator.cc.o" "gcc" "src/CMakeFiles/gisql.dir/workload/generator.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sql2_test.dir/sql2_test.cc.o"
+  "CMakeFiles/sql2_test.dir/sql2_test.cc.o.d"
+  "sql2_test"
+  "sql2_test.pdb"
+  "sql2_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sql2_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
