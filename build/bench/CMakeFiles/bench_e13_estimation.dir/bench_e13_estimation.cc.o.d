@@ -222,6 +222,9 @@ bench/CMakeFiles/bench_e13_estimation.dir/bench_e13_estimation.cc.o: \
  /root/repo/src/types/row.h /root/repo/src/types/schema.h \
  /root/repo/src/types/data_type.h /root/repo/src/types/value.h \
  /usr/include/c++/12/variant /usr/include/c++/12/bits/parse_numbers.h \
+ /root/repo/src/common/retry_policy.h /root/repo/src/common/hash.h \
+ /usr/include/c++/12/array /usr/include/c++/12/cstring \
+ /usr/include/string.h /usr/include/strings.h \
  /root/repo/src/core/query_cache.h /usr/include/c++/12/list \
  /usr/include/c++/12/bits/stl_list.h /usr/include/c++/12/bits/list.tcc \
  /usr/include/c++/12/set /usr/include/c++/12/bits/stl_set.h \
@@ -233,8 +236,8 @@ bench/CMakeFiles/bench_e13_estimation.dir/bench_e13_estimation.cc.o: \
  /usr/include/c++/12/mutex /usr/include/c++/12/bits/chrono.h \
  /usr/include/c++/12/ratio /usr/include/c++/12/limits \
  /usr/include/c++/12/ctime /usr/include/c++/12/bits/unique_lock.h \
- /root/repo/src/planner/plan.h /usr/include/c++/12/functional \
- /usr/include/c++/12/bits/std_function.h /usr/include/c++/12/array \
+ /root/repo/src/net/fault_schedule.h /root/repo/src/planner/plan.h \
+ /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
  /root/repo/src/expr/binder.h /root/repo/src/expr/expr.h \
  /root/repo/src/sql/ast.h /root/repo/src/source/fragment.h \
  /root/repo/src/planner/options.h \

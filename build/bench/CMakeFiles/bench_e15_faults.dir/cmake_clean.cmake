@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e15_faults.dir/bench_e15_faults.cc.o"
+  "CMakeFiles/bench_e15_faults.dir/bench_e15_faults.cc.o.d"
+  "bench_e15_faults"
+  "bench_e15_faults.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e15_faults.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

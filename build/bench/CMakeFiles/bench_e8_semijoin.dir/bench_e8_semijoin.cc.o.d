@@ -215,6 +215,16 @@ bench/CMakeFiles/bench_e8_semijoin.dir/bench_e8_semijoin.cc.o: \
  /root/repo/src/types/row.h /root/repo/src/types/schema.h \
  /root/repo/src/types/data_type.h /root/repo/src/types/value.h \
  /usr/include/c++/12/variant /usr/include/c++/12/bits/parse_numbers.h \
+ /root/repo/src/common/retry_policy.h /usr/include/c++/12/algorithm \
+ /usr/include/c++/12/bits/stl_algo.h \
+ /usr/include/c++/12/bits/algorithmfwd.h \
+ /usr/include/c++/12/bits/stl_heap.h \
+ /usr/include/c++/12/bits/uniform_int_dist.h \
+ /usr/include/c++/12/bits/ranges_algo.h \
+ /usr/include/c++/12/bits/ranges_util.h \
+ /usr/include/c++/12/pstl/glue_algorithm_defs.h \
+ /root/repo/src/common/hash.h /usr/include/c++/12/array \
+ /usr/include/c++/12/cstring /usr/include/string.h /usr/include/strings.h \
  /root/repo/src/core/query_cache.h /usr/include/c++/12/list \
  /usr/include/c++/12/bits/stl_list.h /usr/include/c++/12/bits/list.tcc \
  /usr/include/c++/12/set /usr/include/c++/12/bits/stl_set.h \
@@ -226,13 +236,10 @@ bench/CMakeFiles/bench_e8_semijoin.dir/bench_e8_semijoin.cc.o: \
  /usr/include/c++/12/mutex /usr/include/c++/12/bits/chrono.h \
  /usr/include/c++/12/ratio /usr/include/c++/12/limits \
  /usr/include/c++/12/ctime /usr/include/c++/12/bits/unique_lock.h \
- /root/repo/src/planner/plan.h /usr/include/c++/12/functional \
- /usr/include/c++/12/bits/std_function.h /usr/include/c++/12/array \
- /usr/include/c++/12/bits/stl_algo.h \
- /usr/include/c++/12/bits/algorithmfwd.h \
- /usr/include/c++/12/bits/stl_heap.h \
- /usr/include/c++/12/bits/uniform_int_dist.h /root/repo/src/expr/binder.h \
- /root/repo/src/expr/expr.h /root/repo/src/sql/ast.h \
- /root/repo/src/source/fragment.h /root/repo/src/planner/options.h \
+ /root/repo/src/net/fault_schedule.h /root/repo/src/planner/plan.h \
+ /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
+ /root/repo/src/expr/binder.h /root/repo/src/expr/expr.h \
+ /root/repo/src/sql/ast.h /root/repo/src/source/fragment.h \
+ /root/repo/src/planner/options.h \
  /root/repo/src/source/component_source.h /root/repo/src/storage/table.h \
  /root/repo/src/storage/btree.h

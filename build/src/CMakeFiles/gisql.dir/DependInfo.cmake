@@ -21,6 +21,8 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/expr/binder.cc" "src/CMakeFiles/gisql.dir/expr/binder.cc.o" "gcc" "src/CMakeFiles/gisql.dir/expr/binder.cc.o.d"
   "/root/repo/src/expr/eval.cc" "src/CMakeFiles/gisql.dir/expr/eval.cc.o" "gcc" "src/CMakeFiles/gisql.dir/expr/eval.cc.o.d"
   "/root/repo/src/expr/expr.cc" "src/CMakeFiles/gisql.dir/expr/expr.cc.o" "gcc" "src/CMakeFiles/gisql.dir/expr/expr.cc.o.d"
+  "/root/repo/src/net/fault_schedule.cc" "src/CMakeFiles/gisql.dir/net/fault_schedule.cc.o" "gcc" "src/CMakeFiles/gisql.dir/net/fault_schedule.cc.o.d"
+  "/root/repo/src/net/retry.cc" "src/CMakeFiles/gisql.dir/net/retry.cc.o" "gcc" "src/CMakeFiles/gisql.dir/net/retry.cc.o.d"
   "/root/repo/src/net/sim_network.cc" "src/CMakeFiles/gisql.dir/net/sim_network.cc.o" "gcc" "src/CMakeFiles/gisql.dir/net/sim_network.cc.o.d"
   "/root/repo/src/planner/cost_model.cc" "src/CMakeFiles/gisql.dir/planner/cost_model.cc.o" "gcc" "src/CMakeFiles/gisql.dir/planner/cost_model.cc.o.d"
   "/root/repo/src/planner/decomposer.cc" "src/CMakeFiles/gisql.dir/planner/decomposer.cc.o" "gcc" "src/CMakeFiles/gisql.dir/planner/decomposer.cc.o.d"

@@ -216,5 +216,5 @@ src/CMakeFiles/gisql.dir/exec/hash_aggregate.cc.o: \
  /usr/include/c++/12/bits/parse_numbers.h /root/repo/src/sql/ast.h \
  /usr/include/c++/12/unordered_map \
  /usr/include/c++/12/bits/unordered_map.h /root/repo/src/common/hash.h \
- /usr/include/c++/12/cstring /usr/include/string.h /usr/include/strings.h \
- /root/repo/src/expr/eval.h
+ /usr/include/c++/12/array /usr/include/c++/12/cstring \
+ /usr/include/string.h /usr/include/strings.h /root/repo/src/expr/eval.h

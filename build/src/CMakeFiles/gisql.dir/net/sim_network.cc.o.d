@@ -215,11 +215,17 @@ src/CMakeFiles/gisql.dir/net/sim_network.cc.o: \
  /usr/include/c++/12/bits/stl_relops.h /root/repo/src/common/status.h \
  /usr/include/c++/12/sstream /usr/include/c++/12/istream \
  /usr/include/c++/12/bits/istream.tcc \
- /usr/include/c++/12/bits/sstream.tcc /usr/include/c++/12/algorithm \
- /usr/include/c++/12/bits/stl_algo.h \
+ /usr/include/c++/12/bits/sstream.tcc /root/repo/src/net/fault_schedule.h \
+ /usr/include/c++/12/algorithm /usr/include/c++/12/bits/stl_algo.h \
  /usr/include/c++/12/bits/algorithmfwd.h \
  /usr/include/c++/12/bits/stl_heap.h \
  /usr/include/c++/12/bits/uniform_int_dist.h \
  /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \
- /usr/include/c++/12/pstl/glue_algorithm_defs.h
+ /usr/include/c++/12/pstl/glue_algorithm_defs.h \
+ /root/repo/src/common/hash.h /usr/include/c++/12/array \
+ /usr/include/c++/12/cstring /usr/include/string.h /usr/include/strings.h \
+ /root/repo/src/wire/protocol.h /root/repo/src/common/bytes.h \
+ /root/repo/src/storage/statistics.h /root/repo/src/types/row.h \
+ /root/repo/src/types/schema.h /root/repo/src/types/data_type.h \
+ /root/repo/src/types/value.h /usr/include/c++/12/variant

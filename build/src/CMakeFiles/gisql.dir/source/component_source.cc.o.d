@@ -202,7 +202,9 @@ src/CMakeFiles/gisql.dir/source/component_source.cc.o: \
  /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
  /usr/include/c++/12/limits /usr/include/c++/12/ctime \
  /usr/include/c++/12/bits/parse_numbers.h \
- /usr/include/c++/12/bits/unique_lock.h /usr/include/c++/12/vector \
+ /usr/include/c++/12/bits/unique_lock.h /usr/include/c++/12/set \
+ /usr/include/c++/12/bits/stl_set.h \
+ /usr/include/c++/12/bits/stl_multiset.h /usr/include/c++/12/vector \
  /usr/include/c++/12/bits/stl_vector.h \
  /usr/include/c++/12/bits/stl_bvector.h \
  /usr/include/c++/12/bits/vector.tcc /root/repo/src/net/sim_network.h \
@@ -215,7 +217,7 @@ src/CMakeFiles/gisql.dir/source/component_source.cc.o: \
  /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
  /root/repo/src/common/status.h /usr/include/c++/12/sstream \
  /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \
- /usr/include/c++/12/bits/sstream.tcc \
+ /usr/include/c++/12/bits/sstream.tcc /root/repo/src/net/fault_schedule.h \
  /root/repo/src/source/capabilities.h /root/repo/src/source/fragment.h \
  /root/repo/src/expr/binder.h /root/repo/src/expr/expr.h \
  /root/repo/src/types/row.h /root/repo/src/types/schema.h \
@@ -235,7 +237,8 @@ src/CMakeFiles/gisql.dir/source/component_source.cc.o: \
  /usr/include/x86_64-linux-gnu/c++/12/bits/c++io.h \
  /usr/include/c++/12/bits/fstream.tcc /usr/include/c++/12/unordered_set \
  /usr/include/c++/12/bits/unordered_set.h /root/repo/src/common/hash.h \
- /usr/include/c++/12/cstring /usr/include/string.h /usr/include/strings.h \
+ /usr/include/c++/12/array /usr/include/c++/12/cstring \
+ /usr/include/string.h /usr/include/strings.h \
  /root/repo/src/exec/hash_aggregate.h /root/repo/src/exec/aggregate.h \
  /root/repo/src/expr/eval.h /root/repo/src/sql/parser.h \
  /root/repo/src/sql/token.h /root/repo/src/wire/protocol.h \

@@ -213,5 +213,5 @@ src/CMakeFiles/gisql.dir/types/row.cc.o: /root/repo/src/types/row.cc \
  /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
- /root/repo/src/common/hash.h /usr/include/c++/12/cstring \
- /usr/include/string.h /usr/include/strings.h
+ /root/repo/src/common/hash.h /usr/include/c++/12/array \
+ /usr/include/c++/12/cstring /usr/include/string.h /usr/include/strings.h

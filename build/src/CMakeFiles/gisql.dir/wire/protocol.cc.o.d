@@ -209,6 +209,7 @@ src/CMakeFiles/gisql.dir/wire/protocol.cc.o: \
  /root/repo/src/types/row.h /root/repo/src/types/schema.h \
  /root/repo/src/types/data_type.h /root/repo/src/types/value.h \
  /usr/include/c++/12/variant /usr/include/c++/12/bits/parse_numbers.h \
+ /root/repo/src/common/hash.h /usr/include/c++/12/array \
  /root/repo/src/wire/serde.h /root/repo/src/expr/binder.h \
  /root/repo/src/expr/expr.h /root/repo/src/sql/ast.h \
  /root/repo/src/source/fragment.h

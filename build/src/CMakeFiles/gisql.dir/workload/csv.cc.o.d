@@ -210,21 +210,23 @@ src/CMakeFiles/gisql.dir/workload/csv.cc.o: \
  /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
  /usr/include/c++/12/limits /usr/include/c++/12/ctime \
  /usr/include/c++/12/bits/parse_numbers.h \
- /usr/include/c++/12/bits/unique_lock.h /usr/include/c++/12/vector \
+ /usr/include/c++/12/bits/unique_lock.h /usr/include/c++/12/set \
+ /usr/include/c++/12/bits/stl_set.h \
+ /usr/include/c++/12/bits/stl_multiset.h /usr/include/c++/12/vector \
  /usr/include/c++/12/bits/stl_vector.h \
  /usr/include/c++/12/bits/stl_bvector.h \
  /usr/include/c++/12/bits/vector.tcc /root/repo/src/net/sim_network.h \
  /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
  /usr/include/c++/12/bits/hashtable_policy.h \
  /usr/include/c++/12/bits/unordered_map.h /root/repo/src/common/metrics.h \
- /root/repo/src/source/capabilities.h /root/repo/src/source/fragment.h \
- /root/repo/src/expr/binder.h /root/repo/src/expr/expr.h \
- /root/repo/src/types/row.h /root/repo/src/types/schema.h \
- /root/repo/src/types/data_type.h /root/repo/src/types/value.h \
- /usr/include/c++/12/variant /root/repo/src/sql/ast.h \
- /root/repo/src/storage/table.h /root/repo/src/storage/btree.h \
- /root/repo/src/storage/statistics.h /usr/include/c++/12/fstream \
- /usr/include/c++/12/bits/codecvt.h \
+ /root/repo/src/net/fault_schedule.h /root/repo/src/source/capabilities.h \
+ /root/repo/src/source/fragment.h /root/repo/src/expr/binder.h \
+ /root/repo/src/expr/expr.h /root/repo/src/types/row.h \
+ /root/repo/src/types/schema.h /root/repo/src/types/data_type.h \
+ /root/repo/src/types/value.h /usr/include/c++/12/variant \
+ /root/repo/src/sql/ast.h /root/repo/src/storage/table.h \
+ /root/repo/src/storage/btree.h /root/repo/src/storage/statistics.h \
+ /usr/include/c++/12/fstream /usr/include/c++/12/bits/codecvt.h \
  /usr/include/x86_64-linux-gnu/c++/12/bits/basic_file.h \
  /usr/include/x86_64-linux-gnu/c++/12/bits/c++io.h \
  /usr/include/c++/12/bits/fstream.tcc /root/repo/src/types/datetime.h

@@ -293,7 +293,16 @@ tests/CMakeFiles/net_test.dir/net_test.cc.o: /root/repo/tests/net_test.cc \
  /root/miniconda/include/gtest/gtest_prod.h \
  /root/miniconda/include/gtest/gtest-typed-test.h \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
+ /root/repo/src/net/retry.h /root/repo/src/common/result.h \
+ /root/repo/src/common/status.h /root/repo/src/common/retry_policy.h \
+ /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
+ /usr/include/c++/12/bits/ranges_util.h \
+ /usr/include/c++/12/pstl/glue_algorithm_defs.h \
+ /root/repo/src/common/hash.h /usr/include/c++/12/cstring \
  /root/repo/src/net/sim_network.h /root/repo/src/common/metrics.h \
  /usr/include/c++/12/mutex /usr/include/c++/12/bits/chrono.h \
  /usr/include/c++/12/ratio /usr/include/c++/12/bits/unique_lock.h \
- /root/repo/src/common/result.h /root/repo/src/common/status.h
+ /root/repo/src/net/fault_schedule.h /root/repo/src/wire/protocol.h \
+ /root/repo/src/common/bytes.h /root/repo/src/storage/statistics.h \
+ /root/repo/src/types/row.h /root/repo/src/types/schema.h \
+ /root/repo/src/types/data_type.h /root/repo/src/types/value.h

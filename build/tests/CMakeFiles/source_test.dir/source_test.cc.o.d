@@ -304,6 +304,7 @@ tests/CMakeFiles/source_test.dir/source_test.cc.o: \
  /root/repo/src/net/sim_network.h /root/repo/src/common/metrics.h \
  /usr/include/c++/12/mutex /usr/include/c++/12/bits/chrono.h \
  /usr/include/c++/12/ratio /usr/include/c++/12/bits/unique_lock.h \
+ /root/repo/src/net/fault_schedule.h \
  /root/repo/src/source/component_source.h \
  /root/repo/src/source/capabilities.h /root/repo/src/source/fragment.h \
  /root/repo/src/storage/table.h /root/repo/src/storage/btree.h \

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/twopc_chaos_test.dir/twopc_chaos_test.cc.o"
+  "CMakeFiles/twopc_chaos_test.dir/twopc_chaos_test.cc.o.d"
+  "twopc_chaos_test"
+  "twopc_chaos_test.pdb"
+  "twopc_chaos_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/twopc_chaos_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

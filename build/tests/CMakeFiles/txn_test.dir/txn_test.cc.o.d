@@ -298,12 +298,18 @@ tests/CMakeFiles/txn_test.dir/txn_test.cc.o: /root/repo/tests/txn_test.cc \
  /root/repo/src/source/capabilities.h /root/repo/src/storage/statistics.h \
  /root/repo/src/types/row.h /root/repo/src/types/schema.h \
  /root/repo/src/types/data_type.h /root/repo/src/types/value.h \
+ /root/repo/src/common/retry_policy.h /usr/include/c++/12/algorithm \
+ /usr/include/c++/12/bits/ranges_algo.h \
+ /usr/include/c++/12/bits/ranges_util.h \
+ /usr/include/c++/12/pstl/glue_algorithm_defs.h \
+ /root/repo/src/common/hash.h /usr/include/c++/12/cstring \
  /root/repo/src/core/query_cache.h /usr/include/c++/12/list \
  /usr/include/c++/12/bits/stl_list.h /usr/include/c++/12/bits/list.tcc \
  /root/repo/src/exec/executor.h /root/repo/src/net/sim_network.h \
  /root/repo/src/common/metrics.h /usr/include/c++/12/mutex \
  /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
- /usr/include/c++/12/bits/unique_lock.h /root/repo/src/planner/plan.h \
+ /usr/include/c++/12/bits/unique_lock.h \
+ /root/repo/src/net/fault_schedule.h /root/repo/src/planner/plan.h \
  /root/repo/src/expr/binder.h /root/repo/src/expr/expr.h \
  /root/repo/src/sql/ast.h /root/repo/src/source/fragment.h \
  /root/repo/src/planner/options.h \

@@ -7,6 +7,7 @@
 include("/root/repo/build/tests/btree_test[1]_include.cmake")
 include("/root/repo/build/tests/cache_test[1]_include.cmake")
 include("/root/repo/build/tests/catalog_test[1]_include.cmake")
+include("/root/repo/build/tests/chaos_test[1]_include.cmake")
 include("/root/repo/build/tests/common_test[1]_include.cmake")
 include("/root/repo/build/tests/core_test[1]_include.cmake")
 include("/root/repo/build/tests/csv_test[1]_include.cmake")
@@ -24,6 +25,7 @@ include("/root/repo/build/tests/source_test[1]_include.cmake")
 include("/root/repo/build/tests/sql2_test[1]_include.cmake")
 include("/root/repo/build/tests/sql_test[1]_include.cmake")
 include("/root/repo/build/tests/storage_test[1]_include.cmake")
+include("/root/repo/build/tests/twopc_chaos_test[1]_include.cmake")
 include("/root/repo/build/tests/txn_test[1]_include.cmake")
 include("/root/repo/build/tests/types_test[1]_include.cmake")
 include("/root/repo/build/tests/wire_test[1]_include.cmake")

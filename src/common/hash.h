@@ -4,6 +4,7 @@
 
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <cstring>
 #include <string_view>
@@ -42,6 +43,28 @@ inline uint64_t HashInt(uint64_t x) {
 /// \brief Combines two hashes (boost::hash_combine recipe, 64-bit).
 inline uint64_t HashCombine(uint64_t a, uint64_t b) {
   return a ^ (b + 0x9e3779b97f4a7c15ULL + (a << 12) + (a >> 4));
+}
+
+/// \brief Reflected CRC-32 (IEEE 802.3 polynomial), used as the wire
+/// frame checksum. Table-driven; the table is built once on first use.
+inline uint32_t Crc32(const void* data, size_t n, uint32_t seed = 0) {
+  static const auto table = [] {
+    std::array<uint32_t, 256> t{};
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1) ? 0xedb88320u ^ (c >> 1) : c >> 1;
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  const auto* p = static_cast<const uint8_t*>(data);
+  uint32_t crc = ~seed;
+  for (size_t i = 0; i < n; ++i) {
+    crc = table[(crc ^ p[i]) & 0xff] ^ (crc >> 8);
+  }
+  return ~crc;
 }
 
 }  // namespace gisql

@@ -1,0 +1,66 @@
+/// \file retry_policy.h
+/// \brief Mediator-side retry/backoff configuration for calls to
+/// autonomous component systems.
+///
+/// A RetryPolicy is pure configuration (it lives in common so every
+/// layer — executor, mediator core, benches — shares one definition).
+/// The retrying call engine that interprets it is net/retry.h. All
+/// delays are *simulated* milliseconds charged to the deterministic
+/// clock, and jitter derives from the policy's seed, so a given
+/// (policy, schedule) pair always reproduces the same timings.
+
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+#include "common/hash.h"
+
+namespace gisql {
+
+/// \brief Exponential-backoff retry configuration.
+struct RetryPolicy {
+  /// Total tries per destination (1 = the seed behavior: no retry).
+  int max_attempts = 1;
+  /// Detection window a caller waits before declaring an attempt dead
+  /// (added to two propagation delays; see SimNetwork::TimeoutMs).
+  double attempt_timeout_ms = 100.0;
+  /// Backoff before retry k (1-based) is
+  /// min(backoff_base_ms * backoff_multiplier^(k-1), backoff_max_ms),
+  /// scaled by a jitter factor in [1 - jitter, 1 + jitter].
+  double backoff_base_ms = 25.0;
+  double backoff_multiplier = 2.0;
+  double backoff_max_ms = 2000.0;
+  double jitter = 0.2;
+  /// Seed for the jitter draw; folded with the destination host and the
+  /// attempt number so distinct calls decorrelate but replays agree.
+  uint64_t seed = 42;
+
+  /// \brief The seed-compatible default: one attempt, no backoff.
+  static RetryPolicy NoRetry() { return RetryPolicy{}; }
+
+  /// \brief A production-shaped policy for chaos runs and benches.
+  static RetryPolicy Standard(int attempts = 5, uint64_t seed = 42) {
+    RetryPolicy p;
+    p.max_attempts = attempts;
+    p.seed = seed;
+    return p;
+  }
+
+  /// \brief Deterministic jittered backoff before retry `attempt`
+  /// (1-based count of failures so far) toward `stream` (a hash of the
+  /// destination, folded in so concurrent retries do not synchronize).
+  double BackoffMs(int attempt, uint64_t stream) const {
+    if (attempt <= 0 || backoff_base_ms <= 0.0) return 0.0;
+    double delay = backoff_base_ms;
+    for (int i = 1; i < attempt; ++i) delay *= backoff_multiplier;
+    delay = std::min(delay, backoff_max_ms);
+    // One splitmix-style draw; no Rng state carried between calls.
+    const uint64_t bits = HashInt(
+        HashCombine(seed, HashCombine(stream, static_cast<uint64_t>(attempt))));
+    const double unit = static_cast<double>(bits >> 11) * 0x1.0p-53;  // [0,1)
+    return delay * (1.0 - jitter + 2.0 * jitter * unit);
+  }
+};
+
+}  // namespace gisql

@@ -3,6 +3,7 @@
 #include <set>
 
 #include "common/bytes.h"
+#include "net/retry.h"
 #include "planner/cost_model.h"
 #include "planner/decomposer.h"
 #include "planner/logical_planner.h"
@@ -12,6 +13,22 @@
 #include "wire/serde.h"
 
 namespace gisql {
+
+namespace {
+
+/// Mediator→source control-plane call under the system retry policy.
+Result<std::vector<uint8_t>> RetriedCall(SimNetwork& net,
+                                         const RetryPolicy& policy,
+                                         const std::string& to,
+                                         wire::Opcode op,
+                                         const std::vector<uint8_t>& req) {
+  RetryResult r = CallWithRetry(net, policy, GlobalSystem::kMediatorHost, to,
+                                static_cast<uint8_t>(op), req);
+  if (!r.ok()) return r.status;
+  return std::move(r.payload);
+}
+
+}  // namespace
 
 GlobalSystem::GlobalSystem(PlannerOptions options)
     : options_(options) {}
@@ -48,20 +65,18 @@ Status GlobalSystem::ImportTable(const std::string& source_name,
   ByteWriter req;
   req.PutString(exported_name);
   GISQL_ASSIGN_OR_RETURN(
-      RpcResult schema_rpc,
-      network_.Call(kMediatorHost, source_name,
-                    static_cast<uint8_t>(wire::Opcode::kGetSchema),
-                    req.data()));
-  ByteReader schema_reader(schema_rpc.payload);
+      std::vector<uint8_t> schema_payload,
+      RetriedCall(network_, retry_policy_, source_name,
+                  wire::Opcode::kGetSchema, req.data()));
+  ByteReader schema_reader(schema_payload);
   GISQL_ASSIGN_OR_RETURN(Schema schema, wire::ReadSchema(&schema_reader));
 
   // Statistics over the wire.
   GISQL_ASSIGN_OR_RETURN(
-      RpcResult stats_rpc,
-      network_.Call(kMediatorHost, source_name,
-                    static_cast<uint8_t>(wire::Opcode::kGetStats),
-                    req.data()));
-  ByteReader stats_reader(stats_rpc.payload);
+      std::vector<uint8_t> stats_payload,
+      RetriedCall(network_, retry_policy_, source_name,
+                  wire::Opcode::kGetStats, req.data()));
+  ByteReader stats_reader(stats_payload);
   GISQL_ASSIGN_OR_RETURN(TableStats stats,
                          wire::ReadTableStats(&stats_reader));
 
@@ -77,10 +92,10 @@ Status GlobalSystem::ImportTable(const std::string& source_name,
 
 Status GlobalSystem::ImportSource(const std::string& source_name) {
   GISQL_ASSIGN_OR_RETURN(
-      RpcResult rpc,
-      network_.Call(kMediatorHost, source_name,
-                    static_cast<uint8_t>(wire::Opcode::kListTables), {}));
-  ByteReader reader(rpc.payload);
+      std::vector<uint8_t> payload,
+      RetriedCall(network_, retry_policy_, source_name,
+                  wire::Opcode::kListTables, {}));
+  ByteReader reader(payload);
   GISQL_ASSIGN_OR_RETURN(uint64_t n, reader.GetVarint());
   for (uint64_t i = 0; i < n; ++i) {
     GISQL_ASSIGN_OR_RETURN(std::string table, reader.GetString());
@@ -99,11 +114,10 @@ Status GlobalSystem::RefreshStats(const std::string& global_name) {
   ByteWriter req;
   req.PutString(mapping->exported_name);
   GISQL_ASSIGN_OR_RETURN(
-      RpcResult rpc,
-      network_.Call(kMediatorHost, mapping->source_name,
-                    static_cast<uint8_t>(wire::Opcode::kGetStats),
-                    req.data()));
-  ByteReader reader(rpc.payload);
+      std::vector<uint8_t> payload,
+      RetriedCall(network_, retry_policy_, mapping->source_name,
+                  wire::Opcode::kGetStats, req.data()));
+  ByteReader reader(payload);
   GISQL_ASSIGN_OR_RETURN(TableStats stats, wire::ReadTableStats(&reader));
   // Fresh statistics signal the source's data may have changed.
   if (cache_) cache_->InvalidateSource(mapping->source_name);
@@ -124,6 +138,8 @@ Status GlobalSystem::ExecuteAt(const std::string& source_name,
                                const std::string& sql) {
   ByteWriter req;
   req.PutString(sql);
+  // Deliberately single-attempt: admin DDL/DML is not idempotent, so a
+  // retry after a lost ack could apply it twice. Operators re-run.
   GISQL_ASSIGN_OR_RETURN(
       RpcResult rpc,
       network_.Call(kMediatorHost, source_name,
@@ -141,14 +157,20 @@ Status GlobalSystem::ExecuteAtomically(
   static int64_t txn_counter = 0;
   const std::string txn_id = "gtxn-" + std::to_string(++txn_counter);
 
+  // Every 2PC round retries under the system policy; the participant
+  // side dedups (prepare by statement seq, commit by txn id), so
+  // at-least-once delivery is safe.
   auto call = [&](const std::string& source, wire::Opcode op,
-                  const std::string& sql) -> Status {
+                  const std::string& sql, uint64_t stmt_seq) -> Status {
     ByteWriter req;
     req.PutString(txn_id);
-    if (op == wire::Opcode::kTxnPrepare) req.PutString(sql);
-    Result<RpcResult> rpc = network_.Call(
-        kMediatorHost, source, static_cast<uint8_t>(op), req.data());
-    return rpc.status();
+    if (op == wire::Opcode::kTxnPrepare) {
+      req.PutVarint(stmt_seq);
+      req.PutString(sql);
+    }
+    return CallWithRetry(network_, retry_policy_, kMediatorHost, source,
+                         static_cast<uint8_t>(op), req.data(), stmt_seq)
+        .status;
   };
 
   // Phase 1: prepare everywhere; on any failure, abort everyone we
@@ -156,11 +178,12 @@ Status GlobalSystem::ExecuteAtomically(
   // harmless).
   std::set<std::string> participants;
   for (const auto& w : writes) participants.insert(w.source);
-  for (const auto& w : writes) {
-    Status st = call(w.source, wire::Opcode::kTxnPrepare, w.sql);
+  for (size_t i = 0; i < writes.size(); ++i) {
+    const auto& w = writes[i];
+    Status st = call(w.source, wire::Opcode::kTxnPrepare, w.sql, i);
     if (!st.ok()) {
       for (const auto& p : participants) {
-        (void)call(p, wire::Opcode::kTxnAbort, "");
+        (void)call(p, wire::Opcode::kTxnAbort, "", 0);
       }
       return Status(st.code(),
                     "global transaction aborted: prepare failed at '" +
@@ -171,7 +194,7 @@ Status GlobalSystem::ExecuteAtomically(
   // Phase 2: commit. Failures here leave the classic in-doubt state.
   std::string in_doubt;
   for (const auto& p : participants) {
-    Status st = call(p, wire::Opcode::kTxnCommit, "");
+    Status st = call(p, wire::Opcode::kTxnCommit, "", 0);
     if (!st.ok()) {
       if (!in_doubt.empty()) in_doubt += ", ";
       in_doubt += "'" + p + "' (" + st.message() + ")";
@@ -241,6 +264,7 @@ Result<QueryResult> GlobalSystem::Query(const std::string& sql) {
       ctx.mediator_cpu_us_per_row = options_.mediator_cpu_us_per_row;
       ctx.semijoin_max_keys = options_.semijoin_max_keys;
       ctx.parallel_execution = options_.parallel_execution;
+      ctx.retry_policy = retry_policy_;
       ctx.record_actuals = true;
       Executor executor(ctx);
       GISQL_ASSIGN_OR_RETURN(ExecOutput out, executor.Execute(plan));
@@ -290,6 +314,7 @@ Result<QueryResult> GlobalSystem::Query(const std::string& sql) {
   ctx.mediator_cpu_us_per_row = options_.mediator_cpu_us_per_row;
   ctx.semijoin_max_keys = options_.semijoin_max_keys;
   ctx.parallel_execution = options_.parallel_execution;
+  ctx.retry_policy = retry_policy_;
   Executor executor(ctx);
   GISQL_ASSIGN_OR_RETURN(ExecOutput out, executor.Execute(plan));
 

@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "catalog/catalog.h"
+#include "common/retry_policy.h"
 #include "core/query_cache.h"
 #include "exec/executor.h"
 #include "net/sim_network.h"
@@ -138,6 +139,21 @@ class GlobalSystem {
   void set_options(const PlannerOptions& options) { options_ = options; }
   const PlannerOptions& options() const { return options_; }
 
+  /// \name Fault tolerance
+  ///
+  /// One retry policy governs every mediator→source interaction
+  /// (fragment execution including replica failover, schema/stats
+  /// import, 2PC rounds). The default NoRetry preserves the classic
+  /// single-attempt behavior; chaos experiments raise max_attempts and
+  /// pair it with SimNetwork::InstallFaults. ExecuteAt (the admin
+  /// channel) stays single-attempt: its DDL/DML is not idempotent, so
+  /// blind redelivery could double-apply — operators re-run it
+  /// explicitly.
+  /// @{
+  void set_retry_policy(const RetryPolicy& policy) { retry_policy_ = policy; }
+  const RetryPolicy& retry_policy() const { return retry_policy_; }
+  /// @}
+
   /// \name Result caching (off by default — see core/query_cache.h for
   /// the autonomy staleness caveat)
   /// @{
@@ -152,6 +168,7 @@ class GlobalSystem {
 
  private:
   PlannerOptions options_;
+  RetryPolicy retry_policy_ = RetryPolicy::NoRetry();
   SimNetwork network_;
   Catalog catalog_;
   std::vector<ComponentSourcePtr> sources_;

@@ -10,6 +10,7 @@
 #include "common/logging.h"
 #include "exec/hash_aggregate.h"
 #include "expr/eval.h"
+#include "net/retry.h"
 #include "wire/protocol.h"
 #include "wire/serde.h"
 
@@ -31,48 +32,68 @@ Result<ExecOutput> Executor::ExecFragment(const PlanNode& node,
     plain.semijoin_column = -1;
     return ExecFragment(node, plain);
   }
-  Result<RpcResult> call =
-      ctx_.net->Call(ctx_.mediator_host, node.fragment_source,
-                     static_cast<uint8_t>(wire::Opcode::kExecuteFragment),
-                     wire::SerializeFragment(frag));
-  // Replica failover: on an unreachable source, retry the alternates of
-  // a replicated view in order, paying a detection timeout per dead
-  // host.
-  double failover_penalty_ms = 0.0;
-  std::string attempted = node.fragment_source;
-  for (size_t alt = 0;
-       !call.ok() && call.status().IsNetworkError() &&
-       alt < node.scan_alternates.size();
-       ++alt) {
-    failover_penalty_ms += ctx_.net->TimeoutMs(ctx_.mediator_host,
-                                               attempted);
-    GISQL_LOG(kWarn) << "source '" << attempted
-                     << "' unreachable; failing over to replica '"
-                     << node.scan_alternates[alt].source << "'";
-    FragmentPlan retry = frag;
-    retry.table = node.scan_alternates[alt].exported_name;
-    attempted = node.scan_alternates[alt].source;
-    call = ctx_.net->Call(
-        ctx_.mediator_host, attempted,
+  // Candidate sources: the planned primary, then the alternates of a
+  // replicated view in catalog order. Each candidate gets the full
+  // retry budget; exhausting a candidate on a transport failure moves
+  // to the next replica. All attempts and backoffs charge the same
+  // simulated clock (E11 failover and E15 chaos share this path).
+  struct Candidate {
+    const std::string* source;
+    const std::string* table;
+  };
+  std::vector<Candidate> candidates;
+  candidates.push_back({&node.fragment_source, &frag.table});
+  for (const auto& alt : node.scan_alternates) {
+    candidates.push_back({&alt.source, &alt.exported_name});
+  }
+
+  double spent_ms = 0.0;
+  Status last;
+  std::string tried;
+  // Decorrelates backoff jitter between the fragments of one query.
+  const uint64_t nonce = HashString(frag.table);
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    FragmentPlan attempt = frag;
+    attempt.table = *candidates[i].table;
+    RetryResult call = CallWithRetry(
+        *ctx_.net, ctx_.retry_policy, ctx_.mediator_host,
+        *candidates[i].source,
         static_cast<uint8_t>(wire::Opcode::kExecuteFragment),
-        wire::SerializeFragment(retry));
+        wire::SerializeFragment(attempt), nonce);
+    spent_ms += call.elapsed_ms;
+    if (call.ok()) {
+      ByteReader reader(call.payload);
+      GISQL_ASSIGN_OR_RETURN(RowBatch batch, wire::ReadBatch(&reader));
+      if (batch.schema()->num_fields() != node.output_schema->num_fields()) {
+        return Status::ExecutionError(
+            "fragment result arity ", batch.schema()->num_fields(),
+            " does not match plan arity ", node.output_schema->num_fields(),
+            " from source '", *candidates[i].source, "'");
+      }
+      // Adopt the plan's (qualified) schema for downstream resolution.
+      ExecOutput out;
+      out.batch = RowBatch(node.output_schema, std::move(batch.rows()));
+      out.elapsed_ms = spent_ms;
+      return out;
+    }
+    last = std::move(call.status);
+    // Only an unreachable source justifies reading a different replica;
+    // application errors would repeat identically elsewhere.
+    if (!last.IsNetworkError()) return last;
+    tried += tried.empty() ? *candidates[i].source
+                           : ", " + *candidates[i].source;
+    if (i + 1 < candidates.size()) {
+      GISQL_LOG(kWarn) << "source '" << *candidates[i].source
+                       << "' unreachable; failing over to replica '"
+                       << *candidates[i + 1].source << "'";
+    }
   }
-  GISQL_RETURN_NOT_OK(call.status());
-  RpcResult rpc = std::move(*call);
-  rpc.elapsed_ms += failover_penalty_ms;
-  ByteReader reader(rpc.payload);
-  GISQL_ASSIGN_OR_RETURN(RowBatch batch, wire::ReadBatch(&reader));
-  if (batch.schema()->num_fields() != node.output_schema->num_fields()) {
-    return Status::ExecutionError(
-        "fragment result arity ", batch.schema()->num_fields(),
-        " does not match plan arity ", node.output_schema->num_fields(),
-        " from source '", node.fragment_source, "'");
+  if (candidates.size() > 1) {
+    return Status::NetworkError("all replicas of '", frag.table,
+                                "' unreachable (tried ", tried,
+                                "); last error: ", last.message());
   }
-  // Adopt the plan's (qualified) schema for downstream name resolution.
-  ExecOutput out;
-  out.batch = RowBatch(node.output_schema, std::move(batch.rows()));
-  out.elapsed_ms = rpc.elapsed_ms;
-  return out;
+  return last;
 }
 
 Result<ExecOutput> Executor::ExecUnionAll(const PlanNode& node) {

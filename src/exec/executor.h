@@ -11,6 +11,7 @@
 
 #pragma once
 
+#include "common/retry_policy.h"
 #include "net/sim_network.h"
 #include "planner/plan.h"
 
@@ -29,6 +30,11 @@ struct ExecContext {
   /// ship-strategy join) on worker threads. Results and simulated-time
   /// accounting are identical either way; this only changes wall time.
   bool parallel_execution = true;
+  /// Retry/backoff applied to every remote fragment call. The default
+  /// (one attempt, no backoff) makes replica failover pay exactly one
+  /// detection timeout per dead host; chaos runs raise max_attempts so
+  /// transient faults are absorbed before failing over.
+  RetryPolicy retry_policy = RetryPolicy::NoRetry();
 };
 
 /// \brief A materialized result plus its simulated cost.

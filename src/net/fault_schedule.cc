@@ -1,0 +1,99 @@
+#include "net/fault_schedule.h"
+
+#include "common/hash.h"
+
+namespace gisql {
+
+const char* FaultKindName(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kNone:
+      return "none";
+    case FaultKind::kDrop:
+      return "drop";
+    case FaultKind::kDuplicate:
+      return "duplicate";
+    case FaultKind::kCorrupt:
+      return "corrupt";
+    case FaultKind::kCrash:
+      return "crash";
+    case FaultKind::kOutage:
+      return "outage";
+    case FaultKind::kSpike:
+      return "spike";
+  }
+  return "unknown";
+}
+
+void FaultSchedule::InjectOn(const std::string& host, int opcode,
+                             FaultKind kind, int count) {
+  std::lock_guard<std::mutex> lock(mu_);
+  injections_[host].push_back(Injection{opcode, kind, count});
+}
+
+FaultSchedule::Decision FaultSchedule::Next(const std::string& from,
+                                            const std::string& to,
+                                            uint8_t opcode, uint64_t index) {
+  Decision d;
+  // The decision's entropy is fixed by (seed, link, index) alone so a
+  // replay with the same schedule reproduces byte-identical corruption.
+  const uint64_t link_hash = HashCombine(HashString(from), HashString(to));
+  d.entropy = HashInt(HashCombine(seed_, HashCombine(link_hash, index)));
+
+  std::lock_guard<std::mutex> lock(mu_);
+
+  // Targeted injections outrank everything.
+  auto inj_it = injections_.find(to);
+  if (inj_it != injections_.end()) {
+    for (auto& inj : inj_it->second) {
+      if (inj.remaining > 0 &&
+          (inj.opcode < 0 || inj.opcode == static_cast<int>(opcode))) {
+        --inj.remaining;
+        d.kind = inj.kind;
+        if (d.kind == FaultKind::kSpike) d.spike_factor = profile_.spike_factor;
+        if (d.kind == FaultKind::kOutage || d.kind == FaultKind::kCrash) {
+          auto& until = outage_until_[{from, to}];
+          until = std::max(
+              until, index + 1 + static_cast<uint64_t>(profile_.outage_messages));
+        }
+        return d;
+      }
+    }
+  }
+
+  // An open outage window swallows the message.
+  auto out_it = outage_until_.find({from, to});
+  if (out_it != outage_until_.end() && index < out_it->second) {
+    d.kind = FaultKind::kOutage;
+    return d;
+  }
+
+  // Probabilistic draw: one uniform variate against the cumulative
+  // profile, so at most one fault fires per message.
+  const double u = static_cast<double>(d.entropy >> 11) * 0x1.0p-53;
+  double acc = profile_.drop;
+  if (u < acc) {
+    d.kind = FaultKind::kDrop;
+  } else if (u < (acc += profile_.duplicate)) {
+    d.kind = FaultKind::kDuplicate;
+  } else if (u < (acc += profile_.corrupt)) {
+    d.kind = FaultKind::kCorrupt;
+  } else if (u < (acc += profile_.crash)) {
+    d.kind = FaultKind::kCrash;
+  } else if (u < (acc += profile_.outage)) {
+    d.kind = FaultKind::kOutage;
+  } else if (u < (acc += profile_.spike)) {
+    d.kind = FaultKind::kSpike;
+    d.spike_factor = profile_.spike_factor;
+  }
+
+  if (d.kind == FaultKind::kCrash || d.kind == FaultKind::kOutage) {
+    // A crash restarts the source; an outage partitions the link. Both
+    // open a window over the next profile_.outage_messages messages.
+    auto& until = outage_until_[{from, to}];
+    until = std::max(
+        until, index + 1 + static_cast<uint64_t>(profile_.outage_messages));
+  }
+  return d;
+}
+
+}  // namespace gisql

@@ -1,0 +1,128 @@
+/// \file fault_schedule.h
+/// \brief Deterministic fault injection for the simulated WAN.
+///
+/// A FaultSchedule attached to a SimNetwork decides, per (link,
+/// message-index), whether a message is delivered cleanly or suffers a
+/// fault: dropped in transit, delivered twice, its response corrupted
+/// or cut off by a mid-transfer source crash, swallowed by a transient
+/// unavailability window, or slowed by a latency spike. Every decision
+/// derives from a single uint64 seed hashed with the link name and the
+/// link-local message index, so a schedule replays identically
+/// regardless of thread interleaving — the per-link message sequence,
+/// not wall clock, is the randomness domain.
+///
+/// Two injection modes compose:
+///  * probabilistic — a FaultProfile of per-message probabilities,
+///    drawn independently per (link, index) from the seed;
+///  * targeted — InjectOn() arms one-shot (or counted) faults matched
+///    by destination host and opcode, used by the 2PC fault-matrix
+///    tests and the benches to hit an exact protocol step.
+///
+/// Non-idempotent admin traffic (Opcode::kAdminSql) is exempt from
+/// *duplication* only: at-least-once delivery of DDL/DML would change
+/// state twice, which is a property of the admin channel (documented in
+/// DESIGN.md), not a transport behavior worth simulating here. All
+/// other faults apply to every opcode.
+
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace gisql {
+
+/// \brief What the schedule did to one message.
+enum class FaultKind : uint8_t {
+  kNone = 0,
+  kDrop,       ///< request lost in transit; handler never runs
+  kDuplicate,  ///< request delivered twice; handler runs twice
+  kCorrupt,    ///< response frame bit-flipped; checksum catches it
+  kCrash,      ///< source dies mid-response: truncated frame + outage
+  kOutage,     ///< transient unavailability window (counted in messages)
+  kSpike,      ///< link slows by spike_factor for this message
+};
+
+const char* FaultKindName(FaultKind kind);
+
+/// \brief Per-message fault probabilities. All independent draws; at
+/// most one fault fires per message (first match in the order below).
+struct FaultProfile {
+  double drop = 0.0;
+  double duplicate = 0.0;
+  double corrupt = 0.0;
+  double crash = 0.0;
+  double outage = 0.0;
+  double spike = 0.0;
+  /// How many subsequent messages on the link an outage (or post-crash
+  /// restart) swallows.
+  int outage_messages = 2;
+  /// Latency multiplier while a spike is active.
+  double spike_factor = 8.0;
+
+  /// \brief A balanced chaos mix scaled by `intensity` in [0, 1]:
+  /// intensity 1.0 faults roughly a third of all messages.
+  static FaultProfile Chaos(double intensity) {
+    FaultProfile p;
+    p.drop = 0.08 * intensity;
+    p.duplicate = 0.05 * intensity;
+    p.corrupt = 0.06 * intensity;
+    p.crash = 0.03 * intensity;
+    p.outage = 0.03 * intensity;
+    p.spike = 0.08 * intensity;
+    return p;
+  }
+};
+
+/// \brief Seeded, replayable fault decisions for a SimNetwork.
+///
+/// Thread-safe: decisions for different links are independent, and the
+/// only cross-message state (outage windows, targeted injections) is
+/// guarded by a mutex.
+class FaultSchedule {
+ public:
+  FaultSchedule(uint64_t seed, FaultProfile profile)
+      : seed_(seed), profile_(profile) {}
+
+  uint64_t seed() const { return seed_; }
+  const FaultProfile& profile() const { return profile_; }
+
+  /// \brief Outcome of one decision. `entropy` is a deterministic
+  /// 64-bit draw the network uses to pick corruption bit positions and
+  /// crash truncation points.
+  struct Decision {
+    FaultKind kind = FaultKind::kNone;
+    double spike_factor = 1.0;
+    uint64_t entropy = 0;
+  };
+
+  /// \brief Arms a targeted fault: the next `count` messages to `host`
+  /// whose opcode matches `opcode` (-1 = any) suffer `kind`. Targeted
+  /// faults take precedence over probabilistic draws. Use a large count
+  /// to make a step permanently faulty.
+  void InjectOn(const std::string& host, int opcode, FaultKind kind,
+                int count = 1);
+
+  /// \brief Decides the fate of message number `index` (0-based,
+  /// link-local) from `from` to `to`. Mutates outage-window state.
+  Decision Next(const std::string& from, const std::string& to,
+                uint8_t opcode, uint64_t index);
+
+ private:
+  struct Injection {
+    int opcode;  ///< -1 matches any opcode
+    FaultKind kind;
+    int remaining;
+  };
+
+  uint64_t seed_;
+  FaultProfile profile_;
+  std::mutex mu_;
+  /// link key -> first message index after the current outage window.
+  std::map<std::pair<std::string, std::string>, uint64_t> outage_until_;
+  std::map<std::string, std::vector<Injection>> injections_;
+};
+
+}  // namespace gisql

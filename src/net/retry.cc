@@ -1,0 +1,54 @@
+#include "net/retry.h"
+
+#include <algorithm>
+
+#include "common/hash.h"
+
+namespace gisql {
+
+RetryResult CallWithRetry(SimNetwork& net, const RetryPolicy& policy,
+                          const std::string& from, const std::string& to,
+                          uint8_t opcode, const std::vector<uint8_t>& request,
+                          uint64_t stream_nonce) {
+  RetryResult result;
+  const int max_attempts = std::max(1, policy.max_attempts);
+  // Jitter stream: per-destination, decorrelated across call sites so
+  // concurrent retries against one host do not synchronize.
+  const uint64_t stream = HashCombine(HashString(to), stream_nonce);
+
+  Status last;
+  for (int attempt = 1; attempt <= max_attempts; ++attempt) {
+    RpcAttempt a = net.CallAttempt(from, to, opcode, request,
+                                   policy.attempt_timeout_ms);
+    ++result.attempts;
+    result.elapsed_ms += a.elapsed_ms;
+    result.bytes_sent += a.bytes_sent;
+    result.bytes_received += a.bytes_received;
+
+    if (a.ok()) {
+      result.status = Status::OK();
+      result.payload = std::move(a.payload);
+      return result;
+    }
+    last = std::move(a.status);
+    if (!IsRetryableTransport(last) || attempt == max_attempts) break;
+    result.elapsed_ms += policy.BackoffMs(attempt, stream);
+    net.metrics().Add("net.retries", 1);
+  }
+
+  if (IsRetryableTransport(last) && result.attempts > 1) {
+    // Exhausted: keep the code (NetworkError / SerializationError) so
+    // failover logic still dispatches on it, but name the dead source
+    // and the spend.
+    result.status =
+        Status(last.code(), "source '" + to + "' unreachable after " +
+                                std::to_string(result.attempts) +
+                                " attempts (last error: " + last.message() +
+                                ")");
+  } else {
+    result.status = std::move(last);
+  }
+  return result;
+}
+
+}  // namespace gisql

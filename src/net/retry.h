@@ -1,0 +1,63 @@
+/// \file retry.h
+/// \brief Retrying RPC engine: interprets a RetryPolicy over
+/// SimNetwork::CallAttempt.
+///
+/// The mediator talks to autonomous sources over a faulty WAN, so every
+/// remote interaction (fragment shipping, schema import, 2PC rounds)
+/// funnels through CallWithRetry rather than raw SimNetwork::Call. One
+/// code path means one accounting model: E11 failover costs and E15
+/// chaos costs come from the same arithmetic.
+///
+/// Retry semantics: only *transport* failures are retried —
+/// NetworkError (drop, outage, crash, dead host) and
+/// SerializationError (corrupted frame detected by checksum).
+/// Application-level errors (bad SQL, missing table, constraint
+/// violations) are returned immediately: the source answered, retrying
+/// cannot change its answer. Exhaustion preserves the final attempt's
+/// status code and names the unreachable source so callers can decide
+/// between failover (replicated views) and surfacing a typed error.
+///
+/// All backoff delays are charged to the *simulated* clock via the
+/// returned elapsed_ms; nothing here sleeps.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/retry_policy.h"
+#include "net/sim_network.h"
+
+namespace gisql {
+
+/// \brief Aggregate outcome of a retried call.
+struct RetryResult {
+  Status status;                 ///< OK or the final attempt's failure
+  std::vector<uint8_t> payload;  ///< valid iff status.ok()
+  double elapsed_ms = 0.0;       ///< all attempts + backoff, simulated
+  int attempts = 0;              ///< attempts actually made (>= 1)
+  int64_t bytes_sent = 0;        ///< summed over attempts
+  int64_t bytes_received = 0;    ///< summed over attempts
+
+  bool ok() const { return status.ok(); }
+};
+
+/// \brief True for failures worth retrying: the transport (not the
+/// source's answer) failed, so a later attempt may succeed.
+inline bool IsRetryableTransport(const Status& s) {
+  return s.IsNetworkError() || s.IsSerializationError();
+}
+
+/// \brief Calls `to` up to policy.max_attempts times, backing off
+/// between attempts with deterministic jitter. `stream_nonce`
+/// decorrelates jitter across concurrent call sites targeting the same
+/// host (pass e.g. a fragment ordinal); 0 is fine for sequential
+/// callers.
+RetryResult CallWithRetry(SimNetwork& net, const RetryPolicy& policy,
+                          const std::string& from, const std::string& to,
+                          uint8_t opcode, const std::vector<uint8_t>& request,
+                          uint64_t stream_nonce = 0);
+
+}  // namespace gisql

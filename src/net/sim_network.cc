@@ -2,6 +2,9 @@
 
 #include <algorithm>
 
+#include "common/hash.h"
+#include "wire/protocol.h"
+
 namespace gisql {
 
 void SimNetwork::SetLink(const std::string& a, const std::string& b,
@@ -39,21 +42,94 @@ void SimNetwork::SetHostDown(const std::string& name, bool down) {
   if (it != hosts_.end()) it->second.down = down;
 }
 
-Result<RpcResult> SimNetwork::Call(const std::string& from,
+void SimNetwork::InstallFaults(uint64_t seed, FaultProfile profile) {
+  faults_ = std::make_unique<FaultSchedule>(seed, profile);
+}
+
+uint64_t SimNetwork::NextMessageIndex(const std::string& from,
+                                      const std::string& to) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return msg_index_[{from, to}]++;
+}
+
+namespace {
+
+/// Flips three pseudo-random bits of `frame`, positioned by `entropy`.
+/// Three flips defeat any accidental CRC-32 self-cancellation a single
+/// unlucky flip pattern could produce with a different checksum.
+void CorruptFrame(std::vector<uint8_t>* frame, uint64_t entropy) {
+  if (frame->empty()) return;
+  uint64_t bits = HashInt(entropy);
+  const uint64_t total_bits = frame->size() * 8;
+  for (int i = 0; i < 3; ++i) {
+    const uint64_t pos = bits % total_bits;
+    (*frame)[pos / 8] ^= static_cast<uint8_t>(1u << (pos % 8));
+    bits = HashInt(bits);
+  }
+}
+
+}  // namespace
+
+RpcAttempt SimNetwork::CallAttempt(const std::string& from,
                                    const std::string& to, uint8_t opcode,
-                                   const std::vector<uint8_t>& request) {
+                                   const std::vector<uint8_t>& request,
+                                   double detection_window_ms) {
+  RpcAttempt a;
+  const LinkSpec& link = GetLink(from, to);
+  const double timeout_ms = 2.0 * link.latency_ms + detection_window_ms;
+
   auto it = hosts_.find(to);
   if (it == hosts_.end()) {
-    return Status::NetworkError("host '", to, "' is not registered");
+    // Configuration error, not a simulated network event: nothing was
+    // sent, but a retry loop still burns the detection window learning
+    // nobody answers at that address.
+    a.status = Status::NetworkError("host '", to, "' is not registered");
+    a.elapsed_ms = timeout_ms;
+    return a;
   }
-  if (it->second.down) {
-    return Status::NetworkError("host '", to, "' is unreachable");
-  }
-  const LinkSpec& link = GetLink(from, to);
 
-  RpcResult result;
-  result.bytes_sent = static_cast<int64_t>(request.size()) + 16;  // header
-  double elapsed = link.TransferTimeMs(result.bytes_sent);
+  FaultSchedule::Decision fault;
+  if (faults_ != nullptr) {
+    fault = faults_->Next(from, to, opcode, NextMessageIndex(from, to));
+    if (fault.kind == FaultKind::kDuplicate &&
+        opcode == static_cast<uint8_t>(wire::Opcode::kAdminSql)) {
+      // The admin channel is not idempotent (see fault_schedule.h);
+      // duplication is downgraded to a clean delivery.
+      fault.kind = FaultKind::kNone;
+    }
+    if (fault.kind != FaultKind::kNone) {
+      metrics_.Add(std::string("net.faults.") + FaultKindName(fault.kind), 1);
+    }
+    a.fault = fault.kind;
+  }
+
+  if (it->second.down || fault.kind == FaultKind::kOutage) {
+    // Connection refused / partitioned link: nothing crosses the wire;
+    // the caller burns the detection timeout.
+    a.status = Status::NetworkError("host '", to, "' is unreachable");
+    a.elapsed_ms = timeout_ms;
+    metrics_.Add("net.sim_us", static_cast<int64_t>(a.elapsed_ms * 1e3));
+    return a;
+  }
+
+  const double spike = fault.kind == FaultKind::kSpike ? fault.spike_factor
+                                                       : 1.0;
+  a.bytes_sent = static_cast<int64_t>(request.size()) + 16;  // header
+
+  if (fault.kind == FaultKind::kDrop) {
+    // The request vanishes in transit: bytes left the sender, the
+    // handler never ran, and the caller waits out the full window.
+    metrics_.Add("net.messages", 1);
+    metrics_.Add("net.bytes_sent", a.bytes_sent);
+    a.status = Status::NetworkError("message to host '", to,
+                                    "' lost in transit");
+    a.elapsed_ms = timeout_ms;
+    metrics_.Add("net.sim_us", static_cast<int64_t>(a.elapsed_ms * 1e3));
+    metrics_.Set("net.last_elapsed_ms", a.elapsed_ms);
+    return a;
+  }
+
+  double elapsed = spike * link.TransferTimeMs(a.bytes_sent);
 
   double processing_ms = 0.0;
   Result<std::vector<uint8_t>> response =
@@ -61,26 +137,93 @@ Result<RpcResult> SimNetwork::Call(const std::string& from,
   elapsed += processing_ms;
 
   metrics_.Add("net.messages", 1);
-  metrics_.Add("net.bytes_sent", result.bytes_sent);
+  metrics_.Add("net.bytes_sent", a.bytes_sent);
+
+  if (fault.kind == FaultKind::kDuplicate) {
+    // At-least-once delivery: the handler runs again on the duplicate
+    // and its (ignored) response still crosses the wire. The caller's
+    // latency is set by the first response alone.
+    double dup_processing_ms = 0.0;
+    Result<std::vector<uint8_t>> dup =
+        it->second.handler->Handle(opcode, request, &dup_processing_ms);
+    metrics_.Add("net.messages", 1);
+    metrics_.Add("net.bytes_sent", a.bytes_sent);
+    const int64_t dup_bytes =
+        dup.ok() ? static_cast<int64_t>(dup->size()) +
+                       static_cast<int64_t>(wire::kFrameHeaderBytes) + 16
+                 : static_cast<int64_t>(dup.status().message().size()) + 24;
+    metrics_.Add("net.bytes_received", dup_bytes);
+  }
 
   if (!response.ok()) {
     // Error frames still cross the wire.
     const int64_t err_bytes =
         static_cast<int64_t>(response.status().message().size()) + 24;
-    elapsed += link.TransferTimeMs(err_bytes);
+    elapsed += spike * link.TransferTimeMs(err_bytes);
     metrics_.Add("net.bytes_received", err_bytes);
+    a.bytes_received = err_bytes;
+    a.status = response.status();
+    a.elapsed_ms = elapsed;
+    metrics_.Add("net.sim_us", static_cast<int64_t>(elapsed * 1e3));
     metrics_.Set("net.last_elapsed_ms", elapsed);
-    return response.status();
+    return a;
   }
 
-  result.payload = std::move(*response);
-  result.bytes_received = static_cast<int64_t>(result.payload.size()) + 16;
-  elapsed += link.TransferTimeMs(result.bytes_received);
-  result.elapsed_ms = elapsed;
+  // The response travels inside a checksummed frame so in-flight damage
+  // is detected at the receiver instead of consumed.
+  std::vector<uint8_t> frame = wire::SealFrame(*response);
 
-  metrics_.Add("net.bytes_received", result.bytes_received);
-  metrics_.Add("net.bytes." + to, result.bytes_received);
+  if (fault.kind == FaultKind::kCrash) {
+    // The source dies mid-response: the connection resets after a
+    // deterministic prefix and the caller waits out the window before
+    // declaring it dead. The schedule has opened an outage window for
+    // the restart.
+    const size_t cut = frame.empty() ? 0 : fault.entropy % frame.size();
+    const int64_t partial = static_cast<int64_t>(cut) + 16;
+    elapsed += spike * link.TransferTimeMs(partial) + detection_window_ms;
+    metrics_.Add("net.bytes_received", partial);
+    a.bytes_received = partial;
+    a.status = Status::NetworkError("host '", to,
+                                    "' crashed mid-response after ", cut,
+                                    " of ", frame.size(), " frame bytes");
+    a.elapsed_ms = elapsed;
+    metrics_.Add("net.sim_us", static_cast<int64_t>(elapsed * 1e3));
+    metrics_.Set("net.last_elapsed_ms", elapsed);
+    return a;
+  }
+
+  if (fault.kind == FaultKind::kCorrupt) {
+    CorruptFrame(&frame, fault.entropy);
+  }
+
+  a.bytes_received = static_cast<int64_t>(frame.size()) + 16;
+  elapsed += spike * link.TransferTimeMs(a.bytes_received);
+  metrics_.Add("net.bytes_received", a.bytes_received);
+  metrics_.Add("net.bytes." + to, a.bytes_received);
+  metrics_.Add("net.sim_us", static_cast<int64_t>(elapsed * 1e3));
   metrics_.Set("net.last_elapsed_ms", elapsed);
+  a.elapsed_ms = elapsed;
+
+  Result<std::vector<uint8_t>> opened = wire::OpenFrame(frame);
+  if (!opened.ok()) {
+    a.status = opened.status();
+    return a;
+  }
+  a.payload = std::move(*opened);
+  a.status = Status::OK();
+  return a;
+}
+
+Result<RpcResult> SimNetwork::Call(const std::string& from,
+                                   const std::string& to, uint8_t opcode,
+                                   const std::vector<uint8_t>& request) {
+  RpcAttempt attempt = CallAttempt(from, to, opcode, request);
+  if (!attempt.ok()) return attempt.status;
+  RpcResult result;
+  result.payload = std::move(attempt.payload);
+  result.elapsed_ms = attempt.elapsed_ms;
+  result.bytes_sent = attempt.bytes_sent;
+  result.bytes_received = attempt.bytes_received;
   return result;
 }
 

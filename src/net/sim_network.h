@@ -12,6 +12,14 @@
 /// bytes, message counts, and simulated elapsed milliseconds from here;
 /// wall-clock time never enters the results, so every run is exactly
 /// reproducible.
+///
+/// Failure model: component systems are autonomous and fail
+/// independently of the mediator. Beyond the binary SetHostDown switch,
+/// an installed FaultSchedule injects seeded per-message faults (drops,
+/// duplicate deliveries, response corruption, transient outages,
+/// latency spikes, mid-transfer crashes); see net/fault_schedule.h.
+/// Responses cross the wire inside checksummed frames
+/// (wire::SealFrame), so corruption is detected, never consumed.
 
 #pragma once
 
@@ -24,6 +32,7 @@
 
 #include "common/metrics.h"
 #include "common/result.h"
+#include "net/fault_schedule.h"
 
 namespace gisql {
 
@@ -60,12 +69,27 @@ struct RpcResult {
   int64_t bytes_received = 0;   ///< response size
 };
 
+/// \brief Outcome of one *attempt*, failed or not. Unlike
+/// Result<RpcResult>, the simulated-time and byte accounting survive a
+/// failure, so retry loops can charge what the attempt actually cost.
+struct RpcAttempt {
+  Status status;                ///< OK, transport error, or app error
+  std::vector<uint8_t> payload; ///< valid iff status.ok()
+  double elapsed_ms = 0.0;      ///< charged even when the attempt failed
+  int64_t bytes_sent = 0;
+  int64_t bytes_received = 0;
+  FaultKind fault = FaultKind::kNone;  ///< what the schedule injected
+
+  bool ok() const { return status.ok(); }
+};
+
 /// \brief The simulated network fabric.
 ///
 /// Hosts register under unique names. Calls between hosts traverse the
 /// configured link (or the default link). Counters accumulated in
 /// metrics(): `net.messages`, `net.bytes_sent`, `net.bytes_received`,
-/// `net.bytes.<host>` (bytes received from that host).
+/// `net.bytes.<host>` (bytes received from that host), and
+/// `net.faults.<kind>` for every injected fault.
 class SimNetwork {
  public:
   void set_default_link(LinkSpec spec) { default_link_ = spec; }
@@ -82,17 +106,43 @@ class SimNetwork {
 
   Status UnregisterHost(const std::string& name);
 
-  /// \brief Marks a host unreachable (failure injection); calls to it
-  /// return NetworkError.
+  /// \brief Marks a host unreachable (hard failure injection); calls to
+  /// it return NetworkError. For richer seeded fault mixes install a
+  /// FaultSchedule instead.
   void SetHostDown(const std::string& name, bool down);
 
+  /// \name Seeded fault injection
+  /// @{
+
+  /// \brief Attaches a fault schedule. Replaces any previous schedule;
+  /// the network owns it.
+  void InstallFaults(uint64_t seed, FaultProfile profile);
+
+  void ClearFaults() { faults_.reset(); }
+
+  /// \brief The installed schedule (for targeted InjectOn), or nullptr.
+  FaultSchedule* faults() { return faults_.get(); }
+  /// @}
+
+  /// \brief Default detection window (ms) a caller waits, on top of two
+  /// propagation delays, before declaring a silent peer dead.
+  static constexpr double kDetectionWindowMs = 100.0;
+
   /// \brief Simulated time a caller wastes discovering that `to` is
-  /// unreachable (connection timeout model: two propagation delays plus
-  /// a fixed detection window). Callers implementing failover charge
-  /// this per dead host they try.
-  double TimeoutMs(const std::string& from, const std::string& to) const {
-    return 2.0 * GetLink(from, to).latency_ms + 100.0;
+  /// silent (connection timeout model: two propagation delays plus the
+  /// detection window — per-attempt timeout under a RetryPolicy).
+  double TimeoutMs(const std::string& from, const std::string& to,
+                   double detection_window_ms = kDetectionWindowMs) const {
+    return 2.0 * GetLink(from, to).latency_ms + detection_window_ms;
   }
+
+  /// \brief Performs one RPC attempt from `from` to `to`, applying any
+  /// scheduled fault. Accounting (bytes, messages, fault counters,
+  /// elapsed simulated time) is recorded whether or not the attempt
+  /// succeeds; transport failures charge the detection timeout.
+  RpcAttempt CallAttempt(const std::string& from, const std::string& to,
+                         uint8_t opcode, const std::vector<uint8_t>& request,
+                         double detection_window_ms = kDetectionWindowMs);
 
   /// \brief Synchronously performs one RPC from `from` to `to`.
   ///
@@ -100,7 +150,8 @@ class SimNetwork {
   /// simulated elapsed time; transfer sizes and message counts are
   /// added to metrics(). Application-level errors returned by the
   /// handler propagate as-is (the transfer of the error frame is still
-  /// accounted).
+  /// accounted). Convenience wrapper over CallAttempt for callers that
+  /// do not retry.
   Result<RpcResult> Call(const std::string& from, const std::string& to,
                          uint8_t opcode,
                          const std::vector<uint8_t>& request);
@@ -117,6 +168,9 @@ class SimNetwork {
     return a < b ? std::make_pair(a, b) : std::make_pair(b, a);
   }
 
+  /// \brief Next 0-based message index on the directed link (from, to).
+  uint64_t NextMessageIndex(const std::string& from, const std::string& to);
+
   struct HostEntry {
     RpcHandler* handler = nullptr;
     bool down = false;
@@ -125,6 +179,12 @@ class SimNetwork {
   LinkSpec default_link_;
   std::map<std::pair<std::string, std::string>, LinkSpec> links_;
   std::unordered_map<std::string, HostEntry> hosts_;
+  std::unique_ptr<FaultSchedule> faults_;
+  /// Per-directed-link message counters: the fault schedule's
+  /// randomness domain. Guarded by mu_ (fragments execute on worker
+  /// threads).
+  std::map<std::pair<std::string, std::string>, uint64_t> msg_index_;
+  std::mutex mu_;
   MetricsRegistry metrics_;
 };
 

@@ -285,7 +285,18 @@ Result<RowBatch> ComponentSource::ExecuteFragment(const FragmentPlan& frag,
 }
 
 Status ComponentSource::PrepareTxn(const std::string& txn_id,
-                                   const std::string& sql) {
+                                   const std::string& sql,
+                                   uint64_t stmt_seq) {
+  auto txn_it = staged_.find(txn_id);
+  if (txn_it != staged_.end()) {
+    auto seen = txn_it->second.seen.find(stmt_seq);
+    if (seen != txn_it->second.seen.end()) {
+      if (seen->second == sql) return Status::OK();  // redelivery
+      return Status::InvalidArgument(
+          "transaction '", txn_id, "' statement ", stmt_seq,
+          " redelivered with different SQL");
+    }
+  }
   GISQL_ASSIGN_OR_RETURN(sql::Statement stmt, sql::ParseStatement(sql));
   if (stmt.kind != sql::Statement::Kind::kInsert) {
     return Status::InvalidArgument(
@@ -311,20 +322,26 @@ Status ComponentSource::PrepareTxn(const std::string& txn_id,
                            table->ValidateRow(std::move(row)));
     staged.rows.push_back(std::move(validated));
   }
-  staged_[txn_id].push_back(std::move(staged));
+  auto& txn = staged_[txn_id];
+  txn.seen.emplace(stmt_seq, sql);
+  txn.writes.push_back(std::move(staged));
   return Status::OK();
 }
 
 Status ComponentSource::CommitTxn(const std::string& txn_id) {
   auto it = staged_.find(txn_id);
   if (it == staged_.end()) {
+    // A commit whose ack was lost gets retried: converge instead of
+    // reporting the (already satisfied) request as an error.
+    if (committed_.count(txn_id) > 0) return Status::OK();
     return Status::NotFound("transaction '", txn_id, "' is not prepared at '",
                             name_, "'");
   }
-  for (auto& write : it->second) {
+  for (auto& write : it->second.writes) {
     write.table->InsertUnchecked(std::move(write.rows));
   }
   staged_.erase(it);
+  committed_.insert(txn_id);
   return Status::OK();
 }
 
@@ -449,8 +466,9 @@ Result<std::vector<uint8_t>> ComponentSource::Handle(
 
     case wire::Opcode::kTxnPrepare: {
       GISQL_ASSIGN_OR_RETURN(std::string txn_id, reader.GetString());
+      GISQL_ASSIGN_OR_RETURN(uint64_t stmt_seq, reader.GetVarint());
       GISQL_ASSIGN_OR_RETURN(std::string sql, reader.GetString());
-      GISQL_RETURN_NOT_OK(PrepareTxn(txn_id, sql));
+      GISQL_RETURN_NOT_OK(PrepareTxn(txn_id, sql, stmt_seq));
       return writer.Release();
     }
 

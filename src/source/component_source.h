@@ -12,6 +12,7 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -67,12 +68,28 @@ class ComponentSource : public RpcHandler {
   /// autonomous), so prepare-validated rows can still conflict with
   /// concurrent local writes — the staging guarantees atomicity of the
   /// *global* statement set, not serializability.
+  ///
+  /// The faulty WAN delivers at-least-once, so the participant side is
+  /// idempotent: PREPARE dedups statements by `stmt_seq` within a
+  /// transaction (a redelivered statement is a no-op; the same seq with
+  /// different SQL is rejected), and COMMIT of an already-committed
+  /// transaction returns OK instead of NotFound so a retried commit
+  /// whose first ack was lost converges. ABORT was always idempotent.
   /// @{
-  Status PrepareTxn(const std::string& txn_id, const std::string& sql);
+  Status PrepareTxn(const std::string& txn_id, const std::string& sql,
+                    uint64_t stmt_seq = 0);
   Status CommitTxn(const std::string& txn_id);
   Status AbortTxn(const std::string& txn_id);
   /// \brief Number of transactions currently staged (tests/monitoring).
   size_t pending_txns() const { return staged_.size(); }
+  /// \brief Ids of staged transactions (sorted) — what an operator
+  /// resolving an in-doubt global transaction would inspect.
+  std::vector<std::string> staged_txn_ids() const {
+    std::vector<std::string> ids;
+    ids.reserve(staged_.size());
+    for (const auto& [id, txn] : staged_) ids.push_back(id);
+    return ids;
+  }
   /// @}
 
   /// \name Snapshot persistence
@@ -98,7 +115,15 @@ class ComponentSource : public RpcHandler {
     TablePtr table;
     std::vector<Row> rows;
   };
-  std::map<std::string, std::vector<StagedWrite>> staged_;
+  struct StagedTxn {
+    std::vector<StagedWrite> writes;
+    /// stmt_seq -> SQL text, for at-least-once prepare deduplication.
+    std::map<uint64_t, std::string> seen;
+  };
+  std::map<std::string, StagedTxn> staged_;
+  /// Ids of transactions this participant has applied (presumed-commit
+  /// memory): a redelivered COMMIT answers OK instead of NotFound.
+  std::set<std::string> committed_;
 
   /// One request at a time per source: the mediator may dispatch
   /// fragments to different sources from worker threads, and a source's

@@ -1,5 +1,6 @@
 #include "wire/protocol.h"
 
+#include "common/hash.h"
 #include "wire/serde.h"
 
 namespace gisql {
@@ -39,6 +40,33 @@ Result<std::vector<uint8_t>> DecodeResponse(
   }
   std::vector<uint8_t> payload(frame.end() - n, frame.end());
   return payload;
+}
+
+std::vector<uint8_t> SealFrame(const std::vector<uint8_t>& payload) {
+  ByteWriter w;
+  w.PutU32(Crc32(payload.data(), payload.size()));
+  w.PutU32(static_cast<uint32_t>(payload.size()));
+  w.PutRaw(payload.data(), payload.size());
+  return w.Release();
+}
+
+Result<std::vector<uint8_t>> OpenFrame(const std::vector<uint8_t>& frame) {
+  ByteReader r(frame);
+  GISQL_ASSIGN_OR_RETURN(uint32_t crc, r.GetU32());
+  GISQL_ASSIGN_OR_RETURN(uint32_t declared, r.GetU32());
+  if (declared != r.remaining()) {
+    return Status::SerializationError(
+        "frame truncated: ", declared, " payload bytes declared, ",
+        r.remaining(), " present");
+  }
+  const uint8_t* body = frame.data() + kFrameHeaderBytes;
+  const uint32_t actual = Crc32(body, declared);
+  if (actual != crc) {
+    return Status::SerializationError(
+        "frame checksum mismatch: expected ", crc, ", computed ", actual,
+        " over ", declared, " bytes");
+  }
+  return std::vector<uint8_t>(body, body + declared);
 }
 
 void WriteTableStats(ByteWriter* w, const TableStats& stats) {

@@ -21,7 +21,7 @@ enum class Opcode : uint8_t {
   kGetStats = 4,         ///< payload: table name → serialized stats
   kExecuteFragment = 5,  ///< payload: FragmentPlan → row batch
   kAdminSql = 6,         ///< payload: DDL/DML text → empty (admin channel)
-  kTxnPrepare = 7,       ///< payload: txn id + INSERT sql → empty (staged)
+  kTxnPrepare = 7,       ///< payload: txn id + stmt seq + INSERT sql → empty
   kTxnCommit = 8,        ///< payload: txn id → empty (apply staged rows)
   kTxnAbort = 9,         ///< payload: txn id → empty (drop staged rows)
 };
@@ -33,6 +33,25 @@ std::vector<uint8_t> EncodeResponse(const Status& status,
 
 /// \brief Decodes a response frame back into Status-or-payload.
 Result<std::vector<uint8_t>> DecodeResponse(const std::vector<uint8_t>& frame);
+
+/// \name Checksummed transport frames
+///
+/// Every successful RPC response crosses the simulated network inside a
+/// frame carrying a CRC-32 of the payload, so in-flight corruption and
+/// mid-transfer truncation are *detected* — the decoder returns a typed
+/// SerializationError, never garbage rows and never UB. The 8-byte
+/// header is [crc32 u32][payload length u32].
+/// @{
+constexpr size_t kFrameHeaderBytes = 8;
+
+/// \brief Wraps a payload in a checksummed frame.
+std::vector<uint8_t> SealFrame(const std::vector<uint8_t>& payload);
+
+/// \brief Validates a frame's length and checksum; returns the payload
+/// or a SerializationError naming the defect (truncation / checksum
+/// mismatch / length mismatch).
+Result<std::vector<uint8_t>> OpenFrame(const std::vector<uint8_t>& frame);
+/// @}
 
 /// \name Table statistics serde (catalog refresh path)
 /// @{

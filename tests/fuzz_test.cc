@@ -1,12 +1,15 @@
 /// Robustness fuzzing (seeded, deterministic): random byte strings and
-/// mutated-valid SQL through the parser, and random token recombination
-/// through the full mediator — nothing may crash; errors must be typed.
+/// mutated-valid SQL through the parser, random token recombination
+/// through the full mediator, and bit-flipped/truncated transport
+/// frames through the checksum layer — nothing may crash; errors must
+/// be typed.
 
 #include <gtest/gtest.h>
 
 #include "common/rng.h"
 #include "core/global_system.h"
 #include "sql/parser.h"
+#include "wire/protocol.h"
 
 namespace gisql {
 namespace {
@@ -100,10 +103,68 @@ TEST_P(MediatorFuzz, RandomTokenQueriesFailCleanly) {
   }
 }
 
+class FrameFuzz : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(FrameFuzz, CorruptedFramesAreRejectedTyped) {
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 400; ++trial) {
+    std::vector<uint8_t> payload(
+        static_cast<size_t>(rng.Uniform(0, 2048)));
+    for (auto& b : payload) {
+      b = static_cast<uint8_t>(rng.Uniform(0, 255));
+    }
+    const std::vector<uint8_t> frame = wire::SealFrame(payload);
+
+    // Clean round trip.
+    auto clean = wire::OpenFrame(frame);
+    ASSERT_TRUE(clean.ok()) << clean.status().ToString();
+    ASSERT_EQ(*clean, payload);
+
+    std::vector<uint8_t> mutated = frame;
+    const int mode = static_cast<int>(rng.Uniform(0, 2));
+    bool must_fail = false;
+    if (mode == 0) {
+      // 1–3 bit flips: below CRC-32's Hamming-distance-4 length bound
+      // (~11 KB), these are *guaranteed* detectable, so the checksum
+      // must reject — silently consuming a flipped frame is a bug.
+      const int flips = static_cast<int>(rng.Uniform(1, 3));
+      for (int f = 0; f < flips; ++f) {
+        const size_t bit = static_cast<size_t>(
+            rng.Uniform(0, static_cast<int64_t>(mutated.size() * 8) - 1));
+        mutated[bit / 8] ^= static_cast<uint8_t>(1u << (bit % 8));
+      }
+      must_fail = mutated != frame;
+    } else if (mode == 1) {
+      // Truncation anywhere, including inside the 8-byte header.
+      mutated.resize(static_cast<size_t>(
+          rng.Uniform(0, static_cast<int64_t>(frame.size()) - 1)));
+      must_fail = true;
+    } else {
+      // Trailing garbage (length mismatch).
+      const int extra = static_cast<int>(rng.Uniform(1, 16));
+      for (int e = 0; e < extra; ++e) {
+        mutated.push_back(static_cast<uint8_t>(rng.Uniform(0, 255)));
+      }
+      must_fail = true;
+    }
+
+    auto opened = wire::OpenFrame(mutated);
+    if (must_fail) {
+      ASSERT_FALSE(opened.ok()) << "undetected corruption, trial " << trial;
+    }
+    if (!opened.ok()) {
+      EXPECT_TRUE(opened.status().IsSerializationError())
+          << opened.status().ToString();
+    }
+  }
+}
+
 INSTANTIATE_TEST_SUITE_P(Seeds, ParserFuzz,
                          ::testing::Range<uint64_t>(500, 505));
 INSTANTIATE_TEST_SUITE_P(Seeds, MediatorFuzz,
                          ::testing::Range<uint64_t>(600, 604));
+INSTANTIATE_TEST_SUITE_P(Seeds, FrameFuzz,
+                         ::testing::Range<uint64_t>(700, 706));
 
 }  // namespace
 }  // namespace gisql

@@ -1,9 +1,11 @@
 /// Unit tests for the simulated network: link timing model, RPC routing,
-/// accounting, failure injection.
+/// accounting, failure injection (binary and seeded), and retry/backoff.
 
 #include <gtest/gtest.h>
 
+#include "net/retry.h"
 #include "net/sim_network.h"
+#include "wire/protocol.h"
 
 namespace gisql {
 namespace {
@@ -143,6 +145,226 @@ TEST(SimNetworkTest, HostLifecycle) {
   ASSERT_TRUE(net.UnregisterHost("a").ok());
   EXPECT_TRUE(net.UnregisterHost("a").IsNotFound());
   EXPECT_TRUE(net.Call("m", "a", 1, {}).status().IsNetworkError());
+}
+
+/// Counts handler invocations (for duplicate-delivery tests).
+class CountingHandler : public RpcHandler {
+ public:
+  Result<std::vector<uint8_t>> Handle(uint8_t opcode,
+                                      const std::vector<uint8_t>& request,
+                                      double*) override {
+    ++calls;
+    std::vector<uint8_t> out = request;
+    out.push_back(opcode);
+    return out;
+  }
+  int calls = 0;
+};
+
+TEST(FaultScheduleTest, SameSeedReplaysSameDecisions) {
+  const FaultProfile profile = FaultProfile::Chaos(1.0);
+  FaultSchedule a(99, profile);
+  FaultSchedule b(99, profile);
+  FaultSchedule other(100, profile);
+  int faults = 0, diverged = 0;
+  for (uint64_t i = 0; i < 300; ++i) {
+    auto da = a.Next("m", "s1", 5, i);
+    auto db = b.Next("m", "s1", 5, i);
+    EXPECT_EQ(da.kind, db.kind) << i;
+    EXPECT_EQ(da.entropy, db.entropy) << i;
+    if (da.kind != FaultKind::kNone) ++faults;
+    if (da.kind != other.Next("m", "s1", 5, i).kind) ++diverged;
+  }
+  // Intensity 1.0 faults roughly a third of messages, and a different
+  // seed produces a genuinely different schedule.
+  EXPECT_GT(faults, 50);
+  EXPECT_GT(diverged, 20);
+}
+
+TEST(FaultScheduleTest, TargetedOutageOpensWindow) {
+  FaultSchedule sched(1, FaultProfile{});  // no probabilistic faults
+  sched.InjectOn("s1", /*opcode=*/-1, FaultKind::kOutage, 1);
+  EXPECT_EQ(sched.Next("m", "s1", 5, 0).kind, FaultKind::kOutage);
+  // The default profile swallows the next outage_messages = 2 messages.
+  EXPECT_EQ(sched.Next("m", "s1", 5, 1).kind, FaultKind::kOutage);
+  EXPECT_EQ(sched.Next("m", "s1", 5, 2).kind, FaultKind::kOutage);
+  EXPECT_EQ(sched.Next("m", "s1", 5, 3).kind, FaultKind::kNone);
+  // Other links are unaffected.
+  EXPECT_EQ(sched.Next("m", "s2", 5, 0).kind, FaultKind::kNone);
+}
+
+TEST(FaultScheduleTest, TargetedInjectionMatchesOpcode) {
+  FaultSchedule sched(1, FaultProfile{});
+  sched.InjectOn("s1", /*opcode=*/7, FaultKind::kDrop, 1);
+  EXPECT_EQ(sched.Next("m", "s1", 5, 0).kind, FaultKind::kNone);
+  EXPECT_EQ(sched.Next("m", "s1", 7, 1).kind, FaultKind::kDrop);
+  EXPECT_EQ(sched.Next("m", "s1", 7, 2).kind, FaultKind::kNone);  // spent
+}
+
+TEST(SimNetworkFaultTest, DropChargesDetectionTimeout) {
+  SimNetwork net;
+  EchoHandler handler;
+  ASSERT_TRUE(net.RegisterHost("s1", &handler).ok());
+  net.InstallFaults(5, FaultProfile{});
+  net.faults()->InjectOn("s1", -1, FaultKind::kDrop, 1);
+
+  RpcAttempt a = net.CallAttempt("m", "s1", 1, {1, 2, 3});
+  EXPECT_TRUE(a.status.IsNetworkError()) << a.status.ToString();
+  EXPECT_EQ(a.fault, FaultKind::kDrop);
+  EXPECT_DOUBLE_EQ(a.elapsed_ms, net.TimeoutMs("m", "s1"));
+  EXPECT_EQ(net.metrics().Get("net.faults.drop"), 1);
+  // The wasted request still crossed the wire.
+  EXPECT_EQ(net.metrics().Get("net.bytes_sent"), 3 + 16);
+  EXPECT_EQ(net.metrics().Get("net.bytes_received"), 0);
+}
+
+TEST(SimNetworkFaultTest, CorruptionCaughtByChecksum) {
+  SimNetwork net;
+  EchoHandler handler;
+  ASSERT_TRUE(net.RegisterHost("s1", &handler).ok());
+  net.InstallFaults(5, FaultProfile{});
+  net.faults()->InjectOn("s1", -1, FaultKind::kCorrupt, 1);
+
+  RpcAttempt a = net.CallAttempt("m", "s1", 1, {1, 2, 3});
+  EXPECT_TRUE(a.status.IsSerializationError()) << a.status.ToString();
+  EXPECT_EQ(net.metrics().Get("net.faults.corrupt"), 1);
+  // The damaged response was fully transferred before rejection.
+  EXPECT_GT(a.bytes_received, 0);
+  // A clean retry succeeds and round-trips the payload.
+  RpcAttempt b = net.CallAttempt("m", "s1", 1, {1, 2, 3});
+  ASSERT_TRUE(b.ok()) << b.status.ToString();
+  EXPECT_EQ(b.payload, (std::vector<uint8_t>{1, 2, 3, 1}));
+}
+
+TEST(SimNetworkFaultTest, CrashTruncatesAndLeavesOutageWindow) {
+  SimNetwork net;
+  EchoHandler handler;
+  ASSERT_TRUE(net.RegisterHost("s1", &handler).ok());
+  net.InstallFaults(5, FaultProfile{});
+  net.faults()->InjectOn("s1", -1, FaultKind::kCrash, 1);
+
+  RpcAttempt crash = net.CallAttempt("m", "s1", 1, {9});
+  EXPECT_TRUE(crash.status.IsNetworkError());
+  EXPECT_NE(crash.status.message().find("crashed mid-response"),
+            std::string::npos)
+      << crash.status.ToString();
+  // The source restarts: the next outage_messages = 2 messages die too.
+  EXPECT_EQ(net.CallAttempt("m", "s1", 1, {9}).fault, FaultKind::kOutage);
+  EXPECT_EQ(net.CallAttempt("m", "s1", 1, {9}).fault, FaultKind::kOutage);
+  EXPECT_TRUE(net.CallAttempt("m", "s1", 1, {9}).ok());
+}
+
+TEST(SimNetworkFaultTest, SpikeSlowsTheLink) {
+  SimNetwork net;
+  EchoHandler handler;
+  ASSERT_TRUE(net.RegisterHost("s1", &handler).ok());
+  net.set_default_link({5.0, 10.0});
+  const std::vector<uint8_t> req(10000);
+
+  RpcAttempt clean = net.CallAttempt("m", "s1", 1, req);
+  ASSERT_TRUE(clean.ok());
+
+  net.InstallFaults(5, FaultProfile{});
+  net.faults()->InjectOn("s1", -1, FaultKind::kSpike, 1);
+  RpcAttempt spiked = net.CallAttempt("m", "s1", 1, req);
+  ASSERT_TRUE(spiked.ok());  // slow, not wrong
+  EXPECT_EQ(spiked.payload, clean.payload);
+  EXPECT_GT(spiked.elapsed_ms, clean.elapsed_ms * 4);
+}
+
+TEST(SimNetworkFaultTest, DuplicateDeliveryRunsHandlerTwice) {
+  SimNetwork net;
+  CountingHandler handler;
+  ASSERT_TRUE(net.RegisterHost("s1", &handler).ok());
+  net.InstallFaults(5, FaultProfile{});
+  net.faults()->InjectOn("s1", -1, FaultKind::kDuplicate, 1);
+
+  RpcAttempt a = net.CallAttempt("m", "s1", 1, {1});
+  ASSERT_TRUE(a.ok());
+  EXPECT_EQ(a.payload, (std::vector<uint8_t>{1, 1}));
+  EXPECT_EQ(handler.calls, 2);
+  EXPECT_EQ(net.metrics().Get("net.messages"), 2);
+}
+
+TEST(SimNetworkFaultTest, AdminChannelIsExemptFromDuplication) {
+  SimNetwork net;
+  CountingHandler handler;
+  ASSERT_TRUE(net.RegisterHost("s1", &handler).ok());
+  net.InstallFaults(5, FaultProfile{});
+  net.faults()->InjectOn(
+      "s1", static_cast<int>(wire::Opcode::kAdminSql),
+      FaultKind::kDuplicate, 1);
+
+  RpcAttempt a = net.CallAttempt(
+      "m", "s1", static_cast<uint8_t>(wire::Opcode::kAdminSql), {1});
+  ASSERT_TRUE(a.ok());
+  // Non-idempotent DDL/DML must not be applied twice by the simulator.
+  EXPECT_EQ(handler.calls, 1);
+  EXPECT_EQ(a.fault, FaultKind::kNone);
+}
+
+TEST(RetryPolicyTest, BackoffIsDeterministicJitteredAndCapped) {
+  RetryPolicy p = RetryPolicy::Standard(8, 77);
+  for (int attempt = 1; attempt <= 7; ++attempt) {
+    const double d1 = p.BackoffMs(attempt, 123);
+    const double d2 = p.BackoffMs(attempt, 123);
+    EXPECT_DOUBLE_EQ(d1, d2);
+    double nominal = p.backoff_base_ms;
+    for (int i = 1; i < attempt; ++i) nominal *= p.backoff_multiplier;
+    nominal = std::min(nominal, p.backoff_max_ms);
+    EXPECT_GE(d1, nominal * (1.0 - p.jitter) - 1e-9);
+    EXPECT_LE(d1, nominal * (1.0 + p.jitter) + 1e-9);
+    // Different streams decorrelate.
+    EXPECT_NE(p.BackoffMs(attempt, 123), p.BackoffMs(attempt, 456));
+  }
+}
+
+TEST(RetryTest, RecoversAfterTransientFault) {
+  SimNetwork net;
+  EchoHandler handler;
+  ASSERT_TRUE(net.RegisterHost("s1", &handler).ok());
+  RpcAttempt clean = net.CallAttempt("m", "s1", 1, {1});
+  ASSERT_TRUE(clean.ok());
+
+  net.InstallFaults(5, FaultProfile{});
+  net.faults()->InjectOn("s1", -1, FaultKind::kDrop, 1);
+  RetryResult r =
+      CallWithRetry(net, RetryPolicy::Standard(3), "m", "s1", 1, {1});
+  ASSERT_TRUE(r.ok()) << r.status.ToString();
+  EXPECT_EQ(r.attempts, 2);
+  EXPECT_EQ(r.payload, clean.payload);
+  // The recovery charged timeout + backoff + the clean round trip.
+  EXPECT_GT(r.elapsed_ms,
+            clean.elapsed_ms + net.TimeoutMs("m", "s1"));
+  EXPECT_EQ(net.metrics().Get("net.retries"), 1);
+}
+
+TEST(RetryTest, ExhaustionNamesTheDeadSource) {
+  SimNetwork net;
+  EchoHandler handler;
+  ASSERT_TRUE(net.RegisterHost("s1", &handler).ok());
+  net.SetHostDown("s1", true);
+
+  RetryResult r =
+      CallWithRetry(net, RetryPolicy::Standard(4), "m", "s1", 1, {1});
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status.IsNetworkError());
+  EXPECT_EQ(r.attempts, 4);
+  EXPECT_NE(r.status.message().find("'s1'"), std::string::npos);
+  EXPECT_NE(r.status.message().find("4 attempts"), std::string::npos);
+  // Four detection timeouts plus three backoffs, all simulated.
+  EXPECT_GT(r.elapsed_ms, 4 * net.TimeoutMs("m", "s1"));
+}
+
+TEST(RetryTest, ApplicationErrorsAreNotRetried) {
+  SimNetwork net;
+  EchoHandler handler;
+  ASSERT_TRUE(net.RegisterHost("s1", &handler).ok());
+  RetryResult r = CallWithRetry(net, RetryPolicy::Standard(5), "m", "s1",
+                                0xff, {});
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status.IsExecutionError());
+  EXPECT_EQ(r.attempts, 1);
 }
 
 }  // namespace
