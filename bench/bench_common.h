@@ -9,12 +9,52 @@
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 
 #include "core/global_system.h"
 
 namespace gisql {
 namespace bench {
+
+/// \brief True when GISQL_BENCH_SMOKE is set. Under the ctest
+/// `perf-smoke` label every bench binary runs with a shrunken workload
+/// so a full sweep finishes in about a second — enough to catch bench
+/// code that no longer compiles against the library or crashes at
+/// runtime, without turning tier-1 into a benchmark run.
+inline bool SmokeMode() { return std::getenv("GISQL_BENCH_SMOKE") != nullptr; }
+
+/// \brief `full` normally, `smoke` under GISQL_BENCH_SMOKE.
+template <typename T>
+inline T Scaled(T full, T smoke) {
+  return SmokeMode() ? smoke : full;
+}
+
+/// \brief Throughput of a transfer/merge step, derived from the
+/// deterministic simulation (rows and wire bytes over simulated time)
+/// or from wall-clock microbenchmarks — the caller picks the clock.
+struct Throughput {
+  double rows_per_sec = 0.0;
+  double mb_per_sec = 0.0;
+};
+
+inline Throughput ThroughputOf(double rows, double bytes, double seconds) {
+  Throughput t;
+  if (seconds > 0.0) {
+    t.rows_per_sec = rows / seconds;
+    t.mb_per_sec = bytes / (1024.0 * 1024.0) / seconds;
+  }
+  return t;
+}
+
+/// \brief "1.23M rows/s 45.6 MB/s" — the standard before/after format
+/// shared by E2/E7/E10 so numbers stay comparable across reports.
+inline std::string FormatThroughput(const Throughput& t) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%8.2fM rows/s %8.1f MB/s",
+                t.rows_per_sec / 1e6, t.mb_per_sec);
+  return buf;
+}
 
 /// \brief Runs a query and returns its metrics; aborts on error so a
 /// broken experiment fails loudly.

@@ -31,7 +31,7 @@ int main() {
         "CREATE TABLE catalog_t (id bigint, name varchar, price double)");
     auto t = *src->engine().GetTable("catalog_t");
     std::vector<Row> rows;
-    for (int r = 0; r < 20000; ++r) {
+    for (int r = 0; r < Scaled(20000, 1000); ++r) {
       rows.push_back({Value::Int(r), Value::String("item"),
                       Value::Double(r * 0.01)});
     }

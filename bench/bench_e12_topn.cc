@@ -30,7 +30,7 @@ int main() {
     spec.num_sites = sites;
     spec.num_customers = 100;
     spec.num_products = 100;
-    spec.orders_per_site = 25000;
+    spec.orders_per_site = Scaled(25000, 1000);
     if (Status st = BuildRetailFederation(&gis, spec); !st.ok()) {
       std::fprintf(stderr, "%s\n", st.ToString().c_str());
       return 1;

@@ -58,7 +58,7 @@ int main() {
   (void)src->ExecuteLocalSql("CREATE TABLE t (v bigint)");
   Rng rng(99);
   std::vector<Row> rows;
-  for (int i = 0; i < 100000; ++i) {
+  for (int i = 0; i < Scaled(100000, 5000); ++i) {
     rows.push_back({Value::Int(rng.Bernoulli(0.9)
                                    ? rng.Uniform(0, 99)
                                    : rng.Uniform(100, 10000))});

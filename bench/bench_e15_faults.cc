@@ -30,7 +30,7 @@ void Build(GlobalSystem* gis) {
         "CREATE TABLE catalog_t (id bigint, name varchar, price double)");
     auto t = *src->engine().GetTable("catalog_t");
     std::vector<Row> rows;
-    for (int r = 0; r < 20000; ++r) {
+    for (int r = 0; r < Scaled(20000, 1000); ++r) {
       rows.push_back({Value::Int(r), Value::String("item"),
                       Value::Double(r * 0.01)});
     }
@@ -56,13 +56,16 @@ Outcome Scenario(FaultKind kind, int count, bool kill_both) {
   gis.set_retry_policy(RetryPolicy::Standard(4, /*seed=*/15));
   gis.network().InstallFaults(/*seed=*/15, FaultProfile{});
   if (kind != FaultKind::kNone) {
-    gis.network().faults()->InjectOn(
-        "replica0", static_cast<int>(wire::Opcode::kExecuteFragment), kind,
-        count);
-    if (kill_both) {
-      gis.network().faults()->InjectOn(
-          "replica1", static_cast<int>(wire::Opcode::kExecuteFragment),
-          kind, count);
+    // Fragments travel under the columnar opcode by default and the row
+    // opcode when A/B-ing, so the schedule covers both.
+    for (auto op : {wire::Opcode::kExecuteFragment,
+                    wire::Opcode::kExecuteFragmentColumnar}) {
+      gis.network().faults()->InjectOn("replica0", static_cast<int>(op),
+                                       kind, count);
+      if (kill_both) {
+        gis.network().faults()->InjectOn("replica1", static_cast<int>(op),
+                                         kind, count);
+      }
     }
   }
 

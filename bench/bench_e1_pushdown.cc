@@ -22,7 +22,7 @@ int main() {
   spec.num_sites = 1;
   spec.num_customers = 100;
   spec.num_products = 100;
-  spec.orders_per_site = 100000;
+  spec.orders_per_site = Scaled(100000, 2000);
   if (Status st = BuildRetailFederation(&gis, spec); !st.ok()) {
     std::fprintf(stderr, "%s\n", st.ToString().c_str());
     return 1;

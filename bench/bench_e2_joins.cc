@@ -55,11 +55,14 @@ int main() {
          "semijoin wins while |dim| << |fact| and loses past the "
          "crossover; the auto strategy should track the winner");
 
-  const int kFactRows = 100000;
-  std::printf("%10s | %12s %12s %12s | %12s %12s %12s | %s\n", "dim_rows",
-              "ship_KiB", "semi_KiB", "auto_KiB", "ship_ms", "semi_ms",
-              "auto_ms", "auto chose");
-  for (int dim_rows : {10, 100, 1000, 10000, 50000, 100000}) {
+  const int kFactRows = Scaled(100000, 2000);
+  std::printf("%10s | %12s %12s %12s | %12s %12s %12s | %-8s | %s\n",
+              "dim_rows", "ship_KiB", "semi_KiB", "auto_KiB", "ship_ms",
+              "semi_ms", "auto_ms", "auto chose", "auto wire throughput");
+  const std::vector<int> dim_sweep =
+      SmokeMode() ? std::vector<int>{10, 1000}
+                  : std::vector<int>{10, 100, 1000, 10000, 50000, 100000};
+  for (int dim_rows : dim_sweep) {
     GlobalSystem gis;
     BuildWorld(gis, dim_rows, kFactRows);
     const std::string q =
@@ -83,12 +86,17 @@ int main() {
         explain.find("semijoin-reduced") != std::string::npos;
     auto m_auto = Run(gis, q);
 
+    // Wire throughput of the auto plan over simulated time: fact rows
+    // merged per simulated second and wire MB per simulated second.
+    const auto tp = ThroughputOf(kFactRows,
+                                 static_cast<double>(m_auto.bytes_received),
+                                 m_auto.elapsed_ms / 1000.0);
     std::printf(
-        "%10d | %12.1f %12.1f %12.1f | %12.2f %12.2f %12.2f | %s\n",
+        "%10d | %12.1f %12.1f %12.1f | %12.2f %12.2f %12.2f | %-8s | %s\n",
         dim_rows, m_ship.bytes_received / 1024.0,
         m_semi.bytes_received / 1024.0, m_auto.bytes_received / 1024.0,
         m_ship.elapsed_ms, m_semi.elapsed_ms, m_auto.elapsed_ms,
-        chose_semi ? "semijoin" : "ship");
+        chose_semi ? "semijoin" : "ship", FormatThroughput(tp).c_str());
   }
   return 0;
 }

@@ -24,7 +24,7 @@ GlobalSystem* BuildWorld() {
   spec.num_sites = 1;
   spec.num_customers = 100;
   spec.num_products = 100;
-  spec.orders_per_site = 100000;
+  spec.orders_per_site = bench::Scaled(100000, 2000);
   Status st = BuildRetailFederation(gis, spec);
   if (!st.ok()) {
     std::fprintf(stderr, "%s\n", st.ToString().c_str());

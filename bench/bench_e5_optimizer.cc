@@ -27,8 +27,11 @@ void BuildWorld(GlobalSystem& gis) {
     ComponentSource* site;
   };
   const Spec specs[] = {
-      {"t1", 10, a},  {"t2", 100, a},   {"t3", 1000, b},
-      {"t4", 5000, b}, {"t5", 20000, b},
+      {"t1", 10, a},
+      {"t2", 100, a},
+      {"t3", Scaled(1000, 200), b},
+      {"t4", Scaled(5000, 400), b},
+      {"t5", Scaled(20000, 800), b},
   };
   for (const auto& s : specs) {
     (void)s.site->ExecuteLocalSql(

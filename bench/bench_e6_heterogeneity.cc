@@ -38,7 +38,7 @@ int main() {
         "qty bigint, amount double, pad varchar)");
     auto t = *src->engine().GetTable("sales");
     std::vector<Row> rows;
-    for (int i = 0; i < 50000; ++i) {
+    for (int i = 0; i < Scaled(50000, 2000); ++i) {
       rows.push_back({Value::Int(i), Value::Int(i % 500),
                       Value::Int(i % 100), Value::Int(1 + i % 9),
                       Value::Double(i * 0.37),

@@ -22,7 +22,7 @@ int main() {
   spec.num_sites = 4;
   spec.num_customers = 100;
   spec.num_products = 100;
-  spec.orders_per_site = 50000;
+  spec.orders_per_site = Scaled(50000, 1000);
   if (Status st = BuildRetailFederation(&gis, spec); !st.ok()) {
     std::fprintf(stderr, "%s\n", st.ToString().c_str());
     return 1;
@@ -35,9 +35,14 @@ int main() {
          "partial aggregation wins by ~rows/groups while groups << rows; "
          "the two converge as every row becomes its own group");
 
-  std::printf("%10s %10s | %12s %12s | %12s %12s | %8s\n", "K", "groups",
-              "part_KiB", "cent_KiB", "part_ms", "cent_ms", "ratio");
-  for (long long k : {1LL, 16LL, 256LL, 4096LL, 65536LL, 1000000LL}) {
+  std::printf("%10s %10s | %12s %12s | %12s %12s | %8s | %s\n", "K",
+              "groups", "part_KiB", "cent_KiB", "part_ms", "cent_ms",
+              "ratio", "partial wire throughput");
+  const std::vector<long long> sweep =
+      SmokeMode()
+          ? std::vector<long long>{1, 256}
+          : std::vector<long long>{1, 16, 256, 4096, 65536, 1000000};
+  for (long long k : sweep) {
     const std::string q = "SELECT sid % " + std::to_string(k) +
                           " AS g, COUNT(*), SUM(amount) FROM sales GROUP "
                           "BY sid % " + std::to_string(k);
@@ -50,10 +55,17 @@ int main() {
     gis.set_options(central);
     auto cent = Run(gis, q);
 
-    std::printf("%10lld %10zu | %12.1f %12.1f | %12.2f %12.2f | %8.2fx\n",
-                k, groups, partial.bytes_received / 1024.0,
-                cent.bytes_received / 1024.0, partial.elapsed_ms,
-                cent.elapsed_ms, cent.elapsed_ms / partial.elapsed_ms);
+    // Aggregated rows per simulated second and wire MB per simulated
+    // second for the partial-aggregation plan.
+    const auto tp = ThroughputOf(
+        static_cast<double>(spec.num_sites) * spec.orders_per_site,
+        static_cast<double>(partial.bytes_received),
+        partial.elapsed_ms / 1000.0);
+    std::printf(
+        "%10lld %10zu | %12.1f %12.1f | %12.2f %12.2f | %8.2fx | %s\n", k,
+        groups, partial.bytes_received / 1024.0,
+        cent.bytes_received / 1024.0, partial.elapsed_ms, cent.elapsed_ms,
+        cent.elapsed_ms / partial.elapsed_ms, FormatThroughput(tp).c_str());
   }
   return 0;
 }

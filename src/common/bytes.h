@@ -60,6 +60,7 @@ class ByteWriter {
   void PutBool(bool v) { PutU8(v ? 1 : 0); }
 
   void PutRaw(const void* data, size_t n) {
+    if (n == 0) return;  // data may be null for an empty column
     const auto* p = static_cast<const uint8_t*>(data);
     buf_.insert(buf_.end(), p, p + n);
   }
@@ -131,10 +132,21 @@ class ByteReader {
 
   Result<std::string> GetString() {
     GISQL_ASSIGN_OR_RETURN(uint64_t n, GetVarint());
-    if (pos_ + n > size_) return Truncated("string body");
+    // n comes off the wire: compare against remaining() so a huge value
+    // cannot overflow pos_ + n past the check.
+    if (n > size_ - pos_) return Truncated("string body");
     std::string s(reinterpret_cast<const char*>(data_ + pos_), n);
     pos_ += n;
     return s;
+  }
+
+  /// \brief Borrows `n` raw bytes from the buffer (bulk columnar data);
+  /// the pointer is valid for the reader's underlying buffer lifetime.
+  Result<const uint8_t*> GetRaw(size_t n) {
+    if (n > size_ - pos_) return Truncated("raw bytes");
+    const uint8_t* p = data_ + pos_;
+    pos_ += n;
+    return p;
   }
 
   Result<bool> GetBool() {

@@ -1,0 +1,99 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+
+namespace gisql {
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  const size_t n = std::max<size_t>(1, num_threads);
+  threads_.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    threads_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  cv_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+size_t ThreadPool::DefaultThreads() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return std::max(2u, hw);
+}
+
+void ThreadPool::Submit(std::shared_ptr<Task> task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::WorkerLoop() {
+  while (true) {
+    std::shared_ptr<Task> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // shutdown with a drained queue
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    if (task->claimed.exchange(true)) continue;  // a waiter ran it inline
+    const int64_t running = active_.fetch_add(1) + 1;
+    int64_t peak = peak_active_.load(std::memory_order_relaxed);
+    while (running > peak &&
+           !peak_active_.compare_exchange_weak(peak, running)) {
+    }
+    task->fn();
+    active_.fetch_sub(1);
+    task->group->OnTaskDone();
+  }
+}
+
+void TaskGroup::Spawn(std::function<void()> fn) {
+  if (pool_ == nullptr) {
+    fn();
+    return;
+  }
+  auto task = std::make_shared<ThreadPool::Task>();
+  task->fn = std::move(fn);
+  task->group = this;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++outstanding_;
+  }
+  tasks_.push_back(task);
+  pool_->Submit(std::move(task));
+}
+
+void TaskGroup::Wait() {
+  if (pool_ == nullptr) return;
+  // Help first: run every task of this group that no worker has picked
+  // up yet. This is what makes nested groups on a saturated pool finish
+  // instead of deadlocking.
+  for (auto& task : tasks_) {
+    if (!task->claimed.exchange(true)) {
+      task->fn();
+      OnTaskDone();
+    }
+  }
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [this] { return outstanding_ == 0; });
+  tasks_.clear();
+}
+
+void TaskGroup::OnTaskDone() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    --outstanding_;
+  }
+  cv_.notify_all();
+}
+
+}  // namespace gisql

@@ -1,0 +1,116 @@
+/// \file thread_pool.h
+/// \brief A bounded, persistent worker pool plus fork/join task groups.
+///
+/// The executor used to spawn one `std::async` thread per independent
+/// plan subtree, so a bushy plan could fan out an unbounded number of
+/// OS threads. A ThreadPool caps concurrency at a fixed number of
+/// workers created once and reused across queries.
+///
+/// Nested parallelism on a bounded pool deadlocks naively: a task that
+/// blocks waiting for its children can occupy the last worker the
+/// children need. TaskGroup avoids this with help-while-wait: `Wait()`
+/// first claims and runs any of the group's own tasks that no worker
+/// has started yet, and only then blocks — so a waiter always makes
+/// progress on its own subtree, and by induction the innermost groups
+/// drain on the waiter's thread even when every worker is busy.
+/// Results and their ordering are unchanged relative to serial
+/// execution; only wall-clock overlap differs.
+
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace gisql {
+
+class TaskGroup;
+
+/// \brief Fixed-size worker pool. Threads start in the constructor and
+/// live until destruction; tasks are submitted through TaskGroup.
+class ThreadPool {
+ public:
+  /// \brief Creates `num_threads` workers (minimum 1).
+  explicit ThreadPool(size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  size_t num_threads() const { return threads_.size(); }
+
+  /// \brief High-water mark of tasks running on pool workers at once.
+  /// Never exceeds num_threads(); tests assert the bound holds.
+  int64_t peak_worker_tasks() const {
+    return peak_active_.load(std::memory_order_relaxed);
+  }
+
+  /// \brief Picks a default size: `hardware_concurrency`, at least 2 so
+  /// single-core hosts still overlap simulated waits.
+  static size_t DefaultThreads();
+
+ private:
+  friend class TaskGroup;
+
+  struct Task {
+    std::function<void()> fn;
+    /// Set by whoever runs the task first (a worker or the group's
+    /// helping waiter); the loser skips it.
+    std::atomic<bool> claimed{false};
+    TaskGroup* group = nullptr;
+  };
+
+  void Submit(std::shared_ptr<Task> task);
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::shared_ptr<Task>> queue_;
+  bool shutdown_ = false;
+  std::vector<std::thread> threads_;
+  std::atomic<int64_t> active_{0};
+  std::atomic<int64_t> peak_active_{0};
+};
+
+/// \brief A fork/join scope over a ThreadPool. Spawn closures, then
+/// Wait() for all of them; the destructor waits too, so tasks never
+/// outlive the state they capture.
+///
+/// With a null pool the group degenerates to inline execution inside
+/// Spawn() — callers need no separate serial code path.
+class TaskGroup {
+ public:
+  explicit TaskGroup(ThreadPool* pool) : pool_(pool) {}
+  ~TaskGroup() { Wait(); }
+
+  TaskGroup(const TaskGroup&) = delete;
+  TaskGroup& operator=(const TaskGroup&) = delete;
+
+  /// \brief Schedules `fn`. Closures must write results to disjoint
+  /// slots (e.g. distinct vector elements) — the group provides the
+  /// happens-before edge at Wait(), not result plumbing.
+  void Spawn(std::function<void()> fn);
+
+  /// \brief Runs the group's unclaimed tasks inline, then blocks until
+  /// every spawned task has finished. Idempotent.
+  void Wait();
+
+ private:
+  friend class ThreadPool;
+
+  void OnTaskDone();
+
+  ThreadPool* pool_;
+  std::vector<std::shared_ptr<ThreadPool::Task>> tasks_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  int64_t outstanding_ = 0;
+};
+
+}  // namespace gisql

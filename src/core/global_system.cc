@@ -33,9 +33,21 @@ Result<std::vector<uint8_t>> RetriedCall(SimNetwork& net,
 GlobalSystem::GlobalSystem(PlannerOptions options)
     : options_(options) {}
 
+ThreadPool* GlobalSystem::WorkerPool() {
+  if (!options_.parallel_execution) return nullptr;
+  if (pool_ == nullptr) {
+    const size_t n = options_.worker_threads > 0
+                         ? static_cast<size_t>(options_.worker_threads)
+                         : ThreadPool::DefaultThreads();
+    pool_ = std::make_unique<ThreadPool>(n);
+  }
+  return pool_.get();
+}
+
 Result<ComponentSource*> GlobalSystem::CreateSource(const std::string& name,
                                                     SourceDialect dialect) {
   auto source = std::make_shared<ComponentSource>(name, dialect);
+  source->set_vectorized_execution(options_.vectorized_execution);
   GISQL_RETURN_NOT_OK(network_.RegisterHost(name, source.get()));
   SourceInfo info;
   info.name = name;
@@ -264,6 +276,9 @@ Result<QueryResult> GlobalSystem::Query(const std::string& sql) {
       ctx.mediator_cpu_us_per_row = options_.mediator_cpu_us_per_row;
       ctx.semijoin_max_keys = options_.semijoin_max_keys;
       ctx.parallel_execution = options_.parallel_execution;
+      ctx.pool = WorkerPool();
+      ctx.columnar_wire = options_.columnar_wire;
+      ctx.vectorized_execution = options_.vectorized_execution;
       ctx.retry_policy = retry_policy_;
       ctx.record_actuals = true;
       Executor executor(ctx);
@@ -314,6 +329,9 @@ Result<QueryResult> GlobalSystem::Query(const std::string& sql) {
   ctx.mediator_cpu_us_per_row = options_.mediator_cpu_us_per_row;
   ctx.semijoin_max_keys = options_.semijoin_max_keys;
   ctx.parallel_execution = options_.parallel_execution;
+  ctx.pool = WorkerPool();
+  ctx.columnar_wire = options_.columnar_wire;
+  ctx.vectorized_execution = options_.vectorized_execution;
   ctx.retry_policy = retry_policy_;
   Executor executor(ctx);
   GISQL_ASSIGN_OR_RETURN(ExecOutput out, executor.Execute(plan));

@@ -166,13 +166,24 @@ class GlobalSystem {
   /// \brief Mediator host name on the simulated network.
   static constexpr const char* kMediatorHost = "mediator";
 
+  /// \brief The executor worker pool, for tests/monitoring (its
+  /// peak_worker_tasks() proves the concurrency bound). Null until the
+  /// first parallel query.
+  const ThreadPool* worker_pool() const { return pool_.get(); }
+
  private:
+  /// \brief The executor worker pool, created lazily on first parallel
+  /// query (sized by options_.worker_threads; 0 = auto) and reused by
+  /// every query after that.
+  ThreadPool* WorkerPool();
+
   PlannerOptions options_;
   RetryPolicy retry_policy_ = RetryPolicy::NoRetry();
   SimNetwork network_;
   Catalog catalog_;
   std::vector<ComponentSourcePtr> sources_;
   std::unique_ptr<QueryCache> cache_;
+  std::unique_ptr<ThreadPool> pool_;
 };
 
 }  // namespace gisql

@@ -2,13 +2,14 @@
 
 #include <algorithm>
 #include <cmath>
-#include <future>
 #include <unordered_map>
 #include <unordered_set>
 
 #include "common/hash.h"
 #include "common/logging.h"
+#include "common/thread_pool.h"
 #include "exec/hash_aggregate.h"
+#include "exec/vectorized.h"
 #include "expr/eval.h"
 #include "net/retry.h"
 #include "wire/protocol.h"
@@ -52,18 +53,46 @@ Result<ExecOutput> Executor::ExecFragment(const PlanNode& node,
   std::string tried;
   // Decorrelates backoff jitter between the fragments of one query.
   const uint64_t nonce = HashString(frag.table);
+  const wire::Opcode opcode = ctx_.columnar_wire
+                                  ? wire::Opcode::kExecuteFragmentColumnar
+                                  : wire::Opcode::kExecuteFragment;
   for (size_t i = 0; i < candidates.size(); ++i) {
     FragmentPlan attempt = frag;
     attempt.table = *candidates[i].table;
     RetryResult call = CallWithRetry(
         *ctx_.net, ctx_.retry_policy, ctx_.mediator_host,
-        *candidates[i].source,
-        static_cast<uint8_t>(wire::Opcode::kExecuteFragment),
+        *candidates[i].source, static_cast<uint8_t>(opcode),
         wire::SerializeFragment(attempt), nonce);
     spent_ms += call.elapsed_ms;
     if (call.ok()) {
       ByteReader reader(call.payload);
-      GISQL_ASSIGN_OR_RETURN(RowBatch batch, wire::ReadBatch(&reader));
+      ExecOutput out;
+      RowBatch batch;
+      if (ctx_.columnar_wire) {
+        GISQL_ASSIGN_OR_RETURN(uint8_t format, reader.GetU8());
+        if (format == wire::kBatchFormatColumnar) {
+          GISQL_ASSIGN_OR_RETURN(ColumnBatch cols,
+                                 wire::ReadColumnBatch(&reader));
+          if (cols.num_columns() != node.output_schema->num_fields()) {
+            return Status::ExecutionError(
+                "fragment result arity ", cols.num_columns(),
+                " does not match plan arity ",
+                node.output_schema->num_fields(), " from source '",
+                *candidates[i].source, "'");
+          }
+          cols.AdoptSchema(node.output_schema);
+          batch = cols.ToRows();
+          out.columnar =
+              std::make_shared<const ColumnBatch>(std::move(cols));
+        } else if (format == wire::kBatchFormatRow) {
+          GISQL_ASSIGN_OR_RETURN(batch, wire::ReadBatch(&reader));
+        } else {
+          return Status::SerializationError("bad batch format byte ",
+                                            int(format));
+        }
+      } else {
+        GISQL_ASSIGN_OR_RETURN(batch, wire::ReadBatch(&reader));
+      }
       if (batch.schema()->num_fields() != node.output_schema->num_fields()) {
         return Status::ExecutionError(
             "fragment result arity ", batch.schema()->num_fields(),
@@ -71,7 +100,6 @@ Result<ExecOutput> Executor::ExecFragment(const PlanNode& node,
             " from source '", *candidates[i].source, "'");
       }
       // Adopt the plan's (qualified) schema for downstream resolution.
-      ExecOutput out;
       out.batch = RowBatch(node.output_schema, std::move(batch.rows()));
       out.elapsed_ms = spent_ms;
       return out;
@@ -101,21 +129,25 @@ Result<ExecOutput> Executor::ExecUnionAll(const PlanNode& node) {
   out.batch = RowBatch(node.output_schema);
   double slowest = 0.0;
 
-  // Fetch members concurrently (their simulated costs already combine
-  // as a max; the threads only buy wall-clock overlap). Results are
-  // appended in member order, so output is deterministic.
-  std::vector<Result<ExecOutput>> parts;
-  if (ctx_.parallel_execution && node.children.size() > 1) {
-    std::vector<std::future<Result<ExecOutput>>> futures;
-    futures.reserve(node.children.size());
-    for (const auto& child : node.children) {
-      futures.push_back(std::async(std::launch::async, [this, &child] {
-        return Exec(*child);
-      }));
+  // Fetch members concurrently on the bounded pool (their simulated
+  // costs already combine as a max; the workers only buy wall-clock
+  // overlap). Results are appended in member order, so output is
+  // deterministic regardless of completion order or pool size.
+  std::vector<Result<ExecOutput>> parts(
+      node.children.size(), Result<ExecOutput>(ExecOutput{}));
+  if (ctx_.parallel_execution && ctx_.pool != nullptr &&
+      node.children.size() > 1) {
+    TaskGroup group(ctx_.pool);
+    for (size_t i = 0; i < node.children.size(); ++i) {
+      group.Spawn([this, &node, &parts, i] {
+        parts[i] = Exec(*node.children[i]);
+      });
     }
-    for (auto& f : futures) parts.push_back(f.get());
+    group.Wait();
   } else {
-    for (const auto& child : node.children) parts.push_back(Exec(*child));
+    for (size_t i = 0; i < node.children.size(); ++i) {
+      parts[i] = Exec(*node.children[i]);
+    }
   }
 
   for (auto& part_result : parts) {
@@ -123,6 +155,28 @@ Result<ExecOutput> Executor::ExecUnionAll(const PlanNode& node) {
     ExecOutput part = std::move(*part_result);
     slowest = std::max(slowest, part.elapsed_ms);
     const size_t width = node.output_schema->num_fields();
+    // Columnar members expose per-column value types, so when every
+    // column already matches the view type the per-value cast checks
+    // vanish for the whole member.
+    bool already_coerced = ctx_.vectorized_execution &&
+                           part.columnar != nullptr &&
+                           part.columnar->num_columns() >= width;
+    if (already_coerced) {
+      for (size_t c = 0; c < width; ++c) {
+        const ColumnBatch::Column& col = part.columnar->column(c);
+        if (col.type != node.output_schema->field(c).type &&
+            col.type != TypeId::kNull) {
+          already_coerced = false;
+          break;
+        }
+      }
+    }
+    if (already_coerced) {
+      for (auto& row : part.batch.rows()) {
+        out.batch.Append(std::move(row));
+      }
+      continue;
+    }
     for (auto& row : part.batch.rows()) {
       // Coerce member values to the view's column types.
       for (size_t c = 0; c < width && c < row.size(); ++c) {
@@ -146,16 +200,20 @@ Result<ExecOutput> Executor::ExecJoin(const PlanNode& node) {
   ExecOutput left;
   ExecOutput right;
   bool right_done = false;
-  if (ctx_.parallel_execution &&
+  if (ctx_.parallel_execution && ctx_.pool != nullptr &&
       node.join_strategy == JoinStrategy::kShip) {
-    auto right_future = std::async(std::launch::async, [this, &right_node] {
-      return Exec(right_node);
-    });
-    Result<ExecOutput> left_result = Exec(left_node);
-    Result<ExecOutput> right_result = right_future.get();
-    GISQL_RETURN_NOT_OK(left_result.status());
+    Result<ExecOutput> right_result(ExecOutput{});
+    {
+      TaskGroup group(ctx_.pool);
+      group.Spawn([this, &right_node, &right_result] {
+        right_result = Exec(right_node);
+      });
+      Result<ExecOutput> left_result = Exec(left_node);
+      group.Wait();
+      GISQL_RETURN_NOT_OK(left_result.status());
+      left = std::move(*left_result);
+    }
     GISQL_RETURN_NOT_OK(right_result.status());
-    left = std::move(*left_result);
     right = std::move(*right_result);
     right_done = true;
   } else {
@@ -193,7 +251,10 @@ Result<ExecOutput> Executor::ExecJoin(const PlanNode& node) {
     GISQL_ASSIGN_OR_RETURN(right, Exec(right_node));
   }
 
-  // Build a hash table over the right side.
+  // Build a hash table over the right side. When a side arrived
+  // columnar, key hashes come from a bulk pass over the key columns
+  // (HashKeysColumnar matches HashRowKeys cell for cell) instead of a
+  // per-row, per-Value hash.
   std::unordered_map<uint64_t, std::vector<const Row*>> table;
   table.reserve(right.batch.num_rows());
   auto keys_nonnull = [](const Row& row, const std::vector<size_t>& keys) {
@@ -202,13 +263,30 @@ Result<ExecOutput> Executor::ExecJoin(const PlanNode& node) {
     }
     return true;
   };
+  const bool hash_vectorized =
+      ctx_.vectorized_execution && !node.left_keys.empty();
+  std::vector<uint64_t> right_hashes;
+  if (hash_vectorized && right.columnar != nullptr) {
+    right_hashes = HashKeysColumnar(*right.columnar, node.right_keys);
+  }
+  std::vector<uint64_t> left_hashes;
+  if (hash_vectorized && left.columnar != nullptr) {
+    left_hashes = HashKeysColumnar(*left.columnar, node.left_keys);
+  }
   bool right_has_null_key = false;
-  for (const auto& row : right.batch.rows()) {
-    if (!keys_nonnull(row, node.right_keys)) {
-      right_has_null_key = true;
-      continue;
+  {
+    size_t r = 0;
+    for (const auto& row : right.batch.rows()) {
+      const size_t idx = r++;
+      if (!keys_nonnull(row, node.right_keys)) {
+        right_has_null_key = true;
+        continue;
+      }
+      const uint64_t h = right_hashes.empty()
+                             ? HashRowKeys(row, node.right_keys)
+                             : right_hashes[idx];
+      table[h].push_back(&row);
     }
-    table[HashRowKeys(row, node.right_keys)].push_back(&row);
   }
 
   if (node.join_type == JoinType::kAnti) {
@@ -218,9 +296,13 @@ Result<ExecOutput> Executor::ExecJoin(const PlanNode& node) {
     ExecOutput out;
     out.batch = RowBatch(node.output_schema);
     if (!right_has_null_key) {
+      size_t l = 0;
       for (const auto& lrow : left.batch.rows()) {
+        const size_t lidx = l++;
         if (!keys_nonnull(lrow, node.left_keys)) continue;
-        auto it = table.find(HashRowKeys(lrow, node.left_keys));
+        auto it = table.find(left_hashes.empty()
+                                 ? HashRowKeys(lrow, node.left_keys)
+                                 : left_hashes[lidx]);
         bool matched = false;
         if (it != table.end()) {
           for (const Row* rrow : it->second) {
@@ -254,7 +336,9 @@ Result<ExecOutput> Executor::ExecJoin(const PlanNode& node) {
   const size_t right_width = right_node.output_schema->num_fields();
   const bool cross = node.left_keys.empty();
 
+  size_t probe_idx = 0;
   for (const auto& lrow : left.batch.rows()) {
+    const size_t lidx = probe_idx++;
     bool matched = false;
     auto try_match = [&](const Row& rrow) -> Status {
       Row combined = lrow;
@@ -273,7 +357,9 @@ Result<ExecOutput> Executor::ExecJoin(const PlanNode& node) {
         GISQL_RETURN_NOT_OK(try_match(rrow));
       }
     } else if (keys_nonnull(lrow, node.left_keys)) {
-      auto it = table.find(HashRowKeys(lrow, node.left_keys));
+      auto it = table.find(left_hashes.empty()
+                               ? HashRowKeys(lrow, node.left_keys)
+                               : left_hashes[lidx]);
       if (it != table.end()) {
         for (const Row* rrow : it->second) {
           // Verify by value (hash collisions, cross-type equality).
@@ -312,6 +398,22 @@ Result<ExecOutput> Executor::ApplyFilter(const PlanNode& node,
                                          ExecOutput child) {
   ExecOutput out;
   out.batch = RowBatch(node.output_schema);
+  // Vectorized path: evaluate the predicate over the columnar copy
+  // into a selection vector, then gather the surviving rows. The
+  // vectorizable subset is total and replicates the row evaluator's
+  // Kleene semantics, so the selected set is identical.
+  if (ctx_.vectorized_execution && child.columnar != nullptr &&
+      IsVectorizablePredicate(*node.filter, *child.columnar)) {
+    GISQL_ASSIGN_OR_RETURN(
+        ColumnRef pred, EvalPredicateColumnar(*node.filter, *child.columnar));
+    const std::vector<uint32_t> sel =
+        SelectTrue(pred.get(), child.columnar->num_rows());
+    out.batch.Reserve(sel.size());
+    auto& rows = child.batch.rows();
+    for (uint32_t r : sel) out.batch.Append(std::move(rows[r]));
+    out.elapsed_ms = child.elapsed_ms + CpuMs(child.batch.num_rows());
+    return out;
+  }
   for (auto& row : child.batch.rows()) {
     GISQL_ASSIGN_OR_RETURN(bool keep, EvalPredicate(*node.filter, row));
     if (keep) out.batch.Append(std::move(row));
@@ -371,6 +473,19 @@ Result<ExecOutput> Executor::ExecSemijoinProbe(
 
 Result<ExecOutput> Executor::ExecAggregate(const PlanNode& node) {
   GISQL_ASSIGN_OR_RETURN(ExecOutput child, Exec(*node.children[0]));
+  ExecOutput result;
+  result.elapsed_ms = child.elapsed_ms + CpuMs(child.batch.num_rows());
+  // Vectorized path: group keys and aggregate inputs computed over
+  // contiguous columns, no per-cell Value materialization.
+  if (ctx_.vectorized_execution && child.columnar != nullptr &&
+      CanVectorizeAggregate(node.group_by, node.aggregates,
+                            *child.columnar)) {
+    GISQL_ASSIGN_OR_RETURN(
+        result.batch,
+        HashAggregateColumnar(*child.columnar, node.group_by,
+                              node.aggregates, node.output_schema));
+    return result;
+  }
   std::vector<const Row*> rows;
   rows.reserve(child.batch.num_rows());
   for (const auto& row : child.batch.rows()) rows.push_back(&row);
@@ -378,8 +493,6 @@ Result<ExecOutput> Executor::ExecAggregate(const PlanNode& node) {
       RowBatch out,
       HashAggregate(rows, node.group_by, node.aggregates,
                     node.output_schema));
-  ExecOutput result;
-  result.elapsed_ms = child.elapsed_ms + CpuMs(rows.size());
   result.batch = std::move(out);
   return result;
 }

@@ -11,9 +11,13 @@
 
 #pragma once
 
+#include <memory>
+
 #include "common/retry_policy.h"
+#include "common/thread_pool.h"
 #include "net/sim_network.h"
 #include "planner/plan.h"
+#include "types/column_batch.h"
 
 namespace gisql {
 
@@ -29,7 +33,22 @@ struct ExecContext {
   /// Dispatch independent subtrees (union members, both sides of a
   /// ship-strategy join) on worker threads. Results and simulated-time
   /// accounting are identical either way; this only changes wall time.
+  /// Requires `pool`; without one, execution stays serial.
   bool parallel_execution = true;
+  /// Bounded worker pool for parallel_execution. Not owned; the pool
+  /// outlives every query using it (GlobalSystem owns one per system).
+  /// The executor never creates threads of its own, so concurrency is
+  /// capped at the pool size no matter how bushy the plan is.
+  ThreadPool* pool = nullptr;
+  /// Fetch remote fragments with the columnar wire encoding
+  /// (kExecuteFragmentColumnar). Sources answer row-encoded when a
+  /// fragment's values do not fit their declared column types, so this
+  /// is safe to leave on; off forces the classic row encoding (A/B).
+  bool columnar_wire = true;
+  /// Run vectorized kernels (filter / aggregate / join hashing) over
+  /// fragment results that arrived columnar, falling back per operator
+  /// when an expression is outside the vectorizable subset.
+  bool vectorized_execution = true;
   /// Retry/backoff applied to every remote fragment call. The default
   /// (one attempt, no backoff) makes replica failover pay exactly one
   /// detection timeout per dead host; chaos runs raise max_attempts so
@@ -41,6 +60,10 @@ struct ExecContext {
 struct ExecOutput {
   RowBatch batch;
   double elapsed_ms = 0.0;
+  /// When the result arrived via the columnar wire encoding, the
+  /// decoded columns ride along (same rows as `batch`) so the parent
+  /// operator can run vectorized kernels without re-pivoting.
+  std::shared_ptr<const ColumnBatch> columnar;
 };
 
 class Executor {

@@ -1,0 +1,771 @@
+#include "exec/vectorized.h"
+
+#include <cmath>
+#include <cstring>
+#include <unordered_map>
+
+#include "common/hash.h"
+#include "common/string_util.h"
+#include "exec/aggregate.h"
+
+namespace gisql {
+
+namespace {
+
+using Column = ColumnBatch::Column;
+
+/// A borrowed view of one cell: the columnar counterpart of Value,
+/// without the allocation. Strings stay views into the column arena.
+struct CellView {
+  TypeId type = TypeId::kNull;
+  bool null = true;
+  bool b = false;
+  int64_t i = 0;
+  double d = 0.0;
+  std::string_view s;
+};
+
+CellView CellAt(const Column& col, size_t row) {
+  CellView c;
+  c.type = col.type;
+  c.null = col.IsNull(row);
+  if (c.null) return c;
+  switch (col.type) {
+    case TypeId::kBool: c.b = col.bools[row] != 0; break;
+    case TypeId::kInt64:
+    case TypeId::kDate: c.i = col.ints[row]; break;
+    case TypeId::kDouble: c.d = col.doubles[row]; break;
+    case TypeId::kString: c.s = col.StringAt(row); break;
+    case TypeId::kNull: break;
+  }
+  return c;
+}
+
+CellView CellOf(const Value& v) {
+  CellView c;
+  c.type = v.type();
+  c.null = v.is_null();
+  if (c.null) return c;
+  switch (v.type()) {
+    case TypeId::kBool: c.b = v.AsBool(); break;
+    case TypeId::kInt64:
+    case TypeId::kDate: c.i = v.AsInt(); break;
+    case TypeId::kDouble: c.d = v.AsDouble(); break;
+    case TypeId::kString: c.s = v.AsString(); break;
+    case TypeId::kNull: break;
+  }
+  return c;
+}
+
+Value CellToValue(const CellView& c) {
+  if (c.null) return Value::Null(c.type);
+  switch (c.type) {
+    case TypeId::kBool: return Value::Bool(c.b);
+    case TypeId::kInt64: return Value::Int(c.i);
+    case TypeId::kDate: return Value::Date(c.i);
+    case TypeId::kDouble: return Value::Double(c.d);
+    case TypeId::kString: return Value::String(std::string(c.s));
+    case TypeId::kNull: break;
+  }
+  return Value::Null(c.type);
+}
+
+/// Mirrors Value::NumericValue().
+double CellNumeric(const CellView& c) {
+  switch (c.type) {
+    case TypeId::kBool: return c.b ? 1.0 : 0.0;
+    case TypeId::kInt64:
+    case TypeId::kDate: return static_cast<double>(c.i);
+    case TypeId::kDouble: return c.d;
+    default: return 0.0;
+  }
+}
+
+/// Mirrors Value::Compare() for non-NULL cells (callers handle NULL).
+int CompareCells(const CellView& a, const CellView& b) {
+  const bool numeric =
+      (IsNumeric(a.type) || a.type == TypeId::kBool) &&
+      (IsNumeric(b.type) || b.type == TypeId::kBool);
+  if (a.type != b.type && !numeric) {
+    return a.type < b.type ? -1 : 1;
+  }
+  if (a.type == TypeId::kString && b.type == TypeId::kString) {
+    const int c = a.s.compare(b.s);
+    return c < 0 ? -1 : (c > 0 ? 1 : 0);
+  }
+  if (a.type == TypeId::kBool && b.type == TypeId::kBool) {
+    return static_cast<int>(a.b) - static_cast<int>(b.b);
+  }
+  if ((a.type == TypeId::kInt64 || a.type == TypeId::kDate) &&
+      (b.type == TypeId::kInt64 || b.type == TypeId::kDate)) {
+    return a.i < b.i ? -1 : (a.i > b.i ? 1 : 0);
+  }
+  const double x = CellNumeric(a);
+  const double y = CellNumeric(b);
+  return x < y ? -1 : (x > y ? 1 : 0);
+}
+
+/// Mirrors Value::Hash(), including the integral-double rule.
+uint64_t HashCell(const CellView& c) {
+  if (c.null) return 0x9b14deadULL;
+  switch (c.type) {
+    case TypeId::kBool: return HashInt(c.b ? 1 : 2);
+    case TypeId::kInt64:
+    case TypeId::kDate: return HashInt(static_cast<uint64_t>(c.i));
+    case TypeId::kDouble: {
+      if (c.d == std::floor(c.d) && std::abs(c.d) < 9.2e18) {
+        return HashInt(static_cast<uint64_t>(static_cast<int64_t>(c.d)));
+      }
+      uint64_t bits;
+      std::memcpy(&bits, &c.d, sizeof(bits));
+      return HashInt(bits);
+    }
+    case TypeId::kString: return HashString(c.s);
+    case TypeId::kNull: break;
+  }
+  return 0;
+}
+
+/// An evaluated scalar: a (possibly owned) column, or one constant
+/// cell broadcast to every row.
+struct ScalarVal {
+  ColumnRef col;
+  CellView konst;
+  bool is_const = false;
+
+  CellView at(size_t row) const {
+    return is_const ? konst : CellAt(col.get(), row);
+  }
+  TypeId vtype() const { return is_const ? konst.type : col.get().type; }
+};
+
+/// Value type an expression in the scalar subset produces, mirroring
+/// the row evaluator (arith yields DOUBLE iff an operand or the
+/// declared type is DOUBLE, else INT64).
+TypeId ScalarTypeOf(const Expr& e, const ColumnBatch& batch) {
+  switch (e.kind) {
+    case ExprKind::kColumn: return batch.column(e.column_index).type;
+    case ExprKind::kLiteral: return e.literal.type();
+    case ExprKind::kArith: {
+      const TypeId l = ScalarTypeOf(*e.children[0], batch);
+      const TypeId r = ScalarTypeOf(*e.children[1], batch);
+      const bool use_double = l == TypeId::kDouble || r == TypeId::kDouble ||
+                              e.type == TypeId::kDouble;
+      return use_double ? TypeId::kDouble : TypeId::kInt64;
+    }
+    default: return TypeId::kNull;
+  }
+}
+
+bool IsArithOperandType(TypeId t) {
+  // The row evaluator reads arithmetic operands as int64 or via
+  // NumericValue; strings would throw there, so they are out.
+  return t == TypeId::kNull || t == TypeId::kBool || t == TypeId::kInt64 ||
+         t == TypeId::kDouble || t == TypeId::kDate;
+}
+
+bool HasDivMod(const Expr& e) {
+  if (e.kind == ExprKind::kArith &&
+      (e.arith_op == ArithOp::kDiv || e.arith_op == ArithOp::kMod)) {
+    return true;
+  }
+  for (const auto& c : e.children) {
+    if (HasDivMod(*c)) return true;
+  }
+  return false;
+}
+
+Result<ScalarVal> EvalScalar(const Expr& e, const ColumnBatch& batch);
+
+Result<ScalarVal> EvalArithColumnar(const Expr& e, const ColumnBatch& batch) {
+  GISQL_ASSIGN_OR_RETURN(ScalarVal l, EvalScalar(*e.children[0], batch));
+  GISQL_ASSIGN_OR_RETURN(ScalarVal r, EvalScalar(*e.children[1], batch));
+  const size_t n = batch.num_rows();
+  // Value types are per-column, so the row evaluator's per-row
+  // use_double decision is loop-invariant here.
+  const bool use_double = l.vtype() == TypeId::kDouble ||
+                          r.vtype() == TypeId::kDouble ||
+                          e.type == TypeId::kDouble;
+  ScalarVal out;
+  Column& col = out.col.owned;
+  col.type = use_double ? TypeId::kDouble : TypeId::kInt64;
+  if (use_double) {
+    col.doubles.resize(n, 0.0);
+  } else {
+    col.ints.resize(n, 0);
+  }
+  for (size_t row = 0; row < n; ++row) {
+    const CellView a = l.at(row);
+    const CellView b = r.at(row);
+    if (a.null || b.null) {
+      col.SetNull(row, n);
+      continue;
+    }
+    if (use_double) {
+      const double x = CellNumeric(a);
+      const double y = CellNumeric(b);
+      switch (e.arith_op) {
+        case ArithOp::kAdd: col.doubles[row] = x + y; break;
+        case ArithOp::kSub: col.doubles[row] = x - y; break;
+        case ArithOp::kMul: col.doubles[row] = x * y; break;
+        case ArithOp::kDiv:
+          if (y == 0.0) return Status::ExecutionError("division by zero");
+          col.doubles[row] = x / y;
+          break;
+        case ArithOp::kMod:
+          if (y == 0.0) return Status::ExecutionError("modulo by zero");
+          col.doubles[row] = std::fmod(x, y);
+          break;
+      }
+    } else {
+      const int64_t x = a.type == TypeId::kBool ? (a.b ? 1 : 0) : a.i;
+      const int64_t y = b.type == TypeId::kBool ? (b.b ? 1 : 0) : b.i;
+      switch (e.arith_op) {
+        case ArithOp::kAdd: col.ints[row] = x + y; break;
+        case ArithOp::kSub: col.ints[row] = x - y; break;
+        case ArithOp::kMul: col.ints[row] = x * y; break;
+        case ArithOp::kDiv:
+          if (y == 0) return Status::ExecutionError("division by zero");
+          col.ints[row] = x / y;
+          break;
+        case ArithOp::kMod:
+          if (y == 0) return Status::ExecutionError("modulo by zero");
+          col.ints[row] = x % y;
+          break;
+      }
+    }
+  }
+  return out;
+}
+
+Result<ScalarVal> EvalScalar(const Expr& e, const ColumnBatch& batch) {
+  switch (e.kind) {
+    case ExprKind::kColumn: {
+      if (e.column_index >= batch.num_columns()) {
+        return Status::ExecutionError("column $", e.column_index,
+                                      " out of range for batch of width ",
+                                      batch.num_columns());
+      }
+      ScalarVal v;
+      v.col.borrowed = &batch.column(e.column_index);
+      return v;
+    }
+    case ExprKind::kLiteral: {
+      ScalarVal v;
+      v.is_const = true;
+      v.konst = CellOf(e.literal);
+      return v;
+    }
+    case ExprKind::kArith:
+      return EvalArithColumnar(e, batch);
+    default:
+      return Status::Internal("expression is not a vectorizable scalar: ",
+                              e.ToString());
+  }
+}
+
+/// Kleene truth of one predicate cell: 0=false, 1=true, 2=unknown.
+int CellTruth(const CellView& c) {
+  if (c.null) return 2;
+  return c.b ? 1 : 0;
+}
+
+void StoreTruth(Column* col, size_t row, size_t n, int truth) {
+  if (truth == 2) {
+    col->SetNull(row, n);
+  } else {
+    col->bools[row] = truth == 1 ? 1 : 0;
+  }
+}
+
+Column MakeBoolColumn(size_t n) {
+  Column col;
+  col.type = TypeId::kBool;
+  col.bools.resize(n, 0);
+  return col;
+}
+
+Result<ColumnRef> EvalPredicate(const Expr& e, const ColumnBatch& batch);
+
+Result<ColumnRef> EvalCompareColumnar(const Expr& e,
+                                      const ColumnBatch& batch) {
+  GISQL_ASSIGN_OR_RETURN(ScalarVal l, EvalScalar(*e.children[0], batch));
+  GISQL_ASSIGN_OR_RETURN(ScalarVal r, EvalScalar(*e.children[1], batch));
+  const size_t n = batch.num_rows();
+  ColumnRef out;
+  out.owned = MakeBoolColumn(n);
+  for (size_t row = 0; row < n; ++row) {
+    const CellView a = l.at(row);
+    const CellView b = r.at(row);
+    if (a.null || b.null) {
+      out.owned.SetNull(row, n);
+      continue;
+    }
+    const int c = CompareCells(a, b);
+    bool v = false;
+    switch (e.compare_op) {
+      case CompareOp::kEq: v = c == 0; break;
+      case CompareOp::kNe: v = c != 0; break;
+      case CompareOp::kLt: v = c < 0; break;
+      case CompareOp::kLe: v = c <= 0; break;
+      case CompareOp::kGt: v = c > 0; break;
+      case CompareOp::kGe: v = c >= 0; break;
+    }
+    out.owned.bools[row] = v ? 1 : 0;
+  }
+  return out;
+}
+
+Result<ColumnRef> EvalPredicate(const Expr& e, const ColumnBatch& batch) {
+  const size_t n = batch.num_rows();
+  switch (e.kind) {
+    case ExprKind::kColumn: {
+      ColumnRef out;
+      out.borrowed = &batch.column(e.column_index);
+      return out;
+    }
+    case ExprKind::kLiteral: {
+      ColumnRef out;
+      out.owned = MakeBoolColumn(n);
+      const CellView c = CellOf(e.literal);
+      for (size_t row = 0; row < n; ++row) {
+        StoreTruth(&out.owned, row, n, CellTruth(c));
+      }
+      return out;
+    }
+    case ExprKind::kCompare:
+      return EvalCompareColumnar(e, batch);
+    case ExprKind::kIsNull: {
+      GISQL_ASSIGN_OR_RETURN(ScalarVal v, EvalScalar(*e.children[0], batch));
+      ColumnRef out;
+      out.owned = MakeBoolColumn(n);
+      for (size_t row = 0; row < n; ++row) {
+        const bool isnull = v.at(row).null;
+        out.owned.bools[row] = (e.negated ? !isnull : isnull) ? 1 : 0;
+      }
+      return out;
+    }
+    case ExprKind::kLike: {
+      GISQL_ASSIGN_OR_RETURN(ScalarVal v, EvalScalar(*e.children[0], batch));
+      const CellView pat = CellOf(e.children[1]->literal);
+      ColumnRef out;
+      out.owned = MakeBoolColumn(n);
+      for (size_t row = 0; row < n; ++row) {
+        const CellView c = v.at(row);
+        if (c.null || pat.null) {
+          out.owned.SetNull(row, n);
+          continue;
+        }
+        const bool m = LikeMatch(c.s, pat.s);
+        out.owned.bools[row] = (e.negated ? !m : m) ? 1 : 0;
+      }
+      return out;
+    }
+    case ExprKind::kIn: {
+      GISQL_ASSIGN_OR_RETURN(ScalarVal v, EvalScalar(*e.children[0], batch));
+      std::vector<CellView> items;
+      items.reserve(e.children.size() - 1);
+      bool any_null_item = false;
+      for (size_t i = 1; i < e.children.size(); ++i) {
+        const CellView item = CellOf(e.children[i]->literal);
+        if (item.null) {
+          any_null_item = true;
+        } else {
+          items.push_back(item);
+        }
+      }
+      ColumnRef out;
+      out.owned = MakeBoolColumn(n);
+      for (size_t row = 0; row < n; ++row) {
+        const CellView c = v.at(row);
+        if (c.null) {
+          out.owned.SetNull(row, n);
+          continue;
+        }
+        bool matched = false;
+        for (const CellView& item : items) {
+          if (CompareCells(c, item) == 0) {
+            matched = true;
+            break;
+          }
+        }
+        if (matched) {
+          out.owned.bools[row] = e.negated ? 0 : 1;
+        } else if (any_null_item) {
+          out.owned.SetNull(row, n);
+        } else {
+          out.owned.bools[row] = e.negated ? 1 : 0;
+        }
+      }
+      return out;
+    }
+    case ExprKind::kNot: {
+      GISQL_ASSIGN_OR_RETURN(ColumnRef c, EvalPredicate(*e.children[0], batch));
+      const Column& in = c.get();
+      ColumnRef out;
+      out.owned = MakeBoolColumn(n);
+      for (size_t row = 0; row < n; ++row) {
+        const int t = in.IsNull(row) ? 2 : (in.bools[row] != 0 ? 1 : 0);
+        StoreTruth(&out.owned, row, n, t == 2 ? 2 : (t == 1 ? 0 : 1));
+      }
+      return out;
+    }
+    case ExprKind::kLogic: {
+      GISQL_ASSIGN_OR_RETURN(ColumnRef lc, EvalPredicate(*e.children[0], batch));
+      GISQL_ASSIGN_OR_RETURN(ColumnRef rc, EvalPredicate(*e.children[1], batch));
+      const Column& l = lc.get();
+      const Column& r = rc.get();
+      ColumnRef out;
+      out.owned = MakeBoolColumn(n);
+      for (size_t row = 0; row < n; ++row) {
+        const int lt = l.IsNull(row) ? 2 : (l.bools[row] != 0 ? 1 : 0);
+        const int rt = r.IsNull(row) ? 2 : (r.bools[row] != 0 ? 1 : 0);
+        int t;
+        if (e.logic_op == LogicOp::kAnd) {
+          t = (lt == 0 || rt == 0) ? 0 : ((lt == 2 || rt == 2) ? 2 : 1);
+        } else {
+          t = (lt == 1 || rt == 1) ? 1 : ((lt == 2 || rt == 2) ? 2 : 0);
+        }
+        StoreTruth(&out.owned, row, n, t);
+      }
+      return out;
+    }
+    default:
+      return Status::Internal("expression is not a vectorizable predicate: ",
+                              e.ToString());
+  }
+}
+
+}  // namespace
+
+bool IsVectorizableScalar(const Expr& e, const ColumnBatch& batch) {
+  switch (e.kind) {
+    case ExprKind::kColumn:
+      return e.column_index < batch.num_columns();
+    case ExprKind::kLiteral:
+      return true;
+    case ExprKind::kArith:
+      return IsVectorizableScalar(*e.children[0], batch) &&
+             IsVectorizableScalar(*e.children[1], batch) &&
+             IsArithOperandType(ScalarTypeOf(*e.children[0], batch)) &&
+             IsArithOperandType(ScalarTypeOf(*e.children[1], batch));
+    default:
+      return false;
+  }
+}
+
+bool IsVectorizablePredicate(const Expr& e, const ColumnBatch& batch) {
+  switch (e.kind) {
+    case ExprKind::kColumn: {
+      // A bare column is only a predicate if it is BOOL (or all-NULL).
+      if (e.column_index >= batch.num_columns()) return false;
+      const TypeId t = batch.column(e.column_index).type;
+      return t == TypeId::kBool || t == TypeId::kNull;
+    }
+    case ExprKind::kLiteral:
+      return e.literal.is_null() || e.literal.type() == TypeId::kBool;
+    case ExprKind::kCompare:
+      // Division is excluded anywhere under a predicate: the row path
+      // may short-circuit past a division by zero that eager columnar
+      // evaluation would surface.
+      return IsVectorizableScalar(*e.children[0], batch) &&
+             IsVectorizableScalar(*e.children[1], batch) &&
+             !HasDivMod(e);
+    case ExprKind::kIsNull:
+      return IsVectorizableScalar(*e.children[0], batch) && !HasDivMod(e);
+    case ExprKind::kLike: {
+      if (e.children[1]->kind != ExprKind::kLiteral) return false;
+      const Value& pat = e.children[1]->literal;
+      if (!pat.is_null() && pat.type() != TypeId::kString) return false;
+      if (!IsVectorizableScalar(*e.children[0], batch) || HasDivMod(e)) {
+        return false;
+      }
+      // Non-NULL non-string LIKE operands are a row-path error.
+      const TypeId t = ScalarTypeOf(*e.children[0], batch);
+      return t == TypeId::kString || t == TypeId::kNull;
+    }
+    case ExprKind::kIn: {
+      if (!IsVectorizableScalar(*e.children[0], batch) ||
+          HasDivMod(*e.children[0])) {
+        return false;
+      }
+      for (size_t i = 1; i < e.children.size(); ++i) {
+        if (e.children[i]->kind != ExprKind::kLiteral) return false;
+      }
+      return true;
+    }
+    case ExprKind::kNot:
+      return IsVectorizablePredicate(*e.children[0], batch);
+    case ExprKind::kLogic:
+      return IsVectorizablePredicate(*e.children[0], batch) &&
+             IsVectorizablePredicate(*e.children[1], batch);
+    default:
+      return false;
+  }
+}
+
+Result<ColumnRef> EvalScalarColumnar(const Expr& e, const ColumnBatch& batch) {
+  GISQL_ASSIGN_OR_RETURN(ScalarVal v, EvalScalar(e, batch));
+  if (!v.is_const) {
+    return std::move(v.col);
+  }
+  // Broadcast a top-level literal (rare: constant group keys).
+  const size_t n = batch.num_rows();
+  ColumnRef out;
+  Column& col = out.owned;
+  col.type = v.konst.type;
+  for (size_t row = 0; row < n; ++row) {
+    if (v.konst.null) {
+      col.SetNull(row, n);
+    }
+  }
+  switch (v.konst.type) {
+    case TypeId::kBool:
+      col.bools.assign(n, v.konst.null ? 0 : (v.konst.b ? 1 : 0));
+      break;
+    case TypeId::kInt64:
+    case TypeId::kDate:
+      col.ints.assign(n, v.konst.null ? 0 : v.konst.i);
+      break;
+    case TypeId::kDouble:
+      col.doubles.assign(n, v.konst.null ? 0.0 : v.konst.d);
+      break;
+    case TypeId::kString: {
+      col.offsets.assign(n + 1, 0);
+      if (!v.konst.null) {
+        for (size_t row = 0; row < n; ++row) {
+          col.arena.append(v.konst.s);
+          col.offsets[row + 1] = static_cast<uint32_t>(col.arena.size());
+        }
+      }
+      break;
+    }
+    case TypeId::kNull:
+      break;
+  }
+  return out;
+}
+
+Result<ColumnRef> EvalPredicateColumnar(const Expr& e,
+                                        const ColumnBatch& batch) {
+  return EvalPredicate(e, batch);
+}
+
+std::vector<uint32_t> SelectTrue(const ColumnBatch::Column& pred, size_t n) {
+  std::vector<uint32_t> sel;
+  sel.reserve(n);
+  if (pred.type == TypeId::kNull) return sel;  // all UNKNOWN
+  for (size_t row = 0; row < n; ++row) {
+    if (!pred.IsNull(row) && pred.bools[row] != 0) {
+      sel.push_back(static_cast<uint32_t>(row));
+    }
+  }
+  return sel;
+}
+
+std::vector<uint64_t> HashKeysColumnar(const ColumnBatch& batch,
+                                       const std::vector<size_t>& keys) {
+  const size_t n = batch.num_rows();
+  std::vector<uint64_t> out(n, kFnvOffset);
+  for (size_t k : keys) {
+    const Column& col = batch.column(k);
+    for (size_t row = 0; row < n; ++row) {
+      out[row] = HashCombine(out[row], HashCell(CellAt(col, row)));
+    }
+  }
+  return out;
+}
+
+bool CanVectorizeAggregate(const std::vector<ExprPtr>& group_by,
+                           const std::vector<BoundAggregate>& aggs,
+                           const ColumnBatch& batch) {
+  for (const auto& g : group_by) {
+    if (!IsVectorizableScalar(*g, batch)) return false;
+  }
+  for (const auto& a : aggs) {
+    if (a.distinct) return false;
+    if (a.kind == AggKind::kCountStar) continue;
+    if (a.arg == nullptr || !IsVectorizableScalar(*a.arg, batch)) {
+      return false;
+    }
+    if (a.kind == AggKind::kSum || a.kind == AggKind::kAvg) {
+      // The row accumulator reads SUM/AVG inputs as int64 or double.
+      const TypeId t = ScalarTypeOf(*a.arg, batch);
+      if (t != TypeId::kInt64 && t != TypeId::kDate &&
+          t != TypeId::kDouble && t != TypeId::kNull) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+Result<RowBatch> HashAggregateColumnar(const ColumnBatch& batch,
+                                       const std::vector<ExprPtr>& group_by,
+                                       const std::vector<BoundAggregate>& aggs,
+                                       SchemaPtr out_schema, int64_t limit) {
+  const size_t n = batch.num_rows();
+
+  std::vector<ScalarVal> keys;
+  keys.reserve(group_by.size());
+  for (const auto& g : group_by) {
+    GISQL_ASSIGN_OR_RETURN(ScalarVal v, EvalScalar(*g, batch));
+    keys.push_back(std::move(v));
+  }
+  std::vector<ScalarVal> args(aggs.size());
+  for (size_t i = 0; i < aggs.size(); ++i) {
+    if (aggs[i].kind == AggKind::kCountStar) continue;
+    GISQL_ASSIGN_OR_RETURN(args[i], EvalScalar(*aggs[i].arg, batch));
+  }
+
+  // Typed accumulator state mirroring AggregateAccumulator. MIN/MAX
+  // remember the row of the current extremum instead of copying the
+  // value out of the column.
+  struct VecAcc {
+    int64_t count = 0;
+    int64_t sum_i = 0;
+    double sum_d = 0.0;
+    bool sum_is_double = false;
+    size_t min_row = SIZE_MAX;
+    size_t max_row = SIZE_MAX;
+  };
+  struct VGroup {
+    size_t rep;  ///< first input row of the group (its key cells)
+    std::vector<VecAcc> accs;
+  };
+  std::unordered_map<uint64_t, std::vector<size_t>> buckets;
+  std::vector<VGroup> groups;
+
+  for (size_t row = 0; row < n; ++row) {
+    uint64_t h = 0x9e3779b9;
+    for (const auto& key : keys) h = HashCombine(h, HashCell(key.at(row)));
+    VGroup* group = nullptr;
+    auto& bucket = buckets[h];
+    for (size_t gi : bucket) {
+      bool same = true;
+      for (const auto& key : keys) {
+        const CellView a = key.at(row);
+        const CellView b = key.at(groups[gi].rep);
+        if (a.null != b.null || (!a.null && CompareCells(a, b) != 0)) {
+          same = false;
+          break;
+        }
+      }
+      if (same) {
+        group = &groups[gi];
+        break;
+      }
+    }
+    if (group == nullptr) {
+      bucket.push_back(groups.size());
+      VGroup g;
+      g.rep = row;
+      g.accs.resize(aggs.size());
+      for (size_t i = 0; i < aggs.size(); ++i) {
+        g.accs[i].sum_is_double =
+            aggs[i].result_type == TypeId::kDouble ||
+            (aggs[i].arg && aggs[i].arg->type == TypeId::kDouble);
+      }
+      groups.push_back(std::move(g));
+      group = &groups.back();
+    }
+    for (size_t i = 0; i < aggs.size(); ++i) {
+      VecAcc& acc = group->accs[i];
+      if (aggs[i].kind == AggKind::kCountStar) {
+        ++acc.count;
+        continue;
+      }
+      const CellView c = args[i].at(row);
+      if (c.null) continue;  // aggregates ignore NULL inputs
+      switch (aggs[i].kind) {
+        case AggKind::kCountStar:
+          break;
+        case AggKind::kCount:
+          ++acc.count;
+          break;
+        case AggKind::kSum:
+        case AggKind::kAvg:
+          ++acc.count;
+          if (acc.sum_is_double || c.type == TypeId::kDouble) {
+            acc.sum_is_double = true;
+            acc.sum_d += CellNumeric(c);
+          } else {
+            acc.sum_i += c.i;
+          }
+          break;
+        case AggKind::kMin:
+          if (acc.min_row == SIZE_MAX ||
+              CompareCells(c, args[i].at(acc.min_row)) < 0) {
+            acc.min_row = row;
+          }
+          break;
+        case AggKind::kMax:
+          if (acc.max_row == SIZE_MAX ||
+              CompareCells(c, args[i].at(acc.max_row)) > 0) {
+            acc.max_row = row;
+          }
+          break;
+      }
+    }
+  }
+
+  RowBatch out(std::move(out_schema));
+  out.Reserve(groups.size());
+  for (const auto& g : groups) {
+    if (limit >= 0 && static_cast<int64_t>(out.num_rows()) >= limit) break;
+    Row row;
+    row.reserve(keys.size() + aggs.size());
+    for (const auto& key : keys) row.push_back(CellToValue(key.at(g.rep)));
+    for (size_t i = 0; i < aggs.size(); ++i) {
+      const VecAcc& acc = g.accs[i];
+      switch (aggs[i].kind) {
+        case AggKind::kCountStar:
+        case AggKind::kCount:
+          row.push_back(Value::Int(acc.count));
+          break;
+        case AggKind::kSum:
+          if (acc.count == 0) {
+            row.push_back(Value::Null(aggs[i].result_type));
+          } else if (acc.sum_is_double) {
+            row.push_back(
+                Value::Double(acc.sum_d + static_cast<double>(acc.sum_i)));
+          } else {
+            row.push_back(Value::Int(acc.sum_i));
+          }
+          break;
+        case AggKind::kAvg:
+          if (acc.count == 0) {
+            row.push_back(Value::Null(TypeId::kDouble));
+          } else {
+            const double total = acc.sum_d + static_cast<double>(acc.sum_i);
+            row.push_back(
+                Value::Double(total / static_cast<double>(acc.count)));
+          }
+          break;
+        case AggKind::kMin:
+          row.push_back(acc.min_row == SIZE_MAX
+                            ? Value::Null(aggs[i].result_type)
+                            : CellToValue(args[i].at(acc.min_row)));
+          break;
+        case AggKind::kMax:
+          row.push_back(acc.max_row == SIZE_MAX
+                            ? Value::Null(aggs[i].result_type)
+                            : CellToValue(args[i].at(acc.max_row)));
+          break;
+      }
+    }
+    out.Append(std::move(row));
+  }
+  // SQL: a global aggregate over no rows still produces one row.
+  if (group_by.empty() && out.num_rows() == 0 && (limit < 0 || limit > 0)) {
+    Row row;
+    for (const auto& a : aggs) {
+      AggregateAccumulator acc(a);
+      row.push_back(acc.Finalize());
+    }
+    out.Append(std::move(row));
+  }
+  return out;
+}
+
+}  // namespace gisql

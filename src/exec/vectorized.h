@@ -1,0 +1,96 @@
+/// \file vectorized.h
+/// \brief Vectorized mediator kernels over ColumnBatch: predicate
+/// filtering into a selection vector, scalar expression evaluation,
+/// bulk hash-key computation, and grouped aggregation over contiguous
+/// arrays.
+///
+/// Every kernel replicates the row-at-a-time semantics of
+/// expr/eval.cc, types/value.h, and exec/aggregate.cc *exactly* —
+/// same NULL propagation, same cross-type comparison and hashing,
+/// same division-by-zero errors — so the executor can switch per
+/// operator based on what the expression supports. Vectorization
+/// pays off by hoisting type dispatch out of the row loop and never
+/// materializing a Value per cell.
+///
+/// The supported subsets are deliberately conservative:
+///  - Scalars: column refs, literals, and arithmetic over them. This
+///    covers partial-aggregation group keys like `sid % 16`.
+///  - Predicates: comparisons / IS NULL / IN (literal list) / LIKE
+///    (literal pattern) over supported scalars, combined with Kleene
+///    AND/OR/NOT. Division and modulo are excluded here: the row
+///    evaluator short-circuits AND/OR and so may skip a dividing
+///    subexpression that a columnar evaluator would run; everything
+///    in the predicate subset is total, making eager evaluation
+///    indistinguishable from short-circuit.
+/// Anything outside the subset falls back to the row path, keeping
+/// error behavior and results bit-identical.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "expr/binder.h"
+#include "expr/expr.h"
+#include "types/column_batch.h"
+
+namespace gisql {
+
+/// \brief A column that is either borrowed from the input batch (a
+/// bare column reference costs nothing) or owned by the evaluation.
+struct ColumnRef {
+  const ColumnBatch::Column* borrowed = nullptr;
+  ColumnBatch::Column owned;
+  const ColumnBatch::Column& get() const {
+    return borrowed != nullptr ? *borrowed : owned;
+  }
+};
+
+/// \brief True if `e` is a scalar the columnar evaluator supports:
+/// kColumn / kLiteral / kArith over numeric or boolean operands.
+bool IsVectorizableScalar(const Expr& e, const ColumnBatch& batch);
+
+/// \brief True if `e` is a predicate the columnar evaluator supports
+/// (see the subset note above). Total: no member can raise a runtime
+/// error, so eager evaluation matches the short-circuiting row path.
+bool IsVectorizablePredicate(const Expr& e, const ColumnBatch& batch);
+
+/// \brief Evaluates a vectorizable scalar over the batch. The result
+/// column's type follows the row evaluator's value types (e.g. INT64
+/// arithmetic stays INT64 unless an operand or the declared type is
+/// DOUBLE). Division/modulo by a non-NULL zero yields the same
+/// ExecutionError the row path raises.
+Result<ColumnRef> EvalScalarColumnar(const Expr& e, const ColumnBatch& batch);
+
+/// \brief Evaluates a vectorizable predicate into a BOOL column whose
+/// NULL slots are SQL UNKNOWN.
+Result<ColumnRef> EvalPredicateColumnar(const Expr& e,
+                                        const ColumnBatch& batch);
+
+/// \brief Selection vector: indexes of rows where `pred` is TRUE
+/// (UNKNOWN drops, per SQL WHERE).
+std::vector<uint32_t> SelectTrue(const ColumnBatch::Column& pred, size_t n);
+
+/// \brief Per-row hash of the key columns, identical to
+/// HashRowKeys(row, keys) on the materialized rows.
+std::vector<uint64_t> HashKeysColumnar(const ColumnBatch& batch,
+                                       const std::vector<size_t>& keys);
+
+/// \brief True if HashAggregateColumnar can run this aggregation:
+/// vectorizable group keys, no DISTINCT, vectorizable arguments, and
+/// numeric SUM/AVG inputs.
+bool CanVectorizeAggregate(const std::vector<ExprPtr>& group_by,
+                           const std::vector<BoundAggregate>& aggs,
+                           const ColumnBatch& batch);
+
+/// \brief Columnar grouped aggregation, result-identical to
+/// HashAggregate over the materialized rows: same bucketing (hash +
+/// verify by value), same insertion-ordered output, same empty-input
+/// global row, same `limit` cap.
+Result<RowBatch> HashAggregateColumnar(const ColumnBatch& batch,
+                                       const std::vector<ExprPtr>& group_by,
+                                       const std::vector<BoundAggregate>& aggs,
+                                       SchemaPtr out_schema,
+                                       int64_t limit = -1);
+
+}  // namespace gisql

@@ -40,6 +40,19 @@ struct PlannerOptions {
   /// only; simulated time and results are identical either way).
   bool parallel_execution = true;
 
+  /// Size of the bounded executor worker pool; 0 picks
+  /// hardware_concurrency (minimum 2). The pool is created once per
+  /// GlobalSystem and shared by every query.
+  int worker_threads = 0;
+
+  /// Fetch fragments with the columnar wire encoding (off = classic
+  /// row encoding; results identical, bytes on the wire differ).
+  bool columnar_wire = true;
+
+  /// Run vectorized kernels over columnar fragment results at the
+  /// mediator (off = row-at-a-time everywhere; results identical).
+  bool vectorized_execution = true;
+
   /// \brief The pre-mediator baseline: fetch whole tables, do all work
   /// centrally.
   static PlannerOptions ShipEverything() {

@@ -6,6 +6,7 @@
 
 #include "common/hash.h"
 #include "exec/hash_aggregate.h"
+#include "exec/vectorized.h"
 #include "expr/binder.h"
 #include "expr/eval.h"
 #include "sql/parser.h"
@@ -235,11 +236,38 @@ Result<RowBatch> ComponentSource::ExecuteFragment(const FragmentPlan& frag,
       out_fields.emplace_back(a.display, a.result_type);
     }
     auto out_schema = std::make_shared<Schema>(std::move(out_fields));
+    const int64_t agg_limit = frag.order_by.empty() ? frag.limit : -1;
+    // Vectorized partial aggregation: pivot only the referenced
+    // columns and run the columnar kernel. A zero-row probe batch
+    // carries the column types for the cheap eligibility check; a
+    // value that does not fit its declared column type fails the
+    // conversion and drops to the row path.
+    if (vectorized_execution_) {
+      const ColumnBatch probe(table->schema());
+      std::vector<size_t> needed;
+      for (const auto& g : frag.group_by) g->CollectColumns(&needed);
+      for (const auto& a : frag.aggregates) {
+        if (a.arg) a.arg->CollectColumns(&needed);
+      }
+      if (CanVectorizeAggregate(frag.group_by, frag.aggregates, probe)) {
+        Result<ColumnBatch> cols =
+            ColumnBatch::FromRowPtrs(table->schema(), filtered, &needed);
+        if (cols.ok()) {
+          GISQL_ASSIGN_OR_RETURN(
+              RowBatch out,
+              HashAggregateColumnar(*cols, frag.group_by, frag.aggregates,
+                                    std::move(out_schema), agg_limit));
+          GISQL_RETURN_NOT_OK(SortAndLimit(&out, frag.order_by,
+                                           frag.order_ascending,
+                                           frag.limit));
+          return out;
+        }
+      }
+    }
     GISQL_ASSIGN_OR_RETURN(
         RowBatch out,
         HashAggregate(filtered, frag.group_by, frag.aggregates,
-                      std::move(out_schema),
-                      frag.order_by.empty() ? frag.limit : -1));
+                      std::move(out_schema), agg_limit));
     GISQL_RETURN_NOT_OK(SortAndLimit(&out, frag.order_by,
                                      frag.order_ascending, frag.limit));
     return out;
@@ -494,6 +522,29 @@ Result<std::vector<uint8_t>> ComponentSource::Handle(
             static_cast<double>(rows_scanned) * cpu_us_per_row_ / 1e3;
       }
       wire::WriteBatch(&writer, batch);
+      return writer.Release();
+    }
+
+    case wire::Opcode::kExecuteFragmentColumnar: {
+      GISQL_ASSIGN_OR_RETURN(FragmentPlan frag, wire::ReadFragment(&reader));
+      int64_t rows_scanned = 0;
+      GISQL_ASSIGN_OR_RETURN(RowBatch batch,
+                             ExecuteFragment(frag, &rows_scanned));
+      if (processing_ms != nullptr) {
+        *processing_ms =
+            static_cast<double>(rows_scanned) * cpu_us_per_row_ / 1e3;
+      }
+      // Columnar when every row fits its declared column type; row
+      // encoding otherwise (e.g. an expression whose value type differs
+      // from the projected column's declared type).
+      Result<ColumnBatch> columnar = ColumnBatch::FromRows(batch);
+      if (columnar.ok()) {
+        writer.PutU8(wire::kBatchFormatColumnar);
+        wire::WriteColumnBatch(&writer, *columnar);
+      } else {
+        writer.PutU8(wire::kBatchFormatRow);
+        wire::WriteBatch(&writer, batch);
+      }
       return writer.Release();
     }
   }

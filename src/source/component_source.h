@@ -102,6 +102,11 @@ class ComponentSource : public RpcHandler {
   Status LoadSnapshot(const std::string& path);
   /// @}
 
+  /// \brief A/B toggle for the vectorized partial-aggregation path
+  /// (on by default; results are identical either way).
+  void set_vectorized_execution(bool on) { vectorized_execution_ = on; }
+  bool vectorized_execution() const { return vectorized_execution_; }
+
  private:
   Status CheckCapabilities(const FragmentPlan& frag) const;
 
@@ -109,6 +114,7 @@ class ComponentSource : public RpcHandler {
   SourceDialect dialect_;
   SourceCapabilities caps_;
   double cpu_us_per_row_;
+  bool vectorized_execution_ = true;
   StorageEngine engine_;
 
   struct StagedWrite {

@@ -1,0 +1,148 @@
+#include "types/column_batch.h"
+
+#include "common/status.h"
+
+namespace gisql {
+
+namespace {
+
+/// Appends one value to `col`, coercing implicitly castable types to
+/// the declared column type. Returns a non-OK status for values that
+/// would need an explicit cast.
+Status AppendCell(ColumnBatch::Column* col, const Value& v, size_t row,
+                  size_t total_rows) {
+  if (v.is_null()) {
+    col->SetNull(row, total_rows);
+    switch (col->type) {
+      case TypeId::kBool: col->bools.push_back(0); break;
+      case TypeId::kInt64:
+      case TypeId::kDate: col->ints.push_back(0); break;
+      case TypeId::kDouble: col->doubles.push_back(0.0); break;
+      case TypeId::kString: col->offsets.push_back(
+          static_cast<uint32_t>(col->arena.size())); break;
+      case TypeId::kNull: break;
+    }
+    return Status::OK();
+  }
+  switch (col->type) {
+    case TypeId::kBool:
+      if (v.type() != TypeId::kBool) break;
+      col->bools.push_back(v.AsBool() ? 1 : 0);
+      return Status::OK();
+    case TypeId::kInt64:
+    case TypeId::kDate:
+      if (v.type() != TypeId::kInt64 && v.type() != TypeId::kDate) break;
+      col->ints.push_back(v.AsInt());
+      return Status::OK();
+    case TypeId::kDouble:
+      if (v.type() == TypeId::kDouble) {
+        col->doubles.push_back(v.AsDouble());
+        return Status::OK();
+      }
+      if (v.type() == TypeId::kInt64 || v.type() == TypeId::kDate) {
+        col->doubles.push_back(static_cast<double>(v.AsInt()));
+        return Status::OK();
+      }
+      break;
+    case TypeId::kString:
+      if (v.type() != TypeId::kString) break;
+      if (col->arena.size() + v.AsString().size() > UINT32_MAX) {
+        return Status::InvalidArgument(
+            "string column exceeds the 4 GiB arena limit");
+      }
+      col->arena.append(v.AsString());
+      col->offsets.push_back(static_cast<uint32_t>(col->arena.size()));
+      return Status::OK();
+    case TypeId::kNull:
+      break;  // only NULLs fit a kNull column
+  }
+  return Status::InvalidArgument("cannot store ", TypeName(v.type()),
+                                 " value in ", TypeName(col->type),
+                                 " column");
+}
+
+template <typename RowAt>
+Result<ColumnBatch> ConvertImpl(const SchemaPtr& schema, size_t n,
+                                const std::vector<size_t>* columns,
+                                RowAt row_at) {
+  ColumnBatch out(schema);
+  out.set_num_rows(n);
+  std::vector<bool> wanted(schema->num_fields(), columns == nullptr);
+  if (columns != nullptr) {
+    for (size_t c : *columns) {
+      if (c < wanted.size()) wanted[c] = true;
+    }
+  }
+  for (size_t c = 0; c < schema->num_fields(); ++c) {
+    if (!wanted[c]) continue;
+    ColumnBatch::Column& col = out.column(c);
+    switch (col.type) {
+      case TypeId::kBool: col.bools.reserve(n); break;
+      case TypeId::kInt64:
+      case TypeId::kDate: col.ints.reserve(n); break;
+      case TypeId::kDouble: col.doubles.reserve(n); break;
+      case TypeId::kString: col.offsets.reserve(n + 1); break;
+      case TypeId::kNull: break;
+    }
+    if (col.type == TypeId::kString) col.offsets.push_back(0);
+    for (size_t r = 0; r < n; ++r) {
+      const Row& row = row_at(r);
+      if (c >= row.size()) {
+        return Status::InvalidArgument("row ", r, " has ", row.size(),
+                                       " values; schema expects ",
+                                       schema->num_fields());
+      }
+      GISQL_RETURN_NOT_OK(AppendCell(&col, row[c], r, n));
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Value ColumnBatch::Column::ValueAt(size_t row) const {
+  if (IsNull(row)) return Value::Null(type);
+  switch (type) {
+    case TypeId::kBool: return Value::Bool(bools[row] != 0);
+    case TypeId::kInt64: return Value::Int(ints[row]);
+    case TypeId::kDate: return Value::Date(ints[row]);
+    case TypeId::kDouble: return Value::Double(doubles[row]);
+    case TypeId::kString: return Value::String(std::string(StringAt(row)));
+    case TypeId::kNull: break;
+  }
+  return Value::Null(type);
+}
+
+ColumnBatch::ColumnBatch(SchemaPtr schema) : schema_(std::move(schema)) {
+  columns_.resize(schema_->num_fields());
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    columns_[i].type = schema_->field(i).type;
+  }
+}
+
+Result<ColumnBatch> ColumnBatch::FromRows(const RowBatch& batch) {
+  const std::vector<Row>& rows = batch.rows();
+  return ConvertImpl(batch.schema(), rows.size(), nullptr,
+                     [&](size_t r) -> const Row& { return rows[r]; });
+}
+
+Result<ColumnBatch> ColumnBatch::FromRowPtrs(
+    const SchemaPtr& schema, const std::vector<const Row*>& rows,
+    const std::vector<size_t>* columns) {
+  return ConvertImpl(schema, rows.size(), columns,
+                     [&](size_t r) -> const Row& { return *rows[r]; });
+}
+
+RowBatch ColumnBatch::ToRows() const {
+  RowBatch out(schema_);
+  out.Reserve(num_rows_);
+  for (size_t r = 0; r < num_rows_; ++r) {
+    Row row;
+    row.reserve(columns_.size());
+    for (const Column& col : columns_) row.push_back(col.ValueAt(r));
+    out.Append(std::move(row));
+  }
+  return out;
+}
+
+}  // namespace gisql

@@ -1,0 +1,114 @@
+/// \file column_batch.h
+/// \brief Column-major batches: per-type contiguous arrays, a null
+/// bitmap per column, and a shared string arena with offsets.
+///
+/// A ColumnBatch is the cache- and wire-friendly dual of RowBatch. The
+/// executor's vectorized kernels (exec/vectorized.h) run over its
+/// contiguous arrays, and the columnar wire encoding
+/// (wire::WriteColumnBatch) serializes them with bulk copies instead of
+/// one tag byte + varint per value. Conversions to and from RowBatch
+/// are lossy only in one deliberate way: non-null values are coerced to
+/// the column's declared type (implicit casts only — INT64→DOUBLE,
+/// INT64↔DATE), exactly the coercion UNION-view merging already applies
+/// at the mediator. Values that would need a non-implicit cast make
+/// FromRows fail, and callers fall back to the row representation.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "types/row.h"
+#include "types/schema.h"
+#include "types/value.h"
+
+namespace gisql {
+
+/// \brief A batch of rows stored column-major.
+class ColumnBatch {
+ public:
+  /// \brief One column: dense per-type storage plus a null bitmap.
+  ///
+  /// All slots are materialized (null slots hold zero / the empty
+  /// string) so every array indexes directly by row number. Exactly one
+  /// of the data vectors is populated, selected by `type`:
+  /// kBool → bools, kInt64/kDate → ints, kDouble → doubles,
+  /// kString → offsets+arena, kNull → nothing (every row is NULL).
+  struct Column {
+    TypeId type = TypeId::kNull;
+    /// Null bitmap, bit r set = row r is NULL. Empty means no nulls.
+    std::vector<uint8_t> nulls;
+    std::vector<uint8_t> bools;
+    std::vector<int64_t> ints;
+    std::vector<double> doubles;
+    /// String columns: num_rows()+1 offsets into `arena`.
+    std::vector<uint32_t> offsets;
+    std::string arena;
+
+    bool has_nulls() const { return !nulls.empty(); }
+
+    bool IsNull(size_t row) const {
+      return type == TypeId::kNull ||
+             (!nulls.empty() && ((nulls[row >> 3] >> (row & 7)) & 1) != 0);
+    }
+
+    /// \brief Marks `row` NULL, allocating the bitmap for `total_rows`
+    /// rows on first use.
+    void SetNull(size_t row, size_t total_rows) {
+      if (nulls.empty()) nulls.assign((total_rows + 7) / 8, 0);
+      nulls[row >> 3] |= static_cast<uint8_t>(1u << (row & 7));
+    }
+
+    std::string_view StringAt(size_t row) const {
+      return std::string_view(arena.data() + offsets[row],
+                              offsets[row + 1] - offsets[row]);
+    }
+
+    /// \brief Materializes one cell as a Value (typed NULL for null
+    /// slots).
+    Value ValueAt(size_t row) const;
+  };
+
+  ColumnBatch() : schema_(std::make_shared<Schema>()) {}
+  explicit ColumnBatch(SchemaPtr schema);
+
+  /// \brief Converts a row batch, coercing values to the declared
+  /// column types (implicit casts only; anything else fails with
+  /// InvalidArgument so the caller can keep the row representation).
+  static Result<ColumnBatch> FromRows(const RowBatch& batch);
+
+  /// \brief Same conversion over borrowed rows (used by component
+  /// sources whose scan produces row pointers). `columns` optionally
+  /// restricts conversion to the listed column indexes; the others stay
+  /// empty (schema arity is preserved, their cells must not be read).
+  static Result<ColumnBatch> FromRowPtrs(
+      const SchemaPtr& schema, const std::vector<const Row*>& rows,
+      const std::vector<size_t>* columns = nullptr);
+
+  /// \brief Materializes back to rows; NULL cells become typed NULLs of
+  /// the column type.
+  RowBatch ToRows() const;
+
+  const SchemaPtr& schema() const { return schema_; }
+  size_t num_rows() const { return num_rows_; }
+  size_t num_columns() const { return columns_.size(); }
+  const Column& column(size_t i) const { return columns_[i]; }
+  Column& column(size_t i) { return columns_[i]; }
+
+  /// \brief Used by the wire decoder, which fills columns directly.
+  void set_num_rows(size_t n) { num_rows_ = n; }
+
+  /// \brief Rebinds an arity-identical schema (the mediator adopts the
+  /// plan's qualified schema after a wire decode). Column value types
+  /// are untouched: `Column::type` stays the truth about the data.
+  void AdoptSchema(SchemaPtr schema) { schema_ = std::move(schema); }
+
+ private:
+  SchemaPtr schema_;
+  std::vector<Column> columns_;
+  size_t num_rows_ = 0;
+};
+
+}  // namespace gisql

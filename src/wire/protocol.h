@@ -24,7 +24,18 @@ enum class Opcode : uint8_t {
   kTxnPrepare = 7,       ///< payload: txn id + stmt seq + INSERT sql → empty
   kTxnCommit = 8,        ///< payload: txn id → empty (apply staged rows)
   kTxnAbort = 9,         ///< payload: txn id → empty (drop staged rows)
+  /// payload: FragmentPlan → format byte (see kBatchFormat*) + batch.
+  /// Like kExecuteFragment, but the source answers with a columnar
+  /// batch when the fragment's rows fit their declared column types,
+  /// and falls back to the row encoding otherwise.
+  kExecuteFragmentColumnar = 10,
 };
+
+/// \name Batch format bytes of kExecuteFragmentColumnar responses
+/// @{
+constexpr uint8_t kBatchFormatRow = 0;       ///< wire::ReadBatch follows
+constexpr uint8_t kBatchFormatColumnar = 1;  ///< wire::ReadColumnBatch follows
+/// @}
 
 /// \brief Encodes a response frame: ok flag, then either an error
 /// (code + message) or the payload bytes.

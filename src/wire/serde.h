@@ -13,6 +13,7 @@
 #include "expr/binder.h"
 #include "expr/expr.h"
 #include "source/fragment.h"
+#include "types/column_batch.h"
 #include "types/row.h"
 #include "types/schema.h"
 #include "types/value.h"
@@ -38,6 +39,20 @@ void WriteBatch(ByteWriter* w, const RowBatch& batch);
 Result<RowBatch> ReadBatch(ByteReader* r);
 /// @}
 
+/// \name Column batches (schema + per-column bulk arrays)
+///
+/// The columnar encoding eliminates the per-value tag byte and varint
+/// of the row format: fixed-width columns cross the wire as one raw
+/// little-endian array each, strings as an offsets array plus one
+/// arena. Null bitmaps travel only for columns that have nulls.
+/// Decoding is fully bounds-checked (offsets must be monotone and end
+/// exactly at the arena length); malformed input yields
+/// SerializationError, never UB — the same contract as the row serde.
+/// @{
+void WriteColumnBatch(ByteWriter* w, const ColumnBatch& batch);
+Result<ColumnBatch> ReadColumnBatch(ByteReader* r);
+/// @}
+
 /// \name Bound expressions
 /// @{
 void WriteExpr(ByteWriter* w, const Expr& e);
@@ -61,6 +76,9 @@ std::vector<uint8_t> SerializeFragment(const FragmentPlan& frag);
 
 /// \brief Convenience: serializes a batch to a fresh buffer.
 std::vector<uint8_t> SerializeBatch(const RowBatch& batch);
+
+/// \brief Convenience: serializes a column batch to a fresh buffer.
+std::vector<uint8_t> SerializeColumnBatch(const ColumnBatch& batch);
 
 }  // namespace wire
 }  // namespace gisql

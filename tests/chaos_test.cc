@@ -124,6 +124,101 @@ TEST_P(ChaosDifferential, SameSeedReplaysIdentically) {
 INSTANTIATE_TEST_SUITE_P(ChaosSchedules, ChaosDifferential,
                          ::testing::Range<uint64_t>(9000, 9050));
 
+/// Fault-free differential over the executor's A/B switches: serial vs
+/// pool of 1 vs pool of N must agree on rows AND on the simulated-time
+/// accounting (parallelism is wall-clock only), and turning the
+/// columnar wire + vectorized kernels off must agree on rows (bytes on
+/// the wire legitimately differ between encodings).
+TEST(PoolDifferential, PoolConfigsMatchSerialExactly) {
+  struct Config {
+    const char* name;
+    bool parallel;
+    int threads;
+  };
+  const Config configs[] = {
+      {"serial", false, 0},
+      {"pool1", true, 1},
+      {"pool4", true, 4},
+  };
+  std::vector<std::vector<std::string>> transcripts;
+  for (const auto& config : configs) {
+    PlannerOptions options;
+    options.parallel_execution = config.parallel;
+    options.worker_threads = config.threads;
+    GlobalSystem gis(options);
+    ASSERT_TRUE(BuildRetailFederation(&gis, SmallSpec()).ok());
+    std::vector<std::string> transcript;
+    for (const auto& q : Corpus()) {
+      auto r = gis.Query(q);
+      ASSERT_TRUE(r.ok()) << config.name << ": " << r.status().ToString();
+      transcript.push_back(std::to_string(r->metrics.elapsed_ms) + " " +
+                           std::to_string(r->metrics.bytes_sent) + " " +
+                           std::to_string(r->metrics.bytes_received) + " " +
+                           std::to_string(r->metrics.messages) + "\n" +
+                           Rows(*r));
+    }
+    transcripts.push_back(std::move(transcript));
+  }
+  EXPECT_EQ(transcripts[0], transcripts[1]) << "serial vs pool1";
+  EXPECT_EQ(transcripts[0], transcripts[2]) << "serial vs pool4";
+}
+
+TEST(PoolDifferential, RowWireAndScalarKernelsMatchRows) {
+  GlobalSystem modern;  // defaults: columnar wire + vectorized kernels
+  ASSERT_TRUE(BuildRetailFederation(&modern, SmallSpec()).ok());
+
+  PlannerOptions classic_options;
+  classic_options.columnar_wire = false;
+  classic_options.vectorized_execution = false;
+  GlobalSystem classic(classic_options);
+  ASSERT_TRUE(BuildRetailFederation(&classic, SmallSpec()).ok());
+
+  for (const auto& q : Corpus()) {
+    auto a = modern.Query(q);
+    auto b = classic.Query(q);
+    ASSERT_TRUE(a.ok()) << a.status().ToString() << " for: " << q;
+    ASSERT_TRUE(b.ok()) << b.status().ToString() << " for: " << q;
+    EXPECT_EQ(Rows(*a), Rows(*b)) << q;
+  }
+}
+
+/// The chaos differential with the pool on: thread scheduling may
+/// reorder messages between links, so replay identity is a serial-only
+/// property — but no schedule may ever produce a wrong answer or an
+/// untyped error, pooled or not.
+class ChaosPoolDifferential : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ChaosPoolDifferential, PooledChaosMatchesOracleOrFailsTyped) {
+  const uint64_t seed = GetParam();
+
+  GlobalSystem oracle(SerialOptions());
+  ASSERT_TRUE(BuildRetailFederation(&oracle, SmallSpec()).ok());
+
+  PlannerOptions pooled;
+  pooled.worker_threads = 4;
+  GlobalSystem chaotic(pooled);
+  ASSERT_TRUE(BuildRetailFederation(&chaotic, SmallSpec()).ok());
+  chaotic.set_retry_policy(RetryPolicy::Standard(6, seed));
+  chaotic.network().InstallFaults(seed, FaultProfile::Chaos(0.5));
+
+  for (const auto& q : Corpus()) {
+    auto want = oracle.Query(q);
+    ASSERT_TRUE(want.ok()) << want.status().ToString() << " for: " << q;
+    auto got = chaotic.Query(q);
+    if (got.ok()) {
+      EXPECT_EQ(Rows(*got), Rows(*want)) << "seed " << seed << ": " << q;
+    } else {
+      EXPECT_TRUE(got.status().IsNetworkError() ||
+                  got.status().IsSerializationError())
+          << "seed " << seed << ": " << got.status().ToString()
+          << " for: " << q;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(ChaosSchedules, ChaosPoolDifferential,
+                         ::testing::Range<uint64_t>(9100, 9110));
+
 TEST(ChaosPermanentFailure, DeadSourceIsNamedAndTyped) {
   GlobalSystem gis(SerialOptions());
   ASSERT_TRUE(BuildRetailFederation(&gis, SmallSpec()).ok());

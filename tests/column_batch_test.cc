@@ -1,0 +1,197 @@
+/// ColumnBatch tests: RowBatch ↔ ColumnBatch conversion round trips
+/// (all TypeIds, nulls, empty batches, empty and large strings), the
+/// implicit-cast-only coercion contract, the column-mask conversion
+/// used by sources, and the columnar wire encoding against the row
+/// encoding on identical data.
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "types/column_batch.h"
+#include "wire/serde.h"
+
+namespace gisql {
+namespace {
+
+SchemaPtr AllTypesSchema() {
+  return std::make_shared<Schema>(std::vector<Field>{
+      {"n", TypeId::kNull},
+      {"b", TypeId::kBool},
+      {"i", TypeId::kInt64},
+      {"d", TypeId::kDouble},
+      {"s", TypeId::kString},
+      {"t", TypeId::kDate}});
+}
+
+/// A random batch over every TypeId with ~20% NULLs per cell.
+RowBatch RandomBatch(uint64_t seed, size_t rows) {
+  RowBatch batch(AllTypesSchema());
+  Rng rng(seed);
+  for (size_t r = 0; r < rows; ++r) {
+    Row row;
+    row.push_back(Value::Null(TypeId::kNull));
+    row.push_back(rng.Bernoulli(0.2) ? Value::Null(TypeId::kBool)
+                                     : Value::Bool(rng.Bernoulli(0.5)));
+    row.push_back(rng.Bernoulli(0.2)
+                      ? Value::Null(TypeId::kInt64)
+                      : Value::Int(rng.Uniform(-1000000, 1000000)));
+    row.push_back(rng.Bernoulli(0.2)
+                      ? Value::Null(TypeId::kDouble)
+                      : Value::Double(rng.NextDouble() * 1e6 - 5e5));
+    row.push_back(rng.Bernoulli(0.2)
+                      ? Value::Null(TypeId::kString)
+                      : Value::String(rng.NextString(rng.Uniform(0, 24))));
+    row.push_back(rng.Bernoulli(0.2) ? Value::Null(TypeId::kDate)
+                                     : Value::Date(rng.Uniform(0, 40000)));
+    batch.Append(std::move(row));
+  }
+  return batch;
+}
+
+void ExpectSameRows(const RowBatch& a, const RowBatch& b) {
+  ASSERT_EQ(a.num_rows(), b.num_rows());
+  ASSERT_EQ(a.schema()->num_fields(), b.schema()->num_fields());
+  for (size_t r = 0; r < a.num_rows(); ++r) {
+    for (size_t c = 0; c < a.schema()->num_fields(); ++c) {
+      const Value& va = a.rows()[r][c];
+      const Value& vb = b.rows()[r][c];
+      EXPECT_EQ(va.is_null(), vb.is_null()) << "row " << r << " col " << c;
+      EXPECT_TRUE(va == vb) << "row " << r << " col " << c << ": "
+                            << va.ToString() << " vs " << vb.ToString();
+    }
+  }
+}
+
+class ColumnBatchRoundTrip : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ColumnBatchRoundTrip, ConversionPreservesRows) {
+  Rng rng(GetParam());
+  const size_t rows = static_cast<size_t>(rng.Uniform(0, 200));
+  RowBatch batch = RandomBatch(GetParam() * 7 + 1, rows);
+  auto columns = ColumnBatch::FromRows(batch);
+  ASSERT_TRUE(columns.ok()) << columns.status().ToString();
+  EXPECT_EQ(columns->num_rows(), rows);
+  ExpectSameRows(batch, columns->ToRows());
+}
+
+TEST_P(ColumnBatchRoundTrip, WirePreservesRows) {
+  RowBatch batch = RandomBatch(GetParam() * 13 + 5, 97);
+  ColumnBatch columns = *ColumnBatch::FromRows(batch);
+  const auto buf = wire::SerializeColumnBatch(columns);
+  ByteReader reader(buf);
+  auto back = wire::ReadColumnBatch(&reader);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(reader.remaining(), 0u);
+  ExpectSameRows(batch, back->ToRows());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ColumnBatchRoundTrip,
+                         ::testing::Range<uint64_t>(40, 46));
+
+TEST(ColumnBatchTest, EmptyBatchRoundTrips) {
+  RowBatch batch(AllTypesSchema());
+  ColumnBatch columns = *ColumnBatch::FromRows(batch);
+  EXPECT_EQ(columns.num_rows(), 0u);
+  EXPECT_EQ(columns.ToRows().num_rows(), 0u);
+  const auto buf = wire::SerializeColumnBatch(columns);
+  ByteReader reader(buf);
+  auto back = wire::ReadColumnBatch(&reader);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(back->num_rows(), 0u);
+}
+
+TEST(ColumnBatchTest, EmptyAndLargeStringsRoundTrip) {
+  auto schema =
+      std::make_shared<Schema>(std::vector<Field>{{"s", TypeId::kString}});
+  RowBatch batch(schema);
+  batch.Append({Value::String("")});
+  batch.Append({Value::String(std::string(1 << 16, 'x'))});
+  batch.Append({Value::Null(TypeId::kString)});
+  batch.Append({Value::String("tail")});
+  ColumnBatch columns = *ColumnBatch::FromRows(batch);
+  EXPECT_EQ(columns.column(0).StringAt(0), "");
+  EXPECT_EQ(columns.column(0).StringAt(1).size(), size_t{1 << 16});
+  EXPECT_TRUE(columns.column(0).IsNull(2));
+  const auto buf = wire::SerializeColumnBatch(columns);
+  ByteReader reader(buf);
+  auto back = wire::ReadColumnBatch(&reader);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  ExpectSameRows(batch, back->ToRows());
+}
+
+TEST(ColumnBatchTest, AllNullColumnRoundTrips) {
+  auto schema = std::make_shared<Schema>(
+      std::vector<Field>{{"i", TypeId::kInt64}, {"n", TypeId::kNull}});
+  RowBatch batch(schema);
+  for (int r = 0; r < 10; ++r) {
+    batch.Append({Value::Null(TypeId::kInt64), Value::Null(TypeId::kNull)});
+  }
+  ColumnBatch columns = *ColumnBatch::FromRows(batch);
+  for (size_t r = 0; r < 10; ++r) {
+    EXPECT_TRUE(columns.column(0).IsNull(r));
+    EXPECT_TRUE(columns.column(1).IsNull(r));
+  }
+  const auto buf = wire::SerializeColumnBatch(columns);
+  ByteReader reader(buf);
+  auto back = wire::ReadColumnBatch(&reader);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  ExpectSameRows(batch, back->ToRows());
+}
+
+TEST(ColumnBatchTest, ImplicitCastsCoerceToColumnType) {
+  auto schema = std::make_shared<Schema>(
+      std::vector<Field>{{"d", TypeId::kDouble}, {"t", TypeId::kDate}});
+  RowBatch batch(schema);
+  batch.Append({Value::Int(3), Value::Int(1234)});  // INT64→DOUBLE, →DATE
+  ColumnBatch columns = *ColumnBatch::FromRows(batch);
+  EXPECT_EQ(columns.column(0).doubles[0], 3.0);
+  EXPECT_EQ(columns.column(1).ints[0], 1234);
+  const RowBatch back = columns.ToRows();
+  EXPECT_EQ(back.rows()[0][0].type(), TypeId::kDouble);
+  EXPECT_EQ(back.rows()[0][1].type(), TypeId::kDate);
+}
+
+TEST(ColumnBatchTest, NonImplicitCastFails) {
+  auto schema =
+      std::make_shared<Schema>(std::vector<Field>{{"i", TypeId::kInt64}});
+  RowBatch batch(schema);
+  batch.Append({Value::String("not a number")});
+  auto columns = ColumnBatch::FromRows(batch);
+  ASSERT_FALSE(columns.ok());
+  EXPECT_TRUE(columns.status().IsInvalidArgument())
+      << columns.status().ToString();
+}
+
+TEST(ColumnBatchTest, ColumnMaskConvertsOnlyListedColumns) {
+  auto schema = std::make_shared<Schema>(std::vector<Field>{
+      {"a", TypeId::kInt64}, {"b", TypeId::kString}, {"c", TypeId::kDouble}});
+  RowBatch batch(schema);
+  batch.Append({Value::Int(1), Value::String("x"), Value::Double(0.5)});
+  batch.Append({Value::Int(2), Value::String("y"), Value::Double(1.5)});
+  std::vector<const Row*> ptrs;
+  for (const auto& row : batch.rows()) ptrs.push_back(&row);
+  const std::vector<size_t> wanted = {0, 2};
+  auto columns = ColumnBatch::FromRowPtrs(schema, ptrs, &wanted);
+  ASSERT_TRUE(columns.ok()) << columns.status().ToString();
+  EXPECT_EQ(columns->num_rows(), 2u);
+  EXPECT_EQ(columns->column(0).ints[1], 2);
+  EXPECT_EQ(columns->column(2).doubles[1], 1.5);
+  EXPECT_TRUE(columns->column(1).arena.empty());  // masked out
+}
+
+TEST(ColumnBatchTest, TruncatedColumnarBytesAreTypedErrors) {
+  RowBatch batch = RandomBatch(99, 64);
+  const auto buf = wire::SerializeColumnBatch(*ColumnBatch::FromRows(batch));
+  for (size_t cut = 0; cut < buf.size(); cut += 7) {
+    std::vector<uint8_t> trunc(buf.begin(), buf.begin() + cut);
+    ByteReader reader(trunc);
+    auto back = wire::ReadColumnBatch(&reader);
+    if (!back.ok()) {
+      EXPECT_TRUE(back.status().IsSerializationError())
+          << "cut=" << cut << ": " << back.status().ToString();
+    }
+  }
+}
+
+}  // namespace
+}  // namespace gisql

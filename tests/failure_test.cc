@@ -156,6 +156,7 @@ class WrongArityHandler : public RpcHandler {
     RowBatch batch(schema);
     batch.Append({Value::Int(1), Value::Int(2)});
     ByteWriter w;
+    w.PutU8(wire::kBatchFormatRow);
     wire::WriteBatch(&w, batch);
     return w.Release();
   }

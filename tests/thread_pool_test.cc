@@ -1,0 +1,117 @@
+/// ThreadPool / TaskGroup tests: the worker-concurrency bound, help-
+/// while-wait freedom from deadlock under nested parallelism on tiny
+/// pools, inline degeneration with a null pool, and the executor-level
+/// bound — a GlobalSystem with a 2-thread pool never runs more than two
+/// tasks on workers no matter how wide the plan fans out.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include "common/thread_pool.h"
+#include "core/global_system.h"
+
+namespace gisql {
+namespace {
+
+TEST(ThreadPoolTest, RunsEverythingExactlyOnce) {
+  ThreadPool pool(4);
+  std::atomic<int> runs{0};
+  {
+    TaskGroup group(&pool);
+    for (int i = 0; i < 100; ++i) {
+      group.Spawn([&runs] { runs.fetch_add(1); });
+    }
+    group.Wait();
+    EXPECT_EQ(runs.load(), 100);
+    group.Wait();  // idempotent
+  }
+  EXPECT_EQ(runs.load(), 100);
+}
+
+TEST(ThreadPoolTest, WorkerConcurrencyNeverExceedsPoolSize) {
+  ThreadPool pool(3);
+  // Tasks that linger long enough for all workers to pick one up.
+  for (int round = 0; round < 4; ++round) {
+    TaskGroup group(&pool);
+    for (int i = 0; i < 32; ++i) {
+      group.Spawn([] {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      });
+    }
+    group.Wait();
+  }
+  EXPECT_LE(pool.peak_worker_tasks(), 3);
+  EXPECT_GE(pool.peak_worker_tasks(), 1);
+}
+
+TEST(ThreadPoolTest, NestedGroupsDrainOnASingleWorker) {
+  // One worker + nested groups: the classic bounded-pool deadlock
+  // shape. Help-while-wait must drain it.
+  ThreadPool pool(1);
+  std::atomic<int> leaves{0};
+  TaskGroup outer(&pool);
+  for (int i = 0; i < 8; ++i) {
+    outer.Spawn([&pool, &leaves] {
+      TaskGroup inner(&pool);
+      for (int j = 0; j < 4; ++j) {
+        inner.Spawn([&leaves] { leaves.fetch_add(1); });
+      }
+      inner.Wait();
+    });
+  }
+  outer.Wait();
+  EXPECT_EQ(leaves.load(), 32);
+  EXPECT_LE(pool.peak_worker_tasks(), 1);
+}
+
+TEST(ThreadPoolTest, NullPoolRunsInline) {
+  TaskGroup group(nullptr);
+  std::thread::id spawner = std::this_thread::get_id();
+  bool ran = false;
+  group.Spawn([&] {
+    ran = true;
+    EXPECT_EQ(std::this_thread::get_id(), spawner);
+  });
+  EXPECT_TRUE(ran);  // already done — Spawn executed it inline
+  group.Wait();
+}
+
+TEST(ThreadPoolTest, ExecutorRespectsConfiguredBound) {
+  PlannerOptions options;
+  options.worker_threads = 2;
+  GlobalSystem gis(options);
+  // A wide union fan-out: 6 sources behind one view, so the executor
+  // has 6 independent remote fetches to scatter at once.
+  std::vector<std::string> members;
+  for (int i = 0; i < 6; ++i) {
+    const std::string name = "site" + std::to_string(i);
+    auto src = *gis.CreateSource(name, SourceDialect::kRelational);
+    ASSERT_TRUE(
+        src->ExecuteLocalSql("CREATE TABLE part (id bigint, v double)")
+            .ok());
+    for (int r = 0; r < 20; ++r) {
+      ASSERT_TRUE(src->ExecuteLocalSql(
+                        "INSERT INTO part VALUES (" +
+                        std::to_string(i * 100 + r) + ", 1.5)")
+                      .ok());
+    }
+    ASSERT_TRUE(gis.ImportTable(name, "part", "part_" + name).ok());
+    members.push_back("part_" + name);
+  }
+  ASSERT_TRUE(gis.CreateUnionView("parts", members).ok());
+
+  for (int i = 0; i < 3; ++i) {
+    auto result = gis.Query("SELECT COUNT(*), SUM(v) FROM parts");
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    EXPECT_EQ(result->batch.rows()[0][0], Value::Int(120));
+  }
+  ASSERT_NE(gis.worker_pool(), nullptr);
+  EXPECT_EQ(gis.worker_pool()->num_threads(), 2u);
+  EXPECT_LE(gis.worker_pool()->peak_worker_tasks(), 2);
+}
+
+}  // namespace
+}  // namespace gisql
