@@ -89,10 +89,11 @@ void TaskGroup::Wait() {
 }
 
 void TaskGroup::OnTaskDone() {
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    --outstanding_;
-  }
+  // Notify while still holding mu_: the waiter in Wait() can return (and
+  // destroy this stack-allocated group) the moment outstanding_ hits zero
+  // with the mutex free, so an unlocked notify here would touch a dead cv_.
+  std::lock_guard<std::mutex> lock(mu_);
+  --outstanding_;
   cv_.notify_all();
 }
 

@@ -1,6 +1,7 @@
 #include "exec/vectorized.h"
 
 #include <cmath>
+#include <cstdint>
 #include <cstring>
 #include <unordered_map>
 
@@ -320,6 +321,11 @@ Result<ColumnRef> EvalPredicate(const Expr& e, const ColumnBatch& batch) {
   const size_t n = batch.num_rows();
   switch (e.kind) {
     case ExprKind::kColumn: {
+      if (e.column_index >= batch.num_columns()) {
+        return Status::ExecutionError("column $", e.column_index,
+                                      " out of range for batch of width ",
+                                      batch.num_columns());
+      }
       ColumnRef out;
       out.borrowed = &batch.column(e.column_index);
       return out;
@@ -531,6 +537,13 @@ Result<ColumnRef> EvalScalarColumnar(const Expr& e, const ColumnBatch& batch) {
       col.doubles.assign(n, v.konst.null ? 0.0 : v.konst.d);
       break;
     case TypeId::kString: {
+      // Same arena bound AppendCell enforces: the offsets are uint32_t.
+      if (!v.konst.null &&
+          n != 0 && v.konst.s.size() > UINT32_MAX / n) {
+        return Status::InvalidArgument(
+            "string arena would exceed 4 GiB broadcasting literal of ",
+            v.konst.s.size(), " bytes over ", n, " rows");
+      }
       col.offsets.assign(n + 1, 0);
       if (!v.konst.null) {
         for (size_t row = 0; row < n; ++row) {

@@ -165,6 +165,9 @@ void WriteBatch(ByteWriter* w, const RowBatch& batch) {
 Result<RowBatch> ReadBatch(ByteReader* r) {
   GISQL_ASSIGN_OR_RETURN(Schema schema, ReadSchema(r));
   GISQL_ASSIGN_OR_RETURN(uint64_t nrows, r->GetVarint());
+  if (nrows > kMaxWireRows) {
+    return Status::SerializationError("row batch too tall: ", nrows, " rows");
+  }
   auto schema_ptr = std::make_shared<Schema>(std::move(schema));
   const size_t width = schema_ptr->num_fields();
   RowBatch batch(schema_ptr);
