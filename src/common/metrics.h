@@ -1,15 +1,95 @@
 /// \file metrics.h
-/// \brief Lightweight named counters/gauges used for experiment accounting
-/// (bytes shipped, messages, rows produced, simulated time, ...).
+/// \brief Lightweight named counters/gauges/histograms used for
+/// experiment accounting (bytes shipped, messages, rows produced,
+/// simulated time, latency tails, ...).
 
 #pragma once
 
+#include <algorithm>
+#include <array>
+#include <cmath>
 #include <cstdint>
 #include <map>
 #include <mutex>
 #include <string>
 
 namespace gisql {
+
+/// \brief Fixed log-scale histogram: 96 buckets whose upper bounds grow
+/// by sqrt(2) from 1e-3, covering ~[0.001, 2.8e11] — microsecond-level
+/// latencies in ms up to hundreds of GiB in bytes, unit-agnostic. One
+/// more bucket catches overflow. Percentiles interpolate linearly
+/// inside the selected bucket and clamp to the observed [min, max], so
+/// a histogram of identical values reports that exact value.
+class Histogram {
+ public:
+  static constexpr int kBuckets = 96;
+  static constexpr double kFirstBound = 1e-3;
+
+  static double UpperBound(int bucket) {
+    return kFirstBound * std::exp2(0.5 * bucket);
+  }
+
+  void Observe(double value) {
+    ++count_;
+    sum_ += value;
+    min_ = count_ == 1 ? value : std::min(min_, value);
+    max_ = count_ == 1 ? value : std::max(max_, value);
+    ++buckets_[BucketOf(value)];
+  }
+
+  int64_t count() const { return count_; }
+  double sum() const { return sum_; }
+  double min() const { return count_ > 0 ? min_ : 0.0; }
+  double max() const { return count_ > 0 ? max_ : 0.0; }
+
+  /// \brief Estimated value at quantile `q` in [0, 1].
+  double Percentile(double q) const {
+    if (count_ == 0) return 0.0;
+    const double rank = q * static_cast<double>(count_);
+    int64_t seen = 0;
+    for (int i = 0; i <= kBuckets; ++i) {
+      if (buckets_[i] == 0) continue;
+      const int64_t next = seen + buckets_[i];
+      if (static_cast<double>(next) >= rank) {
+        const double lo = i == 0 ? 0.0 : UpperBound(i - 1);
+        const double hi = i == kBuckets ? max_ : UpperBound(i);
+        const double frac =
+            (rank - static_cast<double>(seen)) /
+            static_cast<double>(buckets_[i]);
+        const double v = lo + (hi - lo) * std::clamp(frac, 0.0, 1.0);
+        return std::clamp(v, min_, max_);
+      }
+      seen = next;
+    }
+    return max_;
+  }
+
+ private:
+  static int BucketOf(double v) {
+    if (!(v > kFirstBound)) return 0;  // also catches NaN and <= 0
+    const int b =
+        static_cast<int>(std::ceil(2.0 * std::log2(v / kFirstBound)));
+    return b > kBuckets ? kBuckets : b;
+  }
+
+  int64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  std::array<int64_t, kBuckets + 1> buckets_{};
+};
+
+/// \brief Point-in-time digest of one histogram (for reporting).
+struct HistogramSnapshot {
+  int64_t count = 0;
+  double sum = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+};
 
 /// \brief A registry of named monotonic counters and last-value gauges.
 ///
@@ -39,10 +119,36 @@ class MetricsRegistry {
     return it == gauges_.end() ? 0.0 : it->second;
   }
 
+  /// \brief Records one observation into the named log-scale histogram
+  /// (latencies in ms, sizes in bytes — unit is the caller's).
+  void Observe(const std::string& name, double value) {
+    std::lock_guard<std::mutex> lock(mu_);
+    histograms_[name].Observe(value);
+  }
+
+  /// \brief Digest (count/sum/min/max/p50/p95/p99) of a histogram; all
+  /// zeros when nothing was observed under `name`.
+  HistogramSnapshot SnapshotHistogram(const std::string& name) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    HistogramSnapshot snap;
+    auto it = histograms_.find(name);
+    if (it == histograms_.end()) return snap;
+    const Histogram& h = it->second;
+    snap.count = h.count();
+    snap.sum = h.sum();
+    snap.min = h.min();
+    snap.max = h.max();
+    snap.p50 = h.Percentile(0.50);
+    snap.p95 = h.Percentile(0.95);
+    snap.p99 = h.Percentile(0.99);
+    return snap;
+  }
+
   void Reset() {
     std::lock_guard<std::mutex> lock(mu_);
     counters_.clear();
     gauges_.clear();
+    histograms_.clear();
   }
 
   /// \brief Snapshot of all counters (for reporting).
@@ -55,6 +161,7 @@ class MetricsRegistry {
   mutable std::mutex mu_;
   std::map<std::string, int64_t> counters_;
   std::map<std::string, double> gauges_;
+  std::map<std::string, Histogram> histograms_;
 };
 
 }  // namespace gisql

@@ -1,0 +1,207 @@
+#include "common/trace.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <functional>
+#include <map>
+#include <set>
+#include <sstream>
+#include <tuple>
+
+namespace gisql {
+
+uint64_t TraceCollector::Begin(std::string name, std::string category,
+                               uint64_t parent, double start_ms) {
+  std::lock_guard<std::mutex> lock(mu_);
+  TraceSpan span;
+  span.id = next_id_++;
+  span.parent = parent;
+  span.name = std::move(name);
+  span.category = std::move(category);
+  span.start_ms = start_ms;
+  span.end_ms = start_ms;
+  spans_.push_back(std::move(span));
+  return spans_.back().id;
+}
+
+TraceSpan* TraceCollector::Find(uint64_t id) {
+  if (id == 0 || id > spans_.size()) return nullptr;
+  return &spans_[id - 1];
+}
+
+void TraceCollector::End(uint64_t id, double end_ms) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (TraceSpan* s = Find(id)) s->end_ms = end_ms;
+}
+
+void TraceCollector::SetRows(uint64_t id, int64_t rows) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (TraceSpan* s = Find(id)) s->rows = rows;
+}
+
+void TraceCollector::SetHost(uint64_t id, std::string host) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (TraceSpan* s = Find(id)) s->host = std::move(host);
+}
+
+void TraceCollector::SetNote(uint64_t id, std::string note) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (TraceSpan* s = Find(id)) s->note = std::move(note);
+}
+
+void TraceCollector::AddIo(uint64_t id, int64_t bytes_sent,
+                           int64_t bytes_received, int64_t messages,
+                           int64_t attempts, int64_t retries) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (TraceSpan* s = Find(id)) {
+    s->bytes_sent += bytes_sent;
+    s->bytes_received += bytes_received;
+    s->messages += messages;
+    s->attempts += attempts;
+    s->retries += retries;
+  }
+}
+
+void TraceCollector::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  spans_.clear();
+  next_id_ = 1;
+}
+
+namespace {
+
+/// Canonical sibling order: content-first so pooled and serial runs
+/// (whose span *ids* differ by scheduling) render identically.
+bool CanonicalLess(const TraceSpan& a, const TraceSpan& b) {
+  return std::tie(a.start_ms, a.name, a.host, a.rows, a.bytes_sent,
+                  a.bytes_received, a.end_ms, a.id) <
+         std::tie(b.start_ms, b.name, b.host, b.rows, b.bytes_sent,
+                  b.bytes_received, b.end_ms, b.id);
+}
+
+void AppendJsonString(std::string* out, const std::string& s) {
+  out->push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"': *out += "\\\""; break;
+      case '\\': *out += "\\\\"; break;
+      case '\n': *out += "\\n"; break;
+      case '\r': *out += "\\r"; break;
+      case '\t': *out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+std::string FormatMs(double ms) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3f", ms);
+  return buf;
+}
+
+}  // namespace
+
+std::vector<TraceSpan> TraceCollector::Spans() const {
+  std::vector<TraceSpan> out;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    out = spans_;
+  }
+  std::sort(out.begin(), out.end(), CanonicalLess);
+  return out;
+}
+
+std::string TraceCollector::ToText() const {
+  std::vector<TraceSpan> spans = Spans();
+  // parent id -> children (already canonically ordered within parent).
+  std::map<uint64_t, std::vector<const TraceSpan*>> children;
+  for (const auto& s : spans) children[s.parent].push_back(&s);
+
+  std::ostringstream oss;
+  std::function<void(const TraceSpan&, int)> render =
+      [&](const TraceSpan& s, int depth) {
+        oss << std::string(depth * 2, ' ') << s.name << " ["
+            << FormatMs(s.start_ms) << " .. " << FormatMs(s.end_ms)
+            << " ms]";
+        if (s.rows >= 0) oss << " rows=" << s.rows;
+        if (s.bytes_sent > 0 || s.bytes_received > 0) {
+          oss << " sent=" << s.bytes_sent << "B recv=" << s.bytes_received
+              << "B";
+        }
+        if (s.messages > 0) oss << " msgs=" << s.messages;
+        if (s.attempts > 0) oss << " attempts=" << s.attempts;
+        if (s.retries > 0) oss << " retries=" << s.retries;
+        if (!s.note.empty()) oss << " (" << s.note << ")";
+        oss << "\n";
+        for (const TraceSpan* c : children[s.id]) render(*c, depth + 1);
+      };
+  for (const TraceSpan* root : children[0]) render(*root, 0);
+  return oss.str();
+}
+
+std::string TraceCollector::ToChromeJson() const {
+  std::vector<TraceSpan> spans = Spans();
+  // Stable lane per source host; lane 0 holds mediator-side spans.
+  std::set<std::string> hosts;
+  for (const auto& s : spans) {
+    if (!s.host.empty()) hosts.insert(s.host);
+  }
+  std::map<std::string, int> lane;
+  int next_lane = 1;
+  for (const auto& h : hosts) lane[h] = next_lane++;
+
+  std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  for (const auto& s : spans) {
+    if (!first) out += ",";
+    first = false;
+    out += "{\"ph\":\"X\",\"pid\":1,\"tid\":";
+    out += std::to_string(s.host.empty() ? 0 : lane[s.host]);
+    out += ",\"name\":";
+    AppendJsonString(&out, s.name);
+    out += ",\"cat\":";
+    AppendJsonString(&out, s.category);
+    // Simulated clock in microseconds, as trace_event expects.
+    out += ",\"ts\":" + FormatMs(s.start_ms * 1e3);
+    out += ",\"dur\":" + FormatMs(s.duration_ms() * 1e3);
+    out += ",\"args\":{";
+    bool first_arg = true;
+    auto arg = [&](const char* key, const std::string& value, bool quote) {
+      if (!first_arg) out += ",";
+      first_arg = false;
+      out += "\"";
+      out += key;
+      out += "\":";
+      if (quote) {
+        AppendJsonString(&out, value);
+      } else {
+        out += value;
+      }
+    };
+    if (s.rows >= 0) arg("rows", std::to_string(s.rows), false);
+    if (s.bytes_sent > 0) {
+      arg("bytes_sent", std::to_string(s.bytes_sent), false);
+    }
+    if (s.bytes_received > 0) {
+      arg("bytes_received", std::to_string(s.bytes_received), false);
+    }
+    if (s.messages > 0) arg("messages", std::to_string(s.messages), false);
+    if (s.attempts > 0) arg("attempts", std::to_string(s.attempts), false);
+    if (s.retries > 0) arg("retries", std::to_string(s.retries), false);
+    if (!s.host.empty()) arg("host", s.host, true);
+    if (!s.note.empty()) arg("note", s.note, true);
+    out += "}}";
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace gisql

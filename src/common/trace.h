@@ -1,0 +1,116 @@
+/// \file trace.h
+/// \brief Query-lifecycle tracing: nested spans over the simulated clock.
+///
+/// The mediator's core promise is transparency — one global schema,
+/// with decomposition, shipping, retries, and integration hidden behind
+/// it. That hiding makes the system unobservable exactly where it is
+/// most complex, so every query can record a Trace: a tree of spans
+/// (parse → bind/plan → optimize → decompose → per-fragment
+/// encode/attempt/send/handle/receive → integrate → cache), each
+/// carrying simulated start/end time plus rows, bytes, messages, and
+/// attempt counts.
+///
+/// Time model: span timestamps are *simulated* milliseconds on the
+/// deterministic clock (the same one SimNetwork charges), with t=0 at
+/// query start. Mediator-local phases (parse, planning) are free on
+/// that clock and appear as zero-width markers. Because the clock is
+/// simulated, traces are bit-identical across runs — and identical
+/// between serial and pooled execution, whose parallelism is
+/// wall-clock-only.
+///
+/// Exports: ToChromeJson() emits Chrome trace_event JSON (load in
+/// chrome://tracing or Perfetto); ToText() renders an indented tree.
+/// Both render spans in a canonical order (sorted by start time, name,
+/// host, rows, bytes) so the output is deterministic even when worker
+/// threads recorded the spans in a different interleaving.
+///
+/// Thread safety: all collector methods lock; spans may be recorded
+/// concurrently from pool workers. Span id 0 is the null span — every
+/// mutator ignores it, so call sites can stay unconditional.
+
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace gisql {
+
+/// \brief One traced interval (or zero-width marker) on the simulated
+/// clock.
+struct TraceSpan {
+  uint64_t id = 0;
+  uint64_t parent = 0;       ///< 0 = root
+  std::string name;          ///< e.g. "fragment sales @site0", "parse"
+  std::string category;      ///< "lifecycle" | "operator" | "net"
+  std::string host;          ///< remote peer for fragment/net spans
+  double start_ms = 0.0;     ///< simulated time, query-relative
+  double end_ms = 0.0;
+  int64_t rows = -1;         ///< rows produced (-1 = not a row producer)
+  int64_t bytes_sent = 0;
+  int64_t bytes_received = 0;
+  int64_t messages = 0;
+  int64_t attempts = 0;
+  int64_t retries = 0;
+  std::string note;          ///< "hit"/"miss", fault or error detail
+
+  double duration_ms() const {
+    return end_ms > start_ms ? end_ms - start_ms : 0.0;
+  }
+};
+
+/// \brief Accumulates the spans of one query.
+class TraceCollector {
+ public:
+  /// \brief Opens a span; returns its id (never 0).
+  uint64_t Begin(std::string name, std::string category, uint64_t parent,
+                 double start_ms);
+
+  /// \brief Closes a span. A span never ended keeps end == start.
+  void End(uint64_t id, double end_ms);
+
+  void SetRows(uint64_t id, int64_t rows);
+  void SetHost(uint64_t id, std::string host);
+  void SetNote(uint64_t id, std::string note);
+
+  /// \brief Accumulates I/O counters onto a span.
+  void AddIo(uint64_t id, int64_t bytes_sent, int64_t bytes_received,
+             int64_t messages, int64_t attempts, int64_t retries);
+
+  void Clear();
+
+  /// \brief Snapshot of all spans in canonical (deterministic) order.
+  std::vector<TraceSpan> Spans() const;
+
+  /// \brief Indented text tree, deterministic.
+  std::string ToText() const;
+
+  /// \brief Chrome trace_event JSON ("X" complete events, ts/dur in
+  /// microseconds of simulated time). Lifecycle/operator spans render
+  /// on tid 0; spans bound to a source host get a stable per-host tid.
+  std::string ToChromeJson() const;
+
+ private:
+  /// Returns the span for `id`, or nullptr for the null span. Caller
+  /// holds mu_.
+  TraceSpan* Find(uint64_t id);
+
+  mutable std::mutex mu_;
+  std::vector<TraceSpan> spans_;  ///< spans_[i].id == i + 1
+  uint64_t next_id_ = 1;
+};
+
+/// \brief Non-owning handle threaded through the network layers so a
+/// deep call (one RPC attempt inside a retry loop inside a fragment)
+/// can hang sub-spans off its caller's span. A default-constructed
+/// sink disables tracing along that path.
+struct TraceSink {
+  TraceCollector* trace = nullptr;
+  uint64_t parent = 0;     ///< span to parent new spans under
+  double start_ms = 0.0;   ///< simulated time at which the call begins
+
+  bool enabled() const { return trace != nullptr; }
+};
+
+}  // namespace gisql

@@ -225,12 +225,41 @@ Status GlobalSystem::ExecuteAtomically(
 
 void GlobalSystem::EnableResultCache(size_t max_entries) {
   cache_ = std::make_unique<QueryCache>(max_entries);
+  cache_->set_metrics(&metrics_);
 }
 
 void GlobalSystem::DisableResultCache() { cache_.reset(); }
 
-Result<PlanNodePtr> GlobalSystem::PlanQuery(
-    const sql::SelectStmt& stmt) const {
+void GlobalSystem::EnableTracing() {
+  if (trace_ == nullptr) trace_ = std::make_unique<TraceCollector>();
+}
+
+void GlobalSystem::DisableTracing() { trace_.reset(); }
+
+ExecContext GlobalSystem::MakeExecContext() {
+  ExecContext ctx;
+  ctx.net = &network_;
+  ctx.mediator_host = kMediatorHost;
+  ctx.mediator_cpu_us_per_row = options_.mediator_cpu_us_per_row;
+  ctx.semijoin_max_keys = options_.semijoin_max_keys;
+  ctx.parallel_execution = options_.parallel_execution;
+  ctx.pool = WorkerPool();
+  ctx.columnar_wire = options_.columnar_wire;
+  ctx.vectorized_execution = options_.vectorized_execution;
+  ctx.retry_policy = retry_policy_;
+  return ctx;
+}
+
+Result<PlanNodePtr> GlobalSystem::PlanQuery(const sql::SelectStmt& stmt,
+                                            TraceCollector* trace,
+                                            uint64_t parent) const {
+  // Planning is mediator CPU only — free on the simulated clock — so
+  // its stages record as zero-width markers at t=0.
+  auto mark = [&](const char* stage) {
+    if (trace != nullptr) trace->Begin(stage, "lifecycle", parent, 0.0);
+  };
+
+  mark("bind+plan");
   LogicalPlanner planner(catalog_);
   GISQL_ASSIGN_OR_RETURN(PlanNodePtr plan, planner.Plan(stmt));
 
@@ -239,9 +268,11 @@ Result<PlanNodePtr> GlobalSystem::PlanQuery(
   params.mediator_cpu_us_per_row = options_.mediator_cpu_us_per_row;
   CostModel cost(catalog_, params);
 
+  mark("optimize");
   Optimizer optimizer(catalog_, options_, &cost);
   GISQL_ASSIGN_OR_RETURN(plan, optimizer.Optimize(std::move(plan)));
 
+  mark("decompose");
   Decomposer decomposer(catalog_, options_, &cost);
   return decomposer.Decompose(std::move(plan));
 }
@@ -255,11 +286,53 @@ Result<std::string> GlobalSystem::Explain(const std::string& sql) {
   return plan->Explain();
 }
 
+namespace {
+
+/// Snapshot of the network counters a query can move; two snapshots
+/// bracket an execution and their difference is the query's traffic.
+struct NetCounters {
+  int64_t bytes_sent = 0;
+  int64_t bytes_received = 0;
+  int64_t messages = 0;
+  int64_t retries = 0;
+
+  static NetCounters Read(const SimNetwork& net) {
+    NetCounters c;
+    c.bytes_sent = net.metrics().Get("net.bytes_sent");
+    c.bytes_received = net.metrics().Get("net.bytes_received");
+    c.messages = net.metrics().Get("net.messages");
+    c.retries = net.metrics().Get("net.retries");
+    return c;
+  }
+};
+
+void FillNetDeltas(QueryMetrics& m, const NetCounters& before,
+                   const NetCounters& after) {
+  m.bytes_sent = after.bytes_sent - before.bytes_sent;
+  m.bytes_received = after.bytes_received - before.bytes_received;
+  m.messages = after.messages - before.messages;
+  m.retries = after.retries - before.retries;
+}
+
+}  // namespace
+
 Result<QueryResult> GlobalSystem::Query(const std::string& sql) {
+  // Each Query() owns the collector for its duration; the spans stay
+  // readable until the next query (or DisableTracing) replaces them.
+  TraceCollector* tr = trace_.get();
+  if (tr != nullptr) tr->Clear();
+  const uint64_t root =
+      tr != nullptr ? tr->Begin("query", "lifecycle", 0, 0.0) : 0;
+  if (tr != nullptr) {
+    tr->SetNote(root, sql);
+    tr->Begin("parse", "lifecycle", root, 0.0);
+  }
+
   GISQL_ASSIGN_OR_RETURN(sql::Statement stmt, sql::ParseStatement(sql));
   switch (stmt.kind) {
     case sql::Statement::Kind::kExplain: {
-      GISQL_ASSIGN_OR_RETURN(PlanNodePtr plan, PlanQuery(*stmt.select));
+      GISQL_ASSIGN_OR_RETURN(PlanNodePtr plan,
+                             PlanQuery(*stmt.select, tr, root));
       auto schema = std::make_shared<Schema>(
           std::vector<Field>{{"plan", TypeId::kString}});
       QueryResult result;
@@ -269,31 +342,47 @@ Result<QueryResult> GlobalSystem::Query(const std::string& sql) {
       return result;
     }
     case sql::Statement::Kind::kExplainAnalyze: {
-      GISQL_ASSIGN_OR_RETURN(PlanNodePtr plan, PlanQuery(*stmt.select));
-      ExecContext ctx;
-      ctx.net = &network_;
-      ctx.mediator_host = kMediatorHost;
-      ctx.mediator_cpu_us_per_row = options_.mediator_cpu_us_per_row;
-      ctx.semijoin_max_keys = options_.semijoin_max_keys;
-      ctx.parallel_execution = options_.parallel_execution;
-      ctx.pool = WorkerPool();
-      ctx.columnar_wire = options_.columnar_wire;
-      ctx.vectorized_execution = options_.vectorized_execution;
-      ctx.retry_policy = retry_policy_;
+      GISQL_ASSIGN_OR_RETURN(PlanNodePtr plan,
+                             PlanQuery(*stmt.select, tr, root));
+      // Bracket execution with the same counter snapshot the SELECT
+      // path uses, so ANALYZE reports real traffic alongside time.
+      const NetCounters before = NetCounters::Read(network_);
+      ExecContext ctx = MakeExecContext();
       ctx.record_actuals = true;
+      uint64_t exec_span = 0;
+      if (tr != nullptr) {
+        exec_span = tr->Begin("execute", "lifecycle", root, 0.0);
+        ctx.trace = tr;
+        ctx.trace_parent = exec_span;
+      }
       Executor executor(ctx);
       GISQL_ASSIGN_OR_RETURN(ExecOutput out, executor.Execute(plan));
       auto schema = std::make_shared<Schema>(
           std::vector<Field>{{"plan", TypeId::kString}});
       QueryResult result;
       result.batch = RowBatch(schema);
+      result.metrics.elapsed_ms = out.elapsed_ms;
+      FillNetDeltas(result.metrics, before, NetCounters::Read(network_));
       std::string text = plan->Explain();
       text += "Total: " + std::to_string(out.batch.num_rows()) +
               " row(s) in " + std::to_string(out.elapsed_ms) +
               " simulated ms\n";
+      text += "Network: " + std::to_string(result.metrics.bytes_sent) +
+              " bytes sent, " + std::to_string(result.metrics.bytes_received) +
+              " bytes received, " + std::to_string(result.metrics.messages) +
+              " message(s), " + std::to_string(result.metrics.retries) +
+              " retrie(s)\n";
       result.batch.Append({Value::String(text)});
       result.metrics.plan_text = text;
-      result.metrics.elapsed_ms = out.elapsed_ms;
+      metrics_.Add("query.count", 1);
+      metrics_.Observe("query.ms", out.elapsed_ms);
+      metrics_.Observe("query.bytes",
+                       static_cast<double>(result.metrics.bytes_received));
+      if (tr != nullptr) {
+        tr->SetRows(root, static_cast<int64_t>(out.batch.num_rows()));
+        tr->End(exec_span, out.elapsed_ms);
+        tr->End(root, out.elapsed_ms);
+      }
       return result;
     }
     case sql::Statement::Kind::kSelect:
@@ -304,50 +393,70 @@ Result<QueryResult> GlobalSystem::Query(const std::string& sql) {
           "component sources");
   }
 
-  GISQL_ASSIGN_OR_RETURN(PlanNodePtr plan, PlanQuery(*stmt.select));
+  GISQL_ASSIGN_OR_RETURN(PlanNodePtr plan, PlanQuery(*stmt.select, tr, root));
 
   // Result cache: the decomposed plan's canonical text identifies the
   // computation (fragments, strategies, planner options all shape it).
   const std::string cache_key = cache_ ? plan->Explain() : std::string();
   if (cache_) {
-    if (auto cached = cache_->Lookup(cache_key)) {
+    const uint64_t lookup =
+        tr != nullptr ? tr->Begin("cache.lookup", "lifecycle", root, 0.0) : 0;
+    auto cached = cache_->Lookup(cache_key);
+    if (tr != nullptr) tr->SetNote(lookup, cached ? "hit" : "miss");
+    if (cached) {
       QueryResult result;
       result.batch = std::move(cached->batch);
-      result.metrics.elapsed_ms = 0.0;  // served locally
+      // Served from mediator memory: zero simulated latency and —
+      // explicitly, not by default-initialization — zero traffic.
+      result.metrics.elapsed_ms = 0.0;
+      result.metrics.bytes_sent = 0;
+      result.metrics.bytes_received = 0;
+      result.metrics.messages = 0;
+      result.metrics.retries = 0;
+      result.metrics.cache_hit = true;
       result.metrics.plan_text = cache_key + "(cache hit)\n";
+      metrics_.Add("query.count", 1);
+      metrics_.Observe("query.ms", 0.0);
+      metrics_.Observe("query.bytes", 0.0);
+      if (tr != nullptr) {
+        tr->SetRows(root, static_cast<int64_t>(result.batch.num_rows()));
+        tr->End(root, 0.0);
+      }
       return result;
     }
   }
 
-  const int64_t sent_before = network_.metrics().Get("net.bytes_sent");
-  const int64_t recv_before = network_.metrics().Get("net.bytes_received");
-  const int64_t msgs_before = network_.metrics().Get("net.messages");
+  const NetCounters before = NetCounters::Read(network_);
 
-  ExecContext ctx;
-  ctx.net = &network_;
-  ctx.mediator_host = kMediatorHost;
-  ctx.mediator_cpu_us_per_row = options_.mediator_cpu_us_per_row;
-  ctx.semijoin_max_keys = options_.semijoin_max_keys;
-  ctx.parallel_execution = options_.parallel_execution;
-  ctx.pool = WorkerPool();
-  ctx.columnar_wire = options_.columnar_wire;
-  ctx.vectorized_execution = options_.vectorized_execution;
-  ctx.retry_policy = retry_policy_;
+  ExecContext ctx = MakeExecContext();
+  uint64_t exec_span = 0;
+  if (tr != nullptr) {
+    exec_span = tr->Begin("execute", "lifecycle", root, 0.0);
+    ctx.trace = tr;
+    ctx.trace_parent = exec_span;
+  }
   Executor executor(ctx);
   GISQL_ASSIGN_OR_RETURN(ExecOutput out, executor.Execute(plan));
 
   QueryResult result;
   result.batch = std::move(out.batch);
   result.metrics.elapsed_ms = out.elapsed_ms;
-  result.metrics.bytes_sent =
-      network_.metrics().Get("net.bytes_sent") - sent_before;
-  result.metrics.bytes_received =
-      network_.metrics().Get("net.bytes_received") - recv_before;
-  result.metrics.messages =
-      network_.metrics().Get("net.messages") - msgs_before;
+  FillNetDeltas(result.metrics, before, NetCounters::Read(network_));
   result.metrics.plan_text = plan->Explain();
+  metrics_.Add("query.count", 1);
+  metrics_.Observe("query.ms", out.elapsed_ms);
+  metrics_.Observe("query.bytes",
+                   static_cast<double>(result.metrics.bytes_received));
+
+  if (tr != nullptr) {
+    tr->SetRows(root, static_cast<int64_t>(result.batch.num_rows()));
+    tr->End(exec_span, out.elapsed_ms);
+  }
 
   if (cache_) {
+    if (tr != nullptr) {
+      tr->Begin("cache.insert", "lifecycle", root, out.elapsed_ms);
+    }
     std::set<std::string> sources;
     VisitPlan(plan, [&](const PlanNodePtr& node) {
       if (node->kind == PlanKind::kRemoteFragment) {
@@ -360,6 +469,7 @@ Result<QueryResult> GlobalSystem::Query(const std::string& sql) {
     cache_->Insert(cache_key, result.batch, result.metrics.elapsed_ms,
                    std::move(sources));
   }
+  if (tr != nullptr) tr->End(root, out.elapsed_ms);
   return result;
 }
 

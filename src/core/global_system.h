@@ -23,6 +23,7 @@
 
 #include "catalog/catalog.h"
 #include "common/retry_policy.h"
+#include "common/trace.h"
 #include "core/query_cache.h"
 #include "exec/executor.h"
 #include "net/sim_network.h"
@@ -40,6 +41,10 @@ struct QueryMetrics {
   int64_t bytes_sent = 0;       ///< mediator → sources
   int64_t bytes_received = 0;   ///< sources → mediator
   int64_t messages = 0;         ///< RPCs issued
+  int64_t retries = 0;          ///< backoff retries spent on this query
+  /// Served from the mediator result cache: no network traffic at all
+  /// (the zeros above are real zeros, not unknowns).
+  bool cache_hit = false;
   std::string plan_text;        ///< EXPLAIN of the executed plan
 };
 
@@ -133,8 +138,36 @@ class GlobalSystem {
   Result<std::string> Explain(const std::string& sql);
 
   /// \brief Full planning pipeline; exposed for tests and tooling.
-  Result<PlanNodePtr> PlanQuery(const sql::SelectStmt& stmt) const;
+  /// When `trace` is set, the pipeline stages (bind/plan, optimize,
+  /// decompose) are recorded as zero-width lifecycle markers — planning
+  /// is free on the simulated clock — under `parent`.
+  Result<PlanNodePtr> PlanQuery(const sql::SelectStmt& stmt,
+                                TraceCollector* trace = nullptr,
+                                uint64_t parent = 0) const;
   /// @}
+
+  /// \name Query-lifecycle tracing
+  ///
+  /// When enabled, every Query() call records a span tree — parse →
+  /// plan stages → execute (one operator span per plan node, with
+  /// per-attempt network sub-spans under each remote fragment) → cache
+  /// — over the simulated clock. The collector holds the *last*
+  /// executed query's trace; export it with
+  /// trace()->ToChromeJson() / ToText(). Off by default (spans cost a
+  /// little wall-clock on the hot path, never simulated time).
+  /// @{
+  void EnableTracing();
+  void DisableTracing();
+  /// \brief The last query's trace, or nullptr when tracing is off.
+  TraceCollector* trace() { return trace_.get(); }
+  /// @}
+
+  /// \brief Mediator-side metrics: `cache.hits`/`cache.misses`
+  /// counters, `query.count`, and the `query.ms`/`query.bytes`
+  /// latency/size histograms (SnapshotHistogram gives p50/p95/p99).
+  /// Network-side counters live in network().metrics().
+  MetricsRegistry& metrics() { return metrics_; }
+  const MetricsRegistry& metrics() const { return metrics_; }
 
   void set_options(const PlannerOptions& options) { options_ = options; }
   const PlannerOptions& options() const { return options_; }
@@ -177,6 +210,10 @@ class GlobalSystem {
   /// every query after that.
   ThreadPool* WorkerPool();
 
+  /// \brief Execution environment reflecting the current options,
+  /// network, and retry policy (tracing fields left unset).
+  ExecContext MakeExecContext();
+
   PlannerOptions options_;
   RetryPolicy retry_policy_ = RetryPolicy::NoRetry();
   SimNetwork network_;
@@ -184,6 +221,8 @@ class GlobalSystem {
   std::vector<ComponentSourcePtr> sources_;
   std::unique_ptr<QueryCache> cache_;
   std::unique_ptr<ThreadPool> pool_;
+  std::unique_ptr<TraceCollector> trace_;
+  MetricsRegistry metrics_;
 };
 
 }  // namespace gisql

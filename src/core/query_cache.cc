@@ -7,9 +7,11 @@ std::optional<QueryCache::CachedResult> QueryCache::Lookup(
   auto it = entries_.find(key);
   if (it == entries_.end()) {
     ++misses_;
+    if (metrics_ != nullptr) metrics_->Add("cache.misses", 1);
     return std::nullopt;
   }
   ++hits_;
+  if (metrics_ != nullptr) metrics_->Add("cache.hits", 1);
   lru_.erase(it->second.lru_pos);
   lru_.push_front(key);
   it->second.lru_pos = lru_.begin();

@@ -19,6 +19,7 @@
 #include <string>
 #include <unordered_map>
 
+#include "common/metrics.h"
 #include "types/row.h"
 
 namespace gisql {
@@ -48,6 +49,12 @@ class QueryCache {
 
   void Clear();
 
+  /// \brief Mirrors hit/miss accounting into `m` (as `cache.hits` /
+  /// `cache.misses` counters) so the owning system's experiments read
+  /// cache behavior from the same registry as network traffic. Not
+  /// owned; pass nullptr to detach.
+  void set_metrics(MetricsRegistry* m) { metrics_ = m; }
+
   size_t size() const { return entries_.size(); }
   int64_t hits() const { return hits_; }
   int64_t misses() const { return misses_; }
@@ -64,6 +71,7 @@ class QueryCache {
   std::list<std::string> lru_;  ///< front = most recent
   int64_t hits_ = 0;
   int64_t misses_ = 0;
+  MetricsRegistry* metrics_ = nullptr;
 };
 
 }  // namespace gisql

@@ -21,17 +21,52 @@ Result<ExecOutput> Executor::Execute(const PlanNodePtr& plan) {
   if (ctx_.net == nullptr) {
     return Status::InvalidArgument("executor requires a network");
   }
-  return Exec(*plan);
+  return Exec(*plan, ctx_.trace_start_ms, ctx_.trace_parent);
+}
+
+uint64_t Executor::BeginNodeSpan(const PlanNode& node, double t0,
+                                 uint64_t parent) {
+  if (ctx_.trace == nullptr) return 0;
+  std::string label;
+  if (node.kind == PlanKind::kRemoteFragment) {
+    label = "fragment " + node.fragment.table + " @" + node.fragment_source;
+  } else {
+    label = PlanKindName(node.kind);
+  }
+  const uint64_t span =
+      ctx_.trace->Begin(std::move(label), "operator", parent, t0);
+  if (node.kind == PlanKind::kRemoteFragment) {
+    ctx_.trace->SetHost(span, node.fragment_source);
+  }
+  return span;
+}
+
+void Executor::FinishNodeSpan(const PlanNode& node, uint64_t span, double t0,
+                              const Result<ExecOutput>& out) {
+  if (out.ok()) {
+    if (ctx_.record_actuals) {
+      node.actual_rows = static_cast<double>(out->batch.num_rows());
+      node.actual_ms = out->elapsed_ms;
+    }
+    if (ctx_.trace != nullptr) {
+      ctx_.trace->SetRows(span, out->batch.num_rows());
+      ctx_.trace->End(span, t0 + out->elapsed_ms);
+    }
+  } else if (ctx_.trace != nullptr) {
+    ctx_.trace->SetNote(span, out.status().message());
+    ctx_.trace->End(span, t0);
+  }
 }
 
 Result<ExecOutput> Executor::ExecFragment(const PlanNode& node,
-                                          const FragmentPlan& frag) {
+                                          const FragmentPlan& frag,
+                                          double t0, uint64_t self) {
   if (frag.semijoin_column >= 0 && frag.semijoin_values.empty()) {
     // A decomposer marker without injected keys (e.g. the plain path of
     // a join that fell back to shipping): execute as a plain fragment.
     FragmentPlan plain = frag;
     plain.semijoin_column = -1;
-    return ExecFragment(node, plain);
+    return ExecFragment(node, plain, t0, self);
   }
   // Candidate sources: the planned primary, then the alternates of a
   // replicated view in catalog order. Each candidate gets the full
@@ -51,6 +86,18 @@ Result<ExecOutput> Executor::ExecFragment(const PlanNode& node,
   double spent_ms = 0.0;
   Status last;
   std::string tried;
+  // Node-level network actuals, accumulated across all candidates and
+  // attempts (failed ones included — their traffic was charged too).
+  int64_t total_sent = 0;
+  int64_t total_received = 0;
+  int64_t total_attempts = 0;
+  auto record_net_actuals = [&] {
+    if (!ctx_.record_actuals) return;
+    node.actual_bytes_sent = total_sent;
+    node.actual_bytes_received = total_received;
+    node.actual_messages = total_attempts;
+    node.actual_attempts = total_attempts;
+  };
   // Decorrelates backoff jitter between the fragments of one query.
   const uint64_t nonce = HashString(frag.table);
   const wire::Opcode opcode = ctx_.columnar_wire
@@ -59,12 +106,32 @@ Result<ExecOutput> Executor::ExecFragment(const PlanNode& node,
   for (size_t i = 0; i < candidates.size(); ++i) {
     FragmentPlan attempt = frag;
     attempt.table = *candidates[i].table;
+    std::vector<uint8_t> request = wire::SerializeFragment(attempt);
+    if (ctx_.trace != nullptr) {
+      // Wire-encode marker: free on the simulated clock, but it shows
+      // what the mediator shipped before any network time was spent.
+      const uint64_t enc = ctx_.trace->Begin("encode", "net", self,
+                                             t0 + spent_ms);
+      ctx_.trace->SetHost(enc, *candidates[i].source);
+      ctx_.trace->AddIo(enc, static_cast<int64_t>(request.size()), 0, 0, 0,
+                        0);
+      ctx_.trace->End(enc, t0 + spent_ms);
+    }
     RetryResult call = CallWithRetry(
         *ctx_.net, ctx_.retry_policy, ctx_.mediator_host,
-        *candidates[i].source, static_cast<uint8_t>(opcode),
-        wire::SerializeFragment(attempt), nonce);
+        *candidates[i].source, static_cast<uint8_t>(opcode), request, nonce,
+        TraceSink{ctx_.trace, self, t0 + spent_ms});
     spent_ms += call.elapsed_ms;
+    total_sent += call.bytes_sent;
+    total_received += call.bytes_received;
+    total_attempts += call.attempts;
+    if (ctx_.trace != nullptr) {
+      ctx_.trace->AddIo(self, call.bytes_sent, call.bytes_received,
+                        call.attempts, call.attempts,
+                        call.attempts > 0 ? call.attempts - 1 : 0);
+    }
     if (call.ok()) {
+      record_net_actuals();
       ByteReader reader(call.payload);
       ExecOutput out;
       RowBatch batch;
@@ -107,7 +174,10 @@ Result<ExecOutput> Executor::ExecFragment(const PlanNode& node,
     last = std::move(call.status);
     // Only an unreachable source justifies reading a different replica;
     // application errors would repeat identically elsewhere.
-    if (!last.IsNetworkError()) return last;
+    if (!last.IsNetworkError()) {
+      record_net_actuals();
+      return last;
+    }
     tried += tried.empty() ? *candidates[i].source
                            : ", " + *candidates[i].source;
     if (i + 1 < candidates.size()) {
@@ -116,6 +186,7 @@ Result<ExecOutput> Executor::ExecFragment(const PlanNode& node,
                        << *candidates[i + 1].source << "'";
     }
   }
+  record_net_actuals();
   if (candidates.size() > 1) {
     return Status::NetworkError("all replicas of '", frag.table,
                                 "' unreachable (tried ", tried,
@@ -124,7 +195,8 @@ Result<ExecOutput> Executor::ExecFragment(const PlanNode& node,
   return last;
 }
 
-Result<ExecOutput> Executor::ExecUnionAll(const PlanNode& node) {
+Result<ExecOutput> Executor::ExecUnionAll(const PlanNode& node, double t0,
+                                          uint64_t self) {
   ExecOutput out;
   out.batch = RowBatch(node.output_schema);
   double slowest = 0.0;
@@ -132,21 +204,22 @@ Result<ExecOutput> Executor::ExecUnionAll(const PlanNode& node) {
   // Fetch members concurrently on the bounded pool (their simulated
   // costs already combine as a max; the workers only buy wall-clock
   // overlap). Results are appended in member order, so output is
-  // deterministic regardless of completion order or pool size.
+  // deterministic regardless of completion order or pool size. Every
+  // member's span starts at t0 — overlap is the simulated semantics.
   std::vector<Result<ExecOutput>> parts(
       node.children.size(), Result<ExecOutput>(ExecOutput{}));
   if (ctx_.parallel_execution && ctx_.pool != nullptr &&
       node.children.size() > 1) {
     TaskGroup group(ctx_.pool);
     for (size_t i = 0; i < node.children.size(); ++i) {
-      group.Spawn([this, &node, &parts, i] {
-        parts[i] = Exec(*node.children[i]);
+      group.Spawn([this, &node, &parts, t0, self, i] {
+        parts[i] = Exec(*node.children[i], t0, self);
       });
     }
     group.Wait();
   } else {
     for (size_t i = 0; i < node.children.size(); ++i) {
-      parts[i] = Exec(*node.children[i]);
+      parts[i] = Exec(*node.children[i], t0, self);
     }
   }
 
@@ -192,11 +265,14 @@ Result<ExecOutput> Executor::ExecUnionAll(const PlanNode& node) {
   return out;
 }
 
-Result<ExecOutput> Executor::ExecJoin(const PlanNode& node) {
+Result<ExecOutput> Executor::ExecJoin(const PlanNode& node, double t0,
+                                      uint64_t self) {
   const PlanNode& left_node = *node.children[0];
   const PlanNode& right_node = *node.children[1];
   // Ship-strategy joins fetch both sides independently: overlap them on
   // threads. Semijoin needs the left result first, so it stays serial.
+  // Either way both ship-side spans start at t0 (simulated overlap);
+  // the semijoin probe starts only after the build side arrived.
   ExecOutput left;
   ExecOutput right;
   bool right_done = false;
@@ -205,10 +281,10 @@ Result<ExecOutput> Executor::ExecJoin(const PlanNode& node) {
     Result<ExecOutput> right_result(ExecOutput{});
     {
       TaskGroup group(ctx_.pool);
-      group.Spawn([this, &right_node, &right_result] {
-        right_result = Exec(right_node);
+      group.Spawn([this, &right_node, &right_result, t0, self] {
+        right_result = Exec(right_node, t0, self);
       });
-      Result<ExecOutput> left_result = Exec(left_node);
+      Result<ExecOutput> left_result = Exec(left_node, t0, self);
       group.Wait();
       GISQL_RETURN_NOT_OK(left_result.status());
       left = std::move(*left_result);
@@ -217,7 +293,7 @@ Result<ExecOutput> Executor::ExecJoin(const PlanNode& node) {
     right = std::move(*right_result);
     right_done = true;
   } else {
-    GISQL_ASSIGN_OR_RETURN(left, Exec(left_node));
+    GISQL_ASSIGN_OR_RETURN(left, Exec(left_node, t0, self));
   }
 
   bool sequential = false;
@@ -246,9 +322,11 @@ Result<ExecOutput> Executor::ExecJoin(const PlanNode& node) {
                 return a.Compare(b) < 0;
               });
     sequential = true;  // the reduction depends on the left result
-    GISQL_ASSIGN_OR_RETURN(right, ExecSemijoinProbe(right_node, keys));
+    GISQL_ASSIGN_OR_RETURN(
+        right,
+        ExecSemijoinProbe(right_node, keys, t0 + left.elapsed_ms, self));
   } else {
-    GISQL_ASSIGN_OR_RETURN(right, Exec(right_node));
+    GISQL_ASSIGN_OR_RETURN(right, Exec(right_node, t0, self));
   }
 
   // Build a hash table over the right side. When a side arrived
@@ -440,39 +518,54 @@ Result<ExecOutput> Executor::ApplyProject(const PlanNode& node,
   return out;
 }
 
-Result<ExecOutput> Executor::ExecSemijoinProbe(
-    const PlanNode& node, const std::vector<Value>& keys) {
+Result<ExecOutput> Executor::ExecSemijoinProbe(const PlanNode& node,
+                                               const std::vector<Value>& keys,
+                                               double t0, uint64_t parent) {
+  // Mirrors the Exec wrapper so probe-side nodes get spans and EXPLAIN
+  // ANALYZE actuals too.
+  auto traced = [&](auto&& body) -> Result<ExecOutput> {
+    const uint64_t span = BeginNodeSpan(node, t0, parent);
+    Result<ExecOutput> out = body(span != 0 ? span : parent);
+    FinishNodeSpan(node, span, t0, out);
+    return out;
+  };
   switch (node.kind) {
-    case PlanKind::kRemoteFragment: {
-      if (node.fragment.semijoin_column < 0 ||
-          static_cast<int64_t>(keys.size()) > ctx_.semijoin_max_keys) {
-        // Unmarked fragment or too many keys: ship it whole.
-        FragmentPlan plain = node.fragment;
-        plain.semijoin_column = -1;
-        return ExecFragment(node, plain);
-      }
-      FragmentPlan reduced = node.fragment;
-      reduced.semijoin_values = keys;
-      return ExecFragment(node, reduced);
-    }
-    case PlanKind::kFilter: {
-      GISQL_ASSIGN_OR_RETURN(ExecOutput child,
-                             ExecSemijoinProbe(*node.children[0], keys));
-      return ApplyFilter(node, std::move(child));
-    }
-    case PlanKind::kProject: {
-      GISQL_ASSIGN_OR_RETURN(ExecOutput child,
-                             ExecSemijoinProbe(*node.children[0], keys));
-      return ApplyProject(node, std::move(child));
-    }
+    case PlanKind::kRemoteFragment:
+      return traced([&](uint64_t self) -> Result<ExecOutput> {
+        if (node.fragment.semijoin_column < 0 ||
+            static_cast<int64_t>(keys.size()) > ctx_.semijoin_max_keys) {
+          // Unmarked fragment or too many keys: ship it whole.
+          FragmentPlan plain = node.fragment;
+          plain.semijoin_column = -1;
+          return ExecFragment(node, plain, t0, self);
+        }
+        FragmentPlan reduced = node.fragment;
+        reduced.semijoin_values = keys;
+        return ExecFragment(node, reduced, t0, self);
+      });
+    case PlanKind::kFilter:
+      return traced([&](uint64_t self) -> Result<ExecOutput> {
+        GISQL_ASSIGN_OR_RETURN(
+            ExecOutput child,
+            ExecSemijoinProbe(*node.children[0], keys, t0, self));
+        return ApplyFilter(node, std::move(child));
+      });
+    case PlanKind::kProject:
+      return traced([&](uint64_t self) -> Result<ExecOutput> {
+        GISQL_ASSIGN_OR_RETURN(
+            ExecOutput child,
+            ExecSemijoinProbe(*node.children[0], keys, t0, self));
+        return ApplyProject(node, std::move(child));
+      });
     default:
       // No fragment to reduce below this shape; execute normally.
-      return Exec(node);
+      return Exec(node, t0, parent);
   }
 }
 
-Result<ExecOutput> Executor::ExecAggregate(const PlanNode& node) {
-  GISQL_ASSIGN_OR_RETURN(ExecOutput child, Exec(*node.children[0]));
+Result<ExecOutput> Executor::ExecAggregate(const PlanNode& node, double t0,
+                                           uint64_t self) {
+  GISQL_ASSIGN_OR_RETURN(ExecOutput child, Exec(*node.children[0], t0, self));
   ExecOutput result;
   result.elapsed_ms = child.elapsed_ms + CpuMs(child.batch.num_rows());
   // Vectorized path: group keys and aggregate inputs computed over
@@ -497,17 +590,19 @@ Result<ExecOutput> Executor::ExecAggregate(const PlanNode& node) {
   return result;
 }
 
-Result<ExecOutput> Executor::Exec(const PlanNode& node) {
-  if (!ctx_.record_actuals) return ExecImpl(node);
-  Result<ExecOutput> out = ExecImpl(node);
-  if (out.ok()) {
-    node.actual_rows = static_cast<double>(out->batch.num_rows());
-    node.actual_ms = out->elapsed_ms;
+Result<ExecOutput> Executor::Exec(const PlanNode& node, double t0,
+                                  uint64_t parent) {
+  if (!ctx_.record_actuals && ctx_.trace == nullptr) {
+    return ExecImpl(node, t0, parent);
   }
+  const uint64_t span = BeginNodeSpan(node, t0, parent);
+  Result<ExecOutput> out = ExecImpl(node, t0, span != 0 ? span : parent);
+  FinishNodeSpan(node, span, t0, out);
   return out;
 }
 
-Result<ExecOutput> Executor::ExecImpl(const PlanNode& node) {
+Result<ExecOutput> Executor::ExecImpl(const PlanNode& node, double t0,
+                                      uint64_t self) {
   switch (node.kind) {
     case PlanKind::kValues: {
       ExecOutput out;
@@ -520,29 +615,32 @@ Result<ExecOutput> Executor::ExecImpl(const PlanNode& node) {
           "SourceScan reached the executor; run the decomposer first");
 
     case PlanKind::kRemoteFragment:
-      return ExecFragment(node, node.fragment);
+      return ExecFragment(node, node.fragment, t0, self);
 
     case PlanKind::kUnionAll:
-      return ExecUnionAll(node);
+      return ExecUnionAll(node, t0, self);
 
     case PlanKind::kFilter: {
-      GISQL_ASSIGN_OR_RETURN(ExecOutput child, Exec(*node.children[0]));
+      GISQL_ASSIGN_OR_RETURN(ExecOutput child,
+                             Exec(*node.children[0], t0, self));
       return ApplyFilter(node, std::move(child));
     }
 
     case PlanKind::kProject: {
-      GISQL_ASSIGN_OR_RETURN(ExecOutput child, Exec(*node.children[0]));
+      GISQL_ASSIGN_OR_RETURN(ExecOutput child,
+                             Exec(*node.children[0], t0, self));
       return ApplyProject(node, std::move(child));
     }
 
     case PlanKind::kJoin:
-      return ExecJoin(node);
+      return ExecJoin(node, t0, self);
 
     case PlanKind::kAggregate:
-      return ExecAggregate(node);
+      return ExecAggregate(node, t0, self);
 
     case PlanKind::kSort: {
-      GISQL_ASSIGN_OR_RETURN(ExecOutput child, Exec(*node.children[0]));
+      GISQL_ASSIGN_OR_RETURN(ExecOutput child,
+                             Exec(*node.children[0], t0, self));
       auto& rows = child.batch.rows();
       std::stable_sort(rows.begin(), rows.end(),
                        [&](const Row& a, const Row& b) {
@@ -566,7 +664,8 @@ Result<ExecOutput> Executor::ExecImpl(const PlanNode& node) {
     }
 
     case PlanKind::kLimit: {
-      GISQL_ASSIGN_OR_RETURN(ExecOutput child, Exec(*node.children[0]));
+      GISQL_ASSIGN_OR_RETURN(ExecOutput child,
+                             Exec(*node.children[0], t0, self));
       auto& rows = child.batch.rows();
       const int64_t begin =
           std::min<int64_t>(node.offset, static_cast<int64_t>(rows.size()));
@@ -580,7 +679,8 @@ Result<ExecOutput> Executor::ExecImpl(const PlanNode& node) {
     }
 
     case PlanKind::kDistinct: {
-      GISQL_ASSIGN_OR_RETURN(ExecOutput child, Exec(*node.children[0]));
+      GISQL_ASSIGN_OR_RETURN(ExecOutput child,
+                             Exec(*node.children[0], t0, self));
       // Buckets hold indexes into the output batch (stable under growth).
       std::unordered_map<uint64_t, std::vector<size_t>> seen;
       ExecOutput out;

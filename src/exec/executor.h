@@ -15,6 +15,7 @@
 
 #include "common/retry_policy.h"
 #include "common/thread_pool.h"
+#include "common/trace.h"
 #include "net/sim_network.h"
 #include "planner/plan.h"
 #include "types/column_batch.h"
@@ -54,6 +55,17 @@ struct ExecContext {
   /// detection timeout per dead host; chaos runs raise max_attempts so
   /// transient faults are absorbed before failing over.
   RetryPolicy retry_policy = RetryPolicy::NoRetry();
+  /// Query-lifecycle tracing (common/trace.h). When set, every operator
+  /// records a span [subtree start, subtree end] on the simulated
+  /// clock, with per-attempt network sub-spans below remote fragments.
+  /// Span content (rows, bytes, timings) is identical between serial
+  /// and pooled execution; only recording order differs, and exports
+  /// render in canonical order. Not owned.
+  TraceCollector* trace = nullptr;
+  /// Span to parent the plan root under (e.g. the "execute" lifecycle
+  /// span), and the simulated time at which execution begins.
+  uint64_t trace_parent = 0;
+  double trace_start_ms = 0.0;
 };
 
 /// \brief A materialized result plus its simulated cost.
@@ -74,13 +86,24 @@ class Executor {
   Result<ExecOutput> Execute(const PlanNodePtr& plan);
 
  private:
-  Result<ExecOutput> Exec(const PlanNode& node);
-  Result<ExecOutput> ExecImpl(const PlanNode& node);
+  /// Execution methods thread two tracing arguments: `t0`, the
+  /// simulated time at which this subtree begins (children of
+  /// overlapping fetches share their parent's t0; dependent stages
+  /// start after what they depend on), and the span to attach to —
+  /// `parent` for methods that open their own node span, `self` (the
+  /// already-open span of `node`) for the per-kind bodies.
+  Result<ExecOutput> Exec(const PlanNode& node, double t0, uint64_t parent);
+  Result<ExecOutput> ExecImpl(const PlanNode& node, double t0,
+                              uint64_t self);
   Result<ExecOutput> ExecFragment(const PlanNode& node,
-                                  const FragmentPlan& frag);
-  Result<ExecOutput> ExecUnionAll(const PlanNode& node);
-  Result<ExecOutput> ExecJoin(const PlanNode& node);
-  Result<ExecOutput> ExecAggregate(const PlanNode& node);
+                                  const FragmentPlan& frag, double t0,
+                                  uint64_t self);
+  Result<ExecOutput> ExecUnionAll(const PlanNode& node, double t0,
+                                  uint64_t self);
+  Result<ExecOutput> ExecJoin(const PlanNode& node, double t0,
+                              uint64_t self);
+  Result<ExecOutput> ExecAggregate(const PlanNode& node, double t0,
+                                   uint64_t self);
 
   /// Applies a Filter/Project node's operation to an already-computed
   /// child output (shared by Exec and the semijoin probe path).
@@ -91,7 +114,14 @@ class Executor {
   /// collected build keys through any mediator-side compensation chain
   /// (Project/Filter) down to the marked fragment.
   Result<ExecOutput> ExecSemijoinProbe(const PlanNode& node,
-                                       const std::vector<Value>& keys);
+                                       const std::vector<Value>& keys,
+                                       double t0, uint64_t parent);
+
+  /// Opens the operator span for `node` (0 when tracing is off).
+  uint64_t BeginNodeSpan(const PlanNode& node, double t0, uint64_t parent);
+  /// Closes the span and records EXPLAIN ANALYZE actuals onto the node.
+  void FinishNodeSpan(const PlanNode& node, uint64_t span, double t0,
+                      const Result<ExecOutput>& out);
 
   double CpuMs(size_t rows) const {
     return static_cast<double>(rows) * ctx_.mediator_cpu_us_per_row / 1e3;

@@ -9,21 +9,36 @@ namespace gisql {
 RetryResult CallWithRetry(SimNetwork& net, const RetryPolicy& policy,
                           const std::string& from, const std::string& to,
                           uint8_t opcode, const std::vector<uint8_t>& request,
-                          uint64_t stream_nonce) {
+                          uint64_t stream_nonce, const TraceSink& sink) {
   RetryResult result;
   const int max_attempts = std::max(1, policy.max_attempts);
   // Jitter stream: per-destination, decorrelated across call sites so
   // concurrent retries against one host do not synchronize.
   const uint64_t stream = HashCombine(HashString(to), stream_nonce);
 
+  // Simulated-time cursor for the attempt/backoff spans.
+  double cursor = sink.start_ms;
   Status last;
   for (int attempt = 1; attempt <= max_attempts; ++attempt) {
+    uint64_t span = 0;
+    if (sink.trace != nullptr) {
+      span = sink.trace->Begin("attempt " + std::to_string(attempt), "net",
+                               sink.parent, cursor);
+      sink.trace->SetHost(span, to);
+    }
     RpcAttempt a = net.CallAttempt(from, to, opcode, request,
-                                   policy.attempt_timeout_ms);
+                                   policy.attempt_timeout_ms,
+                                   TraceSink{sink.trace, span, cursor});
     ++result.attempts;
     result.elapsed_ms += a.elapsed_ms;
     result.bytes_sent += a.bytes_sent;
     result.bytes_received += a.bytes_received;
+    if (sink.trace != nullptr) {
+      sink.trace->AddIo(span, a.bytes_sent, a.bytes_received, 1, 1, 0);
+      if (!a.ok()) sink.trace->SetNote(span, a.status.message());
+      sink.trace->End(span, cursor + a.elapsed_ms);
+    }
+    cursor += a.elapsed_ms;
 
     if (a.ok()) {
       result.status = Status::OK();
@@ -32,7 +47,16 @@ RetryResult CallWithRetry(SimNetwork& net, const RetryPolicy& policy,
     }
     last = std::move(a.status);
     if (!IsRetryableTransport(last) || attempt == max_attempts) break;
-    result.elapsed_ms += policy.BackoffMs(attempt, stream);
+    const double backoff_ms = policy.BackoffMs(attempt, stream);
+    if (sink.trace != nullptr) {
+      const uint64_t b =
+          sink.trace->Begin("backoff", "net", sink.parent, cursor);
+      sink.trace->SetHost(b, to);
+      sink.trace->AddIo(b, 0, 0, 0, 0, 1);
+      sink.trace->End(b, cursor + backoff_ms);
+    }
+    cursor += backoff_ms;
+    result.elapsed_ms += backoff_ms;
     net.metrics().Add("net.retries", 1);
   }
 

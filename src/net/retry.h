@@ -54,10 +54,13 @@ inline bool IsRetryableTransport(const Status& s) {
 /// between attempts with deterministic jitter. `stream_nonce`
 /// decorrelates jitter across concurrent call sites targeting the same
 /// host (pass e.g. a fragment ordinal); 0 is fine for sequential
-/// callers.
+/// callers. When `sink` carries a TraceCollector, every attempt and
+/// every backoff wait is recorded as a span under sink.parent,
+/// advancing from sink.start_ms on the simulated clock.
 RetryResult CallWithRetry(SimNetwork& net, const RetryPolicy& policy,
                           const std::string& from, const std::string& to,
                           uint8_t opcode, const std::vector<uint8_t>& request,
-                          uint64_t stream_nonce = 0);
+                          uint64_t stream_nonce = 0,
+                          const TraceSink& sink = TraceSink());
 
 }  // namespace gisql

@@ -73,10 +73,45 @@ void CorruptFrame(std::vector<uint8_t>* frame, uint64_t entropy) {
 RpcAttempt SimNetwork::CallAttempt(const std::string& from,
                                    const std::string& to, uint8_t opcode,
                                    const std::vector<uint8_t>& request,
-                                   double detection_window_ms) {
+                                   double detection_window_ms,
+                                   const TraceSink& sink) {
+  RpcAttempt a =
+      CallAttemptImpl(from, to, opcode, request, detection_window_ms, sink);
+  // Latency/size tails: every attempt (timeouts included — callers
+  // really wait them out) lands in the histograms.
+  metrics_.Observe("net.rpc_ms", a.elapsed_ms);
+  if (a.bytes_received > 0) {
+    metrics_.Observe("net.response_bytes",
+                     static_cast<double>(a.bytes_received));
+  }
+  return a;
+}
+
+RpcAttempt SimNetwork::CallAttemptImpl(const std::string& from,
+                                       const std::string& to, uint8_t opcode,
+                                       const std::vector<uint8_t>& request,
+                                       double detection_window_ms,
+                                       const TraceSink& sink) {
   RpcAttempt a;
   const LinkSpec& link = GetLink(from, to);
   const double timeout_ms = 2.0 * link.latency_ms + detection_window_ms;
+
+  // Phase spans hang off the caller's span; `t` walks the simulated
+  // clock across send → handle → receive.
+  double t = sink.start_ms;
+  auto phase = [&](const char* name, double dur_ms, int64_t bytes_out,
+                   int64_t bytes_in, const std::string& note) {
+    if (sink.trace != nullptr) {
+      const uint64_t id = sink.trace->Begin(name, "net", sink.parent, t);
+      sink.trace->SetHost(id, to);
+      if (bytes_out != 0 || bytes_in != 0) {
+        sink.trace->AddIo(id, bytes_out, bytes_in, 0, 0, 0);
+      }
+      if (!note.empty()) sink.trace->SetNote(id, note);
+      sink.trace->End(id, t + dur_ms);
+    }
+    t += dur_ms;
+  };
 
   auto it = hosts_.find(to);
   if (it == hosts_.end()) {
@@ -85,6 +120,7 @@ RpcAttempt SimNetwork::CallAttempt(const std::string& from,
     // nobody answers at that address.
     a.status = Status::NetworkError("host '", to, "' is not registered");
     a.elapsed_ms = timeout_ms;
+    phase("timeout", timeout_ms, 0, 0, "host not registered");
     return a;
   }
 
@@ -109,6 +145,8 @@ RpcAttempt SimNetwork::CallAttempt(const std::string& from,
     a.status = Status::NetworkError("host '", to, "' is unreachable");
     a.elapsed_ms = timeout_ms;
     metrics_.Add("net.sim_us", static_cast<int64_t>(a.elapsed_ms * 1e3));
+    phase("timeout", timeout_ms, 0, 0,
+          fault.kind == FaultKind::kOutage ? "outage" : "host down");
     return a;
   }
 
@@ -126,15 +164,19 @@ RpcAttempt SimNetwork::CallAttempt(const std::string& from,
     a.elapsed_ms = timeout_ms;
     metrics_.Add("net.sim_us", static_cast<int64_t>(a.elapsed_ms * 1e3));
     metrics_.Set("net.last_elapsed_ms", a.elapsed_ms);
+    phase("send", timeout_ms, a.bytes_sent, 0, "lost in transit");
     return a;
   }
 
-  double elapsed = spike * link.TransferTimeMs(a.bytes_sent);
+  const double send_ms = spike * link.TransferTimeMs(a.bytes_sent);
+  double elapsed = send_ms;
+  phase("send", send_ms, a.bytes_sent, 0, "");
 
   double processing_ms = 0.0;
   Result<std::vector<uint8_t>> response =
       it->second.handler->Handle(opcode, request, &processing_ms);
   elapsed += processing_ms;
+  phase("handle", processing_ms, 0, 0, "");
 
   metrics_.Add("net.messages", 1);
   metrics_.Add("net.bytes_sent", a.bytes_sent);
@@ -159,13 +201,15 @@ RpcAttempt SimNetwork::CallAttempt(const std::string& from,
     // Error frames still cross the wire.
     const int64_t err_bytes =
         static_cast<int64_t>(response.status().message().size()) + 24;
-    elapsed += spike * link.TransferTimeMs(err_bytes);
+    const double err_ms = spike * link.TransferTimeMs(err_bytes);
+    elapsed += err_ms;
     metrics_.Add("net.bytes_received", err_bytes);
     a.bytes_received = err_bytes;
     a.status = response.status();
     a.elapsed_ms = elapsed;
     metrics_.Add("net.sim_us", static_cast<int64_t>(elapsed * 1e3));
     metrics_.Set("net.last_elapsed_ms", elapsed);
+    phase("recv", err_ms, 0, err_bytes, "application error");
     return a;
   }
 
@@ -180,7 +224,10 @@ RpcAttempt SimNetwork::CallAttempt(const std::string& from,
     // the restart.
     const size_t cut = frame.empty() ? 0 : fault.entropy % frame.size();
     const int64_t partial = static_cast<int64_t>(cut) + 16;
-    elapsed += spike * link.TransferTimeMs(partial) + detection_window_ms;
+    const double crash_ms =
+        spike * link.TransferTimeMs(partial) + detection_window_ms;
+    elapsed += crash_ms;
+    phase("recv", crash_ms, 0, partial, "crashed mid-response");
     metrics_.Add("net.bytes_received", partial);
     a.bytes_received = partial;
     a.status = Status::NetworkError("host '", to,
@@ -197,7 +244,10 @@ RpcAttempt SimNetwork::CallAttempt(const std::string& from,
   }
 
   a.bytes_received = static_cast<int64_t>(frame.size()) + 16;
-  elapsed += spike * link.TransferTimeMs(a.bytes_received);
+  const double recv_ms = spike * link.TransferTimeMs(a.bytes_received);
+  elapsed += recv_ms;
+  phase("recv", recv_ms, 0, a.bytes_received,
+        fault.kind == FaultKind::kCorrupt ? "corrupt frame" : "");
   metrics_.Add("net.bytes_received", a.bytes_received);
   metrics_.Add("net.bytes." + to, a.bytes_received);
   metrics_.Add("net.sim_us", static_cast<int64_t>(elapsed * 1e3));

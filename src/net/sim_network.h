@@ -32,6 +32,7 @@
 
 #include "common/metrics.h"
 #include "common/result.h"
+#include "common/trace.h"
 #include "net/fault_schedule.h"
 
 namespace gisql {
@@ -139,10 +140,16 @@ class SimNetwork {
   /// \brief Performs one RPC attempt from `from` to `to`, applying any
   /// scheduled fault. Accounting (bytes, messages, fault counters,
   /// elapsed simulated time) is recorded whether or not the attempt
-  /// succeeds; transport failures charge the detection timeout.
+  /// succeeds; transport failures charge the detection timeout. Every
+  /// attempt observes the `net.rpc_ms` latency histogram (and
+  /// `net.response_bytes` for delivered responses) so experiments can
+  /// report tails, not just totals. When `sink` carries a collector,
+  /// the attempt's send/handle/receive phases are recorded as "net"
+  /// spans under sink.parent, starting at sink.start_ms.
   RpcAttempt CallAttempt(const std::string& from, const std::string& to,
                          uint8_t opcode, const std::vector<uint8_t>& request,
-                         double detection_window_ms = kDetectionWindowMs);
+                         double detection_window_ms = kDetectionWindowMs,
+                         const TraceSink& sink = TraceSink());
 
   /// \brief Synchronously performs one RPC from `from` to `to`.
   ///
@@ -170,6 +177,14 @@ class SimNetwork {
 
   /// \brief Next 0-based message index on the directed link (from, to).
   uint64_t NextMessageIndex(const std::string& from, const std::string& to);
+
+  /// \brief CallAttempt minus the latency/size histogram observations
+  /// (which apply uniformly to every exit path).
+  RpcAttempt CallAttemptImpl(const std::string& from, const std::string& to,
+                             uint8_t opcode,
+                             const std::vector<uint8_t>& request,
+                             double detection_window_ms,
+                             const TraceSink& sink);
 
   struct HostEntry {
     RpcHandler* handler = nullptr;

@@ -103,7 +103,14 @@ std::string PlanNode::Explain(int indent) const {
   }
   if (actual_rows >= 0) {
     oss << "  {actual_rows=" << static_cast<int64_t>(actual_rows)
-        << ", actual_ms=" << actual_ms << "}";
+        << ", actual_ms=" << actual_ms;
+    if (actual_bytes_sent >= 0) {
+      oss << ", sent=" << actual_bytes_sent << "B"
+          << ", recv=" << actual_bytes_received << "B"
+          << ", msgs=" << actual_messages
+          << ", retries=" << (actual_attempts > 0 ? actual_attempts - 1 : 0);
+    }
+    oss << "}";
   }
   oss << "\n";
   for (const auto& c : children) oss << c->Explain(indent + 1);

@@ -114,8 +114,19 @@ struct PlanNode {
 
   // Execution actuals (filled by the executor under EXPLAIN ANALYZE;
   // mutable because execution observes an otherwise-const plan).
+  // Network actuals are set only on kRemoteFragment nodes — the only
+  // operators that touch the wire — so summing them over the tree
+  // reproduces the query's recorded traffic totals (clean runs;
+  // injected duplicate deliveries are charged to the network's own
+  // counters, not to any one node). actual_attempts counts RPC tries
+  // including backoff retries and replica failover; retries printed by
+  // Explain() are attempts beyond the first.
   mutable double actual_rows = -1.0;
   mutable double actual_ms = -1.0;
+  mutable int64_t actual_bytes_sent = -1;
+  mutable int64_t actual_bytes_received = -1;
+  mutable int64_t actual_messages = -1;
+  mutable int64_t actual_attempts = -1;
 
   explicit PlanNode(PlanKind k) : kind(k) {}
 

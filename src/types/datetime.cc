@@ -39,21 +39,34 @@ bool IsValidCivilDate(int year, unsigned month, unsigned day) {
 }
 
 Result<int64_t> ParseDateString(std::string_view text) {
-  int year = 0;
-  unsigned month = 0, day = 0;
-  // Strict "YYYY-MM-DD".
-  if (text.size() < 8 || text.size() > 10) {
+  // Strict full-width "YYYY-MM-DD": exactly 10 characters, digits in
+  // the date positions, '-' separators, nothing else. (The previous
+  // sscanf-based parse stopped at the first non-matching character, so
+  // "2020-01-1a" parsed as January 1st and "20-1-1234" as year 20 —
+  // trailing garbage silently changed the value instead of failing.)
+  auto invalid = [&]() -> Status {
     return Status::InvalidArgument("invalid date literal '",
                                    std::string(text),
                                    "' (want YYYY-MM-DD)");
+  };
+  if (text.size() != 10 || text[4] != '-' || text[7] != '-') {
+    return invalid();
   }
-  int fields = std::sscanf(std::string(text).c_str(), "%d-%u-%u", &year,
-                           &month, &day);
-  if (fields != 3 || !IsValidCivilDate(year, month, day)) {
-    return Status::InvalidArgument("invalid date literal '",
-                                   std::string(text),
-                                   "' (want YYYY-MM-DD)");
+  auto digit = [&](size_t i) { return text[i] >= '0' && text[i] <= '9'; };
+  for (size_t i : {0u, 1u, 2u, 3u, 5u, 6u, 8u, 9u}) {
+    if (!digit(i)) return invalid();
   }
+  auto field = [&](size_t begin, size_t len) {
+    unsigned v = 0;
+    for (size_t i = begin; i < begin + len; ++i) {
+      v = v * 10 + static_cast<unsigned>(text[i] - '0');
+    }
+    return v;
+  };
+  const int year = static_cast<int>(field(0, 4));
+  const unsigned month = field(5, 2);
+  const unsigned day = field(8, 2);
+  if (!IsValidCivilDate(year, month, day)) return invalid();
   return DaysFromCivil(year, month, day);
 }
 

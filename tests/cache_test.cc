@@ -54,6 +54,39 @@ TEST_F(CacheTest, HitServesLocallyWithSameRows) {
   EXPECT_EQ(gis_.result_cache()->misses(), 1);
 }
 
+TEST_F(CacheTest, HitSetsExplicitZeroMetricsAndFlag) {
+  gis_.EnableResultCache();
+  auto miss = gis_.Query("SELECT v FROM t WHERE id < 5");
+  ASSERT_TRUE(miss.ok());
+  EXPECT_FALSE(miss->metrics.cache_hit);
+  EXPECT_GT(miss->metrics.bytes_received, 0);
+
+  auto hit = gis_.Query("SELECT v FROM t WHERE id < 5");
+  ASSERT_TRUE(hit.ok());
+  EXPECT_TRUE(hit->metrics.cache_hit);
+  EXPECT_DOUBLE_EQ(hit->metrics.elapsed_ms, 0.0);
+  EXPECT_EQ(hit->metrics.bytes_sent, 0);
+  EXPECT_EQ(hit->metrics.bytes_received, 0);
+  EXPECT_EQ(hit->metrics.messages, 0);
+  EXPECT_EQ(hit->metrics.retries, 0);
+}
+
+TEST_F(CacheTest, HitsAndMissesExportedToSystemMetrics) {
+  gis_.EnableResultCache();
+  ASSERT_TRUE(gis_.Query("SELECT COUNT(*) FROM t").ok());    // miss
+  ASSERT_TRUE(gis_.Query("SELECT COUNT(*) FROM t").ok());    // hit
+  ASSERT_TRUE(gis_.Query("SELECT SUM(v) FROM t").ok());      // miss
+  ASSERT_TRUE(gis_.Query("SELECT COUNT(*) FROM t").ok());    // hit
+  EXPECT_EQ(gis_.metrics().Get("cache.hits"), 2);
+  EXPECT_EQ(gis_.metrics().Get("cache.misses"), 2);
+  // The registry mirrors the cache's own accounting.
+  EXPECT_EQ(gis_.metrics().Get("cache.hits"), gis_.result_cache()->hits());
+  EXPECT_EQ(gis_.metrics().Get("cache.misses"),
+            gis_.result_cache()->misses());
+  // Every query — hit or miss — lands in the latency histogram.
+  EXPECT_EQ(gis_.metrics().SnapshotHistogram("query.ms").count, 4);
+}
+
 TEST_F(CacheTest, DifferentPlansDifferentEntries) {
   gis_.EnableResultCache();
   ASSERT_TRUE(gis_.Query("SELECT COUNT(*) FROM t").ok());

@@ -3,6 +3,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <set>
 
 #include "common/bytes.h"
@@ -227,6 +228,28 @@ TEST(StringUtilTest, LikeMatching) {
   EXPECT_FALSE(LikeMatch("xz", "x_z"));
 }
 
+TEST(StringUtilTest, LikeEdgeCases) {
+  // Consecutive wildcards collapse: "%%a" ≡ "%a".
+  EXPECT_TRUE(LikeMatch("a", "%%a"));
+  EXPECT_TRUE(LikeMatch("bca", "%%a"));
+  EXPECT_FALSE(LikeMatch("ab", "%%a"));
+  EXPECT_FALSE(LikeMatch("", "%%a"));
+  // A pattern ending in '_' must consume exactly one trailing char.
+  EXPECT_TRUE(LikeMatch("ab", "a_"));
+  EXPECT_FALSE(LikeMatch("a", "a_"));
+  EXPECT_FALSE(LikeMatch("abc", "a_"));
+  EXPECT_TRUE(LikeMatch("abc", "%_"));
+  EXPECT_FALSE(LikeMatch("", "%_"));
+  // Empty value: matched by "%" (and only by patterns of %s).
+  EXPECT_TRUE(LikeMatch("", "%"));
+  EXPECT_TRUE(LikeMatch("", "%%"));
+  EXPECT_TRUE(LikeMatch("", ""));
+  EXPECT_FALSE(LikeMatch("", "a"));
+  // '%' then '_' still demands one character somewhere.
+  EXPECT_TRUE(LikeMatch("x", "%_%"));
+  EXPECT_FALSE(LikeMatch("", "%_%"));
+}
+
 TEST(StringUtilTest, HumanBytes) {
   EXPECT_EQ(HumanBytes(512), "512 B");
   EXPECT_EQ(HumanBytes(2048), "2.00 KiB");
@@ -262,6 +285,69 @@ TEST(MetricsTest, CountersAndGauges) {
   EXPECT_EQ(m.Counters().size(), 1u);
   m.Reset();
   EXPECT_EQ(m.Get("bytes"), 0);
+}
+
+TEST(HistogramTest, BucketBoundsGrowBySqrt2) {
+  EXPECT_DOUBLE_EQ(Histogram::UpperBound(0), 1e-3);
+  EXPECT_DOUBLE_EQ(Histogram::UpperBound(2), 2e-3);
+  EXPECT_NEAR(Histogram::UpperBound(1) / Histogram::UpperBound(0),
+              std::sqrt(2.0), 1e-12);
+}
+
+TEST(HistogramTest, IdenticalObservationsReportExactly) {
+  Histogram h;
+  for (int i = 0; i < 10; ++i) h.Observe(7.5);
+  EXPECT_EQ(h.count(), 10);
+  EXPECT_DOUBLE_EQ(h.min(), 7.5);
+  EXPECT_DOUBLE_EQ(h.max(), 7.5);
+  // Interpolation clamps to the observed range.
+  EXPECT_DOUBLE_EQ(h.Percentile(0.50), 7.5);
+  EXPECT_DOUBLE_EQ(h.Percentile(0.99), 7.5);
+}
+
+TEST(HistogramTest, PercentilesOrderedAndBracketed) {
+  Histogram h;
+  for (int i = 1; i <= 1000; ++i) h.Observe(static_cast<double>(i));
+  const double p50 = h.Percentile(0.50);
+  const double p95 = h.Percentile(0.95);
+  const double p99 = h.Percentile(0.99);
+  EXPECT_LE(p50, p95);
+  EXPECT_LE(p95, p99);
+  EXPECT_GE(p50, h.min());
+  EXPECT_LE(p99, h.max());
+  // Log-scale buckets are coarse (sqrt-2 steps ≈ ±41%), so only ask
+  // for bucket-level accuracy.
+  EXPECT_NEAR(p50, 500.0, 500.0 * 0.45);
+  EXPECT_NEAR(p95, 950.0, 950.0 * 0.45);
+}
+
+TEST(HistogramTest, ZeroNegativeAndOverflowAreSafe) {
+  Histogram h;
+  h.Observe(0.0);
+  h.Observe(-5.0);
+  h.Observe(1e300);  // far beyond the last bound → overflow bucket
+  EXPECT_EQ(h.count(), 3);
+  EXPECT_DOUBLE_EQ(h.min(), -5.0);
+  EXPECT_DOUBLE_EQ(h.max(), 1e300);
+  const double p50 = h.Percentile(0.5);
+  EXPECT_GE(p50, h.min());
+  EXPECT_LE(p50, h.max());
+}
+
+TEST(MetricsTest, RegistryHistograms) {
+  MetricsRegistry m;
+  EXPECT_EQ(m.SnapshotHistogram("lat").count, 0);
+  m.Observe("lat", 10.0);
+  m.Observe("lat", 20.0);
+  m.Observe("lat", 30.0);
+  HistogramSnapshot snap = m.SnapshotHistogram("lat");
+  EXPECT_EQ(snap.count, 3);
+  EXPECT_DOUBLE_EQ(snap.sum, 60.0);
+  EXPECT_DOUBLE_EQ(snap.min, 10.0);
+  EXPECT_DOUBLE_EQ(snap.max, 30.0);
+  EXPECT_GE(snap.p95, snap.p50);
+  m.Reset();
+  EXPECT_EQ(m.SnapshotHistogram("lat").count, 0);
 }
 
 }  // namespace

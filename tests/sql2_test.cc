@@ -50,6 +50,52 @@ TEST(DatetimeTest, ParseAndFormat) {
   EXPECT_TRUE(ParseDateString("1989").status().IsInvalidArgument());
 }
 
+TEST(DatetimeTest, ParseRejectsTrailingGarbageAndShortFields) {
+  // Regressions for the sscanf-era parser, which stopped at the first
+  // non-matching character and silently accepted these:
+  EXPECT_TRUE(ParseDateString("2020-01-1a").status().IsInvalidArgument());
+  EXPECT_TRUE(ParseDateString("20-1-1234").status().IsInvalidArgument());
+  EXPECT_TRUE(ParseDateString("2020-1-1x").status().IsInvalidArgument());
+  // Full-width fields only — no single-digit months/days, no padding.
+  EXPECT_TRUE(ParseDateString("2020-1-01").status().IsInvalidArgument());
+  EXPECT_TRUE(ParseDateString("2020-01-1").status().IsInvalidArgument());
+  EXPECT_TRUE(ParseDateString(" 2020-01-01").status().IsInvalidArgument());
+  EXPECT_TRUE(ParseDateString("2020-01-01 ").status().IsInvalidArgument());
+  EXPECT_TRUE(ParseDateString("2020/01/01").status().IsInvalidArgument());
+  EXPECT_TRUE(ParseDateString("2020-01-0a").status().IsInvalidArgument());
+  EXPECT_TRUE(ParseDateString("-020-01-01").status().IsInvalidArgument());
+  EXPECT_TRUE(ParseDateString("").status().IsInvalidArgument());
+  // The happy path is unchanged.
+  EXPECT_EQ(*ParseDateString("2020-01-01"), DaysFromCivil(2020, 1, 1));
+}
+
+TEST(DatetimeTest, ParseFormatsRoundTripFuzz) {
+  // Every formatted date must parse back to the same day number; a
+  // deterministic pseudo-random walk covers ~4000 days across a wide
+  // range of years (including leap boundaries and single-digit
+  // months/days, which FormatDate zero-pads).
+  uint64_t state = 0x9e3779b97f4a7c15ull;
+  auto next = [&]() {
+    state ^= state << 13;
+    state ^= state >> 7;
+    state ^= state << 17;
+    return state;
+  };
+  const int64_t lo = DaysFromCivil(1800, 1, 1);
+  const int64_t hi = DaysFromCivil(2200, 12, 31);
+  for (int i = 0; i < 4000; ++i) {
+    const int64_t d =
+        lo + static_cast<int64_t>(next() % static_cast<uint64_t>(hi - lo));
+    const std::string s = FormatDate(d);
+    ASSERT_EQ(s.size(), 10u) << s;
+    auto parsed = ParseDateString(s);
+    ASSERT_TRUE(parsed.ok()) << s;
+    EXPECT_EQ(*parsed, d) << s;
+    // Mutating the string with trailing garbage must break the parse.
+    EXPECT_TRUE(ParseDateString(s + "x").status().IsInvalidArgument()) << s;
+  }
+}
+
 TEST(DatetimeTest, ValueIntegration) {
   Value d = Value::Date(6976);
   EXPECT_EQ(d.ToString(), "DATE '1989-02-06'");

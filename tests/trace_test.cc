@@ -1,0 +1,517 @@
+/// Tests for the query-lifecycle tracing subsystem: per-operator
+/// EXPLAIN ANALYZE actuals that sum to the query's network totals,
+/// span trees over the simulated clock (with per-fragment network
+/// sub-spans), Chrome trace_event JSON validity (checked by an
+/// in-test recursive-descent parser — no external tool), and
+/// serial-vs-pooled trace determinism.
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/trace.h"
+#include "core/global_system.h"
+
+namespace gisql {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Minimal JSON DOM + recursive-descent parser, just enough to validate
+// the Chrome trace export structurally without external dependencies.
+// ---------------------------------------------------------------------------
+
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = Kind::kNull;
+  bool b = false;
+  double num = 0.0;
+  std::string str;
+  std::vector<JsonValue> items;
+  std::map<std::string, JsonValue> fields;
+
+  bool Has(const std::string& key) const { return fields.count(key) > 0; }
+  const JsonValue& At(const std::string& key) const {
+    return fields.at(key);
+  }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : text_(text) {}
+
+  /// Parses the whole input; returns false on any syntax error or
+  /// trailing garbage.
+  bool Parse(JsonValue* out) {
+    pos_ = 0;
+    if (!ParseValue(out)) return false;
+    SkipWs();
+    return pos_ == text_.size();
+  }
+
+ private:
+  void SkipWs() {
+    while (pos_ < text_.size() && std::isspace(
+                                      static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool Literal(const char* word) {
+    const size_t n = std::string(word).size();
+    if (text_.compare(pos_, n, word) != 0) return false;
+    pos_ += n;
+    return true;
+  }
+
+  bool ParseValue(JsonValue* out) {
+    SkipWs();
+    if (pos_ >= text_.size()) return false;
+    const char c = text_[pos_];
+    if (c == '{') return ParseObject(out);
+    if (c == '[') return ParseArray(out);
+    if (c == '"') {
+      out->kind = JsonValue::Kind::kString;
+      return ParseString(&out->str);
+    }
+    if (c == 't') {
+      out->kind = JsonValue::Kind::kBool;
+      out->b = true;
+      return Literal("true");
+    }
+    if (c == 'f') {
+      out->kind = JsonValue::Kind::kBool;
+      out->b = false;
+      return Literal("false");
+    }
+    if (c == 'n') {
+      out->kind = JsonValue::Kind::kNull;
+      return Literal("null");
+    }
+    return ParseNumber(out);
+  }
+
+  bool ParseNumber(JsonValue* out) {
+    const size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) return false;
+    try {
+      out->num = std::stod(text_.substr(start, pos_ - start));
+    } catch (...) {
+      return false;
+    }
+    out->kind = JsonValue::Kind::kNumber;
+    return true;
+  }
+
+  bool ParseString(std::string* out) {
+    if (text_[pos_] != '"') return false;
+    ++pos_;
+    out->clear();
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return true;
+      if (c == '\\') {
+        if (pos_ >= text_.size()) return false;
+        const char esc = text_[pos_++];
+        switch (esc) {
+          case '"': out->push_back('"'); break;
+          case '\\': out->push_back('\\'); break;
+          case '/': out->push_back('/'); break;
+          case 'b': out->push_back('\b'); break;
+          case 'f': out->push_back('\f'); break;
+          case 'n': out->push_back('\n'); break;
+          case 'r': out->push_back('\r'); break;
+          case 't': out->push_back('\t'); break;
+          case 'u': {
+            if (pos_ + 4 > text_.size()) return false;
+            for (int i = 0; i < 4; ++i) {
+              if (!std::isxdigit(
+                      static_cast<unsigned char>(text_[pos_ + i]))) {
+                return false;
+              }
+            }
+            pos_ += 4;  // code point validated, not decoded
+            out->push_back('?');
+            break;
+          }
+          default: return false;
+        }
+      } else if (static_cast<unsigned char>(c) < 0x20) {
+        return false;  // raw control characters are invalid JSON
+      } else {
+        out->push_back(c);
+      }
+    }
+    return false;  // unterminated
+  }
+
+  bool ParseArray(JsonValue* out) {
+    out->kind = JsonValue::Kind::kArray;
+    ++pos_;  // '['
+    SkipWs();
+    if (pos_ < text_.size() && text_[pos_] == ']') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      JsonValue item;
+      if (!ParseValue(&item)) return false;
+      out->items.push_back(std::move(item));
+      SkipWs();
+      if (pos_ >= text_.size()) return false;
+      if (text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (text_[pos_] == ']') {
+        ++pos_;
+        return true;
+      }
+      return false;
+    }
+  }
+
+  bool ParseObject(JsonValue* out) {
+    out->kind = JsonValue::Kind::kObject;
+    ++pos_;  // '{'
+    SkipWs();
+    if (pos_ < text_.size() && text_[pos_] == '}') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      SkipWs();
+      std::string key;
+      if (pos_ >= text_.size() || !ParseString(&key)) return false;
+      SkipWs();
+      if (pos_ >= text_.size() || text_[pos_] != ':') return false;
+      ++pos_;
+      JsonValue value;
+      if (!ParseValue(&value)) return false;
+      out->fields[key] = std::move(value);
+      SkipWs();
+      if (pos_ >= text_.size()) return false;
+      if (text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (text_[pos_] == '}') {
+        ++pos_;
+        return true;
+      }
+      return false;
+    }
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Fixture: a genuine two-source world, so joins ship fragments from two
+// distinct hosts.
+// ---------------------------------------------------------------------------
+
+class TraceTest : public ::testing::Test {
+ protected:
+  void SetUp() override { BuildWorld(gis_); }
+
+  static void BuildWorld(GlobalSystem& gis) {
+    auto hq = *gis.CreateSource("hq", SourceDialect::kRelational);
+    ASSERT_TRUE(hq->ExecuteLocalSql(
+                      "CREATE TABLE customers (cid bigint, name varchar, "
+                      "region varchar)")
+                    .ok());
+    for (int i = 0; i < 20; ++i) {
+      ASSERT_TRUE(hq->ExecuteLocalSql(
+                        "INSERT INTO customers VALUES (" + std::to_string(i) +
+                        ", 'cust" + std::to_string(i) + "', '" +
+                        (i % 2 ? "east" : "west") + "')")
+                      .ok());
+    }
+    auto branch = *gis.CreateSource("branch", SourceDialect::kDocument);
+    ASSERT_TRUE(branch
+                    ->ExecuteLocalSql(
+                        "CREATE TABLE orders (oid bigint, cid bigint, "
+                        "total double)")
+                    .ok());
+    for (int i = 0; i < 100; ++i) {
+      ASSERT_TRUE(branch
+                      ->ExecuteLocalSql(
+                          "INSERT INTO orders VALUES (" + std::to_string(i) +
+                          ", " + std::to_string(i % 20) + ", " +
+                          std::to_string(i * 1.5) + ")")
+                      .ok());
+    }
+    ASSERT_TRUE(gis.ImportSource("hq").ok());
+    ASSERT_TRUE(gis.ImportSource("branch").ok());
+  }
+
+  static constexpr const char* kJoinSql =
+      "SELECT c.name, o.total FROM customers c JOIN orders o "
+      "ON c.cid = o.cid WHERE o.total > 100 ORDER BY o.total DESC";
+
+  GlobalSystem gis_;
+};
+
+/// Pulls every "key=<int>" occurrence out of the EXPLAIN ANALYZE text
+/// and sums the values (e.g. key = "sent=" sums per-node sent bytes).
+int64_t SumMarked(const std::string& text, const std::string& key,
+                  int* occurrences = nullptr) {
+  int64_t total = 0;
+  int count = 0;
+  size_t pos = 0;
+  while ((pos = text.find(key, pos)) != std::string::npos) {
+    pos += key.size();
+    total += std::stoll(text.substr(pos));
+    ++count;
+  }
+  if (occurrences != nullptr) *occurrences = count;
+  return total;
+}
+
+TEST_F(TraceTest, PerNodeActualsSumToQueryTotals) {
+  auto result = gis_.Query(std::string("EXPLAIN ANALYZE ") + kJoinSql);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  const std::string text = result->batch.rows()[0][0].AsString();
+
+  // Per-operator actuals are present...
+  EXPECT_NE(text.find("actual_rows="), std::string::npos);
+  EXPECT_NE(text.find("actual_ms="), std::string::npos);
+  // ...and the network actuals on the remote fragments sum to exactly
+  // the query's own network accounting.
+  int fragment_nodes = 0;
+  const int64_t node_sent = SumMarked(text, "sent=", &fragment_nodes);
+  const int64_t node_recv = SumMarked(text, "recv=");
+  const int64_t node_msgs = SumMarked(text, "msgs=");
+  EXPECT_GE(fragment_nodes, 2);  // a two-source join ships two fragments
+  EXPECT_GT(node_sent, 0);
+  EXPECT_GT(node_recv, 0);
+  EXPECT_EQ(node_sent, result->metrics.bytes_sent);
+  EXPECT_EQ(node_recv, result->metrics.bytes_received);
+  EXPECT_EQ(node_msgs, result->metrics.messages);
+
+  // The bugfixed ANALYZE summary reports the same totals.
+  std::ostringstream expected;
+  expected << "Network: " << result->metrics.bytes_sent << " bytes sent, "
+           << result->metrics.bytes_received << " bytes received, "
+           << result->metrics.messages << " message(s), "
+           << result->metrics.retries << " retrie(s)";
+  EXPECT_NE(text.find(expected.str()), std::string::npos) << text;
+  EXPECT_NE(text.find("Total: "), std::string::npos);
+  EXPECT_GT(result->metrics.bytes_sent, 0);
+  EXPECT_GT(result->metrics.messages, 0);
+}
+
+TEST_F(TraceTest, SpanTreeCoversLifecycleAndFragments) {
+  gis_.EnableTracing();
+  ASSERT_NE(gis_.trace(), nullptr);
+  auto result = gis_.Query(kJoinSql);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+
+  const std::vector<TraceSpan> spans = gis_.trace()->Spans();
+  ASSERT_FALSE(spans.empty());
+
+  auto find = [&](const std::string& name) -> const TraceSpan* {
+    for (const auto& s : spans) {
+      if (s.name == name) return &s;
+    }
+    return nullptr;
+  };
+  // Lifecycle phases, rooted at "query".
+  const TraceSpan* root = find("query");
+  ASSERT_NE(root, nullptr);
+  EXPECT_EQ(root->parent, 0u);
+  EXPECT_DOUBLE_EQ(root->end_ms, result->metrics.elapsed_ms);
+  EXPECT_EQ(root->rows, static_cast<int64_t>(result->batch.num_rows()));
+  for (const char* phase :
+       {"parse", "bind+plan", "optimize", "decompose", "execute"}) {
+    EXPECT_NE(find(phase), nullptr) << phase;
+  }
+
+  // One operator span per shipped fragment, each with a host and a
+  // nonzero simulated duration.
+  int fragments = 0;
+  bool saw_hq = false, saw_branch = false;
+  for (const auto& s : spans) {
+    if (s.category == "operator" &&
+        s.name.rfind("fragment ", 0) == 0) {
+      ++fragments;
+      EXPECT_GT(s.duration_ms(), 0.0) << s.name;
+      EXPECT_FALSE(s.host.empty()) << s.name;
+      EXPECT_GT(s.bytes_sent, 0) << s.name;
+      EXPECT_GE(s.rows, 0) << s.name;
+      saw_hq = saw_hq || s.host == "hq";
+      saw_branch = saw_branch || s.host == "branch";
+    }
+  }
+  EXPECT_GE(fragments, 2);
+  EXPECT_TRUE(saw_hq);
+  EXPECT_TRUE(saw_branch);
+
+  // Network sub-spans record the per-attempt wire activity.
+  int net_spans = 0;
+  for (const auto& s : spans) {
+    if (s.category == "net") ++net_spans;
+  }
+  EXPECT_GT(net_spans, 0);
+
+  // No span escapes the query interval, and time never runs backwards.
+  for (const auto& s : spans) {
+    EXPECT_GE(s.end_ms, s.start_ms) << s.name;
+    EXPECT_GE(s.start_ms, 0.0) << s.name;
+    EXPECT_LE(s.end_ms, root->end_ms + 1e-9) << s.name;
+  }
+}
+
+TEST_F(TraceTest, ChromeJsonIsValidAndHasFragmentEvents) {
+  gis_.EnableTracing();
+  ASSERT_TRUE(gis_.Query(kJoinSql).ok());
+
+  const std::string json = gis_.trace()->ToChromeJson();
+  JsonValue doc;
+  ASSERT_TRUE(JsonParser(json).Parse(&doc)) << json;
+  ASSERT_EQ(doc.kind, JsonValue::Kind::kObject);
+  ASSERT_TRUE(doc.Has("traceEvents"));
+  const JsonValue& events = doc.At("traceEvents");
+  ASSERT_EQ(events.kind, JsonValue::Kind::kArray);
+  ASSERT_FALSE(events.items.empty());
+
+  int fragment_events = 0;
+  for (const JsonValue& ev : events.items) {
+    ASSERT_EQ(ev.kind, JsonValue::Kind::kObject);
+    // Chrome trace_event required keys for complete ("X") events.
+    for (const char* key : {"ph", "name", "cat", "ts", "dur", "pid", "tid"}) {
+      ASSERT_TRUE(ev.Has(key)) << key;
+    }
+    EXPECT_EQ(ev.At("ph").str, "X");
+    EXPECT_GE(ev.At("ts").num, 0.0);
+    EXPECT_GE(ev.At("dur").num, 0.0);
+    if (ev.At("cat").str == "operator" &&
+        ev.At("name").str.rfind("fragment ", 0) == 0) {
+      ++fragment_events;
+      EXPECT_GT(ev.At("dur").num, 0.0);  // nonzero simulated duration
+      ASSERT_TRUE(ev.Has("args"));
+      EXPECT_TRUE(ev.At("args").Has("host"));
+    }
+  }
+  EXPECT_GE(fragment_events, 2);  // one per remote fragment
+}
+
+TEST_F(TraceTest, SerialAndPooledTracesAreIdentical) {
+  PlannerOptions serial_opts;
+  serial_opts.parallel_execution = false;
+  GlobalSystem serial(serial_opts);
+  BuildWorld(serial);
+  serial.EnableTracing();
+
+  PlannerOptions pooled_opts;
+  pooled_opts.parallel_execution = true;
+  pooled_opts.worker_threads = 4;
+  GlobalSystem pooled(pooled_opts);
+  BuildWorld(pooled);
+  pooled.EnableTracing();
+
+  for (const char* sql :
+       {kJoinSql,
+        "SELECT region, COUNT(*) FROM customers GROUP BY region",
+        "SELECT SUM(total) FROM orders"}) {
+    auto a = serial.Query(sql);
+    auto b = pooled.Query(sql);
+    ASSERT_TRUE(a.ok()) << sql;
+    ASSERT_TRUE(b.ok()) << sql;
+    EXPECT_DOUBLE_EQ(a->metrics.elapsed_ms, b->metrics.elapsed_ms) << sql;
+    // Canonical exports are byte-identical: same spans, same rows, same
+    // bytes, same simulated timestamps — scheduling only changed
+    // wall-clock interleaving.
+    EXPECT_EQ(serial.trace()->ToText(), pooled.trace()->ToText()) << sql;
+    EXPECT_EQ(serial.trace()->ToChromeJson(), pooled.trace()->ToChromeJson())
+        << sql;
+  }
+}
+
+TEST_F(TraceTest, CacheLookupSpansRecordHitAndMiss) {
+  gis_.EnableTracing();
+  gis_.EnableResultCache();
+  ASSERT_TRUE(gis_.Query(kJoinSql).ok());
+  {
+    const auto spans = gis_.trace()->Spans();
+    bool saw_miss = false, saw_insert = false;
+    for (const auto& s : spans) {
+      if (s.name == "cache.lookup") saw_miss = s.note == "miss";
+      if (s.name == "cache.insert") saw_insert = true;
+    }
+    EXPECT_TRUE(saw_miss);
+    EXPECT_TRUE(saw_insert);
+  }
+  auto hit = gis_.Query(kJoinSql);
+  ASSERT_TRUE(hit.ok());
+  EXPECT_TRUE(hit->metrics.cache_hit);
+  {
+    const auto spans = gis_.trace()->Spans();
+    bool saw_hit = false;
+    int fragments = 0;
+    for (const auto& s : spans) {
+      if (s.name == "cache.lookup") saw_hit = s.note == "hit";
+      if (s.name.rfind("fragment ", 0) == 0) ++fragments;
+    }
+    EXPECT_TRUE(saw_hit);
+    EXPECT_EQ(fragments, 0);  // a hit never touches the network
+  }
+}
+
+TEST_F(TraceTest, TraceTextRendersTree) {
+  gis_.EnableTracing();
+  ASSERT_TRUE(gis_.Query(kJoinSql).ok());
+  const std::string text = gis_.trace()->ToText();
+  EXPECT_NE(text.find("query"), std::string::npos);
+  EXPECT_NE(text.find("fragment"), std::string::npos);
+  EXPECT_NE(text.find("rows="), std::string::npos);
+  // Children indent under their parents.
+  EXPECT_NE(text.find("  "), std::string::npos);
+  // Disabling tracing detaches the collector entirely.
+  gis_.DisableTracing();
+  EXPECT_EQ(gis_.trace(), nullptr);
+  ASSERT_TRUE(gis_.Query(kJoinSql).ok());
+}
+
+TEST_F(TraceTest, RetriesSurfaceInSpansAndMetrics) {
+  // Deterministic targeted chaos: the first fragment request to
+  // "branch" is dropped; the retry gets through. The query succeeds;
+  // the trace shows the extra attempt and the backoff.
+  GlobalSystem gis;
+  BuildWorld(gis);
+  gis.set_retry_policy(RetryPolicy::Standard(4, /*seed=*/1));
+  gis.network().InstallFaults(/*seed=*/7, FaultProfile{});  // targeted only
+  gis.network().faults()->InjectOn("branch", /*opcode=*/-1, FaultKind::kDrop,
+                                  1);
+  gis.EnableTracing();
+
+  auto result = gis.Query("SELECT SUM(total) FROM orders");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_GT(result->metrics.retries, 0);
+
+  const auto spans = gis.trace()->Spans();
+  int attempt_spans = 0;
+  bool saw_backoff = false;
+  for (const auto& s : spans) {
+    if (s.name.rfind("attempt", 0) == 0) ++attempt_spans;
+    if (s.name == "backoff") saw_backoff = true;
+  }
+  EXPECT_GT(attempt_spans, 1);
+  EXPECT_TRUE(saw_backoff);
+}
+
+}  // namespace
+}  // namespace gisql
