@@ -1,0 +1,161 @@
+/// \file bench_e16_health.cc
+/// \brief E16: the mediator observing itself — per-source health under
+/// an escalating chaos ladder, read back through the `gis.*` system
+/// tables and the Prometheus exposition.
+///
+/// A retail federation runs the same query mix at increasing fault
+/// intensities. After each rung the experiment queries `gis.sources`
+/// (through the ordinary SQL pipeline, at zero network cost) and prints
+/// the health rows the mediator derived purely from its own traffic:
+/// requests, errors, retries, latency EWMA/p95, and the
+/// healthy/degraded/suspect state. Deterministic: same seeds, same
+/// table, every run.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "workload/generator.h"
+
+using namespace gisql;
+using namespace gisql::bench;
+
+namespace {
+
+WorkloadSpec Spec() {
+  WorkloadSpec spec;
+  spec.seed = 16;
+  spec.num_sites = 3;
+  spec.num_customers = Scaled(300, 40);
+  spec.num_products = Scaled(80, 15);
+  spec.orders_per_site = Scaled(2000, 150);
+  return spec;
+}
+
+const std::vector<std::string>& Mix() {
+  static const std::vector<std::string> queries = {
+      "SELECT COUNT(*), SUM(amount) FROM sales",
+      "SELECT region, SUM(amount) FROM sales JOIN customers "
+      "ON sales.cid = customers.cid GROUP BY region ORDER BY region",
+      "SELECT day, COUNT(*) FROM sales WHERE qty > 2 GROUP BY day "
+      "ORDER BY day",
+      "SELECT cid, name FROM customers WHERE cid < 10 ORDER BY cid",
+  };
+  return queries;
+}
+
+/// One rung: fresh federation, seeded chaos at `intensity`, the query
+/// mix, then the health table as the mediator itself reports it.
+void Rung(double intensity) {
+  PlannerOptions options;
+  options.parallel_execution = false;  // keep fault replay order-exact
+  GlobalSystem gis(options);
+  if (!BuildRetailFederation(&gis, Spec()).ok()) {
+    std::fprintf(stderr, "federation build failed\n");
+    std::abort();
+  }
+  gis.set_retry_policy(RetryPolicy::Standard(5, /*seed=*/16));
+  gis.network().InstallFaults(/*seed=*/16, FaultProfile::Chaos(intensity));
+
+  int ok = 0, failed = 0;
+  const int repeats = Scaled(5, 2);
+  for (int r = 0; r < repeats; ++r) {
+    for (const auto& q : Mix()) {
+      if (gis.Query(q).ok()) {
+        ++ok;
+      } else {
+        ++failed;
+      }
+    }
+  }
+
+  std::printf("## chaos intensity %.2f — %d ok, %d failed\n", intensity, ok,
+              failed);
+  auto health = gis.Query(
+      "SELECT source, state, requests, errors, retries, ewma_ms, p95_ms "
+      "FROM gis.sources ORDER BY source");
+  if (!health.ok()) {
+    std::fprintf(stderr, "gis.sources failed: %s\n",
+                 health.status().ToString().c_str());
+    std::abort();
+  }
+  if (health->metrics.messages != 0) {
+    std::fprintf(stderr, "observing the system cost network traffic!\n");
+    std::abort();
+  }
+  std::printf("%s\n", health->batch.ToString().c_str());
+}
+
+/// One source's state as the mediator reports it, via gis.sources.
+std::string StateOf(GlobalSystem& gis, const std::string& source) {
+  auto res = gis.Query(
+      "SELECT state, requests, errors, retries, consecutive_failures "
+      "FROM gis.sources WHERE source = '" +
+      source + "'");
+  if (!res.ok() || res->batch.num_rows() != 1) {
+    std::fprintf(stderr, "gis.sources probe failed\n");
+    std::abort();
+  }
+  const auto& row = res->batch.rows()[0];
+  char buf[128];
+  std::snprintf(buf, sizeof(buf), "%-8s (requests %s, errors %s, streak %s)",
+                row[0].AsString().c_str(), row[1].ToString().c_str(),
+                row[2].ToString().c_str(), row[4].ToString().c_str());
+  return buf;
+}
+
+/// A hard outage on one site: the state machine walks healthy ->
+/// degraded -> suspect as the error streak grows, then — because the
+/// outcome window slides — recovers to healthy once the fault clears.
+void OutageWalk() {
+  PlannerOptions options;
+  options.parallel_execution = false;
+  GlobalSystem gis(options);
+  if (!BuildRetailFederation(&gis, Spec()).ok()) std::abort();
+  gis.set_retry_policy(RetryPolicy::Standard(2, /*seed=*/16));
+  gis.network().InstallFaults(/*seed=*/16, FaultProfile{});
+
+  const std::string probe = "SELECT COUNT(*) FROM sales_site0";
+  std::printf("## hard outage on site0 (every request dropped)\n");
+  std::printf("%-28s %s\n", "before:", StateOf(gis, "site0").c_str());
+  gis.network().faults()->InjectOn("site0", /*opcode=*/-1, FaultKind::kDrop,
+                                   /*count=*/1000);
+  for (int i = 0; i < 6; ++i) (void)gis.Query(probe);
+  std::printf("%-28s %s\n", "during (6 failed probes):",
+              StateOf(gis, "site0").c_str());
+  gis.network().ClearFaults();
+  for (int i = 0; i < 40; ++i) (void)gis.Query(probe);
+  std::printf("%-28s %s\n\n", "after (40 clean probes):",
+              StateOf(gis, "site0").c_str());
+}
+
+}  // namespace
+
+int main() {
+  Header("E16: self-observation — source health under escalating chaos",
+         "a mediator's ops view of autonomous sources it cannot "
+         "introspect, derived entirely from its own RPC stream",
+         "errors/retries/latency rise with intensity; states shift "
+         "healthy -> degraded/suspect; reading gis.* costs zero traffic");
+
+  for (double intensity : {0.0, 0.3, 0.8}) Rung(intensity);
+  OutageWalk();
+
+  // A Prometheus excerpt from the last-rung world shape: rebuilt clean
+  // here so the sample is small and stable.
+  GlobalSystem gis;
+  if (!BuildRetailFederation(&gis, Spec()).ok()) return 1;
+  (void)gis.Query("SELECT COUNT(*) FROM sales");
+  const std::string text = gis.ExportPrometheus();
+  std::printf("## prometheus exposition (first lines)\n");
+  size_t pos = 0;
+  for (int line = 0; line < 12 && pos != std::string::npos; ++line) {
+    const size_t end = text.find('\n', pos);
+    if (end == std::string::npos) break;
+    std::printf("%s\n", text.substr(pos, end - pos).c_str());
+    pos = end + 1;
+  }
+  std::printf("# ... %zu bytes total\n", text.size());
+  return 0;
+}

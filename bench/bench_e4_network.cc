@@ -104,6 +104,16 @@ int main() {
   if (analyzed.ok()) {
     std::printf("%s", analyzed->batch.rows()[0][0].AsString().c_str());
   }
+
+  // What the whole sweep looked like from the mediator's own health
+  // tracker — read through the gis.sources system table (zero traffic).
+  std::printf("\n-- gis.sources after the sweep\n");
+  auto health = gis->Query(
+      "SELECT source, state, requests, errors, ewma_ms, p95_ms "
+      "FROM gis.sources ORDER BY source");
+  if (health.ok()) {
+    std::printf("%s", health->batch.ToString().c_str());
+  }
   delete gis;
   return 0;
 }

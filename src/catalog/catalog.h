@@ -24,6 +24,8 @@
 
 namespace gisql {
 
+class SystemTableProvider;
+
 /// \brief One registered component information system.
 struct SourceInfo {
   std::string name;  ///< network host name
@@ -99,6 +101,20 @@ class Catalog {
   std::vector<std::string> ViewNames() const;
   /// @}
 
+  /// \name System tables
+  ///
+  /// The `gis.*` virtual tables (catalog/system_tables.h) resolve
+  /// through a provider installed here; the planner consults it for
+  /// names under the reserved `gis.` prefix before ordinary tables and
+  /// views. Not owned; the installer (GlobalSystem) guarantees the
+  /// provider outlives the catalog.
+  /// @{
+  void RegisterSystemTableProvider(const SystemTableProvider* provider) {
+    system_tables_ = provider;
+  }
+  const SystemTableProvider* system_tables() const { return system_tables_; }
+  /// @}
+
   /// \brief Renders the whole global schema (EXPLAIN CATALOG style).
   std::string ToString() const;
 
@@ -110,6 +126,7 @@ class Catalog {
   std::map<std::string, SourceInfo> sources_;
   std::map<std::string, TableMapping> tables_;
   std::map<std::string, GlobalView> views_;
+  const SystemTableProvider* system_tables_ = nullptr;
 };
 
 }  // namespace gisql

@@ -1,0 +1,75 @@
+#include "catalog/system_tables.h"
+
+#include "common/string_util.h"
+
+namespace gisql {
+
+bool IsSystemTableName(const std::string& name) {
+  const std::string lower = ToLower(name);
+  const std::string prefix = kSystemTablePrefix;
+  return lower.size() > prefix.size() &&
+         lower.compare(0, prefix.size(), prefix) == 0;
+}
+
+std::vector<std::string> SystemTableNames() {
+  return {"gis.histograms", "gis.metrics", "gis.queries", "gis.sources"};
+}
+
+Result<SchemaPtr> SystemTableSchema(const std::string& name) {
+  const std::string lower = ToLower(name);
+  if (lower == "gis.sources") {
+    return std::make_shared<Schema>(std::vector<Field>{
+        {"source", TypeId::kString, false},
+        {"state", TypeId::kString, false},
+        {"requests", TypeId::kInt64, false},
+        {"errors", TypeId::kInt64, false},
+        {"retries", TypeId::kInt64, false},
+        {"consecutive_failures", TypeId::kInt64, false},
+        {"bytes_sent", TypeId::kInt64, false},
+        {"bytes_received", TypeId::kInt64, false},
+        {"ewma_ms", TypeId::kDouble, false},
+        {"p95_ms", TypeId::kDouble, false},
+        {"last_error", TypeId::kString, false},
+    });
+  }
+  if (lower == "gis.metrics") {
+    return std::make_shared<Schema>(std::vector<Field>{
+        {"registry", TypeId::kString, false},
+        {"name", TypeId::kString, false},
+        {"kind", TypeId::kString, false},
+        {"value", TypeId::kDouble, false},
+    });
+  }
+  if (lower == "gis.histograms") {
+    return std::make_shared<Schema>(std::vector<Field>{
+        {"registry", TypeId::kString, false},
+        {"name", TypeId::kString, false},
+        {"count", TypeId::kInt64, false},
+        {"sum", TypeId::kDouble, false},
+        {"min", TypeId::kDouble, false},
+        {"max", TypeId::kDouble, false},
+        {"p50", TypeId::kDouble, false},
+        {"p95", TypeId::kDouble, false},
+        {"p99", TypeId::kDouble, false},
+    });
+  }
+  if (lower == "gis.queries") {
+    return std::make_shared<Schema>(std::vector<Field>{
+        {"id", TypeId::kInt64, false},
+        {"sql", TypeId::kString, false},
+        {"elapsed_ms", TypeId::kDouble, false},
+        {"bytes_sent", TypeId::kInt64, false},
+        {"bytes_received", TypeId::kInt64, false},
+        {"messages", TypeId::kInt64, false},
+        {"retries", TypeId::kInt64, false},
+        {"cache_hit", TypeId::kBool, false},
+        {"rows", TypeId::kInt64, false},
+        {"trace_root", TypeId::kInt64, false},
+    });
+  }
+  return Status::NotFound("'", name, "' is not a system table (known: ",
+                          "gis.sources, gis.metrics, gis.histograms, "
+                          "gis.queries)");
+}
+
+}  // namespace gisql

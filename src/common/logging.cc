@@ -1,10 +1,36 @@
 #include "common/logging.h"
 
+#include <cstdlib>
+#include <cstring>
+
 namespace gisql {
 
 Logger& Logger::Instance() {
   static Logger logger;
   return logger;
+}
+
+Logger::Logger() : level_(LogLevelFromEnv(LogLevel::kWarn)) {}
+
+LogLevel ParseLogLevel(const char* text, LogLevel fallback) {
+  if (text == nullptr) return fallback;
+  std::string upper;
+  for (const char* p = text; *p; ++p) {
+    upper.push_back(*p >= 'a' && *p <= 'z'
+                        ? static_cast<char>(*p - 'a' + 'A')
+                        : *p);
+  }
+  if (upper == "TRACE") return LogLevel::kTrace;
+  if (upper == "DEBUG") return LogLevel::kDebug;
+  if (upper == "INFO") return LogLevel::kInfo;
+  if (upper == "WARN" || upper == "WARNING") return LogLevel::kWarn;
+  if (upper == "ERROR") return LogLevel::kError;
+  if (upper == "OFF" || upper == "NONE") return LogLevel::kOff;
+  return fallback;
+}
+
+LogLevel LogLevelFromEnv(LogLevel fallback) {
+  return ParseLogLevel(std::getenv("GISQL_LOG_LEVEL"), fallback);
 }
 
 const char* LogLevelName(LogLevel level) {

@@ -20,6 +20,12 @@ enum class LogLevel : int {
 };
 
 /// \brief Process-global logging configuration.
+///
+/// The threshold defaults to kWarn and can be set programmatically or —
+/// at first use — via the GISQL_LOG_LEVEL environment variable
+/// (TRACE/DEBUG/INFO/WARN/ERROR/OFF, case-insensitive; unrecognized
+/// values keep the default). Every emitted line is tagged with its
+/// level name.
 class Logger {
  public:
   static Logger& Instance();
@@ -31,12 +37,21 @@ class Logger {
   void Log(LogLevel level, const std::string& msg);
 
  private:
-  Logger() = default;
+  Logger();
   LogLevel level_ = LogLevel::kWarn;
   std::mutex mu_;
 };
 
 const char* LogLevelName(LogLevel level);
+
+/// \brief Parses a level name (case-insensitive: "trace", "DEBUG",
+/// "Info", "warn", "error", "off"); `fallback` when `text` is null or
+/// unrecognized.
+LogLevel ParseLogLevel(const char* text, LogLevel fallback);
+
+/// \brief The level named by GISQL_LOG_LEVEL, or `fallback` when the
+/// variable is unset or unrecognized.
+LogLevel LogLevelFromEnv(LogLevel fallback);
 
 namespace internal {
 

@@ -1,0 +1,71 @@
+#include "common/metrics.h"
+
+#include <cstdio>
+#include <sstream>
+
+namespace gisql {
+
+namespace {
+
+/// Prometheus metric names admit [a-zA-Z0-9_:]; we map everything else
+/// (dots in `net.rpc_ms`, per-host suffixes) to '_'.
+std::string SanitizeMetricName(const std::string& prefix,
+                               const std::string& name) {
+  std::string out = prefix;
+  out.reserve(prefix.size() + 1 + name.size());
+  out.push_back('_');
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_';
+    out.push_back(ok ? c : '_');
+  }
+  return out;
+}
+
+/// Shortest round-trippable rendering; Prometheus accepts Go-style
+/// floats, and %.17g is lossless for doubles.
+std::string FormatSample(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+}  // namespace
+
+std::string MetricsRegistry::ExportPrometheus(
+    const std::string& prefix) const {
+  const MetricsSnapshot snap = SnapshotAll();
+  std::ostringstream out;
+
+  for (const auto& [name, value] : snap.counters) {
+    const std::string n = SanitizeMetricName(prefix, name);
+    out << "# TYPE " << n << " counter\n";
+    out << n << " " << value << "\n";
+  }
+  for (const auto& [name, value] : snap.gauges) {
+    const std::string n = SanitizeMetricName(prefix, name);
+    out << "# TYPE " << n << " gauge\n";
+    out << n << " " << FormatSample(value) << "\n";
+  }
+  for (const auto& [name, hist] : snap.histograms) {
+    const std::string n = SanitizeMetricName(prefix, name);
+    out << "# TYPE " << n << " histogram\n";
+    // Cumulative buckets. The log-scale histogram has 96 bounded
+    // buckets plus overflow; emitting only the buckets whose cumulative
+    // count changes (plus the mandatory +Inf) keeps the exposition
+    // compact while remaining a valid monotone series.
+    int64_t cumulative = 0;
+    for (int i = 0; i < Histogram::kBuckets; ++i) {
+      if (hist.bucket(i) == 0) continue;
+      cumulative += hist.bucket(i);
+      out << n << "_bucket{le=\"" << FormatSample(Histogram::UpperBound(i))
+          << "\"} " << cumulative << "\n";
+    }
+    out << n << "_bucket{le=\"+Inf\"} " << hist.count() << "\n";
+    out << n << "_sum " << FormatSample(hist.sum()) << "\n";
+    out << n << "_count " << hist.count() << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace gisql

@@ -43,6 +43,10 @@ class Histogram {
   double min() const { return count_ > 0 ? min_ : 0.0; }
   double max() const { return count_ > 0 ? max_ : 0.0; }
 
+  /// \brief Raw count of bucket `i` in [0, kBuckets] (the last bucket
+  /// catches overflow) — the input for cumulative `le` exposition.
+  int64_t bucket(int i) const { return buckets_[i]; }
+
   /// \brief Estimated value at quantile `q` in [0, 1].
   double Percentile(double q) const {
     if (count_ == 0) return 0.0;
@@ -91,6 +95,30 @@ struct HistogramSnapshot {
   double p99 = 0.0;
 };
 
+/// \brief Digest of `h` (count/sum/min/max/p50/p95/p99).
+inline HistogramSnapshot DigestHistogram(const Histogram& h) {
+  HistogramSnapshot snap;
+  snap.count = h.count();
+  snap.sum = h.sum();
+  snap.min = h.min();
+  snap.max = h.max();
+  snap.p50 = h.Percentile(0.50);
+  snap.p95 = h.Percentile(0.95);
+  snap.p99 = h.Percentile(0.99);
+  return snap;
+}
+
+/// \brief One coherent view of a whole registry, taken under a single
+/// lock acquisition so cross-metric invariants hold (e.g. a query's
+/// `query.count` increment and its `query.ms` observation are either
+/// both visible or both absent). Histograms are full copies, not
+/// digests, so exporters can emit bucket-level detail.
+struct MetricsSnapshot {
+  std::map<std::string, int64_t> counters;
+  std::map<std::string, double> gauges;
+  std::map<std::string, Histogram> histograms;
+};
+
 /// \brief A registry of named monotonic counters and last-value gauges.
 ///
 /// Thread-safe. Each GlobalSystem / SimNetwork owns its own registry so
@@ -130,18 +158,9 @@ class MetricsRegistry {
   /// zeros when nothing was observed under `name`.
   HistogramSnapshot SnapshotHistogram(const std::string& name) const {
     std::lock_guard<std::mutex> lock(mu_);
-    HistogramSnapshot snap;
     auto it = histograms_.find(name);
-    if (it == histograms_.end()) return snap;
-    const Histogram& h = it->second;
-    snap.count = h.count();
-    snap.sum = h.sum();
-    snap.min = h.min();
-    snap.max = h.max();
-    snap.p50 = h.Percentile(0.50);
-    snap.p95 = h.Percentile(0.95);
-    snap.p99 = h.Percentile(0.99);
-    return snap;
+    return it == histograms_.end() ? HistogramSnapshot{}
+                                   : DigestHistogram(it->second);
   }
 
   void Reset() {
@@ -151,11 +170,29 @@ class MetricsRegistry {
     histograms_.clear();
   }
 
-  /// \brief Snapshot of all counters (for reporting).
-  std::map<std::string, int64_t> Counters() const {
+  /// \brief Atomic multi-metric snapshot: counters, gauges, and
+  /// histograms copied under one lock acquisition, so readers never see
+  /// a torn cross-metric view while writers are active.
+  MetricsSnapshot SnapshotAll() const {
     std::lock_guard<std::mutex> lock(mu_);
-    return counters_;
+    return MetricsSnapshot{counters_, gauges_, histograms_};
   }
+
+  /// \brief Snapshot of all counters (for reporting). Coherent with the
+  /// gauges/histograms of the same instant via SnapshotAll().
+  std::map<std::string, int64_t> Counters() const {
+    return SnapshotAll().counters;
+  }
+
+  /// \brief Renders the whole registry in the Prometheus text
+  /// exposition format: `# TYPE` headers, counter/gauge samples, and
+  /// per-histogram cumulative `_bucket{le="..."}` series ending in
+  /// `le="+Inf"` plus `_sum`/`_count`. Metric names are prefixed with
+  /// `<prefix>_` and sanitized (every character outside [a-zA-Z0-9_]
+  /// becomes '_'), so `net.rpc_ms` exports as `<prefix>_net_rpc_ms`.
+  /// The output is deterministic: one coherent SnapshotAll() view,
+  /// names in sorted order.
+  std::string ExportPrometheus(const std::string& prefix = "gisql") const;
 
  private:
   mutable std::mutex mu_;

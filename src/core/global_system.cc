@@ -31,7 +31,12 @@ Result<std::vector<uint8_t>> RetriedCall(SimNetwork& net,
 }  // namespace
 
 GlobalSystem::GlobalSystem(PlannerOptions options)
-    : options_(options) {}
+    : options_(options) {
+  network_.set_rpc_observer(&health_);
+  system_catalog_ = std::make_unique<SystemCatalog>(
+      &health_, &metrics_, &network_.metrics(), &query_log_, &catalog_);
+  catalog_.RegisterSystemTableProvider(system_catalog_.get());
+}
 
 ThreadPool* GlobalSystem::WorkerPool() {
   if (!options_.parallel_execution) return nullptr;
@@ -223,6 +228,48 @@ Status GlobalSystem::ExecuteAtomically(
   return Status::OK();
 }
 
+std::string GlobalSystem::ExportPrometheus() const {
+  // Two registries under distinct prefixes (their metric names overlap
+  // only accidentally, but Prometheus forbids re-declaring a name), then
+  // labeled per-source health series.
+  std::string out = metrics_.ExportPrometheus("gisql");
+  out += network_.metrics().ExportPrometheus("gisql_net");
+
+  const auto sources = health_.Snapshot();
+  auto series = [&out, &sources](const std::string& name, const char* type,
+                                 auto value_of) {
+    if (sources.empty()) return;
+    out += "# TYPE " + name + " " + type + "\n";
+    for (const auto& s : sources) {
+      out += name + "{source=\"" + s.source + "\"} " + value_of(s) + "\n";
+    }
+  };
+  series("gisql_source_state", "gauge", [](const SourceHealthSnapshot& s) {
+    return std::to_string(static_cast<int>(s.state));
+  });
+  series("gisql_source_requests_total", "counter",
+         [](const SourceHealthSnapshot& s) {
+           return std::to_string(s.requests);
+         });
+  series("gisql_source_errors_total", "counter",
+         [](const SourceHealthSnapshot& s) {
+           return std::to_string(s.errors);
+         });
+  series("gisql_source_retries_total", "counter",
+         [](const SourceHealthSnapshot& s) {
+           return std::to_string(s.retries);
+         });
+  series("gisql_source_ewma_latency_ms", "gauge",
+         [](const SourceHealthSnapshot& s) {
+           return std::to_string(s.ewma_ms);
+         });
+  series("gisql_source_p95_latency_ms", "gauge",
+         [](const SourceHealthSnapshot& s) {
+           return std::to_string(s.p95_ms);
+         });
+  return out;
+}
+
 void GlobalSystem::EnableResultCache(size_t max_entries) {
   cache_ = std::make_unique<QueryCache>(max_entries);
   cache_->set_metrics(&metrics_);
@@ -240,6 +287,7 @@ ExecContext GlobalSystem::MakeExecContext() {
   ExecContext ctx;
   ctx.net = &network_;
   ctx.mediator_host = kMediatorHost;
+  ctx.system_tables = system_catalog_.get();
   ctx.mediator_cpu_us_per_row = options_.mediator_cpu_us_per_row;
   ctx.semijoin_max_keys = options_.semijoin_max_keys;
   ctx.parallel_execution = options_.parallel_execution;
@@ -383,6 +431,16 @@ Result<QueryResult> GlobalSystem::Query(const std::string& sql) {
         tr->End(exec_span, out.elapsed_ms);
         tr->End(root, out.elapsed_ms);
       }
+      QueryLogEntry entry;
+      entry.sql = sql;
+      entry.elapsed_ms = out.elapsed_ms;
+      entry.bytes_sent = result.metrics.bytes_sent;
+      entry.bytes_received = result.metrics.bytes_received;
+      entry.messages = result.metrics.messages;
+      entry.retries = result.metrics.retries;
+      entry.rows = static_cast<int64_t>(out.batch.num_rows());
+      entry.trace_root = static_cast<int64_t>(root);
+      query_log_.Append(std::move(entry));
       return result;
     }
     case sql::Statement::Kind::kSelect:
@@ -395,10 +453,18 @@ Result<QueryResult> GlobalSystem::Query(const std::string& sql) {
 
   GISQL_ASSIGN_OR_RETURN(PlanNodePtr plan, PlanQuery(*stmt.select, tr, root));
 
+  // gis.* snapshots change between executions by design, so any plan
+  // touching one must bypass the result cache entirely.
+  bool has_system_scan = false;
+  VisitPlan(plan, [&](const PlanNodePtr& node) {
+    if (node->kind == PlanKind::kVirtualScan) has_system_scan = true;
+  });
+  const bool use_cache = cache_ != nullptr && !has_system_scan;
+
   // Result cache: the decomposed plan's canonical text identifies the
   // computation (fragments, strategies, planner options all shape it).
-  const std::string cache_key = cache_ ? plan->Explain() : std::string();
-  if (cache_) {
+  const std::string cache_key = use_cache ? plan->Explain() : std::string();
+  if (use_cache) {
     const uint64_t lookup =
         tr != nullptr ? tr->Begin("cache.lookup", "lifecycle", root, 0.0) : 0;
     auto cached = cache_->Lookup(cache_key);
@@ -422,6 +488,12 @@ Result<QueryResult> GlobalSystem::Query(const std::string& sql) {
         tr->SetRows(root, static_cast<int64_t>(result.batch.num_rows()));
         tr->End(root, 0.0);
       }
+      QueryLogEntry entry;
+      entry.sql = sql;
+      entry.cache_hit = true;
+      entry.rows = static_cast<int64_t>(result.batch.num_rows());
+      entry.trace_root = static_cast<int64_t>(root);
+      query_log_.Append(std::move(entry));
       return result;
     }
   }
@@ -453,7 +525,7 @@ Result<QueryResult> GlobalSystem::Query(const std::string& sql) {
     tr->End(exec_span, out.elapsed_ms);
   }
 
-  if (cache_) {
+  if (use_cache) {
     if (tr != nullptr) {
       tr->Begin("cache.insert", "lifecycle", root, out.elapsed_ms);
     }
@@ -470,6 +542,20 @@ Result<QueryResult> GlobalSystem::Query(const std::string& sql) {
                    std::move(sources));
   }
   if (tr != nullptr) tr->End(root, out.elapsed_ms);
+
+  // The entry is appended only after execution, so a gis.queries scan
+  // never observes the query currently running it (deterministic
+  // snapshots regardless of when mid-plan operators fire).
+  QueryLogEntry entry;
+  entry.sql = sql;
+  entry.elapsed_ms = result.metrics.elapsed_ms;
+  entry.bytes_sent = result.metrics.bytes_sent;
+  entry.bytes_received = result.metrics.bytes_received;
+  entry.messages = result.metrics.messages;
+  entry.retries = result.metrics.retries;
+  entry.rows = static_cast<int64_t>(result.batch.num_rows());
+  entry.trace_root = static_cast<int64_t>(root);
+  query_log_.Append(std::move(entry));
   return result;
 }
 

@@ -25,6 +25,9 @@
 #include "common/retry_policy.h"
 #include "common/trace.h"
 #include "core/query_cache.h"
+#include "core/query_log.h"
+#include "core/source_health.h"
+#include "core/system_catalog.h"
 #include "exec/executor.h"
 #include "net/sim_network.h"
 #include "planner/options.h"
@@ -169,6 +172,25 @@ class GlobalSystem {
   MetricsRegistry& metrics() { return metrics_; }
   const MetricsRegistry& metrics() const { return metrics_; }
 
+  /// \name Self-observation
+  ///
+  /// The mediator watches its own traffic: every RPC attempt feeds the
+  /// per-source health tracker, every executed query lands in the
+  /// bounded query log, and all of it is queryable as the `gis.*`
+  /// system tables (gis.sources, gis.metrics, gis.histograms,
+  /// gis.queries) through the ordinary SQL pipeline — zero network
+  /// cost, so observing never perturbs the experiment.
+  /// @{
+  SourceHealthTracker& health() { return health_; }
+  const SourceHealthTracker& health() const { return health_; }
+  const QueryLog& query_log() const { return query_log_; }
+
+  /// \brief Prometheus text exposition of the whole system: the
+  /// mediator registry, the network registry, and labeled per-source
+  /// health series (gisql_source_state/requests/errors/...).
+  std::string ExportPrometheus() const;
+  /// @}
+
   void set_options(const PlannerOptions& options) { options_ = options; }
   const PlannerOptions& options() const { return options_; }
 
@@ -216,9 +238,14 @@ class GlobalSystem {
 
   PlannerOptions options_;
   RetryPolicy retry_policy_ = RetryPolicy::NoRetry();
+  // health_ precedes network_ so the network (which holds a raw
+  // observer pointer into it) is destroyed first.
+  SourceHealthTracker health_;
   SimNetwork network_;
   Catalog catalog_;
   std::vector<ComponentSourcePtr> sources_;
+  QueryLog query_log_;
+  std::unique_ptr<SystemCatalog> system_catalog_;
   std::unique_ptr<QueryCache> cache_;
   std::unique_ptr<ThreadPool> pool_;
   std::unique_ptr<TraceCollector> trace_;

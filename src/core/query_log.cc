@@ -1,0 +1,31 @@
+#include "core/query_log.h"
+
+namespace gisql {
+
+void QueryLog::Append(QueryLogEntry entry) {
+  std::lock_guard<std::mutex> lock(mu_);
+  entry.id = next_id_++;
+  if (ring_.size() < capacity_) {
+    ring_.push_back(std::move(entry));
+    return;
+  }
+  ring_[head_] = std::move(entry);
+  head_ = (head_ + 1) % capacity_;
+}
+
+std::vector<QueryLogEntry> QueryLog::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<QueryLogEntry> out;
+  out.reserve(ring_.size());
+  for (size_t i = 0; i < ring_.size(); ++i) {
+    out.push_back(ring_[(head_ + i) % ring_.size()]);
+  }
+  return out;
+}
+
+int64_t QueryLog::total_appended() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return next_id_ - 1;
+}
+
+}  // namespace gisql

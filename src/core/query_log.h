@@ -1,0 +1,64 @@
+/// \file query_log.h
+/// \brief Bounded ring buffer of recently executed queries, backing the
+/// `gis.queries` system table.
+///
+/// GlobalSystem::Query appends one entry per *executed* statement
+/// (SELECT and EXPLAIN ANALYZE, including cache hits; plain EXPLAIN
+/// never executes and is not logged). The buffer keeps the most recent
+/// `capacity` entries; ids are monotonically increasing across the
+/// system's lifetime, so `SELECT MAX(id) FROM gis.queries` counts total
+/// executed queries even after eviction.
+
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace gisql {
+
+/// \brief One logged query: the statement plus its accounting (all from
+/// the simulation, fully deterministic).
+struct QueryLogEntry {
+  int64_t id = 0;               ///< 1-based, monotonically increasing
+  std::string sql;              ///< statement text as submitted
+  double elapsed_ms = 0.0;      ///< simulated end-to-end latency
+  int64_t bytes_sent = 0;
+  int64_t bytes_received = 0;
+  int64_t messages = 0;
+  int64_t retries = 0;
+  bool cache_hit = false;
+  int64_t rows = 0;             ///< result rows returned
+  int64_t trace_root = 0;       ///< root span id (0 when tracing is off)
+};
+
+/// \brief Thread-safe fixed-capacity ring of QueryLogEntry.
+class QueryLog {
+ public:
+  static constexpr size_t kDefaultCapacity = 256;
+
+  explicit QueryLog(size_t capacity = kDefaultCapacity)
+      : capacity_(capacity == 0 ? 1 : capacity) {}
+
+  /// \brief Appends one entry, assigning its id; evicts the oldest
+  /// entry once the ring is full.
+  void Append(QueryLogEntry entry);
+
+  /// \brief Retained entries, oldest first.
+  std::vector<QueryLogEntry> Snapshot() const;
+
+  size_t capacity() const { return capacity_; }
+
+  /// \brief Entries ever appended (ids run 1..total_appended()).
+  int64_t total_appended() const;
+
+ private:
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  int64_t next_id_ = 1;
+  std::vector<QueryLogEntry> ring_;  ///< grows to capacity_, then wraps
+  size_t head_ = 0;                  ///< index of the oldest entry
+};
+
+}  // namespace gisql

@@ -1,0 +1,118 @@
+#include "core/source_health.h"
+
+#include <algorithm>
+
+namespace gisql {
+
+const char* SourceHealthStateName(SourceHealthState state) {
+  switch (state) {
+    case SourceHealthState::kHealthy: return "healthy";
+    case SourceHealthState::kDegraded: return "degraded";
+    case SourceHealthState::kSuspect: return "suspect";
+  }
+  return "?";
+}
+
+void SourceHealthTracker::OnRpcAttempt(const std::string& from,
+                                       const std::string& to, uint8_t opcode,
+                                       const RpcAttempt& attempt) {
+  (void)from;
+  (void)opcode;
+  std::lock_guard<std::mutex> lock(mu_);
+  PerSource& s = sources_[to];
+  ++s.requests;
+  s.bytes_sent += attempt.bytes_sent;
+  s.bytes_received += attempt.bytes_received;
+  s.latency.Observe(attempt.elapsed_ms);
+  s.ewma_ms = s.requests == 1
+                  ? attempt.elapsed_ms
+                  : kEwmaAlpha * attempt.elapsed_ms +
+                        (1.0 - kEwmaAlpha) * s.ewma_ms;
+  const bool failed = !attempt.ok();
+  if (failed) {
+    ++s.errors;
+    ++s.consecutive_failures;
+    s.last_error = attempt.status.message();
+  } else {
+    s.consecutive_failures = 0;
+  }
+  s.recent_errors.push_back(failed);
+  while (s.recent_errors.size() > kRecentWindow) s.recent_errors.pop_front();
+}
+
+void SourceHealthTracker::OnRetry(const std::string& to) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++sources_[to].retries;
+}
+
+SourceHealthState SourceHealthTracker::DeriveState(const PerSource& s) {
+  if (s.consecutive_failures >= kSuspectStreak) {
+    return SourceHealthState::kSuspect;
+  }
+  if (s.consecutive_failures >= kDegradedStreak) {
+    return SourceHealthState::kDegraded;
+  }
+  if (s.recent_errors.size() >= kRatioMinSamples) {
+    const auto failed = static_cast<double>(std::count(
+        s.recent_errors.begin(), s.recent_errors.end(), true));
+    if (failed / static_cast<double>(s.recent_errors.size()) >=
+        kDegradedErrorRatio) {
+      return SourceHealthState::kDegraded;
+    }
+  }
+  return SourceHealthState::kHealthy;
+}
+
+SourceHealthSnapshot SourceHealthTracker::MakeSnapshot(
+    const std::string& name, const PerSource& s) {
+  SourceHealthSnapshot snap;
+  snap.source = name;
+  snap.state = DeriveState(s);
+  snap.requests = s.requests;
+  snap.errors = s.errors;
+  snap.retries = s.retries;
+  snap.consecutive_failures = s.consecutive_failures;
+  snap.bytes_sent = s.bytes_sent;
+  snap.bytes_received = s.bytes_received;
+  snap.ewma_ms = s.ewma_ms;
+  snap.p95_ms = s.latency.Percentile(0.95);
+  snap.last_error = s.last_error;
+  return snap;
+}
+
+std::vector<SourceHealthSnapshot> SourceHealthTracker::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<SourceHealthSnapshot> out;
+  out.reserve(sources_.size());
+  for (const auto& [name, s] : sources_) {
+    out.push_back(MakeSnapshot(name, s));
+  }
+  return out;
+}
+
+SourceHealthSnapshot SourceHealthTracker::SnapshotOf(
+    const std::string& source) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = sources_.find(source);
+  if (it == sources_.end()) {
+    SourceHealthSnapshot snap;
+    snap.source = source;
+    return snap;
+  }
+  return MakeSnapshot(source, it->second);
+}
+
+SourceHealthState SourceHealthTracker::StateOf(
+    const std::string& source) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = sources_.find(source);
+  return it == sources_.end() ? SourceHealthState::kHealthy
+                              : DeriveState(it->second);
+}
+
+void SourceHealthTracker::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  sources_.clear();
+}
+
+}  // namespace gisql

@@ -1,0 +1,137 @@
+/// \file source_health.h
+/// \brief Per-source health accounting for the mediator.
+///
+/// Component information systems are autonomous: they fail, restart,
+/// and degrade independently of the mediator, and the 1989 setting
+/// gives the mediator no channel into their internals. What it *can*
+/// observe is its own traffic — every RPC attempt, with its simulated
+/// latency, byte counts, and injected fault, flows through
+/// SimNetwork::CallAttempt. The SourceHealthTracker hangs off that
+/// choke point (as an RpcObserver) and maintains, per source:
+///
+///  * request / error / retry counters and bytes in/out;
+///  * an EWMA of attempt latency plus a log-scale latency histogram
+///    (the same sqrt(2) buckets as the registry histograms) for p95;
+///  * the current consecutive-failure streak and a sliding window of
+///    recent outcomes;
+///  * a derived state — healthy / degraded / suspect — from documented
+///    streak and error-ratio thresholds (DESIGN.md "Source health").
+///
+/// Everything is driven by the simulated clock and the deterministic
+/// fault schedule, so chaos runs produce identical health transitions
+/// for identical seeds. Ingestion is serialized under one mutex; with
+/// worker-pool execution, attempts against *different* sources may be
+/// recorded in a different global order, but per-source sequences (the
+/// only order EWMA and streaks depend on) are determined by the
+/// per-link message sequence, which is interleaving-independent.
+///
+/// The tracker feeds the `gis.sources` system table and the health
+/// series of GlobalSystem::ExportPrometheus(); the derived state is
+/// the hook health-aware fragment placement will consume.
+
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/metrics.h"
+#include "net/sim_network.h"
+
+namespace gisql {
+
+/// \brief Derived health of one component source.
+enum class SourceHealthState : uint8_t {
+  kHealthy = 0,   ///< no streak, error ratio under threshold
+  kDegraded = 1,  ///< short failure streak or elevated recent error ratio
+  kSuspect = 2,   ///< sustained failure streak; likely down
+};
+
+const char* SourceHealthStateName(SourceHealthState state);
+
+/// \brief Point-in-time view of one source's health (one `gis.sources`
+/// row).
+struct SourceHealthSnapshot {
+  std::string source;
+  SourceHealthState state = SourceHealthState::kHealthy;
+  int64_t requests = 0;       ///< RPC attempts observed (retries included)
+  int64_t errors = 0;         ///< attempts that failed (any status)
+  int64_t retries = 0;        ///< backoff retries spent against this source
+  int64_t consecutive_failures = 0;
+  int64_t bytes_sent = 0;     ///< mediator → source
+  int64_t bytes_received = 0; ///< source → mediator
+  double ewma_ms = 0.0;       ///< EWMA of attempt latency (simulated ms)
+  double p95_ms = 0.0;        ///< p95 attempt latency (simulated ms)
+  std::string last_error;     ///< most recent failure message ("" if none)
+};
+
+/// \brief Thread-safe per-source health accounting, fed by the
+/// simulated network's attempt stream.
+class SourceHealthTracker : public RpcObserver {
+ public:
+  /// \name Health model parameters (documented in DESIGN.md)
+  /// @{
+
+  /// EWMA smoothing: ewma' = alpha * sample + (1 - alpha) * ewma.
+  static constexpr double kEwmaAlpha = 0.2;
+  /// Streak entering `degraded`: two back-to-back failures are already
+  /// past the single-blip noise floor under a deterministic transport.
+  static constexpr int64_t kDegradedStreak = 2;
+  /// Streak entering `suspect`: five back-to-back failures outlast any
+  /// default outage window in the chaos profile.
+  static constexpr int64_t kSuspectStreak = 5;
+  /// Recent-outcome window (attempts) for the error-ratio rule; a
+  /// bounded window lets a source *recover* to healthy once the faulty
+  /// period ages out, which cumulative counters never would.
+  static constexpr size_t kRecentWindow = 32;
+  /// Minimum samples in the window before the ratio rule can fire.
+  static constexpr size_t kRatioMinSamples = 8;
+  /// Window error ratio at or above which the source is `degraded`.
+  static constexpr double kDegradedErrorRatio = 0.25;
+  /// @}
+
+  void OnRpcAttempt(const std::string& from, const std::string& to,
+                    uint8_t opcode, const RpcAttempt& attempt) override;
+  void OnRetry(const std::string& to) override;
+
+  /// \brief Health rows for every observed source, sorted by name.
+  /// Sources the mediator never called are absent (the `gis.sources`
+  /// provider merges in catalog-registered sources with zero traffic).
+  std::vector<SourceHealthSnapshot> Snapshot() const;
+
+  /// \brief One source's snapshot (zeros/healthy when never observed).
+  SourceHealthSnapshot SnapshotOf(const std::string& source) const;
+
+  /// \brief Current derived state of `source` (healthy when unknown).
+  SourceHealthState StateOf(const std::string& source) const;
+
+  /// \brief Drops all accumulated state (bench sweeps reset between
+  /// rungs the way they reset metrics registries).
+  void Reset();
+
+ private:
+  struct PerSource {
+    int64_t requests = 0;
+    int64_t errors = 0;
+    int64_t retries = 0;
+    int64_t consecutive_failures = 0;
+    int64_t bytes_sent = 0;
+    int64_t bytes_received = 0;
+    double ewma_ms = 0.0;
+    Histogram latency;
+    std::deque<bool> recent_errors;  ///< sliding outcome window
+    std::string last_error;
+  };
+
+  static SourceHealthState DeriveState(const PerSource& s);
+  static SourceHealthSnapshot MakeSnapshot(const std::string& name,
+                                           const PerSource& s);
+
+  mutable std::mutex mu_;
+  std::map<std::string, PerSource> sources_;
+};
+
+}  // namespace gisql

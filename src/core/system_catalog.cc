@@ -1,0 +1,112 @@
+#include "core/system_catalog.h"
+
+#include <algorithm>
+#include <set>
+#include <utility>
+
+#include "common/string_util.h"
+
+namespace gisql {
+
+namespace {
+
+/// Appends every counter/gauge (and in the histograms case, digest) of
+/// one registry snapshot, labeled with the registry name. The snapshot
+/// maps are sorted, so emission order is deterministic.
+void AppendMetricRows(const std::string& registry, const MetricsSnapshot& snap,
+                      RowBatch* out) {
+  for (const auto& [name, value] : snap.counters) {
+    out->Append({Value::String(registry), Value::String(name),
+                 Value::String("counter"),
+                 Value::Double(static_cast<double>(value))});
+  }
+  for (const auto& [name, value] : snap.gauges) {
+    out->Append({Value::String(registry), Value::String(name),
+                 Value::String("gauge"), Value::Double(value)});
+  }
+}
+
+void AppendHistogramRows(const std::string& registry,
+                         const MetricsSnapshot& snap, RowBatch* out) {
+  for (const auto& [name, hist] : snap.histograms) {
+    const HistogramSnapshot d = DigestHistogram(hist);
+    out->Append({Value::String(registry), Value::String(name),
+                 Value::Int(d.count), Value::Double(d.sum),
+                 Value::Double(d.min), Value::Double(d.max),
+                 Value::Double(d.p50), Value::Double(d.p95),
+                 Value::Double(d.p99)});
+  }
+}
+
+}  // namespace
+
+bool SystemCatalog::HasTable(const std::string& name) const {
+  const auto names = SystemTableNames();
+  return std::find(names.begin(), names.end(), ToLower(name)) != names.end();
+}
+
+Result<SchemaPtr> SystemCatalog::TableSchema(const std::string& name) const {
+  return SystemTableSchema(name);
+}
+
+std::vector<std::string> SystemCatalog::TableNames() const {
+  return SystemTableNames();
+}
+
+Result<RowBatch> SystemCatalog::Snapshot(const std::string& name) const {
+  const std::string lower = ToLower(name);
+  if (lower == "gis.sources") return SnapshotSources();
+  if (lower == "gis.metrics") return SnapshotMetrics();
+  if (lower == "gis.histograms") return SnapshotHistograms();
+  if (lower == "gis.queries") return SnapshotQueries();
+  const auto schema = SystemTableSchema(name);
+  return schema.status();  // NotFound with the known-table list
+}
+
+RowBatch SystemCatalog::SnapshotSources() const {
+  RowBatch batch(SystemTableSchema("gis.sources").ValueUnsafe());
+  // Every catalog-registered source gets a row even with zero traffic;
+  // observed-but-unregistered hosts (none today) would also appear.
+  std::set<std::string> names;
+  for (const auto& n : catalog_->SourceNames()) names.insert(n);
+  for (const auto& snap : health_->Snapshot()) names.insert(snap.source);
+  for (const auto& n : names) {
+    const SourceHealthSnapshot s = health_->SnapshotOf(n);
+    batch.Append({Value::String(n),
+                  Value::String(SourceHealthStateName(s.state)),
+                  Value::Int(s.requests), Value::Int(s.errors),
+                  Value::Int(s.retries), Value::Int(s.consecutive_failures),
+                  Value::Int(s.bytes_sent), Value::Int(s.bytes_received),
+                  Value::Double(s.ewma_ms), Value::Double(s.p95_ms),
+                  Value::String(s.last_error)});
+  }
+  return batch;
+}
+
+RowBatch SystemCatalog::SnapshotMetrics() const {
+  RowBatch batch(SystemTableSchema("gis.metrics").ValueUnsafe());
+  AppendMetricRows("mediator", mediator_metrics_->SnapshotAll(), &batch);
+  AppendMetricRows("network", network_metrics_->SnapshotAll(), &batch);
+  return batch;
+}
+
+RowBatch SystemCatalog::SnapshotHistograms() const {
+  RowBatch batch(SystemTableSchema("gis.histograms").ValueUnsafe());
+  AppendHistogramRows("mediator", mediator_metrics_->SnapshotAll(), &batch);
+  AppendHistogramRows("network", network_metrics_->SnapshotAll(), &batch);
+  return batch;
+}
+
+RowBatch SystemCatalog::SnapshotQueries() const {
+  RowBatch batch(SystemTableSchema("gis.queries").ValueUnsafe());
+  for (const auto& e : query_log_->Snapshot()) {
+    batch.Append({Value::Int(e.id), Value::String(e.sql),
+                  Value::Double(e.elapsed_ms), Value::Int(e.bytes_sent),
+                  Value::Int(e.bytes_received), Value::Int(e.messages),
+                  Value::Int(e.retries), Value::Bool(e.cache_hit),
+                  Value::Int(e.rows), Value::Int(e.trace_root)});
+  }
+  return batch;
+}
+
+}  // namespace gisql

@@ -1,0 +1,53 @@
+/// \file system_catalog.h
+/// \brief The mediator's concrete SystemTableProvider: snapshots the
+/// health tracker, both metrics registries, and the query log into
+/// `gis.*` row batches.
+
+#pragma once
+
+#include "catalog/catalog.h"
+#include "catalog/system_tables.h"
+#include "common/metrics.h"
+#include "core/query_log.h"
+#include "core/source_health.h"
+
+namespace gisql {
+
+/// \brief Serves the built-in `gis.*` tables from live mediator state.
+///
+/// Owned by GlobalSystem, which registers it in the Catalog and threads
+/// it into ExecContext. All referenced state outlives the provider
+/// (they are sibling members of the same GlobalSystem). Snapshots are
+/// deterministically ordered: sources and metric names sort
+/// lexicographically, query-log entries ascend by id.
+class SystemCatalog : public SystemTableProvider {
+ public:
+  SystemCatalog(const SourceHealthTracker* health,
+                const MetricsRegistry* mediator_metrics,
+                const MetricsRegistry* network_metrics,
+                const QueryLog* query_log, const Catalog* catalog)
+      : health_(health),
+        mediator_metrics_(mediator_metrics),
+        network_metrics_(network_metrics),
+        query_log_(query_log),
+        catalog_(catalog) {}
+
+  bool HasTable(const std::string& name) const override;
+  Result<SchemaPtr> TableSchema(const std::string& name) const override;
+  Result<RowBatch> Snapshot(const std::string& name) const override;
+  std::vector<std::string> TableNames() const override;
+
+ private:
+  RowBatch SnapshotSources() const;
+  RowBatch SnapshotMetrics() const;
+  RowBatch SnapshotHistograms() const;
+  RowBatch SnapshotQueries() const;
+
+  const SourceHealthTracker* health_;
+  const MetricsRegistry* mediator_metrics_;
+  const MetricsRegistry* network_metrics_;
+  const QueryLog* query_log_;
+  const Catalog* catalog_;
+};
+
+}  // namespace gisql

@@ -5,6 +5,7 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "catalog/system_tables.h"
 #include "common/hash.h"
 #include "common/logging.h"
 #include "common/thread_pool.h"
@@ -30,6 +31,8 @@ uint64_t Executor::BeginNodeSpan(const PlanNode& node, double t0,
   std::string label;
   if (node.kind == PlanKind::kRemoteFragment) {
     label = "fragment " + node.fragment.table + " @" + node.fragment_source;
+  } else if (node.kind == PlanKind::kVirtualScan) {
+    label = "system " + node.scan_global_name;
   } else {
     label = PlanKindName(node.kind);
   }
@@ -613,6 +616,21 @@ Result<ExecOutput> Executor::ExecImpl(const PlanNode& node, double t0,
     case PlanKind::kSourceScan:
       return Status::Internal(
           "SourceScan reached the executor; run the decomposer first");
+
+    case PlanKind::kVirtualScan: {
+      if (ctx_.system_tables == nullptr) {
+        return Status::Internal("virtual scan of '", node.scan_global_name,
+                                "' without a system-table provider");
+      }
+      GISQL_ASSIGN_OR_RETURN(
+          RowBatch snap, ctx_.system_tables->Snapshot(node.scan_global_name));
+      // Re-shape under the plan's (qualified) schema; rows are already
+      // positionally aligned. Mediator-local: CPU cost only, no wire.
+      ExecOutput out;
+      out.batch = RowBatch(node.output_schema, std::move(snap.rows()));
+      out.elapsed_ms = CpuMs(out.batch.num_rows());
+      return out;
+    }
 
     case PlanKind::kRemoteFragment:
       return ExecFragment(node, node.fragment, t0, self);

@@ -22,10 +22,15 @@
 
 namespace gisql {
 
+class SystemTableProvider;
+
 /// \brief Execution environment handed to the executor.
 struct ExecContext {
   SimNetwork* net = nullptr;
   std::string mediator_host = "mediator";
+  /// Source of gis.* virtual-table snapshots (catalog/system_tables.h).
+  /// Not owned; may be null, in which case kVirtualScan nodes error.
+  const SystemTableProvider* system_tables = nullptr;
   double mediator_cpu_us_per_row = 0.05;
   int64_t semijoin_max_keys = 100000;
   /// EXPLAIN ANALYZE support: record actual rows / simulated ms onto

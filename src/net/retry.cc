@@ -57,7 +57,7 @@ RetryResult CallWithRetry(SimNetwork& net, const RetryPolicy& policy,
     }
     cursor += backoff_ms;
     result.elapsed_ms += backoff_ms;
-    net.metrics().Add("net.retries", 1);
+    net.NotifyRetry(to);
   }
 
   if (IsRetryableTransport(last) && result.attempts > 1) {

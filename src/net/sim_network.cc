@@ -84,6 +84,7 @@ RpcAttempt SimNetwork::CallAttempt(const std::string& from,
     metrics_.Observe("net.response_bytes",
                      static_cast<double>(a.bytes_received));
   }
+  if (observer_ != nullptr) observer_->OnRpcAttempt(from, to, opcode, a);
   return a;
 }
 

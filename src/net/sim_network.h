@@ -70,6 +70,31 @@ struct RpcResult {
   int64_t bytes_received = 0;   ///< response size
 };
 
+struct RpcAttempt;
+
+/// \brief Passive observer of every RPC attempt the fabric carries.
+///
+/// Installed with SimNetwork::set_rpc_observer; the mediator's
+/// source-health tracker (core/source_health.h) hangs off this hook so
+/// per-source request/error/latency accounting sees exactly what the
+/// simulation charged — including injected faults — without the network
+/// layer depending on the mediator. Callbacks run synchronously on the
+/// calling thread; implementations must be thread-safe (fragments
+/// execute on worker threads).
+class RpcObserver {
+ public:
+  virtual ~RpcObserver() = default;
+
+  /// \brief One finished attempt from `from` to `to` (success or
+  /// failure; accounting fields of `attempt` are final).
+  virtual void OnRpcAttempt(const std::string& from, const std::string& to,
+                            uint8_t opcode, const RpcAttempt& attempt) = 0;
+
+  /// \brief A retry loop decided to back off and try `to` again after a
+  /// failed attempt (one call per spent retry).
+  virtual void OnRetry(const std::string& to) { (void)to; }
+};
+
 /// \brief Outcome of one *attempt*, failed or not. Unlike
 /// Result<RpcResult>, the simulated-time and byte accounting survive a
 /// failure, so retry loops can charge what the attempt actually cost.
@@ -166,6 +191,18 @@ class SimNetwork {
   MetricsRegistry& metrics() { return metrics_; }
   const MetricsRegistry& metrics() const { return metrics_; }
 
+  /// \brief Installs (or clears, with nullptr) the attempt observer.
+  /// Not owned; must outlive the network or be cleared first.
+  void set_rpc_observer(RpcObserver* observer) { observer_ = observer; }
+
+  /// \brief Accounts one spent retry against `to`: bumps `net.retries`
+  /// and forwards to the observer. Called by retry loops (net/retry.cc)
+  /// so per-source and network-wide retry counts stay in lockstep.
+  void NotifyRetry(const std::string& to) {
+    metrics_.Add("net.retries", 1);
+    if (observer_ != nullptr) observer_->OnRetry(to);
+  }
+
   /// \brief Names of all registered hosts (sorted).
   std::vector<std::string> HostNames() const;
 
@@ -195,6 +232,7 @@ class SimNetwork {
   std::map<std::pair<std::string, std::string>, LinkSpec> links_;
   std::unordered_map<std::string, HostEntry> hosts_;
   std::unique_ptr<FaultSchedule> faults_;
+  RpcObserver* observer_ = nullptr;
   /// Per-directed-link message counters: the fault schedule's
   /// randomness domain. Guarded by mu_ (fragments execute on worker
   /// threads).

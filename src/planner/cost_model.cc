@@ -63,6 +63,7 @@ const ColumnStats* CostModel::TraceColumnStats(const PlanNode& node,
                  ? nullptr
                  : TraceColumnStats(*node.children[0], col);
     case PlanKind::kValues:
+    case PlanKind::kVirtualScan:  // live snapshots carry no statistics
     case PlanKind::kAggregate:
       return nullptr;
   }
@@ -202,6 +203,8 @@ double CostModel::EstimateRows(const PlanNode& node) const {
       auto t = catalog_.GetTable(node.scan_global_name);
       return t.ok() ? static_cast<double>((*t)->stats.row_count) : 1000.0;
     }
+    case PlanKind::kVirtualScan:
+      return 64.0;  // system snapshots are small and unstatted
     case PlanKind::kRemoteFragment: {
       auto t = catalog_.GetTable(node.scan_global_name.empty()
                                      ? node.fragment.table

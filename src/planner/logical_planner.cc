@@ -1,5 +1,6 @@
 #include "planner/logical_planner.h"
 
+#include "catalog/system_tables.h"
 #include "common/string_util.h"
 #include "expr/binder.h"
 #include "expr/eval.h"
@@ -79,6 +80,23 @@ std::string DisplayName(const sql::SelectItem& item) {
 Result<PlanNodePtr> LogicalPlanner::PlanNamedTable(const std::string& name,
                                                    const std::string& alias) {
   const std::string qualifier = alias.empty() ? name : alias;
+  // The reserved gis.* prefix resolves against the system-table
+  // provider before ordinary tables and views: a mediator-local
+  // snapshot, never remote.
+  if (IsSystemTableName(name) && catalog_.system_tables() != nullptr) {
+    const SystemTableProvider& sys = *catalog_.system_tables();
+    const std::string canonical = ToLower(name);
+    if (!sys.HasTable(canonical)) {
+      return Status::BindError("system table '", name,
+                               "' not found (known: gis.sources, "
+                               "gis.metrics, gis.histograms, gis.queries)");
+    }
+    GISQL_ASSIGN_OR_RETURN(SchemaPtr base, sys.TableSchema(canonical));
+    auto schema = std::make_shared<Schema>(base->WithQualifier(qualifier));
+    auto node = MakeVirtualScanNode(canonical, schema);
+    node->est_rows = 64.0;  // snapshots are small; a flat guess suffices
+    return node;
+  }
   if (catalog_.HasTable(name)) {
     GISQL_ASSIGN_OR_RETURN(const TableMapping* t, catalog_.GetTable(name));
     auto schema =

@@ -216,6 +216,7 @@ Result<PlanNodePtr> Optimizer::PushFilters(PlanNodePtr node,
 
     case PlanKind::kValues:
     case PlanKind::kSourceScan:
+    case PlanKind::kVirtualScan:
     case PlanKind::kRemoteFragment:
       return WrapFilter(node, std::move(pending));
   }
@@ -630,9 +631,11 @@ Result<Optimizer::Pruned> Optimizer::PruneColumns(
       return Pruned{node, identity_mapping()};
 
     case PlanKind::kSourceScan:
+    case PlanKind::kVirtualScan:
     case PlanKind::kRemoteFragment: {
       if (all_used) return Pruned{node, identity_mapping()};
-      // Narrow with a projection the decomposer can absorb.
+      // Narrow with a projection the decomposer can absorb (executed at
+      // the mediator for virtual scans, which never leave it).
       std::vector<ExprPtr> cols;
       std::vector<std::string> names;
       for (size_t i : UsedList(used)) {

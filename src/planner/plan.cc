@@ -9,6 +9,7 @@ const char* PlanKindName(PlanKind k) {
   switch (k) {
     case PlanKind::kValues: return "Values";
     case PlanKind::kSourceScan: return "SourceScan";
+    case PlanKind::kVirtualScan: return "VirtualTableScan";
     case PlanKind::kRemoteFragment: return "RemoteFragment";
     case PlanKind::kUnionAll: return "UnionAll";
     case PlanKind::kFilter: return "Filter";
@@ -31,6 +32,9 @@ std::string PlanNode::Explain(int indent) const {
       break;
     case PlanKind::kSourceScan:
       oss << " " << scan_global_name << " @" << scan_source;
+      break;
+    case PlanKind::kVirtualScan:
+      oss << " " << scan_global_name << " (system)";
       break;
     case PlanKind::kRemoteFragment:
       oss << " @" << fragment_source << " " << fragment.ToString();
@@ -123,6 +127,13 @@ PlanNodePtr MakeScanNode(std::string global_name, std::string source,
   node->scan_global_name = std::move(global_name);
   node->scan_source = std::move(source);
   node->scan_exported_name = std::move(exported_name);
+  node->output_schema = std::move(schema);
+  return node;
+}
+
+PlanNodePtr MakeVirtualScanNode(std::string name, SchemaPtr schema) {
+  auto node = std::make_shared<PlanNode>(PlanKind::kVirtualScan);
+  node->scan_global_name = std::move(name);
   node->output_schema = std::move(schema);
   return node;
 }

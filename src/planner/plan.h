@@ -24,6 +24,7 @@ namespace gisql {
 enum class PlanKind : uint8_t {
   kValues,          ///< inline constant rows (SELECT without FROM)
   kSourceScan,      ///< logical scan of one global table (pre-decompose)
+  kVirtualScan,     ///< mediator-local snapshot of a gis.* system table
   kRemoteFragment,  ///< executable: ship FragmentPlan to a source
   kUnionAll,        ///< concatenation of union-compatible children
   kFilter,          ///< predicate over child rows
@@ -138,6 +139,9 @@ struct PlanNode {
 /// @{
 PlanNodePtr MakeScanNode(std::string global_name, std::string source,
                          std::string exported_name, SchemaPtr schema);
+/// A kVirtualScan leaf; `name` (canonical gis.* table name) rides in
+/// scan_global_name, scan_source stays empty — nothing is remote.
+PlanNodePtr MakeVirtualScanNode(std::string name, SchemaPtr schema);
 PlanNodePtr MakeFilterNode(PlanNodePtr child, ExprPtr predicate);
 PlanNodePtr MakeProjectNode(PlanNodePtr child, std::vector<ExprPtr> exprs,
                             std::vector<std::string> names);

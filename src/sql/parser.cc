@@ -291,6 +291,14 @@ Result<TableRefPtr> Parser::ParseTableRef() {
   }
   ref->kind = TableRef::Kind::kNamed;
   ref->table_name = Advance().text;
+  // Dotted names ("gis.sources", "src1.orders") are one table name in
+  // the global schema; the catalog key carries the dot.
+  while (Match(TokenType::kDot)) {
+    if (Peek().type != TokenType::kIdentifier) {
+      return ErrorHere("expected identifier after '.' in table name");
+    }
+    ref->table_name += "." + Advance().text;
+  }
   if (MatchKeyword("AS")) {
     if (Peek().type != TokenType::kIdentifier) {
       return ErrorHere("expected alias after AS");

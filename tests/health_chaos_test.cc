@@ -1,0 +1,124 @@
+/// Health-state transitions under deterministic fault schedules: the
+/// per-source tracker must walk healthy → degraded → suspect as a
+/// targeted outage streak grows, recover once traffic succeeds again,
+/// and render gis.sources byte-identically across replays of a seed.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "core/global_system.h"
+#include "workload/generator.h"
+
+namespace gisql {
+namespace {
+
+/// Serial execution keeps the per-link message sequence — the fault
+/// schedule's randomness domain — independent of thread scheduling.
+PlannerOptions SerialOptions() {
+  PlannerOptions options;
+  options.parallel_execution = false;
+  return options;
+}
+
+WorkloadSpec SmallSpec() {
+  WorkloadSpec spec;
+  spec.seed = 11;
+  spec.num_sites = 2;
+  spec.num_customers = 30;
+  spec.num_products = 10;
+  spec.orders_per_site = 60;
+  return spec;
+}
+
+class HealthChaosTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(BuildRetailFederation(&gis_, SmallSpec()).ok());
+    gis_.set_retry_policy(RetryPolicy::Standard(8, /*seed=*/3));
+    // A schedule with zero probabilistic faults: only InjectOn fires.
+    gis_.network().InstallFaults(/*seed=*/3, FaultProfile{});
+  }
+
+  /// One cheap remote query against site0 (a single fragment RPC).
+  void Probe() { (void)gis_.Query("SELECT COUNT(*) FROM sales_site0"); }
+
+  GlobalSystem gis_;
+};
+
+TEST_F(HealthChaosTest, OutageStreakWalksStatesAndRecovers) {
+  EXPECT_EQ(gis_.health().StateOf("site0"), SourceHealthState::kHealthy);
+
+  // Each drop consumes one RPC attempt; retries push the streak up
+  // within a single query, so arm exactly kDegradedStreak drops.
+  gis_.network().faults()->InjectOn(
+      "site0", /*opcode=*/-1, FaultKind::kDrop,
+      static_cast<int>(SourceHealthTracker::kDegradedStreak));
+  Probe();
+  EXPECT_EQ(gis_.health().StateOf("site0"), SourceHealthState::kHealthy)
+      << "streak broken by the recovered attempt";
+
+  // A streak long enough to outlast the retry budget: suspect.
+  gis_.network().faults()->InjectOn("site0", /*opcode=*/-1, FaultKind::kDrop,
+                                    1000);
+  Probe();
+  const auto snap = gis_.health().SnapshotOf("site0");
+  EXPECT_EQ(snap.state, SourceHealthState::kSuspect);
+  EXPECT_GE(snap.consecutive_failures, SourceHealthTracker::kSuspectStreak);
+  EXPECT_GT(snap.errors, 0);
+  EXPECT_FALSE(snap.last_error.empty());
+  EXPECT_GT(snap.retries, 0);
+
+  // Clear the injection; successful traffic resets the streak and — as
+  // the sliding window fills with successes — the error-ratio rule ages
+  // out, returning the source to healthy.
+  gis_.network().ClearFaults();
+  for (int i = 0; i < 40; ++i) Probe();
+  EXPECT_EQ(gis_.health().StateOf("site0"), SourceHealthState::kHealthy);
+
+  // The other source never saw a fault.
+  EXPECT_EQ(gis_.health().SnapshotOf("site1").errors, 0);
+}
+
+TEST_F(HealthChaosTest, MidStreakIsDegraded) {
+  // Arm enough drops to fail one whole query (all retry attempts), then
+  // let the next query succeed: the streak at observation time sits
+  // between the degraded and suspect thresholds only if the retry
+  // budget lands there — instead, check via the window ratio: a fully
+  // failed query leaves errors in the 32-attempt window.
+  gis_.network().faults()->InjectOn("site0", /*opcode=*/-1, FaultKind::kDrop,
+                                    8);
+  Probe();  // fails after exhausting its 8 attempts
+  const auto snap = gis_.health().SnapshotOf("site0");
+  EXPECT_EQ(snap.state, SourceHealthState::kSuspect);
+
+  // One successful query breaks the streak but the window still holds
+  // eight failures out of ≤ nine recent attempts: degraded, not healthy.
+  Probe();
+  EXPECT_EQ(gis_.health().StateOf("site0"), SourceHealthState::kDegraded);
+}
+
+TEST(HealthChaosDeterminismTest, SameSeedRendersIdenticalSources) {
+  auto run = [](uint64_t seed) {
+    GlobalSystem gis(SerialOptions());
+    EXPECT_TRUE(BuildRetailFederation(&gis, SmallSpec()).ok());
+    gis.set_retry_policy(RetryPolicy::Standard(6, seed));
+    gis.network().InstallFaults(seed, FaultProfile::Chaos(0.6));
+    for (const char* q :
+         {"SELECT COUNT(*) FROM sales",
+          "SELECT cid, name FROM customers WHERE cid < 5 ORDER BY cid",
+          "SELECT pid, SUM(qty) FROM sales GROUP BY pid ORDER BY pid"}) {
+      (void)gis.Query(q);  // outcome may be ok or typed failure
+    }
+    auto rows = gis.Query("SELECT * FROM gis.sources ORDER BY source");
+    EXPECT_TRUE(rows.ok()) << rows.status().ToString();
+    return rows.ok() ? rows->batch.ToString(1 << 20) : std::string();
+  };
+  const std::string a = run(21);
+  const std::string b = run(21);
+  EXPECT_EQ(a, b);
+  EXPECT_FALSE(a.empty());
+}
+
+}  // namespace
+}  // namespace gisql

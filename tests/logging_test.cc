@@ -1,7 +1,9 @@
-/// Tests for the logging module: level filtering, formatting, and the
-/// GISQL_LOG macro's lazy evaluation.
+/// Tests for the logging module: level filtering, formatting, the
+/// GISQL_LOG macro's lazy evaluation, and GISQL_LOG_LEVEL env parsing.
 
 #include <gtest/gtest.h>
+
+#include <cstdlib>
 
 #include "common/logging.h"
 
@@ -45,6 +47,32 @@ TEST(LoggingTest, MacroDoesNotEvaluateSuppressedArguments) {
   GISQL_LOG(kDebug) << expensive();
   EXPECT_EQ(evaluations, 0);
   logger.set_level(saved);
+}
+
+TEST(LoggingTest, ParseLogLevelAcceptsNamesAnyCase) {
+  EXPECT_EQ(ParseLogLevel("TRACE", LogLevel::kWarn), LogLevel::kTrace);
+  EXPECT_EQ(ParseLogLevel("debug", LogLevel::kWarn), LogLevel::kDebug);
+  EXPECT_EQ(ParseLogLevel("Info", LogLevel::kWarn), LogLevel::kInfo);
+  EXPECT_EQ(ParseLogLevel("warn", LogLevel::kError), LogLevel::kWarn);
+  EXPECT_EQ(ParseLogLevel("WARNING", LogLevel::kError), LogLevel::kWarn);
+  EXPECT_EQ(ParseLogLevel("error", LogLevel::kWarn), LogLevel::kError);
+  EXPECT_EQ(ParseLogLevel("off", LogLevel::kWarn), LogLevel::kOff);
+  EXPECT_EQ(ParseLogLevel("none", LogLevel::kWarn), LogLevel::kOff);
+}
+
+TEST(LoggingTest, ParseLogLevelFallsBackOnGarbage) {
+  EXPECT_EQ(ParseLogLevel("verbose?", LogLevel::kWarn), LogLevel::kWarn);
+  EXPECT_EQ(ParseLogLevel("", LogLevel::kInfo), LogLevel::kInfo);
+  EXPECT_EQ(ParseLogLevel(nullptr, LogLevel::kError), LogLevel::kError);
+}
+
+TEST(LoggingTest, LogLevelFromEnvReadsVariable) {
+  ASSERT_EQ(setenv("GISQL_LOG_LEVEL", "debug", /*overwrite=*/1), 0);
+  EXPECT_EQ(LogLevelFromEnv(LogLevel::kWarn), LogLevel::kDebug);
+  ASSERT_EQ(setenv("GISQL_LOG_LEVEL", "junk", /*overwrite=*/1), 0);
+  EXPECT_EQ(LogLevelFromEnv(LogLevel::kWarn), LogLevel::kWarn);
+  ASSERT_EQ(unsetenv("GISQL_LOG_LEVEL"), 0);
+  EXPECT_EQ(LogLevelFromEnv(LogLevel::kInfo), LogLevel::kInfo);
 }
 
 }  // namespace
