@@ -12,7 +12,8 @@ bool IsSystemTableName(const std::string& name) {
 }
 
 std::vector<std::string> SystemTableNames() {
-  return {"gis.histograms", "gis.metrics", "gis.queries", "gis.sources"};
+  return {"gis.admission", "gis.gauges", "gis.histograms",
+          "gis.metrics",  "gis.queries", "gis.sources"};
 }
 
 Result<SchemaPtr> SystemTableSchema(const std::string& name) {
@@ -30,14 +31,53 @@ Result<SchemaPtr> SystemTableSchema(const std::string& name) {
         {"ewma_ms", TypeId::kDouble, false},
         {"p95_ms", TypeId::kDouble, false},
         {"last_error", TypeId::kString, false},
+        {"breaker", TypeId::kString, false},
+        {"breaker_skips", TypeId::kInt64, false},
+        {"breaker_probes", TypeId::kInt64, false},
+        {"breaker_transitions", TypeId::kInt64, false},
     });
   }
   if (lower == "gis.metrics") {
+    // Counters only: monotone values identical under any worker
+    // interleaving. Point-in-time gauges live in gis.gauges.
     return std::make_shared<Schema>(std::vector<Field>{
         {"registry", TypeId::kString, false},
         {"name", TypeId::kString, false},
         {"kind", TypeId::kString, false},
         {"value", TypeId::kDouble, false},
+    });
+  }
+  if (lower == "gis.gauges") {
+    // Instantaneous gauges (e.g. net.last_elapsed_ms): meaningful to a
+    // human, but *which* instant they captured can depend on worker
+    // scheduling, so they are quarantined away from the deterministic
+    // gis.metrics snapshot.
+    return std::make_shared<Schema>(std::vector<Field>{
+        {"registry", TypeId::kString, false},
+        {"name", TypeId::kString, false},
+        {"value", TypeId::kDouble, false},
+    });
+  }
+  if (lower == "gis.admission") {
+    return std::make_shared<Schema>(std::vector<Field>{
+        {"max_concurrent", TypeId::kInt64, false},
+        {"queue_limit", TypeId::kInt64, false},
+        {"max_wait_ms", TypeId::kDouble, false},
+        {"in_flight", TypeId::kInt64, false},
+        {"admitted", TypeId::kInt64, false},
+        {"queued", TypeId::kInt64, false},
+        {"shed_queue_full", TypeId::kInt64, false},
+        {"shed_deadline", TypeId::kInt64, false},
+        {"shed_memory_budget", TypeId::kInt64, false},
+        {"total_wait_ms", TypeId::kDouble, false},
+        {"mem_query_cap", TypeId::kInt64, false},
+        {"mem_global_cap", TypeId::kInt64, false},
+        {"mem_peak_bytes", TypeId::kInt64, false},
+        {"breaker_enabled", TypeId::kBool, false},
+        {"breakers_open", TypeId::kInt64, false},
+        {"breaker_transitions", TypeId::kInt64, false},
+        {"breaker_skips", TypeId::kInt64, false},
+        {"breaker_probes", TypeId::kInt64, false},
     });
   }
   if (lower == "gis.histograms") {
@@ -65,11 +105,13 @@ Result<SchemaPtr> SystemTableSchema(const std::string& name) {
         {"cache_hit", TypeId::kBool, false},
         {"rows", TypeId::kInt64, false},
         {"trace_root", TypeId::kInt64, false},
+        {"admission_wait_ms", TypeId::kDouble, false},
+        {"shed_reason", TypeId::kString, false},
     });
   }
   return Status::NotFound("'", name, "' is not a system table (known: ",
-                          "gis.sources, gis.metrics, gis.histograms, "
-                          "gis.queries)");
+                          "gis.sources, gis.metrics, gis.gauges, "
+                          "gis.histograms, gis.queries, gis.admission)");
 }
 
 }  // namespace gisql

@@ -7,12 +7,19 @@
 /// tables under the reserved `gis.` prefix:
 ///
 ///   gis.sources     one row per registered component source, with its
-///                   health counters and derived state;
-///   gis.metrics     every counter and gauge of the mediator and
-///                   network registries;
+///                   health counters, derived state, and circuit-
+///                   breaker view;
+///   gis.metrics     every *counter* of the mediator and network
+///                   registries (monotone, schedule-independent);
+///   gis.gauges      the point-in-time gauges, quarantined here so
+///                   gis.metrics snapshots stay deterministic under
+///                   pooled execution;
 ///   gis.histograms  digests (count/sum/min/max/p50/p95/p99) of every
 ///                   registry histogram;
-///   gis.queries     the bounded ring of recently executed queries.
+///   gis.queries     the bounded ring of recently executed queries,
+///                   with admission wait and shed reason;
+///   gis.admission   one row: the resource governor's limits and
+///                   admit/shed/budget/breaker counters.
 ///
 /// A query over them runs through the ordinary parse → bind → plan →
 /// optimize → execute pipeline: the logical planner resolves a `gis.`

@@ -18,6 +18,7 @@ const char* StatusCodeToString(StatusCode code) {
     case StatusCode::kNetworkError: return "NetworkError";
     case StatusCode::kSerializationError: return "SerializationError";
     case StatusCode::kInternal: return "Internal";
+    case StatusCode::kOverloaded: return "Overloaded";
   }
   return "Unknown";
 }

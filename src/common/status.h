@@ -30,6 +30,11 @@ enum class StatusCode : char {
   kNetworkError = 11,
   kSerializationError = 12,
   kInternal = 13,
+  /// The mediator shed this request under load-management policy
+  /// (admission queue full, deadline unmeetable, or a memory budget
+  /// exceeded). Distinct from kExecutionError: the query itself is
+  /// fine, the system declined to run it right now.
+  kOverloaded = 14,
 };
 
 /// \brief Returns a human-readable name for a status code.
@@ -78,6 +83,7 @@ class Status {
   bool IsNetworkError() const { return code() == StatusCode::kNetworkError; }
   bool IsSerializationError() const { return code() == StatusCode::kSerializationError; }
   bool IsInternal() const { return code() == StatusCode::kInternal; }
+  bool IsOverloaded() const { return code() == StatusCode::kOverloaded; }
 
   static Status OK() { return Status(); }
 
@@ -133,6 +139,10 @@ class Status {
   template <typename... Args>
   static Status Internal(Args&&... args) {
     return Make(StatusCode::kInternal, std::forward<Args>(args)...);
+  }
+  template <typename... Args>
+  static Status Overloaded(Args&&... args) {
+    return Make(StatusCode::kOverloaded, std::forward<Args>(args)...);
   }
 
  private:

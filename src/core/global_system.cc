@@ -32,9 +32,14 @@ Result<std::vector<uint8_t>> RetriedCall(SimNetwork& net,
 
 GlobalSystem::GlobalSystem(PlannerOptions options)
     : options_(options) {
+  governor_.Configure(options_);
   network_.set_rpc_observer(&health_);
+  // Every RPC outcome the health tracker ingests also feeds the
+  // governor's per-source circuit breakers.
+  health_.set_outcome_listener(&governor_.breakers());
   system_catalog_ = std::make_unique<SystemCatalog>(
-      &health_, &metrics_, &network_.metrics(), &query_log_, &catalog_);
+      &health_, &metrics_, &network_.metrics(), &query_log_, &catalog_,
+      &governor_);
   catalog_.RegisterSystemTableProvider(system_catalog_.get());
 }
 
@@ -267,6 +272,50 @@ std::string GlobalSystem::ExportPrometheus() const {
          [](const SourceHealthSnapshot& s) {
            return std::to_string(s.p95_ms);
          });
+
+  // Resource-governor series (admission.* counters/histogram already
+  // export via the mediator registry above).
+  const GovernorSnapshot g = governor_.Snapshot();
+  auto single = [&out](const std::string& name, const char* type,
+                       const std::string& value) {
+    out += "# TYPE " + name + " " + type + "\n";
+    out += name + " " + value + "\n";
+  };
+  single("gisql_admission_in_flight", "gauge",
+         std::to_string(g.admission.in_flight));
+  single("gisql_admission_shed_queue_full_total", "counter",
+         std::to_string(g.admission.shed_queue_full));
+  single("gisql_admission_shed_deadline_total", "counter",
+         std::to_string(g.admission.shed_deadline));
+  single("gisql_admission_shed_memory_budget_total", "counter",
+         std::to_string(g.shed_memory_budget));
+  single("gisql_memory_peak_bytes", "gauge",
+         std::to_string(g.mem_peak_bytes));
+  single("gisql_breakers_open", "gauge", std::to_string(g.breakers_open));
+  single("gisql_breaker_transitions_total", "counter",
+         std::to_string(g.breaker_transitions));
+
+  const auto breakers = governor_.breakers().Snapshot();
+  auto breaker_series = [&out, &breakers](const std::string& name,
+                                          const char* type, auto value_of) {
+    if (breakers.empty()) return;
+    out += "# TYPE " + name + " " + type + "\n";
+    for (const auto& b : breakers) {
+      out += name + "{source=\"" + b.source + "\"} " + value_of(b) + "\n";
+    }
+  };
+  breaker_series("gisql_source_breaker_state", "gauge",
+                 [](const BreakerSnapshot& b) {
+                   return std::to_string(static_cast<int>(b.state));
+                 });
+  breaker_series("gisql_source_breaker_skips_total", "counter",
+                 [](const BreakerSnapshot& b) {
+                   return std::to_string(b.skips);
+                 });
+  breaker_series("gisql_source_breaker_probes_total", "counter",
+                 [](const BreakerSnapshot& b) {
+                   return std::to_string(b.probes);
+                 });
   return out;
 }
 
@@ -283,7 +332,7 @@ void GlobalSystem::EnableTracing() {
 
 void GlobalSystem::DisableTracing() { trace_.reset(); }
 
-ExecContext GlobalSystem::MakeExecContext() {
+ExecContext GlobalSystem::MakeExecContext(MemoryGrant* grant) {
   ExecContext ctx;
   ctx.net = &network_;
   ctx.mediator_host = kMediatorHost;
@@ -295,6 +344,10 @@ ExecContext GlobalSystem::MakeExecContext() {
   ctx.columnar_wire = options_.columnar_wire;
   ctx.vectorized_execution = options_.vectorized_execution;
   ctx.retry_policy = retry_policy_;
+  ctx.memory = grant;
+  ctx.health = &health_;
+  ctx.breakers = &governor_.breakers();
+  ctx.health_aware_routing = options_.health_aware_routing;
   return ctx;
 }
 
@@ -365,7 +418,76 @@ void FillNetDeltas(QueryMetrics& m, const NetCounters& before,
 }  // namespace
 
 Result<QueryResult> GlobalSystem::Query(const std::string& sql) {
-  // Each Query() owns the collector for its duration; the spans stay
+  return Submit(sql, SubmitOptions());
+}
+
+Result<QueryResult> GlobalSystem::Submit(const std::string& sql,
+                                         const SubmitOptions& submit) {
+  AdmissionDecision decision;
+  const bool governed = options_.admission_control;
+  if (governed) {
+    AdmissionRequest req;
+    // Closed-loop callers (plain Query) arrive at the completion time
+    // of the previous query, so a slot is always free and the governor
+    // is invisible; open-loop callers pass explicit arrivals.
+    req.arrival_ms =
+        submit.arrival_ms >= 0 ? submit.arrival_ms : governor_.now_ms();
+    req.priority = submit.priority;
+    req.max_wait_ms = submit.max_wait_ms;
+    decision = governor_.admission().Admit(req);
+    if (!decision.admitted) {
+      metrics_.Add("admission.shed", 1);
+      // Shed queries still land in gis.queries (with their reason and
+      // zero traffic) so operators can see *what* was refused.
+      QueryLogEntry entry;
+      entry.sql = sql;
+      entry.shed_reason = ShedReasonName(decision.reason);
+      query_log_.Append(std::move(entry));
+      if (decision.reason == ShedReason::kDeadline) {
+        return Status::Overloaded(
+            "query shed: the admission queue would hold it for ",
+            decision.wait_ms, " ms, past its ", "deadline (",
+            decision.queued_ahead, " queries ahead)");
+      }
+      return Status::Overloaded(
+          "query shed: the admission wait queue is full (",
+          decision.queued_ahead, " queued, limit ",
+          governor_.admission().config().queue_limit, ")");
+    }
+    metrics_.Add("admission.admitted", 1);
+    metrics_.Observe("admission.wait_ms", decision.wait_ms);
+  }
+
+  MemoryGrant grant = governor_.memory().NewGrant();
+  Result<QueryResult> result = RunStatement(sql, &grant, decision.wait_ms);
+
+  if (governed) {
+    const double elapsed = result.ok() ? result->metrics.elapsed_ms : 0.0;
+    governor_.admission().Release(decision.ticket,
+                                  decision.start_ms + elapsed);
+    governor_.AdvanceTo(decision.start_ms + elapsed);
+  }
+  if (result.ok()) {
+    result->metrics.admission_wait_ms = decision.wait_ms;
+  } else if (result.status().IsOverloaded()) {
+    // A memory-budget abort is a shed too: one count per query (charge
+    // denials within a query are schedule-dependent; the query-level
+    // outcome is not).
+    governor_.RecordMemoryShed();
+    metrics_.Add("admission.shed", 1);
+    QueryLogEntry entry;
+    entry.sql = sql;
+    entry.admission_wait_ms = decision.wait_ms;
+    entry.shed_reason = ShedReasonName(ShedReason::kMemoryBudget);
+    query_log_.Append(std::move(entry));
+  }
+  return result;
+}
+
+Result<QueryResult> GlobalSystem::RunStatement(const std::string& sql,
+                                               MemoryGrant* grant,
+                                               double admission_wait_ms) {
+  // Each query owns the collector for its duration; the spans stay
   // readable until the next query (or DisableTracing) replaces them.
   TraceCollector* tr = trace_.get();
   if (tr != nullptr) tr->Clear();
@@ -395,7 +517,7 @@ Result<QueryResult> GlobalSystem::Query(const std::string& sql) {
       // Bracket execution with the same counter snapshot the SELECT
       // path uses, so ANALYZE reports real traffic alongside time.
       const NetCounters before = NetCounters::Read(network_);
-      ExecContext ctx = MakeExecContext();
+      ExecContext ctx = MakeExecContext(grant);
       ctx.record_actuals = true;
       uint64_t exec_span = 0;
       if (tr != nullptr) {
@@ -440,6 +562,7 @@ Result<QueryResult> GlobalSystem::Query(const std::string& sql) {
       entry.retries = result.metrics.retries;
       entry.rows = static_cast<int64_t>(out.batch.num_rows());
       entry.trace_root = static_cast<int64_t>(root);
+      entry.admission_wait_ms = admission_wait_ms;
       query_log_.Append(std::move(entry));
       return result;
     }
@@ -493,6 +616,7 @@ Result<QueryResult> GlobalSystem::Query(const std::string& sql) {
       entry.cache_hit = true;
       entry.rows = static_cast<int64_t>(result.batch.num_rows());
       entry.trace_root = static_cast<int64_t>(root);
+      entry.admission_wait_ms = admission_wait_ms;
       query_log_.Append(std::move(entry));
       return result;
     }
@@ -500,7 +624,7 @@ Result<QueryResult> GlobalSystem::Query(const std::string& sql) {
 
   const NetCounters before = NetCounters::Read(network_);
 
-  ExecContext ctx = MakeExecContext();
+  ExecContext ctx = MakeExecContext(grant);
   uint64_t exec_span = 0;
   if (tr != nullptr) {
     exec_span = tr->Begin("execute", "lifecycle", root, 0.0);
@@ -555,6 +679,7 @@ Result<QueryResult> GlobalSystem::Query(const std::string& sql) {
   entry.retries = result.metrics.retries;
   entry.rows = static_cast<int64_t>(result.batch.num_rows());
   entry.trace_root = static_cast<int64_t>(root);
+  entry.admission_wait_ms = admission_wait_ms;
   query_log_.Append(std::move(entry));
   return result;
 }

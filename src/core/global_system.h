@@ -32,6 +32,7 @@
 #include "net/sim_network.h"
 #include "planner/options.h"
 #include "planner/plan.h"
+#include "sched/governor.h"
 #include "source/component_source.h"
 #include "sql/ast.h"
 
@@ -48,6 +49,9 @@ struct QueryMetrics {
   /// Served from the mediator result cache: no network traffic at all
   /// (the zeros above are real zeros, not unknowns).
   bool cache_hit = false;
+  /// Simulated time spent in the admission queue before a slot freed
+  /// (0 under closed-loop traffic or with admission control off).
+  double admission_wait_ms = 0.0;
   std::string plan_text;        ///< EXPLAIN of the executed plan
 };
 
@@ -134,8 +138,31 @@ class GlobalSystem {
   /// @{
 
   /// \brief Parses, plans, optimizes, decomposes, and executes a SELECT
-  /// (or EXPLAIN SELECT) against the global schema.
+  /// (or EXPLAIN SELECT) against the global schema. Arrives on the
+  /// governor's virtual clock (closed-loop: at the completion time of
+  /// the previous query, so it never queues).
   Result<QueryResult> Query(const std::string& sql);
+
+  /// \brief Open-loop submission knobs for one query (see Submit).
+  struct SubmitOptions {
+    /// Simulated arrival time; < 0 uses the governor's virtual clock
+    /// (the previous query's completion — closed-loop traffic).
+    double arrival_ms = -1.0;
+    /// Admission priority class: 0 background, 1 normal, 2 interactive.
+    int priority = 1;
+    /// Queue-wait deadline override; < 0 uses
+    /// PlannerOptions::admission_max_wait_ms.
+    double max_wait_ms = -1.0;
+  };
+
+  /// \brief Query() with explicit admission parameters. With
+  /// admission_control on, the resource governor may *shed* the query
+  /// — Status::Overloaded, zero simulated cost, nothing executed —
+  /// when the wait queue is full or the deadline is unmeetable.
+  /// Decisions are a pure function of the arrival schedule (and the
+  /// configured knobs), so replays match bit for bit.
+  Result<QueryResult> Submit(const std::string& sql,
+                             const SubmitOptions& submit);
 
   /// \brief The decomposed plan's EXPLAIN text, without executing.
   Result<std::string> Explain(const std::string& sql);
@@ -191,8 +218,22 @@ class GlobalSystem {
   std::string ExportPrometheus() const;
   /// @}
 
-  void set_options(const PlannerOptions& options) { options_ = options; }
+  void set_options(const PlannerOptions& options) {
+    options_ = options;
+    governor_.Configure(options);
+  }
   const PlannerOptions& options() const { return options_; }
+
+  /// \name Resource governance
+  ///
+  /// Admission control, per-query/global memory budgets, and
+  /// per-source circuit breakers (src/sched/, DESIGN.md "Resource
+  /// governance"). State is queryable as gis.admission plus the
+  /// breaker/shed columns of gis.sources and gis.queries.
+  /// @{
+  ResourceGovernor& governor() { return governor_; }
+  const ResourceGovernor& governor() const { return governor_; }
+  /// @}
 
   /// \name Fault tolerance
   ///
@@ -233,13 +274,23 @@ class GlobalSystem {
   ThreadPool* WorkerPool();
 
   /// \brief Execution environment reflecting the current options,
-  /// network, and retry policy (tracing fields left unset).
-  ExecContext MakeExecContext();
+  /// network, retry policy, and the query's memory grant (tracing
+  /// fields left unset).
+  ExecContext MakeExecContext(MemoryGrant* grant);
+
+  /// \brief The post-admission body of Submit: parse through execute,
+  /// charging `grant` and logging with the decided admission wait.
+  Result<QueryResult> RunStatement(const std::string& sql,
+                                   MemoryGrant* grant,
+                                   double admission_wait_ms);
 
   PlannerOptions options_;
   RetryPolicy retry_policy_ = RetryPolicy::NoRetry();
-  // health_ precedes network_ so the network (which holds a raw
-  // observer pointer into it) is destroyed first.
+  // governor_ precedes health_ (the tracker forwards outcomes into the
+  // governor's breaker registry), and health_ precedes network_ (which
+  // holds a raw observer pointer into it), so destruction unwinds
+  // consumer-first.
+  ResourceGovernor governor_{PlannerOptions()};
   SourceHealthTracker health_;
   SimNetwork network_;
   Catalog catalog_;

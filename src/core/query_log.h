@@ -31,6 +31,10 @@ struct QueryLogEntry {
   bool cache_hit = false;
   int64_t rows = 0;             ///< result rows returned
   int64_t trace_root = 0;       ///< root span id (0 when tracing is off)
+  double admission_wait_ms = 0.0;  ///< simulated time spent queued
+  /// Why the governor refused this query ("" = it ran). Shed entries
+  /// carry zero traffic — nothing was executed.
+  std::string shed_reason;
 };
 
 /// \brief Thread-safe fixed-capacity ring of QueryLogEntry.

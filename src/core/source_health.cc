@@ -38,6 +38,7 @@ void SourceHealthTracker::OnRpcAttempt(const std::string& from,
   }
   s.recent_errors.push_back(failed);
   while (s.recent_errors.size() > kRecentWindow) s.recent_errors.pop_front();
+  if (listener_ != nullptr) listener_->OnSourceOutcome(to, !failed);
 }
 
 void SourceHealthTracker::OnRetry(const std::string& to) {

@@ -52,6 +52,18 @@ enum class SourceHealthState : uint8_t {
 
 const char* SourceHealthStateName(SourceHealthState state);
 
+/// \brief Downstream consumer of the tracker's per-attempt outcome
+/// stream (success/failure per source). The circuit-breaker registry
+/// implements this so breaker state is *fed by* the health tracker —
+/// one observation pipeline, two derived views. Callbacks run under
+/// the tracker's ingestion lock, preserving its global outcome order;
+/// implementations must not call back into the tracker.
+class SourceOutcomeListener {
+ public:
+  virtual ~SourceOutcomeListener() = default;
+  virtual void OnSourceOutcome(const std::string& source, bool ok) = 0;
+};
+
 /// \brief Point-in-time view of one source's health (one `gis.sources`
 /// row).
 struct SourceHealthSnapshot {
@@ -112,6 +124,14 @@ class SourceHealthTracker : public RpcObserver {
   /// rungs the way they reset metrics registries).
   void Reset();
 
+  /// \brief Forwards every attempt outcome to `listener` (may be null
+  /// to detach). The listener must outlive the tracker or be detached
+  /// first.
+  void set_outcome_listener(SourceOutcomeListener* listener) {
+    std::lock_guard<std::mutex> lock(mu_);
+    listener_ = listener;
+  }
+
  private:
   struct PerSource {
     int64_t requests = 0;
@@ -132,6 +152,7 @@ class SourceHealthTracker : public RpcObserver {
 
   mutable std::mutex mu_;
   std::map<std::string, PerSource> sources_;
+  SourceOutcomeListener* listener_ = nullptr;
 };
 
 }  // namespace gisql

@@ -10,19 +10,26 @@ namespace gisql {
 
 namespace {
 
-/// Appends every counter/gauge (and in the histograms case, digest) of
-/// one registry snapshot, labeled with the registry name. The snapshot
-/// maps are sorted, so emission order is deterministic.
-void AppendMetricRows(const std::string& registry, const MetricsSnapshot& snap,
-                      RowBatch* out) {
+/// Appends every counter of one registry snapshot, labeled with the
+/// registry name. The snapshot maps are sorted, so emission order is
+/// deterministic. Gauges are deliberately absent — a gauge captures
+/// "the value at some instant", and under pooled execution *which*
+/// instant won a race is schedule-dependent; they render via
+/// gis.gauges instead.
+void AppendCounterRows(const std::string& registry,
+                       const MetricsSnapshot& snap, RowBatch* out) {
   for (const auto& [name, value] : snap.counters) {
     out->Append({Value::String(registry), Value::String(name),
                  Value::String("counter"),
                  Value::Double(static_cast<double>(value))});
   }
+}
+
+void AppendGaugeRows(const std::string& registry, const MetricsSnapshot& snap,
+                     RowBatch* out) {
   for (const auto& [name, value] : snap.gauges) {
     out->Append({Value::String(registry), Value::String(name),
-                 Value::String("gauge"), Value::Double(value)});
+                 Value::Double(value)});
   }
 }
 
@@ -57,8 +64,10 @@ Result<RowBatch> SystemCatalog::Snapshot(const std::string& name) const {
   const std::string lower = ToLower(name);
   if (lower == "gis.sources") return SnapshotSources();
   if (lower == "gis.metrics") return SnapshotMetrics();
+  if (lower == "gis.gauges") return SnapshotGauges();
   if (lower == "gis.histograms") return SnapshotHistograms();
   if (lower == "gis.queries") return SnapshotQueries();
+  if (lower == "gis.admission") return SnapshotAdmission();
   const auto schema = SystemTableSchema(name);
   return schema.status();  // NotFound with the known-table list
 }
@@ -72,21 +81,34 @@ RowBatch SystemCatalog::SnapshotSources() const {
   for (const auto& snap : health_->Snapshot()) names.insert(snap.source);
   for (const auto& n : names) {
     const SourceHealthSnapshot s = health_->SnapshotOf(n);
+    const BreakerSnapshot b = governor_ != nullptr
+                                  ? governor_->breakers().SnapshotOf(n)
+                                  : BreakerSnapshot{};
     batch.Append({Value::String(n),
                   Value::String(SourceHealthStateName(s.state)),
                   Value::Int(s.requests), Value::Int(s.errors),
                   Value::Int(s.retries), Value::Int(s.consecutive_failures),
                   Value::Int(s.bytes_sent), Value::Int(s.bytes_received),
                   Value::Double(s.ewma_ms), Value::Double(s.p95_ms),
-                  Value::String(s.last_error)});
+                  Value::String(s.last_error),
+                  Value::String(BreakerStateName(b.state)),
+                  Value::Int(b.skips), Value::Int(b.probes),
+                  Value::Int(b.transitions)});
   }
   return batch;
 }
 
 RowBatch SystemCatalog::SnapshotMetrics() const {
   RowBatch batch(SystemTableSchema("gis.metrics").ValueUnsafe());
-  AppendMetricRows("mediator", mediator_metrics_->SnapshotAll(), &batch);
-  AppendMetricRows("network", network_metrics_->SnapshotAll(), &batch);
+  AppendCounterRows("mediator", mediator_metrics_->SnapshotAll(), &batch);
+  AppendCounterRows("network", network_metrics_->SnapshotAll(), &batch);
+  return batch;
+}
+
+RowBatch SystemCatalog::SnapshotGauges() const {
+  RowBatch batch(SystemTableSchema("gis.gauges").ValueUnsafe());
+  AppendGaugeRows("mediator", mediator_metrics_->SnapshotAll(), &batch);
+  AppendGaugeRows("network", network_metrics_->SnapshotAll(), &batch);
   return batch;
 }
 
@@ -104,8 +126,32 @@ RowBatch SystemCatalog::SnapshotQueries() const {
                   Value::Double(e.elapsed_ms), Value::Int(e.bytes_sent),
                   Value::Int(e.bytes_received), Value::Int(e.messages),
                   Value::Int(e.retries), Value::Bool(e.cache_hit),
-                  Value::Int(e.rows), Value::Int(e.trace_root)});
+                  Value::Int(e.rows), Value::Int(e.trace_root),
+                  Value::Double(e.admission_wait_ms),
+                  Value::String(e.shed_reason)});
   }
+  return batch;
+}
+
+RowBatch SystemCatalog::SnapshotAdmission() const {
+  RowBatch batch(SystemTableSchema("gis.admission").ValueUnsafe());
+  const GovernorSnapshot g =
+      governor_ != nullptr ? governor_->Snapshot() : GovernorSnapshot{};
+  batch.Append({Value::Int(g.admission_config.max_concurrent),
+                Value::Int(g.admission_config.queue_limit),
+                Value::Double(g.admission_config.max_wait_ms),
+                Value::Int(g.admission.in_flight),
+                Value::Int(g.admission.admitted),
+                Value::Int(g.admission.queued),
+                Value::Int(g.admission.shed_queue_full),
+                Value::Int(g.admission.shed_deadline),
+                Value::Int(g.shed_memory_budget),
+                Value::Double(g.admission.total_wait_ms),
+                Value::Int(g.mem_query_cap), Value::Int(g.mem_global_cap),
+                Value::Int(g.mem_peak_bytes),
+                Value::Bool(g.breaker_enabled), Value::Int(g.breakers_open),
+                Value::Int(g.breaker_transitions),
+                Value::Int(g.breaker_skips), Value::Int(g.breaker_probes)});
   return batch;
 }
 

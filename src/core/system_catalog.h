@@ -1,7 +1,7 @@
 /// \file system_catalog.h
 /// \brief The mediator's concrete SystemTableProvider: snapshots the
-/// health tracker, both metrics registries, and the query log into
-/// `gis.*` row batches.
+/// health tracker, both metrics registries, the query log, and the
+/// resource governor into `gis.*` row batches.
 
 #pragma once
 
@@ -10,6 +10,7 @@
 #include "common/metrics.h"
 #include "core/query_log.h"
 #include "core/source_health.h"
+#include "sched/governor.h"
 
 namespace gisql {
 
@@ -25,12 +26,14 @@ class SystemCatalog : public SystemTableProvider {
   SystemCatalog(const SourceHealthTracker* health,
                 const MetricsRegistry* mediator_metrics,
                 const MetricsRegistry* network_metrics,
-                const QueryLog* query_log, const Catalog* catalog)
+                const QueryLog* query_log, const Catalog* catalog,
+                const ResourceGovernor* governor)
       : health_(health),
         mediator_metrics_(mediator_metrics),
         network_metrics_(network_metrics),
         query_log_(query_log),
-        catalog_(catalog) {}
+        catalog_(catalog),
+        governor_(governor) {}
 
   bool HasTable(const std::string& name) const override;
   Result<SchemaPtr> TableSchema(const std::string& name) const override;
@@ -40,14 +43,17 @@ class SystemCatalog : public SystemTableProvider {
  private:
   RowBatch SnapshotSources() const;
   RowBatch SnapshotMetrics() const;
+  RowBatch SnapshotGauges() const;
   RowBatch SnapshotHistograms() const;
   RowBatch SnapshotQueries() const;
+  RowBatch SnapshotAdmission() const;
 
   const SourceHealthTracker* health_;
   const MetricsRegistry* mediator_metrics_;
   const MetricsRegistry* network_metrics_;
   const QueryLog* query_log_;
   const Catalog* catalog_;
+  const ResourceGovernor* governor_;
 };
 
 }  // namespace gisql

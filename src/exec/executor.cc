@@ -9,10 +9,13 @@
 #include "common/hash.h"
 #include "common/logging.h"
 #include "common/thread_pool.h"
+#include "core/source_health.h"
 #include "exec/hash_aggregate.h"
 #include "exec/vectorized.h"
 #include "expr/eval.h"
 #include "net/retry.h"
+#include "sched/circuit_breaker.h"
+#include "sched/memory_budget.h"
 #include "wire/protocol.h"
 #include "wire/serde.h"
 
@@ -23,6 +26,14 @@ Result<ExecOutput> Executor::Execute(const PlanNodePtr& plan) {
     return Status::InvalidArgument("executor requires a network");
   }
   return Exec(*plan, ctx_.trace_start_ms, ctx_.trace_parent);
+}
+
+Status Executor::ChargeMemory(size_t rows, size_t width, const char* what) {
+  if (ctx_.memory == nullptr) return Status::OK();
+  return ctx_.memory->Charge(
+      EstimateRowBytes(static_cast<int64_t>(rows),
+                       static_cast<int64_t>(width)),
+      what);
 }
 
 uint64_t Executor::BeginNodeSpan(const PlanNode& node, double t0,
@@ -85,6 +96,26 @@ Result<ExecOutput> Executor::ExecFragment(const PlanNode& node,
   for (const auto& alt : node.scan_alternates) {
     candidates.push_back({&alt.source, &alt.exported_name});
   }
+  // Health-aware routing: a suspect source (sustained failure streak —
+  // likely down) is tried after the healthy replicas instead of first,
+  // saving the detection-timeout burn its attempt would cost. The sort
+  // is stable, so plan order survives while everyone is healthy, and
+  // demoted candidates tie-break on name so the order never depends on
+  // container layout.
+  if (ctx_.health_aware_routing && ctx_.health != nullptr &&
+      candidates.size() > 1) {
+    auto penalty = [&](const Candidate& c) {
+      return ctx_.health->StateOf(*c.source) == SourceHealthState::kSuspect
+                 ? 1
+                 : 0;
+    };
+    std::stable_sort(candidates.begin(), candidates.end(),
+                     [&](const Candidate& a, const Candidate& b) {
+                       const int pa = penalty(a), pb = penalty(b);
+                       if (pa != pb) return pa < pb;
+                       return pa > 0 && *a.source < *b.source;
+                     });
+  }
 
   double spent_ms = 0.0;
   Status last;
@@ -107,6 +138,28 @@ Result<ExecOutput> Executor::ExecFragment(const PlanNode& node,
                                   ? wire::Opcode::kExecuteFragmentColumnar
                                   : wire::Opcode::kExecuteFragment;
   for (size_t i = 0; i < candidates.size(); ++i) {
+    // An open breaker answers before the wire does: no message, no
+    // bytes, no simulated time — the skip is free by construction and
+    // the E17 bench asserts it stays that way.
+    if (ctx_.breakers != nullptr &&
+        ctx_.breakers->ShouldSkip(*candidates[i].source)) {
+      last = Status::NetworkError("circuit breaker open for source '",
+                                  *candidates[i].source, "'");
+      if (ctx_.trace != nullptr) {
+        const uint64_t sk =
+            ctx_.trace->Begin("breaker.skip", "net", self, t0 + spent_ms);
+        ctx_.trace->SetHost(sk, *candidates[i].source);
+        ctx_.trace->End(sk, t0 + spent_ms);
+      }
+      tried += tried.empty() ? *candidates[i].source
+                             : ", " + *candidates[i].source;
+      if (i + 1 < candidates.size()) {
+        GISQL_LOG(kInfo) << "breaker open for '" << *candidates[i].source
+                         << "'; skipping to replica '"
+                         << *candidates[i + 1].source << "'";
+      }
+      continue;
+    }
     FragmentPlan attempt = frag;
     attempt.table = *candidates[i].table;
     std::vector<uint8_t> request = wire::SerializeFragment(attempt);
@@ -172,6 +225,9 @@ Result<ExecOutput> Executor::ExecFragment(const PlanNode& node,
       // Adopt the plan's (qualified) schema for downstream resolution.
       out.batch = RowBatch(node.output_schema, std::move(batch.rows()));
       out.elapsed_ms = spent_ms;
+      GISQL_RETURN_NOT_OK(ChargeMemory(out.batch.num_rows(),
+                                       node.output_schema->num_fields(),
+                                       "a fragment result"));
       return out;
     }
     last = std::move(call.status);
@@ -265,6 +321,9 @@ Result<ExecOutput> Executor::ExecUnionAll(const PlanNode& node, double t0,
     }
   }
   out.elapsed_ms = slowest + CpuMs(out.batch.num_rows());
+  GISQL_RETURN_NOT_OK(ChargeMemory(out.batch.num_rows(),
+                                   node.output_schema->num_fields(),
+                                   "a union result"));
   return out;
 }
 
@@ -338,6 +397,13 @@ Result<ExecOutput> Executor::ExecJoin(const PlanNode& node, double t0,
   // per-row, per-Value hash.
   std::unordered_map<uint64_t, std::vector<const Row*>> table;
   table.reserve(right.batch.num_rows());
+  // Bucket and pointer overhead per build row; the rows themselves
+  // were charged when their batch materialized.
+  if (ctx_.memory != nullptr) {
+    GISQL_RETURN_NOT_OK(ctx_.memory->Charge(
+        48 * static_cast<int64_t>(right.batch.num_rows()),
+        "a join hash table"));
+  }
   auto keys_nonnull = [](const Row& row, const std::vector<size_t>& keys) {
     for (size_t k : keys) {
       if (row[k].is_null()) return false;
@@ -409,6 +475,9 @@ Result<ExecOutput> Executor::ExecJoin(const PlanNode& node, double t0,
                              : std::max(left.elapsed_ms, right.elapsed_ms);
     out.elapsed_ms = fetch + CpuMs(left.batch.num_rows() +
                                    right.batch.num_rows());
+    GISQL_RETURN_NOT_OK(ChargeMemory(out.batch.num_rows(),
+                                     node.output_schema->num_fields(),
+                                     "an anti-join result"));
     return out;
   }
 
@@ -416,6 +485,22 @@ Result<ExecOutput> Executor::ExecJoin(const PlanNode& node, double t0,
   out.batch = RowBatch(node.output_schema);
   const size_t right_width = right_node.output_schema->num_fields();
   const bool cross = node.left_keys.empty();
+
+  // Join output is charged in chunks *while* it grows, so a hostile
+  // cross join hits its budget after the next chunk instead of after
+  // materializing the full product.
+  constexpr size_t kChargeChunk = 8192;
+  const size_t out_width = node.output_schema->num_fields();
+  size_t charged_rows = 0;
+  auto charge_output = [&]() -> Status {
+    const size_t n = out.batch.num_rows();
+    if (n >= charged_rows + kChargeChunk) {
+      GISQL_RETURN_NOT_OK(
+          ChargeMemory(n - charged_rows, out_width, "a join result"));
+      charged_rows = n;
+    }
+    return Status::OK();
+  };
 
   size_t probe_idx = 0;
   for (const auto& lrow : left.batch.rows()) {
@@ -431,7 +516,7 @@ Result<ExecOutput> Executor::ExecJoin(const PlanNode& node, double t0,
       }
       matched = true;
       out.batch.Append(std::move(combined));
-      return Status::OK();
+      return charge_output();
     };
     if (cross) {
       for (const auto& rrow : right.batch.rows()) {
@@ -463,8 +548,12 @@ Result<ExecOutput> Executor::ExecJoin(const PlanNode& node, double t0,
             Value::Null(right_node.output_schema->field(i).type));
       }
       out.batch.Append(std::move(combined));
+      GISQL_RETURN_NOT_OK(charge_output());
     }
   }
+  GISQL_RETURN_NOT_OK(
+      ChargeMemory(out.batch.num_rows() - charged_rows, out_width,
+                   "a join result"));
 
   const double fetch_ms = sequential
                               ? left.elapsed_ms + right.elapsed_ms
@@ -518,6 +607,9 @@ Result<ExecOutput> Executor::ApplyProject(const PlanNode& node,
     out.batch.Append(std::move(projected));
   }
   out.elapsed_ms = child.elapsed_ms + CpuMs(child.batch.num_rows());
+  GISQL_RETURN_NOT_OK(ChargeMemory(out.batch.num_rows(),
+                                   node.output_schema->num_fields(),
+                                   "a projected result"));
   return out;
 }
 
@@ -580,6 +672,9 @@ Result<ExecOutput> Executor::ExecAggregate(const PlanNode& node, double t0,
         result.batch,
         HashAggregateColumnar(*child.columnar, node.group_by,
                               node.aggregates, node.output_schema));
+    GISQL_RETURN_NOT_OK(ChargeMemory(result.batch.num_rows(),
+                                     node.output_schema->num_fields(),
+                                     "an aggregate result"));
     return result;
   }
   std::vector<const Row*> rows;
@@ -590,6 +685,9 @@ Result<ExecOutput> Executor::ExecAggregate(const PlanNode& node, double t0,
       HashAggregate(rows, node.group_by, node.aggregates,
                     node.output_schema));
   result.batch = std::move(out);
+  GISQL_RETURN_NOT_OK(ChargeMemory(result.batch.num_rows(),
+                                   node.output_schema->num_fields(),
+                                   "an aggregate result"));
   return result;
 }
 
@@ -629,6 +727,9 @@ Result<ExecOutput> Executor::ExecImpl(const PlanNode& node, double t0,
       ExecOutput out;
       out.batch = RowBatch(node.output_schema, std::move(snap.rows()));
       out.elapsed_ms = CpuMs(out.batch.num_rows());
+      GISQL_RETURN_NOT_OK(ChargeMemory(out.batch.num_rows(),
+                                       node.output_schema->num_fields(),
+                                       "a system-table snapshot"));
       return out;
     }
 
@@ -659,6 +760,10 @@ Result<ExecOutput> Executor::ExecImpl(const PlanNode& node, double t0,
     case PlanKind::kSort: {
       GISQL_ASSIGN_OR_RETURN(ExecOutput child,
                              Exec(*node.children[0], t0, self));
+      // Sort scratch is proportional to the input it permutes.
+      GISQL_RETURN_NOT_OK(ChargeMemory(child.batch.num_rows(),
+                                       node.output_schema->num_fields(),
+                                       "a sort buffer"));
       auto& rows = child.batch.rows();
       std::stable_sort(rows.begin(), rows.end(),
                        [&](const Row& a, const Row& b) {
@@ -720,6 +825,9 @@ Result<ExecOutput> Executor::ExecImpl(const PlanNode& node, double t0,
         out.batch.Append(std::move(row));
       }
       out.elapsed_ms = child.elapsed_ms + CpuMs(child.batch.num_rows());
+      GISQL_RETURN_NOT_OK(ChargeMemory(out.batch.num_rows(),
+                                       node.output_schema->num_fields(),
+                                       "a distinct result"));
       return out;
     }
   }

@@ -23,6 +23,9 @@
 namespace gisql {
 
 class SystemTableProvider;
+class MemoryGrant;
+class CircuitBreakerRegistry;
+class SourceHealthTracker;
 
 /// \brief Execution environment handed to the executor.
 struct ExecContext {
@@ -71,6 +74,21 @@ struct ExecContext {
   /// span), and the simulated time at which execution begins.
   uint64_t trace_parent = 0;
   double trace_start_ms = 0.0;
+  /// Per-query memory grant (sched/memory_budget.h). Operators charge
+  /// an estimate of every batch they materialize; a crossed cap aborts
+  /// the query with Status::Overloaded. Not owned; null = unbudgeted.
+  MemoryGrant* memory = nullptr;
+  /// Health tracker consulted when ordering replica candidates (see
+  /// health_aware_routing). Not owned; may be null.
+  const SourceHealthTracker* health = nullptr;
+  /// Per-source circuit breakers (sched/circuit_breaker.h): an open
+  /// breaker makes ExecFragment skip the candidate at zero network
+  /// cost. Not owned; null or disabled = classic behavior.
+  CircuitBreakerRegistry* breakers = nullptr;
+  /// Reorder a replicated view's failover candidates so suspect
+  /// sources are tried after healthy ones (stable, name tie-break).
+  /// Plan order is preserved while every candidate is healthy.
+  bool health_aware_routing = true;
 };
 
 /// \brief A materialized result plus its simulated cost.
@@ -131,6 +149,10 @@ class Executor {
   double CpuMs(size_t rows) const {
     return static_cast<double>(rows) * ctx_.mediator_cpu_us_per_row / 1e3;
   }
+
+  /// Charges `rows` materialized rows of `width` columns against the
+  /// query's memory grant (no-op when unbudgeted).
+  Status ChargeMemory(size_t rows, size_t width, const char* what);
 
   ExecContext ctx_;
 };

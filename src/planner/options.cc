@@ -1,0 +1,80 @@
+#include "planner/options.h"
+
+#include <cstdlib>
+#include <string>
+
+namespace gisql {
+
+namespace {
+
+/// Each parser overwrites `*out` only on a full, clean parse, so a
+/// typo'd variable leaves the compiled-in default intact.
+void EnvInt(const char* name, int* out) {
+  const char* text = std::getenv(name);
+  if (text == nullptr || *text == '\0') return;
+  char* end = nullptr;
+  const long v = std::strtol(text, &end, 10);
+  if (end != nullptr && *end == '\0') *out = static_cast<int>(v);
+}
+
+void EnvInt64(const char* name, int64_t* out) {
+  const char* text = std::getenv(name);
+  if (text == nullptr || *text == '\0') return;
+  char* end = nullptr;
+  const long long v = std::strtoll(text, &end, 10);
+  if (end != nullptr && *end == '\0') *out = static_cast<int64_t>(v);
+}
+
+void EnvUint64(const char* name, uint64_t* out) {
+  const char* text = std::getenv(name);
+  if (text == nullptr || *text == '\0') return;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(text, &end, 10);
+  if (end != nullptr && *end == '\0') *out = static_cast<uint64_t>(v);
+}
+
+void EnvDouble(const char* name, double* out) {
+  const char* text = std::getenv(name);
+  if (text == nullptr || *text == '\0') return;
+  char* end = nullptr;
+  const double v = std::strtod(text, &end);
+  if (end != nullptr && *end == '\0') *out = v;
+}
+
+void EnvBool(const char* name, bool* out) {
+  const char* text = std::getenv(name);
+  if (text == nullptr || *text == '\0') return;
+  const std::string v(text);
+  if (v == "1" || v == "true" || v == "TRUE" || v == "on" || v == "ON" ||
+      v == "yes" || v == "YES") {
+    *out = true;
+  } else if (v == "0" || v == "false" || v == "FALSE" || v == "off" ||
+             v == "OFF" || v == "no" || v == "NO") {
+    *out = false;
+  }
+}
+
+}  // namespace
+
+void PlannerOptions::ApplyEnv() {
+  EnvBool("GISQL_ADMISSION_CONTROL", &admission_control);
+  EnvInt("GISQL_MAX_CONCURRENT", &max_concurrent_queries);
+  EnvInt("GISQL_ADMISSION_QUEUE", &admission_queue_limit);
+  EnvDouble("GISQL_ADMISSION_WAIT_MS", &admission_max_wait_ms);
+  EnvInt64("GISQL_QUERY_MEM_BYTES", &query_mem_bytes);
+  EnvInt64("GISQL_MEDIATOR_MEM_BYTES", &mediator_mem_bytes);
+  EnvBool("GISQL_CIRCUIT_BREAKER", &circuit_breaker);
+  EnvInt("GISQL_BREAKER_FAILURES", &breaker_open_failures);
+  EnvInt("GISQL_BREAKER_COOLDOWN", &breaker_cooldown_skips);
+  EnvDouble("GISQL_BREAKER_PROBE_RATIO", &breaker_probe_ratio);
+  EnvUint64("GISQL_BREAKER_SEED", &breaker_seed);
+  EnvBool("GISQL_HEALTH_ROUTING", &health_aware_routing);
+}
+
+PlannerOptions PlannerOptions::FromEnv() {
+  PlannerOptions o;
+  o.ApplyEnv();
+  return o;
+}
+
+}  // namespace gisql

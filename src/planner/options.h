@@ -53,6 +53,57 @@ struct PlannerOptions {
   /// mediator (off = row-at-a-time everywhere; results identical).
   bool vectorized_execution = true;
 
+  /// \name Resource governance (src/sched/, DESIGN.md "Resource
+  /// governance"). Environment overrides: see ApplyEnv().
+  /// @{
+
+  /// Gate queries through the admission controller. Closed-loop
+  /// clients (each query submitted after the previous finishes) never
+  /// queue, so the default is free for them; open-loop load sees
+  /// bounded queueing and shedding.
+  bool admission_control = true;
+  /// Concurrency slots (GISQL_MAX_CONCURRENT).
+  int max_concurrent_queries = 8;
+  /// Bounded wait queue across priority classes (GISQL_ADMISSION_QUEUE).
+  int admission_queue_limit = 32;
+  /// Default queue-wait deadline; arrivals whose computed wait exceeds
+  /// it are shed up front (GISQL_ADMISSION_WAIT_MS).
+  double admission_max_wait_ms = 1000.0;
+  /// Per-query materialization budget (GISQL_QUERY_MEM_BYTES).
+  int64_t query_mem_bytes = 256LL << 20;
+  /// Mediator-wide budget across in-flight queries
+  /// (GISQL_MEDIATOR_MEM_BYTES).
+  int64_t mediator_mem_bytes = 1LL << 30;
+  /// Per-source circuit breakers (GISQL_CIRCUIT_BREAKER). Off by
+  /// default: skipping a source changes which attempts reach the
+  /// network, so it is an explicit operational choice, not a silent
+  /// one.
+  bool circuit_breaker = false;
+  /// Consecutive failures that open a breaker (GISQL_BREAKER_FAILURES).
+  int breaker_open_failures = 5;
+  /// Skipped requests while open before half-open probing resumes
+  /// (GISQL_BREAKER_COOLDOWN).
+  int breaker_cooldown_skips = 3;
+  /// Fraction of half-open requests admitted as probes
+  /// (GISQL_BREAKER_PROBE_RATIO).
+  double breaker_probe_ratio = 0.5;
+  /// Seed for the half-open probe draws (GISQL_BREAKER_SEED).
+  uint64_t breaker_seed = 17;
+  /// Demote suspect sources behind their healthy replicas when
+  /// ordering failover candidates (GISQL_HEALTH_ROUTING). Ordering is
+  /// unchanged while every candidate is healthy.
+  bool health_aware_routing = true;
+  /// @}
+
+  /// \brief Overrides governance knobs from GISQL_* environment
+  /// variables (unset or unparsable values keep the field). Mirrors
+  /// the GISQL_LOG_LEVEL convention: the env never *breaks* a run, it
+  /// only tunes it.
+  void ApplyEnv();
+
+  /// \brief Defaults with ApplyEnv() applied.
+  static PlannerOptions FromEnv();
+
   /// \brief The pre-mediator baseline: fetch whole tables, do all work
   /// centrally.
   static PlannerOptions ShipEverything() {

@@ -1,0 +1,176 @@
+#include "sched/circuit_breaker.h"
+
+#include "common/hash.h"
+#include "common/logging.h"
+
+namespace gisql {
+
+const char* BreakerStateName(BreakerState state) {
+  switch (state) {
+    case BreakerState::kClosed: return "closed";
+    case BreakerState::kOpen: return "open";
+    case BreakerState::kHalfOpen: return "half_open";
+  }
+  return "?";
+}
+
+CircuitBreakerRegistry::CircuitBreakerRegistry(BreakerConfig config)
+    : config_(config) {}
+
+void CircuitBreakerRegistry::Configure(const BreakerConfig& config) {
+  std::lock_guard<std::mutex> lock(mu_);
+  config_ = config;
+}
+
+bool CircuitBreakerRegistry::enabled() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return config_.enabled;
+}
+
+void CircuitBreakerRegistry::Transition(const std::string& source,
+                                        PerSource& s, BreakerState next) {
+  if (s.state == next) return;
+  std::string line = source;
+  line += ": ";
+  line += BreakerStateName(s.state);
+  line += "->";
+  line += BreakerStateName(next);
+  GISQL_LOG(kInfo) << "circuit breaker " << line;
+  transition_log_.push_back(std::move(line));
+  s.state = next;
+  ++s.transitions;
+  if (next == BreakerState::kOpen) s.open_skips = 0;
+}
+
+bool CircuitBreakerRegistry::ShouldSkip(const std::string& source) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!config_.enabled) return false;
+  PerSource& s = sources_[source];
+  switch (s.state) {
+    case BreakerState::kClosed:
+      return false;
+    case BreakerState::kOpen:
+      ++s.skips;
+      ++s.open_skips;
+      if (s.open_skips >= config_.cooldown_skips) {
+        Transition(source, s, BreakerState::kHalfOpen);
+      }
+      return true;
+    case BreakerState::kHalfOpen: {
+      // Seeded Bernoulli draw, keyed so the probe pattern is a pure
+      // function of (seed, source, how many draws came before).
+      const uint64_t h = HashInt(
+          HashCombine(HashString(source, config_.seed), s.draws++));
+      const double u =
+          static_cast<double>(h >> 11) * (1.0 / 9007199254740992.0);
+      if (u < config_.probe_ratio) {
+        ++s.probes;
+        return false;
+      }
+      ++s.skips;
+      return true;
+    }
+  }
+  return false;
+}
+
+void CircuitBreakerRegistry::OnSourceOutcome(const std::string& source,
+                                             bool ok) {
+  std::lock_guard<std::mutex> lock(mu_);
+  PerSource& s = sources_[source];
+  if (ok) {
+    s.streak = 0;
+    if (s.state != BreakerState::kClosed) {
+      Transition(source, s, BreakerState::kClosed);
+    }
+    return;
+  }
+  ++s.streak;
+  if (s.state == BreakerState::kHalfOpen) {
+    // The probe failed: back to open for another cooldown.
+    Transition(source, s, BreakerState::kOpen);
+  } else if (s.state == BreakerState::kClosed &&
+             s.streak >= config_.open_after) {
+    Transition(source, s, BreakerState::kOpen);
+  }
+}
+
+BreakerState CircuitBreakerRegistry::StateOf(const std::string& source) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = sources_.find(source);
+  return it == sources_.end() ? BreakerState::kClosed : it->second.state;
+}
+
+BreakerSnapshot CircuitBreakerRegistry::SnapshotOf(
+    const std::string& source) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  BreakerSnapshot snap;
+  snap.source = source;
+  auto it = sources_.find(source);
+  if (it != sources_.end()) {
+    snap.state = it->second.state;
+    snap.skips = it->second.skips;
+    snap.probes = it->second.probes;
+    snap.transitions = it->second.transitions;
+  }
+  return snap;
+}
+
+std::vector<BreakerSnapshot> CircuitBreakerRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<BreakerSnapshot> out;
+  out.reserve(sources_.size());
+  for (const auto& [name, s] : sources_) {
+    BreakerSnapshot snap;
+    snap.source = name;
+    snap.state = s.state;
+    snap.skips = s.skips;
+    snap.probes = s.probes;
+    snap.transitions = s.transitions;
+    out.push_back(std::move(snap));
+  }
+  return out;
+}
+
+int64_t CircuitBreakerRegistry::TotalTransitions() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  int64_t total = 0;
+  for (const auto& [name, s] : sources_) total += s.transitions;
+  return total;
+}
+
+int64_t CircuitBreakerRegistry::TotalSkips() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  int64_t total = 0;
+  for (const auto& [name, s] : sources_) total += s.skips;
+  return total;
+}
+
+int64_t CircuitBreakerRegistry::TotalProbes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  int64_t total = 0;
+  for (const auto& [name, s] : sources_) total += s.probes;
+  return total;
+}
+
+int CircuitBreakerRegistry::OpenCount() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  int open = 0;
+  for (const auto& [name, s] : sources_) {
+    if (s.state != BreakerState::kClosed) ++open;
+  }
+  return open;
+}
+
+std::vector<std::string> CircuitBreakerRegistry::TransitionLog() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return transition_log_;
+}
+
+void CircuitBreakerRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  sources_.clear();
+  transition_log_.clear();
+}
+
+}  // namespace gisql

@@ -1,0 +1,121 @@
+/// \file governor.h
+/// \brief The resource governor: one object bundling admission
+/// control, memory budgets, and per-source circuit breakers, plus the
+/// mediator's virtual arrival clock.
+///
+/// GlobalSystem owns exactly one governor and consults it on every
+/// submitted query: AdmissionController decides run/queue/shed,
+/// MemoryBudget hands the executor a per-query grant, and the
+/// CircuitBreakerRegistry (fed by the health tracker) lets replica
+/// routing skip sources that are known down. Everything runs on the
+/// simulated clock and the configured seed, so load-management
+/// decisions replay exactly.
+///
+/// The virtual clock: callers that don't give explicit arrival times
+/// (plain Query()) arrive "when the previous query finished" —
+/// closed-loop traffic that by construction never queues, keeping the
+/// governor invisible to existing single-client tests. Open-loop
+/// experiments pass explicit arrivals via SubmitOptions and see real
+/// queueing and shedding.
+
+#pragma once
+
+#include <algorithm>
+
+#include "planner/options.h"
+#include "sched/admission.h"
+#include "sched/circuit_breaker.h"
+#include "sched/memory_budget.h"
+
+namespace gisql {
+
+/// \brief gis.admission is a rendering of this struct.
+struct GovernorSnapshot {
+  AdmissionConfig admission_config;
+  AdmissionStats admission;
+  int64_t shed_memory_budget = 0;
+  int64_t mem_query_cap = 0;
+  int64_t mem_global_cap = 0;
+  int64_t mem_peak_bytes = 0;
+  bool breaker_enabled = false;
+  int breakers_open = 0;
+  int64_t breaker_transitions = 0;
+  int64_t breaker_skips = 0;
+  int64_t breaker_probes = 0;
+};
+
+class ResourceGovernor {
+ public:
+  explicit ResourceGovernor(const PlannerOptions& options) {
+    Configure(options);
+  }
+
+  /// \brief (Re)applies the governor-relevant PlannerOptions. Live
+  /// occupancy, counters, and breaker state are kept.
+  void Configure(const PlannerOptions& options) {
+    AdmissionConfig a;
+    a.max_concurrent = options.max_concurrent_queries;
+    a.queue_limit = options.admission_queue_limit;
+    a.max_wait_ms = options.admission_max_wait_ms;
+    admission_.Configure(a);
+    memory_.Configure(options.query_mem_bytes, options.mediator_mem_bytes);
+    BreakerConfig b;
+    b.enabled = options.circuit_breaker;
+    b.open_after = options.breaker_open_failures;
+    b.cooldown_skips = options.breaker_cooldown_skips;
+    b.probe_ratio = options.breaker_probe_ratio;
+    b.seed = options.breaker_seed;
+    breakers_.Configure(b);
+  }
+
+  AdmissionController& admission() { return admission_; }
+  MemoryBudget& memory() { return memory_; }
+  CircuitBreakerRegistry& breakers() { return breakers_; }
+  const CircuitBreakerRegistry& breakers() const { return breakers_; }
+
+  /// \brief Virtual arrival clock (simulated ms): the completion time
+  /// of the latest query, i.e. when a closed-loop client would submit
+  /// its next one.
+  double now_ms() const { return now_ms_; }
+  void AdvanceTo(double t_ms) { now_ms_ = std::max(now_ms_, t_ms); }
+
+  /// \brief Records one query aborted by a memory budget (counted
+  /// per query, not per denied charge — charge-denial multiplicity is
+  /// schedule-dependent, the query outcome is not).
+  void RecordMemoryShed() { ++shed_memory_budget_; }
+
+  GovernorSnapshot Snapshot() const {
+    GovernorSnapshot snap;
+    snap.admission_config = admission_.config();
+    snap.admission = admission_.Stats();
+    snap.shed_memory_budget = shed_memory_budget_;
+    snap.mem_query_cap = memory_.query_cap();
+    snap.mem_global_cap = memory_.global_cap();
+    snap.mem_peak_bytes = memory_.peak();
+    snap.breaker_enabled = breakers_.enabled();
+    snap.breakers_open = breakers_.OpenCount();
+    snap.breaker_transitions = breakers_.TotalTransitions();
+    snap.breaker_skips = breakers_.TotalSkips();
+    snap.breaker_probes = breakers_.TotalProbes();
+    return snap;
+  }
+
+  /// \brief Drops admission occupancy, memory watermarks, breaker
+  /// state, and the virtual clock.
+  void Reset() {
+    admission_.Reset();
+    memory_.Reset();
+    breakers_.Reset();
+    shed_memory_budget_ = 0;
+    now_ms_ = 0.0;
+  }
+
+ private:
+  AdmissionController admission_;
+  MemoryBudget memory_;
+  CircuitBreakerRegistry breakers_;
+  int64_t shed_memory_budget_ = 0;
+  double now_ms_ = 0.0;
+};
+
+}  // namespace gisql

@@ -1,0 +1,94 @@
+#include "sched/memory_budget.h"
+
+#include <utility>
+
+namespace gisql {
+
+MemoryGrant::MemoryGrant(MemoryBudget* budget, int64_t query_cap)
+    : budget_(budget), query_cap_(query_cap) {}
+
+MemoryGrant::MemoryGrant(MemoryGrant&& other) noexcept
+    : budget_(std::exchange(other.budget_, nullptr)),
+      query_cap_(other.query_cap_),
+      used_(other.used_.load(std::memory_order_relaxed)) {}
+
+MemoryGrant& MemoryGrant::operator=(MemoryGrant&& other) noexcept {
+  if (this != &other) {
+    ReleaseAll();
+    budget_ = std::exchange(other.budget_, nullptr);
+    query_cap_ = other.query_cap_;
+    used_.store(other.used_.load(std::memory_order_relaxed),
+                std::memory_order_relaxed);
+  }
+  return *this;
+}
+
+MemoryGrant::~MemoryGrant() { ReleaseAll(); }
+
+void MemoryGrant::ReleaseAll() {
+  if (budget_ != nullptr) {
+    budget_->Release(used_.load(std::memory_order_relaxed));
+    budget_ = nullptr;
+  }
+  used_.store(0, std::memory_order_relaxed);
+}
+
+Status MemoryGrant::Charge(int64_t bytes, const char* what) {
+  if (budget_ == nullptr || bytes <= 0) return Status::OK();
+  const int64_t total =
+      used_.fetch_add(bytes, std::memory_order_relaxed) + bytes;
+  // The charge stays booked even on failure — in used_ AND globally:
+  // the grant's destructor releases used_ in one piece, so every byte
+  // booked here must also reach the global total or the release would
+  // drive it negative. The query is about to abort and return it all.
+  // The message states only the cap and the operator — the exact
+  // running total at the crossing depends on worker interleaving, and
+  // error text must not.
+  const Status global = budget_->ChargeGlobal(bytes);
+  if (total > query_cap_) {
+    return Status::Overloaded("query memory budget of ", query_cap_,
+                              " bytes exceeded while materializing ", what,
+                              " (raise GISQL_QUERY_MEM_BYTES or narrow the "
+                              "query)");
+  }
+  return global;
+}
+
+void MemoryBudget::Configure(int64_t query_cap_bytes,
+                             int64_t global_cap_bytes) {
+  query_cap_.store(query_cap_bytes, std::memory_order_relaxed);
+  global_cap_.store(global_cap_bytes, std::memory_order_relaxed);
+}
+
+MemoryGrant MemoryBudget::NewGrant() {
+  return MemoryGrant(this, query_cap());
+}
+
+Status MemoryBudget::ChargeGlobal(int64_t bytes) {
+  const int64_t total =
+      in_use_.fetch_add(bytes, std::memory_order_relaxed) + bytes;
+  int64_t prev = peak_.load(std::memory_order_relaxed);
+  while (total > prev &&
+         !peak_.compare_exchange_weak(prev, total,
+                                      std::memory_order_relaxed)) {
+  }
+  if (total > global_cap_.load(std::memory_order_relaxed)) {
+    return Status::Overloaded(
+        "mediator memory budget of ",
+        global_cap_.load(std::memory_order_relaxed),
+        " bytes exceeded (raise GISQL_MEDIATOR_MEM_BYTES or admit fewer "
+        "concurrent queries)");
+  }
+  return Status::OK();
+}
+
+void MemoryBudget::Release(int64_t bytes) {
+  if (bytes > 0) in_use_.fetch_sub(bytes, std::memory_order_relaxed);
+}
+
+void MemoryBudget::Reset() {
+  in_use_.store(0, std::memory_order_relaxed);
+  peak_.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace gisql

@@ -27,7 +27,7 @@ Result<std::vector<uint8_t>> DecodeResponse(
   if (!ok) {
     GISQL_ASSIGN_OR_RETURN(uint8_t code, r.GetU8());
     GISQL_ASSIGN_OR_RETURN(std::string msg, r.GetString());
-    if (code > static_cast<uint8_t>(StatusCode::kInternal) || code == 0) {
+    if (code > static_cast<uint8_t>(StatusCode::kOverloaded) || code == 0) {
       return Status::SerializationError("bad status code in response");
     }
     return Status(static_cast<StatusCode>(code), std::move(msg));

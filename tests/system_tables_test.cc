@@ -122,6 +122,22 @@ TEST_F(SystemTablesTest, AggregatesOverMetrics) {
   EXPECT_GT(result->batch.rows()[1][1].AsInt(), 0);
 }
 
+TEST_F(SystemTablesTest, GaugesAreQuarantinedOutOfMetrics) {
+  ASSERT_TRUE(gis_.Query("SELECT COUNT(*) FROM orders").ok());
+  // The last-value gauge renders via gis.gauges...
+  auto gauges = gis_.Query(
+      "SELECT registry, name, value FROM gis.gauges "
+      "WHERE name = 'net.last_elapsed_ms'");
+  ASSERT_TRUE(gauges.ok()) << gauges.status().ToString();
+  EXPECT_EQ(gauges->batch.num_rows(), 1u);
+  // ...and never via gis.metrics, whose counters are monotone and
+  // schedule-independent by construction.
+  auto metrics = gis_.Query(
+      "SELECT name FROM gis.metrics WHERE kind <> 'counter'");
+  ASSERT_TRUE(metrics.ok()) << metrics.status().ToString();
+  EXPECT_EQ(metrics->batch.num_rows(), 0u);
+}
+
 TEST_F(SystemTablesTest, HistogramsDigestNetworkLatency) {
   ASSERT_TRUE(gis_.Query("SELECT COUNT(*) FROM orders").ok());
   auto result = gis_.Query(
@@ -217,12 +233,12 @@ TEST(SystemTablesDeterminismTest, SerialAndPooledResultsAreIdentical) {
          {"SELECT * FROM gis.sources ORDER BY source",
           "SELECT id, sql, bytes_sent, bytes_received, messages, retries, "
           "cache_hit, rows FROM gis.queries ORDER BY id",
-          // net.last_elapsed_ms is a last-value gauge: under pooled
-          // execution "last" depends on completion order, the one
-          // documented order-dependent metric. Everything else must
-          // match byte for byte.
+          // gis.metrics carries counters only (the point-in-time
+          // gauges are quarantined in gis.gauges), so the whole
+          // snapshot must match byte for byte — no exclusions.
           "SELECT registry, name, kind, value FROM gis.metrics "
-          "WHERE name <> 'net.last_elapsed_ms' ORDER BY registry, name"}) {
+          "ORDER BY registry, name",
+          "SELECT * FROM gis.admission"}) {
       auto r = gis->Query(q);
       EXPECT_TRUE(r.ok()) << r.status().ToString();
       if (r.ok()) out += r->batch.ToString(1 << 20);
