@@ -12,8 +12,8 @@ bool IsSystemTableName(const std::string& name) {
 }
 
 std::vector<std::string> SystemTableNames() {
-  return {"gis.admission", "gis.gauges", "gis.histograms",
-          "gis.metrics",  "gis.queries", "gis.sources"};
+  return {"gis.admission", "gis.cursors", "gis.gauges", "gis.histograms",
+          "gis.metrics",   "gis.queries", "gis.sources"};
 }
 
 Result<SchemaPtr> SystemTableSchema(const std::string& name) {
@@ -80,6 +80,24 @@ Result<SchemaPtr> SystemTableSchema(const std::string& name) {
         {"breaker_probes", TypeId::kInt64, false},
     });
   }
+  if (lower == "gis.cursors") {
+    // One row per mediator cursor (open, plus a bounded tail of
+    // finished ones): its lifecycle state, delivery mode, progress,
+    // lease deadline, and currently charged memory.
+    return std::make_shared<Schema>(std::vector<Field>{
+        {"id", TypeId::kInt64, false},
+        {"sql", TypeId::kString, false},
+        {"state", TypeId::kString, false},
+        {"streaming", TypeId::kBool, false},
+        {"chunk_rows", TypeId::kInt64, false},
+        {"chunks", TypeId::kInt64, false},
+        {"rows", TypeId::kInt64, false},
+        {"opened_ms", TypeId::kDouble, false},
+        {"lease_deadline_ms", TypeId::kDouble, false},
+        {"elapsed_ms", TypeId::kDouble, false},
+        {"mem_bytes", TypeId::kInt64, false},
+    });
+  }
   if (lower == "gis.histograms") {
     return std::make_shared<Schema>(std::vector<Field>{
         {"registry", TypeId::kString, false},
@@ -111,7 +129,8 @@ Result<SchemaPtr> SystemTableSchema(const std::string& name) {
   }
   return Status::NotFound("'", name, "' is not a system table (known: ",
                           "gis.sources, gis.metrics, gis.gauges, "
-                          "gis.histograms, gis.queries, gis.admission)");
+                          "gis.histograms, gis.queries, gis.admission, "
+                          "gis.cursors)");
 }
 
 }  // namespace gisql

@@ -3,6 +3,7 @@
 #include <set>
 
 #include "common/bytes.h"
+#include "exec/streaming.h"
 #include "net/retry.h"
 #include "planner/cost_model.h"
 #include "planner/decomposer.h"
@@ -39,7 +40,7 @@ GlobalSystem::GlobalSystem(PlannerOptions options)
   health_.set_outcome_listener(&governor_.breakers());
   system_catalog_ = std::make_unique<SystemCatalog>(
       &health_, &metrics_, &network_.metrics(), &query_log_, &catalog_,
-      &governor_);
+      &governor_, &cursors_);
   catalog_.RegisterSystemTableProvider(system_catalog_.get());
 }
 
@@ -421,41 +422,47 @@ Result<QueryResult> GlobalSystem::Query(const std::string& sql) {
   return Submit(sql, SubmitOptions());
 }
 
+Result<AdmissionDecision> GlobalSystem::AdmitOrShed(
+    const std::string& sql, const SubmitOptions& submit) {
+  AdmissionRequest req;
+  // Closed-loop callers (plain Query) arrive at the completion time
+  // of the previous query, so a slot is always free and the governor
+  // is invisible; open-loop callers pass explicit arrivals.
+  req.arrival_ms =
+      submit.arrival_ms >= 0 ? submit.arrival_ms : governor_.now_ms();
+  req.priority = submit.priority;
+  req.max_wait_ms = submit.max_wait_ms;
+  AdmissionDecision decision = governor_.admission().Admit(req);
+  if (!decision.admitted) {
+    metrics_.Add("admission.shed", 1);
+    // Shed queries still land in gis.queries (with their reason and
+    // zero traffic) so operators can see *what* was refused.
+    QueryLogEntry entry;
+    entry.sql = sql;
+    entry.shed_reason = ShedReasonName(decision.reason);
+    query_log_.Append(std::move(entry));
+    if (decision.reason == ShedReason::kDeadline) {
+      return Status::Overloaded(
+          "query shed: the admission queue would hold it for ",
+          decision.wait_ms, " ms, past its ", "deadline (",
+          decision.queued_ahead, " queries ahead)");
+    }
+    return Status::Overloaded(
+        "query shed: the admission wait queue is full (",
+        decision.queued_ahead, " queued, limit ",
+        governor_.admission().config().queue_limit, ")");
+  }
+  metrics_.Add("admission.admitted", 1);
+  metrics_.Observe("admission.wait_ms", decision.wait_ms);
+  return decision;
+}
+
 Result<QueryResult> GlobalSystem::Submit(const std::string& sql,
                                          const SubmitOptions& submit) {
   AdmissionDecision decision;
   const bool governed = options_.admission_control;
   if (governed) {
-    AdmissionRequest req;
-    // Closed-loop callers (plain Query) arrive at the completion time
-    // of the previous query, so a slot is always free and the governor
-    // is invisible; open-loop callers pass explicit arrivals.
-    req.arrival_ms =
-        submit.arrival_ms >= 0 ? submit.arrival_ms : governor_.now_ms();
-    req.priority = submit.priority;
-    req.max_wait_ms = submit.max_wait_ms;
-    decision = governor_.admission().Admit(req);
-    if (!decision.admitted) {
-      metrics_.Add("admission.shed", 1);
-      // Shed queries still land in gis.queries (with their reason and
-      // zero traffic) so operators can see *what* was refused.
-      QueryLogEntry entry;
-      entry.sql = sql;
-      entry.shed_reason = ShedReasonName(decision.reason);
-      query_log_.Append(std::move(entry));
-      if (decision.reason == ShedReason::kDeadline) {
-        return Status::Overloaded(
-            "query shed: the admission queue would hold it for ",
-            decision.wait_ms, " ms, past its ", "deadline (",
-            decision.queued_ahead, " queries ahead)");
-      }
-      return Status::Overloaded(
-          "query shed: the admission wait queue is full (",
-          decision.queued_ahead, " queued, limit ",
-          governor_.admission().config().queue_limit, ")");
-    }
-    metrics_.Add("admission.admitted", 1);
-    metrics_.Observe("admission.wait_ms", decision.wait_ms);
+    GISQL_ASSIGN_OR_RETURN(decision, AdmitOrShed(sql, submit));
   }
 
   MemoryGrant grant = governor_.memory().NewGrant();
@@ -682,6 +689,265 @@ Result<QueryResult> GlobalSystem::RunStatement(const std::string& sql,
   entry.admission_wait_ms = admission_wait_ms;
   query_log_.Append(std::move(entry));
   return result;
+}
+
+Result<uint64_t> GlobalSystem::OpenCursor(const std::string& sql,
+                                          const CursorOptions& opts) {
+  SweepExpiredCursors(governor_.now_ms());
+
+  const int64_t chunk_rows =
+      opts.chunk_rows > 0 ? opts.chunk_rows : options_.cursor_chunk_rows;
+  if (chunk_rows <= 0) {
+    return Status::InvalidArgument("cursor chunk_rows must be positive, got ",
+                                   chunk_rows);
+  }
+  const double lease_ms =
+      opts.lease_ms >= 0.0 ? opts.lease_ms : options_.cursor_lease_ms;
+
+  // The open-cursor cap is checked before admission so a refused open
+  // allocates nothing — no cursor, no grant, no admission ticket.
+  if (cursors_.OpenCount() >=
+      static_cast<size_t>(options_.cursor_max_open)) {
+    metrics_.Add("cursor.shed", 1);
+    QueryLogEntry entry;
+    entry.sql = sql;
+    entry.shed_reason = "cursor_limit";
+    query_log_.Append(std::move(entry));
+    return Status::Overloaded("cursor shed: ", cursors_.OpenCount(),
+                              " cursors already open (limit ",
+                              options_.cursor_max_open, ")");
+  }
+
+  AdmissionDecision decision;
+  const bool governed = options_.admission_control;
+  if (governed) {
+    GISQL_ASSIGN_OR_RETURN(decision, AdmitOrShed(sql, opts.submit));
+  }
+
+  // The admission slot covers only the open (which runs the whole plan
+  // when it must spool); fetches happen outside it, so cursor_max_open
+  // — not max_concurrent_queries — bounds concurrently open cursors.
+  auto finish = [&](double elapsed) {
+    if (governed) {
+      governor_.admission().Release(decision.ticket,
+                                    decision.start_ms + elapsed);
+      governor_.AdvanceTo(decision.start_ms + elapsed);
+    }
+  };
+  auto fail = [&](const Status& st) -> Status {
+    finish(0.0);
+    if (st.IsOverloaded()) {
+      // Spooling overflowed the query budget — the same query-level
+      // shed Submit records.
+      governor_.RecordMemoryShed();
+      metrics_.Add("admission.shed", 1);
+      QueryLogEntry entry;
+      entry.sql = sql;
+      entry.admission_wait_ms = decision.wait_ms;
+      entry.shed_reason = ShedReasonName(ShedReason::kMemoryBudget);
+      query_log_.Append(std::move(entry));
+    }
+    return st;
+  };
+
+  auto stmt_or = sql::ParseStatement(sql);
+  if (!stmt_or.ok()) return fail(stmt_or.status());
+  if (stmt_or->kind != sql::Statement::Kind::kSelect) {
+    return fail(Status::InvalidArgument(
+        "cursors serve SELECT statements; EXPLAIN and DDL/DML go "
+        "through Query()/ExecuteAt()"));
+  }
+  auto plan_or = PlanQuery(*stmt_or->select);
+  if (!plan_or.ok()) return fail(plan_or.status());
+  PlanNodePtr plan = std::move(plan_or).ValueUnsafe();
+  const bool streaming = IsStreamablePlan(plan);
+
+  // Cursors bypass the result cache entirely: a chunked delivery has
+  // nothing to insert (the whole point is never holding the full
+  // result), and serving chunks from a cached batch would dodge the
+  // memory accounting this path exists to enforce.
+  const NetCounters before = NetCounters::Read(network_);
+  MemoryGrant grant = governor_.memory().NewGrant();
+  std::unique_ptr<RowStream> stream;
+  double open_elapsed = 0.0;
+  if (streaming) {
+    auto stream_or = OpenPlanStream(MakeExecContext(nullptr), plan,
+                                    chunk_rows, cursors_.token_counter());
+    if (!stream_or.ok()) return fail(stream_or.status());
+    stream = std::move(stream_or).ValueUnsafe();
+  } else {
+    // Blocking plan: run it to completion now, charged to the query
+    // grant like Submit would, and serve the spool chunk by chunk. The
+    // grant keeps the full charge until the cursor dies — the spool
+    // really is resident.
+    ExecContext ctx = MakeExecContext(&grant);
+    Executor executor(ctx);
+    auto out_or = executor.Execute(plan);
+    if (!out_or.ok()) return fail(out_or.status());
+    open_elapsed = out_or->elapsed_ms;
+    stream = MakeSpoolStream(std::move(out_or->batch), chunk_rows);
+  }
+  finish(open_elapsed);
+  const NetCounters after = NetCounters::Read(network_);
+
+  const double opened_at =
+      governed ? decision.start_ms + open_elapsed : governor_.now_ms();
+  CursorManager::Entry& e =
+      cursors_.Create(sql, streaming, chunk_rows, opened_at, lease_ms);
+  e.stream = std::move(stream);
+  e.plan = std::move(plan);
+  e.grant = std::move(grant);
+  e.elapsed_ms = open_elapsed;
+  e.bytes_sent = after.bytes_sent - before.bytes_sent;
+  e.bytes_received = after.bytes_received - before.bytes_received;
+  e.messages = after.messages - before.messages;
+  e.retries = after.retries - before.retries;
+  metrics_.Add("cursor.opened", 1);
+  return e.id;
+}
+
+Result<GlobalSystem::CursorChunkResult> GlobalSystem::FetchChunk(
+    uint64_t cursor_id) {
+  const double now = governor_.now_ms();
+  SweepExpiredCursors(now);
+  CursorManager::Entry* e = cursors_.Find(cursor_id);
+  if (e == nullptr) {
+    return Status::NotFound("cursor ", cursor_id, " does not exist");
+  }
+  if (e->state != CursorManager::State::kOpen) {
+    return Status::NotFound("cursor ", cursor_id, " is ",
+                            CursorManager::StateName(e->state));
+  }
+
+  const NetCounters before = NetCounters::Read(network_);
+  Result<StreamChunk> chunk_or = e->stream->Next();
+  if (!chunk_or.ok()) {
+    // A transport error leaves the cursor open: the stream did not
+    // advance, so a retried FetchChunk re-requests the same chunk and
+    // the source's one-chunk re-serve window absorbs the duplicate.
+    // Anything else is fatal to the cursor.
+    if (!IsRetryableTransport(chunk_or.status())) {
+      FinalizeCursor(*e, CursorManager::State::kClosed);
+    }
+    return chunk_or.status();
+  }
+  StreamChunk chunk = std::move(chunk_or).ValueUnsafe();
+
+  if (e->streaming) {
+    // Re-grant per chunk: a fresh grant charged for just this chunk
+    // replaces the previous chunk's (move-assign releases the old
+    // charge first), keeping the cursor's booked footprint O(chunk).
+    // The swap happens even when the charge is denied — a failed
+    // Charge still books the bytes, and only release-through-the-grant
+    // keeps the global budget consistent.
+    const int64_t width =
+        chunk.rows.schema() != nullptr
+            ? static_cast<int64_t>(chunk.rows.schema()->fields().size())
+            : 0;
+    MemoryGrant next = governor_.memory().NewGrant();
+    const Status charged = next.Charge(
+        EstimateRowBytes(static_cast<int64_t>(chunk.rows.num_rows()), width),
+        "a cursor chunk");
+    e->grant = std::move(next);
+    if (!charged.ok()) {
+      governor_.RecordMemoryShed();
+      metrics_.Add("admission.shed", 1);
+      FinalizeCursor(*e, CursorManager::State::kClosed,
+                     ShedReasonName(ShedReason::kMemoryBudget));
+      return charged;
+    }
+  }
+
+  e->chunks += 1;
+  e->rows += static_cast<int64_t>(chunk.rows.num_rows());
+  e->elapsed_ms += chunk.elapsed_ms;
+  const NetCounters after = NetCounters::Read(network_);
+  e->bytes_sent += after.bytes_sent - before.bytes_sent;
+  e->bytes_received += after.bytes_received - before.bytes_received;
+  e->messages += after.messages - before.messages;
+  e->retries += after.retries - before.retries;
+
+  governor_.AdvanceTo(now + chunk.elapsed_ms);
+  // Each successful fetch renews the lease from the advanced clock.
+  e->lease_deadline_ms = governor_.now_ms() + e->lease_ms;
+  metrics_.Add("cursor.chunks", 1);
+
+  CursorChunkResult res;
+  res.batch = std::move(chunk.rows);
+  res.done = chunk.done;
+  res.seq = static_cast<uint64_t>(e->chunks - 1);
+  res.metrics.elapsed_ms = chunk.elapsed_ms;
+  FillNetDeltas(res.metrics, before, after);
+  if (chunk.done) FinalizeCursor(*e, CursorManager::State::kDrained);
+  return res;
+}
+
+Status GlobalSystem::CloseCursor(uint64_t cursor_id) {
+  SweepExpiredCursors(governor_.now_ms());
+  CursorManager::Entry* e = cursors_.Find(cursor_id);
+  // Idempotent end-to-end: unknown (pruned) and already-finished
+  // cursors close successfully, mirroring the source-side contract.
+  if (e == nullptr || e->state != CursorManager::State::kOpen) {
+    return Status::OK();
+  }
+  FinalizeCursor(*e, CursorManager::State::kClosed);
+  return Status::OK();
+}
+
+void GlobalSystem::SweepExpiredCursors(double now_ms) {
+  for (uint64_t id : cursors_.ExpiredBefore(now_ms)) {
+    CursorManager::Entry* e = cursors_.Find(id);
+    if (e != nullptr) FinalizeCursor(*e, CursorManager::State::kExpired);
+  }
+}
+
+void GlobalSystem::FinalizeCursor(CursorManager::Entry& entry,
+                                  CursorManager::State state,
+                                  const char* shed_reason) {
+  if (entry.state != CursorManager::State::kOpen) return;
+  if (entry.stream != nullptr) {
+    // Best-effort remote close; its traffic and time belong to the
+    // cursor like any fetch's.
+    const NetCounters before = NetCounters::Read(network_);
+    const double close_ms = entry.stream->Close();
+    const NetCounters after = NetCounters::Read(network_);
+    entry.bytes_sent += after.bytes_sent - before.bytes_sent;
+    entry.bytes_received += after.bytes_received - before.bytes_received;
+    entry.messages += after.messages - before.messages;
+    entry.retries += after.retries - before.retries;
+    entry.elapsed_ms += close_ms;
+    governor_.AdvanceTo(governor_.now_ms() + close_ms);
+  }
+  // One gis.queries entry per cursor, written at end of life so it
+  // carries the cursor's whole story (rows served, total traffic).
+  QueryLogEntry log;
+  log.sql = entry.sql;
+  log.elapsed_ms = entry.elapsed_ms;
+  log.bytes_sent = entry.bytes_sent;
+  log.bytes_received = entry.bytes_received;
+  log.messages = entry.messages;
+  log.retries = entry.retries;
+  log.rows = entry.rows;
+  log.shed_reason = shed_reason;
+  query_log_.Append(std::move(log));
+  switch (state) {
+    case CursorManager::State::kDrained:
+      metrics_.Add("cursor.drained", 1);
+      break;
+    case CursorManager::State::kExpired:
+      metrics_.Add("cursor.expired", 1);
+      break;
+    default:
+      metrics_.Add("cursor.closed", 1);
+      break;
+  }
+  metrics_.Add("query.count", 1);
+  metrics_.Observe("query.ms", entry.elapsed_ms);
+  metrics_.Observe("query.bytes",
+                   static_cast<double>(entry.bytes_received));
+  // Releases the grant and may prune entries: the reference (and any
+  // other finished entry's) is dead after this line.
+  cursors_.Finalize(entry.id, state);
 }
 
 }  // namespace gisql

@@ -24,6 +24,7 @@
 #include "catalog/catalog.h"
 #include "common/retry_policy.h"
 #include "common/trace.h"
+#include "core/cursor_manager.h"
 #include "core/query_cache.h"
 #include "core/query_log.h"
 #include "core/source_health.h"
@@ -164,6 +165,66 @@ class GlobalSystem {
   Result<QueryResult> Submit(const std::string& sql,
                              const SubmitOptions& submit);
 
+  /// \name Cursor-based streaming results
+  ///
+  /// The alternative to Query()/Submit() for large results: OpenCursor
+  /// admits and plans the query but delivers it through FetchChunk as
+  /// bounded chunks, so the mediator's resident footprint per query is
+  /// O(chunk) instead of O(result). Streamable plans (filter / project
+  /// / limit / union pipelines over remote scans) execute
+  /// incrementally — sources stage the scan behind wire cursors
+  /// (kOpenCursor/kFetchChunk/kCloseCursor) and rows cross the WAN one
+  /// chunk at a time; blocking plans (joins, aggregates, sorts) drain
+  /// into a spool charged to the query's memory grant at open and are
+  /// then served from it. Cursors carry a lease on the simulated
+  /// clock: one not fetched within its lease expires on the next
+  /// cursor call, releasing its grant and source staging. Admission
+  /// control gates OpenCursor exactly like Submit — a shed open
+  /// allocates neither cursor nor grant. State is queryable as
+  /// gis.cursors.
+  /// @{
+
+  /// \brief Per-cursor knobs; negatives fall back to PlannerOptions
+  /// (cursor_chunk_rows / cursor_lease_ms).
+  struct CursorOptions {
+    SubmitOptions submit;   ///< admission parameters, as for Submit()
+    int64_t chunk_rows = -1;
+    double lease_ms = -1.0;
+  };
+
+  /// \brief One fetched chunk plus its per-fetch accounting.
+  struct CursorChunkResult {
+    RowBatch batch;
+    /// True on the last chunk; the cursor is drained and already
+    /// finalized (no CloseCursor needed, though calling it is OK).
+    bool done = false;
+    uint64_t seq = 0;        ///< 0-based chunk ordinal
+    QueryMetrics metrics;    ///< this fetch only
+  };
+
+  /// \brief Admits, plans, and stages `sql` behind a cursor; returns
+  /// its id. Overloaded when admission sheds it or the open-cursor
+  /// limit is reached — in both cases nothing was allocated.
+  Result<uint64_t> OpenCursor(const std::string& sql,
+                              const CursorOptions& opts);
+  Result<uint64_t> OpenCursor(const std::string& sql) {
+    return OpenCursor(sql, CursorOptions());
+  }
+
+  /// \brief Serves the cursor's next chunk. After a transport error
+  /// the cursor stays open and the same chunk can be re-fetched (the
+  /// source re-serves idempotently); fatal errors finalize it.
+  Result<CursorChunkResult> FetchChunk(uint64_t cursor_id);
+
+  /// \brief Releases the cursor (idempotent; unknown or finished ids
+  /// are OK).
+  Status CloseCursor(uint64_t cursor_id);
+
+  /// \brief Cursor bookkeeping, for tests/monitoring (gis.cursors is
+  /// the SQL view of the same state).
+  const CursorManager& cursors() const { return cursors_; }
+  /// @}
+
   /// \brief The decomposed plan's EXPLAIN text, without executing.
   Result<std::string> Explain(const std::string& sql);
 
@@ -284,6 +345,22 @@ class GlobalSystem {
                                    MemoryGrant* grant,
                                    double admission_wait_ms);
 
+  /// \brief The admission gate shared by Submit and OpenCursor. On a
+  /// shed, logs the refusal and returns Overloaded — before anything
+  /// (cursor, grant) is allocated.
+  Result<AdmissionDecision> AdmitOrShed(const std::string& sql,
+                                        const SubmitOptions& submit);
+
+  /// \brief Closes expired-lease cursors (called lazily at the top of
+  /// every cursor operation; no background thread).
+  void SweepExpiredCursors(double now_ms);
+
+  /// \brief Ends a cursor's life: closes its stream (best-effort
+  /// remote close), writes its query-log entry, releases its grant.
+  void FinalizeCursor(CursorManager::Entry& entry,
+                      CursorManager::State state,
+                      const char* shed_reason = "");
+
   PlannerOptions options_;
   RetryPolicy retry_policy_ = RetryPolicy::NoRetry();
   // governor_ precedes health_ (the tracker forwards outcomes into the
@@ -296,6 +373,8 @@ class GlobalSystem {
   Catalog catalog_;
   std::vector<ComponentSourcePtr> sources_;
   QueryLog query_log_;
+  // cursors_ precedes system_catalog_ (which snapshots it).
+  CursorManager cursors_;
   std::unique_ptr<SystemCatalog> system_catalog_;
   std::unique_ptr<QueryCache> cache_;
   std::unique_ptr<ThreadPool> pool_;

@@ -68,6 +68,7 @@ Result<RowBatch> SystemCatalog::Snapshot(const std::string& name) const {
   if (lower == "gis.histograms") return SnapshotHistograms();
   if (lower == "gis.queries") return SnapshotQueries();
   if (lower == "gis.admission") return SnapshotAdmission();
+  if (lower == "gis.cursors") return SnapshotCursors();
   const auto schema = SystemTableSchema(name);
   return schema.status();  // NotFound with the known-table list
 }
@@ -153,6 +154,13 @@ RowBatch SystemCatalog::SnapshotAdmission() const {
                 Value::Int(g.breaker_transitions),
                 Value::Int(g.breaker_skips), Value::Int(g.breaker_probes)});
   return batch;
+}
+
+RowBatch SystemCatalog::SnapshotCursors() const {
+  if (cursors_ == nullptr) {
+    return RowBatch(SystemTableSchema("gis.cursors").ValueUnsafe());
+  }
+  return cursors_->Snapshot();
 }
 
 }  // namespace gisql

@@ -8,6 +8,7 @@
 #include "catalog/catalog.h"
 #include "catalog/system_tables.h"
 #include "common/metrics.h"
+#include "core/cursor_manager.h"
 #include "core/query_log.h"
 #include "core/source_health.h"
 #include "sched/governor.h"
@@ -27,13 +28,15 @@ class SystemCatalog : public SystemTableProvider {
                 const MetricsRegistry* mediator_metrics,
                 const MetricsRegistry* network_metrics,
                 const QueryLog* query_log, const Catalog* catalog,
-                const ResourceGovernor* governor)
+                const ResourceGovernor* governor,
+                const CursorManager* cursors = nullptr)
       : health_(health),
         mediator_metrics_(mediator_metrics),
         network_metrics_(network_metrics),
         query_log_(query_log),
         catalog_(catalog),
-        governor_(governor) {}
+        governor_(governor),
+        cursors_(cursors) {}
 
   bool HasTable(const std::string& name) const override;
   Result<SchemaPtr> TableSchema(const std::string& name) const override;
@@ -47,6 +50,7 @@ class SystemCatalog : public SystemTableProvider {
   RowBatch SnapshotHistograms() const;
   RowBatch SnapshotQueries() const;
   RowBatch SnapshotAdmission() const;
+  RowBatch SnapshotCursors() const;
 
   const SourceHealthTracker* health_;
   const MetricsRegistry* mediator_metrics_;
@@ -54,6 +58,7 @@ class SystemCatalog : public SystemTableProvider {
   const QueryLog* query_log_;
   const Catalog* catalog_;
   const ResourceGovernor* governor_;
+  const CursorManager* cursors_;
 };
 
 }  // namespace gisql

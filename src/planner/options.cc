@@ -69,6 +69,9 @@ void PlannerOptions::ApplyEnv() {
   EnvDouble("GISQL_BREAKER_PROBE_RATIO", &breaker_probe_ratio);
   EnvUint64("GISQL_BREAKER_SEED", &breaker_seed);
   EnvBool("GISQL_HEALTH_ROUTING", &health_aware_routing);
+  EnvInt64("GISQL_CURSOR_CHUNK_ROWS", &cursor_chunk_rows);
+  EnvDouble("GISQL_CURSOR_LEASE_MS", &cursor_lease_ms);
+  EnvInt("GISQL_CURSOR_MAX_OPEN", &cursor_max_open);
 }
 
 PlannerOptions PlannerOptions::FromEnv() {

@@ -95,6 +95,21 @@ struct PlannerOptions {
   bool health_aware_routing = true;
   /// @}
 
+  /// \name Cursor-based streaming (wire/cursor.h, core/cursor_manager.h)
+  /// @{
+
+  /// Rows per fetched chunk — the unit the per-query memory footprint
+  /// shrinks to under streaming (GISQL_CURSOR_CHUNK_ROWS).
+  int64_t cursor_chunk_rows = 1024;
+  /// Idle lease on the simulated clock: a cursor not fetched within
+  /// this window expires on the next cursor call, releasing its memory
+  /// grant and source-side staging (GISQL_CURSOR_LEASE_MS).
+  double cursor_lease_ms = 30000.0;
+  /// Concurrently open mediator cursors; opens past it are shed with
+  /// Overloaded (GISQL_CURSOR_MAX_OPEN).
+  int cursor_max_open = 64;
+  /// @}
+
   /// \brief Overrides governance knobs from GISQL_* environment
   /// variables (unset or unparsable values keep the field). Mirrors
   /// the GISQL_LOG_LEVEL convention: the env never *breaks* a run, it

@@ -10,10 +10,17 @@
 #include "expr/binder.h"
 #include "expr/eval.h"
 #include "sql/parser.h"
+#include "wire/cursor.h"
 #include "wire/protocol.h"
 #include "wire/serde.h"
 
 namespace gisql {
+
+namespace {
+/// A source stages at most this many concurrent cursors; past it, opens
+/// answer Overloaded — backpressure instead of unbounded staging memory.
+constexpr size_t kMaxOpenCursorsPerSource = 256;
+}  // namespace
 
 ComponentSource::ComponentSource(std::string name, SourceDialect dialect,
                                  double cpu_us_per_row)
@@ -544,6 +551,85 @@ Result<std::vector<uint8_t>> ComponentSource::Handle(
       } else {
         writer.PutU8(wire::kBatchFormatRow);
         wire::WriteBatch(&writer, batch);
+      }
+      return writer.Release();
+    }
+
+    case wire::Opcode::kOpenCursor: {
+      GISQL_ASSIGN_OR_RETURN(wire::OpenCursorRequest req,
+                             wire::ReadOpenCursorRequest(&reader));
+      // Idempotent by token: a retried (or duplicate-delivered) open
+      // finds the cursor its first delivery staged.
+      if (auto it = cursor_tokens_.find(req.token);
+          it != cursor_tokens_.end()) {
+        wire::WriteOpenCursorResponse(&writer, {it->second});
+        return writer.Release();
+      }
+      if (cursors_.size() >= kMaxOpenCursorsPerSource) {
+        return Status::Overloaded("source '", name_, "' has ",
+                                  cursors_.size(),
+                                  " open cursors (limit ",
+                                  kMaxOpenCursorsPerSource, ")");
+      }
+      int64_t rows_scanned = 0;
+      GISQL_ASSIGN_OR_RETURN(RowBatch batch,
+                             ExecuteFragment(req.fragment, &rows_scanned));
+      // The scan is paid here, at open; fetches only slice and ship.
+      if (processing_ms != nullptr) {
+        *processing_ms =
+            static_cast<double>(rows_scanned) * cpu_us_per_row_ / 1e3;
+      }
+      const uint64_t id = next_cursor_id_++;
+      SourceCursor& cur = cursors_[id];
+      cur.token = req.token;
+      cur.result = std::move(batch);
+      cur.chunk_rows = req.chunk_rows;
+      cursor_tokens_[req.token] = id;
+      wire::WriteOpenCursorResponse(&writer, {id});
+      return writer.Release();
+    }
+
+    case wire::Opcode::kFetchChunk: {
+      GISQL_ASSIGN_OR_RETURN(wire::FetchChunkRequest req,
+                             wire::ReadFetchChunkRequest(&reader));
+      auto it = cursors_.find(req.cursor_id);
+      if (it == cursors_.end()) {
+        return Status::NotFound("cursor ", req.cursor_id,
+                                " is not open at source '", name_, "'");
+      }
+      SourceCursor& cur = it->second;
+      if (req.seq + 1 == cur.next_seq) {
+        // One-chunk idempotency window: a retried fetch whose first
+        // response was lost gets the identical payload again.
+        return cur.last_chunk;
+      }
+      if (req.seq != cur.next_seq) {
+        return Status::InvalidArgument(
+            "cursor ", req.cursor_id, " fetch seq ", req.seq,
+            " outside window (next ", cur.next_seq, ")");
+      }
+      const int64_t total = cur.result.num_rows();
+      const int64_t take =
+          std::min(cur.chunk_rows, total - cur.next_row);
+      std::vector<Row> rows(
+          cur.result.rows().begin() + cur.next_row,
+          cur.result.rows().begin() + cur.next_row + take);
+      RowBatch chunk(cur.result.schema(), std::move(rows));
+      const bool done = cur.next_row + take >= total;
+      wire::WriteCursorChunk(&writer, req.cursor_id, req.seq, done, chunk);
+      cur.next_row += take;
+      cur.next_seq = req.seq + 1;
+      cur.last_chunk = writer.Release();
+      return cur.last_chunk;
+    }
+
+    case wire::Opcode::kCloseCursor: {
+      GISQL_ASSIGN_OR_RETURN(wire::CloseCursorRequest req,
+                             wire::ReadCloseCursorRequest(&reader));
+      // Idempotent: closing an unknown (already-closed) cursor is OK.
+      if (auto it = cursors_.find(req.cursor_id); it != cursors_.end()) {
+        cursor_tokens_.erase(it->second.token);
+        cursors_.erase(it);
       }
       return writer.Release();
     }

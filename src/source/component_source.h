@@ -107,6 +107,14 @@ class ComponentSource : public RpcHandler {
   void set_vectorized_execution(bool on) { vectorized_execution_ = on; }
   bool vectorized_execution() const { return vectorized_execution_; }
 
+  /// \brief Cursors currently staged at this source (tests/monitoring).
+  ///
+  /// A cursor holds a fragment's materialized result while the mediator
+  /// pulls it chunk by chunk (kOpenCursor/kFetchChunk/kCloseCursor); the
+  /// count drops back to zero when the mediator closes or abandons them
+  /// (the mediator's lease sweep sends the close).
+  size_t open_cursors() const { return cursors_.size(); }
+
  private:
   Status CheckCapabilities(const FragmentPlan& frag) const;
 
@@ -130,6 +138,26 @@ class ComponentSource : public RpcHandler {
   /// Ids of transactions this participant has applied (presumed-commit
   /// memory): a redelivered COMMIT answers OK instead of NotFound.
   std::set<std::string> committed_;
+
+  /// \brief One staged streaming result (kOpenCursor..kCloseCursor).
+  ///
+  /// The at-least-once WAN shapes this state: `token` makes open
+  /// idempotent (a redelivered open finds its cursor instead of staging
+  /// a second copy), and `last_chunk` keeps the previously served
+  /// chunk's encoded payload so a retried fetch of `next_seq - 1`
+  /// re-serves it verbatim — the one-chunk idempotency window.
+  struct SourceCursor {
+    uint64_t token = 0;
+    RowBatch result;
+    int64_t next_row = 0;
+    uint64_t next_seq = 0;
+    int64_t chunk_rows = 1024;
+    std::vector<uint8_t> last_chunk;
+  };
+  std::map<uint64_t, SourceCursor> cursors_;
+  /// Open-idempotency map: token -> cursor id.
+  std::map<uint64_t, uint64_t> cursor_tokens_;
+  uint64_t next_cursor_id_ = 1;
 
   /// One request at a time per source: the mediator may dispatch
   /// fragments to different sources from worker threads, and a source's

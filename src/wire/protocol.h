@@ -29,6 +29,21 @@ enum class Opcode : uint8_t {
   /// batch when the fragment's rows fit their declared column types,
   /// and falls back to the row encoding otherwise.
   kExecuteFragmentColumnar = 10,
+  /// \name Cursor-based streaming (wire/cursor.h carries the payloads)
+  ///
+  /// Instead of shipping a fragment's whole result in one response, the
+  /// mediator opens a *cursor* at the source and pulls it in bounded
+  /// chunks. The trio is retry-safe over the faulty WAN: open is
+  /// idempotent by a client-chosen token (a redelivered or retried open
+  /// returns the same cursor instead of leaking a second one), fetch is
+  /// idempotent within a one-chunk window (the source re-serves the
+  /// last chunk when asked for its sequence number again), and close of
+  /// an unknown cursor is OK.
+  /// @{
+  kOpenCursor = 11,   ///< payload: OpenCursorRequest → OpenCursorResponse
+  kFetchChunk = 12,   ///< payload: FetchChunkRequest → CursorChunk
+  kCloseCursor = 13,  ///< payload: CloseCursorRequest → empty
+  /// @}
 };
 
 /// \name Batch format bytes of kExecuteFragmentColumnar responses

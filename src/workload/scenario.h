@@ -1,0 +1,128 @@
+/// \file scenario.h
+/// \brief Million-user scenario engine: seeded multi-tenant open-loop
+/// traffic against a GlobalSystem, with Zipf-skewed tenant popularity,
+/// diurnal load cycles, and flash crowds.
+///
+/// The generator models a planetary-scale user base the way the paper's
+/// global information system would see one: a huge tenant population
+/// whose individual activity is negligible but whose aggregate forms a
+/// time-varying open-loop arrival process. Arrivals are drawn from a
+/// non-homogeneous Poisson process by deterministic thinning — the
+/// instantaneous rate is the base rate modulated by a diurnal sinusoid
+/// and any active flash crowds — so identical specs replay identical
+/// traffic down to the per-query admission decision.
+///
+/// Each arrival picks a tenant (Zipf over `num_tenants` — a handful of
+/// hot tenants dominate), a query template (Zipf — cheap interactive
+/// lookups dominate), and a priority class, then submits through
+/// GlobalSystem::Submit (materialized) or OpenCursor/FetchChunk
+/// (streamed, for streamable templates) with an explicit simulated
+/// arrival time. The report grades the run against a latency SLO:
+/// shed queries count as misses, so attainment reflects what the
+/// offered population experienced, not just the survivors.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/global_system.h"
+
+namespace gisql {
+
+/// \brief A step surge in offered load: rate × `multiplier` while
+/// [start_ms, start_ms + duration_ms) is active.
+struct FlashCrowd {
+  double start_ms = 0.0;
+  double duration_ms = 0.0;
+  double multiplier = 1.0;
+};
+
+/// \brief One scenario: who arrives, how often, and what they ask.
+/// The federation itself (BuildRetailFederation) is the caller's; the
+/// spec's `num_customers`/`num_products` must match it so templates
+/// hit real keys.
+struct ScenarioSpec {
+  uint64_t seed = 2026;
+  double duration_ms = 10000.0;
+  /// Mean arrival rate in queries per simulated second, before diurnal
+  /// and flash-crowd modulation.
+  double base_qps = 50.0;
+
+  /// Tenant population; per-arrival tenants are Zipf(theta) ranks into
+  /// it. A million tenants cost nothing — only the sampled ranks ever
+  /// materialize.
+  int64_t num_tenants = 1000000;
+  double tenant_zipf_theta = 0.99;
+  /// Skew across query templates (template 0 is the hottest).
+  double template_zipf_theta = 0.5;
+
+  /// Diurnal cycle: rate × (1 + amplitude·sin(2π·t/period)).
+  double diurnal_amplitude = 0.0;
+  double diurnal_period_ms = 8000.0;
+  std::vector<FlashCrowd> flash_crowds;
+
+  /// Latency SLO a completed query must beat; sheds always miss.
+  double slo_ms = 50.0;
+  /// Priority mix (remainder is normal priority 1).
+  double interactive_fraction = 0.2;
+  double background_fraction = 0.2;
+
+  /// Streamed mode: streamable templates run through cursors with this
+  /// chunk size; blocking templates always materialize via Submit.
+  bool use_cursors = false;
+  int64_t chunk_rows = 256;
+
+  /// Key domains of the federation the templates parameterize over.
+  int num_customers = 300;
+  int num_products = 80;
+};
+
+/// \brief What the offered population experienced.
+struct ScenarioReport {
+  int64_t offered = 0;
+  int64_t completed = 0;
+  int64_t shed_queue = 0;
+  int64_t shed_deadline = 0;
+  int64_t shed_memory = 0;
+  int64_t shed_cursor = 0;  ///< open-cursor cap refusals
+  int64_t failed = 0;       ///< non-shed errors (should stay 0)
+
+  /// Sojourn percentiles of completed queries (queue wait + simulated
+  /// execution; for streamed queries, the whole open-to-drain span).
+  double p50_ms = 0.0;
+  double p95_ms = 0.0;
+  double p99_ms = 0.0;
+  double p999_ms = 0.0;
+
+  int64_t slo_hits = 0;
+  /// slo_hits / offered — a shed query is a miss by definition.
+  double slo_attainment = 0.0;
+
+  int64_t mem_peak_bytes = 0;
+  int64_t streamed_queries = 0;
+  int64_t total_chunks = 0;
+  int64_t total_rows = 0;
+
+  /// One char per arrival — A admitted, Q/D/M shed (queue / deadline /
+  /// memory), C cursor-cap shed, F failed. Byte-identical across
+  /// same-seed runs; the determinism assertions compare it.
+  std::string decisions;
+};
+
+/// \brief Instantaneous offered rate λ(t) in queries per simulated
+/// millisecond (base × diurnal × flash). Exposed for tests.
+double ScenarioOfferedRate(const ScenarioSpec& spec, double t_ms);
+
+/// \brief Number of query templates the engine cycles over (ranks for
+/// template_zipf_theta).
+int ScenarioTemplateCount();
+
+/// \brief Runs the scenario against a built federation. Fails only on
+/// malformed specs or non-shed query errors; overload is a result, not
+/// an error.
+Result<ScenarioReport> RunScenario(GlobalSystem* gis,
+                                   const ScenarioSpec& spec);
+
+}  // namespace gisql

@@ -10,6 +10,7 @@
 #include "core/global_system.h"
 #include "sql/parser.h"
 #include "types/column_batch.h"
+#include "wire/cursor.h"
 #include "wire/protocol.h"
 #include "wire/serde.h"
 
@@ -227,10 +228,121 @@ TEST_P(ColumnarFuzz, MutatedColumnarBytesNeverCrash) {
   }
 }
 
+class CursorFuzz : public ::testing::TestWithParam<uint64_t> {};
+
+/// Mutated, truncated, and random byte strings through every cursor
+/// payload decoder (open / fetch / close requests and chunk frames):
+/// same contract as the rest of the wire layer — bounds-checked, typed
+/// SerializationError on malformed input, never UB, and whatever does
+/// decode must materialize without faulting.
+TEST_P(CursorFuzz, MutatedCursorFramesNeverCrash) {
+  Rng rng(GetParam());
+
+  // Valid seeds for the mutators: one of each payload kind.
+  std::vector<std::vector<uint8_t>> valid;
+  {
+    wire::OpenCursorRequest open;
+    open.token = 0x9e3779b97f4a7c15ull;
+    open.chunk_rows = 512;
+    open.fragment.table = "orders";
+    open.fragment.limit = 99;
+    ByteWriter w;
+    wire::WriteOpenCursorRequest(&w, open);
+    valid.push_back(w.data());
+  }
+  {
+    wire::FetchChunkRequest fetch;
+    fetch.cursor_id = 7;
+    fetch.seq = 12345;
+    ByteWriter w;
+    wire::WriteFetchChunkRequest(&w, fetch);
+    valid.push_back(w.data());
+  }
+  {
+    auto schema = std::make_shared<Schema>(std::vector<Field>{
+        {"k", TypeId::kInt64}, {"s", TypeId::kString}});
+    RowBatch rows(schema);
+    for (int r = 0; r < 30; ++r) {
+      rows.Append({Value::Int(rng.Uniform(-100, 100)),
+                   Value::String(rng.NextString(rng.Uniform(0, 12)))});
+    }
+    ByteWriter w;
+    wire::WriteCursorChunk(&w, /*cursor_id=*/3, /*seq=*/2, /*done=*/false,
+                           rows);
+    valid.push_back(w.data());
+  }
+
+  for (int trial = 0; trial < 400; ++trial) {
+    const auto& base = valid[trial % valid.size()];
+    std::vector<uint8_t> bytes;
+    const int mode = static_cast<int>(rng.Uniform(0, 2));
+    if (mode == 0) {
+      bytes = base;
+      const int edits = static_cast<int>(rng.Uniform(1, 8));
+      for (int e = 0; e < edits; ++e) {
+        const size_t pos = static_cast<size_t>(
+            rng.Uniform(0, static_cast<int64_t>(bytes.size()) - 1));
+        bytes[pos] = static_cast<uint8_t>(rng.Uniform(0, 255));
+      }
+    } else if (mode == 1) {
+      bytes.assign(base.begin(),
+                   base.begin() + rng.Uniform(
+                       0, static_cast<int64_t>(base.size()) - 1));
+    } else {
+      bytes.resize(static_cast<size_t>(rng.Uniform(0, 256)));
+      for (auto& b : bytes) b = static_cast<uint8_t>(rng.Uniform(0, 255));
+    }
+
+    // Every decoder sees every mutation; each must fail typed or
+    // produce a value that is safe to use.
+    {
+      ByteReader r(bytes);
+      auto open = wire::ReadOpenCursorRequest(&r);
+      if (!open.ok()) {
+        EXPECT_TRUE(open.status().IsSerializationError())
+            << open.status().ToString() << " trial " << trial;
+      } else {
+        // The decoder enforces the chunk-row bounds, not just syntax.
+        EXPECT_GE(open->chunk_rows, 1);
+        EXPECT_LE(open->chunk_rows, wire::kMaxCursorChunkRows);
+      }
+    }
+    {
+      ByteReader r(bytes);
+      auto fetch = wire::ReadFetchChunkRequest(&r);
+      if (!fetch.ok()) {
+        EXPECT_TRUE(fetch.status().IsSerializationError())
+            << fetch.status().ToString() << " trial " << trial;
+      }
+    }
+    {
+      ByteReader r(bytes);
+      auto close = wire::ReadCloseCursorRequest(&r);
+      if (!close.ok()) {
+        EXPECT_TRUE(close.status().IsSerializationError())
+            << close.status().ToString() << " trial " << trial;
+      }
+    }
+    {
+      ByteReader r(bytes);
+      auto chunk = wire::ReadCursorChunk(&r);
+      if (!chunk.ok()) {
+        EXPECT_TRUE(chunk.status().IsSerializationError())
+            << chunk.status().ToString() << " trial " << trial;
+      } else {
+        (void)chunk->rows.ToString(1 << 20);
+        if (chunk->columnar) (void)chunk->columnar->ToRows();
+      }
+    }
+  }
+}
+
 INSTANTIATE_TEST_SUITE_P(Seeds, ParserFuzz,
                          ::testing::Range<uint64_t>(500, 505));
 INSTANTIATE_TEST_SUITE_P(Seeds, ColumnarFuzz,
                          ::testing::Range<uint64_t>(800, 804));
+INSTANTIATE_TEST_SUITE_P(Seeds, CursorFuzz,
+                         ::testing::Range<uint64_t>(900, 906));
 INSTANTIATE_TEST_SUITE_P(Seeds, MediatorFuzz,
                          ::testing::Range<uint64_t>(600, 604));
 INSTANTIATE_TEST_SUITE_P(Seeds, FrameFuzz,
