@@ -13,7 +13,7 @@ bool IsSystemTableName(const std::string& name) {
 
 std::vector<std::string> SystemTableNames() {
   return {"gis.admission", "gis.cursors", "gis.gauges", "gis.histograms",
-          "gis.metrics",   "gis.queries", "gis.sources"};
+          "gis.metrics",   "gis.queries", "gis.sources", "gis.storage"};
 }
 
 Result<SchemaPtr> SystemTableSchema(const std::string& name) {
@@ -98,6 +98,24 @@ Result<SchemaPtr> SystemTableSchema(const std::string& name) {
         {"mem_bytes", TypeId::kInt64, false},
     });
   }
+  if (lower == "gis.storage") {
+    // One row per component source's buffer pool: geometry, residency,
+    // and cumulative page/disk counters on the simulated clock.
+    return std::make_shared<Schema>(std::vector<Field>{
+        {"source", TypeId::kString, false},
+        {"page_size", TypeId::kInt64, false},
+        {"pool_frames", TypeId::kInt64, false},
+        {"frames_used", TypeId::kInt64, false},
+        {"pages", TypeId::kInt64, false},
+        {"hits", TypeId::kInt64, false},
+        {"misses", TypeId::kInt64, false},
+        {"evictions", TypeId::kInt64, false},
+        {"disk_reads", TypeId::kInt64, false},
+        {"disk_writes", TypeId::kInt64, false},
+        {"disk_ms", TypeId::kDouble, false},
+        {"hit_ratio", TypeId::kDouble, false},
+    });
+  }
   if (lower == "gis.histograms") {
     return std::make_shared<Schema>(std::vector<Field>{
         {"registry", TypeId::kString, false},
@@ -130,7 +148,7 @@ Result<SchemaPtr> SystemTableSchema(const std::string& name) {
   return Status::NotFound("'", name, "' is not a system table (known: ",
                           "gis.sources, gis.metrics, gis.gauges, "
                           "gis.histograms, gis.queries, gis.admission, "
-                          "gis.cursors)");
+                          "gis.cursors, gis.storage)");
 }
 
 }  // namespace gisql

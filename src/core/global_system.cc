@@ -1,6 +1,8 @@
 #include "core/global_system.h"
 
+#include <algorithm>
 #include <set>
+#include <utility>
 
 #include "common/bytes.h"
 #include "exec/streaming.h"
@@ -40,7 +42,7 @@ GlobalSystem::GlobalSystem(PlannerOptions options)
   health_.set_outcome_listener(&governor_.breakers());
   system_catalog_ = std::make_unique<SystemCatalog>(
       &health_, &metrics_, &network_.metrics(), &query_log_, &catalog_,
-      &governor_, &cursors_);
+      &governor_, &cursors_, &sources_);
   catalog_.RegisterSystemTableProvider(system_catalog_.get());
 }
 
@@ -57,7 +59,11 @@ ThreadPool* GlobalSystem::WorkerPool() {
 
 Result<ComponentSource*> GlobalSystem::CreateSource(const std::string& name,
                                                     SourceDialect dialect) {
-  auto source = std::make_shared<ComponentSource>(name, dialect);
+  // Every source's buffer pool is charged against the mediator's global
+  // memory budget, so pool growth and query grants share one regime.
+  auto source = std::make_shared<ComponentSource>(
+      name, dialect, /*cpu_us_per_row=*/0.05, StorageConfig::FromEnv(),
+      &governor_.memory());
   source->set_vectorized_execution(options_.vectorized_execution);
   GISQL_RETURN_NOT_OK(network_.RegisterHost(name, source.get()));
   SourceInfo info;
@@ -317,7 +323,63 @@ std::string GlobalSystem::ExportPrometheus() const {
                  [](const BreakerSnapshot& b) {
                    return std::to_string(b.probes);
                  });
+
+  // Per-source buffer-pool series. Sources are snapshotted in name
+  // order so the exposition is deterministic.
+  std::vector<std::pair<std::string, BufferPoolStats>> pools;
+  pools.reserve(sources_.size());
+  for (const auto& s : sources_) {
+    pools.emplace_back(s->name(), s->engine().pool().Snapshot());
+  }
+  std::sort(pools.begin(), pools.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  auto pool_series = [&out, &pools](const std::string& name, const char* type,
+                                    auto value_of) {
+    if (pools.empty()) return;
+    out += "# TYPE " + name + " " + type + "\n";
+    for (const auto& [source, p] : pools) {
+      out += name + "{source=\"" + source + "\"} " + value_of(p) + "\n";
+    }
+  };
+  pool_series("gisql_bufferpool_frames", "gauge",
+              [](const BufferPoolStats& p) {
+                return std::to_string(p.pool_frames);
+              });
+  pool_series("gisql_bufferpool_frames_used", "gauge",
+              [](const BufferPoolStats& p) {
+                return std::to_string(p.frames_used);
+              });
+  pool_series("gisql_bufferpool_hits_total", "counter",
+              [](const BufferPoolStats& p) { return std::to_string(p.hits); });
+  pool_series("gisql_bufferpool_misses_total", "counter",
+              [](const BufferPoolStats& p) {
+                return std::to_string(p.misses);
+              });
+  pool_series("gisql_bufferpool_evictions_total", "counter",
+              [](const BufferPoolStats& p) {
+                return std::to_string(p.evictions);
+              });
+  pool_series("gisql_bufferpool_disk_reads_total", "counter",
+              [](const BufferPoolStats& p) {
+                return std::to_string(p.disk_reads);
+              });
+  pool_series("gisql_bufferpool_disk_writes_total", "counter",
+              [](const BufferPoolStats& p) {
+                return std::to_string(p.disk_writes);
+              });
+  pool_series("gisql_bufferpool_disk_ms_total", "counter",
+              [](const BufferPoolStats& p) {
+                return std::to_string(p.disk_us / 1e3);
+              });
   return out;
+}
+
+int64_t GlobalSystem::BufferPoolResidentBytes() const {
+  int64_t bytes = 0;
+  for (const auto& source : sources_) {
+    bytes += source->engine().pool().resident_bytes();
+  }
+  return bytes;
 }
 
 void GlobalSystem::EnableResultCache(size_t max_entries) {

@@ -277,6 +277,12 @@ class GlobalSystem {
   /// mediator registry, the network registry, and labeled per-source
   /// health series (gisql_source_state/requests/errors/...).
   std::string ExportPrometheus() const;
+
+  /// \brief Bytes of buffer-pool frames currently charged against the
+  /// global memory budget, summed over every source. Pools only grow,
+  /// so at quiescence `governor().memory().in_use()` equals exactly
+  /// this residency.
+  int64_t BufferPoolResidentBytes() const;
   /// @}
 
   void set_options(const PlannerOptions& options) {

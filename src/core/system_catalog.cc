@@ -69,6 +69,7 @@ Result<RowBatch> SystemCatalog::Snapshot(const std::string& name) const {
   if (lower == "gis.queries") return SnapshotQueries();
   if (lower == "gis.admission") return SnapshotAdmission();
   if (lower == "gis.cursors") return SnapshotCursors();
+  if (lower == "gis.storage") return SnapshotStorage();
   const auto schema = SystemTableSchema(name);
   return schema.status();  // NotFound with the known-table list
 }
@@ -161,6 +162,38 @@ RowBatch SystemCatalog::SnapshotCursors() const {
     return RowBatch(SystemTableSchema("gis.cursors").ValueUnsafe());
   }
   return cursors_->Snapshot();
+}
+
+RowBatch SystemCatalog::SnapshotStorage() const {
+  RowBatch batch(SystemTableSchema("gis.storage").ValueUnsafe());
+  if (sources_ == nullptr) return batch;
+  // One row per source's buffer pool, sorted by source name.
+  std::vector<const ComponentSource*> ordered;
+  ordered.reserve(sources_->size());
+  for (const auto& s : *sources_) ordered.push_back(s.get());
+  std::sort(ordered.begin(), ordered.end(),
+            [](const ComponentSource* a, const ComponentSource* b) {
+              return a->name() < b->name();
+            });
+  for (const ComponentSource* s : ordered) {
+    const BufferPoolStats p =
+        const_cast<ComponentSource*>(s)->engine().pool().Snapshot();
+    const int64_t accesses = p.hits + p.misses;
+    batch.Append(
+        {Value::String(s->name()),
+         Value::Int(static_cast<int64_t>(p.page_size)),
+         Value::Int(static_cast<int64_t>(p.pool_frames)),
+         Value::Int(static_cast<int64_t>(p.frames_used)),
+         Value::Int(p.pages_live), Value::Int(p.hits),
+         Value::Int(p.misses), Value::Int(p.evictions),
+         Value::Int(p.disk_reads), Value::Int(p.disk_writes),
+         Value::Double(p.disk_us / 1e3),
+         Value::Double(accesses > 0
+                           ? static_cast<double>(p.hits) /
+                                 static_cast<double>(accesses)
+                           : 0.0)});
+  }
+  return batch;
 }
 
 }  // namespace gisql

@@ -5,6 +5,8 @@
 
 #pragma once
 
+#include <vector>
+
 #include "catalog/catalog.h"
 #include "catalog/system_tables.h"
 #include "common/metrics.h"
@@ -12,6 +14,7 @@
 #include "core/query_log.h"
 #include "core/source_health.h"
 #include "sched/governor.h"
+#include "source/component_source.h"
 
 namespace gisql {
 
@@ -29,14 +32,16 @@ class SystemCatalog : public SystemTableProvider {
                 const MetricsRegistry* network_metrics,
                 const QueryLog* query_log, const Catalog* catalog,
                 const ResourceGovernor* governor,
-                const CursorManager* cursors = nullptr)
+                const CursorManager* cursors = nullptr,
+                const std::vector<ComponentSourcePtr>* sources = nullptr)
       : health_(health),
         mediator_metrics_(mediator_metrics),
         network_metrics_(network_metrics),
         query_log_(query_log),
         catalog_(catalog),
         governor_(governor),
-        cursors_(cursors) {}
+        cursors_(cursors),
+        sources_(sources) {}
 
   bool HasTable(const std::string& name) const override;
   Result<SchemaPtr> TableSchema(const std::string& name) const override;
@@ -51,6 +56,7 @@ class SystemCatalog : public SystemTableProvider {
   RowBatch SnapshotQueries() const;
   RowBatch SnapshotAdmission() const;
   RowBatch SnapshotCursors() const;
+  RowBatch SnapshotStorage() const;
 
   const SourceHealthTracker* health_;
   const MetricsRegistry* mediator_metrics_;
@@ -59,6 +65,7 @@ class SystemCatalog : public SystemTableProvider {
   const Catalog* catalog_;
   const ResourceGovernor* governor_;
   const CursorManager* cursors_;
+  const std::vector<ComponentSourcePtr>* sources_;
 };
 
 }  // namespace gisql

@@ -25,6 +25,11 @@ Result<ExecOutput> Executor::Execute(const PlanNodePtr& plan) {
   if (ctx_.net == nullptr) {
     return Status::InvalidArgument("executor requires a network");
   }
+  // Serial execution already visits fragments in pre-order; only
+  // pooled execution needs the explicit ordering.
+  if (ctx_.parallel_execution && ctx_.pool != nullptr) {
+    sequencer_.Plan(plan);
+  }
   return Exec(*plan, ctx_.trace_start_ms, ctx_.trace_parent);
 }
 
@@ -75,6 +80,9 @@ void Executor::FinishNodeSpan(const PlanNode& node, uint64_t span, double t0,
 Result<ExecOutput> Executor::ExecFragment(const PlanNode& node,
                                           const FragmentPlan& frag,
                                           double t0, uint64_t self) {
+  // Wait for this fragment's turn on its planned source (no-op when
+  // sequencing is off or on re-entry); held until the response is in.
+  SourceSequencer::Turn turn = sequencer_.Acquire(&node);
   if (frag.semijoin_column >= 0 && frag.semijoin_values.empty()) {
     // A decomposer marker without injected keys (e.g. the plain path of
     // a join that fell back to shipping): execute as a plain fragment.
@@ -222,6 +230,20 @@ Result<ExecOutput> Executor::ExecFragment(const PlanNode& node,
             " does not match plan arity ", node.output_schema->num_fields(),
             " from source '", *candidates[i].source, "'");
       }
+      // Page-stats trailer (sources with paged storage append it after
+      // the batch payload; absence just leaves the actuals unset).
+      if (!reader.AtEnd()) {
+        GISQL_ASSIGN_OR_RETURN(uint64_t page_hits, reader.GetVarint());
+        GISQL_ASSIGN_OR_RETURN(uint64_t page_misses, reader.GetVarint());
+        GISQL_ASSIGN_OR_RETURN(uint64_t evictions, reader.GetVarint());
+        GISQL_ASSIGN_OR_RETURN(double disk_us, reader.GetDouble());
+        if (ctx_.record_actuals) {
+          node.actual_page_hits = static_cast<int64_t>(page_hits);
+          node.actual_page_misses = static_cast<int64_t>(page_misses);
+          node.actual_evictions = static_cast<int64_t>(evictions);
+          node.actual_disk_ms = disk_us / 1e3;
+        }
+      }
       // Adopt the plan's (qualified) schema for downstream resolution.
       out.batch = RowBatch(node.output_schema, std::move(batch.rows()));
       out.elapsed_ms = spent_ms;
@@ -355,7 +377,14 @@ Result<ExecOutput> Executor::ExecJoin(const PlanNode& node, double t0,
     right = std::move(*right_result);
     right_done = true;
   } else {
-    GISQL_ASSIGN_OR_RETURN(left, Exec(left_node, t0, self));
+    Result<ExecOutput> left_result = Exec(left_node, t0, self);
+    if (!left_result.ok()) {
+      // The right subtree will never run; free its sequencer tickets
+      // so concurrent same-source fragments elsewhere don't wait.
+      sequencer_.SkipSubtree(node.children[1]);
+      return left_result.status();
+    }
+    left = std::move(*left_result);
   }
 
   bool sequential = false;
@@ -384,9 +413,15 @@ Result<ExecOutput> Executor::ExecJoin(const PlanNode& node, double t0,
                 return a.Compare(b) < 0;
               });
     sequential = true;  // the reduction depends on the left result
-    GISQL_ASSIGN_OR_RETURN(
-        right,
-        ExecSemijoinProbe(right_node, keys, t0 + left.elapsed_ms, self));
+    Result<ExecOutput> probe =
+        ExecSemijoinProbe(right_node, keys, t0 + left.elapsed_ms, self);
+    if (!probe.ok()) {
+      // The probe may have failed before reaching the marked fragment;
+      // release whatever tickets it never claimed.
+      sequencer_.SkipSubtree(node.children[1]);
+      return probe.status();
+    }
+    right = std::move(*probe);
   } else {
     GISQL_ASSIGN_OR_RETURN(right, Exec(right_node, t0, self));
   }

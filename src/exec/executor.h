@@ -16,6 +16,7 @@
 #include "common/retry_policy.h"
 #include "common/thread_pool.h"
 #include "common/trace.h"
+#include "exec/source_sequencer.h"
 #include "net/sim_network.h"
 #include "planner/plan.h"
 #include "types/column_batch.h"
@@ -155,6 +156,10 @@ class Executor {
   Status ChargeMemory(size_t rows, size_t width, const char* what);
 
   ExecContext ctx_;
+  /// Orders same-source fragment executions into plan pre-order under
+  /// pooled execution, so source-side buffer-pool metrics replay
+  /// byte-identically between serial and parallel runs.
+  SourceSequencer sequencer_;
 };
 
 }  // namespace gisql

@@ -1,0 +1,67 @@
+#include "exec/source_sequencer.h"
+
+namespace gisql {
+
+SourceSequencer::Turn::~Turn() {
+  if (seq_ != nullptr) seq_->Release(node_);
+}
+
+void SourceSequencer::Plan(const PlanNodePtr& root) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::map<std::string, size_t> counters;
+  VisitPlan(root, [&](const PlanNodePtr& node) {
+    if (node->kind != PlanKind::kRemoteFragment) return;
+    tickets_[node.get()] =
+        Ticket{node->fragment_source, counters[node->fragment_source]++};
+  });
+}
+
+SourceSequencer::Turn SourceSequencer::Acquire(const PlanNode* node) {
+  std::unique_lock<std::mutex> lock(mu_);
+  auto it = tickets_.find(node);
+  if (it == tickets_.end() || held_.count(node) > 0 ||
+      finished_.count(node) > 0) {
+    return Turn();
+  }
+  Lane& lane = lanes_[it->second.source];
+  const size_t seq = it->second.seq;
+  cv_.wait(lock, [&] { return lane.next == seq; });
+  held_.insert(node);
+  return Turn(this, node);
+}
+
+void SourceSequencer::AdvanceLane(Lane* lane, size_t seq) {
+  if (lane->next == seq) {
+    ++lane->next;
+    while (lane->early_done.erase(lane->next) > 0) ++lane->next;
+  } else if (seq > lane->next) {
+    lane->early_done.insert(seq);
+  }
+}
+
+void SourceSequencer::Release(const PlanNode* node) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = tickets_.find(node);
+  if (it == tickets_.end()) return;
+  held_.erase(node);
+  finished_.insert(node);
+  AdvanceLane(&lanes_[it->second.source], it->second.seq);
+  cv_.notify_all();
+}
+
+void SourceSequencer::SkipSubtree(const PlanNodePtr& root) {
+  std::lock_guard<std::mutex> lock(mu_);
+  VisitPlan(root, [&](const PlanNodePtr& node) {
+    if (node->kind != PlanKind::kRemoteFragment) return;
+    auto it = tickets_.find(node.get());
+    if (it == tickets_.end() || held_.count(node.get()) > 0 ||
+        finished_.count(node.get()) > 0) {
+      return;
+    }
+    finished_.insert(node.get());
+    AdvanceLane(&lanes_[it->second.source], it->second.seq);
+  });
+  cv_.notify_all();
+}
+
+}  // namespace gisql

@@ -1,0 +1,88 @@
+/// \file source_sequencer.h
+/// \brief Per-query ordering of same-source fragment executions.
+///
+/// A source's buffer pool is stateful: the order in which fragments
+/// touch it decides which pages hit, miss, and evict. Serial execution
+/// visits fragments in plan pre-order; worker threads would race that
+/// order and make the simulated page metrics depend on wall-clock
+/// scheduling. The sequencer issues pre-order tickets per source at
+/// plan time and makes each fragment wait for its turn, so pooled
+/// execution replays the serial access sequence byte-identically.
+/// Fragments bound for different sources never wait on each other.
+
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <map>
+#include <mutex>
+#include <set>
+#include <string>
+#include <unordered_map>
+
+#include "planner/plan.h"
+
+namespace gisql {
+
+class SourceSequencer {
+ public:
+  /// \brief Issues pre-order tickets for every kRemoteFragment under
+  /// `root`, keyed by the planned primary source (failover attempts
+  /// keep the planned ticket). Call once per query, before execution.
+  void Plan(const PlanNodePtr& root);
+
+  /// \brief RAII holder of one fragment's turn; releases on scope exit.
+  class Turn {
+   public:
+    Turn() = default;
+    Turn(SourceSequencer* seq, const PlanNode* node)
+        : seq_(seq), node_(node) {}
+    Turn(Turn&& o) noexcept : seq_(o.seq_), node_(o.node_) {
+      o.seq_ = nullptr;
+      o.node_ = nullptr;
+    }
+    Turn(const Turn&) = delete;
+    Turn& operator=(const Turn&) = delete;
+    Turn& operator=(Turn&&) = delete;
+    ~Turn();
+
+   private:
+    SourceSequencer* seq_ = nullptr;
+    const PlanNode* node_ = nullptr;
+  };
+
+  /// \brief Blocks until every earlier ticket of `node`'s source is
+  /// released or skipped. Returns an inactive (no-op) turn when the
+  /// node has no ticket (sequencing off / unplanned fragment) or its
+  /// turn is already held (re-entrant fragment execution).
+  Turn Acquire(const PlanNode* node);
+
+  /// \brief Marks every not-yet-executed fragment under `root` as
+  /// skipped, unblocking later same-source tickets. Used on error
+  /// paths that abandon a subtree before executing it.
+  void SkipSubtree(const PlanNodePtr& root);
+
+ private:
+  struct Ticket {
+    std::string source;
+    size_t seq = 0;
+  };
+  struct Lane {
+    size_t next = 0;              ///< lowest unreleased ticket
+    std::set<size_t> early_done;  ///< released/skipped tickets > next
+  };
+
+  void Release(const PlanNode* node);
+  /// Advances `lane.next` past `seq` and any early-done successors.
+  /// Caller holds mu_.
+  void AdvanceLane(Lane* lane, size_t seq);
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::unordered_map<const PlanNode*, Ticket> tickets_;
+  std::map<std::string, Lane> lanes_;
+  std::set<const PlanNode*> held_;
+  std::set<const PlanNode*> finished_;
+};
+
+}  // namespace gisql

@@ -1,6 +1,8 @@
 #include "planner/decomposer.h"
 
 #include <algorithm>
+#include <map>
+#include <utility>
 
 namespace gisql {
 
@@ -439,7 +441,9 @@ Status Decomposer::ChooseJoinStrategy(const PlanNodePtr& join_node) {
   }
   if (cur->kind != PlanKind::kRemoteFragment ||
       cur->fragment.has_aggregate || cur->fragment.limit >= 0 ||
-      cur->fragment.semijoin_column >= 0) {
+      cur->fragment.semijoin_column >= 0 ||
+      cur->fragment.index_column >= 0 ||
+      !cur->fragment.join_table.empty()) {
     return Status::OK();
   }
   const SourceCapabilities* caps = CapsOf(cur->fragment_source);
@@ -491,6 +495,165 @@ Status Decomposer::ChooseJoinStrategy(const PlanNodePtr& join_node) {
   return Status::OK();
 }
 
+Result<PlanNodePtr> Decomposer::TryCollapseIndexJoin(
+    const PlanNodePtr& join_node) {
+  if (!options_.enable_index_join) return PlanNodePtr();
+  if (join_node->join_type != JoinType::kInner ||
+      join_node->join_residual != nullptr ||
+      join_node->left_keys.size() != 1) {
+    return PlanNodePtr();
+  }
+  const PlanNodePtr& outer = join_node->children[0];
+  const PlanNodePtr& inner = join_node->children[1];
+  auto collapsible = [](const PlanNode& n) {
+    return n.kind == PlanKind::kRemoteFragment &&
+           !n.fragment.has_aggregate && n.fragment.limit < 0 &&
+           n.fragment.projections.empty() && n.fragment.order_by.empty() &&
+           n.fragment.semijoin_column < 0 && n.fragment.index_column < 0 &&
+           n.fragment.join_table.empty();
+  };
+  // Only a *co-located* pair collapses: the probe loop runs inside one
+  // source, so both tables must live there.
+  if (!collapsible(*outer) || !collapsible(*inner) ||
+      outer->fragment_source != inner->fragment_source) {
+    return PlanNodePtr();
+  }
+  const SourceCapabilities* caps = CapsOf(outer->fragment_source);
+  if (caps == nullptr || !caps->index_join) return PlanNodePtr();
+  // The inner side must be indexed on the join key (from imported
+  // statistics), or the source would fall back to an error.
+  auto mapping = catalog_.GetTable(inner->scan_global_name);
+  if (!mapping.ok()) return PlanNodePtr();
+  const TableStats& st = (*mapping)->stats;
+  const int64_t key = static_cast<int64_t>(join_node->right_keys[0]);
+  const bool indexed =
+      std::find(st.hash_indexed_columns.begin(),
+                st.hash_indexed_columns.end(),
+                key) != st.hash_indexed_columns.end() ||
+      std::find(st.ordered_indexed_columns.begin(),
+                st.ordered_indexed_columns.end(),
+                key) != st.ordered_indexed_columns.end();
+  if (!indexed) return PlanNodePtr();
+
+  FragmentPlan& frag = outer->fragment;
+  frag.join_table = inner->fragment.table;
+  frag.join_outer_column = static_cast<int64_t>(join_node->left_keys[0]);
+  frag.join_inner_column = key;
+  frag.join_inner_filter = inner->fragment.filter;
+  outer->output_schema = join_node->output_schema;
+  // Failover replicas cannot be assumed to co-locate the inner table.
+  outer->scan_alternates.clear();
+  return outer;
+}
+
+void Decomposer::ApplyIndexRangeScans(const PlanNodePtr& root) {
+  if (!options_.enable_index_range_scan) return;
+  VisitPlan(root, [&](const PlanNodePtr& node) {
+    if (node->kind != PlanKind::kRemoteFragment) return;
+    FragmentPlan& frag = node->fragment;
+    // Semijoin reduction is an alternative access path; a fragment
+    // already carrying one keeps it.
+    if (!frag.filter || frag.semijoin_column >= 0 ||
+        frag.index_column >= 0) {
+      return;
+    }
+    const SourceCapabilities* caps = CapsOf(node->fragment_source);
+    if (caps == nullptr || !caps->index_range_scan) return;
+    auto mapping = catalog_.GetTable(node->scan_global_name);
+    if (!mapping.ok()) return;
+    const std::vector<int64_t>& indexed =
+        (*mapping)->stats.ordered_indexed_columns;
+    if (indexed.empty()) return;
+
+    // Gather per-column bounds from sargable conjuncts
+    // (col <op> literal, either operand order) on indexed columns. The
+    // whole filter stays on the fragment as the residual, so partial
+    // extraction is always sound.
+    std::vector<ExprPtr> conjuncts;
+    SplitConjuncts(frag.filter, &conjuncts);
+    struct Bounds {
+      Value lo, hi;  ///< null = unbounded
+      bool lo_inclusive = true, hi_inclusive = true;
+    };
+    std::map<int64_t, Bounds> by_col;
+    auto tighten_lo = [](Bounds* b, const Value& v, bool inclusive) {
+      const int cmp = b->lo.is_null() ? 1 : v.Compare(b->lo);
+      if (cmp > 0) {
+        b->lo = v;
+        b->lo_inclusive = inclusive;
+      } else if (cmp == 0 && !inclusive) {
+        b->lo_inclusive = false;
+      }
+    };
+    auto tighten_hi = [](Bounds* b, const Value& v, bool inclusive) {
+      const int cmp = b->hi.is_null() ? -1 : v.Compare(b->hi);
+      if (cmp < 0) {
+        b->hi = v;
+        b->hi_inclusive = inclusive;
+      } else if (cmp == 0 && !inclusive) {
+        b->hi_inclusive = false;
+      }
+    };
+    for (const auto& c : conjuncts) {
+      if (c->kind != ExprKind::kCompare) continue;
+      CompareOp op = c->compare_op;
+      const Expr* l = c->children[0].get();
+      const Expr* r = c->children[1].get();
+      if (l->kind == ExprKind::kLiteral && r->kind == ExprKind::kColumn) {
+        std::swap(l, r);
+        op = ReverseCompareOp(op);
+      }
+      if (l->kind != ExprKind::kColumn || r->kind != ExprKind::kLiteral ||
+          r->literal.is_null()) {
+        continue;
+      }
+      const int64_t col = static_cast<int64_t>(l->column_index);
+      if (std::find(indexed.begin(), indexed.end(), col) == indexed.end()) {
+        continue;
+      }
+      Bounds& b = by_col[col];
+      switch (op) {
+        case CompareOp::kEq:
+          tighten_lo(&b, r->literal, true);
+          tighten_hi(&b, r->literal, true);
+          break;
+        case CompareOp::kGt:
+          tighten_lo(&b, r->literal, false);
+          break;
+        case CompareOp::kGe:
+          tighten_lo(&b, r->literal, true);
+          break;
+        case CompareOp::kLt:
+          tighten_hi(&b, r->literal, false);
+          break;
+        case CompareOp::kLe:
+          tighten_hi(&b, r->literal, true);
+          break;
+        case CompareOp::kNe:
+          break;
+      }
+    }
+    // Prefer a column bounded on both sides; the map's ordering makes
+    // ties deterministic.
+    const std::pair<const int64_t, Bounds>* best = nullptr;
+    for (const auto& entry : by_col) {
+      if (entry.second.lo.is_null() && entry.second.hi.is_null()) continue;
+      const bool both =
+          !entry.second.lo.is_null() && !entry.second.hi.is_null();
+      const bool best_both =
+          best != nullptr && !best->second.lo.is_null() &&
+          !best->second.hi.is_null();
+      if (best == nullptr || (both && !best_both)) best = &entry;
+    }
+    if (best == nullptr) return;
+    frag.index_column = best->first;
+    frag.range_lo = best->second.lo;
+    frag.range_hi = best->second.hi;
+    frag.range_lo_inclusive = best->second.lo_inclusive;
+    frag.range_hi_inclusive = best->second.hi_inclusive;
+  });
+}
+
 Result<PlanNodePtr> Decomposer::Rewrite(PlanNodePtr node) {
   for (auto& c : node->children) {
     GISQL_ASSIGN_OR_RETURN(c, Rewrite(std::move(c)));
@@ -513,9 +676,13 @@ Result<PlanNodePtr> Decomposer::Rewrite(PlanNodePtr node) {
       return TryAbsorbLimit(std::move(node));
     case PlanKind::kAggregate:
       return TryPushAggregate(std::move(node));
-    case PlanKind::kJoin:
+    case PlanKind::kJoin: {
+      GISQL_ASSIGN_OR_RETURN(PlanNodePtr collapsed,
+                             TryCollapseIndexJoin(node));
+      if (collapsed != nullptr) return collapsed;
       GISQL_RETURN_NOT_OK(ChooseJoinStrategy(node));
       return node;
+    }
     default:
       return node;
   }
@@ -523,6 +690,7 @@ Result<PlanNodePtr> Decomposer::Rewrite(PlanNodePtr node) {
 
 Result<PlanNodePtr> Decomposer::Decompose(PlanNodePtr plan) {
   GISQL_ASSIGN_OR_RETURN(plan, Rewrite(std::move(plan)));
+  ApplyIndexRangeScans(plan);
   cost_->Annotate(plan);
   return plan;
 }

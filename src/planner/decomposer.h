@@ -12,7 +12,13 @@
 ///    partial aggregation at the source(s) plus a merging aggregation
 ///    at the mediator; AVG decomposes into SUM+COUNT partials;
 ///  - equi-joins whose probe side is a fragment may be annotated with
-///    the semijoin strategy when the cost model predicts a win.
+///    the semijoin strategy when the cost model predicts a win;
+///  - a co-located inner equi-join of two plain fragments collapses
+///    into a single source-side index-nested-loop-join fragment when
+///    the inner table is indexed on the join key;
+///  - finally, sargable range conjuncts on an ordered-indexed column
+///    turn a capable fragment's full scan into an index range scan
+///    (the absorbed filter stays as the residual).
 
 #pragma once
 
@@ -41,6 +47,14 @@ class Decomposer {
   Result<PlanNodePtr> TryAbsorbLimit(PlanNodePtr limit_node);
   Result<PlanNodePtr> TryPushAggregate(PlanNodePtr agg_node);
   Status ChooseJoinStrategy(const PlanNodePtr& join_node);
+
+  /// \brief Collapses an eligible co-located equi-join into one
+  /// index-nested-loop-join fragment; nullptr when not applicable.
+  Result<PlanNodePtr> TryCollapseIndexJoin(const PlanNodePtr& join_node);
+
+  /// \brief Post-pass: converts fragments with sargable range conjuncts
+  /// on an ordered-indexed column into index range scans.
+  void ApplyIndexRangeScans(const PlanNodePtr& root);
 
   const Catalog& catalog_;
   PlannerOptions options_;

@@ -72,6 +72,8 @@ void PlannerOptions::ApplyEnv() {
   EnvInt64("GISQL_CURSOR_CHUNK_ROWS", &cursor_chunk_rows);
   EnvDouble("GISQL_CURSOR_LEASE_MS", &cursor_lease_ms);
   EnvInt("GISQL_CURSOR_MAX_OPEN", &cursor_max_open);
+  EnvBool("GISQL_INDEX_RANGE_SCAN", &enable_index_range_scan);
+  EnvBool("GISQL_INDEX_JOIN", &enable_index_join);
 }
 
 PlannerOptions PlannerOptions::FromEnv() {

@@ -30,6 +30,15 @@ struct PlannerOptions {
   bool enable_constant_folding = true;
   JoinOrdering join_ordering = JoinOrdering::kDp;
 
+  /// Convert sargable range predicates on an ordered-indexed column
+  /// into index range scans at capable sources
+  /// (GISQL_INDEX_RANGE_SCAN).
+  bool enable_index_range_scan = true;
+  /// Collapse a co-located equi-join into a source-side index-nested-
+  /// loop join when the inner side is indexed on the join key
+  /// (GISQL_INDEX_JOIN).
+  bool enable_index_join = true;
+
   /// Semijoin reduction ships at most this many distinct keys.
   int64_t semijoin_max_keys = 100000;
 
@@ -128,6 +137,8 @@ struct PlannerOptions {
     o.enable_aggregate_pushdown = false;
     o.enable_limit_pushdown = false;
     o.enable_semijoin = false;
+    o.enable_index_range_scan = false;
+    o.enable_index_join = false;
     o.join_ordering = JoinOrdering::kAsWritten;
     return o;
   }

@@ -114,6 +114,12 @@ std::string PlanNode::Explain(int indent) const {
           << ", msgs=" << actual_messages
           << ", retries=" << (actual_attempts > 0 ? actual_attempts - 1 : 0);
     }
+    if (actual_page_hits >= 0) {
+      oss << ", page_hits=" << actual_page_hits
+          << ", page_misses=" << actual_page_misses
+          << ", evictions=" << actual_evictions
+          << ", disk_ms=" << actual_disk_ms;
+    }
     oss << "}";
   }
   oss << "\n";

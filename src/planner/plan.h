@@ -128,6 +128,12 @@ struct PlanNode {
   mutable int64_t actual_bytes_received = -1;
   mutable int64_t actual_messages = -1;
   mutable int64_t actual_attempts = -1;
+  // Buffer-pool actuals from the source-side page-stats trailer (set
+  // only on kRemoteFragment nodes; -1 = source did not report).
+  mutable int64_t actual_page_hits = -1;
+  mutable int64_t actual_page_misses = -1;
+  mutable int64_t actual_evictions = -1;
+  mutable double actual_disk_ms = -1.0;
 
   explicit PlanNode(PlanKind k) : kind(k) {}
 

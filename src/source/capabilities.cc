@@ -22,6 +22,8 @@ SourceCapabilities SourceCapabilities::For(SourceDialect dialect) {
       caps.limit_pushdown = true;
       caps.sort_pushdown = true;
       caps.semijoin_pushdown = true;
+      caps.index_range_scan = true;
+      caps.index_join = true;
       break;
     case SourceDialect::kDocument:
       caps.filter_pushdown = true;
@@ -54,6 +56,8 @@ std::string SourceCapabilities::ToString() const {
   add("limit", limit_pushdown);
   add("sort", sort_pushdown);
   add(semijoin_key_only ? "semijoin(key)" : "semijoin", semijoin_pushdown);
+  add("index-range", index_range_scan);
+  add("index-join", index_join);
   out += "}";
   return out.empty() ? "{}" : out;
 }

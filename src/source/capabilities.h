@@ -36,6 +36,10 @@ struct SourceCapabilities {
   bool semijoin_pushdown = false;
   /// When true, semijoin reduction may target only column 0 (the key).
   bool semijoin_key_only = false;
+  /// Range-predicate pushdown onto an ordered (B+tree) index.
+  bool index_range_scan = false;
+  /// Index-nested-loop join with a co-located table at the source.
+  bool index_join = false;
 
   /// \brief Capability preset for a dialect.
   static SourceCapabilities For(SourceDialect dialect);

@@ -23,11 +23,14 @@ constexpr size_t kMaxOpenCursorsPerSource = 256;
 }  // namespace
 
 ComponentSource::ComponentSource(std::string name, SourceDialect dialect,
-                                 double cpu_us_per_row)
+                                 double cpu_us_per_row,
+                                 StorageConfig storage_config,
+                                 MemoryBudget* memory_budget)
     : name_(std::move(name)),
       dialect_(dialect),
       caps_(SourceCapabilities::For(dialect)),
-      cpu_us_per_row_(cpu_us_per_row) {}
+      cpu_us_per_row_(cpu_us_per_row),
+      engine_(storage_config, memory_budget) {}
 
 Status ComponentSource::ExecuteLocalSql(const std::string& sql) {
   GISQL_ASSIGN_OR_RETURN(sql::Statement stmt, sql::ParseStatement(sql));
@@ -45,8 +48,13 @@ Status ComponentSource::ExecuteLocalSql(const std::string& sql) {
           TablePtr table,
           engine_.CreateTable(stmt.create_table->table_name,
                               std::make_shared<Schema>(std::move(fields))));
-      // Key column gets a hash index so KV-style lookups are realistic.
+      // Key column gets a hash index so KV-style lookups are realistic;
+      // relational sources also get an ordered index there, the access
+      // path behind index range scans and index-nested-loop joins.
       GISQL_RETURN_NOT_OK(table->CreateHashIndex(0));
+      if (dialect_ == SourceDialect::kRelational) {
+        GISQL_RETURN_NOT_OK(table->CreateOrderedIndex(0));
+      }
       return Status::OK();
     }
     case sql::Statement::Kind::kInsert: {
@@ -106,6 +114,23 @@ Status ComponentSource::CheckCapabilities(const FragmentPlan& frag) const {
           SourceDialectName(dialect_), " source '", name_,
           "' supports semijoin lookup only on the key column");
     }
+  }
+  if (frag.index_column >= 0) {
+    if (!caps_.index_range_scan) {
+      return Status::CapabilityError(SourceDialectName(dialect_),
+                                     " source '", name_,
+                                     "' cannot execute index range scans");
+    }
+    if (frag.semijoin_column >= 0) {
+      return Status::InvalidArgument(
+          "fragment cannot combine semijoin reduction with an index range "
+          "scan: they are alternative access paths");
+    }
+  }
+  if (!frag.join_table.empty() && !caps_.index_join) {
+    return Status::CapabilityError(
+        SourceDialectName(dialect_), " source '", name_,
+        "' cannot execute index-nested-loop joins");
   }
   if (frag.has_aggregate && !frag.projections.empty()) {
     return Status::InvalidArgument(
@@ -172,10 +197,11 @@ Result<RowBatch> ComponentSource::ExecuteFragment(const FragmentPlan& frag,
                                                   int64_t* rows_scanned) {
   GISQL_RETURN_NOT_OK(CheckCapabilities(frag));
   GISQL_ASSIGN_OR_RETURN(TablePtr table, engine_.GetTable(frag.table));
-  const std::vector<Row>& rows = table->rows();
 
   int64_t scanned = 0;
-  std::vector<const Row*> candidates;
+  // Candidate rows are owned copies: heap rows live in buffer-pool
+  // pages, so every fetch below pins a page and charges hits/misses.
+  std::vector<Row> owned;
 
   if (frag.semijoin_column >= 0) {
     const size_t col = static_cast<size_t>(frag.semijoin_column);
@@ -189,7 +215,8 @@ Result<RowBatch> ComponentSource::ExecuteFragment(const FragmentPlan& frag,
       // Index lookups: touch only matching rows.
       for (const auto& key : frag.semijoin_values) {
         for (size_t rid : index->Lookup(key)) {
-          candidates.push_back(&rows[rid]);
+          GISQL_ASSIGN_OR_RETURN(Row row, table->GetRow(rid));
+          owned.push_back(std::move(row));
           ++scanned;
         }
       }
@@ -197,41 +224,163 @@ Result<RowBatch> ComponentSource::ExecuteFragment(const FragmentPlan& frag,
       std::unordered_set<uint64_t> keys;
       keys.reserve(frag.semijoin_values.size());
       for (const auto& v : frag.semijoin_values) keys.insert(v.Hash());
-      for (const auto& row : rows) {
+      GISQL_RETURN_NOT_OK(table->Scan([&](size_t, const Row& row) {
         ++scanned;
         const Value& v = row[col];
-        if (v.is_null() || !keys.count(v.Hash())) continue;
+        if (v.is_null() || !keys.count(v.Hash())) return Status::OK();
         // Hash hit: confirm by value to rule out collisions.
-        bool match = false;
         for (const auto& key : frag.semijoin_values) {
           if (v.Compare(key) == 0) {
-            match = true;
+            owned.push_back(row);
             break;
           }
         }
-        if (match) candidates.push_back(&row);
-      }
+        return Status::OK();
+      }));
+    }
+  } else if (frag.index_column >= 0) {
+    // Index range scan: walk the B+tree for the qualifying row ids and
+    // fetch just those rows' pages.
+    const size_t col = static_cast<size_t>(frag.index_column);
+    if (col >= table->schema()->num_fields()) {
+      return Status::InvalidArgument("index column ", col,
+                                     " out of range for table '",
+                                     frag.table, "'");
+    }
+    OrderedIndex* index = table->GetOrderedIndex(col);
+    if (index == nullptr) {
+      return Status::InvalidArgument(
+          "fragment requests an index range scan on column ", col,
+          " of table '", frag.table, "', which has no ordered index");
+    }
+    const std::vector<size_t> rids =
+        index->Range(frag.range_lo, frag.range_lo_inclusive, frag.range_hi,
+                     frag.range_hi_inclusive);
+    owned.reserve(rids.size());
+    for (size_t rid : rids) {
+      GISQL_ASSIGN_OR_RETURN(Row row, table->GetRow(rid));
+      owned.push_back(std::move(row));
+      ++scanned;
     }
   } else {
-    candidates.reserve(rows.size());
-    for (const auto& row : rows) {
+    owned.reserve(static_cast<size_t>(table->num_rows()));
+    GISQL_RETURN_NOT_OK(table->Scan([&](size_t, const Row& row) {
       ++scanned;
-      candidates.push_back(&row);
+      owned.push_back(row);
+      return Status::OK();
+    }));
+  }
+
+  // The row space downstream operators see: the outer table's schema,
+  // extended by the inner table's under an index-nested-loop join.
+  SchemaPtr scan_schema = table->schema();
+
+  // With a join, only a filter confined to outer columns may run before
+  // probing (it prunes probes); anything wider waits for the
+  // concatenated row.
+  ExprPtr pre_filter = frag.filter;
+  ExprPtr post_filter;
+  if (!frag.join_table.empty() && frag.filter) {
+    std::vector<size_t> cols;
+    frag.filter->CollectColumns(&cols);
+    for (size_t c : cols) {
+      if (c >= table->schema()->num_fields()) {
+        pre_filter = nullptr;
+        post_filter = frag.filter;
+        break;
+      }
+    }
+  }
+
+  std::vector<Row> filtered_rows;
+  if (pre_filter) {
+    filtered_rows.reserve(owned.size());
+    for (Row& row : owned) {
+      GISQL_ASSIGN_OR_RETURN(bool keep, EvalPredicate(*pre_filter, row));
+      if (keep) filtered_rows.push_back(std::move(row));
+    }
+  } else {
+    filtered_rows = std::move(owned);
+  }
+
+  // Index-nested-loop join: probe the co-located inner table's index
+  // with each outer row's key and concatenate matches.
+  if (!frag.join_table.empty()) {
+    GISQL_ASSIGN_OR_RETURN(TablePtr inner,
+                           engine_.GetTable(frag.join_table));
+    const size_t outer_width = table->schema()->num_fields();
+    const size_t inner_width = inner->schema()->num_fields();
+    if (frag.join_outer_column < 0 ||
+        static_cast<size_t>(frag.join_outer_column) >= outer_width) {
+      return Status::InvalidArgument(
+          "join outer column ", frag.join_outer_column,
+          " out of range for table '", frag.table, "'");
+    }
+    if (frag.join_inner_column < 0 ||
+        static_cast<size_t>(frag.join_inner_column) >= inner_width) {
+      return Status::InvalidArgument(
+          "join inner column ", frag.join_inner_column,
+          " out of range for table '", frag.join_table, "'");
+    }
+    const size_t inner_col = static_cast<size_t>(frag.join_inner_column);
+    HashIndex* hash_index = inner->GetHashIndex(inner_col);
+    OrderedIndex* ordered_index =
+        hash_index == nullptr ? inner->GetOrderedIndex(inner_col) : nullptr;
+    if (hash_index == nullptr && ordered_index == nullptr) {
+      return Status::InvalidArgument(
+          "fragment requests an index-nested-loop join probing column ",
+          frag.join_inner_column, " of table '", frag.join_table,
+          "', which has no index");
+    }
+    std::vector<Field> fields;
+    fields.reserve(outer_width + inner_width);
+    for (size_t i = 0; i < outer_width; ++i) {
+      fields.push_back(table->schema()->field(i));
+    }
+    for (size_t i = 0; i < inner_width; ++i) {
+      fields.push_back(inner->schema()->field(i));
+    }
+    scan_schema = std::make_shared<Schema>(std::move(fields));
+    std::vector<Row> joined;
+    for (const Row& outer_row : filtered_rows) {
+      const Value& key = outer_row[static_cast<size_t>(
+          frag.join_outer_column)];
+      if (key.is_null()) continue;
+      const std::vector<size_t> rids =
+          hash_index != nullptr ? hash_index->Lookup(key)
+                                : ordered_index->tree().Lookup(key);
+      for (size_t rid : rids) {
+        GISQL_ASSIGN_OR_RETURN(Row inner_row, inner->GetRow(rid));
+        ++scanned;
+        if (frag.join_inner_filter) {
+          GISQL_ASSIGN_OR_RETURN(
+              bool keep, EvalPredicate(*frag.join_inner_filter, inner_row));
+          if (!keep) continue;
+        }
+        Row combined;
+        combined.reserve(outer_width + inner_width);
+        for (const Value& v : outer_row) combined.push_back(v);
+        for (Value& v : inner_row) combined.push_back(std::move(v));
+        joined.push_back(std::move(combined));
+      }
+    }
+    filtered_rows = std::move(joined);
+    if (post_filter) {
+      std::vector<Row> kept;
+      kept.reserve(filtered_rows.size());
+      for (Row& row : filtered_rows) {
+        GISQL_ASSIGN_OR_RETURN(bool keep, EvalPredicate(*post_filter, row));
+        if (keep) kept.push_back(std::move(row));
+      }
+      filtered_rows = std::move(kept);
     }
   }
   if (rows_scanned != nullptr) *rows_scanned = scanned;
 
-  // Filter.
+  // Pointer view for the downstream aggregation/projection kernels.
   std::vector<const Row*> filtered;
-  if (frag.filter) {
-    filtered.reserve(candidates.size());
-    for (const Row* row : candidates) {
-      GISQL_ASSIGN_OR_RETURN(bool keep, EvalPredicate(*frag.filter, *row));
-      if (keep) filtered.push_back(row);
-    }
-  } else {
-    filtered = std::move(candidates);
-  }
+  filtered.reserve(filtered_rows.size());
+  for (const Row& row : filtered_rows) filtered.push_back(&row);
 
   // Aggregation path.
   if (frag.has_aggregate) {
@@ -250,7 +399,7 @@ Result<RowBatch> ComponentSource::ExecuteFragment(const FragmentPlan& frag,
     // value that does not fit its declared column type fails the
     // conversion and drops to the row path.
     if (vectorized_execution_) {
-      const ColumnBatch probe(table->schema());
+      const ColumnBatch probe(scan_schema);
       std::vector<size_t> needed;
       for (const auto& g : frag.group_by) g->CollectColumns(&needed);
       for (const auto& a : frag.aggregates) {
@@ -258,7 +407,7 @@ Result<RowBatch> ComponentSource::ExecuteFragment(const FragmentPlan& frag,
       }
       if (CanVectorizeAggregate(frag.group_by, frag.aggregates, probe)) {
         Result<ColumnBatch> cols =
-            ColumnBatch::FromRowPtrs(table->schema(), filtered, &needed);
+            ColumnBatch::FromRowPtrs(scan_schema, filtered, &needed);
         if (cols.ok()) {
           GISQL_ASSIGN_OR_RETURN(
               RowBatch out,
@@ -293,7 +442,7 @@ Result<RowBatch> ComponentSource::ExecuteFragment(const FragmentPlan& frag,
     }
     out_schema = std::make_shared<Schema>(std::move(out_fields));
   } else {
-    out_schema = table->schema();
+    out_schema = scan_schema;
   }
 
   RowBatch out(out_schema);
@@ -373,7 +522,7 @@ Status ComponentSource::CommitTxn(const std::string& txn_id) {
                             name_, "'");
   }
   for (auto& write : it->second.writes) {
-    write.table->InsertUnchecked(std::move(write.rows));
+    GISQL_RETURN_NOT_OK(write.table->InsertUnchecked(std::move(write.rows)));
   }
   staged_.erase(it);
   committed_.insert(txn_id);
@@ -447,13 +596,37 @@ Status ComponentSource::LoadSnapshot(const std::string& path) {
     GISQL_ASSIGN_OR_RETURN(
         TablePtr table, engine_.CreateTable(table_name, batch.schema()));
     GISQL_RETURN_NOT_OK(table->CreateHashIndex(0));
-    table->InsertUnchecked(std::move(batch.rows()));
+    if (dialect_ == SourceDialect::kRelational) {
+      GISQL_RETURN_NOT_OK(table->CreateOrderedIndex(0));
+    }
+    GISQL_RETURN_NOT_OK(table->InsertUnchecked(std::move(batch.rows())));
   }
   if (!reader.AtEnd()) {
     return Status::SerializationError("trailing bytes in snapshot '", path,
                                       "'");
   }
   return Status::OK();
+}
+
+ComponentSource::FragmentPageStats ComponentSource::PageStatsSince(
+    const BufferPoolStats& before) const {
+  const BufferPoolStats after = engine_.pool().Snapshot();
+  FragmentPageStats pages;
+  pages.page_hits = after.hits - before.hits;
+  pages.page_misses = after.misses - before.misses;
+  pages.evictions = after.evictions - before.evictions;
+  pages.disk_us = after.disk_us - before.disk_us;
+  return pages;
+}
+
+void ComponentSource::WritePageStatsTrailer(ByteWriter* writer,
+                                            const FragmentPageStats& pages) {
+  // Appended after the batch payload; old decoders that stop at the
+  // batch simply never look at it, new ones read it when bytes remain.
+  writer->PutVarint(static_cast<uint64_t>(pages.page_hits));
+  writer->PutVarint(static_cast<uint64_t>(pages.page_misses));
+  writer->PutVarint(static_cast<uint64_t>(pages.evictions));
+  writer->PutDouble(pages.disk_us);
 }
 
 Result<std::vector<uint8_t>> ComponentSource::Handle(
@@ -485,10 +658,12 @@ Result<std::vector<uint8_t>> ComponentSource::Handle(
     case wire::Opcode::kGetStats: {
       GISQL_ASSIGN_OR_RETURN(std::string table_name, reader.GetString());
       GISQL_ASSIGN_OR_RETURN(TablePtr table, engine_.GetTable(table_name));
+      const double disk_us_before = engine_.pool().Snapshot().disk_us;
       wire::WriteTableStats(&writer, table->Stats());
       if (processing_ms != nullptr) {
         *processing_ms =
-            static_cast<double>(table->num_rows()) * cpu_us_per_row_ / 1e3;
+            static_cast<double>(table->num_rows()) * cpu_us_per_row_ / 1e3 +
+            (engine_.pool().Snapshot().disk_us - disk_us_before) / 1e3;
       }
       return writer.Release();
     }
@@ -521,25 +696,32 @@ Result<std::vector<uint8_t>> ComponentSource::Handle(
 
     case wire::Opcode::kExecuteFragment: {
       GISQL_ASSIGN_OR_RETURN(FragmentPlan frag, wire::ReadFragment(&reader));
+      const BufferPoolStats pool_before = engine_.pool().Snapshot();
       int64_t rows_scanned = 0;
       GISQL_ASSIGN_OR_RETURN(RowBatch batch,
                              ExecuteFragment(frag, &rows_scanned));
+      const FragmentPageStats pages = PageStatsSince(pool_before);
       if (processing_ms != nullptr) {
         *processing_ms =
-            static_cast<double>(rows_scanned) * cpu_us_per_row_ / 1e3;
+            static_cast<double>(rows_scanned) * cpu_us_per_row_ / 1e3 +
+            pages.disk_us / 1e3;
       }
       wire::WriteBatch(&writer, batch);
+      WritePageStatsTrailer(&writer, pages);
       return writer.Release();
     }
 
     case wire::Opcode::kExecuteFragmentColumnar: {
       GISQL_ASSIGN_OR_RETURN(FragmentPlan frag, wire::ReadFragment(&reader));
+      const BufferPoolStats pool_before = engine_.pool().Snapshot();
       int64_t rows_scanned = 0;
       GISQL_ASSIGN_OR_RETURN(RowBatch batch,
                              ExecuteFragment(frag, &rows_scanned));
+      const FragmentPageStats pages = PageStatsSince(pool_before);
       if (processing_ms != nullptr) {
         *processing_ms =
-            static_cast<double>(rows_scanned) * cpu_us_per_row_ / 1e3;
+            static_cast<double>(rows_scanned) * cpu_us_per_row_ / 1e3 +
+            pages.disk_us / 1e3;
       }
       // Columnar when every row fits its declared column type; row
       // encoding otherwise (e.g. an expression whose value type differs
@@ -552,6 +734,7 @@ Result<std::vector<uint8_t>> ComponentSource::Handle(
         writer.PutU8(wire::kBatchFormatRow);
         wire::WriteBatch(&writer, batch);
       }
+      WritePageStatsTrailer(&writer, pages);
       return writer.Release();
     }
 
@@ -571,13 +754,16 @@ Result<std::vector<uint8_t>> ComponentSource::Handle(
                                   " open cursors (limit ",
                                   kMaxOpenCursorsPerSource, ")");
       }
+      const BufferPoolStats pool_before = engine_.pool().Snapshot();
       int64_t rows_scanned = 0;
       GISQL_ASSIGN_OR_RETURN(RowBatch batch,
                              ExecuteFragment(req.fragment, &rows_scanned));
-      // The scan is paid here, at open; fetches only slice and ship.
+      // The scan (CPU and disk) is paid here, at open; fetches only
+      // slice and ship.
       if (processing_ms != nullptr) {
         *processing_ms =
-            static_cast<double>(rows_scanned) * cpu_us_per_row_ / 1e3;
+            static_cast<double>(rows_scanned) * cpu_us_per_row_ / 1e3 +
+            PageStatsSince(pool_before).disk_us / 1e3;
       }
       const uint64_t id = next_cursor_id_++;
       SourceCursor& cur = cursors_[id];

@@ -24,6 +24,8 @@
 
 namespace gisql {
 
+class ByteWriter;
+
 /// \brief A component information system participating in the GIS.
 class ComponentSource : public RpcHandler {
  public:
@@ -31,8 +33,14 @@ class ComponentSource : public RpcHandler {
   /// \param dialect heterogeneity class; fixes the capability set
   /// \param cpu_us_per_row simulated per-row processing cost reported as
   ///        server time on fragment execution
+  /// \param storage_config page/pool/disk geometry of this source's
+  ///        storage engine
+  /// \param memory_budget global budget buffer-pool frames are charged
+  ///        against (nullptr = uncharged)
   ComponentSource(std::string name, SourceDialect dialect,
-                  double cpu_us_per_row = 0.05);
+                  double cpu_us_per_row = 0.05,
+                  StorageConfig storage_config = StorageConfig::FromEnv(),
+                  MemoryBudget* memory_budget = nullptr);
 
   const std::string& name() const { return name_; }
   SourceDialect dialect() const { return dialect_; }
@@ -124,6 +132,22 @@ class ComponentSource : public RpcHandler {
   double cpu_us_per_row_;
   bool vectorized_execution_ = true;
   StorageEngine engine_;
+
+  /// \brief Per-fragment buffer-pool deltas (shipped to the mediator as
+  /// the response stats trailer on fragment execution).
+  struct FragmentPageStats {
+    int64_t page_hits = 0;
+    int64_t page_misses = 0;
+    int64_t evictions = 0;
+    double disk_us = 0.0;
+  };
+
+  /// \brief Buffer-pool counter deltas since `before` was snapshot.
+  FragmentPageStats PageStatsSince(const BufferPoolStats& before) const;
+
+  /// \brief Appends the page-stats trailer to a fragment response.
+  static void WritePageStatsTrailer(ByteWriter* writer,
+                                    const FragmentPageStats& pages);
 
   struct StagedWrite {
     TablePtr table;

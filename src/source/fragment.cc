@@ -11,6 +11,25 @@ std::string FragmentPlan::ToString() const {
     oss << " SEMIJOIN($" << semijoin_column << " IN "
         << semijoin_values.size() << " keys)";
   }
+  if (index_column >= 0) {
+    oss << " INDEX($" << index_column << " ";
+    oss << (range_lo.is_null() ? "(-inf"
+                               : (range_lo_inclusive ? "[" : "(") +
+                                     range_lo.ToString());
+    oss << " .. ";
+    oss << (range_hi.is_null() ? "+inf)"
+                               : range_hi.ToString() +
+                                     (range_hi_inclusive ? "]" : ")"));
+    oss << ")";
+  }
+  if (!join_table.empty()) {
+    oss << " INDEXJOIN(" << join_table << " ON $" << join_outer_column
+        << "=$" << join_inner_column << "R";
+    if (join_inner_filter) {
+      oss << " WHERE " << join_inner_filter->ToString();
+    }
+    oss << ")";
+  }
   if (filter) oss << " WHERE " << filter->ToString();
   if (!projections.empty()) {
     oss << " PROJECT(";

@@ -40,6 +40,30 @@ struct FragmentPlan {
   int64_t semijoin_column = -1;
   std::vector<Value> semijoin_values;
 
+  /// Optional index range scan: read only rows whose `index_column`
+  /// (index into the table schema) lies in [range_lo, range_hi] via the
+  /// source's ordered index, instead of scanning every page. A NULL
+  /// bound is unbounded on that side; the full `filter` still applies
+  /// to the narrowed rows (residual predicates ride along unchanged).
+  /// -1 = full scan.
+  int64_t index_column = -1;
+  Value range_lo;
+  Value range_hi;
+  bool range_lo_inclusive = true;
+  bool range_hi_inclusive = true;
+
+  /// Optional index-nested-loop join with a co-located table at the
+  /// same source: for each (filtered) outer row, probe `join_table`'s
+  /// index on `join_inner_column` with the outer row's
+  /// `join_outer_column` value and emit outer ++ inner rows.
+  /// `join_inner_filter` (over the inner table's schema) prunes probes.
+  /// Projections/aggregation then apply over the concatenated row.
+  /// Empty `join_table` = none.
+  std::string join_table;
+  int64_t join_outer_column = -1;
+  int64_t join_inner_column = -1;
+  ExprPtr join_inner_filter;
+
   /// Optional partial aggregation, applied after filter/projection:
   /// group by `group_by` (over the projected row if projections present,
   /// else the table row) computing `aggregates`.

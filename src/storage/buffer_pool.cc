@@ -1,0 +1,154 @@
+#include "storage/buffer_pool.h"
+
+#include <limits>
+#include <utility>
+
+namespace gisql {
+
+BufferPoolManager::BufferPoolManager(const StorageConfig& config,
+                                     MemoryBudget* budget)
+    : config_(config),
+      disk_(config.disk_read_us, config.disk_write_us),
+      replacer_(config.pool_frames, config.lruk_k) {
+  if (budget != nullptr) {
+    // The pool is mediator-lifetime state, not one query's
+    // materialization, so it carries its own uncapped-per-"query"
+    // grant: only the global cap gates growth.
+    grant_ = MemoryGrant(budget, std::numeric_limits<int64_t>::max());
+  }
+  frames_.reserve(config_.pool_frames);
+}
+
+Result<size_t> BufferPoolManager::AcquireFrame() {
+  if (!free_frames_.empty()) {
+    const size_t frame_id = free_frames_.back();
+    free_frames_.pop_back();
+    return frame_id;
+  }
+  if (frames_.size() < config_.pool_frames) {
+    if (grant_.active()) {
+      const Status charged = grant_.Charge(
+          static_cast<int64_t>(config_.page_size), "buffer pool frame");
+      if (!charged.ok()) {
+        return Status::Overloaded(
+            "buffer pool cannot grow to frame ", frames_.size() + 1, " of ",
+            config_.pool_frames, " (", config_.page_size,
+            " B/frame): global memory budget exhausted — raise "
+            "GISQL_MEDIATOR_MEM_BYTES or lower GISQL_BUFFER_POOL_FRAMES/"
+            "GISQL_PAGE_SIZE [", charged.message(), "]");
+      }
+    }
+    frames_.emplace_back();
+    return frames_.size() - 1;
+  }
+  size_t victim = 0;
+  if (!replacer_.Evict(&victim)) {
+    return Status::Overloaded(
+        "buffer pool exhausted: all ", config_.pool_frames,
+        " frames are pinned — raise GISQL_BUFFER_POOL_FRAMES");
+  }
+  Frame& frame = frames_[victim];
+  if (frame.dirty) {
+    disk_.WritePage(frame.page_id, std::move(frame.data));
+  }
+  page_table_.erase(frame.page_id);
+  frame = Frame{};
+  ++evictions_;
+  return victim;
+}
+
+Result<std::vector<uint8_t>*> BufferPoolManager::FetchPage(uint64_t page_id) {
+  if (auto it = page_table_.find(page_id); it != page_table_.end()) {
+    Frame& frame = frames_[it->second];
+    ++hits_;
+    ++frame.pin_count;
+    replacer_.RecordAccess(it->second);
+    replacer_.SetEvictable(it->second, false);
+    return &frame.data;
+  }
+  ++misses_;
+  GISQL_ASSIGN_OR_RETURN(size_t frame_id, AcquireFrame());
+  GISQL_ASSIGN_OR_RETURN(std::vector<uint8_t> data, disk_.ReadPage(page_id));
+  Frame& frame = frames_[frame_id];
+  frame.page_id = page_id;
+  frame.data = std::move(data);
+  frame.pin_count = 1;
+  frame.dirty = false;
+  frame.in_use = true;
+  page_table_[page_id] = frame_id;
+  replacer_.RecordAccess(frame_id);
+  replacer_.SetEvictable(frame_id, false);
+  return &frame.data;
+}
+
+Result<uint64_t> BufferPoolManager::NewPage(std::vector<uint8_t>** data) {
+  GISQL_ASSIGN_OR_RETURN(size_t frame_id, AcquireFrame());
+  const uint64_t page_id = disk_.AllocatePage();
+  ++pages_live_;
+  Frame& frame = frames_[frame_id];
+  frame.page_id = page_id;
+  frame.data.clear();
+  frame.pin_count = 1;
+  frame.dirty = true;  // never hit disk yet: eviction must write it
+  frame.in_use = true;
+  page_table_[page_id] = frame_id;
+  replacer_.RecordAccess(frame_id);
+  replacer_.SetEvictable(frame_id, false);
+  if (data != nullptr) *data = &frame.data;
+  return page_id;
+}
+
+void BufferPoolManager::UnpinPage(uint64_t page_id, bool dirty) {
+  auto it = page_table_.find(page_id);
+  if (it == page_table_.end()) return;
+  Frame& frame = frames_[it->second];
+  if (dirty) frame.dirty = true;
+  if (frame.pin_count > 0 && --frame.pin_count == 0) {
+    replacer_.SetEvictable(it->second, true);
+  }
+}
+
+void BufferPoolManager::FlushAll() {
+  // Flush in frame order so disk write counts replay identically.
+  for (Frame& frame : frames_) {
+    if (frame.in_use && frame.dirty) {
+      disk_.WritePage(frame.page_id, frame.data);
+      frame.dirty = false;
+    }
+  }
+}
+
+void BufferPoolManager::DeletePage(uint64_t page_id) {
+  if (auto it = page_table_.find(page_id); it != page_table_.end()) {
+    const size_t frame_id = it->second;
+    Frame& frame = frames_[frame_id];
+    if (frame.pin_count > 0) return;  // caller bug; keep the page
+    replacer_.Remove(frame_id);
+    page_table_.erase(it);
+    frame = Frame{};
+    free_frames_.push_back(frame_id);
+  }
+  disk_.DeletePage(page_id);
+  --pages_live_;
+}
+
+BufferPoolStats BufferPoolManager::Snapshot() const {
+  BufferPoolStats s;
+  s.page_size = static_cast<int64_t>(config_.page_size);
+  s.pool_frames = static_cast<int64_t>(config_.pool_frames);
+  s.frames_used = static_cast<int64_t>(page_table_.size());
+  for (const Frame& f : frames_) {
+    if (f.in_use && f.pin_count > 0) ++s.pinned_frames;
+  }
+  s.hits = hits_;
+  s.misses = misses_;
+  s.evictions = evictions_;
+  s.disk_reads = disk_.reads();
+  s.disk_writes = disk_.writes();
+  s.pages_on_disk = disk_.num_pages();
+  s.pages_live = pages_live_;
+  s.disk_us = disk_.io_us();
+  return s;
+}
+
+}  // namespace gisql

@@ -1,0 +1,109 @@
+/// \file buffer_pool.h
+/// \brief Fixed-capacity buffer pool with LRU-K replacement over the
+/// simulated disk.
+///
+/// Each component source's storage engine owns one pool shared by its
+/// tables. Frames are allocated lazily as the working set grows, each
+/// allocation charged against the mediator's global MemoryBudget so
+/// pool growth and query grants share one accounting regime. Misses
+/// and dirty-page writebacks charge the SimDisk's virtual latency, so
+/// out-of-core access patterns cost deterministic simulated time and
+/// replay byte-identically.
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "sched/memory_budget.h"
+#include "storage/lru_k_replacer.h"
+#include "storage/sim_disk.h"
+#include "storage/storage_config.h"
+
+namespace gisql {
+
+/// \brief One monotonic counter snapshot of a pool (plus geometry).
+struct BufferPoolStats {
+  int64_t page_size = 0;
+  int64_t pool_frames = 0;
+  int64_t frames_used = 0;
+  int64_t pinned_frames = 0;
+  int64_t hits = 0;
+  int64_t misses = 0;
+  int64_t evictions = 0;
+  int64_t disk_reads = 0;
+  int64_t disk_writes = 0;
+  int64_t pages_on_disk = 0;  ///< pages holding a flushed disk image
+  int64_t pages_live = 0;     ///< pages allocated and not yet deleted —
+                              ///< the store's logical size in pages
+  double disk_us = 0.0;  ///< virtual I/O time charged so far
+};
+
+class BufferPoolManager {
+ public:
+  /// \param budget global memory budget frames are charged against
+  ///        (nullptr = uncharged, for standalone tables in tests/bench)
+  explicit BufferPoolManager(const StorageConfig& config,
+                             MemoryBudget* budget = nullptr);
+
+  size_t page_size() const { return config_.page_size; }
+  const StorageConfig& config() const { return config_; }
+  SimDisk& disk() { return disk_; }
+
+  /// \brief Pins `page_id` into a frame, reading it from disk on a miss
+  /// (evicting a victim when the pool is full, writing it back if
+  /// dirty). The returned byte image stays valid while pinned.
+  Result<std::vector<uint8_t>*> FetchPage(uint64_t page_id);
+
+  /// \brief Allocates a fresh empty page, pinned and dirty.
+  Result<uint64_t> NewPage(std::vector<uint8_t>** data);
+
+  /// \brief Drops a pin; `dirty` marks the page modified since fetch.
+  void UnpinPage(uint64_t page_id, bool dirty);
+
+  /// \brief Writes every dirty resident page to disk (pages stay
+  /// resident and clean).
+  void FlushAll();
+
+  /// \brief Removes an unpinned page from the pool and the disk.
+  void DeletePage(uint64_t page_id);
+
+  BufferPoolStats Snapshot() const;
+
+  /// \brief Frame bytes charged against the memory budget so far.
+  /// Frames are never returned, so this only grows.
+  int64_t resident_bytes() const { return grant_.used(); }
+
+ private:
+  struct Frame {
+    uint64_t page_id = 0;
+    std::vector<uint8_t> data;
+    int pin_count = 0;
+    bool dirty = false;
+    bool in_use = false;  ///< holds a page (frames are never returned)
+  };
+
+  /// Picks a frame for a new resident page: an unused frame if the pool
+  /// may still grow (charging the budget), else an LRU-K victim
+  /// (writing it back if dirty).
+  Result<size_t> AcquireFrame();
+
+  StorageConfig config_;
+  SimDisk disk_;
+  LruKReplacer replacer_;
+  MemoryGrant grant_;
+  std::vector<Frame> frames_;
+  std::vector<size_t> free_frames_;  ///< frames emptied by DeletePage
+  std::unordered_map<uint64_t, size_t> page_table_;  ///< page id → frame
+  int64_t hits_ = 0;
+  int64_t misses_ = 0;
+  int64_t evictions_ = 0;
+  int64_t pages_live_ = 0;
+};
+
+using BufferPoolPtr = std::shared_ptr<BufferPoolManager>;
+
+}  // namespace gisql

@@ -1,0 +1,71 @@
+#include "storage/lru_k_replacer.h"
+
+#include <limits>
+
+namespace gisql {
+
+LruKReplacer::LruKReplacer(size_t num_frames, size_t k)
+    : num_frames_(num_frames), k_(k == 0 ? 1 : k) {}
+
+void LruKReplacer::RecordAccess(size_t frame_id) {
+  if (frame_id >= num_frames_) return;
+  FrameInfo& info = frames_[frame_id];
+  info.history.push_back(++current_tick_);
+  if (info.history.size() > k_) info.history.pop_front();
+}
+
+void LruKReplacer::SetEvictable(size_t frame_id, bool evictable) {
+  auto it = frames_.find(frame_id);
+  if (it == frames_.end()) return;
+  it->second.evictable = evictable;
+}
+
+bool LruKReplacer::Evict(size_t* frame_id) {
+  constexpr uint64_t kInf = std::numeric_limits<uint64_t>::max();
+  bool found = false;
+  size_t victim = 0;
+  // Among frames with < k accesses, backward k-distance is infinite and
+  // the earliest *overall* (= earliest recorded) access loses; among
+  // fully-historied frames, the smallest k-th-recent tick (= largest
+  // backward k-distance) loses. Lower (distance-class, tiebreak-tick)
+  // never beats higher, so one linear pass with a two-part key works.
+  uint64_t best_kth = 0;    // k-th most recent tick of current victim
+  bool best_inf = false;    // current victim in the +inf class?
+  uint64_t best_oldest = kInf;  // oldest tick (ties within +inf class)
+  for (const auto& [id, info] : frames_) {
+    if (!info.evictable || info.history.empty()) continue;
+    const bool inf = info.history.size() < k_;
+    if (inf) {
+      const uint64_t oldest = info.history.front();
+      if (!found || !best_inf || oldest < best_oldest) {
+        found = true;
+        victim = id;
+        best_inf = true;
+        best_oldest = oldest;
+      }
+    } else if (!found || (!best_inf && info.history.front() < best_kth)) {
+      // history.front() is the k-th most recent access (deque holds the
+      // last k ticks, oldest first). +inf frames always win over these.
+      found = true;
+      victim = id;
+      best_inf = false;
+      best_kth = info.history.front();
+    }
+  }
+  if (!found) return false;
+  frames_.erase(victim);
+  if (frame_id != nullptr) *frame_id = victim;
+  return true;
+}
+
+void LruKReplacer::Remove(size_t frame_id) { frames_.erase(frame_id); }
+
+size_t LruKReplacer::Size() const {
+  size_t n = 0;
+  for (const auto& [id, info] : frames_) {
+    if (info.evictable) ++n;
+  }
+  return n;
+}
+
+}  // namespace gisql

@@ -1,0 +1,56 @@
+/// \file lru_k_replacer.h
+/// \brief LRU-K frame replacement for the buffer pool.
+///
+/// Classic LRU-K (O'Neil et al.): the victim is the evictable frame
+/// with the largest *backward k-distance* — the gap between now and its
+/// k-th most recent access. Frames with fewer than K recorded accesses
+/// have infinite backward k-distance and are evicted first, oldest
+/// overall access first (plain LRU among the +inf class). Timestamps
+/// are a logical counter, not wall-clock, so eviction order is a pure
+/// function of the access trace and replays identically.
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
+
+namespace gisql {
+
+class LruKReplacer {
+ public:
+  /// \param num_frames frames tracked (ids 0 .. num_frames-1)
+  /// \param k history depth; 1 degenerates to LRU
+  LruKReplacer(size_t num_frames, size_t k);
+
+  /// \brief Records an access to `frame_id` at the next logical tick.
+  void RecordAccess(size_t frame_id);
+
+  /// \brief Marks whether `frame_id` may be chosen as a victim
+  /// (pinned frames are non-evictable).
+  void SetEvictable(size_t frame_id, bool evictable);
+
+  /// \brief Picks and removes the victim per LRU-K order; returns false
+  /// when no frame is evictable. The victim's access history is erased.
+  bool Evict(size_t* frame_id);
+
+  /// \brief Forgets a frame entirely (page deleted from the pool).
+  void Remove(size_t frame_id);
+
+  /// \brief Number of currently evictable frames.
+  size_t Size() const;
+
+ private:
+  struct FrameInfo {
+    std::deque<uint64_t> history;  ///< last ≤ k access ticks, oldest first
+    bool evictable = false;
+  };
+
+  size_t num_frames_;
+  size_t k_;
+  uint64_t current_tick_ = 0;
+  std::unordered_map<size_t, FrameInfo> frames_;
+};
+
+}  // namespace gisql

@@ -1,0 +1,80 @@
+/// \file paged_heap.h
+/// \brief A heap file of row slots over buffer-pool pages.
+///
+/// Rows are wire-encoded back to back into fixed-size pages; an
+/// in-memory page directory (page ids + per-page row counts) maps a
+/// row id to its (page, slot). Every access goes through the buffer
+/// pool, so point reads and scans charge honest page hits/misses and
+/// virtual disk time. The heap is append-oriented: deletions rebuild
+/// the file (Replace), matching the engine's rebuild-on-write policy.
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/result.h"
+#include "storage/buffer_pool.h"
+#include "types/row.h"
+#include "types/schema.h"
+
+namespace gisql {
+
+class PagedHeap {
+ public:
+  PagedHeap(BufferPoolPtr pool, SchemaPtr schema);
+  ~PagedHeap();
+
+  PagedHeap(const PagedHeap&) = delete;
+  PagedHeap& operator=(const PagedHeap&) = delete;
+
+  /// \brief Appends one row; returns its row id. Fails when the buffer
+  /// pool cannot grow (global memory budget).
+  Result<size_t> Append(const Row& row);
+
+  /// \brief Bulk append (page-at-a-time; one pin per filled page).
+  Status AppendBatch(const std::vector<Row>& rows);
+
+  /// \brief Point read of row `rid` through the buffer pool.
+  Result<Row> Get(size_t rid);
+
+  /// \brief Full scan in row-id order, one page pin per page. The
+  /// callback may return a non-OK status to stop the scan.
+  Status Scan(const std::function<Status(size_t rid, const Row& row)>& fn);
+
+  /// \brief Replaces the whole file contents (delete-rebuild path).
+  Status Replace(const std::vector<Row>& rows);
+
+  int64_t num_rows() const { return total_rows_; }
+  int64_t num_pages() const { return static_cast<int64_t>(page_ids_.size()); }
+
+ private:
+  /// Decodes every row of page `page_index` from `bytes`.
+  Result<std::vector<Row>> DecodePage(size_t page_index,
+                                      const std::vector<uint8_t>& bytes) const;
+
+  /// Rows of page `page_index`, fetched (counting hit/miss) and decoded
+  /// — with a one-page decode memo so consecutive probes of the same
+  /// page skip the re-decode CPU, never the pool accounting.
+  Result<const std::vector<Row>*> PageRows(size_t page_index);
+
+  void DropAllPages();
+
+  BufferPoolPtr pool_;
+  SchemaPtr schema_;
+  std::vector<uint64_t> page_ids_;
+  std::vector<uint32_t> page_row_counts_;
+  std::vector<size_t> page_first_rid_;  ///< prefix sums over row counts
+  int64_t total_rows_ = 0;
+  uint64_t epoch_ = 0;  ///< bumped on every mutation (invalidates memo)
+
+  // Decode memo for the most recently read page.
+  bool memo_valid_ = false;
+  size_t memo_page_ = 0;
+  uint64_t memo_epoch_ = 0;
+  std::vector<Row> memo_rows_;
+};
+
+}  // namespace gisql

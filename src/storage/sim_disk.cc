@@ -1,0 +1,23 @@
+#include "storage/sim_disk.h"
+
+#include <utility>
+
+namespace gisql {
+
+void SimDisk::WritePage(uint64_t page_id, std::vector<uint8_t> data) {
+  pages_[page_id] = std::move(data);
+  ++writes_;
+  io_us_ += write_us_;
+}
+
+Result<std::vector<uint8_t>> SimDisk::ReadPage(uint64_t page_id) {
+  auto it = pages_.find(page_id);
+  if (it == pages_.end()) {
+    return Status::NotFound("page ", page_id, " was never written to disk");
+  }
+  ++reads_;
+  io_us_ += read_us_;
+  return it->second;
+}
+
+}  // namespace gisql

@@ -1,0 +1,64 @@
+/// \file sim_disk.h
+/// \brief Simulated page store backing a buffer pool.
+///
+/// Pages live as byte images in memory; what the simulation charges is
+/// *virtual* latency per I/O, accumulated in microseconds so a buffer
+/// miss costs deterministic simulated time. Reads of never-written
+/// pages are errors (the pool only reads pages it flushed or allocated
+/// through the disk), keeping lost-write bugs loud.
+
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+
+namespace gisql {
+
+class SimDisk {
+ public:
+  SimDisk(double read_us, double write_us)
+      : read_us_(read_us), write_us_(write_us) {}
+
+  /// \brief Allocates a fresh page id (no I/O charged; allocation is a
+  /// metadata operation).
+  uint64_t AllocatePage() { return next_page_id_++; }
+
+  /// \brief Writes `data` as the image of `page_id`, charging write
+  /// latency.
+  void WritePage(uint64_t page_id, std::vector<uint8_t> data);
+
+  /// \brief Reads the image of `page_id`, charging read latency.
+  /// NotFound for pages never written.
+  Result<std::vector<uint8_t>> ReadPage(uint64_t page_id);
+
+  /// \brief Drops a page image (no I/O charged).
+  void DeletePage(uint64_t page_id) { pages_.erase(page_id); }
+
+  /// \name Counters (monotonic; all virtual)
+  /// @{
+  int64_t reads() const { return reads_; }
+  int64_t writes() const { return writes_; }
+  /// Total virtual I/O time charged, in microseconds.
+  double io_us() const { return io_us_; }
+  /// Pages currently stored.
+  int64_t num_pages() const { return static_cast<int64_t>(pages_.size()); }
+  /// Page ids handed out so far (monotonic; ids are never reused).
+  int64_t allocated() const {
+    return static_cast<int64_t>(next_page_id_ - 1);
+  }
+  /// @}
+
+ private:
+  double read_us_;
+  double write_us_;
+  uint64_t next_page_id_ = 1;
+  std::unordered_map<uint64_t, std::vector<uint8_t>> pages_;
+  int64_t reads_ = 0;
+  int64_t writes_ = 0;
+  double io_us_ = 0.0;
+};
+
+}  // namespace gisql

@@ -40,6 +40,12 @@ struct TableStats {
   int64_t row_count = 0;
   std::vector<ColumnStats> columns;
 
+  /// Columns carrying a hash / ordered secondary index at the source
+  /// (sorted). Exported so the mediator's planner can target index
+  /// range scans and index-nested-loop joins at real access paths.
+  std::vector<int64_t> hash_indexed_columns;
+  std::vector<int64_t> ordered_indexed_columns;
+
   /// \brief Estimated selectivity of `col = literal` from distinct count.
   double EqSelectivity(size_t col) const;
 

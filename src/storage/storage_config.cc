@@ -1,0 +1,44 @@
+#include "storage/storage_config.h"
+
+#include <cstdlib>
+#include <cstring>
+
+namespace gisql {
+
+namespace {
+
+/// Overwrites `*out` only on a full, clean, positive parse so a typo'd
+/// variable leaves the compiled-in default intact.
+void EnvSize(const char* name, size_t* out) {
+  const char* text = std::getenv(name);
+  if (text == nullptr || *text == '\0') return;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(text, &end, 10);
+  if (end != nullptr && *end == '\0' && v > 0) *out = static_cast<size_t>(v);
+}
+
+void EnvMicros(const char* name, double* out) {
+  const char* text = std::getenv(name);
+  if (text == nullptr || *text == '\0') return;
+  char* end = nullptr;
+  const double v = std::strtod(text, &end);
+  if (end != nullptr && *end == '\0' && v >= 0) *out = v;
+}
+
+}  // namespace
+
+StorageConfig StorageConfig::FromEnv() {
+  StorageConfig cfg;
+  EnvSize("GISQL_PAGE_SIZE", &cfg.page_size);
+  EnvSize("GISQL_BUFFER_POOL_FRAMES", &cfg.pool_frames);
+  EnvSize("GISQL_LRUK_K", &cfg.lruk_k);
+  EnvMicros("GISQL_DISK_READ_US", &cfg.disk_read_us);
+  EnvMicros("GISQL_DISK_WRITE_US", &cfg.disk_write_us);
+  // Degenerate values would wedge the pool; clamp to workable minima.
+  if (cfg.page_size < 64) cfg.page_size = 64;
+  if (cfg.pool_frames < 2) cfg.pool_frames = 2;
+  if (cfg.lruk_k < 1) cfg.lruk_k = 1;
+  return cfg;
+}
+
+}  // namespace gisql

@@ -41,6 +41,24 @@ std::vector<size_t> OrderedIndex::Range(const Value& lo, bool lo_inclusive,
   return tree_.Range(lo, lo_inclusive, hi, hi_inclusive);
 }
 
+Table::Table(std::string name, SchemaPtr schema, BufferPoolPtr pool)
+    : name_(std::move(name)),
+      schema_(std::move(schema)),
+      pool_(pool != nullptr
+                ? std::move(pool)
+                : std::make_shared<BufferPoolManager>(StorageConfig::FromEnv())),
+      heap_(pool_, schema_) {}
+
+std::vector<Row> Table::rows() {
+  std::vector<Row> out;
+  out.reserve(static_cast<size_t>(heap_.num_rows()));
+  (void)heap_.Scan([&](size_t, const Row& row) {
+    out.push_back(row);
+    return Status::OK();
+  });
+  return out;
+}
+
 Result<Row> Table::ValidateRow(Row row) const {
   if (row.size() != schema_->num_fields()) {
     return Status::InvalidArgument("row arity ", row.size(),
@@ -71,34 +89,34 @@ Result<Row> Table::ValidateRow(Row row) const {
 
 Status Table::Insert(Row row) {
   GISQL_ASSIGN_OR_RETURN(Row validated, ValidateRow(std::move(row)));
-  rows_.push_back(std::move(validated));
+  GISQL_RETURN_NOT_OK(heap_.Append(validated).status());
+  ++epoch_;
   stats_valid_ = false;
   return Status::OK();
 }
 
-void Table::InsertUnchecked(std::vector<Row> rows) {
-  if (rows_.empty()) {
-    rows_ = std::move(rows);
-  } else {
-    rows_.reserve(rows_.size() + rows.size());
-    for (auto& r : rows) rows_.push_back(std::move(r));
-  }
+Status Table::InsertUnchecked(std::vector<Row> rows) {
+  GISQL_RETURN_NOT_OK(heap_.AppendBatch(rows));
+  ++epoch_;
   stats_valid_ = false;
+  return Status::OK();
 }
 
 Result<int64_t> Table::Delete(const Expr& predicate) {
   int64_t removed = 0;
   std::vector<Row> kept;
-  kept.reserve(rows_.size());
-  for (auto& row : rows_) {
+  kept.reserve(static_cast<size_t>(heap_.num_rows()));
+  GISQL_RETURN_NOT_OK(heap_.Scan([&](size_t, const Row& row) {
     GISQL_ASSIGN_OR_RETURN(bool match, EvalPredicate(predicate, row));
     if (match) {
       ++removed;
     } else {
-      kept.push_back(std::move(row));
+      kept.push_back(row);
     }
-  }
-  rows_ = std::move(kept);
+    return Status::OK();
+  }));
+  GISQL_RETURN_NOT_OK(heap_.Replace(kept));
+  ++epoch_;
   stats_valid_ = false;
   return removed;
 }
@@ -115,6 +133,7 @@ Status Table::CreateHashIndex(size_t column) {
     }
   }
   hash_indexes_.push_back(std::make_unique<HashIndex>(column));
+  hash_epochs_.push_back(epoch_ - 1);  // force first build
   return Status::OK();
 }
 
@@ -130,32 +149,61 @@ Status Table::CreateOrderedIndex(size_t column) {
     }
   }
   ordered_indexes_.push_back(std::make_unique<OrderedIndex>(column));
+  ordered_epochs_.push_back(epoch_ - 1);  // force first build
   return Status::OK();
 }
 
 HashIndex* Table::GetHashIndex(size_t column) {
-  for (auto& idx : hash_indexes_) {
-    if (idx->column() == column) {
-      if (idx->built_row_count() != rows_.size()) idx->Build(rows_);
-      return idx.get();
+  for (size_t i = 0; i < hash_indexes_.size(); ++i) {
+    if (hash_indexes_[i]->column() == column) {
+      if (hash_epochs_[i] != epoch_) {
+        hash_indexes_[i]->Build(rows());  // full scan through the pool
+        hash_epochs_[i] = epoch_;
+      }
+      return hash_indexes_[i].get();
     }
   }
   return nullptr;
 }
 
 OrderedIndex* Table::GetOrderedIndex(size_t column) {
-  for (auto& idx : ordered_indexes_) {
-    if (idx->column() == column) {
-      if (idx->built_row_count() != rows_.size()) idx->Build(rows_);
-      return idx.get();
+  for (size_t i = 0; i < ordered_indexes_.size(); ++i) {
+    if (ordered_indexes_[i]->column() == column) {
+      if (ordered_epochs_[i] != epoch_) {
+        ordered_indexes_[i]->Build(rows());  // full scan through the pool
+        ordered_epochs_[i] = epoch_;
+      }
+      return ordered_indexes_[i].get();
     }
   }
   return nullptr;
 }
 
+std::vector<int64_t> Table::HashIndexedColumns() const {
+  std::vector<int64_t> cols;
+  cols.reserve(hash_indexes_.size());
+  for (const auto& idx : hash_indexes_) {
+    cols.push_back(static_cast<int64_t>(idx->column()));
+  }
+  std::sort(cols.begin(), cols.end());
+  return cols;
+}
+
+std::vector<int64_t> Table::OrderedIndexedColumns() const {
+  std::vector<int64_t> cols;
+  cols.reserve(ordered_indexes_.size());
+  for (const auto& idx : ordered_indexes_) {
+    cols.push_back(static_cast<int64_t>(idx->column()));
+  }
+  std::sort(cols.begin(), cols.end());
+  return cols;
+}
+
 const TableStats& Table::Stats() {
   if (!stats_valid_) {
-    stats_ = CollectStats(*schema_, rows_);
+    stats_ = CollectStats(*schema_, rows());
+    stats_.hash_indexed_columns = HashIndexedColumns();
+    stats_.ordered_indexed_columns = OrderedIndexedColumns();
     stats_valid_ = true;
   }
   return stats_;
@@ -167,7 +215,7 @@ Result<TablePtr> StorageEngine::CreateTable(const std::string& name,
   if (tables_.count(key)) {
     return Status::AlreadyExists("table '", name, "' already exists");
   }
-  auto table = std::make_shared<Table>(name, std::move(schema));
+  auto table = std::make_shared<Table>(name, std::move(schema), pool_);
   tables_[key] = table;
   return table;
 }

@@ -1,6 +1,11 @@
 /// \file table.h
-/// \brief Heap table with optional hash / ordered secondary indexes —
-/// the storage layer each autonomous component system runs.
+/// \brief Page-backed heap table with optional hash / ordered secondary
+/// indexes — the storage layer each autonomous component system runs.
+///
+/// Rows live in buffer-pool pages (storage/paged_heap.h), so every
+/// access — point read, scan, index build — charges page hits/misses
+/// and virtual disk time. Indexes map values to row ids and are rebuilt
+/// lazily after writes; row ids are positions in the heap file.
 
 #pragma once
 
@@ -13,7 +18,10 @@
 #include "common/result.h"
 #include "expr/expr.h"
 #include "storage/btree.h"
+#include "storage/buffer_pool.h"
+#include "storage/paged_heap.h"
 #include "storage/statistics.h"
+#include "storage/storage_config.h"
 #include "types/row.h"
 #include "types/schema.h"
 
@@ -75,16 +83,31 @@ class OrderedIndex {
   BPlusTree tree_;
 };
 
-/// \brief An append-oriented heap table.
+/// \brief An append-oriented page-backed heap table.
 class Table {
  public:
-  Table(std::string name, SchemaPtr schema)
-      : name_(std::move(name)), schema_(std::move(schema)) {}
+  /// \param pool buffer pool the heap pages live in; when null, the
+  ///        table creates a private pool from StorageConfig::FromEnv()
+  ///        (standalone tables in tests and benches).
+  Table(std::string name, SchemaPtr schema, BufferPoolPtr pool = nullptr);
 
   const std::string& name() const { return name_; }
   const SchemaPtr& schema() const { return schema_; }
-  const std::vector<Row>& rows() const { return rows_; }
-  int64_t num_rows() const { return static_cast<int64_t>(rows_.size()); }
+  int64_t num_rows() const { return heap_.num_rows(); }
+
+  /// \brief Materializes every row through the buffer pool (charging
+  /// page accesses). Best-effort: an out-of-budget pool yields the
+  /// prefix that fit — engine paths use Scan()/GetRow() instead, which
+  /// surface the error.
+  std::vector<Row> rows();
+
+  /// \brief Point read of row `rid` through the buffer pool.
+  Result<Row> GetRow(size_t rid) { return heap_.Get(rid); }
+
+  /// \brief Full scan in row-id order, one page pin per page.
+  Status Scan(const std::function<Status(size_t, const Row&)>& fn) {
+    return heap_.Scan(fn);
+  }
 
   /// \brief Validates arity and types against the schema, applying
   /// implicit casts; returns the coerced row without storing it.
@@ -95,8 +118,9 @@ class Table {
   Status Insert(Row row);
 
   /// \brief Bulk append without per-row type validation (trusted loader
-  /// path used by the workload generator).
-  void InsertUnchecked(std::vector<Row> rows);
+  /// path used by the workload generator). Fails only when the buffer
+  /// pool cannot grow.
+  Status InsertUnchecked(std::vector<Row> rows);
 
   /// \brief Deletes rows matching `predicate`; returns count removed.
   Result<int64_t> Delete(const Expr& predicate);
@@ -113,15 +137,26 @@ class Table {
   /// \brief The ordered index on `column`, freshly built, or nullptr.
   OrderedIndex* GetOrderedIndex(size_t column);
 
+  /// \brief Columns with a declared hash / ordered index (sorted).
+  std::vector<int64_t> HashIndexedColumns() const;
+  std::vector<int64_t> OrderedIndexedColumns() const;
+
   /// \brief Exact statistics; cached until the next write.
   const TableStats& Stats();
+
+  /// \brief The pool this table's pages live in.
+  BufferPoolManager& pool() { return *pool_; }
 
  private:
   std::string name_;
   SchemaPtr schema_;
-  std::vector<Row> rows_;
+  BufferPoolPtr pool_;
+  PagedHeap heap_;
+  uint64_t epoch_ = 0;  ///< bumped on every write
   std::vector<std::unique_ptr<HashIndex>> hash_indexes_;
+  std::vector<uint64_t> hash_epochs_;
   std::vector<std::unique_ptr<OrderedIndex>> ordered_indexes_;
+  std::vector<uint64_t> ordered_epochs_;
   TableStats stats_;
   bool stats_valid_ = false;
 };
@@ -129,8 +164,13 @@ class Table {
 using TablePtr = std::shared_ptr<Table>;
 
 /// \brief Named-table container — one per component information system.
+/// Owns the buffer pool all of its tables share.
 class StorageEngine {
  public:
+  explicit StorageEngine(StorageConfig config = StorageConfig::FromEnv(),
+                         MemoryBudget* budget = nullptr)
+      : pool_(std::make_shared<BufferPoolManager>(config, budget)) {}
+
   /// \brief Creates an empty table; AlreadyExists if the name is taken.
   Result<TablePtr> CreateTable(const std::string& name, SchemaPtr schema);
 
@@ -140,7 +180,11 @@ class StorageEngine {
 
   std::vector<std::string> TableNames() const;
 
+  BufferPoolManager& pool() { return *pool_; }
+  const BufferPoolManager& pool() const { return *pool_; }
+
  private:
+  BufferPoolPtr pool_;
   std::unordered_map<std::string, TablePtr> tables_;
 };
 

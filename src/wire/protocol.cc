@@ -81,6 +81,10 @@ void WriteTableStats(ByteWriter* w, const TableStats& stats) {
     w->PutVarint(c.histogram_bounds.size());
     for (const auto& edge : c.histogram_bounds) WriteValue(w, edge);
   }
+  w->PutVarint(stats.hash_indexed_columns.size());
+  for (int64_t col : stats.hash_indexed_columns) w->PutSignedVarint(col);
+  w->PutVarint(stats.ordered_indexed_columns.size());
+  for (int64_t col : stats.ordered_indexed_columns) w->PutSignedVarint(col);
 }
 
 Result<TableStats> ReadTableStats(ByteReader* r) {
@@ -108,6 +112,24 @@ Result<TableStats> ReadTableStats(ByteReader* r) {
       c.histogram_bounds.push_back(std::move(edge));
     }
     stats.columns.push_back(std::move(c));
+  }
+  GISQL_ASSIGN_OR_RETURN(uint64_t nhash, r->GetVarint());
+  if (nhash > 1 << 16) {
+    return Status::SerializationError("too many indexed columns");
+  }
+  stats.hash_indexed_columns.reserve(nhash);
+  for (uint64_t i = 0; i < nhash; ++i) {
+    GISQL_ASSIGN_OR_RETURN(int64_t col, r->GetSignedVarint());
+    stats.hash_indexed_columns.push_back(col);
+  }
+  GISQL_ASSIGN_OR_RETURN(uint64_t nordered, r->GetVarint());
+  if (nordered > 1 << 16) {
+    return Status::SerializationError("too many indexed columns");
+  }
+  stats.ordered_indexed_columns.reserve(nordered);
+  for (uint64_t i = 0; i < nordered; ++i) {
+    GISQL_ASSIGN_OR_RETURN(int64_t col, r->GetSignedVarint());
+    stats.ordered_indexed_columns.push_back(col);
   }
   return stats;
 }

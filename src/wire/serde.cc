@@ -463,6 +463,20 @@ void WriteFragment(ByteWriter* w, const FragmentPlan& frag) {
                                                : true);
   }
   w->PutSignedVarint(frag.limit);
+  w->PutSignedVarint(frag.index_column);
+  if (frag.index_column >= 0) {
+    WriteValue(w, frag.range_lo);
+    WriteValue(w, frag.range_hi);
+    w->PutBool(frag.range_lo_inclusive);
+    w->PutBool(frag.range_hi_inclusive);
+  }
+  w->PutString(frag.join_table);
+  if (!frag.join_table.empty()) {
+    w->PutSignedVarint(frag.join_outer_column);
+    w->PutSignedVarint(frag.join_inner_column);
+    w->PutBool(frag.join_inner_filter != nullptr);
+    if (frag.join_inner_filter) WriteExpr(w, *frag.join_inner_filter);
+  }
 }
 
 Result<FragmentPlan> ReadFragment(ByteReader* r) {
@@ -513,6 +527,22 @@ Result<FragmentPlan> ReadFragment(ByteReader* r) {
     frag.order_ascending.push_back(asc);
   }
   GISQL_ASSIGN_OR_RETURN(frag.limit, r->GetSignedVarint());
+  GISQL_ASSIGN_OR_RETURN(frag.index_column, r->GetSignedVarint());
+  if (frag.index_column >= 0) {
+    GISQL_ASSIGN_OR_RETURN(frag.range_lo, ReadValue(r));
+    GISQL_ASSIGN_OR_RETURN(frag.range_hi, ReadValue(r));
+    GISQL_ASSIGN_OR_RETURN(frag.range_lo_inclusive, r->GetBool());
+    GISQL_ASSIGN_OR_RETURN(frag.range_hi_inclusive, r->GetBool());
+  }
+  GISQL_ASSIGN_OR_RETURN(frag.join_table, r->GetString());
+  if (!frag.join_table.empty()) {
+    GISQL_ASSIGN_OR_RETURN(frag.join_outer_column, r->GetSignedVarint());
+    GISQL_ASSIGN_OR_RETURN(frag.join_inner_column, r->GetSignedVarint());
+    GISQL_ASSIGN_OR_RETURN(bool has_inner_filter, r->GetBool());
+    if (has_inner_filter) {
+      GISQL_ASSIGN_OR_RETURN(frag.join_inner_filter, ReadExpr(r));
+    }
+  }
   return frag;
 }
 

@@ -25,7 +25,7 @@ Status BuildRetailFederation(GlobalSystem* gis, const WorkloadSpec& spec) {
                          std::to_string(rng.Uniform(0, spec.num_regions - 1))),
            Value::String("seg" + std::to_string(rng.Uniform(0, 4)))});
     }
-    t->InsertUnchecked(std::move(rows));
+    GISQL_RETURN_NOT_OK(t->InsertUnchecked(std::move(rows)));
   }
   GISQL_RETURN_NOT_OK(gis->ImportSource("hq"));
 
@@ -47,7 +47,7 @@ Status BuildRetailFederation(GlobalSystem* gis, const WorkloadSpec& spec) {
                                    100.0),
            Value::String("cat" + std::to_string(rng.Uniform(0, 9)))});
     }
-    t->InsertUnchecked(std::move(rows));
+    GISQL_RETURN_NOT_OK(t->InsertUnchecked(std::move(rows)));
   }
   GISQL_RETURN_NOT_OK(gis->ImportSource("catalog"));
 
@@ -83,7 +83,7 @@ Status BuildRetailFederation(GlobalSystem* gis, const WorkloadSpec& spec) {
                                     100.0)),
            Value::Int(rng.Uniform(19000, 19365))});
     }
-    t->InsertUnchecked(std::move(rows));
+    GISQL_RETURN_NOT_OK(t->InsertUnchecked(std::move(rows)));
     const std::string global = "sales_" + name;
     GISQL_RETURN_NOT_OK(gis->ImportTable(name, "sales", global));
     members.push_back(global);

@@ -1,0 +1,227 @@
+/// LRU-K replacer unit tests: eviction order against a reference model
+/// under randomized seeded traces, pinned (non-evictable) frames never
+/// chosen, and same-seed determinism.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <vector>
+
+#include "common/rng.h"
+#include "storage/lru_k_replacer.h"
+
+namespace gisql {
+namespace {
+
+/// Straight-line transcription of the LRU-K eviction rule: the victim
+/// is the evictable frame with the largest backward k-distance — frames
+/// with < k recorded accesses (infinite distance) first, oldest
+/// recorded access breaking ties; among fully-historied frames, the
+/// smallest k-th-most-recent tick. Kept deliberately independent of the
+/// production code's single-pass formulation.
+class ReferenceLruK {
+ public:
+  explicit ReferenceLruK(size_t k) : k_(k) {}
+
+  void RecordAccess(size_t frame_id) {
+    auto& h = frames_[frame_id].history;
+    h.push_back(++tick_);
+    if (h.size() > k_) h.pop_front();
+  }
+
+  void SetEvictable(size_t frame_id, bool evictable) {
+    auto it = frames_.find(frame_id);
+    if (it != frames_.end()) it->second.evictable = evictable;
+  }
+
+  bool Evict(size_t* frame_id) {
+    bool found = false;
+    bool best_inf = false;
+    uint64_t best_tick = 0;
+    size_t victim = 0;
+    for (const auto& [id, info] : frames_) {
+      if (!info.evictable || info.history.empty()) continue;
+      const bool inf = info.history.size() < k_;
+      // history.front() is the oldest retained tick: the first access
+      // for +inf frames, the k-th most recent for full ones.
+      const uint64_t tick = info.history.front();
+      const bool better = !found || (inf && !best_inf) ||
+                          (inf == best_inf && tick < best_tick);
+      if (better) {
+        found = true;
+        victim = id;
+        best_inf = inf;
+        best_tick = tick;
+      }
+    }
+    if (!found) return false;
+    frames_.erase(victim);
+    *frame_id = victim;
+    return true;
+  }
+
+  void Remove(size_t frame_id) { frames_.erase(frame_id); }
+
+  size_t Size() const {
+    size_t n = 0;
+    for (const auto& [id, info] : frames_) {
+      if (info.evictable) ++n;
+    }
+    return n;
+  }
+
+ private:
+  struct FrameInfo {
+    std::deque<uint64_t> history;
+    bool evictable = false;
+  };
+  size_t k_;
+  uint64_t tick_ = 0;
+  std::map<size_t, FrameInfo> frames_;
+};
+
+TEST(LruKReplacerTest, DegeneratesToLruWithK1) {
+  LruKReplacer replacer(4, 1);
+  for (size_t f : {0u, 1u, 2u}) {
+    replacer.RecordAccess(f);
+    replacer.SetEvictable(f, true);
+  }
+  replacer.RecordAccess(0);  // 0 becomes most recent: order is 1, 2, 0
+  size_t victim = 99;
+  ASSERT_TRUE(replacer.Evict(&victim));
+  EXPECT_EQ(victim, 1u);
+  ASSERT_TRUE(replacer.Evict(&victim));
+  EXPECT_EQ(victim, 2u);
+  ASSERT_TRUE(replacer.Evict(&victim));
+  EXPECT_EQ(victim, 0u);
+  EXPECT_FALSE(replacer.Evict(&victim));
+}
+
+TEST(LruKReplacerTest, InfiniteDistanceClassEvictsFirst) {
+  // With k=2: frame 0 gets two accesses (finite distance), frame 1 one
+  // access after it (+inf). Despite 1 being more recent, +inf loses
+  // first.
+  LruKReplacer replacer(4, 2);
+  replacer.RecordAccess(0);
+  replacer.RecordAccess(0);
+  replacer.RecordAccess(1);
+  replacer.SetEvictable(0, true);
+  replacer.SetEvictable(1, true);
+  size_t victim = 99;
+  ASSERT_TRUE(replacer.Evict(&victim));
+  EXPECT_EQ(victim, 1u);
+  ASSERT_TRUE(replacer.Evict(&victim));
+  EXPECT_EQ(victim, 0u);
+}
+
+TEST(LruKReplacerTest, ScanResistance) {
+  // The classic LRU-K win: a hot page accessed twice survives a stream
+  // of once-touched scan pages.
+  LruKReplacer replacer(8, 2);
+  replacer.RecordAccess(0);
+  replacer.RecordAccess(0);
+  replacer.SetEvictable(0, true);
+  for (size_t f = 1; f <= 5; ++f) {
+    replacer.RecordAccess(f);
+    replacer.SetEvictable(f, true);
+  }
+  for (size_t i = 1; i <= 5; ++i) {
+    size_t victim = 99;
+    ASSERT_TRUE(replacer.Evict(&victim));
+    EXPECT_EQ(victim, i) << "scan pages evict in scan order";
+  }
+  size_t victim = 99;
+  ASSERT_TRUE(replacer.Evict(&victim));
+  EXPECT_EQ(victim, 0u) << "the hot page goes last";
+}
+
+TEST(LruKReplacerTest, PinnedFramesNeverEvicted) {
+  LruKReplacer replacer(8, 2);
+  for (size_t f = 0; f < 8; ++f) {
+    replacer.RecordAccess(f);
+    replacer.SetEvictable(f, f % 2 == 0);  // odd frames stay pinned
+  }
+  size_t victim = 99;
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(replacer.Evict(&victim));
+    EXPECT_EQ(victim % 2, 0u) << "evicted a pinned frame";
+  }
+  EXPECT_FALSE(replacer.Evict(&victim))
+      << "only pinned frames remain; nothing is evictable";
+  EXPECT_EQ(replacer.Size(), 0u);
+}
+
+TEST(LruKReplacerTest, RemoveForgetsHistory) {
+  LruKReplacer replacer(4, 2);
+  replacer.RecordAccess(0);
+  replacer.RecordAccess(1);
+  replacer.SetEvictable(0, true);
+  replacer.SetEvictable(1, true);
+  replacer.Remove(0);
+  EXPECT_EQ(replacer.Size(), 1u);
+  size_t victim = 99;
+  ASSERT_TRUE(replacer.Evict(&victim));
+  EXPECT_EQ(victim, 1u);
+  EXPECT_FALSE(replacer.Evict(&victim));
+}
+
+/// Drives the production replacer and the reference model through the
+/// same randomized trace, comparing every eviction and size query.
+void RunRandomTrace(uint64_t seed, size_t num_frames, size_t k,
+                    int num_ops, std::vector<size_t>* evictions) {
+  Rng rng(seed);
+  LruKReplacer replacer(num_frames, k);
+  ReferenceLruK model(k);
+  for (int op = 0; op < num_ops; ++op) {
+    const int64_t dice = rng.Uniform(0, 99);
+    const size_t frame = static_cast<size_t>(
+        rng.Uniform(0, static_cast<int64_t>(num_frames) - 1));
+    if (dice < 45) {
+      replacer.RecordAccess(frame);
+      model.RecordAccess(frame);
+    } else if (dice < 70) {
+      const bool evictable = rng.Uniform(0, 1) == 1;
+      replacer.SetEvictable(frame, evictable);
+      model.SetEvictable(frame, evictable);
+    } else if (dice < 90) {
+      size_t got = 0, want = 0;
+      const bool got_ok = replacer.Evict(&got);
+      const bool want_ok = model.Evict(&want);
+      ASSERT_EQ(got_ok, want_ok) << "op " << op << " seed " << seed;
+      if (got_ok) {
+        ASSERT_EQ(got, want) << "op " << op << " seed " << seed;
+        if (evictions != nullptr) evictions->push_back(got);
+      }
+    } else if (dice < 95) {
+      replacer.Remove(frame);
+      model.Remove(frame);
+    } else {
+      ASSERT_EQ(replacer.Size(), model.Size())
+          << "op " << op << " seed " << seed;
+    }
+  }
+}
+
+TEST(LruKReplacerTest, MatchesReferenceModelUnderRandomTraces) {
+  for (uint64_t seed = 1; seed <= 20; ++seed) {
+    RunRandomTrace(seed, /*num_frames=*/8, /*k=*/2, /*num_ops=*/2000,
+                   nullptr);
+    RunRandomTrace(seed + 100, /*num_frames=*/16, /*k=*/3,
+                   /*num_ops=*/2000, nullptr);
+    RunRandomTrace(seed + 200, /*num_frames=*/4, /*k=*/1, /*num_ops=*/1000,
+                   nullptr);
+  }
+}
+
+TEST(LruKReplacerTest, SameSeedSameEvictionSequence) {
+  std::vector<size_t> first, second;
+  RunRandomTrace(42, 16, 2, 5000, &first);
+  RunRandomTrace(42, 16, 2, 5000, &second);
+  EXPECT_FALSE(first.empty());
+  EXPECT_EQ(first, second);
+}
+
+}  // namespace
+}  // namespace gisql
