@@ -1,0 +1,283 @@
+/// \file bench_e19_concurrency.cc
+/// \brief E19: mixed OLTP/OLAP under snapshot isolation — a writer
+/// ladder against a steady analytical reader.
+///
+/// Two autonomous banks hold account ledgers; 1×–8× concurrent writer
+/// state machines run read-modify-write transactions (some spanning
+/// both banks) over a deliberately small key space while an analytical
+/// reader repeatedly aggregates the full ledger inside its own
+/// snapshot. The claims, checked in-binary rather than eyeballed:
+/// MVCC keeps the reader's p95 latency flat (within 10%) as writer
+/// concurrency scales 1× → 8×; the abort rate rises with contention
+/// while committed work still grows; and a same-seed rerun — serial or
+/// on the worker pool — replays a byte-identical gis.transactions
+/// ledger. All numbers come from the deterministic simulation.
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "common/logging.h"
+#include "common/rng.h"
+
+using namespace gisql;
+using namespace gisql::bench;
+
+namespace {
+
+constexpr uint64_t kSeed = 19;
+
+constexpr const char* kBanks[2] = {"bank_a", "bank_b"};
+
+int KeySpace() { return Scaled(16, 8); }
+
+void BuildBanks(GlobalSystem* gis) {
+  for (int b = 0; b < 2; ++b) {
+    auto src = gis->CreateSource(kBanks[b], SourceDialect::kRelational);
+    if (!src.ok() ||
+        !gis->ExecuteAt(kBanks[b],
+                        "CREATE TABLE accounts (id bigint, bal double)")
+             .ok()) {
+      std::abort();
+    }
+    std::string values;
+    for (int k = 0; k < KeySpace(); ++k) {
+      values += (k ? ", (" : "(") + std::to_string(k) + ", 100.0)";
+    }
+    if (!gis->ExecuteAt(kBanks[b], "INSERT INTO accounts VALUES " + values)
+             .ok()) {
+      std::abort();
+    }
+    const std::string alias = b == 0 ? "acct_a" : "acct_b";
+    if (!gis->ImportTable(kBanks[b], "accounts", alias).ok()) std::abort();
+  }
+}
+
+/// One writer's in-flight transaction: a seeded read-modify-write of
+/// one key (every third writer transfers across both banks, which is
+/// where deadlocks come from).
+struct WriterTxn {
+  uint64_t id = 0;
+  int key = 0;
+  int bank = 0;        ///< primary bank index
+  bool transfer = false;
+  double read_bal = 0.0;
+  int step = 0;        ///< next statement to issue
+  bool dead = false;
+};
+
+struct RungStats {
+  int committed = 0;
+  int aborted = 0;
+  int deadlocks = 0;
+  std::vector<double> reader_ms;
+  std::string decisions;  ///< one char per txn outcome, replay log
+  std::string txn_dump;   ///< gis.transactions at the end of the rung
+  double sim_ms = 0.0;
+};
+
+double Percentile(std::vector<double> v, double p) {
+  if (v.empty()) return 0.0;
+  std::sort(v.begin(), v.end());
+  return v[static_cast<size_t>(p * (v.size() - 1))];
+}
+
+std::string DumpTransactions(GlobalSystem& gis) {
+  auto r = gis.Query("SELECT * FROM gis.transactions");
+  if (!r.ok()) std::abort();
+  std::ostringstream oss;
+  for (const auto& row : r->batch.rows()) {
+    for (const auto& v : row) oss << v.ToString() << "|";
+    oss << "\n";
+  }
+  return oss.str();
+}
+
+/// Issues writer `w`'s next statement; on any refusal the transaction
+/// is aborted and the writer marked dead for this generation.
+void Step(GlobalSystem& gis, WriterTxn* w, RungStats* stats) {
+  if (w->dead) return;
+  const char* bank = kBanks[w->bank];
+  const char* other = kBanks[1 - w->bank];
+  const std::string alias = w->bank == 0 ? "acct_a" : "acct_b";
+  const std::string key = std::to_string(w->key);
+  Status st = Status::OK();
+  switch (w->step) {
+    case 0: {
+      auto r = gis.QueryInTxn(
+          w->id, "SELECT bal FROM " + alias + " WHERE id = " + key);
+      if (!r.ok() || r->batch.num_rows() != 1) {
+        st = r.ok() ? Status::Internal("row missing") : r.status();
+      } else {
+        w->read_bal = r->batch.rows()[0][0].AsDouble();
+      }
+      break;
+    }
+    case 1:
+      st = gis.TxnWrite(w->id, bank,
+                        "DELETE FROM accounts WHERE id = " + key);
+      break;
+    case 2:
+      st = gis.TxnWrite(w->id, bank,
+                        "INSERT INTO accounts VALUES (" + key + ", " +
+                            std::to_string(w->read_bal + 1.0) + ")");
+      break;
+    case 3:
+      // The transfer leg touches the second bank — opposite lock
+      // order across writers, so cycles occur under contention.
+      if (w->transfer) {
+        st = gis.TxnWrite(w->id, other,
+                          "DELETE FROM accounts WHERE id = " + key);
+        if (st.ok()) {
+          st = gis.TxnWrite(w->id, other,
+                            "INSERT INTO accounts VALUES (" + key + ", " +
+                                std::to_string(w->read_bal - 1.0) + ")");
+        }
+      }
+      break;
+    default: {
+      st = gis.CommitTransaction(w->id);
+      if (st.ok()) {
+        ++stats->committed;
+        stats->decisions += 'C';
+      }
+      w->dead = true;  // finished either way
+    }
+  }
+  if (!st.ok()) {
+    ++stats->aborted;
+    const bool deadlock =
+        st.message().find("deadlock") != std::string::npos;
+    if (deadlock) ++stats->deadlocks;
+    stats->decisions += deadlock ? 'V' : (st.IsOverloaded() ? 'B' : 'W');
+    (void)gis.AbortTransaction(w->id);
+    w->dead = true;
+  }
+  ++w->step;
+}
+
+/// One ladder rung: `writers` interleaved OLTP state machines plus the
+/// analytical reader, over a fixed number of generations.
+RungStats Rung(int writers, bool pooled) {
+  PlannerOptions options;
+  options.parallel_execution = pooled;
+  options.worker_threads = pooled ? 4 : 0;
+  GlobalSystem gis(options);
+  BuildBanks(&gis);
+
+  Rng rng(kSeed);
+  RungStats stats;
+  const int generations = Scaled(40, 8);
+  for (int gen = 0; gen < generations; ++gen) {
+    // Open one transaction per writer, then interleave their
+    // statements step by step so locks genuinely overlap.
+    std::vector<WriterTxn> txns;
+    for (int w = 0; w < writers; ++w) {
+      auto id = gis.BeginTransaction();
+      if (!id.ok()) std::abort();
+      WriterTxn t;
+      t.id = *id;
+      t.key = static_cast<int>(rng.Uniform(0, KeySpace() - 1));
+      t.bank = static_cast<int>(rng.Uniform(0, 1));
+      t.transfer = w % 3 == 2;
+      txns.push_back(t);
+    }
+    for (int step = 0; step < 5; ++step) {
+      for (auto& t : txns) Step(gis, &t, &stats);
+    }
+
+    // The analytical reader: full-ledger aggregate inside its own
+    // snapshot, latency recorded from the simulated clock.
+    auto reader = gis.BeginTransaction();
+    if (!reader.ok()) std::abort();
+    auto agg = gis.QueryInTxn(
+        *reader, "SELECT COUNT(*), SUM(bal) FROM acct_a");
+    if (!agg.ok()) std::abort();
+    stats.reader_ms.push_back(agg->metrics.elapsed_ms);
+    if (!gis.CommitTransaction(*reader).ok()) std::abort();
+  }
+  stats.sim_ms = gis.governor().now_ms();
+  stats.txn_dump = DumpTransactions(gis);
+  return stats;
+}
+
+void Ladder() {
+  std::printf(
+      "## writer ladder vs analytical reader (%d keys x 2 banks)\n",
+      KeySpace());
+  std::printf("%-8s %10s %9s %10s %10s %12s %12s %14s\n", "writers",
+              "committed", "aborted", "abort%", "deadlocks", "reader p50",
+              "reader p95", "commit/sim-s");
+  RungStats base, peak;
+  for (const int w : {1, 2, 4, 8}) {
+    const RungStats r = Rung(w, /*pooled=*/false);
+    const int attempts = r.committed + r.aborted;
+    const double abort_rate =
+        attempts ? 100.0 * r.aborted / attempts : 0.0;
+    const double throughput =
+        r.sim_ms > 0.0 ? 1000.0 * r.committed / r.sim_ms : 0.0;
+    std::printf("%-8d %10d %9d %9.1f%% %10d %9.3f ms %9.3f ms %14.1f\n",
+                w, r.committed, r.aborted, abort_rate, r.deadlocks,
+                Percentile(r.reader_ms, 0.50), Percentile(r.reader_ms, 0.95),
+                throughput);
+    if (w == 1) base = r;
+    if (w == 8) peak = r;
+  }
+  std::printf("\n");
+
+  // Claim 1: snapshot readers never wait on writers — p95 stays flat
+  // (within 10%) from 1× to 8× writer concurrency.
+  const double p95_base = Percentile(base.reader_ms, 0.95);
+  const double p95_peak = Percentile(peak.reader_ms, 0.95);
+  std::printf("reader p95: %.3f ms at 1x -> %.3f ms at 8x (%+.1f%%)\n",
+              p95_base, p95_peak,
+              p95_base > 0.0 ? 100.0 * (p95_peak - p95_base) / p95_base
+                             : 0.0);
+  if (p95_peak > p95_base * 1.10) {
+    std::fprintf(stderr, "analytical reader p95 degraded past 10%%\n");
+    std::abort();
+  }
+  // Claim 2: contention shows up as aborts, not as lost work — the 8×
+  // rung aborts more than the 1× rung yet commits at least as much.
+  if (peak.aborted <= base.aborted || peak.committed < base.committed) {
+    std::fprintf(stderr, "abort/commit curve has the wrong shape\n");
+    std::abort();
+  }
+}
+
+void ReplayIdentity() {
+  // Same seed, serial vs worker pool: the transaction ledger — ids,
+  // states, timestamps, abort reasons — must be byte-identical, and so
+  // must the per-statement outcome log.
+  const RungStats serial = Rung(4, /*pooled=*/false);
+  const RungStats pooled = Rung(4, /*pooled=*/true);
+  const bool same = serial.txn_dump == pooled.txn_dump &&
+                    serial.decisions == pooled.decisions;
+  std::printf(
+      "## determinism: 4x rung serial vs pooled — gis.transactions %s "
+      "(%d txns logged)\n\n",
+      same ? "byte-identical" : "DIVERGED",
+      serial.committed + serial.aborted);
+  if (!same) std::abort();
+}
+
+}  // namespace
+
+int main() {
+  Logger::Instance().set_level(LogLevel::kError);
+  Header("E19: concurrent federated writes under snapshot isolation",
+         "OLTP writer fleets and OLAP readers sharing one federation: "
+         "MVCC snapshots, mediator deadlock detection, first-committer-"
+         "wins conflicts",
+         "analytical reader p95 flat within 10% from 1x to 8x writers; "
+         "abort rate rises with contention while committed work grows; "
+         "same seed replays a byte-identical transaction ledger serial "
+         "vs pooled");
+
+  Ladder();
+  ReplayIdentity();
+  return 0;
+}

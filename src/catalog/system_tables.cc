@@ -12,8 +12,9 @@ bool IsSystemTableName(const std::string& name) {
 }
 
 std::vector<std::string> SystemTableNames() {
-  return {"gis.admission", "gis.cursors", "gis.gauges", "gis.histograms",
-          "gis.metrics",   "gis.queries", "gis.sources", "gis.storage"};
+  return {"gis.admission", "gis.cursors", "gis.gauges",
+          "gis.histograms", "gis.metrics", "gis.queries",
+          "gis.sources",    "gis.storage", "gis.transactions"};
 }
 
 Result<SchemaPtr> SystemTableSchema(const std::string& name) {
@@ -116,6 +117,23 @@ Result<SchemaPtr> SystemTableSchema(const std::string& name) {
         {"hit_ratio", TypeId::kDouble, false},
     });
   }
+  if (lower == "gis.transactions") {
+    // One row per global transaction (active, plus a bounded ring of
+    // finished ones): snapshot/commit timestamps, participant sources,
+    // and lock-wait / abort history on the simulated clock.
+    return std::make_shared<Schema>(std::vector<Field>{
+        {"id", TypeId::kInt64, false},
+        {"state", TypeId::kString, false},
+        {"snapshot_ts", TypeId::kInt64, false},
+        {"commit_ts", TypeId::kInt64, false},
+        {"statements", TypeId::kInt64, false},
+        {"participants", TypeId::kString, false},
+        {"lock_waits", TypeId::kInt64, false},
+        {"abort_reason", TypeId::kString, false},
+        {"begin_ms", TypeId::kDouble, false},
+        {"end_ms", TypeId::kDouble, false},
+    });
+  }
   if (lower == "gis.histograms") {
     return std::make_shared<Schema>(std::vector<Field>{
         {"registry", TypeId::kString, false},
@@ -148,7 +166,7 @@ Result<SchemaPtr> SystemTableSchema(const std::string& name) {
   return Status::NotFound("'", name, "' is not a system table (known: ",
                           "gis.sources, gis.metrics, gis.gauges, "
                           "gis.histograms, gis.queries, gis.admission, "
-                          "gis.cursors, gis.storage)");
+                          "gis.cursors, gis.storage, gis.transactions)");
 }
 
 }  // namespace gisql

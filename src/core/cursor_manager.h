@@ -65,6 +65,12 @@ class CursorManager {
     /// Keeps the plan nodes the stream references alive.
     PlanNodePtr plan;
     MemoryGrant grant;
+    /// MVCC snapshot pinned for this cursor's lifetime: holds the GC
+    /// watermark back so version chains its scan references survive
+    /// until the cursor finalizes (TransactionManager::PinSnapshot).
+    /// 0 = no pin. Released together with the grant in FinalizeCursor
+    /// — including on lease expiry.
+    uint64_t snapshot_pin = 0;
   };
 
   /// \brief Registers a new open cursor and returns it. The reference

@@ -42,7 +42,7 @@ GlobalSystem::GlobalSystem(PlannerOptions options)
   health_.set_outcome_listener(&governor_.breakers());
   system_catalog_ = std::make_unique<SystemCatalog>(
       &health_, &metrics_, &network_.metrics(), &query_log_, &catalog_,
-      &governor_, &cursors_, &sources_);
+      &governor_, &cursors_, &sources_, &txns_);
   catalog_.RegisterSystemTableProvider(system_catalog_.get());
 }
 
@@ -183,23 +183,37 @@ Status GlobalSystem::ExecuteAt(const std::string& source_name,
 Status GlobalSystem::ExecuteAtomically(
     const std::vector<GlobalWrite>& writes) {
   if (writes.empty()) return Status::OK();
-  static int64_t txn_counter = 0;
-  const std::string txn_id = "gtxn-" + std::to_string(++txn_counter);
+  // One-shot 2PC rides the same transaction machinery as the
+  // interactive API: a TransactionManager id (locks at the sources,
+  // a gis.transactions row) and a commit timestamp stamping the rows.
+  TxnInfo& t = txns_.Begin(governor_.now_ms());
+  const uint64_t numeric_id = t.id;
+  const uint64_t snapshot_ts = t.snapshot_ts;
+  const std::string txn_id = "gtxn-" + std::to_string(numeric_id);
 
   // Every 2PC round retries under the system policy; the participant
   // side dedups (prepare by statement seq, commit by txn id), so
   // at-least-once delivery is safe.
   auto call = [&](const std::string& source, wire::Opcode op,
-                  const std::string& sql, uint64_t stmt_seq) -> Status {
+                  const std::string& sql, uint64_t stmt_seq,
+                  uint64_t commit_ts, uint64_t watermark,
+                  std::vector<uint8_t>* payload) -> Status {
     ByteWriter req;
     req.PutString(txn_id);
     if (op == wire::Opcode::kTxnPrepare) {
       req.PutVarint(stmt_seq);
       req.PutString(sql);
+      req.PutVarint(numeric_id);
+      req.PutVarint(snapshot_ts);
+    } else if (op == wire::Opcode::kTxnCommit) {
+      req.PutVarint(commit_ts);
+      req.PutVarint(watermark);
     }
-    return CallWithRetry(network_, retry_policy_, kMediatorHost, source,
-                         static_cast<uint8_t>(op), req.data(), stmt_seq)
-        .status;
+    RetryResult r =
+        CallWithRetry(network_, retry_policy_, kMediatorHost, source,
+                      static_cast<uint8_t>(op), req.data(), stmt_seq);
+    if (payload != nullptr && r.ok()) *payload = std::move(r.payload);
+    return r.status;
   };
 
   // Phase 1: prepare everywhere; on any failure, abort everyone we
@@ -209,21 +223,44 @@ Status GlobalSystem::ExecuteAtomically(
   for (const auto& w : writes) participants.insert(w.source);
   for (size_t i = 0; i < writes.size(); ++i) {
     const auto& w = writes[i];
-    Status st = call(w.source, wire::Opcode::kTxnPrepare, w.sql, i);
+    std::vector<uint8_t> payload;
+    Status st = call(w.source, wire::Opcode::kTxnPrepare, w.sql, i, 0, 0,
+                     &payload);
+    if (st.ok() && !payload.empty()) {
+      // Lock verdict in the response trailer: a one-shot transaction
+      // has nothing to wait for, so a conflict aborts it outright.
+      ByteReader verdict(payload);
+      auto flag = verdict.GetU8();
+      if (flag.ok() && *flag != 0) {
+        st = Status::Overloaded("row or table locks are held by a "
+                                "concurrent transaction");
+      }
+    }
     if (!st.ok()) {
       for (const auto& p : participants) {
-        (void)call(p, wire::Opcode::kTxnAbort, "", 0);
+        (void)call(p, wire::Opcode::kTxnAbort, "", 0, 0, 0, nullptr);
       }
+      txns_.MarkAborted(numeric_id,
+                        "prepare failed at '" + w.source + "'",
+                        governor_.now_ms());
       return Status(st.code(),
                     "global transaction aborted: prepare failed at '" +
                         w.source + "': " + st.message());
     }
+    t.statements += 1;
+    t.participants.insert(w.source);
   }
 
   // Phase 2: commit. Failures here leave the classic in-doubt state.
+  // The commit timestamp is allocated (and the transaction retired)
+  // before delivery so the watermark reflects the remaining readers.
+  const uint64_t commit_ts = txns_.AllocateCommitTs();
+  txns_.MarkCommitted(numeric_id, commit_ts, governor_.now_ms());
+  const uint64_t watermark = options_.txn_gc ? txns_.Watermark() : 0;
   std::string in_doubt;
   for (const auto& p : participants) {
-    Status st = call(p, wire::Opcode::kTxnCommit, "", 0);
+    Status st = call(p, wire::Opcode::kTxnCommit, "", 0, commit_ts,
+                     watermark, nullptr);
     if (!st.ok()) {
       if (!in_doubt.empty()) in_doubt += ", ";
       in_doubt += "'" + p + "' (" + st.message() + ")";
@@ -238,6 +275,187 @@ Status GlobalSystem::ExecuteAtomically(
         "the commit is re-sent or aborted");
   }
   return Status::OK();
+}
+
+Result<uint64_t> GlobalSystem::BeginTransaction() {
+  if (txns_.active_count() >=
+      static_cast<size_t>(options_.txn_max_active)) {
+    return Status::Overloaded("transaction shed: ", txns_.active_count(),
+                              " transactions already active (limit ",
+                              options_.txn_max_active, ")");
+  }
+  return txns_.Begin(governor_.now_ms()).id;
+}
+
+Result<QueryResult> GlobalSystem::QueryInTxn(uint64_t txn_id,
+                                             const std::string& sql) {
+  GISQL_ASSIGN_OR_RETURN(TxnInfo * t, txns_.GetActive(txn_id));
+  const uint64_t snapshot_ts = t->snapshot_ts;
+  MemoryGrant grant = governor_.memory().NewGrant();
+  Result<QueryResult> result =
+      RunStatement(sql, &grant, 0.0, snapshot_ts, txn_id);
+  if (result.ok()) {
+    governor_.AdvanceTo(governor_.now_ms() + result->metrics.elapsed_ms);
+    t->statements += 1;
+  }
+  return result;
+}
+
+Status GlobalSystem::TxnWrite(uint64_t txn_id, const std::string& source,
+                              const std::string& sql) {
+  GISQL_ASSIGN_OR_RETURN(TxnInfo * t, txns_.GetActive(txn_id));
+  const std::string wire_id = "gtxn-" + std::to_string(t->id);
+
+  for (int attempt = 0;; ++attempt) {
+    ByteWriter req;
+    req.PutString(wire_id);
+    req.PutVarint(static_cast<uint64_t>(t->statements));
+    req.PutString(sql);
+    req.PutVarint(t->id);
+    req.PutVarint(t->snapshot_ts);
+    RetryResult r = CallWithRetry(
+        network_, retry_policy_, kMediatorHost, source,
+        static_cast<uint8_t>(wire::Opcode::kTxnPrepare), req.data(),
+        static_cast<uint64_t>(t->statements));
+    if (!r.ok()) {
+      // A transport failure leaves the transaction active (the caller
+      // may retry the statement); an application error — bad SQL, a
+      // write-write conflict under first-committer-wins — aborts it,
+      // releasing locks everywhere.
+      if (!IsRetryableTransport(r.status)) {
+        AbortAtParticipants(*t, r.status.message());
+      }
+      return r.status;
+    }
+
+    ByteReader verdict(r.payload);
+    GISQL_ASSIGN_OR_RETURN(uint8_t conflicted, verdict.GetU8());
+    if (conflicted == 0) {
+      txns_.ClearWaits(t->id);
+      t->statements += 1;
+      t->participants.insert(source);
+      return Status::OK();
+    }
+
+    // Lock conflict: the source reported the holders instead of
+    // blocking. Record the waits-for edges and look for a cycle.
+    GISQL_ASSIGN_OR_RETURN(uint64_t n, verdict.GetVarint());
+    std::vector<uint64_t> holders;
+    holders.reserve(n);
+    for (uint64_t i = 0; i < n; ++i) {
+      GISQL_ASSIGN_OR_RETURN(uint64_t h, verdict.GetVarint());
+      holders.push_back(h);
+    }
+    t->lock_waits += 1;
+    txns_.CountLockWait();
+    txns_.OnConflict(t->id, holders);
+    if (trace_ != nullptr) {
+      // Zero-width marker on the simulated clock: who waited on whom.
+      const uint64_t span =
+          trace_->Begin("lock.wait", "txn", 0, governor_.now_ms());
+      std::string note = "txn " + std::to_string(t->id) + " blocked at '" +
+                         source + "' by";
+      for (uint64_t h : holders) note += " " + std::to_string(h);
+      trace_->SetNote(span, note);
+      trace_->End(span, governor_.now_ms());
+    }
+
+    const uint64_t victim = txns_.DetectCycleVictim(t->id);
+    if (victim == 0) {
+      // No deadlock — the statement would simply block. The simulation
+      // is single-threaded, so waiting can never be satisfied inline;
+      // the caller retries after the holder commits or aborts. The
+      // waits-for edges stay recorded: this transaction still holds
+      // its locks and still wants these, so a future conflict report
+      // from the other side must be able to close the cycle.
+      std::string who;
+      for (uint64_t h : holders) {
+        if (!who.empty()) who += ", ";
+        who += std::to_string(h);
+      }
+      return Status::Overloaded("transaction ", t->id,
+                                " would block at '", source,
+                                "' on locks held by transaction(s) ", who);
+    }
+    if (victim == t->id) {
+      AbortAtParticipants(*t, "deadlock victim");
+      return Status::ExecutionError(
+          "deadlock: transaction ", txn_id,
+          " chosen as victim (youngest on the cycle) and aborted");
+    }
+    // Another transaction on the cycle is younger: abort it there and
+    // retry this statement against the freed locks.
+    auto victim_or = txns_.GetActive(victim);
+    if (victim_or.ok()) {
+      AbortAtParticipants(**victim_or, "deadlock victim");
+    }
+    txns_.ClearWaits(t->id);
+    if (attempt + 1 >= options_.txn_max_prepare_retries) {
+      return Status::Overloaded("transaction ", t->id, " still blocked at '",
+                                source, "' after ", attempt + 1,
+                                " prepare attempts");
+    }
+  }
+}
+
+Status GlobalSystem::CommitTransaction(uint64_t txn_id) {
+  GISQL_ASSIGN_OR_RETURN(TxnInfo * t, txns_.GetActive(txn_id));
+  const std::string wire_id = "gtxn-" + std::to_string(t->id);
+  const std::set<std::string> participants = t->participants;
+  // Retire the transaction before computing the watermark so its own
+  // snapshot no longer holds GC back; delivery failures below cannot
+  // un-commit it (presumed commit — the classic in-doubt state).
+  const uint64_t commit_ts = txns_.AllocateCommitTs();
+  txns_.MarkCommitted(txn_id, commit_ts, governor_.now_ms());
+  const uint64_t watermark = options_.txn_gc ? txns_.Watermark() : 0;
+
+  std::string in_doubt;
+  for (const auto& p : participants) {
+    ByteWriter req;
+    req.PutString(wire_id);
+    req.PutVarint(commit_ts);
+    req.PutVarint(watermark);
+    Status st =
+        CallWithRetry(network_, retry_policy_, kMediatorHost, p,
+                      static_cast<uint8_t>(wire::Opcode::kTxnCommit),
+                      req.data())
+            .status;
+    if (!st.ok()) {
+      if (!in_doubt.empty()) in_doubt += ", ";
+      in_doubt += "'" + p + "' (" + st.message() + ")";
+    }
+    if (cache_) cache_->InvalidateSource(p);
+  }
+  if (!in_doubt.empty()) {
+    return Status::Internal(
+        "global transaction ", wire_id,
+        " is in doubt: commit could not be delivered to ", in_doubt,
+        "; staged rows remain there until the source is reachable and "
+        "the commit is re-sent or aborted");
+  }
+  return Status::OK();
+}
+
+Status GlobalSystem::AbortTransaction(uint64_t txn_id,
+                                      const std::string& reason) {
+  GISQL_ASSIGN_OR_RETURN(TxnInfo * t, txns_.GetActive(txn_id));
+  AbortAtParticipants(*t, reason.empty() ? "aborted by client" : reason);
+  return Status::OK();
+}
+
+void GlobalSystem::AbortAtParticipants(TxnInfo& t,
+                                       const std::string& reason) {
+  const std::string wire_id = "gtxn-" + std::to_string(t.id);
+  for (const auto& p : t.participants) {
+    ByteWriter req;
+    req.PutString(wire_id);
+    // Best effort: abort is idempotent and a source that missed it
+    // still drops the staged writes when an operator resolves it.
+    (void)CallWithRetry(network_, retry_policy_, kMediatorHost, p,
+                        static_cast<uint8_t>(wire::Opcode::kTxnAbort),
+                        req.data());
+  }
+  txns_.MarkAborted(t.id, reason, governor_.now_ms());
 }
 
 std::string GlobalSystem::ExportPrometheus() const {
@@ -301,6 +519,22 @@ std::string GlobalSystem::ExportPrometheus() const {
   single("gisql_breakers_open", "gauge", std::to_string(g.breakers_open));
   single("gisql_breaker_transitions_total", "counter",
          std::to_string(g.breaker_transitions));
+
+  // Transaction-manager series: active gauge, lifecycle counters, and
+  // the MVCC GC watermark position.
+  const TxnCounters& tc = txns_.counters();
+  single("gisql_txn_active", "gauge", std::to_string(txns_.active_count()));
+  single("gisql_txn_started_total", "counter", std::to_string(tc.started));
+  single("gisql_txn_committed_total", "counter",
+         std::to_string(tc.committed));
+  single("gisql_txn_aborted_total", "counter", std::to_string(tc.aborted));
+  single("gisql_txn_deadlocks_total", "counter",
+         std::to_string(tc.deadlocks));
+  single("gisql_txn_lock_waits_total", "counter",
+         std::to_string(tc.lock_waits));
+  single("gisql_txn_watermark", "gauge", std::to_string(txns_.Watermark()));
+  single("gisql_txn_pinned_snapshots", "gauge",
+         std::to_string(txns_.pinned_snapshots()));
 
   const auto breakers = governor_.breakers().Snapshot();
   auto breaker_series = [&out, &breakers](const std::string& name,
@@ -555,7 +789,9 @@ Result<QueryResult> GlobalSystem::Submit(const std::string& sql,
 
 Result<QueryResult> GlobalSystem::RunStatement(const std::string& sql,
                                                MemoryGrant* grant,
-                                               double admission_wait_ms) {
+                                               double admission_wait_ms,
+                                               uint64_t snapshot_ts,
+                                               uint64_t txn_id) {
   // Each query owns the collector for its duration; the spans stay
   // readable until the next query (or DisableTracing) replaces them.
   TraceCollector* tr = trace_.get();
@@ -587,6 +823,8 @@ Result<QueryResult> GlobalSystem::RunStatement(const std::string& sql,
       // path uses, so ANALYZE reports real traffic alongside time.
       const NetCounters before = NetCounters::Read(network_);
       ExecContext ctx = MakeExecContext(grant);
+      ctx.snapshot_ts = snapshot_ts;
+      ctx.txn_id = txn_id;
       ctx.record_actuals = true;
       uint64_t exec_span = 0;
       if (tr != nullptr) {
@@ -651,7 +889,10 @@ Result<QueryResult> GlobalSystem::RunStatement(const std::string& sql,
   VisitPlan(plan, [&](const PlanNodePtr& node) {
     if (node->kind == PlanKind::kVirtualScan) has_system_scan = true;
   });
-  const bool use_cache = cache_ != nullptr && !has_system_scan;
+  // A transactional read is pinned to its snapshot: neither served
+  // from nor inserted into the (latest-committed) result cache.
+  const bool use_cache =
+      cache_ != nullptr && !has_system_scan && snapshot_ts == 0 && txn_id == 0;
 
   // Result cache: the decomposed plan's canonical text identifies the
   // computation (fragments, strategies, planner options all shape it).
@@ -694,6 +935,8 @@ Result<QueryResult> GlobalSystem::RunStatement(const std::string& sql,
   const NetCounters before = NetCounters::Read(network_);
 
   ExecContext ctx = MakeExecContext(grant);
+  ctx.snapshot_ts = snapshot_ts;
+  ctx.txn_id = txn_id;
   uint64_t exec_span = 0;
   if (tr != nullptr) {
     exec_span = tr->Begin("execute", "lifecycle", root, 0.0);
@@ -859,6 +1102,11 @@ Result<uint64_t> GlobalSystem::OpenCursor(const std::string& sql,
   e.stream = std::move(stream);
   e.plan = std::move(plan);
   e.grant = std::move(grant);
+  // Pin the current snapshot for the cursor's lifetime: the GC
+  // watermark cannot pass it, so version chains its scan could still
+  // reference survive until the cursor finalizes (drain, close, or
+  // lease expiry alike).
+  e.snapshot_pin = txns_.PinSnapshot();
   e.elapsed_ms = open_elapsed;
   e.bytes_sent = after.bytes_sent - before.bytes_sent;
   e.bytes_received = after.bytes_received - before.bytes_received;
@@ -1007,6 +1255,13 @@ void GlobalSystem::FinalizeCursor(CursorManager::Entry& entry,
   metrics_.Observe("query.ms", entry.elapsed_ms);
   metrics_.Observe("query.bytes",
                    static_cast<double>(entry.bytes_received));
+  // The snapshot pin releases together with the grant below — an
+  // expired lease frees its spool memory and its version-chain hold
+  // on the GC watermark in the same step.
+  if (entry.snapshot_pin != 0) {
+    txns_.UnpinSnapshot(entry.snapshot_pin);
+    entry.snapshot_pin = 0;
+  }
   // Releases the grant and may prune entries: the reference (and any
   // other finished entry's) is dead after this line.
   cursors_.Finalize(entry.id, state);

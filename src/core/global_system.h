@@ -36,6 +36,7 @@
 #include "sched/governor.h"
 #include "source/component_source.h"
 #include "sql/ast.h"
+#include "txn/transaction_manager.h"
 
 namespace gisql {
 
@@ -133,6 +134,56 @@ class GlobalSystem {
   /// Internal error names it so the operator can resolve (re-send
   /// COMMIT via the wire, or abort at the source).
   Status ExecuteAtomically(const std::vector<GlobalWrite>& writes);
+  /// @}
+
+  /// \name Interactive global transactions (snapshot isolation)
+  ///
+  /// The mediator's TransactionManager hands every transaction a global
+  /// snapshot timestamp at Begin. Reads inside the transaction
+  /// (QueryInTxn) ship that timestamp on every fragment, so sources
+  /// evaluate MVCC visibility [begin_ts, end_ts) against one consistent
+  /// global snapshot — and overlay the transaction's own staged writes
+  /// (read-your-writes). Writes (TxnWrite) prepare at the owning source
+  /// under row/table locks; a lock conflict never blocks (the
+  /// simulation is single-threaded) — the mediator records the
+  /// waits-for edge, runs deadlock detection, and either sheds the
+  /// statement (Status::Overloaded, no cycle: caller may retry later)
+  /// or resolves the cycle by aborting the youngest transaction on it.
+  /// Commit runs the existing 2PC machinery, stamping row versions
+  /// with a fresh commit timestamp and piggybacking the GC watermark.
+  /// @{
+
+  /// \brief Starts a global transaction; returns its id. Overloaded
+  /// when txn_max_active transactions are already running.
+  Result<uint64_t> BeginTransaction();
+
+  /// \brief A SELECT inside the transaction: same pipeline as Query()
+  /// but pinned to the transaction's snapshot and overlaying its own
+  /// staged writes. Bypasses the result cache.
+  Result<QueryResult> QueryInTxn(uint64_t txn_id, const std::string& sql);
+
+  /// \brief Stages one INSERT or DELETE at `source` under the
+  /// transaction's locks. ExecutionError names a deadlock (this
+  /// transaction was chosen as victim and is already aborted) or a
+  /// write-write conflict; Overloaded means the statement would block
+  /// on an un-cycled lock conflict and may be retried.
+  Status TxnWrite(uint64_t txn_id, const std::string& source,
+                  const std::string& sql);
+
+  /// \brief Commits: allocates the commit timestamp, delivers 2PC
+  /// COMMIT (with the GC watermark) to every participant. A
+  /// participant unreachable at commit leaves the classic in-doubt
+  /// state, reported as Internal.
+  Status CommitTransaction(uint64_t txn_id);
+
+  /// \brief Aborts: best-effort 2PC ABORT at every participant, then
+  /// marks the transaction aborted at the mediator.
+  Status AbortTransaction(uint64_t txn_id, const std::string& reason = "");
+
+  /// \brief Transaction bookkeeping (gis.transactions is the SQL view
+  /// of the same state).
+  TransactionManager& transactions() { return txns_; }
+  const TransactionManager& transactions() const { return txns_; }
   /// @}
 
   /// \name Querying
@@ -347,9 +398,18 @@ class GlobalSystem {
 
   /// \brief The post-admission body of Submit: parse through execute,
   /// charging `grant` and logging with the decided admission wait.
+  /// Non-zero snapshot_ts/txn_id pin execution to a transaction's
+  /// snapshot (and bypass the result cache — snapshots are per-txn).
   Result<QueryResult> RunStatement(const std::string& sql,
                                    MemoryGrant* grant,
-                                   double admission_wait_ms);
+                                   double admission_wait_ms,
+                                   uint64_t snapshot_ts = 0,
+                                   uint64_t txn_id = 0);
+
+  /// \brief Delivers kTxnAbort to every participant of `t` (best
+  /// effort) and marks it aborted. Shared by AbortTransaction and the
+  /// deadlock victim path.
+  void AbortAtParticipants(TxnInfo& t, const std::string& reason);
 
   /// \brief The admission gate shared by Submit and OpenCursor. On a
   /// shed, logs the refusal and returns Overloaded — before anything
@@ -381,6 +441,8 @@ class GlobalSystem {
   QueryLog query_log_;
   // cursors_ precedes system_catalog_ (which snapshots it).
   CursorManager cursors_;
+  // txns_ precedes system_catalog_ (which snapshots it too).
+  TransactionManager txns_;
   std::unique_ptr<SystemCatalog> system_catalog_;
   std::unique_ptr<QueryCache> cache_;
   std::unique_ptr<ThreadPool> pool_;

@@ -70,6 +70,7 @@ Result<RowBatch> SystemCatalog::Snapshot(const std::string& name) const {
   if (lower == "gis.admission") return SnapshotAdmission();
   if (lower == "gis.cursors") return SnapshotCursors();
   if (lower == "gis.storage") return SnapshotStorage();
+  if (lower == "gis.transactions") return SnapshotTransactions();
   const auto schema = SystemTableSchema(name);
   return schema.status();  // NotFound with the known-table list
 }
@@ -192,6 +193,28 @@ RowBatch SystemCatalog::SnapshotStorage() const {
                            ? static_cast<double>(p.hits) /
                                  static_cast<double>(accesses)
                            : 0.0)});
+  }
+  return batch;
+}
+
+RowBatch SystemCatalog::SnapshotTransactions() const {
+  RowBatch batch(SystemTableSchema("gis.transactions").ValueUnsafe());
+  if (txns_ == nullptr) return batch;
+  // Active plus the bounded finished ring, ascending by id — the
+  // manager's Snapshot order is already deterministic.
+  for (const auto& t : txns_->Snapshot()) {
+    std::string participants;
+    for (const auto& p : t.participants) {
+      if (!participants.empty()) participants += ",";
+      participants += p;
+    }
+    batch.Append({Value::Int(static_cast<int64_t>(t.id)),
+                  Value::String(TxnStateName(t.state)),
+                  Value::Int(static_cast<int64_t>(t.snapshot_ts)),
+                  Value::Int(static_cast<int64_t>(t.commit_ts)),
+                  Value::Int(t.statements), Value::String(participants),
+                  Value::Int(t.lock_waits), Value::String(t.abort_reason),
+                  Value::Double(t.begin_ms), Value::Double(t.end_ms)});
   }
   return batch;
 }

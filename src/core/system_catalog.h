@@ -15,6 +15,7 @@
 #include "core/source_health.h"
 #include "sched/governor.h"
 #include "source/component_source.h"
+#include "txn/transaction_manager.h"
 
 namespace gisql {
 
@@ -33,7 +34,8 @@ class SystemCatalog : public SystemTableProvider {
                 const QueryLog* query_log, const Catalog* catalog,
                 const ResourceGovernor* governor,
                 const CursorManager* cursors = nullptr,
-                const std::vector<ComponentSourcePtr>* sources = nullptr)
+                const std::vector<ComponentSourcePtr>* sources = nullptr,
+                const TransactionManager* txns = nullptr)
       : health_(health),
         mediator_metrics_(mediator_metrics),
         network_metrics_(network_metrics),
@@ -41,7 +43,8 @@ class SystemCatalog : public SystemTableProvider {
         catalog_(catalog),
         governor_(governor),
         cursors_(cursors),
-        sources_(sources) {}
+        sources_(sources),
+        txns_(txns) {}
 
   bool HasTable(const std::string& name) const override;
   Result<SchemaPtr> TableSchema(const std::string& name) const override;
@@ -57,6 +60,7 @@ class SystemCatalog : public SystemTableProvider {
   RowBatch SnapshotAdmission() const;
   RowBatch SnapshotCursors() const;
   RowBatch SnapshotStorage() const;
+  RowBatch SnapshotTransactions() const;
 
   const SourceHealthTracker* health_;
   const MetricsRegistry* mediator_metrics_;
@@ -66,6 +70,7 @@ class SystemCatalog : public SystemTableProvider {
   const ResourceGovernor* governor_;
   const CursorManager* cursors_;
   const std::vector<ComponentSourcePtr>* sources_;
+  const TransactionManager* txns_;
 };
 
 }  // namespace gisql

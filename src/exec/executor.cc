@@ -170,6 +170,8 @@ Result<ExecOutput> Executor::ExecFragment(const PlanNode& node,
     }
     FragmentPlan attempt = frag;
     attempt.table = *candidates[i].table;
+    attempt.snapshot_ts = ctx_.snapshot_ts;
+    attempt.txn_id = ctx_.txn_id;
     std::vector<uint8_t> request = wire::SerializeFragment(attempt);
     if (ctx_.trace != nullptr) {
       // Wire-encode marker: free on the simulated clock, but it shows

@@ -90,6 +90,12 @@ struct ExecContext {
   /// sources are tried after healthy ones (stable, name tie-break).
   /// Plan order is preserved while every candidate is healthy.
   bool health_aware_routing = true;
+  /// MVCC read context stamped onto every shipped fragment:
+  /// snapshot_ts > 0 pins reads to that global snapshot, txn_id lets
+  /// sources overlay the transaction's own staged writes
+  /// (read-your-writes). Both 0 = classic latest-committed reads.
+  uint64_t snapshot_ts = 0;
+  uint64_t txn_id = 0;
 };
 
 /// \brief A materialized result plus its simulated cost.

@@ -108,6 +108,8 @@ class FragmentStream : public RowStream {
   /// with the same health-aware ordering as the materializing executor.
   Status Open(StreamChunk* chunk) {
     FragmentPlan frag = node_->fragment;
+    frag.snapshot_ts = ctx_.snapshot_ts;
+    frag.txn_id = ctx_.txn_id;
     if (frag.semijoin_column >= 0 && frag.semijoin_values.empty()) {
       frag.semijoin_column = -1;  // decomposer marker without keys
     }

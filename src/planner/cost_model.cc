@@ -77,6 +77,15 @@ int64_t CostModel::EstimateDistinct(const PlanNode& node, size_t col) const {
 
 double CostModel::EstimateSelectivity(const Expr& pred,
                                       const PlanNode& input) const {
+  // The recursive body composes estimates (NOT subtracts, OR adds);
+  // clamp at every level so one out-of-range leaf cannot push a parent
+  // outside [0, 1] — a negative selectivity would corrupt every
+  // cardinality estimate above it.
+  return std::clamp(EstimateSelectivityImpl(pred, input), 0.0, 1.0);
+}
+
+double CostModel::EstimateSelectivityImpl(const Expr& pred,
+                                          const PlanNode& input) const {
   switch (pred.kind) {
     case ExprKind::kLiteral:
       if (pred.literal.is_null()) return 0.0;
@@ -151,7 +160,21 @@ double CostModel::EstimateSelectivity(const Expr& pred,
           const double lo = cs->min.NumericValue();
           const double hi = cs->max.NumericValue();
           const double b = lit->literal.NumericValue();
-          if (hi <= lo) return kDefaultRangeSelectivity;
+          // Inverted bounds mean corrupt or stale statistics — only
+          // then fall back to the default guess. A single-point column
+          // (hi == lo) resolved the bounds *exactly*: every row holds
+          // `lo`, so the predicate is provably empty or provably total
+          // and the default 1/3 would be off by a factor of rowcount.
+          if (hi < lo) return kDefaultRangeSelectivity;
+          if (hi == lo) {
+            switch (op) {
+              case CompareOp::kLt: return b <= lo ? 0.0 : 1.0;
+              case CompareOp::kLe: return b < lo ? 0.0 : 1.0;
+              case CompareOp::kGt: return b >= lo ? 0.0 : 1.0;
+              case CompareOp::kGe: return b > lo ? 0.0 : 1.0;
+              default: return kDefaultRangeSelectivity;
+            }
+          }
           double frac = (b - lo) / (hi - lo);
           if (op == CompareOp::kGt || op == CompareOp::kGe) {
             frac = 1.0 - frac;

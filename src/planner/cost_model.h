@@ -32,9 +32,12 @@ class CostModel {
   /// (bottom-up). Safe to call on both logical and decomposed plans.
   void Annotate(const PlanNodePtr& root) const;
 
-  /// \brief Estimated selectivity (0..1] of a predicate over `input`'s
-  /// output rows, using column statistics when they can be traced to a
-  /// base table.
+  /// \brief Estimated selectivity in [0, 1] of a predicate over
+  /// `input`'s output rows, using column statistics when they can be
+  /// traced to a base table. Always clamped: composed estimates (NOT
+  /// over an inflated child, AND/OR over mixed defaults) can stray
+  /// outside the unit interval and a negative selectivity corrupts
+  /// every cardinality above it.
   double EstimateSelectivity(const Expr& pred, const PlanNode& input) const;
 
   /// \brief Estimated distinct count of column `col` of `node`'s output,
@@ -49,6 +52,9 @@ class CostModel {
   const CostParams& params() const { return params_; }
 
  private:
+  /// Unclamped recursive body of EstimateSelectivity.
+  double EstimateSelectivityImpl(const Expr& pred,
+                                 const PlanNode& input) const;
   double EstimateRows(const PlanNode& node) const;
 
   const Catalog& catalog_;

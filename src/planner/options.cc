@@ -72,6 +72,9 @@ void PlannerOptions::ApplyEnv() {
   EnvInt64("GISQL_CURSOR_CHUNK_ROWS", &cursor_chunk_rows);
   EnvDouble("GISQL_CURSOR_LEASE_MS", &cursor_lease_ms);
   EnvInt("GISQL_CURSOR_MAX_OPEN", &cursor_max_open);
+  EnvInt("GISQL_TXN_MAX_ACTIVE", &txn_max_active);
+  EnvInt("GISQL_TXN_MAX_RETRIES", &txn_max_prepare_retries);
+  EnvBool("GISQL_TXN_GC", &txn_gc);
   EnvBool("GISQL_INDEX_RANGE_SCAN", &enable_index_range_scan);
   EnvBool("GISQL_INDEX_JOIN", &enable_index_join);
 }

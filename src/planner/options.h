@@ -119,6 +119,20 @@ struct PlannerOptions {
   int cursor_max_open = 64;
   /// @}
 
+  /// \name Global transactions (txn/transaction_manager.h)
+  /// @{
+
+  /// Concurrently active global transactions; Begins past it are shed
+  /// with Overloaded (GISQL_TXN_MAX_ACTIVE).
+  int txn_max_active = 256;
+  /// Prepare attempts per TxnWrite statement when deadlock resolution
+  /// aborts another victim and retries (GISQL_TXN_MAX_RETRIES).
+  int txn_max_prepare_retries = 8;
+  /// Piggyback the MVCC GC watermark on 2PC commits so sources reclaim
+  /// row versions no snapshot can reach (GISQL_TXN_GC).
+  bool txn_gc = true;
+  /// @}
+
   /// \brief Overrides governance knobs from GISQL_* environment
   /// variables (unset or unparsable values keep the field). Mirrors
   /// the GISQL_LOG_LEVEL convention: the env never *breaks* a run, it

@@ -75,10 +75,23 @@ Status ComponentSource::ExecuteLocalSql(const std::string& sql) {
       }
       return Status::OK();
     }
+    case sql::Statement::Kind::kDelete: {
+      GISQL_ASSIGN_OR_RETURN(TablePtr table,
+                             engine_.GetTable(stmt.del->table_name));
+      // Administrative (non-transactional) delete: physically removes
+      // the rows, like the other local DML runs outside MVCC.
+      if (stmt.del->where == nullptr) {
+        static const ExprPtr kTrue = MakeLiteral(Value::Bool(true));
+        return table->Delete(*kTrue).status();
+      }
+      Binder binder(*table->schema());
+      GISQL_ASSIGN_OR_RETURN(ExprPtr pred, binder.BindScalar(*stmt.del->where));
+      return table->Delete(*pred).status();
+    }
     default:
       return Status::InvalidArgument(
-          "component sources accept only CREATE TABLE / INSERT locally; "
-          "route queries through the mediator");
+          "component sources accept only CREATE TABLE / INSERT / DELETE "
+          "locally; route queries through the mediator");
   }
 }
 
@@ -193,10 +206,72 @@ Status SortAndLimit(RowBatch* batch, const std::vector<ExprPtr>& order_by,
 
 }  // namespace
 
+namespace {
+
+/// True when `row` would have been produced by the fragment's access
+/// path — membership test for read-your-writes overlays (a staged row
+/// has no heap rid, so it cannot come from an index).
+bool RowInAccessPath(const FragmentPlan& frag, const Row& row) {
+  if (frag.semijoin_column >= 0) {
+    const size_t col = static_cast<size_t>(frag.semijoin_column);
+    if (col >= row.size() || row[col].is_null()) return false;
+    for (const auto& key : frag.semijoin_values) {
+      if (row[col].Compare(key) == 0) return true;
+    }
+    return false;
+  }
+  if (frag.index_column >= 0) {
+    const size_t col = static_cast<size_t>(frag.index_column);
+    if (col >= row.size() || row[col].is_null()) return false;
+    if (!frag.range_lo.is_null()) {
+      const int c = row[col].Compare(frag.range_lo);
+      if (frag.range_lo_inclusive ? c < 0 : c <= 0) return false;
+    }
+    if (!frag.range_hi.is_null()) {
+      const int c = row[col].Compare(frag.range_hi);
+      if (frag.range_hi_inclusive ? c > 0 : c >= 0) return false;
+    }
+    return true;
+  }
+  return true;  // full scan sees everything
+}
+
+}  // namespace
+
+const ComponentSource::StagedTxn* ComponentSource::FindStagedByNumericId(
+    uint64_t numeric_id) const {
+  if (numeric_id == 0) return nullptr;
+  for (const auto& [id, txn] : staged_) {
+    if (txn.numeric_id == numeric_id) return &txn;
+  }
+  return nullptr;
+}
+
 Result<RowBatch> ComponentSource::ExecuteFragment(const FragmentPlan& frag,
                                                   int64_t* rows_scanned) {
   GISQL_RETURN_NOT_OK(CheckCapabilities(frag));
   GISQL_ASSIGN_OR_RETURN(TablePtr table, engine_.GetTable(frag.table));
+
+  // MVCC read context: every gathered heap row passes the version
+  // visibility check for the fragment's snapshot, and the reading
+  // transaction's own staged writes overlay the result
+  // (read-your-writes): staged deletes hide rows, staged inserts
+  // append below.
+  const StagedTxn* self = FindStagedByNumericId(frag.txn_id);
+  auto own_deleted = [&](const Table* t, size_t rid) {
+    if (self == nullptr) return false;
+    for (const auto& w : self->writes) {
+      if (w.table.get() != t) continue;
+      for (size_t d : w.delete_rids) {
+        if (d == rid) return true;
+      }
+    }
+    return false;
+  };
+  auto visible = [&](size_t rid) {
+    return table->VisibleAt(rid, frag.snapshot_ts) &&
+           !own_deleted(table.get(), rid);
+  };
 
   int64_t scanned = 0;
   // Candidate rows are owned copies: heap rows live in buffer-pool
@@ -215,6 +290,7 @@ Result<RowBatch> ComponentSource::ExecuteFragment(const FragmentPlan& frag,
       // Index lookups: touch only matching rows.
       for (const auto& key : frag.semijoin_values) {
         for (size_t rid : index->Lookup(key)) {
+          if (!visible(rid)) continue;
           GISQL_ASSIGN_OR_RETURN(Row row, table->GetRow(rid));
           owned.push_back(std::move(row));
           ++scanned;
@@ -224,8 +300,9 @@ Result<RowBatch> ComponentSource::ExecuteFragment(const FragmentPlan& frag,
       std::unordered_set<uint64_t> keys;
       keys.reserve(frag.semijoin_values.size());
       for (const auto& v : frag.semijoin_values) keys.insert(v.Hash());
-      GISQL_RETURN_NOT_OK(table->Scan([&](size_t, const Row& row) {
+      GISQL_RETURN_NOT_OK(table->Scan([&](size_t rid, const Row& row) {
         ++scanned;
+        if (!visible(rid)) return Status::OK();
         const Value& v = row[col];
         if (v.is_null() || !keys.count(v.Hash())) return Status::OK();
         // Hash hit: confirm by value to rule out collisions.
@@ -258,17 +335,33 @@ Result<RowBatch> ComponentSource::ExecuteFragment(const FragmentPlan& frag,
                      frag.range_hi_inclusive);
     owned.reserve(rids.size());
     for (size_t rid : rids) {
+      if (!visible(rid)) continue;
       GISQL_ASSIGN_OR_RETURN(Row row, table->GetRow(rid));
       owned.push_back(std::move(row));
       ++scanned;
     }
   } else {
     owned.reserve(static_cast<size_t>(table->num_rows()));
-    GISQL_RETURN_NOT_OK(table->Scan([&](size_t, const Row& row) {
+    GISQL_RETURN_NOT_OK(table->Scan([&](size_t rid, const Row& row) {
       ++scanned;
+      if (!visible(rid)) return Status::OK();
       owned.push_back(row);
       return Status::OK();
     }));
+  }
+
+  // Read-your-writes: append this transaction's staged inserts for the
+  // scanned table, filtered through the same access-path membership the
+  // heap rows went through.
+  if (self != nullptr) {
+    for (const auto& w : self->writes) {
+      if (w.table.get() != table.get()) continue;
+      for (const Row& staged_row : w.rows) {
+        if (!RowInAccessPath(frag, staged_row)) continue;
+        owned.push_back(staged_row);
+        ++scanned;
+      }
+    }
   }
 
   // The row space downstream operators see: the outer table's schema,
@@ -350,6 +443,10 @@ Result<RowBatch> ComponentSource::ExecuteFragment(const FragmentPlan& frag,
           hash_index != nullptr ? hash_index->Lookup(key)
                                 : ordered_index->tree().Lookup(key);
       for (size_t rid : rids) {
+        if (!inner->VisibleAt(rid, frag.snapshot_ts) ||
+            own_deleted(inner.get(), rid)) {
+          continue;
+        }
         GISQL_ASSIGN_OR_RETURN(Row inner_row, inner->GetRow(rid));
         ++scanned;
         if (frag.join_inner_filter) {
@@ -471,48 +568,143 @@ Result<RowBatch> ComponentSource::ExecuteFragment(const FragmentPlan& frag,
 Status ComponentSource::PrepareTxn(const std::string& txn_id,
                                    const std::string& sql,
                                    uint64_t stmt_seq) {
+  // Legacy entry point: numeric id 0 takes no locks, so the result is
+  // always granted and only the status matters.
+  return PrepareTxnAt(txn_id, sql, stmt_seq, 0, 0).status();
+}
+
+Result<ComponentSource::TxnPrepareResult> ComponentSource::PrepareTxnAt(
+    const std::string& txn_id, const std::string& sql, uint64_t stmt_seq,
+    uint64_t numeric_txn_id, uint64_t snapshot_ts) {
+  TxnPrepareResult granted;
   auto txn_it = staged_.find(txn_id);
   if (txn_it != staged_.end()) {
     auto seen = txn_it->second.seen.find(stmt_seq);
     if (seen != txn_it->second.seen.end()) {
-      if (seen->second == sql) return Status::OK();  // redelivery
+      if (seen->second == sql) return granted;  // redelivery
       return Status::InvalidArgument(
           "transaction '", txn_id, "' statement ", stmt_seq,
           " redelivered with different SQL");
     }
   }
   GISQL_ASSIGN_OR_RETURN(sql::Statement stmt, sql::ParseStatement(sql));
-  if (stmt.kind != sql::Statement::Kind::kInsert) {
+  if (numeric_txn_id == 0 && stmt.kind != sql::Statement::Kind::kInsert) {
     return Status::InvalidArgument(
         "global transactions support INSERT statements only");
   }
-  GISQL_ASSIGN_OR_RETURN(TablePtr table,
-                         engine_.GetTable(stmt.insert->table_name));
-  static const Schema kEmptySchema;
-  Binder binder(kEmptySchema);
-  static const Row kEmptyRow;
-  StagedWrite staged;
-  staged.table = table;
-  for (const auto& ast_row : stmt.insert->rows) {
-    Row row;
-    row.reserve(ast_row.size());
-    for (const auto& ast_val : ast_row) {
-      GISQL_ASSIGN_OR_RETURN(ExprPtr e, binder.BindScalar(*ast_val));
-      GISQL_ASSIGN_OR_RETURN(Value v, EvalExpr(*e, kEmptyRow));
-      row.push_back(std::move(v));
-    }
-    // Full validation now so COMMIT cannot fail on data errors.
-    GISQL_ASSIGN_OR_RETURN(Row validated,
-                           table->ValidateRow(std::move(row)));
-    staged.rows.push_back(std::move(validated));
+  if (stmt.kind != sql::Statement::Kind::kInsert &&
+      stmt.kind != sql::Statement::Kind::kDelete) {
+    return Status::InvalidArgument(
+        "global transactions support INSERT and DELETE statements only");
   }
+
+  // A rejected prepare at a source holding none of this transaction's
+  // staged writes must not retain the partial locks it just took: the
+  // source never becomes a participant, so no later COMMIT/ABORT would
+  // release them. With prior staged writes the partial locks stay held
+  // (strict 2PL) — the eventual commit/abort reaches this source.
+  auto reject = [&](LockAcquisition a) {
+    if (staged_.find(txn_id) == staged_.end()) {
+      locks_.ReleaseAll(numeric_txn_id);
+    }
+    TxnPrepareResult r;
+    r.granted = false;
+    r.holders = std::move(a.holders);
+    return r;
+  };
+
+  StagedWrite staged;
+  if (stmt.kind == sql::Statement::Kind::kInsert) {
+    GISQL_ASSIGN_OR_RETURN(TablePtr table,
+                           engine_.GetTable(stmt.insert->table_name));
+    static const Schema kEmptySchema;
+    Binder binder(kEmptySchema);
+    static const Row kEmptyRow;
+    staged.table = table;
+    for (const auto& ast_row : stmt.insert->rows) {
+      Row row;
+      row.reserve(ast_row.size());
+      for (const auto& ast_val : ast_row) {
+        GISQL_ASSIGN_OR_RETURN(ExprPtr e, binder.BindScalar(*ast_val));
+        GISQL_ASSIGN_OR_RETURN(Value v, EvalExpr(*e, kEmptyRow));
+        row.push_back(std::move(v));
+      }
+      // Full validation now so COMMIT cannot fail on data errors.
+      GISQL_ASSIGN_OR_RETURN(Row validated,
+                             table->ValidateRow(std::move(row)));
+      staged.rows.push_back(std::move(validated));
+    }
+    if (numeric_txn_id != 0) {
+      LockAcquisition t = locks_.LockTable(numeric_txn_id, table->name(),
+                                           LockMode::kIntentExclusive);
+      if (!t.granted) return reject(std::move(t));
+      for (const Row& row : staged.rows) {
+        const uint64_t key_hash = row.empty() ? 0 : row[0].Hash();
+        LockAcquisition a = locks_.LockRow(numeric_txn_id, table->name(),
+                                           key_hash, LockMode::kExclusive);
+        // Locks granted so far stay held when this source is already a
+        // participant: the transaction either retries this statement
+        // (re-acquire is idempotent) or ends, and ReleaseAll reclaims
+        // everything.
+        if (!a.granted) return reject(std::move(a));
+      }
+    }
+  } else {
+    // Transactional DELETE (numeric-id path only, checked above): the
+    // predicate evaluates against rows visible at the transaction's
+    // snapshot; matched rows are X-locked by key and their heap rids
+    // staged. Commit ends their versions at the commit timestamp.
+    GISQL_ASSIGN_OR_RETURN(TablePtr table,
+                           engine_.GetTable(stmt.del->table_name));
+    ExprPtr pred;
+    if (stmt.del->where != nullptr) {
+      Binder binder(*table->schema());
+      GISQL_ASSIGN_OR_RETURN(pred, binder.BindScalar(*stmt.del->where));
+    }
+    staged.table = table;
+    std::vector<Value> keys;
+    GISQL_RETURN_NOT_OK(table->Scan([&](size_t rid, const Row& row) {
+      if (!table->VisibleAt(rid, snapshot_ts)) return Status::OK();
+      bool match = true;
+      if (pred != nullptr) {
+        GISQL_ASSIGN_OR_RETURN(match, EvalPredicate(*pred, row));
+      }
+      if (match) {
+        staged.delete_rids.push_back(rid);
+        keys.push_back(row.empty() ? Value::Int(0) : row[0]);
+      }
+      return Status::OK();
+    }));
+    // First committer wins: a row visible in our snapshot but already
+    // ended at latest was deleted by a transaction that committed after
+    // we began — retrying cannot help, the transaction must abort.
+    for (size_t rid : staged.delete_rids) {
+      if (!table->VisibleAt(rid, 0)) {
+        return Status::ExecutionError(
+            "write-write conflict: a row matched by DELETE in transaction '",
+            txn_id, "' was already deleted by a newer committed transaction");
+      }
+    }
+    LockAcquisition t = locks_.LockTable(numeric_txn_id, table->name(),
+                                         LockMode::kIntentExclusive);
+    if (!t.granted) return reject(std::move(t));
+    for (const Value& key : keys) {
+      LockAcquisition a = locks_.LockRow(numeric_txn_id, table->name(),
+                                         key.Hash(), LockMode::kExclusive);
+      if (!a.granted) return reject(std::move(a));
+    }
+  }
+
   auto& txn = staged_[txn_id];
+  txn.numeric_id = numeric_txn_id;
+  txn.snapshot_ts = snapshot_ts;
   txn.seen.emplace(stmt_seq, sql);
   txn.writes.push_back(std::move(staged));
-  return Status::OK();
+  return granted;
 }
 
-Status ComponentSource::CommitTxn(const std::string& txn_id) {
+Status ComponentSource::CommitTxn(const std::string& txn_id,
+                                  uint64_t commit_ts, uint64_t watermark) {
   auto it = staged_.find(txn_id);
   if (it == staged_.end()) {
     // A commit whose ack was lost gets retried: converge instead of
@@ -522,17 +714,51 @@ Status ComponentSource::CommitTxn(const std::string& txn_id) {
                             name_, "'");
   }
   for (auto& write : it->second.writes) {
-    GISQL_RETURN_NOT_OK(write.table->InsertUnchecked(std::move(write.rows)));
+    for (size_t rid : write.delete_rids) {
+      write.table->MarkDeleted(rid, commit_ts);
+    }
+    if (!write.rows.empty()) {
+      GISQL_RETURN_NOT_OK(
+          write.table->InsertVersioned(std::move(write.rows), commit_ts));
+    }
   }
+  const uint64_t numeric_id = it->second.numeric_id;
   staged_.erase(it);
   committed_.insert(txn_id);
+  if (numeric_id != 0) locks_.ReleaseAll(numeric_id);
+  if (watermark > 0) GcToWatermark(watermark);
   return Status::OK();
 }
 
 Status ComponentSource::AbortTxn(const std::string& txn_id) {
   // Aborting an unknown transaction is a no-op (idempotent rollback).
-  staged_.erase(txn_id);
+  auto it = staged_.find(txn_id);
+  if (it == staged_.end()) return Status::OK();
+  const uint64_t numeric_id = it->second.numeric_id;
+  staged_.erase(it);
+  if (numeric_id != 0) locks_.ReleaseAll(numeric_id);
   return Status::OK();
+}
+
+int64_t ComponentSource::GcToWatermark(uint64_t watermark) {
+  // A staged DELETE holds heap rids; compacting its table would shift
+  // them under the staged transaction. Such tables wait for the next
+  // watermark after that transaction resolves.
+  std::set<const Table*> pinned;
+  for (const auto& [id, txn] : staged_) {
+    for (const auto& w : txn.writes) {
+      if (!w.delete_rids.empty()) pinned.insert(w.table.get());
+    }
+  }
+  int64_t total = 0;
+  for (const auto& table_name : engine_.TableNames()) {
+    Result<TablePtr> table = engine_.GetTable(table_name);
+    if (!table.ok()) continue;
+    if (pinned.count(table->get())) continue;
+    Result<int64_t> removed = (*table)->GcToWatermark(watermark);
+    if (removed.ok()) total += *removed;
+  }
+  return total;
 }
 
 namespace {
@@ -678,13 +904,35 @@ Result<std::vector<uint8_t>> ComponentSource::Handle(
       GISQL_ASSIGN_OR_RETURN(std::string txn_id, reader.GetString());
       GISQL_ASSIGN_OR_RETURN(uint64_t stmt_seq, reader.GetVarint());
       GISQL_ASSIGN_OR_RETURN(std::string sql, reader.GetString());
-      GISQL_RETURN_NOT_OK(PrepareTxn(txn_id, sql, stmt_seq));
+      // Trailing MVCC context, absent on legacy (PR 1) requests.
+      uint64_t numeric_txn_id = 0;
+      uint64_t snapshot_ts = 0;
+      if (!reader.AtEnd()) {
+        GISQL_ASSIGN_OR_RETURN(numeric_txn_id, reader.GetVarint());
+        GISQL_ASSIGN_OR_RETURN(snapshot_ts, reader.GetVarint());
+      }
+      GISQL_ASSIGN_OR_RETURN(
+          TxnPrepareResult result,
+          PrepareTxnAt(txn_id, sql, stmt_seq, numeric_txn_id, snapshot_ts));
+      // Response payload: grant/conflict byte + conflicting holders.
+      // Legacy callers never read the payload, so this is additive.
+      writer.PutU8(result.granted ? 0 : 1);
+      writer.PutVarint(result.holders.size());
+      for (uint64_t h : result.holders) writer.PutVarint(h);
       return writer.Release();
     }
 
     case wire::Opcode::kTxnCommit: {
       GISQL_ASSIGN_OR_RETURN(std::string txn_id, reader.GetString());
-      GISQL_RETURN_NOT_OK(CommitTxn(txn_id));
+      // Trailing commit timestamp + GC watermark, absent on legacy
+      // requests (both default to 0: bootstrap stamp, no GC).
+      uint64_t commit_ts = 0;
+      uint64_t watermark = 0;
+      if (!reader.AtEnd()) {
+        GISQL_ASSIGN_OR_RETURN(commit_ts, reader.GetVarint());
+        GISQL_ASSIGN_OR_RETURN(watermark, reader.GetVarint());
+      }
+      GISQL_RETURN_NOT_OK(CommitTxn(txn_id, commit_ts, watermark));
       return writer.Release();
     }
 

@@ -20,6 +20,7 @@
 #include "source/capabilities.h"
 #include "source/fragment.h"
 #include "storage/table.h"
+#include "txn/lock_manager.h"
 #include "types/row.h"
 
 namespace gisql {
@@ -47,9 +48,9 @@ class ComponentSource : public RpcHandler {
   const SourceCapabilities& capabilities() const { return caps_; }
   StorageEngine& engine() { return engine_; }
 
-  /// \brief Executes source-local DDL/DML SQL (CREATE TABLE / INSERT).
-  /// This is how an administrator populates an autonomous source; SELECT
-  /// goes through the mediator.
+  /// \brief Executes source-local DDL/DML SQL (CREATE TABLE / INSERT /
+  /// DELETE). This is how an administrator populates an autonomous
+  /// source; SELECT goes through the mediator.
   Status ExecuteLocalSql(const std::string& sql);
 
   /// \brief Executes a fragment locally, enforcing capabilities.
@@ -67,15 +68,19 @@ class ComponentSource : public RpcHandler {
                                       const std::vector<uint8_t>& request,
                                       double* processing_ms) override;
 
-  /// \name Global-transaction participant (2PC)
+  /// \name Global-transaction participant (2PC + snapshot isolation)
   ///
   /// The mediator coordinates atomic multi-source updates: PREPARE
-  /// parses and fully validates an INSERT, staging its rows in memory;
-  /// COMMIT applies every staged row of the transaction; ABORT drops
-  /// them. A prepared transaction holds no locks (sources stay
-  /// autonomous), so prepare-validated rows can still conflict with
-  /// concurrent local writes — the staging guarantees atomicity of the
-  /// *global* statement set, not serializability.
+  /// parses and fully validates an INSERT or DELETE, staging its
+  /// effects in memory; COMMIT applies every staged write of the
+  /// transaction (stamping row versions with the mediator's commit
+  /// timestamp); ABORT drops them. Transactions carrying a numeric id
+  /// additionally take IX table + X row-key locks at prepare, held
+  /// until commit/abort — conflicts are *reported*, never waited on
+  /// (the mediator owns the waits-for graph; see
+  /// txn/transaction_manager.h). Legacy numeric id 0 preserves the
+  /// PR 1 semantics exactly: INSERT only, no locks, rows born at
+  /// timestamp 0.
   ///
   /// The faulty WAN delivers at-least-once, so the participant side is
   /// idempotent: PREPARE dedups statements by `stmt_seq` within a
@@ -84,10 +89,40 @@ class ComponentSource : public RpcHandler {
   /// transaction returns OK instead of NotFound so a retried commit
   /// whose first ack was lost converges. ABORT was always idempotent.
   /// @{
+
+  /// \brief Outcome of a prepare: granted, or the lock conflict's
+  /// holder transaction ids for the mediator's waits-for graph.
+  struct TxnPrepareResult {
+    bool granted = true;
+    std::vector<uint64_t> holders;
+  };
+
   Status PrepareTxn(const std::string& txn_id, const std::string& sql,
                     uint64_t stmt_seq = 0);
-  Status CommitTxn(const std::string& txn_id);
+
+  /// \brief Prepare with the MVCC read/lock context: `numeric_txn_id`
+  /// keys the lock table (0 = legacy, lockless), `snapshot_ts` is the
+  /// snapshot DELETE predicates evaluate against.
+  Result<TxnPrepareResult> PrepareTxnAt(const std::string& txn_id,
+                                        const std::string& sql,
+                                        uint64_t stmt_seq,
+                                        uint64_t numeric_txn_id,
+                                        uint64_t snapshot_ts);
+
+  /// \brief Applies staged writes: inserts born at `commit_ts`,
+  /// deletes ending their rows at `commit_ts` (0 = legacy bootstrap
+  /// stamp). A positive `watermark` then garbage-collects versions no
+  /// snapshot can reach.
+  Status CommitTxn(const std::string& txn_id, uint64_t commit_ts = 0,
+                   uint64_t watermark = 0);
   Status AbortTxn(const std::string& txn_id);
+
+  /// \brief Physically reclaims versions dead at or before `watermark`
+  /// across every table; returns rows removed.
+  int64_t GcToWatermark(uint64_t watermark);
+
+  /// \brief This source's lock table (tests/monitoring).
+  const LockManager& locks() const { return locks_; }
   /// \brief Number of transactions currently staged (tests/monitoring).
   size_t pending_txns() const { return staged_.size(); }
   /// \brief Ids of staged transactions (sorted) — what an operator
@@ -151,17 +186,27 @@ class ComponentSource : public RpcHandler {
 
   struct StagedWrite {
     TablePtr table;
-    std::vector<Row> rows;
+    std::vector<Row> rows;          ///< staged inserts
+    std::vector<size_t> delete_rids;  ///< staged deletes (heap row ids)
   };
   struct StagedTxn {
     std::vector<StagedWrite> writes;
     /// stmt_seq -> SQL text, for at-least-once prepare deduplication.
     std::map<uint64_t, std::string> seen;
+    uint64_t numeric_id = 0;   ///< lock-table key; 0 = legacy, lockless
+    uint64_t snapshot_ts = 0;  ///< snapshot DELETEs evaluated against
   };
   std::map<std::string, StagedTxn> staged_;
+
+  /// \brief The staged transaction carrying `numeric_id`, for
+  /// read-your-writes overlays; nullptr when none.
+  const StagedTxn* FindStagedByNumericId(uint64_t numeric_id) const;
   /// Ids of transactions this participant has applied (presumed-commit
   /// memory): a redelivered COMMIT answers OK instead of NotFound.
   std::set<std::string> committed_;
+
+  /// Row/table lock table for numeric-id global transactions.
+  LockManager locks_;
 
   /// \brief One staged streaming result (kOpenCursor..kCloseCursor).
   ///

@@ -80,6 +80,14 @@ struct FragmentPlan {
   /// Optional row limit (applied last, after ordering). -1 = none.
   int64_t limit = -1;
 
+  /// MVCC read context. snapshot_ts 0 = "latest committed" (the
+  /// classic non-transactional read); > 0 = the global snapshot the
+  /// row-version visibility check [begin_ts, end_ts) runs against.
+  /// txn_id identifies the reading global transaction so the source
+  /// can overlay its own staged writes (read-your-writes); 0 = none.
+  uint64_t snapshot_ts = 0;
+  uint64_t txn_id = 0;
+
   /// \brief Human-readable one-line description (EXPLAIN output).
   std::string ToString() const;
 };

@@ -138,6 +138,12 @@ struct InsertStmt {
   std::vector<std::vector<ParseExprPtr>> rows;
 };
 
+/// \brief DELETE FROM name [WHERE expr] — source-local DML.
+struct DeleteStmt {
+  std::string table_name;
+  ParseExprPtr where;  ///< null = delete every row
+};
+
 /// \brief Top-level statement.
 struct Statement {
   enum class Kind : uint8_t {
@@ -146,11 +152,13 @@ struct Statement {
     kInsert,
     kExplain,
     kExplainAnalyze,  ///< EXPLAIN ANALYZE: execute and report actuals
+    kDelete,
   };
   Kind kind = Kind::kSelect;
   SelectStmtPtr select;              ///< kSelect / kExplain
   std::unique_ptr<CreateTableStmt> create_table;
   std::unique_ptr<InsertStmt> insert;
+  std::unique_ptr<DeleteStmt> del;   ///< kDelete
 };
 
 }  // namespace sql

@@ -18,7 +18,7 @@ const std::unordered_set<std::string>& KeywordSet() {
       "RIGHT", "OUTER", "CROSS", "ON", "ASC", "DESC", "DISTINCT",
       "COUNT", "SUM", "AVG", "MIN", "MAX", "CASE", "WHEN", "THEN",
       "ELSE", "END", "CREATE", "TABLE", "INSERT", "INTO", "VALUES",
-      "EXPLAIN", "ANALYZE", "UNION", "ALL", "CAST", "DATE",
+      "EXPLAIN", "ANALYZE", "UNION", "ALL", "CAST", "DATE", "DELETE",
   };
   return kKeywords;
 }

@@ -76,7 +76,8 @@ Result<Statement> Parser::ParseStatement() {
   }
   if (Peek().IsKeyword("CREATE")) return ParseCreateTable();
   if (Peek().IsKeyword("INSERT")) return ParseInsert();
-  return ErrorHere("expected SELECT, EXPLAIN, CREATE TABLE or INSERT");
+  if (Peek().IsKeyword("DELETE")) return ParseDelete();
+  return ErrorHere("expected SELECT, EXPLAIN, CREATE TABLE, INSERT or DELETE");
 }
 
 Result<Statement> Parser::ParseCreateTable() {
@@ -139,6 +140,24 @@ Result<Statement> Parser::ParseInsert() {
   Statement stmt;
   stmt.kind = Statement::Kind::kInsert;
   stmt.insert = std::move(insert);
+  return stmt;
+}
+
+Result<Statement> Parser::ParseDelete() {
+  GISQL_RETURN_NOT_OK(ExpectKeyword("DELETE", "at statement start"));
+  GISQL_RETURN_NOT_OK(ExpectKeyword("FROM", "after DELETE"));
+  if (Peek().type != TokenType::kIdentifier) {
+    return ErrorHere("expected table name");
+  }
+  auto del = std::make_unique<DeleteStmt>();
+  del->table_name = Advance().text;
+  if (MatchKeyword("WHERE")) {
+    GISQL_ASSIGN_OR_RETURN(del->where, ParseExpr());
+  }
+  GISQL_RETURN_NOT_OK(ExpectEnd());
+  Statement stmt;
+  stmt.kind = Statement::Kind::kDelete;
+  stmt.del = std::move(del);
   return stmt;
 }
 

@@ -81,6 +81,7 @@ class Parser {
   Result<ParseExprPtr> ParseFuncCallOrColumn();
   Result<Statement> ParseCreateTable();
   Result<Statement> ParseInsert();
+  Result<Statement> ParseDelete();
 
   std::vector<Token> tokens_;
   size_t pos_ = 0;

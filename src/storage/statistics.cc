@@ -56,7 +56,18 @@ double TableStats::RangeSelectivity(size_t col, const Value& bound,
   const double lo = cs.min.NumericValue();
   const double hi = cs.max.NumericValue();
   const double b = bound.NumericValue();
-  if (hi <= lo) return b >= lo == less_than || b == lo ? 1.0 : 1.0 / 3.0;
+  // Inverted bounds are corrupt statistics — default guess. A
+  // single-point column (hi == lo) is exact: every row holds `lo`, so
+  // the range predicate is satisfied by all rows or by none. (The old
+  // expression here parsed as `((b >= lo) == less_than) || b == lo`
+  // thanks to comparison-over-equality precedence and answered 1.0 for
+  // provably-empty ranges.)
+  if (hi < lo) return 1.0 / 3.0;
+  if (hi == lo) {
+    const bool satisfied = less_than ? (inclusive ? b >= lo : b > lo)
+                                     : (inclusive ? b <= lo : b < lo);
+    return satisfied ? 1.0 : 0.0;
+  }
   double frac = (b - lo) / (hi - lo);
   if (!less_than) frac = 1.0 - frac;
   // Nudge for inclusivity at one-point granularity.

@@ -87,9 +87,15 @@ Result<Row> Table::ValidateRow(Row row) const {
   return row;
 }
 
+void Table::SyncVersions(uint64_t begin_ts) {
+  versions_.resize(static_cast<size_t>(heap_.num_rows()),
+                   RowVersion{begin_ts, kMaxTimestamp});
+}
+
 Status Table::Insert(Row row) {
   GISQL_ASSIGN_OR_RETURN(Row validated, ValidateRow(std::move(row)));
   GISQL_RETURN_NOT_OK(heap_.Append(validated).status());
+  SyncVersions(0);
   ++epoch_;
   stats_valid_ = false;
   return Status::OK();
@@ -97,25 +103,97 @@ Status Table::Insert(Row row) {
 
 Status Table::InsertUnchecked(std::vector<Row> rows) {
   GISQL_RETURN_NOT_OK(heap_.AppendBatch(rows));
+  SyncVersions(0);
   ++epoch_;
   stats_valid_ = false;
   return Status::OK();
 }
 
-Result<int64_t> Table::Delete(const Expr& predicate) {
+Status Table::InsertVersioned(std::vector<Row> rows, uint64_t begin_ts) {
+  GISQL_RETURN_NOT_OK(heap_.AppendBatch(rows));
+  SyncVersions(begin_ts);
+  ++epoch_;
+  stats_valid_ = false;
+  return Status::OK();
+}
+
+void Table::MarkDeleted(size_t rid, uint64_t end_ts) {
+  if (rid >= versions_.size()) SyncVersions(0);
+  if (rid >= versions_.size()) return;
+  if (versions_[rid].end_ts != kMaxTimestamp) return;  // already dead
+  versions_[rid].end_ts = end_ts;
+  // The heap and the indexes are untouched (the row is still
+  // physically present); only statistics go stale.
+  stats_valid_ = false;
+}
+
+bool Table::VisibleAt(size_t rid, uint64_t snapshot_ts) const {
+  if (rid >= versions_.size()) {
+    // Rows appended before any version bookkeeping existed: live,
+    // born at 0.
+    return true;
+  }
+  const RowVersion& v = versions_[rid];
+  if (snapshot_ts == 0) return v.end_ts == kMaxTimestamp;
+  return v.begin_ts <= snapshot_ts && snapshot_ts < v.end_ts;
+}
+
+RowVersion Table::VersionOf(size_t rid) const {
+  return rid < versions_.size() ? versions_[rid] : RowVersion{};
+}
+
+Result<int64_t> Table::GcToWatermark(uint64_t watermark) {
+  SyncVersions(0);
+  // Fast path on the in-memory metadata: no reclaimable version, no
+  // page access.
+  bool any_dead = false;
+  for (const RowVersion& v : versions_) {
+    if (v.end_ts != kMaxTimestamp && v.end_ts <= watermark) {
+      any_dead = true;
+      break;
+    }
+  }
+  if (!any_dead) return 0;
   int64_t removed = 0;
   std::vector<Row> kept;
+  std::vector<RowVersion> kept_versions;
+  kept.reserve(versions_.size());
+  kept_versions.reserve(versions_.size());
+  GISQL_RETURN_NOT_OK(heap_.Scan([&](size_t rid, const Row& row) {
+    const RowVersion& v = versions_[rid];
+    if (v.end_ts != kMaxTimestamp && v.end_ts <= watermark) {
+      ++removed;
+    } else {
+      kept.push_back(row);
+      kept_versions.push_back(v);
+    }
+    return Status::OK();
+  }));
+  GISQL_RETURN_NOT_OK(heap_.Replace(kept));
+  versions_ = std::move(kept_versions);
+  ++epoch_;
+  stats_valid_ = false;
+  return removed;
+}
+
+Result<int64_t> Table::Delete(const Expr& predicate) {
+  SyncVersions(0);
+  int64_t removed = 0;
+  std::vector<Row> kept;
+  std::vector<RowVersion> kept_versions;
   kept.reserve(static_cast<size_t>(heap_.num_rows()));
-  GISQL_RETURN_NOT_OK(heap_.Scan([&](size_t, const Row& row) {
+  GISQL_RETURN_NOT_OK(heap_.Scan([&](size_t rid, const Row& row) {
     GISQL_ASSIGN_OR_RETURN(bool match, EvalPredicate(predicate, row));
     if (match) {
       ++removed;
     } else {
       kept.push_back(row);
+      kept_versions.push_back(versions_[rid]);
     }
     return Status::OK();
   }));
   GISQL_RETURN_NOT_OK(heap_.Replace(kept));
+  versions_ = std::move(kept_versions);
   ++epoch_;
   stats_valid_ = false;
   return removed;

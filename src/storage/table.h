@@ -30,6 +30,17 @@ namespace gisql {
 /// Rows per scan batch.
 inline constexpr size_t kBatchSize = 1024;
 
+/// \brief "Never dies" end timestamp of a live row version.
+inline constexpr uint64_t kMaxTimestamp = UINT64_MAX;
+
+/// \brief MVCC lifetime of one row version: visible to snapshot S when
+/// begin_ts <= S < end_ts. Bootstrap rows (local DDL/DML, legacy 2PC)
+/// are born at 0 — visible to every snapshot.
+struct RowVersion {
+  uint64_t begin_ts = 0;
+  uint64_t end_ts = kMaxTimestamp;
+};
+
 /// \brief Equality index: value → row ids. Rebuilt lazily after writes.
 class HashIndex {
  public:
@@ -125,6 +136,41 @@ class Table {
   /// \brief Deletes rows matching `predicate`; returns count removed.
   Result<int64_t> Delete(const Expr& predicate);
 
+  /// \name MVCC version metadata
+  ///
+  /// Every heap row carries a [begin_ts, end_ts) lifetime in a
+  /// heap-parallel in-memory vector (timestamps are rebuilt state, not
+  /// page payload — the on-page row encoding is unchanged). Writes via
+  /// Insert/InsertUnchecked are born at 0 (visible everywhere);
+  /// committed transactional writes arrive through InsertVersioned /
+  /// MarkDeleted stamped with the mediator's commit timestamp.
+  /// @{
+
+  /// \brief Bulk append stamped with begin_ts (commit path of a global
+  /// transaction).
+  Status InsertVersioned(std::vector<Row> rows, uint64_t begin_ts);
+
+  /// \brief Ends row `rid`'s lifetime at `end_ts` (a committed
+  /// transactional DELETE). The row stays in the heap until watermark
+  /// GC; indexes still map to it, so readers re-check visibility.
+  /// First committer wins: an already-dead row is left untouched.
+  void MarkDeleted(size_t rid, uint64_t end_ts);
+
+  /// \brief True when row `rid` is visible at `snapshot_ts`.
+  /// snapshot_ts 0 means "latest committed": only live rows
+  /// (end_ts == kMaxTimestamp) qualify.
+  bool VisibleAt(size_t rid, uint64_t snapshot_ts) const;
+
+  /// \brief The version pair of row `rid` (tests/monitoring).
+  RowVersion VersionOf(size_t rid) const;
+
+  /// \brief Physically removes versions dead at or before `watermark`
+  /// (no present or future snapshot can see them); returns the count
+  /// reclaimed. A table with no such version returns 0 without
+  /// touching any page.
+  Result<int64_t> GcToWatermark(uint64_t watermark);
+  /// @}
+
   /// \brief Declares a hash index on `column` (built lazily).
   Status CreateHashIndex(size_t column);
 
@@ -148,10 +194,17 @@ class Table {
   BufferPoolManager& pool() { return *pool_; }
 
  private:
+  /// Grows versions_ with {begin_ts, live} entries to match the heap
+  /// after an append.
+  void SyncVersions(uint64_t begin_ts);
+
   std::string name_;
   SchemaPtr schema_;
   BufferPoolPtr pool_;
   PagedHeap heap_;
+  /// Heap-parallel MVCC lifetimes: versions_[rid] belongs to heap row
+  /// rid. Rebuilt in lockstep whenever the heap is compacted.
+  std::vector<RowVersion> versions_;
   uint64_t epoch_ = 0;  ///< bumped on every write
   std::vector<std::unique_ptr<HashIndex>> hash_indexes_;
   std::vector<uint64_t> hash_epochs_;

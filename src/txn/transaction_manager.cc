@@ -1,0 +1,167 @@
+#include "txn/transaction_manager.h"
+
+#include <algorithm>
+
+namespace gisql {
+
+const char* TxnStateName(TxnState s) {
+  switch (s) {
+    case TxnState::kActive:
+      return "active";
+    case TxnState::kCommitted:
+      return "committed";
+    case TxnState::kAborted:
+      return "aborted";
+  }
+  return "?";
+}
+
+TxnInfo& TransactionManager::Begin(double now_ms) {
+  TxnInfo t;
+  t.id = ++next_id_;
+  t.snapshot_ts = ts_counter_;
+  t.begin_ms = now_ms;
+  ++counters_.started;
+  auto [it, inserted] = active_.emplace(t.id, std::move(t));
+  (void)inserted;
+  return it->second;
+}
+
+Result<TxnInfo*> TransactionManager::GetActive(uint64_t id) {
+  auto it = active_.find(id);
+  if (it != active_.end()) return &it->second;
+  // Finished? Name the terminal state so callers learn they were e.g.
+  // chosen as a deadlock victim by someone else's write.
+  for (auto rit = finished_.rbegin(); rit != finished_.rend(); ++rit) {
+    if (rit->id != id) continue;
+    if (rit->state == TxnState::kAborted) {
+      return Status::InvalidArgument("transaction ", id,
+                                     " was aborted: ", rit->abort_reason);
+    }
+    return Status::InvalidArgument("transaction ", id, " already committed");
+  }
+  return Status::InvalidArgument("transaction ", id,
+                                 " is not an active transaction");
+}
+
+void TransactionManager::Finish(uint64_t id, TxnState state,
+                                uint64_t commit_ts, const std::string& reason,
+                                double now_ms) {
+  auto it = active_.find(id);
+  if (it == active_.end()) return;
+  TxnInfo t = std::move(it->second);
+  active_.erase(it);
+  t.state = state;
+  t.commit_ts = commit_ts;
+  t.abort_reason = reason;
+  t.end_ms = now_ms;
+  finished_.push_back(std::move(t));
+  if (finished_.size() > kMaxFinishedRetained) finished_.pop_front();
+  // The transaction can no longer wait on anyone, and nobody gains by
+  // keeping stale edges toward it (waiters re-report on retry).
+  waits_for_.erase(id);
+  for (auto& [waiter, holders] : waits_for_) holders.erase(id);
+}
+
+void TransactionManager::MarkCommitted(uint64_t id, uint64_t commit_ts,
+                                       double now_ms) {
+  ++counters_.committed;
+  Finish(id, TxnState::kCommitted, commit_ts, "", now_ms);
+}
+
+void TransactionManager::MarkAborted(uint64_t id, const std::string& reason,
+                                     double now_ms) {
+  ++counters_.aborted;
+  Finish(id, TxnState::kAborted, 0, reason, now_ms);
+}
+
+uint64_t TransactionManager::Watermark() const {
+  uint64_t w = ts_counter_;
+  for (const auto& [id, t] : active_) w = std::min(w, t.snapshot_ts);
+  if (!pins_.empty()) w = std::min(w, *pins_.begin());
+  return w;
+}
+
+uint64_t TransactionManager::PinSnapshot() {
+  pins_.insert(ts_counter_);
+  return ts_counter_;
+}
+
+void TransactionManager::UnpinSnapshot(uint64_t ts) {
+  auto it = pins_.find(ts);
+  if (it != pins_.end()) pins_.erase(it);
+}
+
+void TransactionManager::OnConflict(uint64_t waiter,
+                                    const std::vector<uint64_t>& holders) {
+  auto& edges = waits_for_[waiter];
+  for (uint64_t h : holders) {
+    if (h != waiter) edges.insert(h);
+  }
+}
+
+void TransactionManager::ClearWaits(uint64_t waiter) {
+  waits_for_.erase(waiter);
+}
+
+uint64_t TransactionManager::DetectCycleVictim(uint64_t from) {
+  // Iterative DFS over the (small) waits-for graph looking for a path
+  // from `from` back to itself. std::set edges make visit order — and
+  // therefore the discovered cycle — deterministic.
+  std::vector<uint64_t> path{from};
+  std::set<uint64_t> on_path{from};
+  std::set<uint64_t> done;
+  // frame: (node, iterator position into its edge set by index)
+  struct Frame {
+    uint64_t node;
+    std::set<uint64_t>::const_iterator next;
+    std::set<uint64_t>::const_iterator end;
+  };
+  std::vector<Frame> stack;
+  auto push = [&](uint64_t node) {
+    auto it = waits_for_.find(node);
+    if (it == waits_for_.end()) {
+      stack.push_back({node, {}, {}});
+      stack.back().next = stack.back().end;
+    } else {
+      stack.push_back({node, it->second.begin(), it->second.end()});
+    }
+  };
+  push(from);
+  while (!stack.empty()) {
+    Frame& f = stack.back();
+    if (f.next == f.end) {
+      done.insert(f.node);
+      on_path.erase(f.node);
+      if (!path.empty() && path.back() == f.node) path.pop_back();
+      stack.pop_back();
+      continue;
+    }
+    const uint64_t nxt = *f.next;
+    ++f.next;
+    if (nxt == from) {
+      // Cycle: every node currently on the DFS path participates.
+      uint64_t victim = from;
+      for (uint64_t n : path) victim = std::max(victim, n);
+      ++counters_.deadlocks;
+      return victim;
+    }
+    if (on_path.count(nxt) || done.count(nxt)) continue;
+    on_path.insert(nxt);
+    path.push_back(nxt);
+    push(nxt);
+  }
+  return 0;
+}
+
+std::vector<TxnInfo> TransactionManager::Snapshot() const {
+  std::vector<TxnInfo> out;
+  out.reserve(active_.size() + finished_.size());
+  for (const auto& [id, t] : active_) out.push_back(t);
+  for (const auto& t : finished_) out.push_back(t);
+  std::sort(out.begin(), out.end(),
+            [](const TxnInfo& a, const TxnInfo& b) { return a.id < b.id; });
+  return out;
+}
+
+}  // namespace gisql

@@ -1,0 +1,147 @@
+/// \file transaction_manager.h
+/// \brief Mediator-side coordinator for distributed snapshot isolation.
+///
+/// The mediator owns the global timestamp domain: Begin hands out a
+/// snapshot timestamp (the newest committed timestamp), Commit
+/// allocates the next one. Component sources stamp committed row
+/// versions with [begin_ts, end_ts) from these timestamps, so a
+/// transaction reading at snapshot S sees exactly the rows with
+/// begin_ts <= S < end_ts — repeatable reads across autonomous
+/// sources without blocking writers (DESIGN.md "Concurrency control").
+///
+/// The manager also keeps the *global* waits-for graph. Sources never
+/// wait (their LockManager answers conflict-or-grant immediately); the
+/// mediator records waiter → holder edges from conflict reports,
+/// detects cycles by DFS, and deterministically picks the youngest
+/// participant (highest txn id) as the victim — ids come from a
+/// monotonic per-system counter, so same-seed replays abort the same
+/// transactions.
+///
+/// The watermark is the oldest timestamp any live reader (active
+/// transaction or pinned cursor snapshot) could still observe;
+/// versions that died at or before it are unreachable and safe to
+/// garbage-collect at the sources.
+
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace gisql {
+
+enum class TxnState : uint8_t { kActive = 0, kCommitted = 1, kAborted = 2 };
+
+const char* TxnStateName(TxnState s);
+
+/// \brief Coordinator bookkeeping for one global transaction.
+struct TxnInfo {
+  uint64_t id = 0;
+  TxnState state = TxnState::kActive;
+  uint64_t snapshot_ts = 0;  ///< reads observe commits <= this
+  uint64_t commit_ts = 0;    ///< 0 until committed
+  int64_t statements = 0;    ///< writes prepared + snapshot reads run
+  std::set<std::string> participants;  ///< sources holding staged writes
+  int64_t lock_waits = 0;    ///< conflict reports received
+  std::string abort_reason;  ///< empty unless aborted
+  double begin_ms = 0.0;     ///< simulated clock at Begin
+  double end_ms = 0.0;       ///< simulated clock at Commit/Abort
+};
+
+/// \brief Monotonic cumulative counters (exported as gisql_txn_*).
+struct TxnCounters {
+  int64_t started = 0;
+  int64_t committed = 0;
+  int64_t aborted = 0;
+  int64_t deadlocks = 0;   ///< cycles resolved by aborting a victim
+  int64_t lock_waits = 0;  ///< conflict reports across all txns
+};
+
+class TransactionManager {
+ public:
+  /// \brief Opens a transaction reading at the newest committed
+  /// timestamp. Ids are monotonic from 1; the returned reference stays
+  /// valid until the transaction leaves the active set.
+  TxnInfo& Begin(double now_ms);
+
+  /// \brief The active transaction `id`, or InvalidArgument naming its
+  /// terminal state (with the abort reason) when it already finished.
+  Result<TxnInfo*> GetActive(uint64_t id);
+
+  /// \brief Allocates the commit timestamp (advances the domain).
+  uint64_t AllocateCommitTs() { return ++ts_counter_; }
+
+  /// \brief Moves an active transaction to the finished ring as
+  /// committed and clears its waits-for edges.
+  void MarkCommitted(uint64_t id, uint64_t commit_ts, double now_ms);
+
+  /// \brief Same, as aborted with a reason.
+  void MarkAborted(uint64_t id, const std::string& reason, double now_ms);
+
+  /// \name Snapshot watermark
+  /// @{
+
+  /// \brief Oldest snapshot any live reader could still observe: the
+  /// minimum over active transactions and pinned cursor snapshots, or
+  /// the current timestamp when nothing is live. Versions with
+  /// end_ts <= watermark are invisible to every present and future
+  /// snapshot (new snapshots only move forward) and may be collected.
+  uint64_t Watermark() const;
+
+  /// \brief Pins the current timestamp on behalf of a long-lived
+  /// reader (an open cursor); returns the pinned value. The watermark
+  /// cannot pass a pin until UnpinSnapshot releases it.
+  uint64_t PinSnapshot();
+  void UnpinSnapshot(uint64_t ts);
+  size_t pinned_snapshots() const { return pins_.size(); }
+  /// @}
+
+  /// \name Waits-for graph (deadlock detection)
+  /// @{
+
+  /// \brief Records waiter → holder edges from one conflict report.
+  void OnConflict(uint64_t waiter, const std::vector<uint64_t>& holders);
+
+  /// \brief Drops the waiter's outgoing edges (it was granted, gave
+  /// up, or ended).
+  void ClearWaits(uint64_t waiter);
+
+  /// \brief DFS from `from`; when a cycle through `from` exists,
+  /// returns the deterministic victim — the highest (youngest) txn id
+  /// on the cycle — and counts a deadlock. Returns 0 when acyclic.
+  uint64_t DetectCycleVictim(uint64_t from);
+  /// @}
+
+  /// \brief All transactions — active plus the bounded finished ring —
+  /// sorted by id (the gis.transactions order).
+  std::vector<TxnInfo> Snapshot() const;
+
+  uint64_t current_ts() const { return ts_counter_; }
+  size_t active_count() const { return active_.size(); }
+  const TxnCounters& counters() const { return counters_; }
+  void CountLockWait() { ++counters_.lock_waits; }
+
+  /// \brief Finished transactions retained for gis.transactions.
+  static constexpr size_t kMaxFinishedRetained = 256;
+
+ private:
+  void Finish(uint64_t id, TxnState state, uint64_t commit_ts,
+              const std::string& reason, double now_ms);
+
+  uint64_t next_id_ = 0;
+  /// Timestamp domain; starts at 1 so a transactional snapshot is
+  /// never 0 (0 on the wire means "read latest committed").
+  uint64_t ts_counter_ = 1;
+  std::map<uint64_t, TxnInfo> active_;
+  std::deque<TxnInfo> finished_;
+  std::multiset<uint64_t> pins_;
+  std::map<uint64_t, std::set<uint64_t>> waits_for_;
+  TxnCounters counters_;
+};
+
+}  // namespace gisql

@@ -477,6 +477,8 @@ void WriteFragment(ByteWriter* w, const FragmentPlan& frag) {
     w->PutBool(frag.join_inner_filter != nullptr);
     if (frag.join_inner_filter) WriteExpr(w, *frag.join_inner_filter);
   }
+  w->PutVarint(frag.snapshot_ts);
+  w->PutVarint(frag.txn_id);
 }
 
 Result<FragmentPlan> ReadFragment(ByteReader* r) {
@@ -543,6 +545,8 @@ Result<FragmentPlan> ReadFragment(ByteReader* r) {
       GISQL_ASSIGN_OR_RETURN(frag.join_inner_filter, ReadExpr(r));
     }
   }
+  GISQL_ASSIGN_OR_RETURN(frag.snapshot_ts, r->GetVarint());
+  GISQL_ASSIGN_OR_RETURN(frag.txn_id, r->GetVarint());
   return frag;
 }
 

@@ -468,6 +468,53 @@ TEST(CursorSystemTest, ExpiredLeaseReleasesGrantAndSourceStaging) {
   EXPECT_EQ(snap->batch.rows()[0][0].AsString(), "expired");
 }
 
+TEST(CursorSystemTest, ExpiredLeaseReleasesSnapshotPinWithGrant) {
+  // Regression: lazy lease expiry must be transactional. An open
+  // cursor pins its MVCC snapshot (holding the GC watermark back) in
+  // addition to its memory grant and source staging; the sweep used to
+  // be specified only over the latter two. Expiring a cursor must
+  // release the spool grant and the version-chain pin *together* —
+  // otherwise the watermark never advances and dead versions
+  // accumulate for the lifetime of the process.
+  GlobalSystem gis;
+  Build(&gis, /*big_rows=*/300);
+  GlobalSystem::CursorOptions copts;
+  copts.chunk_rows = 16;
+  copts.lease_ms = 10.0;
+  ASSERT_EQ(gis.transactions().pinned_snapshots(), 0u);
+  auto id = gis.OpenCursor("SELECT oid FROM orders", copts);
+  ASSERT_TRUE(id.ok()) << id.status().ToString();
+  EXPECT_EQ(gis.transactions().pinned_snapshots(), 1u);
+  const uint64_t pinned = gis.transactions().Watermark();
+
+  // Advance the timestamp domain: the pin holds the watermark still.
+  gis.transactions().AllocateCommitTs();
+  gis.transactions().AllocateCommitTs();
+  EXPECT_EQ(gis.transactions().Watermark(), pinned);
+
+  // Park the client far past the lease, then trip the lazy sweep.
+  GlobalSystem::SubmitOptions late;
+  late.arrival_ms = 100000.0;
+  ASSERT_TRUE(gis.Submit("SELECT COUNT(*) FROM clients", late).ok());
+  auto r = gis.FetchChunk(*id);
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("expired"), std::string::npos)
+      << r.status().ToString();
+
+  // Pin and grant went together: watermark freed, memory back to the
+  // resident floor.
+  EXPECT_EQ(gis.transactions().pinned_snapshots(), 0u);
+  EXPECT_GT(gis.transactions().Watermark(), pinned);
+  EXPECT_EQ(gis.governor().memory().in_use(), gis.BufferPoolResidentBytes());
+
+  // The explicit-close path unpins identically.
+  auto id2 = gis.OpenCursor("SELECT oid FROM orders", copts);
+  ASSERT_TRUE(id2.ok());
+  EXPECT_EQ(gis.transactions().pinned_snapshots(), 1u);
+  ASSERT_TRUE(gis.CloseCursor(*id2).ok());
+  EXPECT_EQ(gis.transactions().pinned_snapshots(), 0u);
+}
+
 TEST(CursorSystemTest, OpenCursorCapShedsBeforeAdmission) {
   PlannerOptions options;
   options.cursor_max_open = 2;

@@ -1,0 +1,494 @@
+/// Tests for MVCC snapshot isolation and the deadlock-detecting lock
+/// manager: row-version visibility and watermark GC at the storage
+/// layer, the lock compatibility matrix, the mediator's transaction
+/// manager (timestamps, waits-for graph, deterministic victims), and
+/// the end-to-end GlobalSystem transaction API (snapshot reads,
+/// read-your-writes, transactional DELETE, write-write conflicts,
+/// deadlock resolution, gis.transactions / Prometheus observability).
+
+#include <gtest/gtest.h>
+
+#include "core/global_system.h"
+#include "storage/table.h"
+#include "txn/lock_manager.h"
+#include "txn/transaction_manager.h"
+
+namespace gisql {
+namespace {
+
+SchemaPtr AccountsSchema() {
+  return std::make_shared<Schema>(
+      std::vector<Field>{{"id", TypeId::kInt64, false, "accounts"},
+                         {"bal", TypeId::kDouble, true, "accounts"}});
+}
+
+// ---------------------------------------------------------------------------
+// Storage layer: row versions.
+
+TEST(RowVersionTest, LegacyInsertsVisibleToEverySnapshot) {
+  auto table = std::make_shared<Table>("accounts", AccountsSchema());
+  ASSERT_TRUE(table->Insert({Value::Int(1), Value::Double(10)}).ok());
+  // Bootstrap rows are born at timestamp 0: visible at "latest" (0) and
+  // at any transactional snapshot.
+  EXPECT_TRUE(table->VisibleAt(0, 0));
+  EXPECT_TRUE(table->VisibleAt(0, 1));
+  EXPECT_TRUE(table->VisibleAt(0, 1000));
+  const RowVersion v = table->VersionOf(0);
+  EXPECT_EQ(v.begin_ts, 0u);
+  EXPECT_EQ(v.end_ts, kMaxTimestamp);
+}
+
+TEST(RowVersionTest, VersionedInsertInvisibleToOlderSnapshots) {
+  auto table = std::make_shared<Table>("accounts", AccountsSchema());
+  ASSERT_TRUE(
+      table->InsertVersioned({{Value::Int(1), Value::Double(10)}}, 5).ok());
+  EXPECT_FALSE(table->VisibleAt(0, 4));  // began before the row existed
+  EXPECT_TRUE(table->VisibleAt(0, 5));
+  EXPECT_TRUE(table->VisibleAt(0, 6));
+  EXPECT_TRUE(table->VisibleAt(0, 0));  // latest-committed read
+}
+
+TEST(RowVersionTest, DeleteEndsVisibilityAtCommitTimestamp) {
+  auto table = std::make_shared<Table>("accounts", AccountsSchema());
+  ASSERT_TRUE(table->Insert({Value::Int(1), Value::Double(10)}).ok());
+  table->MarkDeleted(0, 7);
+  EXPECT_TRUE(table->VisibleAt(0, 6));   // snapshot before the delete
+  EXPECT_FALSE(table->VisibleAt(0, 7));  // end_ts is exclusive
+  EXPECT_FALSE(table->VisibleAt(0, 0));  // gone at latest
+}
+
+TEST(RowVersionTest, MarkDeletedIsFirstCommitterWins) {
+  auto table = std::make_shared<Table>("accounts", AccountsSchema());
+  ASSERT_TRUE(table->Insert({Value::Int(1), Value::Double(10)}).ok());
+  table->MarkDeleted(0, 5);
+  table->MarkDeleted(0, 9);  // second committer must not overwrite
+  EXPECT_EQ(table->VersionOf(0).end_ts, 5u);
+}
+
+TEST(RowVersionTest, GcReclaimsVersionsBelowWatermark) {
+  auto table = std::make_shared<Table>("accounts", AccountsSchema());
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(
+        table->Insert({Value::Int(i), Value::Double(i)}).ok());
+  }
+  table->MarkDeleted(0, 3);
+  table->MarkDeleted(1, 8);
+  // Watermark 5: the version dead at 3 is unreachable, the one dead at
+  // 8 could still be seen by a snapshot in (5, 8).
+  auto removed = table->GcToWatermark(5);
+  ASSERT_TRUE(removed.ok());
+  EXPECT_EQ(*removed, 1);
+  EXPECT_EQ(table->num_rows(), 3);
+  // Rows compacted in order; versions move in lockstep with the heap.
+  EXPECT_EQ(table->VersionOf(0).end_ts, 8u);
+  EXPECT_FALSE(table->VisibleAt(0, 9));
+  EXPECT_TRUE(table->VisibleAt(1, 0));
+  // Nothing left to collect at the same watermark.
+  auto again = table->GcToWatermark(5);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(*again, 0);
+}
+
+// ---------------------------------------------------------------------------
+// Lock manager.
+
+TEST(LockManagerTest, CompatibilityMatrix) {
+  using M = LockMode;
+  // X conflicts with everything; IS coexists with everything but X;
+  // S/S and IX/IX coexist; S/IX conflict.
+  EXPECT_FALSE(LockModesCompatible(M::kExclusive, M::kExclusive));
+  EXPECT_FALSE(LockModesCompatible(M::kExclusive, M::kShared));
+  EXPECT_FALSE(LockModesCompatible(M::kShared, M::kExclusive));
+  EXPECT_FALSE(LockModesCompatible(M::kIntentShared, M::kExclusive));
+  EXPECT_TRUE(LockModesCompatible(M::kIntentShared, M::kIntentShared));
+  EXPECT_TRUE(LockModesCompatible(M::kIntentShared, M::kIntentExclusive));
+  EXPECT_TRUE(LockModesCompatible(M::kIntentShared, M::kShared));
+  EXPECT_TRUE(LockModesCompatible(M::kShared, M::kShared));
+  EXPECT_TRUE(
+      LockModesCompatible(M::kIntentExclusive, M::kIntentExclusive));
+  EXPECT_FALSE(LockModesCompatible(M::kShared, M::kIntentExclusive));
+  EXPECT_FALSE(LockModesCompatible(M::kIntentExclusive, M::kShared));
+}
+
+TEST(LockManagerTest, ConflictReportsHolders) {
+  LockManager locks;
+  EXPECT_TRUE(locks.LockRow(1, "t", 42, LockMode::kExclusive).granted);
+  EXPECT_TRUE(locks.LockRow(2, "t", 42, LockMode::kExclusive).granted ==
+              false);
+  LockAcquisition a = locks.LockRow(2, "t", 42, LockMode::kExclusive);
+  ASSERT_EQ(a.holders.size(), 1u);
+  EXPECT_EQ(a.holders[0], 1u);
+  // Different key, same table: no conflict.
+  EXPECT_TRUE(locks.LockRow(2, "t", 43, LockMode::kExclusive).granted);
+}
+
+TEST(LockManagerTest, ReacquireAndUpgrade) {
+  LockManager locks;
+  EXPECT_TRUE(locks.LockTable(1, "t", LockMode::kIntentExclusive).granted);
+  // Idempotent re-acquire and in-place upgrade by the same holder.
+  EXPECT_TRUE(locks.LockTable(1, "t", LockMode::kIntentExclusive).granted);
+  EXPECT_TRUE(locks.LockTable(1, "t", LockMode::kExclusive).granted);
+  // The upgrade to X now blocks an IX from another transaction.
+  EXPECT_FALSE(locks.LockTable(2, "t", LockMode::kIntentExclusive).granted);
+}
+
+TEST(LockManagerTest, ReleaseAllFreesEverything) {
+  LockManager locks;
+  EXPECT_TRUE(locks.LockTable(1, "t", LockMode::kIntentExclusive).granted);
+  EXPECT_TRUE(locks.LockRow(1, "t", 7, LockMode::kExclusive).granted);
+  EXPECT_EQ(locks.HeldBy(1), 2u);
+  locks.ReleaseAll(1);
+  EXPECT_EQ(locks.HeldBy(1), 0u);
+  EXPECT_EQ(locks.LockedResources(), 0u);
+  EXPECT_TRUE(locks.LockRow(2, "t", 7, LockMode::kExclusive).granted);
+}
+
+// ---------------------------------------------------------------------------
+// Transaction manager.
+
+TEST(TransactionManagerTest, MonotonicIdsAndSnapshots) {
+  TransactionManager txns;
+  TxnInfo& t1 = txns.Begin(0.0);
+  TxnInfo& t2 = txns.Begin(1.0);
+  EXPECT_EQ(t1.id, 1u);
+  EXPECT_EQ(t2.id, 2u);
+  EXPECT_GE(t1.snapshot_ts, 1u);  // the domain starts at 1, never 0
+  EXPECT_EQ(t1.snapshot_ts, t2.snapshot_ts);  // no commit in between
+  const uint64_t commit = txns.AllocateCommitTs();
+  txns.MarkCommitted(t1.id, commit, 2.0);
+  EXPECT_GT(txns.Begin(3.0).snapshot_ts, t2.snapshot_ts);
+}
+
+TEST(TransactionManagerTest, GetActiveNamesTerminalStates) {
+  TransactionManager txns;
+  TxnInfo& t = txns.Begin(0.0);
+  const uint64_t id = t.id;
+  ASSERT_TRUE(txns.GetActive(id).ok());
+  txns.MarkAborted(id, "deadlock victim", 1.0);
+  auto gone = txns.GetActive(id);
+  ASSERT_FALSE(gone.ok());
+  EXPECT_NE(gone.status().message().find("deadlock victim"),
+            std::string::npos);
+  EXPECT_FALSE(txns.GetActive(999).ok());
+}
+
+TEST(TransactionManagerTest, WatermarkHeldByOldestReader) {
+  TransactionManager txns;
+  const uint64_t idle = txns.Watermark();  // nothing live: current ts
+  TxnInfo& t1 = txns.Begin(0.0);
+  const uint64_t s1 = t1.snapshot_ts;
+  const uint64_t id1 = t1.id;
+  // Commits advance the domain, but the active reader pins the floor.
+  TxnInfo& t2 = txns.Begin(0.0);
+  txns.MarkCommitted(t2.id, txns.AllocateCommitTs(), 1.0);
+  EXPECT_EQ(txns.Watermark(), s1);
+  txns.MarkCommitted(id1, txns.AllocateCommitTs(), 2.0);
+  EXPECT_GT(txns.Watermark(), s1);
+  EXPECT_GE(txns.Watermark(), idle);
+  // Pinned cursor snapshots hold it back the same way.
+  const uint64_t pin = txns.PinSnapshot();
+  txns.AllocateCommitTs();
+  EXPECT_EQ(txns.Watermark(), pin);
+  txns.UnpinSnapshot(pin);
+  EXPECT_GT(txns.Watermark(), pin);
+}
+
+TEST(TransactionManagerTest, CycleVictimIsYoungest) {
+  TransactionManager txns;
+  TxnInfo& t1 = txns.Begin(0.0);
+  TxnInfo& t2 = txns.Begin(0.0);
+  txns.OnConflict(t1.id, {t2.id});
+  EXPECT_EQ(txns.DetectCycleVictim(t1.id), 0u);  // no cycle yet
+  txns.OnConflict(t2.id, {t1.id});
+  // Both directions recorded: the youngest (highest id) on the cycle
+  // loses, from either starting point.
+  EXPECT_EQ(txns.DetectCycleVictim(t2.id), t2.id);
+  EXPECT_EQ(txns.DetectCycleVictim(t1.id), t2.id);
+  EXPECT_EQ(txns.counters().deadlocks, 2);
+  // Finishing the victim dissolves the cycle.
+  txns.MarkAborted(t2.id, "victim", 1.0);
+  EXPECT_EQ(txns.DetectCycleVictim(t1.id), 0u);
+}
+
+TEST(TransactionManagerTest, ThreeWayCycle) {
+  TransactionManager txns;
+  TxnInfo& t1 = txns.Begin(0.0);
+  TxnInfo& t2 = txns.Begin(0.0);
+  TxnInfo& t3 = txns.Begin(0.0);
+  txns.OnConflict(t1.id, {t2.id});
+  txns.OnConflict(t2.id, {t3.id});
+  EXPECT_EQ(txns.DetectCycleVictim(t3.id), 0u);
+  txns.OnConflict(t3.id, {t1.id});
+  EXPECT_EQ(txns.DetectCycleVictim(t3.id), t3.id);
+}
+
+// ---------------------------------------------------------------------------
+// End to end: GlobalSystem transactions.
+
+class MvccSystemTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    for (const char* name : {"bank_a", "bank_b"}) {
+      ASSERT_TRUE(gis_.CreateSource(name, SourceDialect::kRelational).ok());
+      ASSERT_TRUE(gis_.ExecuteAt(name,
+                                 "CREATE TABLE accounts (id bigint, "
+                                 "bal double)")
+                      .ok());
+      ASSERT_TRUE(
+          gis_.ExecuteAt(name,
+                         "INSERT INTO accounts VALUES (1, 100.0), "
+                         "(2, 200.0)")
+              .ok());
+    }
+    ASSERT_TRUE(gis_.ImportTable("bank_a", "accounts", "acct_a").ok());
+    ASSERT_TRUE(gis_.ImportTable("bank_b", "accounts", "acct_b").ok());
+  }
+
+  int64_t Count(const std::string& table) {
+    auto r = gis_.Query("SELECT COUNT(*) FROM " + table);
+    EXPECT_TRUE(r.ok()) << r.status().ToString();
+    return r->batch.rows()[0][0].AsInt();
+  }
+
+  int64_t CountInTxn(uint64_t txn, const std::string& table) {
+    auto r = gis_.QueryInTxn(txn, "SELECT COUNT(*) FROM " + table);
+    EXPECT_TRUE(r.ok()) << r.status().ToString();
+    return r->batch.rows()[0][0].AsInt();
+  }
+
+  GlobalSystem gis_;
+};
+
+TEST_F(MvccSystemTest, SnapshotReadsAreRepeatable) {
+  auto reader = gis_.BeginTransaction();
+  ASSERT_TRUE(reader.ok());
+  EXPECT_EQ(CountInTxn(*reader, "acct_a"), 2);
+
+  // A concurrent transaction inserts and commits.
+  auto writer = gis_.BeginTransaction();
+  ASSERT_TRUE(writer.ok());
+  ASSERT_TRUE(gis_.TxnWrite(*writer, "bank_a",
+                            "INSERT INTO accounts VALUES (3, 50.0)")
+                  .ok());
+  ASSERT_TRUE(gis_.CommitTransaction(*writer).ok());
+
+  // The reader's snapshot predates the commit: its count is stable.
+  EXPECT_EQ(CountInTxn(*reader, "acct_a"), 2);
+  // Latest-committed reads and a fresh snapshot both see the new row.
+  EXPECT_EQ(Count("acct_a"), 3);
+  auto fresh = gis_.BeginTransaction();
+  ASSERT_TRUE(fresh.ok());
+  EXPECT_EQ(CountInTxn(*fresh, "acct_a"), 3);
+  ASSERT_TRUE(gis_.CommitTransaction(*reader).ok());
+  ASSERT_TRUE(gis_.CommitTransaction(*fresh).ok());
+}
+
+TEST_F(MvccSystemTest, ReadYourOwnStagedWrites) {
+  auto txn = gis_.BeginTransaction();
+  ASSERT_TRUE(txn.ok());
+  ASSERT_TRUE(gis_.TxnWrite(*txn, "bank_a",
+                            "INSERT INTO accounts VALUES (3, 50.0)")
+                  .ok());
+  // Uncommitted: invisible outside, visible inside the transaction.
+  EXPECT_EQ(Count("acct_a"), 2);
+  EXPECT_EQ(CountInTxn(*txn, "acct_a"), 3);
+  // The overlay respects predicates too.
+  auto r = gis_.QueryInTxn(
+      *txn, "SELECT COUNT(*) FROM acct_a WHERE bal < 60.0");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->batch.rows()[0][0].AsInt(), 1);
+  ASSERT_TRUE(gis_.CommitTransaction(*txn).ok());
+  EXPECT_EQ(Count("acct_a"), 3);
+}
+
+TEST_F(MvccSystemTest, TransactionalDeleteWithSnapshotPredicate) {
+  auto txn = gis_.BeginTransaction();
+  ASSERT_TRUE(txn.ok());
+  ASSERT_TRUE(
+      gis_.TxnWrite(*txn, "bank_a", "DELETE FROM accounts WHERE id = 1")
+          .ok());
+  // Staged delete: hidden inside the transaction, intact outside.
+  EXPECT_EQ(CountInTxn(*txn, "acct_a"), 1);
+  EXPECT_EQ(Count("acct_a"), 2);
+  ASSERT_TRUE(gis_.CommitTransaction(*txn).ok());
+  EXPECT_EQ(Count("acct_a"), 1);
+}
+
+TEST_F(MvccSystemTest, CommittedDeleteStaysVisibleToOlderSnapshot) {
+  auto reader = gis_.BeginTransaction();
+  ASSERT_TRUE(reader.ok());
+  auto deleter = gis_.BeginTransaction();
+  ASSERT_TRUE(deleter.ok());
+  ASSERT_TRUE(
+      gis_.TxnWrite(*deleter, "bank_a", "DELETE FROM accounts WHERE id = 1")
+          .ok());
+  ASSERT_TRUE(gis_.CommitTransaction(*deleter).ok());
+  EXPECT_EQ(Count("acct_a"), 1);
+  // The older snapshot still sees the deleted row's version.
+  EXPECT_EQ(CountInTxn(*reader, "acct_a"), 2);
+  ASSERT_TRUE(gis_.CommitTransaction(*reader).ok());
+}
+
+TEST_F(MvccSystemTest, WriteWriteConflictAbortsSecondDeleter) {
+  auto t1 = gis_.BeginTransaction();
+  auto t2 = gis_.BeginTransaction();
+  ASSERT_TRUE(t1.ok());
+  ASSERT_TRUE(t2.ok());
+  ASSERT_TRUE(
+      gis_.TxnWrite(*t1, "bank_a", "DELETE FROM accounts WHERE id = 1")
+          .ok());
+  ASSERT_TRUE(gis_.CommitTransaction(*t1).ok());
+  // t2's snapshot still sees the row, but it is already dead at
+  // latest: first committer wins, the loser aborts.
+  Status st =
+      gis_.TxnWrite(*t2, "bank_a", "DELETE FROM accounts WHERE id = 1");
+  EXPECT_TRUE(st.IsExecutionError()) << st.ToString();
+  EXPECT_NE(st.message().find("write-write conflict"), std::string::npos);
+  // The transaction was auto-aborted; further use reports that.
+  EXPECT_FALSE(gis_.QueryInTxn(*t2, "SELECT id FROM acct_a").ok());
+}
+
+TEST_F(MvccSystemTest, LockConflictWouldBlockWithoutDeadlock) {
+  auto t1 = gis_.BeginTransaction();
+  auto t2 = gis_.BeginTransaction();
+  ASSERT_TRUE(t1.ok());
+  ASSERT_TRUE(t2.ok());
+  ASSERT_TRUE(gis_.TxnWrite(*t1, "bank_a",
+                            "INSERT INTO accounts VALUES (3, 1.0)")
+                  .ok());
+  // Same first-column key hash → same row lock: t2 would block.
+  Status st = gis_.TxnWrite(*t2, "bank_a",
+                            "INSERT INTO accounts VALUES (3, 2.0)");
+  EXPECT_TRUE(st.IsOverloaded()) << st.ToString();
+  // t2 stays alive; after t1 commits, the retry succeeds.
+  ASSERT_TRUE(gis_.CommitTransaction(*t1).ok());
+  EXPECT_TRUE(gis_.TxnWrite(*t2, "bank_a",
+                            "INSERT INTO accounts VALUES (3, 2.0)")
+                  .ok());
+  ASSERT_TRUE(gis_.CommitTransaction(*t2).ok());
+  EXPECT_EQ(Count("acct_a"), 4);
+}
+
+TEST_F(MvccSystemTest, DeadlockAbortsYoungestDeterministically) {
+  auto t1 = gis_.BeginTransaction();
+  auto t2 = gis_.BeginTransaction();
+  ASSERT_TRUE(t1.ok());
+  ASSERT_TRUE(t2.ok());
+  // t1 locks key 1 at bank_a, t2 locks key 2 at bank_b.
+  ASSERT_TRUE(gis_.TxnWrite(*t1, "bank_a",
+                            "INSERT INTO accounts VALUES (1, 1.0)")
+                  .ok());
+  ASSERT_TRUE(gis_.TxnWrite(*t2, "bank_b",
+                            "INSERT INTO accounts VALUES (2, 2.0)")
+                  .ok());
+  // t1 now wants t2's lock: records the edge, no cycle yet.
+  Status st = gis_.TxnWrite(*t1, "bank_b",
+                            "INSERT INTO accounts VALUES (2, 1.0)");
+  EXPECT_TRUE(st.IsOverloaded()) << st.ToString();
+  // t2 wants t1's lock: closes the cycle. t2 is the youngest → victim.
+  st = gis_.TxnWrite(*t2, "bank_a", "INSERT INTO accounts VALUES (1, 2.0)");
+  EXPECT_TRUE(st.IsExecutionError()) << st.ToString();
+  EXPECT_NE(st.message().find("deadlock"), std::string::npos);
+  EXPECT_FALSE(gis_.QueryInTxn(*t2, "SELECT id FROM acct_a").ok());
+  // The survivor's retry now succeeds and it commits both writes.
+  EXPECT_TRUE(gis_.TxnWrite(*t1, "bank_b",
+                            "INSERT INTO accounts VALUES (2, 1.0)")
+                  .ok());
+  ASSERT_TRUE(gis_.CommitTransaction(*t1).ok());
+  EXPECT_EQ(gis_.transactions().counters().deadlocks, 1);
+}
+
+TEST_F(MvccSystemTest, BeginShedsPastMaxActive) {
+  PlannerOptions opts = gis_.options();
+  opts.txn_max_active = 2;
+  gis_.set_options(opts);
+  auto t1 = gis_.BeginTransaction();
+  auto t2 = gis_.BeginTransaction();
+  ASSERT_TRUE(t1.ok());
+  ASSERT_TRUE(t2.ok());
+  auto t3 = gis_.BeginTransaction();
+  ASSERT_FALSE(t3.ok());
+  EXPECT_TRUE(t3.status().IsOverloaded());
+  ASSERT_TRUE(gis_.AbortTransaction(*t1).ok());
+  EXPECT_TRUE(gis_.BeginTransaction().ok());
+}
+
+TEST_F(MvccSystemTest, WatermarkGcReclaimsDeletedVersions) {
+  ComponentSource* src = *gis_.GetSource("bank_a");
+  auto t1 = gis_.BeginTransaction();
+  ASSERT_TRUE(t1.ok());
+  ASSERT_TRUE(
+      gis_.TxnWrite(*t1, "bank_a", "DELETE FROM accounts WHERE id = 1")
+          .ok());
+  ASSERT_TRUE(gis_.CommitTransaction(*t1).ok());
+  // No readers are left behind: the commit's piggybacked watermark
+  // already collected the dead version at the source.
+  auto table = src->engine().GetTable("accounts");
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ((*table)->num_rows(), 1);
+  EXPECT_EQ(Count("acct_a"), 1);
+}
+
+TEST_F(MvccSystemTest, TransactionsVirtualTable) {
+  auto t1 = gis_.BeginTransaction();
+  ASSERT_TRUE(t1.ok());
+  ASSERT_TRUE(gis_.TxnWrite(*t1, "bank_a",
+                            "INSERT INTO accounts VALUES (3, 5.0)")
+                  .ok());
+  ASSERT_TRUE(gis_.CommitTransaction(*t1).ok());
+  auto r = gis_.Query(
+      "SELECT id, state, participants FROM gis.transactions");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_GE(r->batch.num_rows(), 1u);
+  bool found = false;
+  for (const auto& row : r->batch.rows()) {
+    if (row[0].AsInt() == static_cast<int64_t>(*t1)) {
+      EXPECT_EQ(row[1].AsString(), "committed");
+      EXPECT_EQ(row[2].AsString(), "bank_a");
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST_F(MvccSystemTest, PrometheusExportsTxnSeries) {
+  auto t1 = gis_.BeginTransaction();
+  ASSERT_TRUE(t1.ok());
+  ASSERT_TRUE(gis_.TxnWrite(*t1, "bank_a",
+                            "INSERT INTO accounts VALUES (3, 5.0)")
+                  .ok());
+  ASSERT_TRUE(gis_.CommitTransaction(*t1).ok());
+  const std::string out = gis_.ExportPrometheus();
+  EXPECT_NE(out.find("gisql_txn_started_total"), std::string::npos);
+  EXPECT_NE(out.find("gisql_txn_committed_total"), std::string::npos);
+  EXPECT_NE(out.find("gisql_txn_aborted_total"), std::string::npos);
+  EXPECT_NE(out.find("gisql_txn_deadlocks_total"), std::string::npos);
+  EXPECT_NE(out.find("gisql_txn_lock_waits_total"), std::string::npos);
+  EXPECT_NE(out.find("gisql_txn_watermark"), std::string::npos);
+  EXPECT_NE(out.find("gisql_txn_active"), std::string::npos);
+}
+
+TEST_F(MvccSystemTest, AbortDropsStagedWritesAndLocks) {
+  ComponentSource* src = *gis_.GetSource("bank_a");
+  auto t1 = gis_.BeginTransaction();
+  ASSERT_TRUE(t1.ok());
+  ASSERT_TRUE(gis_.TxnWrite(*t1, "bank_a",
+                            "INSERT INTO accounts VALUES (3, 5.0)")
+                  .ok());
+  EXPECT_EQ(src->pending_txns(), 1u);
+  EXPECT_GT(src->locks().LockedResources(), 0u);
+  ASSERT_TRUE(gis_.AbortTransaction(*t1).ok());
+  EXPECT_EQ(src->pending_txns(), 0u);
+  EXPECT_EQ(src->locks().LockedResources(), 0u);
+  EXPECT_EQ(Count("acct_a"), 2);
+  // A fresh transaction is free to take the same locks.
+  auto t2 = gis_.BeginTransaction();
+  ASSERT_TRUE(t2.ok());
+  EXPECT_TRUE(gis_.TxnWrite(*t2, "bank_a",
+                            "INSERT INTO accounts VALUES (3, 5.0)")
+                  .ok());
+  ASSERT_TRUE(gis_.CommitTransaction(*t2).ok());
+}
+
+}  // namespace
+}  // namespace gisql

@@ -474,6 +474,50 @@ TEST_F(PlannerTest, RangeSelectivityInterpolates) {
   EXPECT_NEAR(filtered, 500.0, 100.0);
 }
 
+TEST_F(PlannerTest, EmptyRangeOnSinglePointColumnEstimatesZero) {
+  // Regression: a column whose statistics collapse to a single point
+  // (min == max) used to be treated like corrupt bounds and fall back
+  // to the default 1/3 range selectivity — even when the bounds
+  // resolved exactly and the range is provably empty. 40 rows keeps
+  // the column below the histogram threshold so the min/max
+  // interpolation path (where the bug lived) is the one exercised.
+  auto s4 = *gis_.CreateSource("s4", SourceDialect::kRelational);
+  ASSERT_TRUE(
+      s4->ExecuteLocalSql("CREATE TABLE flat (k bigint, v double)").ok());
+  auto t = *s4->engine().GetTable("flat");
+  std::vector<Row> rows;
+  for (int i = 0; i < 40; ++i) {
+    rows.push_back({Value::Int(i), Value::Double(5.0)});
+  }
+  ASSERT_TRUE(t->InsertUnchecked(std::move(rows)).ok());
+  ASSERT_TRUE(gis_.ImportSource("s4").ok());
+
+  CostParams params;
+  CostModel cost(gis_.catalog(), params);
+  LogicalPlanner planner(gis_.catalog());
+  auto estimate = [&](const std::string& sql) {
+    auto stmt = sql::ParseSelect(sql);
+    EXPECT_TRUE(stmt.ok()) << stmt.status().ToString();
+    auto plan = planner.Plan(**stmt);
+    EXPECT_TRUE(plan.ok()) << plan.status().ToString();
+    cost.Annotate(*plan);
+    double filtered = -1;
+    VisitPlan(*plan, [&](const PlanNodePtr& node) {
+      if (node->kind == PlanKind::kFilter) filtered = node->est_rows;
+    });
+    return filtered;
+  };
+  // Every row holds v = 5.0: strict comparisons against 5.0 are
+  // provably empty (~0 rows, not 40/3), the inclusive ones are total.
+  EXPECT_NEAR(estimate("SELECT k FROM flat WHERE v < 5.0"), 0.0, 1.0);
+  EXPECT_NEAR(estimate("SELECT k FROM flat WHERE v > 5.0"), 0.0, 1.0);
+  EXPECT_NEAR(estimate("SELECT k FROM flat WHERE v <= 5.0"), 40.0, 1.0);
+  EXPECT_NEAR(estimate("SELECT k FROM flat WHERE v >= 5.0"), 40.0, 1.0);
+  // Off-point bounds stay exact as well.
+  EXPECT_NEAR(estimate("SELECT k FROM flat WHERE v < 9.0"), 40.0, 1.0);
+  EXPECT_NEAR(estimate("SELECT k FROM flat WHERE v > 9.0"), 0.0, 1.0);
+}
+
 TEST_F(PlannerTest, EstimatesSurviveDecomposition) {
   auto plan = PlanOf("SELECT c FROM large WHERE m = 7");
   VisitPlan(plan, [&](const PlanNodePtr& node) {
