@@ -89,11 +89,11 @@ int main() {
   }
   gis->set_options(PlannerOptions::Full());
   const HistogramSnapshot lat = gis->metrics().SnapshotHistogram("query.ms");
-  std::printf("%8s %10s %10s %10s %10s %10s\n", "queries", "p50_ms",
-              "p95_ms", "p99_ms", "max_ms", "mean_ms");
-  std::printf("%8lld %10.2f %10.2f %10.2f %10.2f %10.2f\n",
+  std::printf("%8s %10s %10s %10s %10s %10s %10s\n", "queries", "p50_ms",
+              "p95_ms", "p99_ms", "p999_ms", "max_ms", "mean_ms");
+  std::printf("%8lld %10.2f %10.2f %10.2f %10.2f %10.2f %10.2f\n",
               static_cast<long long>(lat.count), lat.p50, lat.p95, lat.p99,
-              lat.max, lat.count > 0 ? lat.sum / lat.count : 0.0);
+              lat.p999, lat.max, lat.count > 0 ? lat.sum / lat.count : 0.0);
   const HistogramSnapshot rpc = gis->metrics().SnapshotHistogram("query.bytes");
   std::printf("received/query: p50 %.1f KiB, p95 %.1f KiB, max %.1f KiB\n",
               rpc.p50 / 1024.0, rpc.p95 / 1024.0, rpc.max / 1024.0);

@@ -12,9 +12,10 @@ bool IsSystemTableName(const std::string& name) {
 }
 
 std::vector<std::string> SystemTableNames() {
-  return {"gis.admission", "gis.cursors", "gis.gauges",
-          "gis.histograms", "gis.metrics", "gis.queries",
-          "gis.sources",    "gis.storage", "gis.transactions"};
+  return {"gis.admission",    "gis.cursors",      "gis.gauges",
+          "gis.histograms",   "gis.incidents",    "gis.metrics",
+          "gis.queries",      "gis.slo",          "gis.sources",
+          "gis.storage",      "gis.tenants",      "gis.transactions"};
 }
 
 Result<SchemaPtr> SystemTableSchema(const std::string& name) {
@@ -145,6 +146,62 @@ Result<SchemaPtr> SystemTableSchema(const std::string& name) {
         {"p50", TypeId::kDouble, false},
         {"p95", TypeId::kDouble, false},
         {"p99", TypeId::kDouble, false},
+        {"p999", TypeId::kDouble, false},
+    });
+  }
+  if (lower == "gis.tenants") {
+    // One row per tracked tenant (sorted by name; "~other" absorbs
+    // tenants past the tracking bound). Column sums over this table
+    // equal the accountant's grand totals exactly.
+    return std::make_shared<Schema>(std::vector<Field>{
+        {"tenant", TypeId::kString, false},
+        {"queries", TypeId::kInt64, false},
+        {"sheds", TypeId::kInt64, false},
+        {"cache_hits", TypeId::kInt64, false},
+        {"rows", TypeId::kInt64, false},
+        {"elapsed_ms", TypeId::kDouble, false},
+        {"admission_wait_ms", TypeId::kDouble, false},
+        {"bytes_sent", TypeId::kInt64, false},
+        {"bytes_received", TypeId::kInt64, false},
+        {"messages", TypeId::kInt64, false},
+        {"retries", TypeId::kInt64, false},
+        {"mem_peak_bytes", TypeId::kInt64, false},
+        {"page_hits", TypeId::kInt64, false},
+        {"page_misses", TypeId::kInt64, false},
+        {"disk_ms", TypeId::kDouble, false},
+    });
+  }
+  if (lower == "gis.slo") {
+    // One row per declared objective: rolling-window attainment over
+    // the fast and slow windows, error-budget burn rates, and the
+    // alert latch (all on the simulated clock).
+    return std::make_shared<Schema>(std::vector<Field>{
+        {"objective", TypeId::kString, false},
+        {"priority", TypeId::kInt64, false},
+        {"target_ms", TypeId::kDouble, false},
+        {"goal", TypeId::kDouble, false},
+        {"fast_total", TypeId::kInt64, false},
+        {"fast_good", TypeId::kInt64, false},
+        {"slow_total", TypeId::kInt64, false},
+        {"slow_good", TypeId::kInt64, false},
+        {"fast_attainment", TypeId::kDouble, false},
+        {"slow_attainment", TypeId::kDouble, false},
+        {"fast_burn", TypeId::kDouble, false},
+        {"slow_burn", TypeId::kDouble, false},
+        {"alerting", TypeId::kBool, false},
+        {"alerts", TypeId::kInt64, false},
+        {"last_alert_ms", TypeId::kDouble, false},
+    });
+  }
+  if (lower == "gis.incidents") {
+    // One row per captured incident: the deterministic trigger, when
+    // it fired on the simulated clock, and the full JSON snapshot.
+    return std::make_shared<Schema>(std::vector<Field>{
+        {"id", TypeId::kInt64, false},
+        {"at_ms", TypeId::kDouble, false},
+        {"trigger", TypeId::kString, false},
+        {"detail", TypeId::kString, false},
+        {"snapshot", TypeId::kString, false},
     });
   }
   if (lower == "gis.queries") {
@@ -161,12 +218,16 @@ Result<SchemaPtr> SystemTableSchema(const std::string& name) {
         {"trace_root", TypeId::kInt64, false},
         {"admission_wait_ms", TypeId::kDouble, false},
         {"shed_reason", TypeId::kString, false},
+        {"tenant", TypeId::kString, false},
+        {"priority", TypeId::kInt64, false},
+        {"finish_ms", TypeId::kDouble, false},
     });
   }
   return Status::NotFound("'", name, "' is not a system table (known: ",
                           "gis.sources, gis.metrics, gis.gauges, "
                           "gis.histograms, gis.queries, gis.admission, "
-                          "gis.cursors, gis.storage, gis.transactions)");
+                          "gis.cursors, gis.storage, gis.transactions, "
+                          "gis.tenants, gis.slo, gis.incidents)");
 }
 
 }  // namespace gisql

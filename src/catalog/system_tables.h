@@ -19,7 +19,13 @@
 ///   gis.queries     the bounded ring of recently executed queries,
 ///                   with admission wait and shed reason;
 ///   gis.admission   one row: the resource governor's limits and
-///                   admit/shed/budget/breaker counters.
+///                   admit/shed/budget/breaker counters;
+///   gis.tenants     per-tenant attribution rows whose column sums
+///                   provably equal the global counters;
+///   gis.slo         one row per service-level objective: rolling
+///                   attainment and error-budget burn rates;
+///   gis.incidents   flight-recorder captures — one JSON snapshot per
+///                   deterministic trigger firing.
 ///
 /// A query over them runs through the ordinary parse → bind → plan →
 /// optimize → execute pipeline: the logical planner resolves a `gis.`

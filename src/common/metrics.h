@@ -93,9 +93,10 @@ struct HistogramSnapshot {
   double p50 = 0.0;
   double p95 = 0.0;
   double p99 = 0.0;
+  double p999 = 0.0;
 };
 
-/// \brief Digest of `h` (count/sum/min/max/p50/p95/p99).
+/// \brief Digest of `h` (count/sum/min/max/p50/p95/p99/p99.9).
 inline HistogramSnapshot DigestHistogram(const Histogram& h) {
   HistogramSnapshot snap;
   snap.count = h.count();
@@ -105,7 +106,28 @@ inline HistogramSnapshot DigestHistogram(const Histogram& h) {
   snap.p50 = h.Percentile(0.50);
   snap.p95 = h.Percentile(0.95);
   snap.p99 = h.Percentile(0.99);
+  snap.p999 = h.Percentile(0.999);
   return snap;
+}
+
+/// \brief Escapes a Prometheus label *value*: the exposition format
+/// requires backslash, double-quote, and newline escaped inside the
+/// quoted value (any UTF-8 byte is otherwise legal, unlike metric
+/// names). Exporters emitting labeled series (per-tenant, per-SLO)
+/// must route every untrusted value — tenant names especially —
+/// through this.
+inline std::string EscapeLabelValue(const std::string& value) {
+  std::string out;
+  out.reserve(value.size() + 4);
+  for (char c : value) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out.push_back(c);
+    }
+  }
+  return out;
 }
 
 /// \brief One coherent view of a whole registry, taken under a single
@@ -154,8 +176,8 @@ class MetricsRegistry {
     histograms_[name].Observe(value);
   }
 
-  /// \brief Digest (count/sum/min/max/p50/p95/p99) of a histogram; all
-  /// zeros when nothing was observed under `name`.
+  /// \brief Digest (count/sum/min/max/p50/p95/p99/p99.9) of a
+  /// histogram; all zeros when nothing was observed under `name`.
   HistogramSnapshot SnapshotHistogram(const std::string& name) const {
     std::lock_guard<std::mutex> lock(mu_);
     auto it = histograms_.find(name);

@@ -7,6 +7,7 @@
 #include "common/bytes.h"
 #include "exec/streaming.h"
 #include "net/retry.h"
+#include "obs/json.h"
 #include "planner/cost_model.h"
 #include "planner/decomposer.h"
 #include "planner/logical_planner.h"
@@ -40,9 +41,22 @@ GlobalSystem::GlobalSystem(PlannerOptions options)
   // Every RPC outcome the health tracker ingests also feeds the
   // governor's per-source circuit breakers.
   health_.set_outcome_listener(&governor_.breakers());
+  tenants_.set_max_tracked(options_.tenant_max_tracked);
+  slo_.Configure(options_.slo_fast_window_ms, options_.slo_slow_window_ms,
+                 options_.slo_burn_alert);
+  flight_.Configure(
+      options_.flight_ring > 0 ? static_cast<size_t>(options_.flight_ring) : 0,
+      options_.flight_max_incidents > 0
+          ? static_cast<size_t>(options_.flight_max_incidents)
+          : 0,
+      options_.flight_cooldown_ms, options_.flight_shed_spike,
+      options_.flight_shed_window_ms);
+  flight_.set_enabled(options_.flight_recorder);
+  flight_.SetSystemSnapshotFn(
+      [this](double now_ms) { return SystemStateJson(now_ms); });
   system_catalog_ = std::make_unique<SystemCatalog>(
       &health_, &metrics_, &network_.metrics(), &query_log_, &catalog_,
-      &governor_, &cursors_, &sources_, &txns_);
+      &governor_, &cursors_, &sources_, &txns_, &tenants_, &slo_, &flight_);
   catalog_.RegisterSystemTableProvider(system_catalog_.get());
 }
 
@@ -292,8 +306,13 @@ Result<QueryResult> GlobalSystem::QueryInTxn(uint64_t txn_id,
   GISQL_ASSIGN_OR_RETURN(TxnInfo * t, txns_.GetActive(txn_id));
   const uint64_t snapshot_ts = t->snapshot_ts;
   MemoryGrant grant = governor_.memory().NewGrant();
+  // Transactional statements are interactive-session work: default
+  // tenant, closed-loop arrival at the current virtual clock.
+  QueryContext qctx;
+  qctx.arrival_ms = governor_.now_ms();
+  qctx.start_ms = qctx.arrival_ms;
   Result<QueryResult> result =
-      RunStatement(sql, &grant, 0.0, snapshot_ts, txn_id);
+      RunStatement(sql, &grant, qctx, 0.0, snapshot_ts, txn_id);
   if (result.ok()) {
     governor_.AdvanceTo(governor_.now_ms() + result->metrics.elapsed_ms);
     t->statements += 1;
@@ -605,6 +624,79 @@ std::string GlobalSystem::ExportPrometheus() const {
               [](const BufferPoolStats& p) {
                 return std::to_string(p.disk_us / 1e3);
               });
+
+  // Per-tenant attribution series. Tenant names are user-controlled
+  // strings, so label values go through the escaper.
+  const auto tenant_rows = tenants_.SnapshotTenants();
+  auto tenant_series = [&out, &tenant_rows](const std::string& name,
+                                            const char* type, auto value_of) {
+    if (tenant_rows.empty()) return;
+    out += "# TYPE " + name + " " + type + "\n";
+    for (const auto& t : tenant_rows) {
+      out += name + "{tenant=\"" + EscapeLabelValue(t.tenant) + "\"} " +
+             value_of(t) + "\n";
+    }
+  };
+  tenant_series("gisql_tenant_queries_total", "counter",
+                [](const TenantUsage& t) { return std::to_string(t.queries); });
+  tenant_series("gisql_tenant_sheds_total", "counter",
+                [](const TenantUsage& t) { return std::to_string(t.sheds); });
+  tenant_series("gisql_tenant_cache_hits_total", "counter",
+                [](const TenantUsage& t) {
+                  return std::to_string(t.cache_hits);
+                });
+  tenant_series("gisql_tenant_rows_total", "counter",
+                [](const TenantUsage& t) { return std::to_string(t.rows); });
+  tenant_series("gisql_tenant_elapsed_ms_total", "counter",
+                [](const TenantUsage& t) {
+                  return std::to_string(t.elapsed_ms);
+                });
+  tenant_series("gisql_tenant_bytes_sent_total", "counter",
+                [](const TenantUsage& t) {
+                  return std::to_string(t.bytes_sent);
+                });
+  tenant_series("gisql_tenant_bytes_received_total", "counter",
+                [](const TenantUsage& t) {
+                  return std::to_string(t.bytes_received);
+                });
+  tenant_series("gisql_tenant_mem_peak_bytes", "gauge",
+                [](const TenantUsage& t) {
+                  return std::to_string(t.mem_peak_bytes);
+                });
+  tenant_series("gisql_tenant_page_misses_total", "counter",
+                [](const TenantUsage& t) {
+                  return std::to_string(t.page_misses);
+                });
+
+  // SLO series, labeled by objective.
+  const auto slo_rows = slo_.Snapshot();
+  auto slo_series = [&out, &slo_rows](const std::string& name,
+                                      const char* type, auto value_of) {
+    if (slo_rows.empty()) return;
+    out += "# TYPE " + name + " " + type + "\n";
+    for (const auto& s : slo_rows) {
+      out += name + "{objective=\"" + EscapeLabelValue(s.name) + "\"} " +
+             value_of(s) + "\n";
+    }
+  };
+  slo_series("gisql_slo_fast_burn", "gauge", [](const SloStatus& s) {
+    return std::to_string(s.fast_burn);
+  });
+  slo_series("gisql_slo_slow_burn", "gauge", [](const SloStatus& s) {
+    return std::to_string(s.slow_burn);
+  });
+  slo_series("gisql_slo_slow_attainment", "gauge", [](const SloStatus& s) {
+    return std::to_string(s.slow_attainment);
+  });
+  slo_series("gisql_slo_alerting", "gauge", [](const SloStatus& s) {
+    return std::string(s.alerting ? "1" : "0");
+  });
+  slo_series("gisql_slo_alerts_total", "counter", [](const SloStatus& s) {
+    return std::to_string(s.alerts);
+  });
+
+  single("gisql_incidents_total", "counter",
+         std::to_string(flight_.incidents_captured()));
   return out;
 }
 
@@ -712,10 +804,200 @@ void FillNetDeltas(QueryMetrics& m, const NetCounters& before,
   m.retries = after.retries - before.retries;
 }
 
+/// Aggregate buffer-pool counters over every source; two snapshots
+/// bracket an execution and their difference is the work done at the
+/// sources on that statement's behalf. Safe as per-query attribution
+/// because the mediator executes one statement at a time (the worker
+/// pool parallelizes *within* a statement, and SourceSequencer makes
+/// pooled page counters replay serial-identically).
+struct PoolCounters {
+  int64_t hits = 0;
+  int64_t misses = 0;
+  double disk_us = 0.0;
+
+  static PoolCounters Read(const std::vector<ComponentSourcePtr>& sources) {
+    PoolCounters c;
+    for (const auto& s : sources) {
+      const BufferPoolStats p = s->engine().pool().Snapshot();
+      c.hits += p.hits;
+      c.misses += p.misses;
+      c.disk_us += p.disk_us;
+    }
+    return c;
+  }
+};
+
 }  // namespace
 
 Result<QueryResult> GlobalSystem::Query(const std::string& sql) {
   return Submit(sql, SubmitOptions());
+}
+
+void GlobalSystem::RecordQueryOutcome(QueryLogEntry entry,
+                                      const QueryContext& qctx,
+                                      int64_t mem_bytes, int64_t page_hits,
+                                      int64_t page_misses, double disk_ms) {
+  entry.tenant = qctx.tenant;
+  entry.priority = qctx.priority;
+  const bool shed = !entry.shed_reason.empty();
+
+  TenantCharge charge;
+  charge.shed = shed;
+  charge.cache_hit = entry.cache_hit;
+  charge.rows = entry.rows;
+  charge.elapsed_ms = entry.elapsed_ms;
+  charge.admission_wait_ms = entry.admission_wait_ms;
+  charge.bytes_sent = entry.bytes_sent;
+  charge.bytes_received = entry.bytes_received;
+  charge.messages = entry.messages;
+  charge.retries = entry.retries;
+  charge.mem_bytes = mem_bytes;
+  charge.page_hits = page_hits;
+  charge.page_misses = page_misses;
+  charge.disk_ms = disk_ms;
+  tenants_.Record(qctx.tenant, charge);
+
+  QueryFrame frame;
+  frame.tenant = qctx.tenant;
+  frame.priority = qctx.priority;
+  frame.finish_ms = entry.finish_ms;
+  frame.sojourn_ms = entry.admission_wait_ms + entry.elapsed_ms;
+  frame.rows = entry.rows;
+  frame.bytes = entry.bytes_sent + entry.bytes_received;
+  frame.cache_hit = entry.cache_hit;
+  frame.shed_reason = entry.shed_reason;
+  frame.sql = entry.sql;
+  const double finish_ms = entry.finish_ms;
+  const double sojourn_ms = frame.sojourn_ms;
+
+  // Append before feeding the triggers so an incident fired by this
+  // very statement already sees it in gis.queries and the frame ring.
+  query_log_.Append(std::move(entry));
+  frame.query_id = query_log_.total_appended();
+  flight_.RecordFrame(frame);
+
+  if (options_.slo_enabled) {
+    for (const SloAlert& alert :
+         slo_.Record(qctx.priority, finish_ms, sojourn_ms, shed)) {
+      flight_.OnSloAlert(alert.objective, alert.at_ms, alert.fast_burn,
+                         alert.slow_burn);
+    }
+  }
+
+  // Breaker-open trigger: polled per statement (deterministic — RPC
+  // completion order within a statement is sequenced) rather than via
+  // callbacks from network threads.
+  const GovernorSnapshot g = governor_.Snapshot();
+  if (g.breaker_transitions > seen_breaker_transitions_) {
+    seen_breaker_transitions_ = g.breaker_transitions;
+    std::vector<std::string> open;
+    for (const auto& b : governor_.breakers().Snapshot()) {
+      if (b.state == BreakerState::kOpen) open.push_back(b.source);
+    }
+    if (!open.empty()) {
+      std::sort(open.begin(), open.end());
+      std::string detail;
+      for (const auto& s : open) {
+        if (!detail.empty()) detail += ",";
+        detail += s;
+      }
+      flight_.OnBreakerOpen(detail, finish_ms);
+    }
+  }
+}
+
+std::string GlobalSystem::SystemStateJson(double now_ms) const {
+  // Deterministic, simulation-derived fields only: every value below
+  // replays byte-identically under the same seed, serial or pooled.
+  std::string out;
+  out.reserve(2048);
+  out += "{\"now_ms\":" + JsonNum(now_ms);
+
+  out += ",\"sources\":[";
+  {
+    auto sources = health_.Snapshot();
+    std::sort(sources.begin(), sources.end(),
+              [](const SourceHealthSnapshot& a, const SourceHealthSnapshot& b) {
+                return a.source < b.source;
+              });
+    bool first = true;
+    for (const auto& s : sources) {
+      if (!first) out += ",";
+      first = false;
+      const BreakerSnapshot b = governor_.breakers().SnapshotOf(s.source);
+      out += "{\"source\":" + JsonStr(s.source);
+      out += ",\"state\":" + JsonStr(SourceHealthStateName(s.state));
+      out += ",\"requests\":" + JsonNum(s.requests);
+      out += ",\"errors\":" + JsonNum(s.errors);
+      out += ",\"retries\":" + JsonNum(s.retries);
+      out += ",\"breaker\":" + JsonStr(BreakerStateName(b.state));
+      out += "}";
+    }
+  }
+  out += "]";
+
+  const GovernorSnapshot g = governor_.Snapshot();
+  out += ",\"admission\":{";
+  out += "\"in_flight\":" + JsonNum(static_cast<int64_t>(g.admission.in_flight));
+  out += ",\"admitted\":" + JsonNum(g.admission.admitted);
+  out += ",\"queued\":" + JsonNum(g.admission.queued);
+  out += ",\"shed_queue_full\":" + JsonNum(g.admission.shed_queue_full);
+  out += ",\"shed_deadline\":" + JsonNum(g.admission.shed_deadline);
+  out += ",\"shed_memory_budget\":" + JsonNum(g.shed_memory_budget);
+  out += ",\"mem_peak_bytes\":" + JsonNum(g.mem_peak_bytes);
+  out += ",\"breakers_open\":" + JsonNum(static_cast<int64_t>(g.breakers_open));
+  out += "}";
+
+  out += ",\"buffer_pools\":[";
+  {
+    std::vector<std::pair<std::string, BufferPoolStats>> pools;
+    pools.reserve(sources_.size());
+    for (const auto& s : sources_) {
+      pools.emplace_back(s->name(), s->engine().pool().Snapshot());
+    }
+    std::sort(pools.begin(), pools.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    bool first = true;
+    for (const auto& [name, p] : pools) {
+      if (!first) out += ",";
+      first = false;
+      out += "{\"source\":" + JsonStr(name);
+      out += ",\"frames_used\":" + JsonNum(static_cast<int64_t>(p.frames_used));
+      out += ",\"hits\":" + JsonNum(p.hits);
+      out += ",\"misses\":" + JsonNum(p.misses);
+      out += ",\"evictions\":" + JsonNum(p.evictions);
+      out += "}";
+    }
+  }
+  out += "]";
+
+  out += ",\"transactions\":{";
+  const TxnCounters& tc = txns_.counters();
+  out += "\"active\":" + JsonNum(static_cast<int64_t>(txns_.active_count()));
+  out += ",\"started\":" + JsonNum(tc.started);
+  out += ",\"committed\":" + JsonNum(tc.committed);
+  out += ",\"aborted\":" + JsonNum(tc.aborted);
+  out += ",\"deadlocks\":" + JsonNum(tc.deadlocks);
+  out += "}";
+
+  out += ",\"slo\":[";
+  {
+    bool first = true;
+    for (const auto& s : slo_.Snapshot()) {
+      if (!first) out += ",";
+      first = false;
+      out += "{\"objective\":" + JsonStr(s.name);
+      out += ",\"slow_total\":" + JsonNum(s.slow_total);
+      out += ",\"slow_good\":" + JsonNum(s.slow_good);
+      out += ",\"fast_burn\":" + JsonNum(s.fast_burn);
+      out += ",\"slow_burn\":" + JsonNum(s.slow_burn);
+      out += ",\"alerting\":";
+      out += s.alerting ? "true" : "false";
+      out += "}";
+    }
+  }
+  out += "]}";
+  return out;
 }
 
 Result<AdmissionDecision> GlobalSystem::AdmitOrShed(
@@ -732,11 +1014,18 @@ Result<AdmissionDecision> GlobalSystem::AdmitOrShed(
   if (!decision.admitted) {
     metrics_.Add("admission.shed", 1);
     // Shed queries still land in gis.queries (with their reason and
-    // zero traffic) so operators can see *what* was refused.
+    // zero traffic) so operators can see *what* was refused — and in
+    // the tenant ledger, so noisy neighbors show up in their sheds.
+    QueryContext qctx;
+    qctx.tenant = QueryContext::NormalizeTenant(submit.tenant);
+    qctx.priority = submit.priority;
+    qctx.arrival_ms = req.arrival_ms;
+    qctx.start_ms = req.arrival_ms;
     QueryLogEntry entry;
     entry.sql = sql;
     entry.shed_reason = ShedReasonName(decision.reason);
-    query_log_.Append(std::move(entry));
+    entry.finish_ms = req.arrival_ms;  // refused at arrival
+    RecordQueryOutcome(std::move(entry), qctx, 0, 0, 0, 0.0);
     if (decision.reason == ShedReason::kDeadline) {
       return Status::Overloaded(
           "query shed: the admission queue would hold it for ",
@@ -761,8 +1050,16 @@ Result<QueryResult> GlobalSystem::Submit(const std::string& sql,
     GISQL_ASSIGN_OR_RETURN(decision, AdmitOrShed(sql, submit));
   }
 
+  QueryContext qctx;
+  qctx.tenant = QueryContext::NormalizeTenant(submit.tenant);
+  qctx.priority = submit.priority;
+  qctx.arrival_ms =
+      submit.arrival_ms >= 0 ? submit.arrival_ms : governor_.now_ms();
+  qctx.start_ms = governed ? decision.start_ms : qctx.arrival_ms;
+
   MemoryGrant grant = governor_.memory().NewGrant();
-  Result<QueryResult> result = RunStatement(sql, &grant, decision.wait_ms);
+  Result<QueryResult> result =
+      RunStatement(sql, &grant, qctx, decision.wait_ms);
 
   if (governed) {
     const double elapsed = result.ok() ? result->metrics.elapsed_ms : 0.0;
@@ -782,13 +1079,15 @@ Result<QueryResult> GlobalSystem::Submit(const std::string& sql,
     entry.sql = sql;
     entry.admission_wait_ms = decision.wait_ms;
     entry.shed_reason = ShedReasonName(ShedReason::kMemoryBudget);
-    query_log_.Append(std::move(entry));
+    entry.finish_ms = qctx.start_ms;  // aborted mid-execution, zero-width
+    RecordQueryOutcome(std::move(entry), qctx, 0, 0, 0, 0.0);
   }
   return result;
 }
 
 Result<QueryResult> GlobalSystem::RunStatement(const std::string& sql,
                                                MemoryGrant* grant,
+                                               const QueryContext& qctx,
                                                double admission_wait_ms,
                                                uint64_t snapshot_ts,
                                                uint64_t txn_id) {
@@ -822,6 +1121,7 @@ Result<QueryResult> GlobalSystem::RunStatement(const std::string& sql,
       // Bracket execution with the same counter snapshot the SELECT
       // path uses, so ANALYZE reports real traffic alongside time.
       const NetCounters before = NetCounters::Read(network_);
+      const PoolCounters pools_before = PoolCounters::Read(sources_);
       ExecContext ctx = MakeExecContext(grant);
       ctx.snapshot_ts = snapshot_ts;
       ctx.txn_id = txn_id;
@@ -870,7 +1170,13 @@ Result<QueryResult> GlobalSystem::RunStatement(const std::string& sql,
       entry.rows = static_cast<int64_t>(out.batch.num_rows());
       entry.trace_root = static_cast<int64_t>(root);
       entry.admission_wait_ms = admission_wait_ms;
-      query_log_.Append(std::move(entry));
+      entry.finish_ms = qctx.start_ms + out.elapsed_ms;
+      const PoolCounters pools_after = PoolCounters::Read(sources_);
+      RecordQueryOutcome(std::move(entry), qctx,
+                         grant != nullptr ? grant->used() : 0,
+                         pools_after.hits - pools_before.hits,
+                         pools_after.misses - pools_before.misses,
+                         (pools_after.disk_us - pools_before.disk_us) / 1e3);
       return result;
     }
     case sql::Statement::Kind::kSelect:
@@ -927,12 +1233,14 @@ Result<QueryResult> GlobalSystem::RunStatement(const std::string& sql,
       entry.rows = static_cast<int64_t>(result.batch.num_rows());
       entry.trace_root = static_cast<int64_t>(root);
       entry.admission_wait_ms = admission_wait_ms;
-      query_log_.Append(std::move(entry));
+      entry.finish_ms = qctx.start_ms;  // served from memory: zero width
+      RecordQueryOutcome(std::move(entry), qctx, 0, 0, 0, 0.0);
       return result;
     }
   }
 
   const NetCounters before = NetCounters::Read(network_);
+  const PoolCounters pools_before = PoolCounters::Read(sources_);
 
   ExecContext ctx = MakeExecContext(grant);
   ctx.snapshot_ts = snapshot_ts;
@@ -992,7 +1300,13 @@ Result<QueryResult> GlobalSystem::RunStatement(const std::string& sql,
   entry.rows = static_cast<int64_t>(result.batch.num_rows());
   entry.trace_root = static_cast<int64_t>(root);
   entry.admission_wait_ms = admission_wait_ms;
-  query_log_.Append(std::move(entry));
+  entry.finish_ms = qctx.start_ms + result.metrics.elapsed_ms;
+  const PoolCounters pools_after = PoolCounters::Read(sources_);
+  RecordQueryOutcome(std::move(entry), qctx,
+                     grant != nullptr ? grant->used() : 0,
+                     pools_after.hits - pools_before.hits,
+                     pools_after.misses - pools_before.misses,
+                     (pools_after.disk_us - pools_before.disk_us) / 1e3);
   return result;
 }
 
@@ -1009,6 +1323,13 @@ Result<uint64_t> GlobalSystem::OpenCursor(const std::string& sql,
   const double lease_ms =
       opts.lease_ms >= 0.0 ? opts.lease_ms : options_.cursor_lease_ms;
 
+  QueryContext qctx;
+  qctx.tenant = QueryContext::NormalizeTenant(opts.submit.tenant);
+  qctx.priority = opts.submit.priority;
+  qctx.arrival_ms = opts.submit.arrival_ms >= 0 ? opts.submit.arrival_ms
+                                                : governor_.now_ms();
+  qctx.start_ms = qctx.arrival_ms;
+
   // The open-cursor cap is checked before admission so a refused open
   // allocates nothing — no cursor, no grant, no admission ticket.
   if (cursors_.OpenCount() >=
@@ -1017,7 +1338,8 @@ Result<uint64_t> GlobalSystem::OpenCursor(const std::string& sql,
     QueryLogEntry entry;
     entry.sql = sql;
     entry.shed_reason = "cursor_limit";
-    query_log_.Append(std::move(entry));
+    entry.finish_ms = qctx.arrival_ms;
+    RecordQueryOutcome(std::move(entry), qctx, 0, 0, 0, 0.0);
     return Status::Overloaded("cursor shed: ", cursors_.OpenCount(),
                               " cursors already open (limit ",
                               options_.cursor_max_open, ")");
@@ -1027,6 +1349,7 @@ Result<uint64_t> GlobalSystem::OpenCursor(const std::string& sql,
   const bool governed = options_.admission_control;
   if (governed) {
     GISQL_ASSIGN_OR_RETURN(decision, AdmitOrShed(sql, opts.submit));
+    qctx.start_ms = decision.start_ms;
   }
 
   // The admission slot covers only the open (which runs the whole plan
@@ -1050,7 +1373,8 @@ Result<uint64_t> GlobalSystem::OpenCursor(const std::string& sql,
       entry.sql = sql;
       entry.admission_wait_ms = decision.wait_ms;
       entry.shed_reason = ShedReasonName(ShedReason::kMemoryBudget);
-      query_log_.Append(std::move(entry));
+      entry.finish_ms = qctx.start_ms;
+      RecordQueryOutcome(std::move(entry), qctx, 0, 0, 0, 0.0);
     }
     return st;
   };
@@ -1072,6 +1396,7 @@ Result<uint64_t> GlobalSystem::OpenCursor(const std::string& sql,
   // result), and serving chunks from a cached batch would dodge the
   // memory accounting this path exists to enforce.
   const NetCounters before = NetCounters::Read(network_);
+  const PoolCounters pools_before = PoolCounters::Read(sources_);
   MemoryGrant grant = governor_.memory().NewGrant();
   std::unique_ptr<RowStream> stream;
   double open_elapsed = 0.0;
@@ -1094,6 +1419,7 @@ Result<uint64_t> GlobalSystem::OpenCursor(const std::string& sql,
   }
   finish(open_elapsed);
   const NetCounters after = NetCounters::Read(network_);
+  const PoolCounters pools_after = PoolCounters::Read(sources_);
 
   const double opened_at =
       governed ? decision.start_ms + open_elapsed : governor_.now_ms();
@@ -1112,6 +1438,16 @@ Result<uint64_t> GlobalSystem::OpenCursor(const std::string& sql,
   e.bytes_received = after.bytes_received - before.bytes_received;
   e.messages = after.messages - before.messages;
   e.retries = after.retries - before.retries;
+  // Attribution context, carried until FinalizeCursor writes the one
+  // gis.queries entry covering the cursor's whole life.
+  e.tenant = qctx.tenant;
+  e.priority = qctx.priority;
+  e.arrival_ms = qctx.arrival_ms;
+  e.admission_wait_ms = decision.wait_ms;
+  e.page_hits = pools_after.hits - pools_before.hits;
+  e.page_misses = pools_after.misses - pools_before.misses;
+  e.disk_ms = (pools_after.disk_us - pools_before.disk_us) / 1e3;
+  e.mem_peak_bytes = e.grant.used();
   metrics_.Add("cursor.opened", 1);
   return e.id;
 }
@@ -1130,6 +1466,7 @@ Result<GlobalSystem::CursorChunkResult> GlobalSystem::FetchChunk(
   }
 
   const NetCounters before = NetCounters::Read(network_);
+  const PoolCounters pools_before = PoolCounters::Read(sources_);
   Result<StreamChunk> chunk_or = e->stream->Next();
   if (!chunk_or.ok()) {
     // A transport error leaves the cursor open: the stream did not
@@ -1159,6 +1496,7 @@ Result<GlobalSystem::CursorChunkResult> GlobalSystem::FetchChunk(
         EstimateRowBytes(static_cast<int64_t>(chunk.rows.num_rows()), width),
         "a cursor chunk");
     e->grant = std::move(next);
+    e->mem_peak_bytes = std::max(e->mem_peak_bytes, e->grant.used());
     if (!charged.ok()) {
       governor_.RecordMemoryShed();
       metrics_.Add("admission.shed", 1);
@@ -1172,10 +1510,14 @@ Result<GlobalSystem::CursorChunkResult> GlobalSystem::FetchChunk(
   e->rows += static_cast<int64_t>(chunk.rows.num_rows());
   e->elapsed_ms += chunk.elapsed_ms;
   const NetCounters after = NetCounters::Read(network_);
+  const PoolCounters pools_after = PoolCounters::Read(sources_);
   e->bytes_sent += after.bytes_sent - before.bytes_sent;
   e->bytes_received += after.bytes_received - before.bytes_received;
   e->messages += after.messages - before.messages;
   e->retries += after.retries - before.retries;
+  e->page_hits += pools_after.hits - pools_before.hits;
+  e->page_misses += pools_after.misses - pools_before.misses;
+  e->disk_ms += (pools_after.disk_us - pools_before.disk_us) / 1e3;
 
   governor_.AdvanceTo(now + chunk.elapsed_ms);
   // Each successful fetch renews the lease from the advanced clock.
@@ -1239,7 +1581,17 @@ void GlobalSystem::FinalizeCursor(CursorManager::Entry& entry,
   log.retries = entry.retries;
   log.rows = entry.rows;
   log.shed_reason = shed_reason;
-  query_log_.Append(std::move(log));
+  log.admission_wait_ms = entry.admission_wait_ms;
+  // End of life on the advanced clock (the close above already moved
+  // it); drained/closed/expired all finish "now".
+  log.finish_ms = governor_.now_ms();
+  QueryContext qctx;
+  qctx.tenant = entry.tenant;
+  qctx.priority = entry.priority;
+  qctx.arrival_ms = entry.arrival_ms;
+  qctx.start_ms = entry.arrival_ms + entry.admission_wait_ms;
+  RecordQueryOutcome(std::move(log), qctx, entry.mem_peak_bytes,
+                     entry.page_hits, entry.page_misses, entry.disk_ms);
   switch (state) {
     case CursorManager::State::kDrained:
       metrics_.Add("cursor.drained", 1);

@@ -31,6 +31,10 @@
 #include "core/system_catalog.h"
 #include "exec/executor.h"
 #include "net/sim_network.h"
+#include "obs/flight_recorder.h"
+#include "obs/query_context.h"
+#include "obs/slo.h"
+#include "obs/tenant_accountant.h"
 #include "planner/options.h"
 #include "planner/plan.h"
 #include "sched/governor.h"
@@ -205,6 +209,9 @@ class GlobalSystem {
     /// Queue-wait deadline override; < 0 uses
     /// PlannerOptions::admission_max_wait_ms.
     double max_wait_ms = -1.0;
+    /// Accountable principal the query is charged to; "" attributes
+    /// to the "default" tenant (see obs/query_context.h).
+    std::string tenant;
   };
 
   /// \brief Query() with explicit admission parameters. With
@@ -324,6 +331,24 @@ class GlobalSystem {
   const SourceHealthTracker& health() const { return health_; }
   const QueryLog& query_log() const { return query_log_; }
 
+  /// \brief Per-tenant attribution: every executed or shed statement
+  /// is charged to exactly one tenant, and the accountant's Totals()
+  /// row provably equals the sum of the per-tenant rows (gis.tenants
+  /// is the SQL view).
+  const TenantAccountant& tenants() const { return tenants_; }
+
+  /// \brief SLO engine: rolling-window attainment and multi-window
+  /// error-budget burn rates per priority class, on the simulated
+  /// clock (gis.slo is the SQL view). Mutable access lets callers
+  /// install custom objectives.
+  SloEngine& slo() { return slo_; }
+  const SloEngine& slo() const { return slo_; }
+
+  /// \brief Flight recorder: bounded ring of recent query frames plus
+  /// deterministic incident snapshots (gis.incidents is the SQL view).
+  FlightRecorder& flight_recorder() { return flight_; }
+  const FlightRecorder& flight_recorder() const { return flight_; }
+
   /// \brief Prometheus text exposition of the whole system: the
   /// mediator registry, the network registry, and labeled per-source
   /// health series (gisql_source_state/requests/errors/...).
@@ -339,6 +364,17 @@ class GlobalSystem {
   void set_options(const PlannerOptions& options) {
     options_ = options;
     governor_.Configure(options);
+    tenants_.set_max_tracked(options.tenant_max_tracked);
+    slo_.Configure(options.slo_fast_window_ms, options.slo_slow_window_ms,
+                   options.slo_burn_alert);
+    flight_.Configure(
+        options.flight_ring > 0 ? static_cast<size_t>(options.flight_ring) : 0,
+        options.flight_max_incidents > 0
+            ? static_cast<size_t>(options.flight_max_incidents)
+            : 0,
+        options.flight_cooldown_ms, options.flight_shed_spike,
+        options.flight_shed_window_ms);
+    flight_.set_enabled(options.flight_recorder);
   }
   const PlannerOptions& options() const { return options_; }
 
@@ -398,13 +434,31 @@ class GlobalSystem {
 
   /// \brief The post-admission body of Submit: parse through execute,
   /// charging `grant` and logging with the decided admission wait.
+  /// `qctx` carries the attribution (tenant/priority/arrival/start).
   /// Non-zero snapshot_ts/txn_id pin execution to a transaction's
   /// snapshot (and bypass the result cache — snapshots are per-txn).
   Result<QueryResult> RunStatement(const std::string& sql,
                                    MemoryGrant* grant,
+                                   const QueryContext& qctx,
                                    double admission_wait_ms,
                                    uint64_t snapshot_ts = 0,
                                    uint64_t txn_id = 0);
+
+  /// \brief The single funnel pairing every query-log append with its
+  /// attribution charge, SLO event, and flight-recorder frame, so the
+  /// four views can never drift apart. The caller fills the entry
+  /// (including finish_ms and shed_reason); tenant/priority are
+  /// stamped here from `qctx`. `mem_bytes` is the query grant's
+  /// booked total; the page-IO deltas come from bracketing the
+  /// source buffer pools around execution.
+  void RecordQueryOutcome(QueryLogEntry entry, const QueryContext& qctx,
+                          int64_t mem_bytes, int64_t page_hits,
+                          int64_t page_misses, double disk_ms);
+
+  /// \brief Builds the deterministic `"system"` JSON object embedded
+  /// in incident snapshots (sources, admission, memory, buffer pools,
+  /// transactions, SLO state — simulation-derived fields only).
+  std::string SystemStateJson(double now_ms) const;
 
   /// \brief Delivers kTxnAbort to every participant of `t` (best
   /// effort) and marks it aborted. Shared by AbortTransaction and the
@@ -438,11 +492,20 @@ class GlobalSystem {
   SimNetwork network_;
   Catalog catalog_;
   std::vector<ComponentSourcePtr> sources_;
-  QueryLog query_log_;
+  QueryLog query_log_{QueryLog::CapacityFromEnv()};
   // cursors_ precedes system_catalog_ (which snapshots it).
   CursorManager cursors_;
   // txns_ precedes system_catalog_ (which snapshots it too).
   TransactionManager txns_;
+  // The workload-intelligence trio precedes system_catalog_ (which
+  // snapshots all three as gis.tenants / gis.slo / gis.incidents).
+  TenantAccountant tenants_;
+  SloEngine slo_;
+  FlightRecorder flight_;
+  // Breaker-transition count last seen by RecordQueryOutcome, for the
+  // breaker-open incident trigger (polled per statement, which is
+  // deterministic; RPC-time callbacks would race under the pool).
+  int64_t seen_breaker_transitions_ = 0;
   std::unique_ptr<SystemCatalog> system_catalog_;
   std::unique_ptr<QueryCache> cache_;
   std::unique_ptr<ThreadPool> pool_;

@@ -1,6 +1,18 @@
 #include "core/query_log.h"
 
+#include <cstdlib>
+
 namespace gisql {
+
+size_t QueryLog::CapacityFromEnv() {
+  const char* raw = std::getenv("GISQL_QUERY_LOG_CAPACITY");
+  if (raw == nullptr || *raw == '\0') return kDefaultCapacity;
+  char* end = nullptr;
+  long parsed = std::strtol(raw, &end, 10);
+  if (end == raw || *end != '\0' || parsed < 1) return kDefaultCapacity;
+  if (parsed > static_cast<long>(kMaxCapacity)) return kMaxCapacity;
+  return static_cast<size_t>(parsed);
+}
 
 void QueryLog::Append(QueryLogEntry entry) {
   std::lock_guard<std::mutex> lock(mu_);

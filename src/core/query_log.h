@@ -35,15 +35,29 @@ struct QueryLogEntry {
   /// Why the governor refused this query ("" = it ran). Shed entries
   /// carry zero traffic — nothing was executed.
   std::string shed_reason;
+  /// Accountable principal the statement is charged to (never empty;
+  /// unnamed callers land on the "default" tenant).
+  std::string tenant = "default";
+  int priority = 1;        ///< 0 background, 1 normal, 2 interactive
+  /// Simulated completion instant (arrival + wait + elapsed). Shed
+  /// entries finish at their refusal time.
+  double finish_ms = 0.0;
 };
 
 /// \brief Thread-safe fixed-capacity ring of QueryLogEntry.
 class QueryLog {
  public:
   static constexpr size_t kDefaultCapacity = 256;
+  static constexpr size_t kMaxCapacity = 1u << 20;
 
   explicit QueryLog(size_t capacity = kDefaultCapacity)
       : capacity_(capacity == 0 ? 1 : capacity) {}
+
+  /// \brief Ring capacity from GISQL_QUERY_LOG_CAPACITY (clamped to
+  /// [1, kMaxCapacity]; unset or unparsable falls back to the
+  /// default). Long scenario runs need a window wider than 256 to
+  /// retain a full SLO slow window of queries.
+  static size_t CapacityFromEnv();
 
   /// \brief Appends one entry, assigning its id; evicts the oldest
   /// entry once the ring is full.

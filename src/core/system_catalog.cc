@@ -41,7 +41,7 @@ void AppendHistogramRows(const std::string& registry,
                  Value::Int(d.count), Value::Double(d.sum),
                  Value::Double(d.min), Value::Double(d.max),
                  Value::Double(d.p50), Value::Double(d.p95),
-                 Value::Double(d.p99)});
+                 Value::Double(d.p99), Value::Double(d.p999)});
   }
 }
 
@@ -71,6 +71,9 @@ Result<RowBatch> SystemCatalog::Snapshot(const std::string& name) const {
   if (lower == "gis.cursors") return SnapshotCursors();
   if (lower == "gis.storage") return SnapshotStorage();
   if (lower == "gis.transactions") return SnapshotTransactions();
+  if (lower == "gis.tenants") return SnapshotTenants();
+  if (lower == "gis.slo") return SnapshotSlo();
+  if (lower == "gis.incidents") return SnapshotIncidents();
   const auto schema = SystemTableSchema(name);
   return schema.status();  // NotFound with the known-table list
 }
@@ -131,7 +134,8 @@ RowBatch SystemCatalog::SnapshotQueries() const {
                   Value::Int(e.retries), Value::Bool(e.cache_hit),
                   Value::Int(e.rows), Value::Int(e.trace_root),
                   Value::Double(e.admission_wait_ms),
-                  Value::String(e.shed_reason)});
+                  Value::String(e.shed_reason), Value::String(e.tenant),
+                  Value::Int(e.priority), Value::Double(e.finish_ms)});
   }
   return batch;
 }
@@ -215,6 +219,50 @@ RowBatch SystemCatalog::SnapshotTransactions() const {
                   Value::Int(t.statements), Value::String(participants),
                   Value::Int(t.lock_waits), Value::String(t.abort_reason),
                   Value::Double(t.begin_ms), Value::Double(t.end_ms)});
+  }
+  return batch;
+}
+
+RowBatch SystemCatalog::SnapshotTenants() const {
+  RowBatch batch(SystemTableSchema("gis.tenants").ValueUnsafe());
+  if (tenants_ == nullptr) return batch;
+  for (const auto& t : tenants_->SnapshotTenants()) {
+    batch.Append({Value::String(t.tenant), Value::Int(t.queries),
+                  Value::Int(t.sheds), Value::Int(t.cache_hits),
+                  Value::Int(t.rows), Value::Double(t.elapsed_ms),
+                  Value::Double(t.admission_wait_ms),
+                  Value::Int(t.bytes_sent), Value::Int(t.bytes_received),
+                  Value::Int(t.messages), Value::Int(t.retries),
+                  Value::Int(t.mem_peak_bytes), Value::Int(t.page_hits),
+                  Value::Int(t.page_misses), Value::Double(t.disk_ms)});
+  }
+  return batch;
+}
+
+RowBatch SystemCatalog::SnapshotSlo() const {
+  RowBatch batch(SystemTableSchema("gis.slo").ValueUnsafe());
+  if (slo_ == nullptr) return batch;
+  for (const auto& s : slo_->Snapshot()) {
+    batch.Append({Value::String(s.name), Value::Int(s.priority),
+                  Value::Double(s.target_ms), Value::Double(s.goal),
+                  Value::Int(s.fast_total), Value::Int(s.fast_good),
+                  Value::Int(s.slow_total), Value::Int(s.slow_good),
+                  Value::Double(s.fast_attainment),
+                  Value::Double(s.slow_attainment),
+                  Value::Double(s.fast_burn), Value::Double(s.slow_burn),
+                  Value::Bool(s.alerting), Value::Int(s.alerts),
+                  Value::Double(s.last_alert_ms)});
+  }
+  return batch;
+}
+
+RowBatch SystemCatalog::SnapshotIncidents() const {
+  RowBatch batch(SystemTableSchema("gis.incidents").ValueUnsafe());
+  if (flight_ == nullptr) return batch;
+  for (const auto& i : flight_->Incidents()) {
+    batch.Append({Value::Int(i.id), Value::Double(i.at_ms),
+                  Value::String(i.trigger), Value::String(i.detail),
+                  Value::String(i.json)});
   }
   return batch;
 }

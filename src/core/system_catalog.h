@@ -13,6 +13,9 @@
 #include "core/cursor_manager.h"
 #include "core/query_log.h"
 #include "core/source_health.h"
+#include "obs/flight_recorder.h"
+#include "obs/slo.h"
+#include "obs/tenant_accountant.h"
 #include "sched/governor.h"
 #include "source/component_source.h"
 #include "txn/transaction_manager.h"
@@ -35,7 +38,10 @@ class SystemCatalog : public SystemTableProvider {
                 const ResourceGovernor* governor,
                 const CursorManager* cursors = nullptr,
                 const std::vector<ComponentSourcePtr>* sources = nullptr,
-                const TransactionManager* txns = nullptr)
+                const TransactionManager* txns = nullptr,
+                const TenantAccountant* tenants = nullptr,
+                const SloEngine* slo = nullptr,
+                const FlightRecorder* flight = nullptr)
       : health_(health),
         mediator_metrics_(mediator_metrics),
         network_metrics_(network_metrics),
@@ -44,7 +50,10 @@ class SystemCatalog : public SystemTableProvider {
         governor_(governor),
         cursors_(cursors),
         sources_(sources),
-        txns_(txns) {}
+        txns_(txns),
+        tenants_(tenants),
+        slo_(slo),
+        flight_(flight) {}
 
   bool HasTable(const std::string& name) const override;
   Result<SchemaPtr> TableSchema(const std::string& name) const override;
@@ -61,6 +70,9 @@ class SystemCatalog : public SystemTableProvider {
   RowBatch SnapshotCursors() const;
   RowBatch SnapshotStorage() const;
   RowBatch SnapshotTransactions() const;
+  RowBatch SnapshotTenants() const;
+  RowBatch SnapshotSlo() const;
+  RowBatch SnapshotIncidents() const;
 
   const SourceHealthTracker* health_;
   const MetricsRegistry* mediator_metrics_;
@@ -71,6 +83,9 @@ class SystemCatalog : public SystemTableProvider {
   const CursorManager* cursors_;
   const std::vector<ComponentSourcePtr>* sources_;
   const TransactionManager* txns_;
+  const TenantAccountant* tenants_;
+  const SloEngine* slo_;
+  const FlightRecorder* flight_;
 };
 
 }  // namespace gisql

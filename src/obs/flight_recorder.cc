@@ -1,0 +1,158 @@
+#include "obs/flight_recorder.h"
+
+#include <utility>
+
+#include "obs/json.h"
+
+namespace gisql {
+
+void FlightRecorder::Configure(size_t ring, size_t max_incidents,
+                               double cooldown_ms, int shed_spike,
+                               double shed_window_ms) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (ring > 0) ring_ = ring;
+  if (max_incidents > 0) max_incidents_ = max_incidents;
+  if (cooldown_ms >= 0) cooldown_ms_ = cooldown_ms;
+  if (shed_spike > 0) shed_spike_ = shed_spike;
+  if (shed_window_ms > 0) shed_window_ms_ = shed_window_ms;
+  while (frames_.size() > ring_) frames_.pop_front();
+}
+
+void FlightRecorder::set_enabled(bool enabled) {
+  std::lock_guard<std::mutex> lock(mu_);
+  enabled_ = enabled;
+}
+
+bool FlightRecorder::enabled() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return enabled_;
+}
+
+void FlightRecorder::SetSystemSnapshotFn(SystemSnapshotFn fn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  system_fn_ = std::move(fn);
+}
+
+void FlightRecorder::RecordFrame(const QueryFrame& frame) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!enabled_) return;
+  QueryFrame bounded = frame;
+  if (bounded.sql.size() > kMaxFrameSql) {
+    bounded.sql.resize(kMaxFrameSql);
+    bounded.sql += "...";
+  }
+  frames_.push_back(std::move(bounded));
+  while (frames_.size() > ring_) frames_.pop_front();
+
+  if (!frame.shed_reason.empty()) {
+    double now = frame.finish_ms;
+    shed_times_.push_back(now);
+    while (!shed_times_.empty() &&
+           shed_times_.front() < now - shed_window_ms_) {
+      shed_times_.pop_front();
+    }
+    if (static_cast<int>(shed_times_.size()) >= shed_spike_ &&
+        now - last_shed_ms_ >= cooldown_ms_) {
+      last_shed_ms_ = now;
+      MaybeCapture("shed_spike",
+                   std::to_string(shed_times_.size()) + " sheds in " +
+                       JsonNum(shed_window_ms_) + "ms",
+                   now);
+    }
+  }
+}
+
+void FlightRecorder::OnSloAlert(const std::string& objective, double now_ms,
+                                double fast_burn, double slow_burn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!enabled_) return;
+  if (now_ms - last_slo_ms_ < cooldown_ms_) return;
+  last_slo_ms_ = now_ms;
+  MaybeCapture("slo_burn",
+               objective + " fast_burn=" + JsonNum(fast_burn) +
+                   " slow_burn=" + JsonNum(slow_burn),
+               now_ms);
+}
+
+void FlightRecorder::OnBreakerOpen(const std::string& source, double now_ms) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!enabled_) return;
+  if (now_ms - last_breaker_ms_ < cooldown_ms_) return;
+  last_breaker_ms_ = now_ms;
+  MaybeCapture("breaker_open", source, now_ms);
+}
+
+void FlightRecorder::MaybeCapture(const std::string& trigger,
+                                  const std::string& detail, double now_ms) {
+  IncidentRecord incident;
+  incident.id = next_incident_id_++;
+  incident.at_ms = now_ms;
+  incident.trigger = trigger;
+  incident.detail = detail;
+  incident.json = BuildJson(trigger, detail, now_ms, incident.id);
+  incidents_.push_back(std::move(incident));
+  while (incidents_.size() > max_incidents_) {
+    incidents_.erase(incidents_.begin());
+  }
+}
+
+std::string FlightRecorder::BuildJson(const std::string& trigger,
+                                      const std::string& detail,
+                                      double now_ms, int64_t id) const {
+  std::string out;
+  out.reserve(4096);
+  out += "{\"incident\":" + JsonNum(id);
+  out += ",\"at_ms\":" + JsonNum(now_ms);
+  out += ",\"trigger\":" + JsonStr(trigger);
+  out += ",\"detail\":" + JsonStr(detail);
+  out += ",\"frames\":[";
+  bool first = true;
+  for (const auto& frame : frames_) {
+    if (!first) out += ",";
+    first = false;
+    out += "{\"id\":" + JsonNum(frame.query_id);
+    out += ",\"tenant\":" + JsonStr(frame.tenant);
+    out += ",\"priority\":" + std::to_string(frame.priority);
+    out += ",\"finish_ms\":" + JsonNum(frame.finish_ms);
+    out += ",\"sojourn_ms\":" + JsonNum(frame.sojourn_ms);
+    out += ",\"rows\":" + JsonNum(frame.rows);
+    out += ",\"bytes\":" + JsonNum(frame.bytes);
+    out += ",\"cache_hit\":";
+    out += frame.cache_hit ? "true" : "false";
+    out += ",\"shed\":" + JsonStr(frame.shed_reason);
+    out += ",\"sql\":" + JsonStr(frame.sql);
+    out += "}";
+  }
+  out += "]";
+  if (system_fn_) {
+    out += ",\"system\":" + system_fn_(now_ms);
+  }
+  out += "}";
+  return out;
+}
+
+std::vector<QueryFrame> FlightRecorder::Frames() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return {frames_.begin(), frames_.end()};
+}
+
+std::vector<IncidentRecord> FlightRecorder::Incidents() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return incidents_;
+}
+
+int64_t FlightRecorder::incidents_captured() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return next_incident_id_ - 1;
+}
+
+void FlightRecorder::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  frames_.clear();
+  shed_times_.clear();
+  incidents_.clear();
+  next_incident_id_ = 1;
+  last_slo_ms_ = last_breaker_ms_ = last_shed_ms_ = -1.0e18;
+}
+
+}  // namespace gisql

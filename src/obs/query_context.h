@@ -1,0 +1,41 @@
+/// \file query_context.h
+/// \brief Workload attribution context: who submitted a query, at what
+/// priority, and when — threaded from Query()/Submit()/OpenCursor()
+/// through admission and execution into the query log and the
+/// per-tenant accountant.
+///
+/// The mediator serves a federation it does not own, and must stay
+/// answerable for *who* is consuming it. Every statement therefore
+/// carries a QueryContext; callers that do not name a tenant are
+/// attributed to kDefaultTenant so per-tenant sums always cover the
+/// whole workload (sum over gis.tenants == the global counters, with
+/// no unattributed remainder).
+
+#pragma once
+
+#include <string>
+
+namespace gisql {
+
+/// \brief Tenant charged when the caller names none.
+inline constexpr const char* kDefaultTenant = "default";
+
+/// \brief Attribution context of one statement on the simulated clock.
+struct QueryContext {
+  /// Accountable principal ("" is normalized to kDefaultTenant).
+  std::string tenant = kDefaultTenant;
+  /// Admission priority class: 0 background, 1 normal, 2 interactive.
+  int priority = 1;
+  /// Simulated arrival time (the admission request's arrival).
+  double arrival_ms = 0.0;
+  /// Simulated time the query actually started executing (arrival +
+  /// queue wait); completion is start_ms + elapsed.
+  double start_ms = 0.0;
+
+  /// \brief Normalizes an externally supplied tenant name.
+  static std::string NormalizeTenant(const std::string& tenant) {
+    return tenant.empty() ? kDefaultTenant : tenant;
+  }
+};
+
+}  // namespace gisql

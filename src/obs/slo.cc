@@ -1,0 +1,124 @@
+#include "obs/slo.h"
+
+#include <algorithm>
+
+namespace gisql {
+
+void SloEngine::SetObjectives(std::vector<SloObjective> objectives) {
+  std::lock_guard<std::mutex> lock(mu_);
+  tracked_.clear();
+  tracked_.reserve(objectives.size());
+  for (auto& objective : objectives) {
+    Tracked tracked;
+    tracked.objective = std::move(objective);
+    tracked_.push_back(std::move(tracked));
+  }
+  alert_log_.clear();
+  last_event_ms_ = 0.0;
+}
+
+void SloEngine::UseDefaultObjectives() {
+  SetObjectives({
+      {"interactive", /*priority=*/2, /*target_ms=*/50.0, /*goal=*/0.99},
+      {"normal", /*priority=*/1, /*target_ms=*/200.0, /*goal=*/0.95},
+      {"background", /*priority=*/0, /*target_ms=*/1000.0, /*goal=*/0.90},
+  });
+}
+
+void SloEngine::Configure(double fast_window_ms, double slow_window_ms,
+                          double burn_alert_threshold) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (fast_window_ms > 0) fast_window_ms_ = fast_window_ms;
+  if (slow_window_ms > 0) slow_window_ms_ = slow_window_ms;
+  if (slow_window_ms_ < fast_window_ms_) slow_window_ms_ = fast_window_ms_;
+  if (burn_alert_threshold > 0) burn_alert_ = burn_alert_threshold;
+}
+
+std::vector<SloAlert> SloEngine::Record(int priority, double finish_ms,
+                                        double sojourn_ms, bool shed) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<SloAlert> raised;
+  // The mediator's simulated clock is monotone per statement stream,
+  // but pooled cursor interleavings can finalize slightly out of
+  // order; clamping keeps window eviction monotone and deterministic.
+  double now = std::max(finish_ms, last_event_ms_);
+  last_event_ms_ = now;
+  for (auto& tracked : tracked_) {
+    if (tracked.objective.priority != priority) continue;
+    bool good = !shed && sojourn_ms <= tracked.objective.target_ms;
+    tracked.events.push_back({now, good});
+    while (!tracked.events.empty() &&
+           tracked.events.front().at_ms < now - slow_window_ms_) {
+      tracked.events.pop_front();
+    }
+    SloStatus status = Evaluate(tracked, now);
+    bool breach = status.fast_burn >= burn_alert_ &&
+                  status.slow_burn >= burn_alert_;
+    if (breach && !tracked.alerting) {
+      tracked.alerts += 1;
+      tracked.last_alert_ms = now;
+      SloAlert alert{tracked.objective.name, now, status.fast_burn,
+                     status.slow_burn};
+      alert_log_.push_back(alert);
+      raised.push_back(alert);
+    }
+    tracked.alerting = breach;
+  }
+  return raised;
+}
+
+void SloEngine::CountWindow(const std::deque<Event>& events, double now_ms,
+                            double window_ms, int64_t* total, int64_t* good) {
+  *total = 0;
+  *good = 0;
+  for (auto it = events.rbegin(); it != events.rend(); ++it) {
+    if (it->at_ms < now_ms - window_ms) break;
+    *total += 1;
+    if (it->good) *good += 1;
+  }
+}
+
+SloStatus SloEngine::Evaluate(const Tracked& tracked, double now_ms) const {
+  SloStatus status;
+  status.name = tracked.objective.name;
+  status.priority = tracked.objective.priority;
+  status.target_ms = tracked.objective.target_ms;
+  status.goal = tracked.objective.goal;
+  CountWindow(tracked.events, now_ms, fast_window_ms_, &status.fast_total,
+              &status.fast_good);
+  CountWindow(tracked.events, now_ms, slow_window_ms_, &status.slow_total,
+              &status.slow_good);
+  status.fast_attainment =
+      status.fast_total == 0
+          ? 1.0
+          : static_cast<double>(status.fast_good) / status.fast_total;
+  status.slow_attainment =
+      status.slow_total == 0
+          ? 1.0
+          : static_cast<double>(status.slow_good) / status.slow_total;
+  double budget = 1.0 - tracked.objective.goal;
+  if (budget <= 0.0) budget = 1e-9;  // a 100% goal burns instantly
+  status.fast_burn = (1.0 - status.fast_attainment) / budget;
+  status.slow_burn = (1.0 - status.slow_attainment) / budget;
+  status.alerting = tracked.alerting;
+  status.alerts = tracked.alerts;
+  status.last_alert_ms = tracked.last_alert_ms;
+  return status;
+}
+
+std::vector<SloStatus> SloEngine::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<SloStatus> statuses;
+  statuses.reserve(tracked_.size());
+  for (const auto& tracked : tracked_) {
+    statuses.push_back(Evaluate(tracked, last_event_ms_));
+  }
+  return statuses;
+}
+
+std::vector<SloAlert> SloEngine::Alerts() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return alert_log_;
+}
+
+}  // namespace gisql

@@ -77,6 +77,17 @@ void PlannerOptions::ApplyEnv() {
   EnvBool("GISQL_TXN_GC", &txn_gc);
   EnvBool("GISQL_INDEX_RANGE_SCAN", &enable_index_range_scan);
   EnvBool("GISQL_INDEX_JOIN", &enable_index_join);
+  EnvBool("GISQL_SLO_ENABLED", &slo_enabled);
+  EnvDouble("GISQL_SLO_FAST_WINDOW_MS", &slo_fast_window_ms);
+  EnvDouble("GISQL_SLO_SLOW_WINDOW_MS", &slo_slow_window_ms);
+  EnvDouble("GISQL_SLO_BURN_ALERT", &slo_burn_alert);
+  EnvBool("GISQL_FLIGHT_RECORDER", &flight_recorder);
+  EnvInt("GISQL_FLIGHT_RING", &flight_ring);
+  EnvInt("GISQL_FLIGHT_MAX_INCIDENTS", &flight_max_incidents);
+  EnvDouble("GISQL_FLIGHT_COOLDOWN_MS", &flight_cooldown_ms);
+  EnvInt("GISQL_FLIGHT_SHED_SPIKE", &flight_shed_spike);
+  EnvDouble("GISQL_FLIGHT_SHED_WINDOW_MS", &flight_shed_window_ms);
+  EnvInt("GISQL_TENANT_MAX_TRACKED", &tenant_max_tracked);
 }
 
 PlannerOptions PlannerOptions::FromEnv() {

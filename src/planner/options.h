@@ -133,6 +133,43 @@ struct PlannerOptions {
   bool txn_gc = true;
   /// @}
 
+  /// \name Workload intelligence (src/obs/, DESIGN.md "Workload
+  /// intelligence")
+  /// @{
+
+  /// Evaluate SLO objectives on every statement (GISQL_SLO_ENABLED).
+  /// The engine is cheap (one deque append + two window scans), so it
+  /// stays on by default.
+  bool slo_enabled = true;
+  /// Fast error-budget window, simulated ms (GISQL_SLO_FAST_WINDOW_MS).
+  double slo_fast_window_ms = 5000.0;
+  /// Slow error-budget window, simulated ms (GISQL_SLO_SLOW_WINDOW_MS).
+  double slo_slow_window_ms = 60000.0;
+  /// Burn-rate threshold: an alert latches when BOTH windows burn at
+  /// or above it (GISQL_SLO_BURN_ALERT).
+  double slo_burn_alert = 2.0;
+  /// Capture incident snapshots on deterministic triggers
+  /// (GISQL_FLIGHT_RECORDER).
+  bool flight_recorder = true;
+  /// Recent-query frames retained in the recorder ring
+  /// (GISQL_FLIGHT_RING).
+  int flight_ring = 64;
+  /// Incidents retained; older ones age out (GISQL_FLIGHT_MAX_INCIDENTS).
+  int flight_max_incidents = 16;
+  /// Minimum simulated ms between captures of the same trigger kind
+  /// (GISQL_FLIGHT_COOLDOWN_MS).
+  double flight_cooldown_ms = 10000.0;
+  /// Sheds within the spike window that trigger a capture
+  /// (GISQL_FLIGHT_SHED_SPIKE).
+  int flight_shed_spike = 10;
+  /// The shed-spike rolling window, simulated ms
+  /// (GISQL_FLIGHT_SHED_WINDOW_MS).
+  double flight_shed_window_ms = 1000.0;
+  /// Distinct tenants tracked individually before folding into the
+  /// "~other" bucket (GISQL_TENANT_MAX_TRACKED).
+  int tenant_max_tracked = 4096;
+  /// @}
+
   /// \brief Overrides governance knobs from GISQL_* environment
   /// variables (unset or unparsable values keep the field). Mirrors
   /// the GISQL_LOG_LEVEL convention: the env never *breaks* a run, it

@@ -149,6 +149,9 @@ Result<ScenarioReport> RunScenario(GlobalSystem* gis,
 
     GlobalSystem::SubmitOptions submit;
     submit.arrival_ms = t;
+    // The Zipf rank becomes the accountable principal, so gis.tenants
+    // reproduces the workload's skew directly.
+    submit.tenant = "t" + std::to_string(tenant);
     const double pri = rng.NextDouble();
     submit.priority = pri < spec.interactive_fraction          ? 2
                       : pri < spec.interactive_fraction +

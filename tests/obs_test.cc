@@ -1,0 +1,619 @@
+/// Tests of the workload-intelligence layer: per-tenant attribution
+/// (the sum-equals-totals invariant, the bounded tenant map), the
+/// multi-window SLO burn-rate engine, the incident flight recorder,
+/// and their gis.* / Prometheus surfaces on a live GlobalSystem.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/metrics.h"
+#include "core/global_system.h"
+#include "core/query_log.h"
+#include "obs/flight_recorder.h"
+#include "obs/query_context.h"
+#include "obs/slo.h"
+#include "obs/tenant_accountant.h"
+
+namespace gisql {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Tenant accountant
+// ---------------------------------------------------------------------------
+
+TenantCharge MakeCharge(int64_t rows, double elapsed_ms, int64_t bytes) {
+  TenantCharge c;
+  c.rows = rows;
+  c.elapsed_ms = elapsed_ms;
+  c.bytes_sent = bytes;
+  c.bytes_received = 2 * bytes;
+  c.messages = 2;
+  c.mem_bytes = 1000 + rows;
+  c.page_hits = rows;
+  c.page_misses = rows / 2;
+  c.disk_ms = elapsed_ms / 4;
+  return c;
+}
+
+/// The invariant the accountant exists to make checkable: summing any
+/// column over SnapshotTenants() reproduces Totals() exactly.
+void ExpectSumsEqualTotals(const TenantAccountant& acct) {
+  TenantUsage sum;
+  for (const auto& t : acct.SnapshotTenants()) {
+    sum.queries += t.queries;
+    sum.sheds += t.sheds;
+    sum.cache_hits += t.cache_hits;
+    sum.rows += t.rows;
+    sum.elapsed_ms += t.elapsed_ms;
+    sum.admission_wait_ms += t.admission_wait_ms;
+    sum.bytes_sent += t.bytes_sent;
+    sum.bytes_received += t.bytes_received;
+    sum.messages += t.messages;
+    sum.retries += t.retries;
+    sum.page_hits += t.page_hits;
+    sum.page_misses += t.page_misses;
+    sum.disk_ms += t.disk_ms;
+  }
+  const TenantUsage totals = acct.Totals();
+  EXPECT_EQ(sum.queries, totals.queries);
+  EXPECT_EQ(sum.sheds, totals.sheds);
+  EXPECT_EQ(sum.cache_hits, totals.cache_hits);
+  EXPECT_EQ(sum.rows, totals.rows);
+  EXPECT_DOUBLE_EQ(sum.elapsed_ms, totals.elapsed_ms);
+  EXPECT_DOUBLE_EQ(sum.admission_wait_ms, totals.admission_wait_ms);
+  EXPECT_EQ(sum.bytes_sent, totals.bytes_sent);
+  EXPECT_EQ(sum.bytes_received, totals.bytes_received);
+  EXPECT_EQ(sum.messages, totals.messages);
+  EXPECT_EQ(sum.retries, totals.retries);
+  EXPECT_EQ(sum.page_hits, totals.page_hits);
+  EXPECT_EQ(sum.page_misses, totals.page_misses);
+  EXPECT_DOUBLE_EQ(sum.disk_ms, totals.disk_ms);
+}
+
+TEST(TenantAccountantTest, SumOfTenantsEqualsTotals) {
+  TenantAccountant acct;
+  acct.Record("alpha", MakeCharge(10, 5.0, 100));
+  acct.Record("beta", MakeCharge(20, 2.5, 50));
+  acct.Record("alpha", MakeCharge(1, 0.5, 10));
+  TenantCharge shed;
+  shed.shed = true;
+  acct.Record("gamma", shed);
+  TenantCharge hit;
+  hit.cache_hit = true;
+  hit.rows = 3;
+  acct.Record("beta", hit);
+
+  EXPECT_EQ(acct.tracked_count(), 3u);
+  const auto rows = acct.SnapshotTenants();
+  ASSERT_EQ(rows.size(), 3u);
+  // Sorted by name, each row carrying its own charges only.
+  EXPECT_EQ(rows[0].tenant, "alpha");
+  EXPECT_EQ(rows[0].queries, 2);
+  EXPECT_EQ(rows[0].rows, 11);
+  EXPECT_EQ(rows[1].tenant, "beta");
+  EXPECT_EQ(rows[1].queries, 2);
+  EXPECT_EQ(rows[1].cache_hits, 1);
+  EXPECT_EQ(rows[2].tenant, "gamma");
+  EXPECT_EQ(rows[2].sheds, 1);
+  EXPECT_EQ(rows[2].queries, 0);
+  ExpectSumsEqualTotals(acct);
+}
+
+TEST(TenantAccountantTest, MemPeakIsMaxNotSum) {
+  TenantAccountant acct;
+  TenantCharge big;
+  big.mem_bytes = 5000;
+  TenantCharge small;
+  small.mem_bytes = 100;
+  acct.Record("a", big);
+  acct.Record("a", small);
+  EXPECT_EQ(acct.SnapshotTenants()[0].mem_peak_bytes, 5000);
+  EXPECT_EQ(acct.Totals().mem_peak_bytes, 5000);
+}
+
+TEST(TenantAccountantTest, OverflowFoldsIntoBucketAndInvariantHolds) {
+  TenantAccountant acct(/*max_tracked=*/2);
+  acct.Record("a", MakeCharge(1, 1.0, 10));
+  acct.Record("b", MakeCharge(2, 1.0, 10));
+  // Map is full: c and d land in the overflow bucket; a and b keep
+  // accumulating under their own names (first-seen-wins).
+  acct.Record("c", MakeCharge(4, 1.0, 10));
+  acct.Record("d", MakeCharge(8, 1.0, 10));
+  acct.Record("a", MakeCharge(16, 1.0, 10));
+
+  EXPECT_EQ(acct.tracked_count(), 2u);
+  const auto rows = acct.SnapshotTenants();
+  ASSERT_EQ(rows.size(), 3u);  // a, b, and the overflow bucket
+  std::map<std::string, int64_t> by_name;
+  for (const auto& r : rows) by_name[r.tenant] = r.rows;
+  EXPECT_EQ(by_name["a"], 17);
+  EXPECT_EQ(by_name["b"], 2);
+  EXPECT_EQ(by_name[kOverflowTenant], 12);
+  ExpectSumsEqualTotals(acct);
+}
+
+TEST(TenantAccountantTest, EmptyTenantNormalizesToDefault) {
+  TenantAccountant acct;
+  acct.Record("", MakeCharge(1, 1.0, 1));
+  const auto rows = acct.SnapshotTenants();
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0].tenant, kDefaultTenant);
+  EXPECT_EQ(QueryContext::NormalizeTenant(""), kDefaultTenant);
+  EXPECT_EQ(QueryContext::NormalizeTenant("t9"), "t9");
+}
+
+// ---------------------------------------------------------------------------
+// SLO engine
+// ---------------------------------------------------------------------------
+
+TEST(SloEngineTest, EmptyWindowsReportFullAttainmentAndZeroBurn) {
+  SloEngine slo;
+  const auto snap = slo.Snapshot();
+  ASSERT_EQ(snap.size(), 3u);  // the stock ladder
+  for (const auto& s : snap) {
+    EXPECT_EQ(s.slow_total, 0);
+    EXPECT_DOUBLE_EQ(s.fast_attainment, 1.0);
+    EXPECT_DOUBLE_EQ(s.slow_attainment, 1.0);
+    EXPECT_DOUBLE_EQ(s.fast_burn, 0.0);
+    EXPECT_FALSE(s.alerting);
+  }
+}
+
+TEST(SloEngineTest, GoodEventsNeverAlert) {
+  SloEngine slo;
+  for (int i = 0; i < 100; ++i) {
+    // Interactive events well under the 50 ms target.
+    EXPECT_TRUE(slo.Record(2, 100.0 * i, 10.0, false).empty());
+  }
+  const auto snap = slo.Snapshot();
+  // Declaration order: interactive, normal, background.
+  EXPECT_EQ(snap[0].name, "interactive");
+  EXPECT_DOUBLE_EQ(snap[0].slow_attainment, 1.0);
+  EXPECT_DOUBLE_EQ(snap[0].slow_burn, 0.0);
+  EXPECT_EQ(slo.Alerts().size(), 0u);
+}
+
+TEST(SloEngineTest, BreachRaisesOneRisingEdgeAtExactInstant) {
+  SloEngine slo;
+  // First bad interactive event: both windows hold only bad events, so
+  // burn = 1/0.01 = 100 >= 2 in both — the rising edge fires at
+  // exactly this event's finish instant.
+  auto raised = slo.Record(2, 123.5, 400.0, false);
+  ASSERT_EQ(raised.size(), 1u);
+  EXPECT_EQ(raised[0].objective, "interactive");
+  EXPECT_DOUBLE_EQ(raised[0].at_ms, 123.5);
+  // Still in breach: no second rising edge.
+  EXPECT_TRUE(slo.Record(2, 200.0, 400.0, false).empty());
+  const auto snap = slo.Snapshot();
+  EXPECT_TRUE(snap[0].alerting);
+  EXPECT_EQ(snap[0].alerts, 1);
+  EXPECT_DOUBLE_EQ(snap[0].last_alert_ms, 123.5);
+}
+
+TEST(SloEngineTest, ShedsAreNeverGood) {
+  SloEngine slo;
+  // A shed with zero sojourn still burns budget.
+  auto raised = slo.Record(2, 50.0, 0.0, true);
+  ASSERT_EQ(raised.size(), 1u);
+  EXPECT_EQ(slo.Snapshot()[0].slow_good, 0);
+}
+
+TEST(SloEngineTest, RecoveryClearsAlertAndNewBreachRaisesAgain) {
+  SloEngine slo;
+  slo.Configure(/*fast=*/100.0, /*slow=*/1000.0, /*burn=*/2.0);
+  ASSERT_EQ(slo.Record(2, 10.0, 400.0, false).size(), 1u);
+  // Flood both windows with good events until attainment recovers past
+  // the alert threshold (bad event ages out of the slow window too).
+  for (int i = 0; i < 200; ++i) {
+    slo.Record(2, 20.0 + i * 10.0, 1.0, false);
+  }
+  EXPECT_FALSE(slo.Snapshot()[0].alerting);
+  // A fresh breach is a new rising edge.
+  auto raised = slo.Record(2, 2100.0, 400.0, false);
+  // One bad event among many good in the fast window may not re-breach
+  // immediately; keep pushing bad events until it does.
+  double t = 2110.0;
+  while (raised.empty() && t < 5000.0) {
+    raised = slo.Record(2, t, 400.0, false);
+    t += 10.0;
+  }
+  ASSERT_EQ(raised.size(), 1u);
+  EXPECT_EQ(slo.Snapshot()[0].alerts, 2);
+}
+
+TEST(SloEngineTest, PrioritiesMapToDistinctObjectives) {
+  SloEngine slo;
+  // Background target is 1000 ms: a 400 ms sojourn is good there but
+  // bad for interactive.
+  EXPECT_TRUE(slo.Record(0, 10.0, 400.0, false).empty());
+  auto raised = slo.Record(2, 20.0, 400.0, false);
+  ASSERT_EQ(raised.size(), 1u);
+  const auto snap = slo.Snapshot();
+  EXPECT_EQ(snap[2].name, "background");
+  EXPECT_DOUBLE_EQ(snap[2].slow_attainment, 1.0);
+  EXPECT_TRUE(snap[0].alerting);
+}
+
+// ---------------------------------------------------------------------------
+// Flight recorder
+// ---------------------------------------------------------------------------
+
+QueryFrame MakeFrame(double finish_ms, const std::string& shed = "") {
+  QueryFrame f;
+  f.query_id = static_cast<int64_t>(finish_ms);
+  f.tenant = "t1";
+  f.finish_ms = finish_ms;
+  f.sojourn_ms = 5.0;
+  f.shed_reason = shed;
+  f.sql = "SELECT 1";
+  return f;
+}
+
+TEST(FlightRecorderTest, RingKeepsMostRecentFrames) {
+  FlightRecorder rec;
+  rec.Configure(/*ring=*/4, /*max_incidents=*/4, /*cooldown_ms=*/1000.0,
+                /*shed_spike=*/100, /*shed_window_ms=*/1000.0);
+  for (int i = 1; i <= 6; ++i) rec.RecordFrame(MakeFrame(i));
+  const auto frames = rec.Frames();
+  ASSERT_EQ(frames.size(), 4u);
+  EXPECT_DOUBLE_EQ(frames.front().finish_ms, 3.0);
+  EXPECT_DOUBLE_EQ(frames.back().finish_ms, 6.0);
+}
+
+TEST(FlightRecorderTest, LongSqlIsTruncatedInFrames) {
+  FlightRecorder rec;
+  QueryFrame f = MakeFrame(1.0);
+  f.sql = std::string(500, 'x');
+  rec.RecordFrame(f);
+  const auto frames = rec.Frames();
+  ASSERT_EQ(frames.size(), 1u);
+  EXPECT_EQ(frames[0].sql.size(), FlightRecorder::kMaxFrameSql + 3);
+  EXPECT_EQ(frames[0].sql.substr(FlightRecorder::kMaxFrameSql), "...");
+}
+
+TEST(FlightRecorderTest, ShedSpikeTriggersOnceUnderCooldown) {
+  FlightRecorder rec;
+  rec.Configure(/*ring=*/16, /*max_incidents=*/8, /*cooldown_ms=*/10000.0,
+                /*shed_spike=*/3, /*shed_window_ms=*/100.0);
+  rec.SetSystemSnapshotFn([](double) { return std::string("{\"probe\":1}"); });
+  rec.RecordFrame(MakeFrame(10.0, "queue_full"));
+  rec.RecordFrame(MakeFrame(20.0, "queue_full"));
+  EXPECT_EQ(rec.incidents_captured(), 0);
+  rec.RecordFrame(MakeFrame(30.0, "queue_full"));  // third within 100 ms
+  EXPECT_EQ(rec.incidents_captured(), 1);
+  // More sheds inside the cooldown add no incidents...
+  rec.RecordFrame(MakeFrame(40.0, "queue_full"));
+  rec.RecordFrame(MakeFrame(50.0, "queue_full"));
+  EXPECT_EQ(rec.incidents_captured(), 1);
+  const auto incidents = rec.Incidents();
+  ASSERT_EQ(incidents.size(), 1u);
+  EXPECT_EQ(incidents[0].trigger, "shed_spike");
+  EXPECT_DOUBLE_EQ(incidents[0].at_ms, 30.0);
+  // ...and the snapshot embeds the frames and the system callback.
+  EXPECT_NE(incidents[0].json.find("\"frames\""), std::string::npos);
+  EXPECT_NE(incidents[0].json.find("{\"probe\":1}"), std::string::npos);
+}
+
+TEST(FlightRecorderTest, SloAndBreakerTriggersHaveIndependentCooldowns) {
+  FlightRecorder rec;
+  rec.Configure(16, 8, /*cooldown_ms=*/1000.0, 100, 100.0);
+  rec.OnSloAlert("interactive", 10.0, 5.0, 3.0);
+  rec.OnBreakerOpen("hq", 10.0);  // different trigger kind: not blocked
+  EXPECT_EQ(rec.incidents_captured(), 2);
+  rec.OnSloAlert("interactive", 500.0, 5.0, 3.0);  // cooling down
+  EXPECT_EQ(rec.incidents_captured(), 2);
+  rec.OnSloAlert("interactive", 1500.0, 5.0, 3.0);  // cooldown passed
+  EXPECT_EQ(rec.incidents_captured(), 3);
+  const auto incidents = rec.Incidents();
+  EXPECT_EQ(incidents[0].trigger, "slo_burn");
+  // The detail names the objective and both burn rates.
+  EXPECT_EQ(incidents[0].detail.rfind("interactive fast_burn=", 0), 0u);
+  EXPECT_EQ(incidents[1].trigger, "breaker_open");
+  EXPECT_EQ(incidents[1].detail, "hq");
+}
+
+TEST(FlightRecorderTest, DisabledRecorderCapturesNothing) {
+  FlightRecorder rec;
+  rec.Configure(16, 8, 0.0, 1, 1000.0);
+  rec.set_enabled(false);
+  rec.RecordFrame(MakeFrame(1.0, "queue_full"));
+  rec.OnSloAlert("interactive", 2.0, 5.0, 3.0);
+  rec.OnBreakerOpen("hq", 3.0);
+  EXPECT_EQ(rec.incidents_captured(), 0);
+  EXPECT_EQ(rec.Incidents().size(), 0u);
+}
+
+TEST(FlightRecorderTest, IncidentListIsBoundedButCounterIsNot) {
+  FlightRecorder rec;
+  rec.Configure(4, /*max_incidents=*/2, /*cooldown_ms=*/0.0, 100, 100.0);
+  for (int i = 0; i < 5; ++i) {
+    rec.OnBreakerOpen("s" + std::to_string(i), i * 10.0);
+  }
+  EXPECT_EQ(rec.incidents_captured(), 5);
+  const auto incidents = rec.Incidents();
+  ASSERT_EQ(incidents.size(), 2u);
+  EXPECT_EQ(incidents[0].detail, "s3");  // oldest dropped
+  EXPECT_EQ(incidents[1].detail, "s4");
+  EXPECT_EQ(incidents[1].id, 5);  // ids keep counting past eviction
+}
+
+// ---------------------------------------------------------------------------
+// Query log capacity from the environment
+// ---------------------------------------------------------------------------
+
+TEST(QueryLogCapacityTest, EnvParsesClampsAndFallsBack) {
+  unsetenv("GISQL_QUERY_LOG_CAPACITY");
+  EXPECT_EQ(QueryLog::CapacityFromEnv(), QueryLog::kDefaultCapacity);
+  setenv("GISQL_QUERY_LOG_CAPACITY", "1000", 1);
+  EXPECT_EQ(QueryLog::CapacityFromEnv(), 1000u);
+  setenv("GISQL_QUERY_LOG_CAPACITY", "not-a-number", 1);
+  EXPECT_EQ(QueryLog::CapacityFromEnv(), QueryLog::kDefaultCapacity);
+  setenv("GISQL_QUERY_LOG_CAPACITY", "0", 1);
+  EXPECT_EQ(QueryLog::CapacityFromEnv(), QueryLog::kDefaultCapacity);
+  setenv("GISQL_QUERY_LOG_CAPACITY", "99999999", 1);
+  EXPECT_EQ(QueryLog::CapacityFromEnv(), QueryLog::kMaxCapacity);
+  unsetenv("GISQL_QUERY_LOG_CAPACITY");
+}
+
+// ---------------------------------------------------------------------------
+// p99.9 digests
+// ---------------------------------------------------------------------------
+
+TEST(HistogramP999Test, TailQuantileOrderingHolds) {
+  Histogram h;
+  for (int i = 1; i <= 1000; ++i) h.Observe(static_cast<double>(i));
+  const HistogramSnapshot d = DigestHistogram(h);
+  EXPECT_EQ(d.count, 1000);
+  EXPECT_GE(d.p999, d.p99);
+  EXPECT_GE(d.p99, d.p95);
+  EXPECT_LE(d.p999, d.max);
+  // An outlier pair only the p99.9 should resolve (2/1000 puts the
+  // 0.999 rank past the low bucket while 0.99 stays inside it).
+  Histogram spike;
+  for (int i = 0; i < 998; ++i) spike.Observe(1.0);
+  spike.Observe(10000.0);
+  spike.Observe(10000.0);
+  const HistogramSnapshot s = DigestHistogram(spike);
+  EXPECT_LT(s.p99, 100.0);
+  EXPECT_GT(s.p999, 100.0);
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end: attribution, gis.* surfaces, Prometheus, determinism
+// ---------------------------------------------------------------------------
+
+void Build(GlobalSystem* gis) {
+  auto hq = *gis->CreateSource("hq", SourceDialect::kRelational);
+  ASSERT_TRUE(hq->ExecuteLocalSql(
+                    "CREATE TABLE orders (oid bigint, cid bigint, "
+                    "total double)")
+                  .ok());
+  for (int i = 0; i < 30; ++i) {
+    ASSERT_TRUE(hq->ExecuteLocalSql(
+                      "INSERT INTO orders VALUES (" + std::to_string(i) +
+                      ", " + std::to_string(i % 5) + ", " +
+                      std::to_string(i * 1.5) + ")")
+                    .ok());
+  }
+  ASSERT_TRUE(gis->ImportSource("hq").ok());
+}
+
+TEST(WorkloadIntelligenceTest, SubmitAttributesToNamedTenant) {
+  GlobalSystem gis;
+  Build(&gis);
+  GlobalSystem::SubmitOptions submit;
+  submit.tenant = "acme";
+  ASSERT_TRUE(gis.Submit("SELECT COUNT(*) FROM orders", submit).ok());
+  ASSERT_TRUE(gis.Query("SELECT MAX(oid) FROM orders").ok());
+
+  const auto rows = gis.tenants().SnapshotTenants();
+  std::map<std::string, TenantUsage> by_name;
+  for (const auto& r : rows) by_name[r.tenant] = r;
+  ASSERT_TRUE(by_name.count("acme"));
+  ASSERT_TRUE(by_name.count("default"));  // the plain Query() above
+  EXPECT_EQ(by_name["acme"].queries, 1);
+  EXPECT_GT(by_name["acme"].bytes_received, 0);
+  EXPECT_GT(by_name["acme"].messages, 0);
+  EXPECT_EQ(by_name["default"].queries, 1);
+
+  // The per-tenant ledger and the query log tell the same story.
+  int64_t log_bytes = 0;
+  for (const auto& e : gis.query_log().Snapshot()) {
+    log_bytes += e.bytes_received;
+  }
+  EXPECT_EQ(gis.tenants().Totals().bytes_received, log_bytes);
+}
+
+TEST(WorkloadIntelligenceTest, QueryLogCarriesTenantAndFinish) {
+  GlobalSystem gis;
+  Build(&gis);
+  GlobalSystem::SubmitOptions submit;
+  submit.tenant = "acme";
+  submit.priority = 2;
+  ASSERT_TRUE(gis.Submit("SELECT COUNT(*) FROM orders", submit).ok());
+  const auto entries = gis.query_log().Snapshot();
+  ASSERT_EQ(entries.size(), 1u);
+  EXPECT_EQ(entries[0].tenant, "acme");
+  EXPECT_EQ(entries[0].priority, 2);
+  EXPECT_GT(entries[0].finish_ms, 0.0);
+  EXPECT_DOUBLE_EQ(entries[0].finish_ms,
+                   entries[0].admission_wait_ms + entries[0].elapsed_ms);
+}
+
+TEST(WorkloadIntelligenceTest, GisTenantsTableSumsMatchTotals) {
+  GlobalSystem gis;
+  Build(&gis);
+  for (int i = 0; i < 3; ++i) {
+    GlobalSystem::SubmitOptions submit;
+    submit.tenant = "t" + std::to_string(i % 2);
+    ASSERT_TRUE(gis.Submit("SELECT COUNT(*) FROM orders WHERE oid > " +
+                               std::to_string(i),
+                           submit)
+                    .ok());
+  }
+  auto result = gis.Query(
+      "SELECT tenant, queries, bytes_received FROM gis.tenants "
+      "ORDER BY tenant");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_EQ(result->batch.num_rows(), 2u);
+  int64_t queries = 0;
+  int64_t bytes = 0;
+  for (const auto& row : result->batch.rows()) {
+    queries += row[1].AsInt();
+    bytes += row[2].AsInt();
+  }
+  const TenantUsage totals = gis.tenants().Totals();
+  EXPECT_EQ(queries + 1, totals.queries);  // +1: the gis.tenants scan ran
+                                           // after its own snapshot
+  EXPECT_EQ(bytes, totals.bytes_received);  // the scan itself moved none
+}
+
+TEST(WorkloadIntelligenceTest, GisSloTableReflectsDefaultLadder) {
+  GlobalSystem gis;
+  Build(&gis);
+  ASSERT_TRUE(gis.Query("SELECT COUNT(*) FROM orders").ok());
+  auto result = gis.Query(
+      "SELECT objective, priority, target_ms, goal, slow_total "
+      "FROM gis.slo ORDER BY priority");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_EQ(result->batch.num_rows(), 3u);
+  const auto& rows = result->batch.rows();
+  EXPECT_EQ(rows[0][0].AsString(), "background");
+  EXPECT_EQ(rows[1][0].AsString(), "normal");
+  EXPECT_EQ(rows[2][0].AsString(), "interactive");
+  EXPECT_DOUBLE_EQ(rows[2][2].AsDouble(), 50.0);
+  // The priming query ran at normal priority.
+  EXPECT_GE(rows[1][4].AsInt(), 1);
+}
+
+TEST(WorkloadIntelligenceTest, ShedSpikeShowsUpInGisIncidents) {
+  PlannerOptions options;
+  options.admission_control = true;
+  options.max_concurrent_queries = 1;
+  options.admission_queue_limit = 0;  // any overlap sheds immediately
+  options.flight_shed_spike = 3;
+  options.flight_shed_window_ms = 10'000.0;
+  GlobalSystem gis(options);
+  Build(&gis);
+
+  GlobalSystem::SubmitOptions submit;
+  submit.tenant = "flood";
+  submit.arrival_ms = 0.0;
+  // The first query occupies the only slot for its full duration; the
+  // rest arrive at t=0 behind a zero-length queue and shed.
+  int sheds = 0;
+  for (int i = 0; i < 6; ++i) {
+    auto r = gis.Submit("SELECT COUNT(*) FROM orders WHERE oid >= " +
+                            std::to_string(i),
+                        submit);
+    if (!r.ok()) ++sheds;
+  }
+  ASSERT_GE(sheds, 3);
+  EXPECT_GE(gis.flight_recorder().incidents_captured(), 1);
+
+  // The shed storm can also breach the SLO ladder, so a slo_burn
+  // incident may land first — filter for the spike capture.
+  auto result = gis.Query(
+      "SELECT id, trigger, detail, snapshot FROM gis.incidents "
+      "WHERE trigger = 'shed_spike'");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_GE(result->batch.num_rows(), 1u);
+  const auto& row = result->batch.rows()[0];
+  EXPECT_EQ(row[1].AsString(), "shed_spike");
+  const std::string json = row[3].AsString();
+  EXPECT_NE(json.find("\"frames\""), std::string::npos);
+  EXPECT_NE(json.find("\"system\""), std::string::npos);
+  EXPECT_NE(json.find("\"admission\""), std::string::npos);
+  // Shed frames carry the tenant that was refused.
+  EXPECT_NE(json.find("flood"), std::string::npos);
+  // The sheds are charged to the tenant ledger too.
+  const auto rows = gis.tenants().SnapshotTenants();
+  bool found = false;
+  for (const auto& t : rows) {
+    if (t.tenant == "flood") {
+      found = true;
+      EXPECT_EQ(t.sheds, sheds);
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(WorkloadIntelligenceTest, PrometheusCarriesTenantAndSloSeries) {
+  GlobalSystem gis;
+  Build(&gis);
+  GlobalSystem::SubmitOptions submit;
+  submit.tenant = "acme";
+  ASSERT_TRUE(gis.Submit("SELECT COUNT(*) FROM orders", submit).ok());
+  const std::string text = gis.ExportPrometheus();
+  EXPECT_NE(text.find("gisql_tenant_queries_total{tenant=\"acme\"} 1"),
+            std::string::npos)
+      << text.substr(0, 400);
+  EXPECT_NE(text.find("gisql_slo_slow_burn{objective=\"interactive\"}"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE gisql_incidents_total counter"),
+            std::string::npos);
+}
+
+TEST(EscapeLabelValueTest, EscapesBackslashQuoteNewline) {
+  EXPECT_EQ(EscapeLabelValue("plain"), "plain");
+  EXPECT_EQ(EscapeLabelValue("a\"b"), "a\\\"b");
+  EXPECT_EQ(EscapeLabelValue("a\\b"), "a\\\\b");
+  EXPECT_EQ(EscapeLabelValue("a\nb"), "a\\nb");
+}
+
+TEST(WorkloadIntelligenceTest, HostileTenantNameIsEscapedInExport) {
+  GlobalSystem gis;
+  Build(&gis);
+  GlobalSystem::SubmitOptions submit;
+  submit.tenant = "evil\"tenant\\x";
+  ASSERT_TRUE(gis.Submit("SELECT COUNT(*) FROM orders", submit).ok());
+  const std::string text = gis.ExportPrometheus();
+  EXPECT_NE(
+      text.find("gisql_tenant_queries_total{tenant=\"evil\\\"tenant\\\\x\"}"),
+      std::string::npos);
+}
+
+/// The tentpole determinism property: the whole workload-intelligence
+/// surface — tenant ledger, SLO evaluation, incident JSON — must render
+/// byte-identically serial vs pooled under the same seeded traffic.
+TEST(WorkloadIntelligenceDeterminismTest, SerialAndPooledAreIdentical) {
+  auto run = [](bool parallel) {
+    PlannerOptions options;
+    options.parallel_execution = parallel;
+    options.admission_control = true;
+    options.max_concurrent_queries = 1;
+    options.admission_queue_limit = 0;
+    options.flight_shed_spike = 2;
+    auto gis = std::make_unique<GlobalSystem>(options);
+    Build(gis.get());
+    for (int i = 0; i < 8; ++i) {
+      GlobalSystem::SubmitOptions submit;
+      submit.tenant = "t" + std::to_string(i % 3);
+      submit.priority = i % 3;
+      submit.arrival_ms = 0.0;  // flash crowd: everyone at t=0
+      (void)gis->Submit("SELECT COUNT(*) FROM orders WHERE cid = " +
+                            std::to_string(i % 5),
+                        submit);
+    }
+    std::string out;
+    for (const char* q :
+         {"SELECT * FROM gis.tenants ORDER BY tenant",
+          "SELECT * FROM gis.slo ORDER BY objective",
+          "SELECT * FROM gis.incidents ORDER BY id",
+          "SELECT id, sql, tenant, priority, finish_ms, shed_reason "
+          "FROM gis.queries ORDER BY id"}) {
+      auto r = gis->Query(q);
+      EXPECT_TRUE(r.ok()) << r.status().ToString();
+      if (r.ok()) out += r->batch.ToString(1 << 20);
+    }
+    return out;
+  };
+  EXPECT_EQ(run(false), run(true));
+}
+
+}  // namespace
+}  // namespace gisql

@@ -252,10 +252,57 @@ TEST(SystemTablesDeterminismTest, SerialAndPooledResultsAreIdentical) {
 // Prometheus exposition
 // ---------------------------------------------------------------------------
 
+/// Validates one `{name="value",...}` label block: names are bare
+/// identifiers, values are double-quoted with backslash, quote, and
+/// newline escaped (the EscapeLabelValue contract).
+void ValidateLabelBlock(const std::string& labels, const std::string& line) {
+  ASSERT_GE(labels.size(), 2u) << line;
+  ASSERT_EQ(labels.front(), '{') << line;
+  ASSERT_EQ(labels.back(), '}') << line;
+  size_t i = 1;
+  while (i < labels.size() - 1) {
+    // Label name up to '='.
+    const size_t eq = labels.find('=', i);
+    ASSERT_NE(eq, std::string::npos) << line;
+    for (size_t j = i; j < eq; ++j) {
+      const char c = labels[j];
+      ASSERT_TRUE(std::isalnum(static_cast<unsigned char>(c)) || c == '_')
+          << "bad label name char in: " << line;
+    }
+    ASSERT_EQ(labels[eq + 1], '"') << line;
+    // Quoted value: scan to the closing unescaped quote; raw newlines
+    // and raw inner quotes are format violations.
+    size_t j = eq + 2;
+    bool closed = false;
+    while (j < labels.size() - 1) {
+      if (labels[j] == '\\') {
+        ASSERT_LT(j + 1, labels.size() - 1) << line;
+        const char next = labels[j + 1];
+        ASSERT_TRUE(next == '\\' || next == '"' || next == 'n') << line;
+        j += 2;
+        continue;
+      }
+      ASSERT_NE(labels[j], '\n') << "raw newline in label value: " << line;
+      if (labels[j] == '"') {
+        closed = true;
+        break;
+      }
+      ++j;
+    }
+    ASSERT_TRUE(closed) << "unterminated label value: " << line;
+    i = j + 1;
+    if (i < labels.size() - 1) {
+      ASSERT_EQ(labels[i], ',') << line;
+      ++i;
+    }
+  }
+}
+
 /// Minimal line-by-line validator of the Prometheus text format: every
 /// sample's base name must be declared by a preceding # TYPE line,
-/// histogram bucket counts must be cumulative (nondecreasing), and the
-/// +Inf bucket must equal _count.
+/// label blocks must be well-formed (escaped values), histogram bucket
+/// counts must be cumulative (nondecreasing), and the +Inf bucket must
+/// equal _count.
 void ValidatePrometheus(const std::string& text) {
   std::map<std::string, std::string> declared;  // base name -> type
   std::map<std::string, int64_t> last_bucket;
@@ -283,8 +330,13 @@ void ValidatePrometheus(const std::string& text) {
     std::string key = line.substr(0, sp);
     const std::string value = line.substr(sp + 1);
     ASSERT_FALSE(value.empty()) << line;
-    // Strip any {label="..."} suffix down to the sample name.
-    std::string sample = key.substr(0, key.find('{'));
+    // Strip any {label="..."} suffix down to the sample name, but
+    // validate the block itself first.
+    const size_t brace = key.find('{');
+    if (brace != std::string::npos) {
+      ValidateLabelBlock(key.substr(brace), line);
+    }
+    std::string sample = key.substr(0, brace);
     for (char c : sample) {
       ASSERT_TRUE(std::isalnum(static_cast<unsigned char>(c)) || c == '_')
           << "bad metric name char in: " << line;
