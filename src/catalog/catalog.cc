@@ -88,6 +88,49 @@ std::vector<std::string> Catalog::TableNames() const {
   return names;
 }
 
+Status Catalog::RenameTable(const std::string& global_name,
+                            const std::string& new_global_name) {
+  const std::string key = ToLower(global_name);
+  const std::string new_key = ToLower(new_global_name);
+  auto it = tables_.find(key);
+  if (it == tables_.end()) {
+    return Status::NotFound("global table '", global_name,
+                            "' is not in the catalog");
+  }
+  if (new_key == key) return Status::OK();
+  if (tables_.count(new_key) || views_.count(new_key)) {
+    return Status::AlreadyExists("global name '", new_global_name,
+                                 "' is already in use");
+  }
+  if (TableInAnyView(global_name)) {
+    return Status::InvalidArgument("global table '", global_name,
+                                   "' is a member of a view; rename would "
+                                   "dangle the member list");
+  }
+  TableMapping mapping = std::move(it->second);
+  tables_.erase(it);
+  mapping.global_name = new_global_name;
+  mapping.schema =
+      std::make_shared<Schema>(mapping.schema->WithQualifier(new_global_name));
+  tables_.emplace(new_key, std::move(mapping));
+  return Status::OK();
+}
+
+Status Catalog::DropTable(const std::string& global_name) {
+  auto it = tables_.find(ToLower(global_name));
+  if (it == tables_.end()) {
+    return Status::NotFound("global table '", global_name,
+                            "' is not in the catalog");
+  }
+  if (TableInAnyView(global_name)) {
+    return Status::InvalidArgument("global table '", global_name,
+                                   "' is a member of a view; drop the view "
+                                   "first");
+  }
+  tables_.erase(it);
+  return Status::OK();
+}
+
 Status Catalog::CreateUnionView(const std::string& name,
                                 const std::vector<std::string>& members) {
   return CreateViewInternal(name, members, /*replicated=*/false);
@@ -147,6 +190,25 @@ std::vector<std::string> Catalog::ViewNames() const {
   std::vector<std::string> names;
   for (const auto& [key, v] : views_) names.push_back(v.name);
   return names;
+}
+
+Status Catalog::DropView(const std::string& name) {
+  auto it = views_.find(ToLower(name));
+  if (it == views_.end()) {
+    return Status::NotFound("global view '", name, "' is not in the catalog");
+  }
+  views_.erase(it);
+  return Status::OK();
+}
+
+bool Catalog::TableInAnyView(const std::string& global_name) const {
+  const std::string key = ToLower(global_name);
+  for (const auto& [vkey, v] : views_) {
+    for (const auto& member : v.members) {
+      if (ToLower(member) == key) return true;
+    }
+  }
+  return false;
 }
 
 std::string Catalog::ToString() const {

@@ -79,6 +79,19 @@ class Catalog {
   bool HasTable(const std::string& global_name) const;
   Status UpdateStats(const std::string& global_name, TableStats stats);
   std::vector<std::string> TableNames() const;
+
+  /// \brief Re-keys a table under a new global name, re-qualifying its
+  /// schema. Fails if the table is a member of any view (the view's
+  /// member list would dangle) or the new name is taken. Used by the
+  /// advisor to alias a base table away before promoting its global
+  /// name to a replicated view.
+  Status RenameTable(const std::string& global_name,
+                     const std::string& new_global_name);
+
+  /// \brief Removes a table mapping. Fails while any view references
+  /// it. The source-side table is not touched — that is the owner's
+  /// admin-channel problem.
+  Status DropTable(const std::string& global_name);
   /// @}
 
   /// \name Union views
@@ -99,6 +112,14 @@ class Catalog {
   Result<const GlobalView*> GetView(const std::string& name) const;
   bool HasView(const std::string& name) const;
   std::vector<std::string> ViewNames() const;
+
+  /// \brief Removes a view definition (member tables stay registered).
+  /// The advisor's demote path drops its replicated view with this
+  /// before renaming the base table back.
+  Status DropView(const std::string& name);
+
+  /// \brief True when `global_name` appears in any view's member list.
+  bool TableInAnyView(const std::string& global_name) const;
   /// @}
 
   /// \name System tables

@@ -12,10 +12,11 @@ bool IsSystemTableName(const std::string& name) {
 }
 
 std::vector<std::string> SystemTableNames() {
-  return {"gis.admission",    "gis.cursors",      "gis.gauges",
-          "gis.histograms",   "gis.incidents",    "gis.metrics",
-          "gis.queries",      "gis.slo",          "gis.sources",
-          "gis.storage",      "gis.tenants",      "gis.transactions"};
+  return {"gis.admission",    "gis.advisor",      "gis.cursors",
+          "gis.gauges",       "gis.histograms",   "gis.incidents",
+          "gis.metrics",      "gis.queries",      "gis.slo",
+          "gis.sources",      "gis.storage",      "gis.tenants",
+          "gis.transactions"};
 }
 
 Result<SchemaPtr> SystemTableSchema(const std::string& name) {
@@ -221,13 +222,30 @@ Result<SchemaPtr> SystemTableSchema(const std::string& name) {
         {"tenant", TypeId::kString, false},
         {"priority", TypeId::kInt64, false},
         {"finish_ms", TypeId::kDouble, false},
+        {"fingerprint", TypeId::kString, false},
+    });
+  }
+  if (lower == "gis.advisor") {
+    // One row per *enacted* advisor decision (plus failures), in
+    // decision order: what policy fired, the evidence it read, the
+    // action it took, and how the action ended. The rendering is
+    // byte-identical across serial/pooled runs of the same seed.
+    return std::make_shared<Schema>(std::vector<Field>{
+        {"id", TypeId::kInt64, false},
+        {"at_ms", TypeId::kDouble, false},
+        {"kind", TypeId::kString, false},
+        {"target", TypeId::kString, false},
+        {"evidence", TypeId::kString, false},
+        {"action", TypeId::kString, false},
+        {"outcome", TypeId::kString, false},
     });
   }
   return Status::NotFound("'", name, "' is not a system table (known: ",
                           "gis.sources, gis.metrics, gis.gauges, "
                           "gis.histograms, gis.queries, gis.admission, "
-                          "gis.cursors, gis.storage, gis.transactions, "
-                          "gis.tenants, gis.slo, gis.incidents)");
+                          "gis.advisor, gis.cursors, gis.storage, "
+                          "gis.transactions, gis.tenants, gis.slo, "
+                          "gis.incidents)");
 }
 
 }  // namespace gisql

@@ -12,6 +12,7 @@
 #include "planner/decomposer.h"
 #include "planner/logical_planner.h"
 #include "planner/optimizer.h"
+#include "sql/fingerprint.h"
 #include "sql/parser.h"
 #include "wire/protocol.h"
 #include "wire/serde.h"
@@ -54,9 +55,11 @@ GlobalSystem::GlobalSystem(PlannerOptions options)
   flight_.set_enabled(options_.flight_recorder);
   flight_.SetSystemSnapshotFn(
       [this](double now_ms) { return SystemStateJson(now_ms); });
+  ConfigureAdvisor();
   system_catalog_ = std::make_unique<SystemCatalog>(
       &health_, &metrics_, &network_.metrics(), &query_log_, &catalog_,
-      &governor_, &cursors_, &sources_, &txns_, &tenants_, &slo_, &flight_);
+      &governor_, &cursors_, &sources_, &txns_, &tenants_, &slo_, &flight_,
+      advisor_.get());
   catalog_.RegisterSystemTableProvider(system_catalog_.get());
 }
 
@@ -539,6 +542,22 @@ std::string GlobalSystem::ExportPrometheus() const {
   single("gisql_breaker_transitions_total", "counter",
          std::to_string(g.breaker_transitions));
 
+  // Self-driving advisor series.
+  const AdvisorCounters ac = advisor_->counters();
+  single("gisql_advisor_ticks_total", "counter", std::to_string(ac.ticks));
+  single("gisql_advisor_decisions_total", "counter",
+         std::to_string(ac.decisions));
+  single("gisql_advisor_materializations_total", "counter",
+         std::to_string(ac.materializations));
+  single("gisql_advisor_evictions_total", "counter",
+         std::to_string(ac.evictions));
+  single("gisql_advisor_placements_total", "counter",
+         std::to_string(ac.placements));
+  single("gisql_advisor_tunings_total", "counter",
+         std::to_string(ac.tunings));
+  single("gisql_advisor_failures_total", "counter",
+         std::to_string(ac.failures));
+
   // Transaction-manager series: active gauge, lifecycle counters, and
   // the MVCC GC watermark position.
   const TxnCounters& tc = txns_.counters();
@@ -839,6 +858,9 @@ void GlobalSystem::RecordQueryOutcome(QueryLogEntry entry,
                                       int64_t page_misses, double disk_ms) {
   entry.tenant = qctx.tenant;
   entry.priority = qctx.priority;
+  // Template fingerprint: literals/whitespace normalized away, so the
+  // advisor (and gis.queries readers) can group recurring shapes.
+  entry.fingerprint = sql::FingerprintHex(entry.sql);
   const bool shed = !entry.shed_reason.empty();
 
   TenantCharge charge;
@@ -1082,6 +1104,10 @@ Result<QueryResult> GlobalSystem::Submit(const std::string& sql,
     entry.finish_ms = qctx.start_ms;  // aborted mid-execution, zero-width
     RecordQueryOutcome(std::move(entry), qctx, 0, 0, 0, 0.0);
   }
+  // The advisor rides the statement clock: by this point the governor
+  // has advanced past this statement's completion, so tick times — and
+  // therefore decisions — replay identically for the same seed.
+  advisor_->Tick(governor_.now_ms());
   return result;
 }
 
@@ -1274,16 +1300,21 @@ Result<QueryResult> GlobalSystem::RunStatement(const std::string& sql,
       tr->Begin("cache.insert", "lifecycle", root, out.elapsed_ms);
     }
     std::set<std::string> sources;
+    std::set<std::string> tables;
     VisitPlan(plan, [&](const PlanNodePtr& node) {
       if (node->kind == PlanKind::kRemoteFragment) {
         sources.insert(node->fragment_source);
+        if (!node->scan_global_name.empty()) {
+          tables.insert(node->scan_global_name);
+        }
         for (const auto& alt : node->scan_alternates) {
           sources.insert(alt.source);
+          if (!alt.global_name.empty()) tables.insert(alt.global_name);
         }
       }
     });
     cache_->Insert(cache_key, result.batch, result.metrics.elapsed_ms,
-                   std::move(sources));
+                   std::move(sources), std::move(tables));
   }
   if (tr != nullptr) tr->End(root, out.elapsed_ms);
 
@@ -1449,6 +1480,7 @@ Result<uint64_t> GlobalSystem::OpenCursor(const std::string& sql,
   e.disk_ms = (pools_after.disk_us - pools_before.disk_us) / 1e3;
   e.mem_peak_bytes = e.grant.used();
   metrics_.Add("cursor.opened", 1);
+  advisor_->Tick(governor_.now_ms());
   return e.id;
 }
 

@@ -21,6 +21,7 @@
 #include <string>
 #include <vector>
 
+#include "advisor/advisor.h"
 #include "catalog/catalog.h"
 #include "common/retry_policy.h"
 #include "common/trace.h"
@@ -68,7 +69,12 @@ struct QueryResult {
 };
 
 /// \brief The mediator and its world.
-class GlobalSystem {
+///
+/// GlobalSystem is also the advisor's AdvisorHost: the advisor decides,
+/// and the host methods below (MaterializeReplica / DemoteReplicatedView)
+/// carry the actions over the same wire protocol every other mediator
+/// operation uses.
+class GlobalSystem : public AdvisorHost {
  public:
   explicit GlobalSystem(PlannerOptions options = PlannerOptions());
 
@@ -375,6 +381,7 @@ class GlobalSystem {
         options.flight_cooldown_ms, options.flight_shed_spike,
         options.flight_shed_window_ms);
     flight_.set_enabled(options.flight_recorder);
+    ConfigureAdvisor();
   }
   const PlannerOptions& options() const { return options_; }
 
@@ -387,6 +394,36 @@ class GlobalSystem {
   /// @{
   ResourceGovernor& governor() { return governor_; }
   const ResourceGovernor& governor() const { return governor_; }
+  /// @}
+
+  /// \name Self-driving advisor (src/advisor/, DESIGN.md "Self-driving
+  /// mediator")
+  ///
+  /// A deterministic background policy engine, ticked from the query
+  /// path on the simulated clock, that closes the observe→act loop:
+  /// auto-materialization of hot templates, replica placement toward
+  /// cheap healthy sites, and guard-railed admission/memory tuning.
+  /// Off by default (PlannerOptions::advisor_enabled / GISQL_ADVISOR);
+  /// GISQL_ADVISOR_KILL=1 force-disables it regardless. Decisions are
+  /// queryable as gis.advisor.
+  /// @{
+  Advisor& advisor() { return *advisor_; }
+  const Advisor& advisor() const { return *advisor_; }
+
+  /// \brief AdvisorHost: copies `global_table` to `target_source` as a
+  /// single kBulkLoad transfer, imports it as
+  /// "<table>__<target>", renames the original to "<table>__base", and
+  /// promotes the original global name to a replicated view over both
+  /// — existing queries transparently start reading the cheapest
+  /// replica. Returns the replica's global name.
+  Result<std::string> MaterializeReplica(
+      const std::string& global_table,
+      const std::string& target_source) override;
+
+  /// \brief AdvisorHost: reverses MaterializeReplica — drops the view,
+  /// drops the replica (catalog mapping + best-effort source-side DROP
+  /// TABLE), and restores the base table under its original name.
+  Status DemoteReplicatedView(const std::string& view_name) override;
   /// @}
 
   /// \name Fault tolerance
@@ -475,6 +512,13 @@ class GlobalSystem {
   /// every cursor operation; no background thread).
   void SweepExpiredCursors(double now_ms);
 
+  /// \brief (Re)builds the advisor config from options_, honoring the
+  /// GISQL_ADVISOR_KILL environment kill switch (which force-disables
+  /// the advisor even when options enabled it programmatically). The
+  /// Advisor object itself is created once and reconfigured in place —
+  /// the system catalog holds a pointer into it.
+  void ConfigureAdvisor();
+
   /// \brief Ends a cursor's life: closes its stream (best-effort
   /// remote close), writes its query-log entry, releases its grant.
   void FinalizeCursor(CursorManager::Entry& entry,
@@ -506,6 +550,10 @@ class GlobalSystem {
   // breaker-open incident trigger (polled per statement, which is
   // deterministic; RPC-time callbacks would race under the pool).
   int64_t seen_breaker_transitions_ = 0;
+  // advisor_ precedes system_catalog_ (which snapshots its decision
+  // log as gis.advisor); everything the advisor reads or acts through
+  // (catalog_, query_log_, health_, slo_, governor_) precedes it.
+  std::unique_ptr<Advisor> advisor_;
   std::unique_ptr<SystemCatalog> system_catalog_;
   std::unique_ptr<QueryCache> cache_;
   std::unique_ptr<ThreadPool> pool_;

@@ -19,7 +19,8 @@ std::optional<QueryCache::CachedResult> QueryCache::Lookup(
 }
 
 void QueryCache::Insert(const std::string& key, RowBatch batch,
-                        double elapsed_ms, std::set<std::string> sources) {
+                        double elapsed_ms, std::set<std::string> sources,
+                        std::set<std::string> tables) {
   auto it = entries_.find(key);
   if (it != entries_.end()) {
     lru_.erase(it->second.lru_pos);
@@ -34,6 +35,7 @@ void QueryCache::Insert(const std::string& key, RowBatch batch,
   entry.result.batch = std::move(batch);
   entry.result.original_elapsed_ms = elapsed_ms;
   entry.sources = std::move(sources);
+  entry.tables = std::move(tables);
   entry.lru_pos = lru_.begin();
   entries_.emplace(key, std::move(entry));
 }
@@ -41,6 +43,24 @@ void QueryCache::Insert(const std::string& key, RowBatch batch,
 void QueryCache::InvalidateSource(const std::string& source) {
   for (auto it = entries_.begin(); it != entries_.end();) {
     if (it->second.sources.count(source)) {
+      lru_.erase(it->second.lru_pos);
+      it = entries_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void QueryCache::InvalidateTables(const std::set<std::string>& tables) {
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    bool hit = false;
+    for (const auto& t : tables) {
+      if (it->second.tables.count(t)) {
+        hit = true;
+        break;
+      }
+    }
+    if (hit) {
       lru_.erase(it->second.lru_pos);
       it = entries_.erase(it);
     } else {

@@ -39,13 +39,20 @@ class QueryCache {
   std::optional<CachedResult> Lookup(const std::string& key);
 
   /// \brief Stores a result under `key`, recording the set of sources
-  /// it was computed from (for invalidation). Evicts the least
-  /// recently used entry beyond capacity.
+  /// and global table names it was computed from (for invalidation).
+  /// Evicts the least recently used entry beyond capacity.
   void Insert(const std::string& key, RowBatch batch, double elapsed_ms,
-              std::set<std::string> sources);
+              std::set<std::string> sources,
+              std::set<std::string> tables = {});
 
   /// \brief Drops every entry computed from `source`.
   void InvalidateSource(const std::string& source);
+
+  /// \brief Drops every entry that read any of `tables` (global catalog
+  /// names). View lifecycle events — create/promote/demote of replicated
+  /// views — change what a global name resolves to without touching a
+  /// source, so source-level invalidation alone would leave stale rows.
+  void InvalidateTables(const std::set<std::string>& tables);
 
   void Clear();
 
@@ -63,6 +70,7 @@ class QueryCache {
   struct Entry {
     CachedResult result;
     std::set<std::string> sources;
+    std::set<std::string> tables;  ///< global names the plan scanned
     std::list<std::string>::iterator lru_pos;
   };
 

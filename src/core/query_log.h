@@ -42,6 +42,12 @@ struct QueryLogEntry {
   /// Simulated completion instant (arrival + wait + elapsed). Shed
   /// entries finish at their refusal time.
   double finish_ms = 0.0;
+  /// Literal-stripped template hash (sql/fingerprint.h), stamped once
+  /// at the RecordQueryOutcome funnel. Two entries share a fingerprint
+  /// iff they are the same statement template with different literals
+  /// — the key for hot-template detection in the advisor and in user
+  /// queries over gis.queries.
+  std::string fingerprint;
 };
 
 /// \brief Thread-safe fixed-capacity ring of QueryLogEntry.

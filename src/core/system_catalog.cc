@@ -74,6 +74,7 @@ Result<RowBatch> SystemCatalog::Snapshot(const std::string& name) const {
   if (lower == "gis.tenants") return SnapshotTenants();
   if (lower == "gis.slo") return SnapshotSlo();
   if (lower == "gis.incidents") return SnapshotIncidents();
+  if (lower == "gis.advisor") return SnapshotAdvisor();
   const auto schema = SystemTableSchema(name);
   return schema.status();  // NotFound with the known-table list
 }
@@ -135,7 +136,8 @@ RowBatch SystemCatalog::SnapshotQueries() const {
                   Value::Int(e.rows), Value::Int(e.trace_root),
                   Value::Double(e.admission_wait_ms),
                   Value::String(e.shed_reason), Value::String(e.tenant),
-                  Value::Int(e.priority), Value::Double(e.finish_ms)});
+                  Value::Int(e.priority), Value::Double(e.finish_ms),
+                  Value::String(e.fingerprint)});
   }
   return batch;
 }
@@ -263,6 +265,18 @@ RowBatch SystemCatalog::SnapshotIncidents() const {
     batch.Append({Value::Int(i.id), Value::Double(i.at_ms),
                   Value::String(i.trigger), Value::String(i.detail),
                   Value::String(i.json)});
+  }
+  return batch;
+}
+
+RowBatch SystemCatalog::SnapshotAdvisor() const {
+  RowBatch batch(SystemTableSchema("gis.advisor").ValueUnsafe());
+  if (advisor_ == nullptr) return batch;
+  for (const auto& d : advisor_->Decisions()) {
+    batch.Append({Value::Int(d.id), Value::Double(d.at_ms),
+                  Value::String(d.kind), Value::String(d.target),
+                  Value::String(d.evidence), Value::String(d.action),
+                  Value::String(d.outcome)});
   }
   return batch;
 }

@@ -7,6 +7,7 @@
 
 #include <vector>
 
+#include "advisor/advisor.h"
 #include "catalog/catalog.h"
 #include "catalog/system_tables.h"
 #include "common/metrics.h"
@@ -41,7 +42,8 @@ class SystemCatalog : public SystemTableProvider {
                 const TransactionManager* txns = nullptr,
                 const TenantAccountant* tenants = nullptr,
                 const SloEngine* slo = nullptr,
-                const FlightRecorder* flight = nullptr)
+                const FlightRecorder* flight = nullptr,
+                const Advisor* advisor = nullptr)
       : health_(health),
         mediator_metrics_(mediator_metrics),
         network_metrics_(network_metrics),
@@ -53,7 +55,8 @@ class SystemCatalog : public SystemTableProvider {
         txns_(txns),
         tenants_(tenants),
         slo_(slo),
-        flight_(flight) {}
+        flight_(flight),
+        advisor_(advisor) {}
 
   bool HasTable(const std::string& name) const override;
   Result<SchemaPtr> TableSchema(const std::string& name) const override;
@@ -73,6 +76,7 @@ class SystemCatalog : public SystemTableProvider {
   RowBatch SnapshotTenants() const;
   RowBatch SnapshotSlo() const;
   RowBatch SnapshotIncidents() const;
+  RowBatch SnapshotAdvisor() const;
 
   const SourceHealthTracker* health_;
   const MetricsRegistry* mediator_metrics_;
@@ -86,6 +90,7 @@ class SystemCatalog : public SystemTableProvider {
   const TenantAccountant* tenants_;
   const SloEngine* slo_;
   const FlightRecorder* flight_;
+  const Advisor* advisor_;
 };
 
 }  // namespace gisql

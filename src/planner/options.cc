@@ -88,6 +88,23 @@ void PlannerOptions::ApplyEnv() {
   EnvInt("GISQL_FLIGHT_SHED_SPIKE", &flight_shed_spike);
   EnvDouble("GISQL_FLIGHT_SHED_WINDOW_MS", &flight_shed_window_ms);
   EnvInt("GISQL_TENANT_MAX_TRACKED", &tenant_max_tracked);
+  EnvBool("GISQL_ADVISOR", &advisor_enabled);
+  EnvDouble("GISQL_ADVISOR_INTERVAL_MS", &advisor_interval_ms);
+  EnvDouble("GISQL_ADVISOR_WINDOW_MS", &advisor_window_ms);
+  EnvInt("GISQL_ADVISOR_HOT_THRESHOLD", &advisor_hot_threshold);
+  EnvInt("GISQL_ADVISOR_MAX_VIEWS", &advisor_max_views);
+  EnvDouble("GISQL_ADVISOR_MIN_GAIN_MS", &advisor_min_gain_ms);
+  EnvInt("GISQL_ADVISOR_COLD_TICKS", &advisor_cold_ticks);
+  EnvInt("GISQL_ADVISOR_LOG", &advisor_log_capacity);
+  EnvBool("GISQL_ADVISOR_MATERIALIZE", &advisor_materialize);
+  EnvBool("GISQL_ADVISOR_PLACEMENT", &advisor_placement);
+  EnvBool("GISQL_ADVISOR_TUNE", &advisor_tune);
+  // The kill switch trumps everything above, including a programmatic
+  // advisor_enabled=true: operators flip one variable to stop the
+  // advisor from acting, whatever the embedding code asked for.
+  bool kill = false;
+  EnvBool("GISQL_ADVISOR_KILL", &kill);
+  if (kill) advisor_enabled = false;
 }
 
 PlannerOptions PlannerOptions::FromEnv() {

@@ -170,6 +170,45 @@ struct PlannerOptions {
   int tenant_max_tracked = 4096;
   /// @}
 
+  /// \name Self-driving advisor (src/advisor/, DESIGN.md "Self-driving
+  /// mediator")
+  /// @{
+
+  /// Run the background advisor (GISQL_ADVISOR). Off by default:
+  /// the advisor *acts* — it creates replicas, retargets routing, and
+  /// retunes admission — so closing the loop is an explicit choice,
+  /// the same stance as circuit_breaker. GISQL_ADVISOR_KILL=1 is the
+  /// operational kill switch: it forces the advisor off even when this
+  /// flag was enabled programmatically.
+  bool advisor_enabled = false;
+  /// Simulated ms between advisor ticks (GISQL_ADVISOR_INTERVAL_MS).
+  double advisor_interval_ms = 500.0;
+  /// Observation window the policies read, simulated ms
+  /// (GISQL_ADVISOR_WINDOW_MS).
+  double advisor_window_ms = 2000.0;
+  /// Executions of one fingerprint within the window that make the
+  /// template "hot" (GISQL_ADVISOR_HOT_THRESHOLD).
+  int advisor_hot_threshold = 8;
+  /// Materialized-view budget: replicated views the advisor may own at
+  /// once (GISQL_ADVISOR_MAX_VIEWS).
+  int advisor_max_views = 2;
+  /// Minimum modeled per-query gain before a materialization or
+  /// placement action is worth its copy cost, simulated ms
+  /// (GISQL_ADVISOR_MIN_GAIN_MS).
+  double advisor_min_gain_ms = 1.0;
+  /// Consecutive ticks a materialized view may go unused before the
+  /// advisor evicts it (GISQL_ADVISOR_COLD_TICKS).
+  int advisor_cold_ticks = 8;
+  /// Bounded decision log capacity, entries (GISQL_ADVISOR_LOG).
+  int advisor_log_capacity = 256;
+  /// Sub-policy switches (GISQL_ADVISOR_MATERIALIZE / _PLACEMENT /
+  /// _TUNE): auto-materialization of hot templates, replica placement
+  /// toward cheap healthy sites, and admission/memory auto-tuning.
+  bool advisor_materialize = true;
+  bool advisor_placement = true;
+  bool advisor_tune = true;
+  /// @}
+
   /// \brief Overrides governance knobs from GISQL_* environment
   /// variables (unset or unparsable values keep the field). Mirrors
   /// the GISQL_LOG_LEVEL convention: the env never *breaks* a run, it

@@ -6,8 +6,6 @@
 
 namespace gisql {
 
-constexpr double AdmissionController::kQueueWatermark[3];
-
 const char* ShedReasonName(ShedReason reason) {
   switch (reason) {
     case ShedReason::kNone: return "";
@@ -53,8 +51,11 @@ AdmissionDecision AdmissionController::Admit(const AdmissionRequest& request) {
       if (s.start_ms > arrival) ++queued;
     }
     d.queued_ahead = queued;
-    const int allowed = static_cast<int>(
-        std::floor(config_.queue_limit * kQueueWatermark[priority]));
+    const double watermark = priority == 0   ? config_.watermark_background
+                             : priority == 1 ? config_.watermark_normal
+                                             : 1.0;
+    const int allowed =
+        static_cast<int>(std::floor(config_.queue_limit * watermark));
     if (queued >= allowed) {
       d.reason = ShedReason::kQueueFull;
       ++stats_.shed_queue_full;

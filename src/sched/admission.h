@@ -46,6 +46,17 @@ struct AdmissionConfig {
   int max_concurrent = 8;      ///< concurrency slots
   int queue_limit = 32;        ///< bounded wait queue (all classes)
   double max_wait_ms = 1000.0; ///< default deadline while queued
+  /// \name Per-class queue watermarks (fraction of queue_limit)
+  ///
+  /// Class p may only enter while queue occupancy is below its
+  /// watermark; interactive (class 2) is always 1.0. The advisor's
+  /// tuning policy lowers these under interactive SLO burn so
+  /// background/normal traffic backs off first, and relaxes them back
+  /// toward the defaults once the burn clears.
+  /// @{
+  double watermark_background = 0.5;
+  double watermark_normal = 0.8;
+  /// @}
 };
 
 /// \brief One admission request on the simulated clock.
@@ -82,9 +93,6 @@ struct AdmissionStats {
 /// clock. Thread-safe; decisions depend only on the request sequence.
 class AdmissionController {
  public:
-  /// Queue watermark per priority class (fraction of queue_limit).
-  static constexpr double kQueueWatermark[3] = {0.5, 0.8, 1.0};
-
   explicit AdmissionController(AdmissionConfig config = AdmissionConfig());
 
   /// \brief Reconfigures limits. Occupancy and counters are kept; the

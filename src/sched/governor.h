@@ -21,6 +21,8 @@
 #pragma once
 
 #include <algorithm>
+#include <cstdint>
+#include <utility>
 
 #include "planner/options.h"
 #include "sched/admission.h"
@@ -66,7 +68,48 @@ class ResourceGovernor {
     b.probe_ratio = options.breaker_probe_ratio;
     b.seed = options.breaker_seed;
     breakers_.Configure(b);
+    base_query_mem_bytes_ = options.query_mem_bytes;
   }
+
+  /// \name Guard-railed advisor knobs
+  ///
+  /// The advisor's auto-tuning policy adjusts admission watermarks and
+  /// the per-query memory cap through these setters. The governor owns
+  /// the guard rails — clamping lives here, not in the policy — so a
+  /// runaway advisor can tighten or relax but never wedge the system.
+  /// Both setters return the values actually applied after clamping.
+  /// @{
+
+  /// Watermark floor: even a maximally aggressive advisor leaves some
+  /// queue room for background traffic (starvation-freedom).
+  static constexpr double kMinWatermark = 0.1;
+
+  /// \brief Sets the background/normal queue watermarks, clamped to
+  /// [kMinWatermark, default] per class with background ≤ normal.
+  /// Interactive traffic always keeps the full queue (1.0).
+  std::pair<double, double> SetAdmissionWatermarks(double background,
+                                                   double normal) {
+    AdmissionConfig a = admission_.config();
+    normal = std::clamp(normal, kMinWatermark, 0.8);
+    background = std::clamp(background, kMinWatermark, std::min(normal, 0.5));
+    a.watermark_background = background;
+    a.watermark_normal = normal;
+    admission_.Configure(a);
+    return {background, normal};
+  }
+
+  /// \brief Sets the per-query memory cap, clamped to [base/2, 4*base]
+  /// and never above the global cap (base = the configured
+  /// query_mem_bytes). Applies to grants taken after this call.
+  int64_t SetQueryMemCap(int64_t bytes) {
+    const int64_t base = base_query_mem_bytes_;
+    const int64_t lo = std::max<int64_t>(1, base / 2);
+    const int64_t hi = std::min(4 * base, memory_.global_cap());
+    bytes = std::clamp(bytes, lo, std::max(lo, hi));
+    memory_.Configure(bytes, memory_.global_cap());
+    return bytes;
+  }
+  /// @}
 
   AdmissionController& admission() { return admission_; }
   MemoryBudget& memory() { return memory_; }
@@ -114,6 +157,7 @@ class ResourceGovernor {
   AdmissionController admission_;
   MemoryBudget memory_;
   CircuitBreakerRegistry breakers_;
+  int64_t base_query_mem_bytes_ = 256LL << 20;
   int64_t shed_memory_budget_ = 0;
   double now_ms_ = 0.0;
 };

@@ -88,10 +88,12 @@ Status ComponentSource::ExecuteLocalSql(const std::string& sql) {
       GISQL_ASSIGN_OR_RETURN(ExprPtr pred, binder.BindScalar(*stmt.del->where));
       return table->Delete(*pred).status();
     }
+    case sql::Statement::Kind::kDropTable:
+      return engine_.DropTable(stmt.drop_table->table_name);
     default:
       return Status::InvalidArgument(
-          "component sources accept only CREATE TABLE / INSERT / DELETE "
-          "locally; route queries through the mediator");
+          "component sources accept only CREATE TABLE / INSERT / DELETE / "
+          "DROP TABLE locally; route queries through the mediator");
   }
 }
 
@@ -897,6 +899,36 @@ Result<std::vector<uint8_t>> ComponentSource::Handle(
     case wire::Opcode::kAdminSql: {
       GISQL_ASSIGN_OR_RETURN(std::string sql, reader.GetString());
       GISQL_RETURN_NOT_OK(ExecuteLocalSql(sql));
+      return writer.Release();
+    }
+
+    case wire::Opcode::kBulkLoad: {
+      // Replica seeding: one RPC carries the table name plus every row,
+      // so the simulated WAN prices the copy as a single bulk transfer.
+      // The schema is re-qualified under the new table name and follows
+      // the CREATE TABLE conventions (key column non-nullable + indexed).
+      GISQL_ASSIGN_OR_RETURN(std::string table_name, reader.GetString());
+      GISQL_ASSIGN_OR_RETURN(RowBatch batch, wire::ReadBatch(&reader));
+      std::vector<Field> fields;
+      fields.reserve(batch.schema()->num_fields());
+      for (const auto& f : batch.schema()->fields()) {
+        fields.emplace_back(f.name, f.type, f.nullable, table_name);
+      }
+      if (!fields.empty()) fields[0].nullable = false;
+      GISQL_ASSIGN_OR_RETURN(
+          TablePtr table,
+          engine_.CreateTable(table_name,
+                              std::make_shared<Schema>(std::move(fields))));
+      GISQL_RETURN_NOT_OK(table->CreateHashIndex(0));
+      if (dialect_ == SourceDialect::kRelational) {
+        GISQL_RETURN_NOT_OK(table->CreateOrderedIndex(0));
+      }
+      const size_t loaded_rows = batch.num_rows();
+      GISQL_RETURN_NOT_OK(table->InsertUnchecked(std::move(batch.rows())));
+      if (processing_ms != nullptr) {
+        *processing_ms =
+            static_cast<double>(loaded_rows) * cpu_us_per_row_ / 1e3;
+      }
       return writer.Release();
     }
 

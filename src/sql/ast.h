@@ -144,6 +144,12 @@ struct DeleteStmt {
   ParseExprPtr where;  ///< null = delete every row
 };
 
+/// \brief DROP TABLE name — source-local DDL (used by the advisor when
+/// it evicts a materialized replica from a source).
+struct DropTableStmt {
+  std::string table_name;
+};
+
 /// \brief Top-level statement.
 struct Statement {
   enum class Kind : uint8_t {
@@ -153,12 +159,14 @@ struct Statement {
     kExplain,
     kExplainAnalyze,  ///< EXPLAIN ANALYZE: execute and report actuals
     kDelete,
+    kDropTable,
   };
   Kind kind = Kind::kSelect;
   SelectStmtPtr select;              ///< kSelect / kExplain
   std::unique_ptr<CreateTableStmt> create_table;
   std::unique_ptr<InsertStmt> insert;
   std::unique_ptr<DeleteStmt> del;   ///< kDelete
+  std::unique_ptr<DropTableStmt> drop_table;
 };
 
 }  // namespace sql

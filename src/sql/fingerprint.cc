@@ -1,0 +1,82 @@
+#include "sql/fingerprint.h"
+
+#include <vector>
+
+#include "sql/lexer.h"
+#include "sql/token.h"
+
+namespace gisql {
+namespace sql {
+
+namespace {
+
+/// Token rendering for the normalized template. Literals all become
+/// `?` so parameter values never split a template; everything else
+/// renders as its lexed text (keywords already upper-cased, operators
+/// via their punctuation).
+std::string TokenText(const Token& t) {
+  switch (t.type) {
+    case TokenType::kIntLiteral:
+    case TokenType::kDoubleLiteral:
+    case TokenType::kStringLiteral:
+      return "?";
+    case TokenType::kComma: return ",";
+    case TokenType::kDot: return ".";
+    case TokenType::kStar: return "*";
+    case TokenType::kLParen: return "(";
+    case TokenType::kRParen: return ")";
+    case TokenType::kPlus: return "+";
+    case TokenType::kMinus: return "-";
+    case TokenType::kSlash: return "/";
+    case TokenType::kPercent: return "%";
+    case TokenType::kEq: return "=";
+    case TokenType::kNe: return "<>";
+    case TokenType::kLt: return "<";
+    case TokenType::kLe: return "<=";
+    case TokenType::kGt: return ">";
+    case TokenType::kGe: return ">=";
+    case TokenType::kSemicolon: return ";";
+    default:
+      return t.text;
+  }
+}
+
+}  // namespace
+
+std::string NormalizeStatement(const std::string& statement) {
+  Lexer lexer(statement);
+  auto tokens = lexer.Tokenize();
+  if (!tokens.ok()) return statement;
+  std::string out;
+  out.reserve(statement.size());
+  for (const Token& t : *tokens) {
+    if (t.type == TokenType::kEnd) break;
+    if (!out.empty()) out += ' ';
+    out += TokenText(t);
+  }
+  return out;
+}
+
+uint64_t FingerprintHash(const std::string& statement) {
+  const std::string normalized = NormalizeStatement(statement);
+  uint64_t h = 1469598103934665603ULL;  // FNV-1a offset basis
+  for (const char c : normalized) {
+    h ^= static_cast<uint8_t>(c);
+    h *= 1099511628211ULL;  // FNV-1a prime
+  }
+  return h;
+}
+
+std::string FingerprintHex(const std::string& statement) {
+  uint64_t h = FingerprintHash(statement);
+  static const char* kHex = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[static_cast<size_t>(i)] = kHex[h & 0xF];
+    h >>= 4;
+  }
+  return out;
+}
+
+}  // namespace sql
+}  // namespace gisql

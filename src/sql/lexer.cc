@@ -19,6 +19,7 @@ const std::unordered_set<std::string>& KeywordSet() {
       "COUNT", "SUM", "AVG", "MIN", "MAX", "CASE", "WHEN", "THEN",
       "ELSE", "END", "CREATE", "TABLE", "INSERT", "INTO", "VALUES",
       "EXPLAIN", "ANALYZE", "UNION", "ALL", "CAST", "DATE", "DELETE",
+      "DROP",
   };
   return kKeywords;
 }

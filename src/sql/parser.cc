@@ -77,7 +77,9 @@ Result<Statement> Parser::ParseStatement() {
   if (Peek().IsKeyword("CREATE")) return ParseCreateTable();
   if (Peek().IsKeyword("INSERT")) return ParseInsert();
   if (Peek().IsKeyword("DELETE")) return ParseDelete();
-  return ErrorHere("expected SELECT, EXPLAIN, CREATE TABLE, INSERT or DELETE");
+  if (Peek().IsKeyword("DROP")) return ParseDropTable();
+  return ErrorHere(
+      "expected SELECT, EXPLAIN, CREATE TABLE, INSERT, DELETE or DROP TABLE");
 }
 
 Result<Statement> Parser::ParseCreateTable() {
@@ -158,6 +160,21 @@ Result<Statement> Parser::ParseDelete() {
   Statement stmt;
   stmt.kind = Statement::Kind::kDelete;
   stmt.del = std::move(del);
+  return stmt;
+}
+
+Result<Statement> Parser::ParseDropTable() {
+  GISQL_RETURN_NOT_OK(ExpectKeyword("DROP", "at statement start"));
+  GISQL_RETURN_NOT_OK(ExpectKeyword("TABLE", "after DROP"));
+  if (Peek().type != TokenType::kIdentifier) {
+    return ErrorHere("expected table name");
+  }
+  auto drop = std::make_unique<DropTableStmt>();
+  drop->table_name = Advance().text;
+  GISQL_RETURN_NOT_OK(ExpectEnd());
+  Statement stmt;
+  stmt.kind = Statement::Kind::kDropTable;
+  stmt.drop_table = std::move(drop);
   return stmt;
 }
 

@@ -82,6 +82,7 @@ class Parser {
   Result<Statement> ParseCreateTable();
   Result<Statement> ParseInsert();
   Result<Statement> ParseDelete();
+  Result<Statement> ParseDropTable();
 
   std::vector<Token> tokens_;
   size_t pos_ = 0;

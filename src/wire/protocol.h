@@ -44,6 +44,12 @@ enum class Opcode : uint8_t {
   kFetchChunk = 12,   ///< payload: FetchChunkRequest → CursorChunk
   kCloseCursor = 13,  ///< payload: CloseCursorRequest → empty
   /// @}
+  /// payload: table name + wire::WriteBatch(rows) → empty. Creates the
+  /// table from the batch schema (same index conventions as CREATE
+  /// TABLE) and loads every row in one shot — the advisor's replica
+  /// copy mechanism, priced as a single bulk transfer on the simulated
+  /// WAN instead of a per-row INSERT storm.
+  kBulkLoad = 14,
 };
 
 /// \name Batch format bytes of kExecuteFragmentColumnar responses

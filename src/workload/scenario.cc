@@ -127,6 +127,7 @@ Result<ScenarioReport> RunScenario(GlobalSystem* gis,
   Rng rng(spec.seed);
   ScenarioReport report;
   std::vector<double> sojourns;
+  std::vector<double> tail_sojourns;
 
   double t = 0.0;
   while (true) {
@@ -142,8 +143,20 @@ Result<ScenarioReport> RunScenario(GlobalSystem* gis,
 
     const int64_t tenant =
         rng.Zipf(spec.num_tenants, spec.tenant_zipf_theta) - 1;
-    const int tmpl_rank = static_cast<int>(
+    int tmpl_rank = static_cast<int>(
         rng.Zipf(kNumTemplates, spec.template_zipf_theta) - 1);
+    // Mid-run shift: swap the hottest and the shift rank after the
+    // boundary. A post-draw relabeling, so the RNG sequence — and with
+    // it every other arrival property — is unchanged by the shift.
+    if (spec.template_shift_ms >= 0.0 && t >= spec.template_shift_ms &&
+        spec.template_shift_rank > 0 &&
+        spec.template_shift_rank < kNumTemplates) {
+      if (tmpl_rank == 0) {
+        tmpl_rank = spec.template_shift_rank;
+      } else if (tmpl_rank == spec.template_shift_rank) {
+        tmpl_rank = 0;
+      }
+    }
     const QueryTemplate& tmpl = kTemplates[tmpl_rank];
     const std::string sql = tmpl.sql(spec, tenant, rng);
 
@@ -200,6 +213,9 @@ Result<ScenarioReport> RunScenario(GlobalSystem* gis,
       ++report.completed;
       report.decisions += 'A';
       sojourns.push_back(sojourn);
+      if (spec.report_tail_from_ms >= 0.0 && t >= spec.report_tail_from_ms) {
+        tail_sojourns.push_back(sojourn);
+      }
       if (sojourn <= spec.slo_ms) ++report.slo_hits;
       continue;
     }
@@ -237,6 +253,10 @@ Result<ScenarioReport> RunScenario(GlobalSystem* gis,
       report.offered > 0
           ? static_cast<double>(report.slo_hits) / report.offered
           : 0.0;
+  std::sort(tail_sojourns.begin(), tail_sojourns.end());
+  report.tail_completed = static_cast<int64_t>(tail_sojourns.size());
+  report.tail_p50_ms = Percentile(tail_sojourns, 0.50);
+  report.tail_p95_ms = Percentile(tail_sojourns, 0.95);
   report.mem_peak_bytes = gis->governor().memory().peak();
   return report;
 }

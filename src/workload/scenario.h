@@ -77,6 +77,19 @@ struct ScenarioSpec {
   /// Key domains of the federation the templates parameterize over.
   int num_customers = 300;
   int num_products = 80;
+
+  /// Mid-run workload shift: from `template_shift_ms` on, a drawn
+  /// template rank 0 becomes `template_shift_rank` and vice versa — the
+  /// coldest template turns hottest without perturbing the RNG draw
+  /// sequence. Negative = no shift. Exercises adaptive policies
+  /// (advisor materialization must chase the new hot template).
+  double template_shift_ms = -1.0;
+  int template_shift_rank = 4;
+
+  /// When >= 0, the report also carries percentiles restricted to
+  /// arrivals at or after this time — the "converged tail" a policy
+  /// had time to adapt to.
+  double report_tail_from_ms = -1.0;
 };
 
 /// \brief What the offered population experienced.
@@ -104,6 +117,12 @@ struct ScenarioReport {
   int64_t streamed_queries = 0;
   int64_t total_chunks = 0;
   int64_t total_rows = 0;
+
+  /// Completed-query percentiles over arrivals at or after
+  /// `report_tail_from_ms` (zeros when the window is unset or empty).
+  int64_t tail_completed = 0;
+  double tail_p50_ms = 0.0;
+  double tail_p95_ms = 0.0;
 
   /// One char per arrival — A admitted, Q/D/M shed (queue / deadline /
   /// memory), C cursor-cap shed, F failed. Byte-identical across
